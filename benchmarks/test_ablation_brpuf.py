@@ -1,0 +1,89 @@
+"""Ablation — the BR PUF non-linearity knob (DESIGN.md Section 6).
+
+The paper's Table II/III story depends on the BR PUF genuinely not being a
+halfspace.  Our simulator exposes that as ``interaction_scale``; this
+ablation shows the whole pitfall appears and disappears with it:
+
+* at 0.0 the device *is* an LTF — proper learners reach ~100 % and the
+  halfspace tester accepts;
+* as the scale grows, LTF accuracy degrades and the tester's farness
+  certificate grows.
+
+This separates the paper's representation-mismatch effect from noise or
+sample-size artefacts.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import TableBuilder
+from repro.learning.logistic import LogisticAttack
+from repro.property_testing import HalfspaceTester
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.crp import generate_crps
+
+N = 24
+SCALES = (0.0, 0.25, 0.55, 1.0)
+
+
+def run_ablation():
+    rows = []
+    for scale in SCALES:
+        puf = BistableRingPUF(
+            N, np.random.default_rng(5), interaction_scale=scale
+        )
+        rng = np.random.default_rng(50)
+        train = generate_crps(puf, 15_000, rng)
+        test = generate_crps(puf, 8_000, rng)
+        fit = LogisticAttack().fit(train.challenges, train.responses, rng)
+        acc = float(np.mean(fit.predict(test.challenges) == test.responses))
+        tester = HalfspaceTester(eps=0.05, delta=0.01)
+        tres = tester.test_crps(
+            generate_crps(puf, 40_000, rng), np.random.default_rng(51)
+        )
+        rows.append(
+            {
+                "scale": scale,
+                "ltf_accuracy": acc,
+                "tester_accepts": tres.accepted,
+                "gap": tres.gap,
+                "farness": tres.farness_estimate,
+            }
+        )
+    return rows
+
+
+def test_ablation_interaction_scale(benchmark, report):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = TableBuilder(
+        [
+            "interaction_scale",
+            "best-LTF accuracy [%]",
+            "halfspace tester",
+            "W1 gap",
+            "farness >= [%]",
+        ],
+        title=f"Ablation: BR PUF non-linearity knob (n = {N})",
+    )
+    for row in rows:
+        table.add_row(
+            f"{row['scale']:.2f}",
+            f"{100 * row['ltf_accuracy']:.2f}",
+            "accepts" if row["tester_accepts"] else "rejects",
+            f"{row['gap']:+.3f}",
+            f"{100 * row['farness']:.0f}",
+        )
+    report("ablation_brpuf", table.render())
+
+    by_scale = {row["scale"]: row for row in rows}
+    # Linear device: near-perfect LTF learning and tester acceptance.
+    assert by_scale[0.0]["ltf_accuracy"] > 0.98
+    assert by_scale[0.0]["tester_accepts"]
+    # Non-linear device: accuracy cap and tester rejection.
+    assert by_scale[1.0]["ltf_accuracy"] < by_scale[0.0]["ltf_accuracy"] - 0.05
+    assert not by_scale[1.0]["tester_accepts"]
+    # Monotone trends across the knob.
+    accs = [by_scale[s]["ltf_accuracy"] for s in SCALES]
+    assert accs[0] >= accs[1] >= accs[2] - 0.02 >= accs[3] - 0.04
+    farness = [by_scale[s]["farness"] for s in SCALES]
+    assert farness[-1] > farness[0]

@@ -1,0 +1,80 @@
+"""E12 — Section III's logic-locking bound gap, tabulated.
+
+"for the class AC^0 ... the running time of a non-trivial distribution-
+free learning algorithm cannot be better than 2^{n - n^{Omega(1/d)}} [15].
+On the contrary, when the uniform variant ... is taken into account, a
+polynomial-time algorithm has been devised [16]."
+
+This benchmark evaluates both bounds over (n, depth) — including the
+measured depth/size of this repo's own netlists — and shows where the
+uniform model's quasi-polynomial cost undercuts the distribution-free
+exponential lower bound, i.e. where saying "random examples" instead of
+"uniform examples" changes a security verdict.
+"""
+
+from repro.analysis.tables import TableBuilder
+from repro.locking.circuits import array_multiplier, c17, present_sbox
+from repro.pac.circuit_bounds import (
+    assess_circuit_learnability,
+    assess_netlist_learnability,
+)
+from repro.pac.framework import PACParameters
+
+PARAMS = PACParameters(0.05, 0.05)
+
+
+def run_ac0_sweep():
+    analytic = []
+    for n in (1024, 10_000, 100_000, 1_000_000):
+        for depth in (2, 3):
+            analytic.append(assess_circuit_learnability(n, depth, size=5000, params=PARAMS))
+    concrete = [
+        ("c17", assess_netlist_learnability(c17(), PARAMS)),
+        ("present_sbox", assess_netlist_learnability(present_sbox(), PARAMS)),
+        ("mul4", assess_netlist_learnability(array_multiplier(4), PARAMS)),
+    ]
+    return analytic, concrete
+
+
+def test_ac0_bound_gap(benchmark, report):
+    analytic, concrete = benchmark.pedantic(run_ac0_sweep, rounds=1, iterations=1)
+
+    table = TableBuilder(
+        ["n", "depth", "size", "dist-free >= 10^", "uniform LMN ~ 10^", "cheaper model"],
+        title=(
+            "E12: AC^0 learnability — distribution-free lower bound vs "
+            "uniform LMN (Section III)"
+        ),
+    )
+    for a in analytic:
+        table.add_row(
+            a.n,
+            a.depth,
+            a.size,
+            f"{a.distribution_free_log10:.0f}",
+            f"{a.uniform_lmn_log10:.0f}",
+            "uniform" if a.uniform_is_cheaper else "dist-free LB smaller",
+        )
+    for name, a in concrete:
+        table.add_row(
+            f"{name} (n={a.n})",
+            a.depth,
+            a.size,
+            f"{a.distribution_free_log10:.1f}",
+            f"{a.uniform_lmn_log10:.1f}",
+            "uniform" if a.uniform_is_cheaper else "dist-free LB smaller",
+        )
+    report("ac0_bounds", table.render())
+
+    # The asymptotic separation: at depth 2 the uniform model wins from
+    # n = 100k on, and the advantage grows with n.
+    depth2 = [a for a in analytic if a.depth == 2]
+    big = [a for a in depth2 if a.n >= 100_000]
+    assert all(a.uniform_is_cheaper for a in big)
+    gaps = [
+        a.distribution_free_log10 - a.uniform_lmn_log10 for a in depth2
+    ]
+    assert gaps[-1] > gaps[0]
+    # Exponential vs quasi-poly growth signatures.
+    assert depth2[-1].distribution_free_log10 > 10 * depth2[-2].distribution_free_log10 * 0.8
+    assert depth2[-1].uniform_lmn_log10 < 2 * depth2[-2].uniform_lmn_log10

@@ -1,0 +1,95 @@
+"""E8 — the ~95 % accuracy cap of proper LTF learners on BR PUFs ([11],
+Section V-A) and the improper-learning escape (Section V-B).
+
+Two sweeps on one simulated BR PUF:
+
+1. Train proper LTF learners (Perceptron, logistic regression) directly on
+   growing CRP sets: accuracy rises, then *saturates below 100 %* no
+   matter how many CRPs are added — Xu et al.'s observation that motivated
+   the paper's representation discussion.
+2. Train an improper learner (LMN with degree 2) on the same data: it
+   clears the LTF cap, because the hypothesis class now contains the
+   pairwise interactions the device actually has.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import TableBuilder
+from repro.learning.lmn import LMNLearner
+from repro.learning.logistic import LogisticAttack
+from repro.learning.mlp import MLPAttack
+from repro.learning.perceptron import Perceptron
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.crp import generate_crps
+
+N = 20
+TRAIN_SIZES = (500, 2000, 8000, 20000)
+TEST_SIZE = 10_000
+
+
+def run_cap_sweep():
+    rng = np.random.default_rng(8)
+    puf = BistableRingPUF(N, np.random.default_rng(88))
+    test = generate_crps(puf, TEST_SIZE, rng)
+    pool = generate_crps(puf, max(TRAIN_SIZES), rng)
+    rows = []
+    for m in TRAIN_SIZES:
+        x, y = pool.challenges[:m], pool.responses[:m]
+        perceptron = Perceptron(max_epochs=30, averaged=True).fit(x, y, rng)
+        logistic = LogisticAttack().fit(x, y, rng)
+        lmn = LMNLearner(degree=2).fit_sample(x, y)
+        mlp = MLPAttack(hidden=48, epochs=30).fit(x, y, rng)
+        rows.append(
+            {
+                "m": m,
+                "perceptron": float(
+                    np.mean(perceptron.predict(test.challenges) == test.responses)
+                ),
+                "logistic": float(
+                    np.mean(logistic.predict(test.challenges) == test.responses)
+                ),
+                "lmn2": float(
+                    np.mean(lmn.predict(test.challenges) == test.responses)
+                ),
+                "mlp": float(
+                    np.mean(mlp.predict(test.challenges) == test.responses)
+                ),
+            }
+        )
+    return rows
+
+
+def test_brpuf_ltf_cap(benchmark, report):
+    rows = benchmark.pedantic(run_cap_sweep, rounds=1, iterations=1)
+
+    table = TableBuilder(
+        [
+            "# CRPs",
+            "Perceptron [%]",
+            "Logistic [%]",
+            "LMN deg-2 [%] (improper)",
+            "MLP [%] (improper)",
+        ],
+        title=f"E8: proper-LTF accuracy cap on a {N}-bit BR PUF vs improper learners",
+    )
+    for row in rows:
+        table.add_row(
+            row["m"],
+            f"{100 * row['perceptron']:.2f}",
+            f"{100 * row['logistic']:.2f}",
+            f"{100 * row['lmn2']:.2f}",
+            f"{100 * row['mlp']:.2f}",
+        )
+    report("brpuf_ltf_cap", table.render())
+
+    final = rows[-1]
+    # The proper learners cap strictly below 100 %.
+    assert final["logistic"] < 0.99
+    assert final["perceptron"] < 0.99
+    # More data stopped helping the LTF learners long ago (saturation):
+    mid = rows[-2]
+    assert abs(final["logistic"] - mid["logistic"]) < 0.03
+    # Improper learning clears the cap on the same data.
+    assert final["lmn2"] > final["logistic"] + 0.02
+    assert final["lmn2"] > final["perceptron"] + 0.02
+    assert final["mlp"] > final["logistic"] + 0.05

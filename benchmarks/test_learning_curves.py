@@ -1,0 +1,104 @@
+"""E11 — learning curves: the empirical face of the sample-complexity bounds.
+
+Two figure-style sweeps (the paper has no figures, but its cited attack
+literature [8] reports exactly these curves; they anchor the Table I
+bounds to measurements):
+
+1. single arbiter PUF — three learners (logistic regression, Perceptron,
+   AdaBoost) over the parity features, accuracy vs CRP budget;
+2. 2-XOR arbiter PUF — the *representation* effect on the curve: a plain
+   single-LTF learner is stuck near chance at every budget, while the
+   product-of-margins model converges.
+"""
+
+import numpy as np
+
+from repro.analysis.learning_curves import compare_learners
+from repro.analysis.tables import TableBuilder
+from repro.learning.boosting import AdaBoost
+from repro.learning.logistic import LogisticAttack
+from repro.learning.perceptron import Perceptron
+from repro.learning.xor_logistic import XorLogisticAttack
+from repro.pufs.arbiter import ArbiterPUF, parity_transform
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+BUDGETS = (100, 400, 1600, 6400)
+
+
+def arbiter_fitters():
+    def logistic(x, y, rng):
+        return LogisticAttack(feature_map=parity_transform).fit(x, y, rng).predict
+
+    def perceptron(x, y, rng):
+        return Perceptron(max_epochs=40, feature_map=parity_transform).fit(
+            x, y, rng
+        ).predict
+
+    def adaboost(x, y, rng):
+        return AdaBoost(rounds=120, feature_map=parity_transform).fit(x, y).predict
+
+    return {"logistic": logistic, "perceptron": perceptron, "adaboost": adaboost}
+
+
+def xor_fitters():
+    def plain_ltf(x, y, rng):
+        return LogisticAttack(feature_map=parity_transform).fit(x, y, rng).predict
+
+    def product_model(x, y, rng):
+        return XorLogisticAttack(
+            2, feature_map=parity_transform, restarts=6
+        ).fit(x, y, rng).predict
+
+    return {"plain LTF": plain_ltf, "product-of-margins": product_model}
+
+
+def run_curves():
+    rng = np.random.default_rng(11)
+    arbiter = ArbiterPUF(48, rng)
+    arbiter_curves = compare_learners(
+        arbiter_fitters(), arbiter, BUDGETS, rng=np.random.default_rng(12)
+    )
+    xor_puf = XORArbiterPUF(32, 2, rng)
+    xor_curves = compare_learners(
+        xor_fitters(), xor_puf, BUDGETS, rng=np.random.default_rng(13)
+    )
+    return arbiter_curves, xor_curves
+
+
+def test_learning_curves(benchmark, report):
+    arbiter_curves, xor_curves = benchmark.pedantic(
+        run_curves, rounds=1, iterations=1
+    )
+
+    table = TableBuilder(
+        ["target / learner"] + [f"{b} CRPs" for b in BUDGETS],
+        title="E11: attack accuracy [%] vs CRP budget",
+    )
+    for curve in arbiter_curves:
+        table.add_row(
+            f"arbiter-48 / {curve.learner}",
+            *[f"{100 * a:.1f}" for a in curve.accuracies],
+        )
+    for curve in xor_curves:
+        table.add_row(
+            f"2-xor-32 / {curve.learner}",
+            *[f"{100 * a:.1f}" for a in curve.accuracies],
+        )
+    report("learning_curves", table.render())
+
+    by_name = {c.learner: c for c in arbiter_curves}
+    # All arbiter learners converge to a strong model.
+    assert by_name["logistic"].final_accuracy() > 0.97
+    assert by_name["perceptron"].final_accuracy() > 0.95
+    assert by_name["adaboost"].final_accuracy() > 0.85
+    # Roughly monotone curves.
+    assert all(c.is_monotone(slack=0.05) for c in arbiter_curves)
+    # Representation effect on the XOR PUF.
+    xor_by_name = {c.learner: c for c in xor_curves}
+    assert xor_by_name["plain LTF"].final_accuracy() < 0.75
+    assert xor_by_name["product-of-margins"].final_accuracy() > 0.93
+    # The knee: the product model needs more data than the single chain.
+    arb_knee = by_name["logistic"].budget_to_reach(0.95)
+    xor_knee = xor_by_name["product-of-margins"].budget_to_reach(0.95)
+    assert arb_knee is not None and xor_knee is not None
+    assert xor_knee >= arb_knee

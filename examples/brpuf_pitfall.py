@@ -1,0 +1,68 @@
+"""The Bistable-Ring PUF representation pitfall (paper Section V).
+
+Walks the exact argument of the paper's Tables II and III on a simulated
+BR PUF:
+
+1. estimate Chow parameters from CRPs and build the LTF f' [25];
+2. observe that accuracy saturates no matter how many CRPs are spent;
+3. run the halfspace tester [28] — the device is far from every LTF;
+4. escape the cap with *improper* learning (LMN with degree 2).
+
+Run with:  python examples/brpuf_pitfall.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import TableBuilder
+from repro.booleanfuncs.ltf import estimate_chow_parameters, ltf_from_chow_parameters
+from repro.learning.lmn import LMNLearner
+from repro.learning.perceptron import Perceptron
+from repro.property_testing import HalfspaceTester
+from repro.pufs import BistableRingPUF, generate_crps
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n = 24
+    puf = BistableRingPUF(n, np.random.default_rng(42))
+    print(f"device: {puf}\n")
+
+    pool = generate_crps(puf, 60_000, rng)
+    test = pool.take(15_000)
+    train_x = pool.challenges[15_000:]
+    train_y = pool.responses[15_000:]
+
+    # --- 1 & 2: the Table II experiment --------------------------------
+    table = TableBuilder(
+        ["# CRPs for Chow", "accuracy of f'-trained Perceptron [%]"],
+        title="Chow-parameter LTF f' accuracy saturates (Table II effect)",
+    )
+    for budget in (1000, 2500, 5000, 10000, 20000):
+        x, y = train_x[:budget], train_y[:budget]
+        f_prime = ltf_from_chow_parameters(estimate_chow_parameters(x, y))
+        learned = Perceptron(max_epochs=25).fit(x, f_prime(x), rng)
+        acc = np.mean(learned.predict(test.challenges) == test.responses)
+        table.add_row(budget, f"{100 * acc:.2f}")
+    table.print()
+    print(
+        "If the BR PUF were an LTF this column would converge to 100%.\n"
+        "It does not — the representation, not the data volume, is the limit.\n"
+    )
+
+    # --- 3: the Table III experiment -----------------------------------
+    tester = HalfspaceTester(eps=0.05, delta=0.01)
+    result = tester.test_crps(pool, rng)
+    print("halfspace tester:", result.summary())
+
+    # --- 4: improper learning clears the cap ---------------------------
+    lmn = LMNLearner(degree=2).fit_sample(train_x[:20000], train_y[:20000])
+    acc = np.mean(lmn.predict(test.challenges) == test.responses)
+    print(
+        f"\nimproper LMN (degree 2) accuracy: {acc:.1%} — above the LTF cap; "
+        "'ironically, although being called improper, ML algorithms in this "
+        "class are more powerful than proper learners' (Section V-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

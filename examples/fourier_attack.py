@@ -1,0 +1,81 @@
+"""A Fourier-analysis-based attack with membership queries (cf. [19]).
+
+Shows the access-model separation from the spectral side:
+
+1. a high-degree parity hidden in a 16-bit function is invisible to the
+   LMN algorithm at any affordable degree, and to every statistical-query
+   learner — but Kushilevitz-Mansour finds it with membership queries;
+2. the junta tester certifies the Corollary-2 precondition (the target
+   depends on few coordinates) before LearnPoly is even run;
+3. KM profiles where a BR PUF's Fourier weight actually sits — the
+   spectral fingerprint of the representation mismatch behind Tables II
+   and III.
+
+Run with:  python examples/fourier_attack.py
+"""
+
+import numpy as np
+
+from repro.booleanfuncs.function import BooleanFunction
+from repro.learning.kushilevitz_mansour import KushilevitzMansour
+from repro.learning.lmn import LMNLearner, num_low_degree_subsets
+from repro.property_testing.junta_tester import JuntaTester
+from repro.pufs import BistableRingPUF
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- 1. hidden high-degree parity -----------------------------------
+    secret = (0, 2, 5, 7, 9, 11, 13, 15)
+    target = BooleanFunction.parity_on(16, secret)
+    print(f"target: chi_S with |S| = {len(secret)} on n = 16")
+    print(
+        f"LMN at degree {len(secret)} would estimate "
+        f"{num_low_degree_subsets(16, len(secret)):,} coefficients from "
+        "random examples;"
+    )
+    low = LMNLearner(degree=3).fit_sample(
+        (1 - 2 * rng.integers(0, 2, (20_000, 16))).astype(np.int8),
+        target((1 - 2 * rng.integers(0, 2, (20_000, 16))).astype(np.int8)),
+    )
+    print(
+        f"  an affordable degree-3 LMN captures Fourier weight "
+        f"{low.captured_weight:.4f} (of 1.0) — nothing."
+    )
+    km = KushilevitzMansour(theta=0.3, bucket_samples=1024)
+    result = km.fit(16, target, rng)
+    print(
+        f"  KM with membership queries finds {result.heavy_subsets()} "
+        f"using {result.membership_queries:,} queries.\n"
+    )
+
+    # --- 2. junta certification before LearnPoly -------------------------
+    def junta_ltf(x):
+        return np.where(
+            1.5 * x[:, 1] + 1.0 * x[:, 6] - 0.75 * x[:, 12] >= 0, 1, -1
+        ).astype(np.int8)
+
+    tester = JuntaTester(k=3, eps=0.1)
+    verdict = tester.test(16, junta_ltf, rng)
+    print("junta tester on a 3-junta LTF chain:", verdict.summary())
+
+    # --- 3. spectral profile of a BR PUF ---------------------------------
+    puf = BistableRingPUF(16, np.random.default_rng(7))
+    km2 = KushilevitzMansour(theta=0.12, bucket_samples=4096)
+    profile = km2.fit(16, puf.eval, rng)
+    by_degree = {}
+    for subset, coeff in profile.spectrum.items():
+        by_degree.setdefault(len(subset), 0.0)
+        by_degree[len(subset)] += coeff**2
+    print("\nBR PUF heavy Fourier weight by degree (theta = 0.12):")
+    for degree in sorted(by_degree):
+        print(f"  degree {degree}: weight {by_degree[degree]:.3f}")
+    print(
+        "\nWeight at degrees >= 2 is exactly what no LTF hypothesis can\n"
+        "represent — the spectral root of the Table II accuracy cap."
+    )
+
+
+if __name__ == "__main__":
+    main()

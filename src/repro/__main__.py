@@ -1,0 +1,132 @@
+"""Command-line front end: ``python -m repro``.
+
+Subcommands:
+
+* ``assess`` — Table I adversary-model assessment for an XOR Arbiter PUF::
+
+      python -m repro assess --n 64 --k 6 --eps 0.05 --delta 0.05
+
+* ``attack-demo`` — a 30-second tour: lock c17, run the SAT attack,
+  print the recovered key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def cmd_assess(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import TableBuilder
+    from repro.pac import PACParameters, XorArbiterSpec, table1_rows
+
+    params = PACParameters(eps=args.eps, delta=args.delta)
+    rows = table1_rows(
+        XorArbiterSpec(args.n, args.k), params, junta_size=args.junta_size
+    )
+    table = TableBuilder(
+        ["adversary model", "log10(#CRPs)", "verdict", "rationale"],
+        title=(
+            f"Adversary-model assessment: {args.k}-XOR, {args.n}-bit arbiter "
+            f"PUF (eps={args.eps}, delta={args.delta})"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row.adversary.name,
+            f"{row.crp_bound_log10:.1f}",
+            row.verdict.value,
+            row.rationale,
+        )
+    print(table.render())
+    verdicts = {row.verdict for row in rows}
+    if len(verdicts) > 1:
+        print(
+            "\nVerdicts disagree across adversary models — quoting any single "
+            "row as 'the' security level is the pitfall the paper warns about."
+        )
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.pac import PACParameters, XorArbiterSpec, table1_rows
+    from repro.pac.audit import audit_assessments
+
+    params = PACParameters(eps=args.eps, delta=args.delta)
+    rows = table1_rows(
+        XorArbiterSpec(args.n, args.k), params, junta_size=args.junta_size
+    )
+    print("assessments:")
+    for row in rows:
+        print("  " + row.summary())
+    unsound = audit_assessments(rows)
+    if not unsound:
+        print("\nno unsound cross-quotations at this parameter point.")
+        return 0
+    print(f"\n{len(unsound)} UNSOUND quotations (the pitfalls):")
+    for audit in unsound:
+        print("  " + audit.summary())
+    return 0
+
+
+def cmd_attack_demo(args: argparse.Namespace) -> int:
+    from repro.locking import SATAttack, c17, random_lock
+
+    rng = np.random.default_rng(args.seed)
+    locked = random_lock(c17(), args.key_length, rng)
+    result = SATAttack().run(locked)
+    print(f"locked c17 with {args.key_length} key bits; secret {locked.correct_key}")
+    print(result.summary())
+    if result.key is not None:
+        print(f"recovered key: {result.key}")
+        print(
+            "functionally correct:",
+            locked.key_is_functionally_correct(result.key),
+        )
+    return 0 if result.success else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pitfalls in ML-based adversary modeling — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    assess = sub.add_parser("assess", help="Table I adversary-model assessment")
+    assess.add_argument("--n", type=int, default=64, help="challenge length")
+    assess.add_argument("--k", type=int, default=4, help="XOR chain count")
+    assess.add_argument("--eps", type=float, default=0.05, help="accuracy parameter")
+    assess.add_argument("--delta", type=float, default=0.05, help="confidence parameter")
+    assess.add_argument(
+        "--junta-size", type=int, default=4, help="Bourgain junta size for Corollary 2"
+    )
+    assess.set_defaults(func=cmd_assess)
+
+    audit = sub.add_parser(
+        "audit", help="flag unsound claim transfers between adversary models"
+    )
+    audit.add_argument("--n", type=int, default=64)
+    audit.add_argument("--k", type=int, default=9)
+    audit.add_argument("--eps", type=float, default=0.05)
+    audit.add_argument("--delta", type=float, default=0.05)
+    audit.add_argument("--junta-size", type=int, default=3)
+    audit.set_defaults(func=cmd_audit)
+
+    demo = sub.add_parser("attack-demo", help="SAT attack on a locked c17")
+    demo.add_argument("--key-length", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_attack_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

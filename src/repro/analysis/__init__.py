@@ -1,0 +1,17 @@
+"""Reporting helpers: ASCII tables for the benchmark harness."""
+
+from repro.analysis.tables import format_table, format_float, TableBuilder
+from repro.analysis.learning_curves import (
+    LearningCurve,
+    compare_learners,
+    learning_curve,
+)
+
+__all__ = [
+    "format_table",
+    "format_float",
+    "TableBuilder",
+    "LearningCurve",
+    "compare_learners",
+    "learning_curve",
+]

@@ -1,0 +1,95 @@
+"""Learning curves: attack accuracy as a function of the CRP budget.
+
+The quantity every modelling-attack paper plots ([8] and successors), and
+the empirical counterpart of the sample-complexity bounds in
+:mod:`repro.pac.bounds`: the curve's knee is where the attacker's budget
+meets the primitive's effective sample complexity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.pufs.base import PUF
+from repro.pufs.crp import CRPSet, generate_crps
+
+#: fit(x, y, rng) -> predict(x) callable
+Fitter = Callable[
+    [np.ndarray, np.ndarray, np.random.Generator],
+    Callable[[np.ndarray], np.ndarray],
+]
+
+
+@dataclasses.dataclass
+class LearningCurve:
+    """Accuracy at each training budget for one learner on one target."""
+
+    learner: str
+    budgets: List[int]
+    accuracies: List[float]
+
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1]
+
+    def budget_to_reach(self, accuracy: float) -> Optional[int]:
+        """Smallest measured budget whose accuracy meets the target."""
+        for budget, acc in zip(self.budgets, self.accuracies):
+            if acc >= accuracy:
+                return budget
+        return None
+
+    def is_monotone(self, slack: float = 0.03) -> bool:
+        """True when the curve never drops by more than ``slack``."""
+        return all(
+            b >= a - slack
+            for a, b in zip(self.accuracies, self.accuracies[1:])
+        )
+
+
+def learning_curve(
+    learner_name: str,
+    fitter: Fitter,
+    puf: PUF,
+    budgets: Sequence[int],
+    test_size: int = 5000,
+    rng: Optional[np.random.Generator] = None,
+) -> LearningCurve:
+    """Measure a learner's accuracy on a PUF across CRP budgets.
+
+    A single training pool of ``max(budgets)`` CRPs is drawn and prefixes
+    of it are used for each budget, so curves are comparable point to
+    point; the test set is disjoint and fixed.
+    """
+    budgets = sorted(int(b) for b in budgets)
+    if not budgets or budgets[0] < 1:
+        raise ValueError("budgets must be positive")
+    rng = np.random.default_rng() if rng is None else rng
+    pool = generate_crps(puf, budgets[-1], rng)
+    test = generate_crps(puf, test_size, rng)
+    accuracies = []
+    for budget in budgets:
+        x, y = pool.challenges[:budget], pool.responses[:budget]
+        predict = fitter(x, y, rng)
+        accuracies.append(
+            float(np.mean(np.asarray(predict(test.challenges)) == test.responses))
+        )
+    return LearningCurve(learner_name, budgets, accuracies)
+
+
+def compare_learners(
+    fitters: dict,
+    puf: PUF,
+    budgets: Sequence[int],
+    test_size: int = 5000,
+    rng: Optional[np.random.Generator] = None,
+) -> List[LearningCurve]:
+    """Learning curves for several named fitters on the same pool order."""
+    rng = np.random.default_rng() if rng is None else rng
+    seeds = {name: np.random.default_rng(rng.integers(0, 2**63)) for name in fitters}
+    return [
+        learning_curve(name, fitter, puf, budgets, test_size, seeds[name])
+        for name, fitter in fitters.items()
+    ]

@@ -1,0 +1,84 @@
+"""Plain-text table formatting for benchmark reports.
+
+The benchmark harness prints each reproduced paper table in the same
+row/column structure as the original, so paper-vs-measured comparison is a
+side-by-side read.  No external dependencies; output is monospace ASCII.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Compact numeric formatting: inf, log-scale for huge values, fixed else."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if math.isinf(value):
+        return "inf"
+    if value != 0 and abs(value) >= 1e6:
+        return f"{value:.2e}"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append(
+            [c if isinstance(c, str) else format_float(c) for c in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+class TableBuilder:
+    """Accumulate rows, then render/print one table."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        if not headers:
+            raise ValueError("need at least one header")
+        self.headers = list(headers)
+        self.title = title
+        self.rows: List[Sequence[object]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, self.title)
+
+    def print(self) -> None:
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,10 @@
+"""Finite automata: DFAs and Mealy machines.
+
+Shared between the L* learner (:mod:`repro.learning.angluin`) and the
+sequential logic-locking substrate (:mod:`repro.locking.sequential`).
+"""
+
+from repro.automata.dfa import DFA
+from repro.automata.mealy import MealyMachine
+
+__all__ = ["DFA", "MealyMachine"]

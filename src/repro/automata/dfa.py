@@ -1,0 +1,251 @@
+"""Deterministic finite automata.
+
+The hypothesis class of Angluin's L* [22], and the representation the paper
+discusses for learned FSMs of sequentially locked circuits (Section V-B).
+States are integers 0..num_states-1 with 0 the start state; the alphabet is
+any hashable symbol set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+Symbol = Hashable
+Word = Tuple[Symbol, ...]
+
+
+class DFA:
+    """A complete deterministic finite automaton.
+
+    Parameters
+    ----------
+    alphabet:
+        Input symbols.
+    transitions:
+        ``transitions[state][symbol] -> state``; must be total.
+    accepting:
+        Set of accepting states.
+    start:
+        Start state (default 0).
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        transitions: Sequence[Dict[Symbol, int]],
+        accepting: Iterable[int],
+        start: int = 0,
+    ) -> None:
+        self.alphabet: Tuple[Symbol, ...] = tuple(alphabet)
+        if not self.alphabet:
+            raise ValueError("alphabet must be non-empty")
+        self.transitions: List[Dict[Symbol, int]] = [dict(t) for t in transitions]
+        self.num_states = len(self.transitions)
+        if self.num_states == 0:
+            raise ValueError("a DFA needs at least one state")
+        self.accepting: FrozenSet[int] = frozenset(accepting)
+        if not 0 <= start < self.num_states:
+            raise ValueError(f"start state {start} out of range")
+        self.start = start
+        for s, table in enumerate(self.transitions):
+            for a in self.alphabet:
+                if a not in table:
+                    raise ValueError(f"state {s} missing transition on {a!r}")
+                if not 0 <= table[a] < self.num_states:
+                    raise ValueError(f"state {s} transition on {a!r} out of range")
+
+    # ------------------------------------------------------------------
+    def step(self, state: int, symbol: Symbol) -> int:
+        """One transition."""
+        return self.transitions[state][symbol]
+
+    def run(self, word: Iterable[Symbol], state: Optional[int] = None) -> int:
+        """The state reached by reading ``word`` from ``state`` (default start)."""
+        s = self.start if state is None else state
+        for a in word:
+            s = self.transitions[s][a]
+        return s
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Membership of ``word`` in the language."""
+        return self.run(word) in self.accepting
+
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> List[int]:
+        """States reachable from the start state, in BFS order."""
+        seen = [self.start]
+        seen_set = {self.start}
+        queue = deque([self.start])
+        while queue:
+            s = queue.popleft()
+            for a in self.alphabet:
+                t = self.transitions[s][a]
+                if t not in seen_set:
+                    seen_set.add(t)
+                    seen.append(t)
+                    queue.append(t)
+        return seen
+
+    def minimized(self) -> "DFA":
+        """Hopcroft-style minimisation (restricted to reachable states)."""
+        reachable = self.reachable_states()
+        remap = {s: i for i, s in enumerate(reachable)}
+        trans = [
+            {a: remap[self.transitions[s][a]] for a in self.alphabet}
+            for s in reachable
+        ]
+        accepting = {remap[s] for s in reachable if s in self.accepting}
+        n = len(reachable)
+
+        # Moore's partition refinement (simple and adequate at our scale).
+        partition = [0 if s in accepting else 1 for s in range(n)]
+        while True:
+            signatures = {}
+            new_partition = [0] * n
+            next_class = 0
+            for s in range(n):
+                sig = (partition[s],) + tuple(
+                    partition[trans[s][a]] for a in self.alphabet
+                )
+                if sig not in signatures:
+                    signatures[sig] = next_class
+                    next_class += 1
+                new_partition[s] = signatures[sig]
+            if new_partition == partition:
+                break
+            partition = new_partition
+        classes = max(partition) + 1
+        new_trans: List[Dict[Symbol, int]] = [dict() for _ in range(classes)]
+        new_accepting = set()
+        for s in range(n):
+            c = partition[s]
+            for a in self.alphabet:
+                new_trans[c][a] = partition[trans[s][a]]
+            if s in accepting:
+                new_accepting.add(c)
+        return DFA(self.alphabet, new_trans, new_accepting, start=partition[remap[self.start]])
+
+    # ------------------------------------------------------------------
+    def equivalent(self, other: "DFA") -> bool:
+        """Exact language equivalence (product-construction reachability)."""
+        return self.find_counterexample(other) is None
+
+    def find_counterexample(self, other: "DFA") -> Optional[Word]:
+        """A shortest word the two automata classify differently, or None.
+
+        BFS over the product automaton; this implements a *perfect*
+        equivalence oracle for experiments where the target machine is
+        known.
+        """
+        if set(self.alphabet) != set(other.alphabet):
+            raise ValueError("automata must share an alphabet")
+        start = (self.start, other.start)
+        queue = deque([(start, ())])
+        seen = {start}
+        while queue:
+            (s1, s2), word = queue.popleft()
+            if (s1 in self.accepting) != (s2 in other.accepting):
+                return word
+            for a in self.alphabet:
+                nxt = (self.transitions[s1][a], other.transitions[s2][a])
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((nxt, word + (a,)))
+        return None
+
+    # ------------------------------------------------------------------
+    # Boolean operations (product constructions).
+    # ------------------------------------------------------------------
+    def complement(self) -> "DFA":
+        """The DFA for the complement language."""
+        return DFA(
+            self.alphabet,
+            self.transitions,
+            set(range(self.num_states)) - self.accepting,
+            start=self.start,
+        )
+
+    def _product(self, other: "DFA", accept_rule) -> "DFA":
+        if set(self.alphabet) != set(other.alphabet):
+            raise ValueError("automata must share an alphabet")
+        index: Dict[Tuple[int, int], int] = {}
+        transitions: List[Dict[Symbol, int]] = []
+        accepting = set()
+
+        def state_id(pair: Tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(index)
+                transitions.append({})
+                if accept_rule(pair[0] in self.accepting, pair[1] in other.accepting):
+                    accepting.add(index[pair])
+            return index[pair]
+
+        start = (self.start, other.start)
+        queue = deque([start])
+        state_id(start)
+        seen = {start}
+        while queue:
+            pair = queue.popleft()
+            sid = index[pair]
+            for a in self.alphabet:
+                nxt = (self.transitions[pair[0]][a], other.transitions[pair[1]][a])
+                transitions[sid][a] = state_id(nxt)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return DFA(self.alphabet, transitions, accepting, start=0)
+
+    def intersection(self, other: "DFA") -> "DFA":
+        """DFA for L(self) intersect L(other)."""
+        return self._product(other, lambda a, b: a and b)
+
+    def union(self, other: "DFA") -> "DFA":
+        """DFA for L(self) union L(other)."""
+        return self._product(other, lambda a, b: a or b)
+
+    def symmetric_difference(self, other: "DFA") -> "DFA":
+        """DFA for the words the two languages disagree on.
+
+        Its emptiness is equivalence — the language-level view of
+        :meth:`find_counterexample`."""
+        return self._product(other, lambda a, b: a != b)
+
+    def is_empty(self) -> bool:
+        """True iff the language is empty (no reachable accepting state)."""
+        return not any(s in self.accepting for s in self.reachable_states())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        num_states: int,
+        alphabet: Iterable[Symbol],
+        rng,
+        accept_fraction: float = 0.5,
+    ) -> "DFA":
+        """A random complete DFA (transitions and accepting set uniform)."""
+        if num_states <= 0:
+            raise ValueError("num_states must be positive")
+        alphabet = tuple(alphabet)
+        trans = [
+            {a: int(rng.integers(0, num_states)) for a in alphabet}
+            for _ in range(num_states)
+        ]
+        accepting = {
+            s for s in range(num_states) if rng.random() < accept_fraction
+        }
+        return cls(alphabet, trans, accepting)
+
+    def enumerate_words(self, max_length: int) -> Iterable[Word]:
+        """All words of length <= max_length, shortest first."""
+        for length in range(max_length + 1):
+            for word in itertools.product(self.alphabet, repeat=length):
+                yield word
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={self.num_states}, alphabet={len(self.alphabet)}, "
+            f"accepting={len(self.accepting)})"
+        )

@@ -1,0 +1,182 @@
+"""Mealy machines — the FSM model used by sequential logic locking.
+
+A Mealy machine emits an output symbol on every transition.  Sequential
+locking (Section II-A: "augmentation of the FSM by adding a new set of
+states") operates on this representation; the L*-based attack of Section
+V-B learns the DFA/Mealy behaviour of the locked machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+Symbol = Hashable
+Word = Tuple[Symbol, ...]
+
+
+class MealyMachine:
+    """A complete deterministic Mealy machine.
+
+    Parameters
+    ----------
+    input_alphabet / output_alphabet:
+        Symbol sets.
+    transitions:
+        ``transitions[state][symbol] -> (next_state, output_symbol)``.
+    start:
+        Start state (default 0).
+    """
+
+    def __init__(
+        self,
+        input_alphabet: Iterable[Symbol],
+        output_alphabet: Iterable[Symbol],
+        transitions: Sequence[Dict[Symbol, Tuple[int, Symbol]]],
+        start: int = 0,
+    ) -> None:
+        self.input_alphabet: Tuple[Symbol, ...] = tuple(input_alphabet)
+        self.output_alphabet: Tuple[Symbol, ...] = tuple(output_alphabet)
+        if not self.input_alphabet:
+            raise ValueError("input alphabet must be non-empty")
+        self.transitions: List[Dict[Symbol, Tuple[int, Symbol]]] = [
+            dict(t) for t in transitions
+        ]
+        self.num_states = len(self.transitions)
+        if self.num_states == 0:
+            raise ValueError("a Mealy machine needs at least one state")
+        if not 0 <= start < self.num_states:
+            raise ValueError(f"start state {start} out of range")
+        self.start = start
+        out_set = set(self.output_alphabet)
+        for s, table in enumerate(self.transitions):
+            for a in self.input_alphabet:
+                if a not in table:
+                    raise ValueError(f"state {s} missing transition on {a!r}")
+                nxt, out = table[a]
+                if not 0 <= nxt < self.num_states:
+                    raise ValueError(f"state {s} transition on {a!r} out of range")
+                if out not in out_set:
+                    raise ValueError(f"state {s} output {out!r} not in alphabet")
+
+    # ------------------------------------------------------------------
+    def step(self, state: int, symbol: Symbol) -> Tuple[int, Symbol]:
+        """One transition: (next_state, output)."""
+        return self.transitions[state][symbol]
+
+    def run(self, word: Iterable[Symbol]) -> Tuple[int, Tuple[Symbol, ...]]:
+        """Read ``word`` from the start state; return (final_state, outputs)."""
+        s = self.start
+        outputs = []
+        for a in word:
+            s, out = self.transitions[s][a]
+            outputs.append(out)
+        return s, tuple(outputs)
+
+    def output_word(self, word: Iterable[Symbol]) -> Tuple[Symbol, ...]:
+        """Just the output sequence for ``word``."""
+        return self.run(word)[1]
+
+    def last_output(self, word: Sequence[Symbol]) -> Optional[Symbol]:
+        """The final output symbol for a non-empty word (None for empty)."""
+        outputs = self.output_word(word)
+        return outputs[-1] if outputs else None
+
+    # ------------------------------------------------------------------
+    def behavioural_counterexample(
+        self, other: "MealyMachine"
+    ) -> Optional[Word]:
+        """A shortest input word on which the output sequences differ, or None."""
+        if set(self.input_alphabet) != set(other.input_alphabet):
+            raise ValueError("machines must share an input alphabet")
+        start = (self.start, other.start)
+        queue = deque([(start, ())])
+        seen = {start}
+        while queue:
+            (s1, s2), word = queue.popleft()
+            for a in self.input_alphabet:
+                n1, o1 = self.transitions[s1][a]
+                n2, o2 = other.transitions[s2][a]
+                if o1 != o2:
+                    return word + (a,)
+                nxt = (n1, n2)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((nxt, word + (a,)))
+        return None
+
+    def equivalent(self, other: "MealyMachine") -> bool:
+        """Exact behavioural equivalence."""
+        return self.behavioural_counterexample(other) is None
+
+    # ------------------------------------------------------------------
+    def to_output_dfa(self, target_output: Symbol) -> "DFA":
+        """The DFA accepting words whose *last* output equals ``target_output``.
+
+        This is the standard reduction used to learn Mealy machines with a
+        DFA learner: the language "last output is o" determines the machine
+        up to behavioural equivalence when done for every o.
+        """
+        from repro.automata.dfa import DFA
+
+        # States: (machine state, last-output-was-target flag); flag of the
+        # start is False (empty word has no output).
+        index = {}
+        transitions = []
+        accepting = set()
+
+        def state_id(s: int, flag: bool) -> int:
+            key = (s, flag)
+            if key not in index:
+                index[key] = len(index)
+                transitions.append({})
+                if flag:
+                    accepting.add(index[key])
+            return index[key]
+
+        start_id = state_id(self.start, False)
+        queue = deque([(self.start, False)])
+        seen = {(self.start, False)}
+        while queue:
+            s, flag = queue.popleft()
+            sid = state_id(s, flag)
+            for a in self.input_alphabet:
+                nxt, out = self.transitions[s][a]
+                nkey = (nxt, out == target_output)
+                nid = state_id(*nkey)
+                transitions[sid][a] = nid
+                if nkey not in seen:
+                    seen.add(nkey)
+                    queue.append(nkey)
+        return DFA(self.input_alphabet, transitions, accepting, start=start_id)
+
+    @classmethod
+    def random(
+        cls,
+        num_states: int,
+        input_alphabet: Iterable[Symbol],
+        output_alphabet: Iterable[Symbol],
+        rng,
+    ) -> "MealyMachine":
+        """A random complete Mealy machine."""
+        if num_states <= 0:
+            raise ValueError("num_states must be positive")
+        input_alphabet = tuple(input_alphabet)
+        output_alphabet = tuple(output_alphabet)
+        trans = [
+            {
+                a: (
+                    int(rng.integers(0, num_states)),
+                    output_alphabet[int(rng.integers(0, len(output_alphabet)))],
+                )
+                for a in input_alphabet
+            }
+            for _ in range(num_states)
+        ]
+        return cls(input_alphabet, output_alphabet, trans)
+
+    def __repr__(self) -> str:
+        return (
+            f"MealyMachine(states={self.num_states}, "
+            f"inputs={len(self.input_alphabet)}, outputs={len(self.output_alphabet)})"
+        )

@@ -1,0 +1,120 @@
+"""Encodings of Boolean values and challenges.
+
+The paper (Section III-A) uses the multiplicative encoding
+
+    chi(0_F2) := +1,    chi(1_F2) := -1,
+
+so that XOR of bits becomes multiplication of +/-1 values.  All learners and
+simulators in this repository operate on +/-1 arrays internally; the
+conversion helpers here are the single place where the two encodings meet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, Sequence[int]]
+
+
+def bits_to_pm1(bits: ArrayLike) -> np.ndarray:
+    """Map a {0,1} array to the {+1,-1} encoding (chi(0)=+1, chi(1)=-1).
+
+    Accepts any integer array; values must be 0 or 1.
+
+    >>> bits_to_pm1([0, 1, 0]).tolist()
+    [1, -1, 1]
+    """
+    arr = np.asarray(bits)
+    if not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits_to_pm1 expects an array of 0/1 values")
+    return 1 - 2 * arr.astype(np.int8)
+
+
+def pm1_to_bits(pm1: ArrayLike) -> np.ndarray:
+    """Map a {+1,-1} array back to {0,1} (inverse of :func:`bits_to_pm1`).
+
+    >>> pm1_to_bits([1, -1, 1]).tolist()
+    [0, 1, 0]
+    """
+    arr = np.asarray(pm1)
+    if not np.all((arr == 1) | (arr == -1)):
+        raise ValueError("pm1_to_bits expects an array of +/-1 values")
+    return ((1 - arr) // 2).astype(np.int8)
+
+
+def parity(pm1_rows: np.ndarray) -> np.ndarray:
+    """Product of +/-1 entries along the last axis (XOR in the bit domain).
+
+    ``parity`` of an ``(m, n)`` array returns a length-``m`` vector of +/-1.
+    """
+    arr = np.asarray(pm1_rows)
+    return np.prod(arr, axis=-1).astype(np.int8)
+
+
+def chi(subset: Iterable[int], x: np.ndarray) -> np.ndarray:
+    """The Fourier character chi_S(x) = prod_{i in S} x_i.
+
+    ``x`` may be a single point of shape ``(n,)`` or a batch ``(m, n)`` of
+    +/-1 rows; ``subset`` is an iterable of 0-based coordinate indices.
+    The empty subset gives the constant character 1.
+    """
+    x = np.asarray(x)
+    idx = sorted(set(subset))
+    if not idx:
+        shape = x.shape[:-1] if x.ndim > 1 else ()
+        return np.ones(shape, dtype=np.int8) if shape else np.int8(1)
+    return np.prod(x[..., idx], axis=-1).astype(np.int8)
+
+
+def enumerate_cube(n: int, encoding: str = "pm1") -> np.ndarray:
+    """All 2^n points of the Boolean cube, in truth-table order.
+
+    Row ``i`` is the binary expansion of ``i`` with the most significant bit
+    first, so ``enumerate_cube(n)[i]`` matches index ``i`` of a truth table
+    produced by :meth:`repro.booleanfuncs.BooleanFunction.truth_table`.
+
+    Parameters
+    ----------
+    n:
+        Number of variables; must satisfy ``0 <= n <= 24`` (the table has
+        ``2^n`` rows).
+    encoding:
+        ``"pm1"`` (default) for +/-1 rows or ``"bits"`` for 0/1 rows.
+    """
+    if not 0 <= n <= 24:
+        raise ValueError(f"enumerate_cube supports 0 <= n <= 24, got {n}")
+    idx = np.arange(2**n, dtype=np.uint32)
+    shifts = np.arange(n - 1, -1, -1, dtype=np.uint32)
+    bits = ((idx[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+    if encoding == "bits":
+        return bits
+    if encoding == "pm1":
+        return 1 - 2 * bits
+    raise ValueError(f"unknown encoding {encoding!r}")
+
+
+def random_pm1(
+    n: int, m: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """``m`` uniformly random +/-1 challenge rows of length ``n``."""
+    rng = np.random.default_rng() if rng is None else rng
+    return (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+
+
+def flip_noise(
+    x: np.ndarray, eps: float, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Flip each +/-1 entry of ``x`` independently with probability ``eps``.
+
+    This is the noise operator used in the definition of noise sensitivity
+    (Section III-A of the paper): given a uniform challenge ``c``, the
+    correlated challenge ``c'`` is ``flip_noise(c, eps)``.
+    """
+    if not 0.0 <= eps <= 1.0:
+        raise ValueError(f"flip probability must be in [0, 1], got {eps}")
+    rng = np.random.default_rng() if rng is None else rng
+    x = np.asarray(x)
+    flips = rng.random(x.shape) < eps
+    return np.where(flips, -x, x).astype(np.int8)

@@ -1,0 +1,157 @@
+"""Fourier analysis of Boolean functions.
+
+The Fourier expansion (Section III-A of the paper) writes every
+f : {-1,+1}^n -> R uniquely as
+
+    f(c) = sum_{S subseteq [n]} fhat(S) * chi_S(c),
+
+with fhat(S) = E_{c~U}[f(c) chi_S(c)].  For small ``n`` the full spectrum is
+computed exactly with a fast Walsh-Hadamard transform; for large ``n``
+individual coefficients are estimated from uniform samples (which is exactly
+what the LMN algorithm does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.encoding import chi
+from repro.booleanfuncs.function import BooleanFunction
+
+
+def walsh_hadamard(values: np.ndarray) -> np.ndarray:
+    """Normalised fast Walsh-Hadamard transform.
+
+    Input is a length-``2^n`` vector of function values in truth-table order
+    (the value on the all-(+1) point first).  Output index ``s`` holds
+    fhat(S) where the binary expansion of ``s`` (MSB = variable 0) gives the
+    membership of each variable in ``S``.
+
+    The transform is an involution up to the 1/2^n normalisation applied
+    here, so ``inverse_walsh_hadamard(walsh_hadamard(v)) == v``.
+    """
+    v = np.asarray(values, dtype=np.float64).copy()
+    m = v.size
+    if m == 0 or m & (m - 1):
+        raise ValueError("input length must be a power of two")
+    h = 1
+    while h < m:
+        v = v.reshape(-1, 2, h)
+        a = v[:, 0, :].copy()
+        b = v[:, 1, :].copy()
+        v[:, 0, :] = a + b
+        v[:, 1, :] = a - b
+        v = v.reshape(m)
+        h *= 2
+    return v / m
+
+
+def inverse_walsh_hadamard(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`walsh_hadamard` (spectrum back to values)."""
+    c = np.asarray(coeffs, dtype=np.float64)
+    m = c.size
+    if m == 0 or m & (m - 1):
+        raise ValueError("input length must be a power of two")
+    return walsh_hadamard(c) * m
+
+
+def index_to_subset(s: int, n: int) -> Tuple[int, ...]:
+    """Spectrum index -> subset of variable indices (MSB-first convention)."""
+    return tuple(i for i in range(n) if (s >> (n - 1 - i)) & 1)
+
+
+def subset_to_index(subset: Iterable[int], n: int) -> int:
+    """Subset of variable indices -> spectrum index (MSB-first convention)."""
+    s = 0
+    for i in subset:
+        if not 0 <= i < n:
+            raise ValueError(f"variable index {i} out of range for n={n}")
+        s |= 1 << (n - 1 - i)
+    return s
+
+
+def fourier_spectrum(
+    f: BooleanFunction, threshold: float = 0.0
+) -> Dict[Tuple[int, ...], float]:
+    """Exact Fourier spectrum of ``f`` as ``{subset: coefficient}``.
+
+    Coefficients with absolute value <= ``threshold`` are omitted (the
+    default keeps everything non-zero).  Requires small ``n``.
+    """
+    coeffs = walsh_hadamard(f.truth_table())
+    spectrum = {}
+    for s, value in enumerate(coeffs):
+        if abs(value) > threshold:
+            spectrum[index_to_subset(s, f.n)] = float(value)
+    return spectrum
+
+
+def estimate_fourier_coefficient(
+    f: BooleanFunction,
+    subset: Iterable[int],
+    m: int,
+    rng: Optional[np.random.Generator] = None,
+    samples: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> float:
+    """Estimate fhat(S) = E[f(c) chi_S(c)] from uniform samples.
+
+    Either draws ``m`` fresh uniform challenges and queries ``f``, or reuses
+    a fixed sample ``(X, y)`` passed via ``samples`` — the latter is how the
+    LMN algorithm shares one example set across all coefficients.
+    """
+    if samples is not None:
+        x, y = samples
+    else:
+        rng = np.random.default_rng() if rng is None else rng
+        x = (1 - 2 * rng.integers(0, 2, size=(m, f.n))).astype(np.int8)
+        y = f(x)
+    return float(np.mean(y * chi(subset, x)))
+
+
+def spectral_weight_by_degree(f: BooleanFunction) -> np.ndarray:
+    """W^k[f] = sum_{|S|=k} fhat(S)^2 for k = 0..n (exact, small n).
+
+    For a +/-1-valued f the entries sum to 1 (Parseval).
+    """
+    coeffs = walsh_hadamard(f.truth_table())
+    n = f.n
+    weights = np.zeros(n + 1)
+    sizes = np.array(
+        [bin(s).count("1") for s in range(coeffs.size)], dtype=np.int64
+    )
+    np.add.at(weights, sizes, coeffs**2)
+    return weights
+
+
+def low_degree_projection(
+    f: BooleanFunction, degree: int
+) -> Dict[Tuple[int, ...], float]:
+    """The exact spectrum restricted to |S| <= degree (small n).
+
+    This is the target the LMN algorithm approximates; keeping only these
+    coefficients and taking the sign yields the best degree-``degree``
+    approximator in L2.
+    """
+    spectrum = fourier_spectrum(f)
+    return {s: v for s, v in spectrum.items() if len(s) <= degree}
+
+
+def sign_of_expansion(
+    n: int, spectrum: Dict[Tuple[int, ...], float]
+) -> BooleanFunction:
+    """The Boolean function sign(sum_S fhat(S) chi_S(x)).
+
+    Zero values of the inner sum are mapped to +1 so the output is always
+    +/-1 (the measure-zero tie-break is irrelevant for approximation).
+    """
+    items = [(tuple(s), v) for s, v in spectrum.items()]
+
+    def evaluate(x: np.ndarray) -> np.ndarray:
+        acc = np.zeros(x.shape[0])
+        for subset, coeff in items:
+            acc += coeff * chi(subset, x)
+        return np.where(acc >= 0, 1, -1).astype(np.int8)
+
+    return BooleanFunction(n, evaluate, name="sign_of_expansion")

@@ -1,0 +1,232 @@
+"""A uniform abstraction over Boolean functions f : {-1,+1}^n -> {-1,+1}.
+
+Learners, property testers, and PUF simulators all need to treat "a Boolean
+function" uniformly whether it is given as a truth table (small n, exact
+analysis possible), a weight vector (an LTF), or an opaque oracle (a PUF
+under attack).  :class:`BooleanFunction` is that abstraction.
+
+Instances are callable on batches: ``f(X)`` with ``X`` of shape ``(m, n)``
+returns a +/-1 vector of length ``m``; a single point of shape ``(n,)`` is
+also accepted and returns a scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.booleanfuncs.encoding import enumerate_cube, parity
+
+
+class BooleanFunction:
+    """A Boolean function over the +/-1 hypercube.
+
+    Parameters
+    ----------
+    n:
+        Number of input variables.
+    evaluate:
+        Vectorised evaluator mapping an ``(m, n)`` +/-1 array to a length-m
+        +/-1 vector.
+    name:
+        Optional human-readable label used in ``repr``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        evaluate: Callable[[np.ndarray], np.ndarray],
+        name: str = "f",
+    ) -> None:
+        if n < 0:
+            raise ValueError(f"arity must be non-negative, got {n}")
+        self.n = n
+        self._evaluate = evaluate
+        self.name = name
+        self._truth_table: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_truth_table(
+        cls, table: Iterable[int], name: str = "f"
+    ) -> "BooleanFunction":
+        """Build a function from its +/-1 truth table in cube order.
+
+        ``table[i]`` is the value on ``enumerate_cube(n)[i]``; the length
+        must be a power of two.
+        """
+        tab = np.asarray(list(table), dtype=np.int8)
+        if tab.size == 0 or tab.size & (tab.size - 1):
+            raise ValueError("truth table length must be a power of two")
+        if not np.all(np.abs(tab) == 1):
+            raise ValueError("truth table entries must be +/-1")
+        n = int(tab.size).bit_length() - 1
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            idx = _rows_to_indices(x)
+            return tab[idx]
+
+        f = cls(n, evaluate, name=name)
+        f._truth_table = tab
+        return f
+
+    @classmethod
+    def from_callable(
+        cls,
+        n: int,
+        func: Callable[[np.ndarray], np.ndarray],
+        name: str = "f",
+        vectorized: bool = True,
+    ) -> "BooleanFunction":
+        """Wrap an arbitrary evaluator.
+
+        With ``vectorized=False`` the callable is applied row by row.
+        """
+        if vectorized:
+            return cls(n, func, name=name)
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            return np.asarray([func(row) for row in x], dtype=np.int8)
+
+        return cls(n, evaluate, name=name)
+
+    @classmethod
+    def parity_on(cls, n: int, subset: Iterable[int]) -> "BooleanFunction":
+        """The character chi_S as a BooleanFunction."""
+        idx = sorted(set(subset))
+        if idx and (idx[0] < 0 or idx[-1] >= n):
+            raise ValueError(f"subset {idx} out of range for n={n}")
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            if not idx:
+                return np.ones(x.shape[0], dtype=np.int8)
+            return parity(x[:, idx])
+
+        return cls(n, evaluate, name=f"chi_{tuple(idx)}")
+
+    @classmethod
+    def constant(cls, n: int, value: int) -> "BooleanFunction":
+        """The constant function +1 or -1 on n variables."""
+        if value not in (-1, 1):
+            raise ValueError("constant value must be +/-1")
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            return np.full(x.shape[0], value, dtype=np.int8)
+
+        return cls(n, evaluate, name=f"const_{value:+d}")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self.n:
+            raise ValueError(
+                f"{self.name} has arity {self.n}, got inputs of width {x.shape[1]}"
+            )
+        out = np.asarray(self._evaluate(x), dtype=np.int8)
+        return out[0] if single else out
+
+    def truth_table(self) -> np.ndarray:
+        """The full +/-1 truth table (cached). Requires n <= 24."""
+        if self._truth_table is None:
+            cube = enumerate_cube(self.n)
+            self._truth_table = np.asarray(self._evaluate(cube), dtype=np.int8)
+        return self._truth_table
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def xor(self, other: "BooleanFunction") -> "BooleanFunction":
+        """Pointwise XOR (product in the +/-1 domain) of two functions."""
+        self._check_same_arity(other)
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            return (self(x) * other(x)).astype(np.int8)
+
+        return BooleanFunction(
+            self.n, evaluate, name=f"({self.name} xor {other.name})"
+        )
+
+    def negate(self) -> "BooleanFunction":
+        """The pointwise negation -f."""
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            return (-self(x)).astype(np.int8)
+
+        return BooleanFunction(self.n, evaluate, name=f"not({self.name})")
+
+    @staticmethod
+    def xor_many(funcs: Iterable["BooleanFunction"]) -> "BooleanFunction":
+        """XOR of several same-arity functions (e.g. an XOR Arbiter PUF)."""
+        fs = list(funcs)
+        if not fs:
+            raise ValueError("xor_many requires at least one function")
+        n = fs[0].n
+        for f in fs[1:]:
+            if f.n != n:
+                raise ValueError("all functions must have the same arity")
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            out = np.ones(x.shape[0], dtype=np.int8)
+            for f in fs:
+                out = out * f(x)
+            return out
+
+        return BooleanFunction(n, evaluate, name=f"xor_of_{len(fs)}")
+
+    def restrict(self, coord: int, value: int) -> "BooleanFunction":
+        """The restriction f|_{x_coord = value} as a function of n-1 variables."""
+        if not 0 <= coord < self.n:
+            raise ValueError(f"coordinate {coord} out of range")
+        if value not in (-1, 1):
+            raise ValueError("restriction value must be +/-1")
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            full = np.insert(x, coord, value, axis=1)
+            return self(full)
+
+        return BooleanFunction(
+            self.n - 1, evaluate, name=f"{self.name}|x{coord}={value:+d}"
+        )
+
+    # ------------------------------------------------------------------
+    # Comparison / statistics
+    # ------------------------------------------------------------------
+    def agreement(self, other: "BooleanFunction", x: np.ndarray) -> float:
+        """Fraction of rows of ``x`` on which self and other agree."""
+        self._check_same_arity(other)
+        return float(np.mean(self(x) == other(x)))
+
+    def distance(self, other: "BooleanFunction") -> float:
+        """Exact normalised Hamming distance Pr_u[f(u) != g(u)] (small n)."""
+        self._check_same_arity(other)
+        return float(np.mean(self.truth_table() != other.truth_table()))
+
+    def bias(self) -> float:
+        """E[f] over the uniform distribution, computed exactly (small n)."""
+        return float(np.mean(self.truth_table()))
+
+    def _check_same_arity(self, other: "BooleanFunction") -> None:
+        if self.n != other.n:
+            raise ValueError(
+                f"arity mismatch: {self.name} has n={self.n}, "
+                f"{other.name} has n={other.n}"
+            )
+
+    def __repr__(self) -> str:
+        return f"BooleanFunction(n={self.n}, name={self.name!r})"
+
+
+def _rows_to_indices(x: np.ndarray) -> np.ndarray:
+    """Map +/-1 rows to their truth-table indices (MSB-first bit order)."""
+    bits = (1 - x) // 2
+    n = x.shape[1]
+    weights = (1 << np.arange(n - 1, -1, -1)).astype(np.int64)
+    return bits.astype(np.int64) @ weights

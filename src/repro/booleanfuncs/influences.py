@@ -1,0 +1,92 @@
+"""Variable influences and junta structure.
+
+The influence of variable ``i`` on ``f`` is ``Inf_i(f) = Pr[f(x) != f(x^i)]``
+(flip coordinate i).  By Fourier duality ``Inf_i(f) = sum_{S ∋ i} fhat(S)^2``.
+Bourgain's theorem (used in the proof of Corollary 2) says every LTF is
+close to a junta on ``O(eps^{-3/2})`` coordinates; the helpers here find
+such coordinate sets empirically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.booleanfuncs.fourier import index_to_subset, walsh_hadamard
+from repro.booleanfuncs.function import BooleanFunction
+
+
+def influences_exact(f: BooleanFunction) -> np.ndarray:
+    """All n influences, exactly, via the spectrum (small n)."""
+    coeffs = walsh_hadamard(f.truth_table())
+    n = f.n
+    inf = np.zeros(n)
+    for s, value in enumerate(coeffs):
+        if value == 0.0:
+            continue
+        for i in index_to_subset(s, n):
+            inf[i] += value * value
+    return inf
+
+
+def influence_exact(f: BooleanFunction, i: int) -> float:
+    """Exact influence of variable ``i`` (small n)."""
+    if not 0 <= i < f.n:
+        raise ValueError(f"variable index {i} out of range")
+    return float(influences_exact(f)[i])
+
+
+def total_influence_exact(f: BooleanFunction) -> float:
+    """Total influence (average sensitivity) I[f] = sum_i Inf_i(f)."""
+    return float(np.sum(influences_exact(f)))
+
+
+def influence_mc(
+    f: BooleanFunction,
+    i: int,
+    m: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo influence estimate: flip coordinate i on m uniform points."""
+    if not 0 <= i < f.n:
+        raise ValueError(f"variable index {i} out of range")
+    rng = np.random.default_rng() if rng is None else rng
+    x = random_pm1(f.n, m, rng)
+    x_flipped = x.copy()
+    x_flipped[:, i] = -x_flipped[:, i]
+    return float(np.mean(f(x) != f(x_flipped)))
+
+
+def junta_coordinates(
+    f: BooleanFunction,
+    tau: float = 1e-9,
+    m: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[int]:
+    """Coordinates with influence above ``tau``.
+
+    With ``m`` unset the influences are computed exactly (small n only);
+    otherwise each influence is estimated from ``m`` samples.  The returned
+    set is the candidate junta an MQ learner would zoom into.
+    """
+    if m is None:
+        inf = influences_exact(f)
+    else:
+        inf = np.array([influence_mc(f, i, m, rng) for i in range(f.n)])
+    return [int(i) for i in np.nonzero(inf > tau)[0]]
+
+
+def is_junta_on(f: BooleanFunction, coords: List[int]) -> bool:
+    """True iff ``f`` depends only on ``coords`` (exact check, small n).
+
+    Verified via the spectrum: every non-zero coefficient's subset must be
+    contained in ``coords``.
+    """
+    allowed = set(coords)
+    coeffs = walsh_hadamard(f.truth_table())
+    for s, value in enumerate(coeffs):
+        if abs(value) > 1e-12 and not set(index_to_subset(s, f.n)) <= allowed:
+            return False
+    return True

@@ -1,0 +1,179 @@
+"""Linear threshold functions (halfspaces) and Chow parameters.
+
+An LTF is ``f(c) = sgn(w . c - theta)`` (Section III-A).  Chow's theorem
+says a +/-1 LTF is uniquely determined by its n+1 degree-0/1 Fourier
+coefficients (the *Chow parameters*); De-Diakonikolas-Feldman-Servedio [25]
+give an efficient algorithm to reconstruct a close LTF from approximate Chow
+parameters.  This module implements the LTF class, Chow-parameter
+computation/estimation, the reconstruction used by Table II, and the
+low-weight integer approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.booleanfuncs.function import BooleanFunction
+
+
+class LTF(BooleanFunction):
+    """A linear threshold function sgn(w . x - theta) with sgn(0) := +1."""
+
+    def __init__(
+        self, weights: np.ndarray, threshold: float = 0.0, name: str = "ltf"
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError("weights must be a 1-D vector")
+        self.weights = weights
+        self.threshold = float(threshold)
+
+        def evaluate(x: np.ndarray) -> np.ndarray:
+            margin = x @ self.weights - self.threshold
+            return np.where(margin >= 0, 1, -1).astype(np.int8)
+
+        super().__init__(weights.size, evaluate, name=name)
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        rng: Optional[np.random.Generator] = None,
+        sigma: float = 1.0,
+        threshold: float = 0.0,
+    ) -> "LTF":
+        """A random LTF with i.i.d. Gaussian weights (a 'typical' halfspace)."""
+        rng = np.random.default_rng() if rng is None else rng
+        return cls(rng.normal(0.0, sigma, size=n), threshold, name="random_ltf")
+
+    def margin(self, x: np.ndarray) -> np.ndarray:
+        """The real-valued margin w . x - theta (no sign taken)."""
+        x = np.asarray(x)
+        return x @ self.weights - self.threshold
+
+    def normalised(self) -> "LTF":
+        """Same halfspace with unit-norm weights."""
+        norm = float(np.linalg.norm(self.weights))
+        if norm == 0.0:
+            raise ValueError("cannot normalise the zero weight vector")
+        return LTF(self.weights / norm, self.threshold / norm, name=self.name)
+
+    def __repr__(self) -> str:
+        return f"LTF(n={self.n}, theta={self.threshold:g})"
+
+
+def chow_parameters_exact(f: BooleanFunction) -> np.ndarray:
+    """Exact Chow parameters (fhat(empty), fhat({1}), ..., fhat({n})).
+
+    Computed by brute force over the cube; small n only.
+    """
+    from repro.booleanfuncs.encoding import enumerate_cube
+
+    cube = enumerate_cube(f.n)
+    values = f.truth_table().astype(np.float64)
+    chow = np.empty(f.n + 1)
+    chow[0] = values.mean()
+    chow[1:] = (cube * values[:, None]).mean(axis=0)
+    return chow
+
+
+def estimate_chow_parameters(
+    x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Empirical Chow parameters from labelled examples (challenges, +/-1 labels).
+
+    ``chow[0] = mean(y)`` and ``chow[i] = mean(y * x_i)``.  This is exactly
+    the estimator run on the BR PUF CRPs in Section V-A of the paper.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+        raise ValueError("x must be (m, n) and y length m")
+    if x.shape[0] == 0:
+        raise ValueError("need at least one example")
+    chow = np.empty(x.shape[1] + 1)
+    chow[0] = y.mean()
+    chow[1:] = (x * y[:, None]).mean(axis=0)
+    return chow
+
+
+def ltf_from_chow_parameters(chow: np.ndarray) -> LTF:
+    """Build the LTF f' from (approximate) Chow parameters.
+
+    Uses the classical Chow-parameter heuristic underlying [25]: take the
+    degree-1 coefficients as the weight vector and the degree-0 coefficient
+    (the bias) as a threshold offset.  For an LTF target this recovers a
+    close halfspace; for a non-LTF target (the paper's point for BR PUFs)
+    the resulting f' cannot be an arbitrarily good approximator no matter
+    how well the Chow parameters are estimated.
+    """
+    chow = np.asarray(chow, dtype=np.float64)
+    if chow.ndim != 1 or chow.size < 2:
+        raise ValueError("chow must be a vector (bias, w_1, ..., w_n)")
+    weights = chow[1:]
+    if np.allclose(weights, 0.0):
+        # Degenerate: the function carries no degree-1 signal.  Return the
+        # constant best matching the bias.
+        weights = np.zeros(chow.size - 1)
+        threshold = -math.copysign(1.0, chow[0] if chow[0] != 0 else 1.0)
+        return LTF(weights, threshold, name="chow_ltf_degenerate")
+    return LTF(weights, -chow[0], name="chow_ltf")
+
+
+def integer_weight_approximation(
+    ltf: LTF, eps: float = 0.01
+) -> Tuple[np.ndarray, float]:
+    """Low-weight integer approximation of an LTF per De et al. [25].
+
+    Returns integer weights and threshold such that the induced halfspace is
+    eps-close to ``ltf`` for typical (anti-concentrated) weights.  We use the
+    magnitude bound ``sqrt(n) * (1/eps)^{O(log^2(1/eps))}`` from [25] as a
+    cap and the simple scale-and-round construction: with scale
+    ``W / max|w_i|`` the rounding error per coordinate is at most 1/2, and
+    the total perturbation is small relative to the margin for eps-most
+    inputs.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    f = ltf.normalised()
+    n = f.n
+    log_term = math.log2(1.0 / eps)
+    cap = math.sqrt(n) * (1.0 / eps) ** max(1.0, log_term)
+    # Scale so the largest weight's magnitude is ~min(cap, enough precision).
+    max_w = float(np.max(np.abs(f.weights)))
+    if max_w == 0.0:
+        return np.zeros(n, dtype=np.int64), round(f.threshold)
+    target = min(cap, max(8.0, 4.0 * math.sqrt(n) / eps))
+    scale = target / max_w
+    int_weights = np.round(f.weights * scale).astype(np.int64)
+    int_threshold = float(np.round(f.threshold * scale))
+    return int_weights, int_threshold
+
+
+def regularity(ltf: LTF) -> float:
+    """The regularity parameter max_i |w_i| / ||w||_2.
+
+    Small regularity ("no dominant coordinate") is the condition under which
+    Chow-parameter reconstruction and low-weight approximation behave well
+    (Section V-A, item 1).
+    """
+    norm = float(np.linalg.norm(ltf.weights))
+    if norm == 0.0:
+        return 0.0
+    return float(np.max(np.abs(ltf.weights))) / norm
+
+
+def empirical_distance(
+    f: BooleanFunction,
+    g: BooleanFunction,
+    m: int = 20_000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo estimate of Pr_u[f(u) != g(u)] for any arity."""
+    rng = np.random.default_rng() if rng is None else rng
+    x = random_pm1(f.n, m, rng)
+    return float(np.mean(f(x) != g(x)))

@@ -1,0 +1,102 @@
+"""Noise sensitivity and noise stability of Boolean functions.
+
+Noise sensitivity is the quantity the paper's Corollary 1 is built on:
+``NS_eps(f) = Pr[f(c) != f(c')]`` where ``c`` is uniform and ``c'`` flips
+each bit of ``c`` independently with probability ``eps``.
+
+Two classical facts used by the paper:
+
+* for any LTF f, ``NS_eps(f) = O(sqrt(eps))`` (Peres' theorem); and
+* for any function of k LTFs, ``NS_eps(h) = O(k sqrt(eps))``
+  (Klivans-O'Donnell-Servedio [20]).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.booleanfuncs.encoding import flip_noise, random_pm1
+from repro.booleanfuncs.fourier import spectral_weight_by_degree
+from repro.booleanfuncs.function import BooleanFunction
+
+#: Constant in Peres' bound NS_eps(LTF) <= PERES_CONSTANT * sqrt(eps).
+#: Peres' proof gives a constant below 2; O'Donnell's book gives ~1.32 for
+#: the stability form.  We expose it so bound users can tighten it.
+PERES_CONSTANT = 2.0
+
+
+def noise_sensitivity_exact(f: BooleanFunction, eps: float) -> float:
+    """Exact NS_eps(f) via the Fourier formula (small n).
+
+    Uses ``NS_eps(f) = 1/2 - 1/2 * sum_k (1-2 eps)^k W^k[f]``.
+    """
+    if not 0.0 <= eps <= 1.0:
+        raise ValueError(f"eps must be in [0, 1], got {eps}")
+    weights = spectral_weight_by_degree(f)
+    rho = 1.0 - 2.0 * eps
+    stability = float(np.sum(weights * rho ** np.arange(weights.size)))
+    return 0.5 - 0.5 * stability
+
+
+def noise_stability_exact(f: BooleanFunction, rho: float) -> float:
+    """Exact noise stability Stab_rho(f) = sum_k rho^k W^k[f] (small n)."""
+    if not -1.0 <= rho <= 1.0:
+        raise ValueError(f"rho must be in [-1, 1], got {rho}")
+    weights = spectral_weight_by_degree(f)
+    return float(np.sum(weights * rho ** np.arange(weights.size)))
+
+
+def noise_sensitivity_mc(
+    f: BooleanFunction,
+    eps: float,
+    m: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo estimate of NS_eps(f) from ``m`` correlated pairs.
+
+    Works for any arity since it only queries ``f``; this is the estimator
+    an attacker with oracle access would use to calibrate the LMN degree.
+    """
+    if m <= 0:
+        raise ValueError("sample count must be positive")
+    rng = np.random.default_rng() if rng is None else rng
+    x = random_pm1(f.n, m, rng)
+    x_noisy = flip_noise(x, eps, rng)
+    return float(np.mean(f(x) != f(x_noisy)))
+
+
+def ltf_noise_sensitivity_bound(eps: float, constant: float = PERES_CONSTANT) -> float:
+    """Peres' upper bound ``NS_eps(LTF) <= constant * sqrt(eps)``."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    return min(0.5, constant * math.sqrt(eps))
+
+
+def xor_of_ltfs_noise_sensitivity_bound(
+    k: int, eps: float, constant: float = PERES_CONSTANT
+) -> float:
+    """KOS bound ``NS_eps(g(f_1..f_k)) <= constant * k * sqrt(eps)``.
+
+    This is the ``alpha(eps) = k sqrt(eps)`` function fixed in the proof of
+    Corollary 1; an XOR Arbiter PUF with k chains is a function of k LTFs.
+    """
+    if k <= 0:
+        raise ValueError("k must be a positive chain count")
+    return min(0.5, constant * k * math.sqrt(eps))
+
+
+def lmn_degree_for_xor_puf(k: int, eps: float) -> int:
+    """The low-degree cut-off m = ceil(2.32 k^2 / eps^2) from Corollary 1.
+
+    The LMN machinery needs all coefficients of degree < m where m is
+    ``1/alpha^{-1}(eps/2.32)`` with ``alpha(x) = k sqrt(x)``; inverting gives
+    m = 2.32 k^2 / eps^2 (up to the paper's rounding).
+    """
+    if not 0.0 < eps <= 1.0:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+    if k <= 0:
+        raise ValueError("k must be a positive chain count")
+    return max(1, math.ceil(2.32 * k * k / (eps * eps)))

@@ -1,0 +1,203 @@
+"""Sparse multivariate polynomials over GF(2) and XOR-of-terms forms.
+
+The proof of Corollary 2 walks through a chain of representations:
+
+    LTF  ->  O(eps^{-3/2})-junta (Bourgain)  ->  r-XT (XOR of terms of size
+    <= r)  ->  sparse multivariate polynomial of degree r over F2,
+
+and then applies Schapire-Sellie's LearnPoly.  This module implements the
+representations and the conversions between them.
+
+A *term* is a conjunction (AND) of variables; a monomial over F2 is a
+product of variables.  In the 0/1 domain AND and product coincide, so an
+XOR of terms *is* an F2 polynomial — the classes below share a monomial
+set representation but differ in how they evaluate and print.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.function import BooleanFunction
+
+Monomial = FrozenSet[int]
+
+
+class SparseF2Polynomial:
+    """A multivariate polynomial over GF(2), stored as a set of monomials.
+
+    ``p(x) = XOR over monomials M of (AND_{i in M} x_i)`` for x in {0,1}^n.
+    The empty monomial is the constant 1.  Addition over F2 is symmetric
+    difference of the monomial sets.
+    """
+
+    def __init__(self, n: int, monomials: Iterable[Iterable[int]] = ()) -> None:
+        if n < 0:
+            raise ValueError("arity must be non-negative")
+        self.n = n
+        mons: Set[Monomial] = set()
+        for m in monomials:
+            mono = frozenset(int(i) for i in m)
+            if mono and (min(mono) < 0 or max(mono) >= n):
+                raise ValueError(f"monomial {sorted(mono)} out of range for n={n}")
+            mons.symmetric_difference_update({mono})
+        self.monomials: FrozenSet[Monomial] = frozenset(mons)
+
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (0 for the zero/constant polynomial)."""
+        if not self.monomials:
+            return 0
+        return max(len(m) for m in self.monomials)
+
+    @property
+    def sparsity(self) -> int:
+        """Number of monomials."""
+        return len(self.monomials)
+
+    def is_zero(self) -> bool:
+        return not self.monomials
+
+    # ------------------------------------------------------------------
+    def evaluate_bits(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate on 0/1 inputs.  ``x`` is ``(m, n)`` or ``(n,)``; output 0/1."""
+        x = np.asarray(x)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self.n:
+            raise ValueError(f"expected width {self.n}, got {x.shape[1]}")
+        out = np.zeros(x.shape[0], dtype=np.int8)
+        for mono in self.monomials:
+            if mono:
+                term = np.all(x[:, sorted(mono)] == 1, axis=1).astype(np.int8)
+            else:
+                term = np.ones(x.shape[0], dtype=np.int8)
+            out ^= term
+        return out[0] if single else out
+
+    def to_boolean_function(self) -> BooleanFunction:
+        """As a +/-1 BooleanFunction on +/-1 inputs (chi(0)=+1, chi(1)=-1)."""
+
+        def evaluate(x_pm1: np.ndarray) -> np.ndarray:
+            bits = ((1 - x_pm1) // 2).astype(np.int8)
+            vals = self.evaluate_bits(bits)
+            return (1 - 2 * vals).astype(np.int8)
+
+        return BooleanFunction(self.n, evaluate, name=f"f2poly_{self.sparsity}mon")
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "SparseF2Polynomial") -> "SparseF2Polynomial":
+        """Sum over F2 (XOR): symmetric difference of monomial sets."""
+        if self.n != other.n:
+            raise ValueError("arity mismatch")
+        return SparseF2Polynomial(
+            self.n, self.monomials.symmetric_difference(other.monomials)
+        )
+
+    __xor__ = __add__
+
+    def __mul__(self, other: "SparseF2Polynomial") -> "SparseF2Polynomial":
+        """Product over F2 (with x_i^2 = x_i, i.e. union of monomials)."""
+        if self.n != other.n:
+            raise ValueError("arity mismatch")
+        out: Set[Monomial] = set()
+        for a in self.monomials:
+            for b in other.monomials:
+                out.symmetric_difference_update({a | b})
+        return SparseF2Polynomial(self.n, out)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SparseF2Polynomial)
+            and self.n == other.n
+            and self.monomials == other.monomials
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.monomials))
+
+    def __repr__(self) -> str:
+        if not self.monomials:
+            return "SparseF2Polynomial(0)"
+        parts = []
+        for mono in sorted(self.monomials, key=lambda m: (len(m), sorted(m))):
+            parts.append("1" if not mono else "*".join(f"x{i}" for i in sorted(mono)))
+        return f"SparseF2Polynomial({' + '.join(parts)})"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        sparsity: int,
+        max_degree: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SparseF2Polynomial":
+        """A random polynomial with ~``sparsity`` monomials of degree <= max_degree."""
+        rng = np.random.default_rng() if rng is None else rng
+        mons: Set[Monomial] = set()
+        attempts = 0
+        while len(mons) < sparsity and attempts < 50 * sparsity:
+            attempts += 1
+            size = int(rng.integers(1, max_degree + 1))
+            mono = frozenset(rng.choice(n, size=min(size, n), replace=False).tolist())
+            mons.add(mono)
+        return cls(n, mons)
+
+    @classmethod
+    def parity(cls, n: int, subset: Iterable[int]) -> "SparseF2Polynomial":
+        """The parity x_{i1} + ... + x_{ik} over F2."""
+        return cls(n, [{i} for i in subset])
+
+
+class XorOfTerms:
+    """An r-XT function: T_1 + T_2 + ... + T_s over F2, |T_i| <= r.
+
+    This is exactly a sparse F2 polynomial of degree <= r; the class exists
+    to mirror the paper's terminology (Section IV-B) and to enforce the term
+    size bound at construction time.
+    """
+
+    def __init__(self, n: int, terms: Iterable[Iterable[int]], r: int) -> None:
+        if r < 0:
+            raise ValueError("term size bound r must be non-negative")
+        self.r = r
+        term_list: Tuple[Monomial, ...] = tuple(
+            frozenset(int(i) for i in t) for t in terms
+        )
+        for t in term_list:
+            if len(t) > r:
+                raise ValueError(
+                    f"term of size {len(t)} exceeds the bound r={r}"
+                )
+        self.polynomial = SparseF2Polynomial(n, term_list)
+        self.n = n
+
+    @property
+    def num_terms(self) -> int:
+        return self.polynomial.sparsity
+
+    def evaluate_bits(self, x: np.ndarray) -> np.ndarray:
+        return self.polynomial.evaluate_bits(x)
+
+    def to_boolean_function(self) -> BooleanFunction:
+        return self.polynomial.to_boolean_function()
+
+    def __repr__(self) -> str:
+        return f"XorOfTerms(n={self.n}, r={self.r}, terms={self.num_terms})"
+
+
+def monomial_count_bound(k: int, r: int) -> int:
+    """The O(2^r k) monomial bound from the proof of Corollary 2.
+
+    XORing k functions, each an O(1)-term r-XT, yields a polynomial with at
+    most ``k * 2^r`` monomials of degree <= r over F2 (each term expands to
+    at most 2^r monomials when rewritten as a polynomial).
+    """
+    if k <= 0 or r < 0:
+        raise ValueError("need k >= 1 and r >= 0")
+    return k * (2**r)

@@ -1,0 +1,120 @@
+"""Pointwise and worst-case sensitivity; block sensitivity.
+
+Complexity measures complementing noise sensitivity: s(f, x) counts the
+single-bit flips that change f at x; block sensitivity bs(f, x) counts the
+maximum number of *disjoint* blocks whose joint flip changes f.  Classical
+facts usable as test oracles: s(parity) = n everywhere, s(f) <= bs(f), and
+bs(f) <= s(f)^2 for every Boolean f (Nisan) — now superseded by Huang's
+sensitivity theorem, but the quadratic bound is what we assert.
+
+All functions here are exact and intended for small n (truth-table scale).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.function import BooleanFunction
+
+
+def sensitivity_at(f: BooleanFunction, x: np.ndarray) -> int:
+    """s(f, x): number of coordinates whose flip changes f(x)."""
+    x = np.asarray(x, dtype=np.int8)
+    if x.shape != (f.n,):
+        raise ValueError(f"expected a single point of length {f.n}")
+    base = int(f(x))
+    flips = np.repeat(x[None, :], f.n, axis=0)
+    flips[np.arange(f.n), np.arange(f.n)] *= -1
+    return int(np.sum(f(flips) != base))
+
+
+def max_sensitivity(f: BooleanFunction) -> int:
+    """s(f) = max_x s(f, x), exactly (small n)."""
+    from repro.booleanfuncs.encoding import enumerate_cube
+
+    cube = enumerate_cube(f.n)
+    values = f.truth_table()
+    best = 0
+    for i in range(cube.shape[0]):
+        count = 0
+        for j in range(f.n):
+            neighbour = i ^ (1 << (f.n - 1 - j))
+            count += values[neighbour] != values[i]
+        best = max(best, count)
+    return best
+
+
+def average_sensitivity(f: BooleanFunction) -> float:
+    """E_x[s(f, x)] — equal to the total influence I[f]."""
+    from repro.booleanfuncs.encoding import enumerate_cube
+
+    values = f.truth_table()
+    total = 0
+    size = values.size
+    for i in range(size):
+        for j in range(f.n):
+            neighbour = i ^ (1 << (f.n - 1 - j))
+            total += values[neighbour] != values[i]
+    return total / size
+
+
+def _minimal_sensitive_blocks(
+    f: BooleanFunction, x: np.ndarray
+) -> List[int]:
+    """Bitmask list of minimal blocks B with f(x^B) != f(x) (small n)."""
+    n = f.n
+    base = int(f(x))
+    sensitive: List[int] = []
+    # Evaluate all 2^n block flips in one vectorised call.
+    masks = np.arange(1, 2**n, dtype=np.uint32)
+    shifts = np.arange(n - 1, -1, -1, dtype=np.uint32)
+    flip_bits = ((masks[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+    points = np.where(flip_bits == 1, -x[None, :], x[None, :]).astype(np.int8)
+    changed = f(points) != base
+    sensitive_masks = masks[changed]
+    sensitive_set = set(int(m) for m in sensitive_masks)
+    minimal = []
+    for m in sorted(sensitive_set, key=lambda v: bin(v).count("1")):
+        if not any(
+            (m & other) == other for other in minimal if other != m
+        ):
+            minimal.append(m)
+    return minimal
+
+
+def block_sensitivity_at(f: BooleanFunction, x: np.ndarray) -> int:
+    """bs(f, x): maximum number of disjoint sensitive blocks (exact).
+
+    Computed as maximum set packing over the minimal sensitive blocks via
+    memoised DFS — exponential in the worst case, fine at truth-table n.
+    """
+    x = np.asarray(x, dtype=np.int8)
+    if x.shape != (f.n,):
+        raise ValueError(f"expected a single point of length {f.n}")
+    blocks = _minimal_sensitive_blocks(f, x)
+    blocks.sort(key=lambda m: bin(m).count("1"))
+
+    @lru_cache(maxsize=None)
+    def pack(used_mask: int, start: int) -> int:
+        best = 0
+        for idx in range(start, len(blocks)):
+            b = blocks[idx]
+            if b & used_mask:
+                continue
+            best = max(best, 1 + pack(used_mask | b, idx + 1))
+        return best
+
+    result = pack(0, 0)
+    pack.cache_clear()
+    return result
+
+
+def block_sensitivity(f: BooleanFunction) -> int:
+    """bs(f) = max_x bs(f, x), exactly (small n only)."""
+    from repro.booleanfuncs.encoding import enumerate_cube
+
+    cube = enumerate_cube(f.n)
+    return max(block_sensitivity_at(f, cube[i]) for i in range(cube.shape[0]))

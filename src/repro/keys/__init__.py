@@ -1,0 +1,24 @@
+"""Key generation from noisy PUF responses.
+
+The paper's introduction motivates PUFs as the answer to "secure key
+generation and storage have been the main challenges".  Turning a noisy
+PUF response into a stable key requires a fuzzy extractor; this package
+provides a classic code-offset construction over a repetition code, plus
+the helper-data leakage analysis an adversary-model discussion needs
+(helper data is public — its leakage must be priced into the attacker's
+CRP/information budget).
+"""
+
+from repro.keys.fuzzy_extractor import (
+    FuzzyExtractor,
+    HelperData,
+    repetition_decode,
+    repetition_encode,
+)
+
+__all__ = [
+    "FuzzyExtractor",
+    "HelperData",
+    "repetition_encode",
+    "repetition_decode",
+]

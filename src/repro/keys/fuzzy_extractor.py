@@ -1,0 +1,158 @@
+"""A code-offset fuzzy extractor over a repetition code.
+
+Construction (Dodis et al.'s secure sketch, instantiated with the
+[r, 1, r] repetition code):
+
+* **Generate**: draw a random key bit k_i per block, encode it to r code
+  bits, and publish ``helper = codeword XOR response_block``.  The key is
+  the concatenation of the k_i (optionally hashed down).
+* **Reproduce**: given a fresh noisy response, compute
+  ``helper XOR response'`` and decode each block by majority vote; errors
+  up to floor((r-1)/2) per block are corrected.
+
+The repetition code keeps everything dependency-free and analysable: the
+block failure probability for bit error rate p is the binomial tail
+``P[Bin(r, p) > (r-1)/2]``, exposed by :func:`block_failure_probability`
+so tests can check the measured failure rate against theory.
+
+Security note relevant to the paper: helper data is public.  For a
+repetition code each block's helper reveals r-1 parity relations among
+the response bits, i.e. the *adversary's* information budget grows with
+the helper size — one more quantity an adversary model has to track.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def repetition_encode(key_bits: np.ndarray, r: int) -> np.ndarray:
+    """Encode each key bit into ``r`` repeated code bits."""
+    if r < 1:
+        raise ValueError("repetition factor must be positive")
+    key_bits = np.asarray(key_bits, dtype=np.int8)
+    if not np.all((key_bits == 0) | (key_bits == 1)):
+        raise ValueError("key bits must be 0/1")
+    return np.repeat(key_bits, r)
+
+
+def repetition_decode(code_bits: np.ndarray, r: int) -> np.ndarray:
+    """Majority-decode blocks of ``r`` code bits back to key bits."""
+    if r < 1:
+        raise ValueError("repetition factor must be positive")
+    code_bits = np.asarray(code_bits, dtype=np.int8)
+    if code_bits.size % r:
+        raise ValueError("code length must be a multiple of r")
+    blocks = code_bits.reshape(-1, r)
+    sums = blocks.sum(axis=1)
+    # Ties (even r) round toward 1 — deterministic either way.
+    return (sums * 2 >= r).astype(np.int8)
+
+
+def block_failure_probability(r: int, bit_error_rate: float) -> float:
+    """P[a majority-decoded block is wrong] = P[Bin(r, p) >= ceil(r/2 + eps)].
+
+    For odd r this is the tail above (r-1)/2 errors.
+    """
+    if r < 1:
+        raise ValueError("repetition factor must be positive")
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError("bit_error_rate must be in [0, 1]")
+    threshold = r // 2 + 1 if r % 2 else r // 2
+    p = bit_error_rate
+    prob = 0.0
+    for errors in range(threshold, r + 1):
+        prob += math.comb(r, errors) * p**errors * (1 - p) ** (r - errors)
+    return prob
+
+
+@dataclasses.dataclass
+class HelperData:
+    """Public helper data of the code-offset sketch."""
+
+    offset: np.ndarray  # codeword XOR response, length key_bits * r
+    r: int
+    key_length: int
+
+    @property
+    def leakage_bits(self) -> int:
+        """Entropy-loss upper bound of the sketch: (r - 1) per block."""
+        return self.key_length * (self.r - 1)
+
+
+class FuzzyExtractor:
+    """Code-offset fuzzy extractor with repetition-code error correction.
+
+    Parameters
+    ----------
+    key_length:
+        Number of raw key bits extracted.
+    r:
+        Repetition factor (odd values recommended); corrects up to
+        floor((r-1)/2) response-bit errors per block.
+    hash_output:
+        If True, :meth:`generate`/:meth:`reproduce` return a 32-byte
+        SHA-256 digest of the raw key (the privacy-amplification step);
+        otherwise the raw key bits.
+    """
+
+    def __init__(self, key_length: int, r: int = 5, hash_output: bool = True) -> None:
+        if key_length < 1:
+            raise ValueError("key_length must be positive")
+        if r < 1:
+            raise ValueError("repetition factor must be positive")
+        self.key_length = key_length
+        self.r = r
+        self.hash_output = hash_output
+
+    @property
+    def response_length(self) -> int:
+        """PUF response bits consumed per extraction."""
+        return self.key_length * self.r
+
+    def generate(
+        self,
+        response_bits: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[bytes, HelperData]:
+        """Enrollment: (key, public helper) from a reference response."""
+        response_bits = self._check_response(response_bits)
+        rng = np.random.default_rng() if rng is None else rng
+        key_bits = rng.integers(0, 2, size=self.key_length).astype(np.int8)
+        codeword = repetition_encode(key_bits, self.r)
+        offset = (codeword ^ response_bits).astype(np.int8)
+        helper = HelperData(offset=offset, r=self.r, key_length=self.key_length)
+        return self._finalize(key_bits), helper
+
+    def reproduce(
+        self, noisy_response_bits: np.ndarray, helper: HelperData
+    ) -> bytes:
+        """Reconstruction from a fresh (noisy) response and the helper."""
+        noisy = self._check_response(noisy_response_bits)
+        if helper.r != self.r or helper.key_length != self.key_length:
+            raise ValueError("helper data does not match this extractor")
+        shifted = (helper.offset ^ noisy).astype(np.int8)
+        key_bits = repetition_decode(shifted, self.r)
+        return self._finalize(key_bits)
+
+    # ------------------------------------------------------------------
+    def _check_response(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.int8)
+        if bits.shape != (self.response_length,):
+            raise ValueError(
+                f"expected {self.response_length} response bits, got {bits.shape}"
+            )
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ValueError("response bits must be 0/1")
+        return bits
+
+    def _finalize(self, key_bits: np.ndarray) -> bytes:
+        raw = np.packbits(key_bits).tobytes()
+        if self.hash_output:
+            return hashlib.sha256(raw).digest()
+        return raw

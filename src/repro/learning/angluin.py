@@ -1,0 +1,211 @@
+"""Angluin's L* algorithm for learning DFAs [22].
+
+The representation-choice discussion of Section V-B: a sequentially locked
+circuit's FSM can be learned exactly through membership and equivalence
+queries when the input alphabet is polynomial.  The equivalence oracle can
+be exact (product construction, when the target machine is available for
+experiments) or simulated with random words per Angluin's reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import DFA
+
+Symbol = Hashable
+Word = Tuple[Symbol, ...]
+MembershipFn = Callable[[Word], bool]
+EquivalenceFn = Callable[[DFA], Optional[Word]]
+
+
+@dataclasses.dataclass
+class LStarResult:
+    """Outcome of an L* run."""
+
+    dfa: DFA
+    membership_queries: int
+    equivalence_queries: int
+    exact: bool  # True when the final equivalence query accepted
+
+
+def exact_equivalence_oracle(target: DFA) -> EquivalenceFn:
+    """A perfect equivalence oracle built from a known target DFA."""
+
+    def oracle(hypothesis: DFA) -> Optional[Word]:
+        return target.find_counterexample(hypothesis)
+
+    return oracle
+
+
+def sampled_equivalence_oracle(
+    membership: MembershipFn,
+    alphabet: Sequence[Symbol],
+    eps: float,
+    delta: float,
+    rng: np.random.Generator,
+    max_length: int = 20,
+) -> EquivalenceFn:
+    """Angluin's simulated equivalence oracle over random words.
+
+    Words are drawn with geometric length (mean ~ max_length / 2, capped)
+    and uniform symbols; the sample size grows per round as in
+    :func:`repro.learning.oracles.angluin_eq_sample_size`.
+    """
+    from repro.learning.oracles import angluin_eq_sample_size
+
+    alphabet = tuple(alphabet)
+    state = {"round": 0}
+
+    def oracle(hypothesis: DFA) -> Optional[Word]:
+        m = angluin_eq_sample_size(eps, delta, state["round"])
+        state["round"] += 1
+        for _ in range(m):
+            length = min(int(rng.geometric(2.0 / max(1, max_length))), max_length)
+            word = tuple(
+                alphabet[int(rng.integers(0, len(alphabet)))] for _ in range(length)
+            )
+            if membership(word) != hypothesis.accepts(word):
+                return word
+        return None
+
+    return oracle
+
+
+class LStarLearner:
+    """Classic observation-table L*.
+
+    Counterexamples are processed by adding all their prefixes to the row
+    set S (Angluin's original variant).
+    """
+
+    def __init__(self, alphabet: Sequence[Symbol], max_rounds: int = 10_000) -> None:
+        self.alphabet: Tuple[Symbol, ...] = tuple(alphabet)
+        if not self.alphabet:
+            raise ValueError("alphabet must be non-empty")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        membership: MembershipFn,
+        equivalence: EquivalenceFn,
+    ) -> LStarResult:
+        """Learn a DFA for the language answered by ``membership``."""
+        self._mq_count = 0
+        self._cache: Dict[Word, bool] = {}
+        self._membership = membership
+
+        prefixes: List[Word] = [()]
+        suffixes: List[Word] = [()]
+        eq_count = 0
+        exact = False
+        hypothesis = None
+
+        for _ in range(self.max_rounds):
+            self._close_and_make_consistent(prefixes, suffixes)
+            hypothesis = self._build_hypothesis(prefixes, suffixes)
+            counterexample = equivalence(hypothesis)
+            eq_count += 1
+            if counterexample is None:
+                exact = True
+                break
+            # Add all prefixes of the counterexample to S.
+            for cut in range(1, len(counterexample) + 1):
+                prefix = tuple(counterexample[:cut])
+                if prefix not in prefixes:
+                    prefixes.append(prefix)
+
+        assert hypothesis is not None
+        return LStarResult(
+            dfa=hypothesis,
+            membership_queries=self._mq_count,
+            equivalence_queries=eq_count,
+            exact=exact,
+        )
+
+    # ------------------------------------------------------------------
+    def _ask(self, word: Word) -> bool:
+        if word not in self._cache:
+            self._cache[word] = bool(self._membership(word))
+            self._mq_count += 1
+        return self._cache[word]
+
+    def _row(self, prefix: Word, suffixes: List[Word]) -> Tuple[bool, ...]:
+        return tuple(self._ask(prefix + e) for e in suffixes)
+
+    def _close_and_make_consistent(
+        self, prefixes: List[Word], suffixes: List[Word]
+    ) -> None:
+        while True:
+            rows = {s: self._row(s, suffixes) for s in prefixes}
+            row_set = set(rows.values())
+
+            # Closedness: every one-step extension's row appears in S.
+            unclosed = None
+            for s in prefixes:
+                for a in self.alphabet:
+                    ext = s + (a,)
+                    if self._row(ext, suffixes) not in row_set:
+                        unclosed = ext
+                        break
+                if unclosed:
+                    break
+            if unclosed is not None:
+                prefixes.append(unclosed)
+                continue
+
+            # Consistency: equal rows must have equal successor rows.
+            inconsistency = None
+            for s1, s2 in itertools.combinations(prefixes, 2):
+                if rows[s1] != rows[s2]:
+                    continue
+                for a in self.alphabet:
+                    r1 = self._row(s1 + (a,), suffixes)
+                    r2 = self._row(s2 + (a,), suffixes)
+                    if r1 != r2:
+                        # Find the separating suffix and prepend the symbol.
+                        for idx, e in enumerate(suffixes):
+                            if r1[idx] != r2[idx]:
+                                inconsistency = (a,) + e
+                                break
+                        break
+                if inconsistency:
+                    break
+            if inconsistency is not None:
+                if inconsistency not in suffixes:
+                    suffixes.append(inconsistency)
+                continue
+            return
+
+    def _build_hypothesis(
+        self, prefixes: List[Word], suffixes: List[Word]
+    ) -> DFA:
+        rows = {s: self._row(s, suffixes) for s in prefixes}
+        # One state per distinct row; representative = first prefix with it.
+        state_of_row: Dict[Tuple[bool, ...], int] = {}
+        representatives: List[Word] = []
+        for s in prefixes:
+            r = rows[s]
+            if r not in state_of_row:
+                state_of_row[r] = len(representatives)
+                representatives.append(s)
+        transitions: List[Dict[Symbol, int]] = []
+        for rep in representatives:
+            table = {}
+            for a in self.alphabet:
+                table[a] = state_of_row[self._row(rep + (a,), suffixes)]
+            transitions.append(table)
+        accepting = {
+            state_of_row[rows[rep]]
+            for rep in representatives
+            if self._ask(rep)
+        }
+        start = state_of_row[rows[()]]
+        return DFA(self.alphabet, transitions, accepting, start=start)

@@ -1,0 +1,189 @@
+"""The splitting attack on (1,1)-Interpose PUFs.
+
+The iPUF was proposed after XOR PUFs fell, and fell in turn to *divide and
+conquer*: model the lower chain pretending the interposed bit is unknown,
+then use the lower model to pseudo-label the upper chain, and alternate.
+Another instance of the paper's theme — the composition's security
+argument implicitly assumed an adversary who attacks the whole function,
+not one who exploits its structure.
+
+Implementation (EM-style alternation for the (1,1) case):
+
+1. initialise the upper model randomly;
+2. **lower step**: extend each challenge with the upper model's current
+   bit prediction and fit the lower LTF by logistic regression over the
+   (n+2)-feature parity transform;
+3. **upper step**: for each training challenge, check which interposed bit
+   value makes the lower model agree with the observed response; where
+   exactly one value works, that value is a pseudo-label for the upper
+   chain — fit the upper LTF on those;
+4. repeat until the joint training accuracy stops improving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.logistic import LogisticAttack
+from repro.pufs.arbiter import parity_transform
+from repro.pufs.interpose import InterposePUF
+
+
+@dataclasses.dataclass
+class InterposeAttackResult:
+    """Fitted upper/lower models of a (1,1)-iPUF."""
+
+    upper_weights: np.ndarray  # (n+1,) over parity features of c
+    lower_weights: np.ndarray  # (n+2,) over parity features of c_ext
+    position: int
+    train_accuracy: float
+    iterations_run: int
+
+    def _upper_bit(self, challenges: np.ndarray) -> np.ndarray:
+        phi = parity_transform(challenges)
+        return np.where(phi @ self.upper_weights >= 0, 1, -1).astype(np.int8)
+
+    def predict(self, challenges: np.ndarray) -> np.ndarray:
+        challenges = np.atleast_2d(np.asarray(challenges, dtype=np.int8))
+        bits = self._upper_bit(challenges)
+        extended = np.insert(challenges, self.position, bits, axis=1)
+        phi = parity_transform(extended)
+        return np.where(phi @ self.lower_weights >= 0, 1, -1).astype(np.int8)
+
+
+class InterposeSplittingAttack:
+    """Alternating splitting attack for (1,1)-Interpose PUFs.
+
+    Parameters
+    ----------
+    position:
+        Interpose position of the target (the standard middle position of
+        :class:`repro.pufs.interpose.InterposePUF` by default, pass the
+        target's actual value).
+    iterations:
+        Alternation rounds.
+    """
+
+    def __init__(
+        self,
+        position: int,
+        iterations: int = 6,
+        restarts: int = 3,
+        target_accuracy: float = 0.95,
+    ) -> None:
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        if iterations < 1:
+            raise ValueError("iterations must be positive")
+        if restarts < 1:
+            raise ValueError("restarts must be positive")
+        self.position = position
+        self.iterations = iterations
+        self.restarts = restarts
+        self.target_accuracy = target_accuracy
+
+    def fit(
+        self,
+        challenges: np.ndarray,
+        responses: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> InterposeAttackResult:
+        """Fit from iPUF CRPs (+/-1 encoding); restarts guard against the
+        EM alternation's local optima."""
+        challenges = np.asarray(challenges)
+        responses = np.asarray(responses)
+        if challenges.ndim != 2 or responses.shape != (challenges.shape[0],):
+            raise ValueError("challenges must be (m, n) with matching responses")
+        if self.position > challenges.shape[1]:
+            raise ValueError("position exceeds the challenge length")
+        rng = np.random.default_rng() if rng is None else rng
+        best: Optional[InterposeAttackResult] = None
+        for _ in range(self.restarts):
+            candidate = self._fit_once(challenges, responses, rng)
+            if best is None or candidate.train_accuracy > best.train_accuracy:
+                best = candidate
+            if best.train_accuracy >= self.target_accuracy:
+                break
+        assert best is not None
+        return best
+
+    def _fit_once(
+        self,
+        challenges: np.ndarray,
+        responses: np.ndarray,
+        rng: np.random.Generator,
+    ) -> InterposeAttackResult:
+        n = challenges.shape[1]
+        upper_w = rng.normal(0.0, 1.0, size=n + 1)
+        lower_w = np.zeros(n + 2)
+        best = None
+        iterations_run = 0
+
+        for iteration in range(self.iterations):
+            iterations_run = iteration + 1
+            # Lower step: fit the lower chain on extended challenges.
+            phi_c = parity_transform(challenges)
+            bits = np.where(phi_c @ upper_w >= 0, 1, -1).astype(np.int8)
+            extended = np.insert(challenges, self.position, bits, axis=1)
+            lower_fit = LogisticAttack(feature_map=parity_transform).fit(
+                extended, responses, rng
+            )
+            # Fold the intercept into the constant feature column.
+            lower_w = lower_fit.ltf.weights.copy()
+            lower_w[-1] -= lower_fit.ltf.threshold
+
+            # Upper step: pseudo-label the interposed bit where decisive.
+            ext_plus = np.insert(challenges, self.position, 1, axis=1)
+            ext_minus = np.insert(challenges, self.position, -1, axis=1)
+            pred_plus = np.where(
+                parity_transform(ext_plus) @ lower_w >= 0, 1, -1
+            )
+            pred_minus = np.where(
+                parity_transform(ext_minus) @ lower_w >= 0, 1, -1
+            )
+            decisive = pred_plus != pred_minus
+            if np.sum(decisive) > 50:
+                pseudo = np.where(
+                    pred_plus[decisive] == responses[decisive], 1, -1
+                ).astype(np.int8)
+                upper_fit = LogisticAttack(feature_map=parity_transform).fit(
+                    challenges[decisive], pseudo, rng
+                )
+                upper_w = upper_fit.ltf.weights.copy()
+                upper_w[-1] -= upper_fit.ltf.threshold
+
+            # Track the best joint model.
+            result = InterposeAttackResult(
+                upper_weights=upper_w.copy(),
+                lower_weights=lower_w.copy(),
+                position=self.position,
+                train_accuracy=0.0,
+                iterations_run=iterations_run,
+            )
+            acc = float(np.mean(result.predict(challenges) == responses))
+            result.train_accuracy = acc
+            if best is None or acc > best.train_accuracy:
+                best = result
+
+        assert best is not None
+        return best
+
+
+def attack_interpose_puf(
+    puf: InterposePUF,
+    crp_count: int,
+    rng: Optional[np.random.Generator] = None,
+    iterations: int = 6,
+) -> InterposeAttackResult:
+    """Convenience wrapper: draw CRPs from ``puf`` and run the attack."""
+    if puf.upper.k != 1 or puf.lower.k != 1:
+        raise ValueError("the splitting attack here targets (1,1)-iPUFs")
+    rng = np.random.default_rng() if rng is None else rng
+    from repro.pufs.crp import generate_crps
+
+    crps = generate_crps(puf, crp_count, rng)
+    attack = InterposeSplittingAttack(puf.position, iterations)
+    return attack.fit(crps.challenges, crps.responses, rng)

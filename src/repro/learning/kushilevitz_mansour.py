@@ -1,0 +1,183 @@
+"""The Kushilevitz-Mansour (Goldreich-Levin) algorithm.
+
+Finds all *heavy* Fourier coefficients of a Boolean function using
+membership queries — no degree limit, unlike LMN.  This is the engine
+behind Fourier-analysis-based PUF attacks (cf. [19], by the paper's
+authors) and a clean illustration of the access-model axis: with random
+examples one pays n^O(d) to see degree-d structure (LMN); with membership
+queries one pays poly(n, 1/theta) for *any* coefficient above theta.
+
+The algorithm recursively partitions the coefficient index set by prefix:
+bucket (k, alpha) holds all subsets S whose membership pattern on the
+first k coordinates equals alpha, with weight
+
+    W(k, alpha) = sum_{S in bucket} fhat(S)^2
+                = E_{z, z', x} [ f(z x) chi_alpha(z) f(z' x) chi_alpha(z') ],
+
+where z, z' are independent uniform on the first k coordinates and x is a
+shared uniform suffix.  Buckets lighter than theta^2/2 are pruned; at
+depth n each surviving singleton is a heavy coefficient.  Parseval bounds
+the number of surviving buckets per level by 4/theta^2, so the total query
+count is poly(n, 1/theta) (for a +/-1 function).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.function import BooleanFunction
+
+Target = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclasses.dataclass
+class KMResult:
+    """Outcome of a Kushilevitz-Mansour run."""
+
+    spectrum: Dict[Tuple[int, ...], float]
+    hypothesis: BooleanFunction
+    membership_queries: int
+    buckets_explored: int
+
+    def heavy_subsets(self) -> List[Tuple[int, ...]]:
+        """The located subsets, heaviest first."""
+        return sorted(self.spectrum, key=lambda s: -abs(self.spectrum[s]))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.hypothesis(x)
+
+
+class KushilevitzMansour:
+    """Locate all Fourier coefficients with |fhat(S)| >= theta.
+
+    Parameters
+    ----------
+    theta:
+        Heaviness threshold.  Queries scale with 1/theta^2 per estimate
+        and at most 4/theta^2 buckets survive per level.
+    bucket_samples:
+        Samples per bucket-weight estimate.
+    coefficient_samples:
+        Samples per final coefficient estimate.
+    max_buckets:
+        Guard rail on simultaneous buckets (defaults to 8/theta^2).
+    """
+
+    def __init__(
+        self,
+        theta: float = 0.1,
+        bucket_samples: int = 2048,
+        coefficient_samples: int = 8192,
+        max_buckets: Optional[int] = None,
+    ) -> None:
+        if not 0 < theta <= 1:
+            raise ValueError("theta must be in (0, 1]")
+        if bucket_samples < 1 or coefficient_samples < 1:
+            raise ValueError("sample counts must be positive")
+        self.theta = theta
+        self.bucket_samples = bucket_samples
+        self.coefficient_samples = coefficient_samples
+        self.max_buckets = (
+            int(np.ceil(8.0 / theta**2)) if max_buckets is None else max_buckets
+        )
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        n: int,
+        target: Target,
+        rng: Optional[np.random.Generator] = None,
+    ) -> KMResult:
+        """Run KM against a +/-1 membership oracle of arity n."""
+        rng = np.random.default_rng() if rng is None else rng
+        self._queries = 0
+        self._target = target
+
+        # Buckets are (depth k, alpha) with alpha a tuple of 0/1 membership
+        # flags for coordinates 0..k-1.
+        buckets: List[Tuple[int, ...]] = [()]
+        explored = 0
+        for depth in range(n):
+            next_buckets: List[Tuple[int, ...]] = []
+            for alpha in buckets:
+                for flag in (0, 1):
+                    candidate = alpha + (flag,)
+                    explored += 1
+                    weight = self._bucket_weight(n, candidate, rng)
+                    if weight >= self.theta**2 / 2.0:
+                        next_buckets.append(candidate)
+            if len(next_buckets) > self.max_buckets:
+                # Keep the heaviest ones (Parseval says the rest are noise).
+                weights = [
+                    self._bucket_weight(n, a, rng) for a in next_buckets
+                ]
+                order = np.argsort(weights)[::-1][: self.max_buckets]
+                next_buckets = [next_buckets[int(i)] for i in order]
+            buckets = next_buckets
+            if not buckets:
+                break
+
+        spectrum: Dict[Tuple[int, ...], float] = {}
+        for alpha in buckets:
+            subset = tuple(i for i, flag in enumerate(alpha) if flag)
+            estimate = self._coefficient(n, subset, rng)
+            if abs(estimate) >= self.theta / 2.0:
+                spectrum[subset] = estimate
+
+        hypothesis = _sign_of_spectrum(n, spectrum)
+        return KMResult(
+            spectrum=spectrum,
+            hypothesis=hypothesis,
+            membership_queries=self._queries,
+            buckets_explored=explored,
+        )
+
+    # ------------------------------------------------------------------
+    def _query(self, x: np.ndarray) -> np.ndarray:
+        self._queries += x.shape[0]
+        return np.asarray(self._target(x), dtype=np.float64)
+
+    def _bucket_weight(
+        self, n: int, alpha: Tuple[int, ...], rng: np.random.Generator
+    ) -> float:
+        """Estimate W(k, alpha) with the pairwise-prefix estimator."""
+        k = len(alpha)
+        m = self.bucket_samples
+        z1 = (1 - 2 * rng.integers(0, 2, size=(m, k))).astype(np.int8)
+        z2 = (1 - 2 * rng.integers(0, 2, size=(m, k))).astype(np.int8)
+        x = (1 - 2 * rng.integers(0, 2, size=(m, n - k))).astype(np.int8)
+        chi_idx = [i for i, flag in enumerate(alpha) if flag]
+        chi1 = np.prod(z1[:, chi_idx], axis=1) if chi_idx else np.ones(m)
+        chi2 = np.prod(z2[:, chi_idx], axis=1) if chi_idx else np.ones(m)
+        f1 = self._query(np.concatenate([z1, x], axis=1))
+        f2 = self._query(np.concatenate([z2, x], axis=1))
+        return float(np.mean(f1 * chi1 * f2 * chi2))
+
+    def _coefficient(
+        self, n: int, subset: Tuple[int, ...], rng: np.random.Generator
+    ) -> float:
+        m = self.coefficient_samples
+        x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+        chi = np.prod(x[:, list(subset)], axis=1) if subset else np.ones(m)
+        return float(np.mean(self._query(x) * chi))
+
+
+def _sign_of_spectrum(
+    n: int, spectrum: Dict[Tuple[int, ...], float]
+) -> BooleanFunction:
+    items = sorted(spectrum.items())
+
+    def evaluate(x: np.ndarray) -> np.ndarray:
+        xf = x.astype(np.float64)
+        acc = np.zeros(x.shape[0])
+        for subset, coeff in items:
+            if subset:
+                acc += coeff * np.prod(xf[:, list(subset)], axis=1)
+            else:
+                acc += coeff
+        return np.where(acc >= 0, 1, -1).astype(np.int8)
+
+    return BooleanFunction(n, evaluate, name="km_hypothesis")

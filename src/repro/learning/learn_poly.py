@@ -1,0 +1,297 @@
+"""Exact learning of sparse multivariate polynomials over GF(2) with
+membership queries (Schapire-Sellie [21]; paper Corollary 2).
+
+The learner maintains a hypothesis polynomial ``h`` and repeatedly:
+
+1. asks a (simulated) equivalence query — Angluin's reduction [22] replaces
+   the equivalence oracle by testing ``h`` on random examples;
+2. on a counterexample x, works on the *residual* g = f + h (whose
+   membership oracle is one f-query plus an h-evaluation) — g(x) = 1;
+3. shrinks the support of x greedily (single-bit, then pair flips) while
+   keeping g(x) = 1;
+4. computes the full Moebius transform of g restricted to the subcube below
+   x (2^|support| membership queries): every monomial found there is a
+   *true* monomial of g, because setting outside variables to 0 preserves
+   the coefficients of inside monomials exactly;
+5. XORs those monomials into h, strictly shrinking the residual.
+
+For an s-sparse degree-r target this terminates after at most s successful
+rounds with poly(n, s, 2^r, 1/eps, log(1/delta)) queries — the
+``poly(n, k, 1/eps, log(1/delta))`` of Corollary 2 once the XOR Arbiter PUF
+is cast as an O(2^r k)-monomial degree-r polynomial.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.polynomials import Monomial, SparseF2Polynomial
+from repro.learning.oracles import angluin_eq_sample_size
+
+
+def xor_of_junta_ltfs_target(
+    n: int,
+    k: int,
+    junta_size: int,
+    rng: np.random.Generator,
+):
+    """A Corollary-2-shaped target: XOR of k junta-LTF chains, as a bit oracle.
+
+    Each chain is an LTF on ``junta_size`` random coordinates (every
+    function on r bits is an F2 polynomial of degree <= r, so the XOR of k
+    chains is a sparse polynomial of degree <= r with at most k 2^r
+    monomials).  Returns a vectorised callable {0,1}^n -> {0,1}.
+    """
+    if n < junta_size:
+        raise ValueError("junta_size cannot exceed n")
+    if k < 1 or junta_size < 1:
+        raise ValueError("k and junta_size must be positive")
+    from repro.booleanfuncs.ltf import LTF
+
+    juntas = []
+    for _ in range(k):
+        coords = rng.choice(n, size=junta_size, replace=False)
+        weights = rng.normal(0.0, 1.0, size=junta_size)
+        threshold = rng.normal(0.0, 0.5)
+        juntas.append((coords, LTF(weights, threshold)))
+
+    def target_bits(x_bits: np.ndarray) -> np.ndarray:
+        x_bits = np.atleast_2d(x_bits)
+        acc = np.zeros(x_bits.shape[0], dtype=np.int8)
+        for coords, ltf in juntas:
+            pm1 = (1 - 2 * x_bits[:, coords]).astype(np.int8)
+            chain_bit = ((1 - ltf(pm1)) // 2).astype(np.int8)
+            acc ^= chain_bit
+        return acc
+
+    return target_bits
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when the learner would exceed its membership-query budget."""
+
+
+class InconsistentOracle(RuntimeError):
+    """Raised when oracle answers contradict any polynomial structure.
+
+    Happens with noisy or adversarial membership oracles: the residual was
+    positive at the top of a subcube, yet the Moebius transform over that
+    subcube finds no monomial — impossible for a deterministic function.
+    """
+
+
+class SupportTooLarge(RuntimeError):
+    """Raised when a counterexample cannot be shrunk below the subcube cap.
+
+    Hitting this means the target is not (close to) a sparse low-degree
+    polynomial — the representation assumption of Corollary 2 fails, which
+    is itself an informative outcome for the adversary-model analysis.
+    """
+
+
+@dataclasses.dataclass
+class LearnPolyResult:
+    """Outcome of a LearnPoly run."""
+
+    polynomial: SparseF2Polynomial
+    membership_queries: int
+    equivalence_queries: int
+    rounds: int
+    exact: bool  # True when the final simulated EQ accepted
+
+    def predict_bits(self, x: np.ndarray) -> np.ndarray:
+        return self.polynomial.evaluate_bits(x)
+
+
+class LearnPoly:
+    """Sparse-F2-polynomial learner with membership + simulated equivalence
+    queries.
+
+    Parameters
+    ----------
+    eps, delta:
+        PAC parameters of the simulated equivalence oracle.
+    subcube_cap:
+        Maximum counterexample support after shrinking; the Moebius step
+        costs 2^support queries.
+    max_rounds:
+        Safety cap on counterexample rounds (>= target sparsity suffices).
+    max_queries:
+        Optional hard membership-query budget.
+    """
+
+    def __init__(
+        self,
+        eps: float = 0.01,
+        delta: float = 0.01,
+        subcube_cap: int = 16,
+        max_rounds: int = 10_000,
+        max_queries: Optional[int] = None,
+    ) -> None:
+        if not 0 < eps < 1 or not 0 < delta < 1:
+            raise ValueError("eps and delta must be in (0, 1)")
+        if subcube_cap < 1:
+            raise ValueError("subcube_cap must be at least 1")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        self.eps = eps
+        self.delta = delta
+        self.subcube_cap = subcube_cap
+        self.max_rounds = max_rounds
+        self.max_queries = max_queries
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        n: int,
+        target_bits,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LearnPolyResult:
+        """Learn ``target_bits`` : {0,1}^n -> {0,1} (vectorised callable)."""
+        rng = np.random.default_rng() if rng is None else rng
+        self._queries = 0
+        self._target = target_bits
+        h = SparseF2Polynomial(n)
+        eq_rounds = 0
+        rounds = 0
+        exact = False
+
+        while rounds < self.max_rounds:
+            counterexample = self._simulated_eq(n, h, eq_rounds, rng)
+            eq_rounds += 1
+            if counterexample is None:
+                exact = True
+                break
+            rounds += 1
+            new_monomials = self._extract_monomials(n, h, counterexample, rng)
+            h = h + SparseF2Polynomial(n, new_monomials)
+
+        return LearnPolyResult(
+            polynomial=h,
+            membership_queries=self._queries,
+            equivalence_queries=eq_rounds,
+            rounds=rounds,
+            exact=exact,
+        )
+
+    # ------------------------------------------------------------------
+    def _query(self, x: np.ndarray) -> np.ndarray:
+        """Batched membership query on 0/1 rows."""
+        x = np.atleast_2d(x)
+        self._queries += x.shape[0]
+        if self.max_queries is not None and self._queries > self.max_queries:
+            raise QueryBudgetExceeded(
+                f"membership-query budget {self.max_queries} exhausted"
+            )
+        return np.asarray(self._target(x), dtype=np.int8)
+
+    def _residual(self, h: SparseF2Polynomial, x: np.ndarray) -> np.ndarray:
+        """g(x) = f(x) xor h(x) on 0/1 rows."""
+        return self._query(x) ^ h.evaluate_bits(np.atleast_2d(x))
+
+    def _simulated_eq(
+        self,
+        n: int,
+        h: SparseF2Polynomial,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> Optional[np.ndarray]:
+        m = angluin_eq_sample_size(self.eps, self.delta, round_index)
+        x = rng.integers(0, 2, size=(m, n)).astype(np.int8)
+        g = self._residual(h, x)
+        hits = np.nonzero(g == 1)[0]
+        if hits.size:
+            return x[hits[0]]
+        return None
+
+    # ------------------------------------------------------------------
+    def _extract_monomials(
+        self,
+        n: int,
+        h: SparseF2Polynomial,
+        x: np.ndarray,
+        rng: np.random.Generator,
+    ) -> List[Monomial]:
+        """Shrink x, then Moebius-transform the residual on the subcube."""
+        x = x.astype(np.int8).copy()
+        x = self._shrink_support(h, x, rng)
+        support = [int(i) for i in np.nonzero(x)[0]]
+        if len(support) > self.subcube_cap:
+            raise SupportTooLarge(
+                f"counterexample support {len(support)} exceeds the subcube "
+                f"cap {self.subcube_cap}; target is not a sparse low-degree "
+                "polynomial in reach of LearnPoly"
+            )
+        # Evaluate g on every point of the subcube below x.
+        k = len(support)
+        points = np.zeros((2**k, n), dtype=np.int8)
+        subsets: List[Tuple[int, ...]] = []
+        for idx, bits in enumerate(itertools.product((0, 1), repeat=k)):
+            subset = tuple(support[j] for j in range(k) if bits[j])
+            subsets.append(subset)
+            points[idx, list(subset)] = 1
+        values = self._residual(h, points)
+
+        # Moebius over F2: a_M = xor of g(1_T) over T subseteq M.
+        value_by_subset = {frozenset(s): int(v) for s, v in zip(subsets, values)}
+        monomials: List[Monomial] = []
+        for subset in subsets:
+            fs = frozenset(subset)
+            coeff = 0
+            for r in range(len(subset) + 1):
+                for sub in itertools.combinations(subset, r):
+                    coeff ^= value_by_subset[frozenset(sub)]
+            if coeff:
+                monomials.append(fs)
+        if not monomials:
+            raise InconsistentOracle(
+                "residual positive on the subcube top but the Moebius "
+                "transform found no monomials; the membership oracle is "
+                "noisy or adversarial"
+            )
+        return monomials
+
+    def _shrink_support(
+        self,
+        h: SparseF2Polynomial,
+        x: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Greedy support reduction while keeping the residual equal to 1."""
+        improved = True
+        while improved:
+            improved = False
+            ones = np.nonzero(x)[0]
+            if ones.size == 0:
+                break
+            # Single-bit phase, batched: try clearing each set bit.
+            candidates = np.repeat(x[None, :], ones.size, axis=0)
+            candidates[np.arange(ones.size), ones] = 0
+            g = self._residual(h, candidates)
+            hits = np.nonzero(g == 1)[0]
+            if hits.size:
+                x = candidates[hits[0]]
+                improved = True
+                continue
+            # Pair phase (needed e.g. for parity-like residuals): only when
+            # the support is still above the cap or moderately large.
+            if ones.size > self.subcube_cap or ones.size > 8:
+                pair_list = list(itertools.combinations(ones.tolist(), 2))
+                rng.shuffle(pair_list)
+                # Cap the batch to keep query counts polynomial.
+                pair_list = pair_list[: 4 * len(ones)]
+                if pair_list:
+                    cands = np.repeat(x[None, :], len(pair_list), axis=0)
+                    for row, (i, j) in enumerate(pair_list):
+                        cands[row, i] = 0
+                        cands[row, j] = 0
+                    g = self._residual(h, cands)
+                    hits = np.nonzero(g == 1)[0]
+                    if hits.size:
+                        x = cands[hits[0]]
+                        improved = True
+        return x

@@ -1,0 +1,164 @@
+"""The LMN (Linial-Mansour-Nisan) low-degree algorithm [16].
+
+The uniform-distribution, improper PAC learner at the heart of the paper's
+Corollary 1: estimate every Fourier coefficient of degree < d from one
+shared sample of uniform examples, and output the sign of the resulting
+low-degree expansion.  Because the hypothesis is *any* sign-of-polynomial
+(not an LTF, not a circuit), this is improper learning — the freedom the
+paper emphasises in Section V-B.
+
+The algorithm tolerates classification noise: noise of rate eta scales
+every estimated coefficient by (1 - 2 eta) uniformly, which does not change
+the sign of the expansion, only its margin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.function import BooleanFunction
+from repro.learning.oracles import ExampleOracle
+
+
+def num_low_degree_subsets(n: int, degree: int) -> int:
+    """How many subsets of [n] have size <= degree."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    return sum(math.comb(n, i) for i in range(min(degree, n) + 1))
+
+
+def lmn_sample_size(n: int, degree: int, eps: float, delta: float) -> int:
+    """The n^O(d) ln(1/delta) sample size of the LMN theorem.
+
+    We use the concrete form m = ceil((8/eps) * N * ln(4 N / delta)) with
+    N the number of coefficients estimated — a standard Hoeffding + union
+    bound making every estimate accurate to sqrt(eps/N).
+    """
+    if not 0 < eps < 1 or not 0 < delta < 1:
+        raise ValueError("eps and delta must be in (0, 1)")
+    count = num_low_degree_subsets(n, degree)
+    return math.ceil((8.0 / eps) * count * math.log(4.0 * count / delta))
+
+
+@dataclasses.dataclass
+class LMNResult:
+    """Outcome of an LMN run."""
+
+    hypothesis: BooleanFunction
+    spectrum: Dict[Tuple[int, ...], float]
+    degree: int
+    examples_used: int
+    captured_weight: float  # sum of squared estimated coefficients
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.hypothesis(x)
+
+
+class LMNLearner:
+    """Low-degree Fourier learner over the uniform distribution.
+
+    Parameters
+    ----------
+    degree:
+        Estimate all coefficients with |S| <= degree.  For XOR Arbiter
+        PUFs, Corollary 1 prescribes degree ~ 2.32 k^2 / eps^2 (see
+        :func:`repro.booleanfuncs.noise_sensitivity.lmn_degree_for_xor_puf`).
+    threshold:
+        Coefficients with |estimate| below this are dropped from the
+        hypothesis (0 keeps all — the plain LMN).
+    max_coefficients:
+        Guard rail: refuse to enumerate more subsets than this (the n^O(d)
+        blow-up is the *point* of the infeasibility result for large k).
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        threshold: float = 0.0,
+        max_coefficients: int = 2_000_000,
+    ) -> None:
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.degree = degree
+        self.threshold = threshold
+        self.max_coefficients = max_coefficients
+
+    # ------------------------------------------------------------------
+    def low_degree_subsets(self, n: int) -> List[Tuple[int, ...]]:
+        """All subsets of [n] of size <= degree (guard-railed)."""
+        count = num_low_degree_subsets(n, self.degree)
+        if count > self.max_coefficients:
+            raise ValueError(
+                f"degree {self.degree} over n={n} variables needs {count} "
+                f"coefficients (> cap {self.max_coefficients}); this blow-up "
+                "is exactly the LMN infeasibility regime"
+            )
+        subsets: List[Tuple[int, ...]] = []
+        for size in range(min(self.degree, n) + 1):
+            subsets.extend(itertools.combinations(range(n), size))
+        return subsets
+
+    def fit_sample(self, x: np.ndarray, y: np.ndarray) -> LMNResult:
+        """Run LMN on a fixed sample of uniform examples."""
+        x = np.asarray(x)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ValueError("x must be (m, n) and y length m")
+        if x.shape[0] == 0:
+            raise ValueError("need at least one example")
+        n = x.shape[1]
+        subsets = self.low_degree_subsets(n)
+
+        # Estimate all coefficients from the shared sample.  Group by
+        # subset size and compute products incrementally where possible.
+        xf = x.astype(np.float64)
+        spectrum: Dict[Tuple[int, ...], float] = {}
+        for subset in subsets:
+            if subset:
+                char = np.prod(xf[:, list(subset)], axis=1)
+            else:
+                char = np.ones(x.shape[0])
+            estimate = float(np.mean(y * char))
+            if abs(estimate) > self.threshold:
+                spectrum[subset] = estimate
+
+        captured = float(sum(v * v for v in spectrum.values()))
+        hypothesis = _expansion_sign(n, spectrum)
+        return LMNResult(
+            hypothesis=hypothesis,
+            spectrum=spectrum,
+            degree=self.degree,
+            examples_used=x.shape[0],
+            captured_weight=captured,
+        )
+
+    def fit_oracle(self, oracle: ExampleOracle, m: int) -> LMNResult:
+        """Draw ``m`` examples from the oracle and run LMN."""
+        x, y = oracle.draw(m)
+        return self.fit_sample(x, y)
+
+
+def _expansion_sign(
+    n: int, spectrum: Dict[Tuple[int, ...], float]
+) -> BooleanFunction:
+    """sign(sum fhat(S) chi_S(x)) as a BooleanFunction (ties -> +1)."""
+    items = sorted(spectrum.items())
+
+    def evaluate(x: np.ndarray) -> np.ndarray:
+        xf = x.astype(np.float64)
+        acc = np.zeros(x.shape[0])
+        for subset, coeff in items:
+            if subset:
+                acc += coeff * np.prod(xf[:, list(subset)], axis=1)
+            else:
+                acc += coeff
+        return np.where(acc >= 0, 1, -1).astype(np.int8)
+
+    return BooleanFunction(n, evaluate, name="lmn_hypothesis")

@@ -1,0 +1,46 @@
+"""Evaluation metrics for learned hypotheses."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.pufs.crp import CRPSet
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of agreeing +/-1 labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("prediction/label shape mismatch")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty set")
+    return float(np.mean(predictions == labels))
+
+
+def error_rate(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """1 - accuracy."""
+    return 1.0 - accuracy(predictions, labels)
+
+
+def evaluate_hypothesis(
+    hypothesis: Callable[[np.ndarray], np.ndarray],
+    test_set: CRPSet,
+) -> float:
+    """Accuracy of a hypothesis on a held-out CRP set."""
+    return accuracy(np.asarray(hypothesis(test_set.challenges)), test_set.responses)
+
+
+def majority_baseline(labels: np.ndarray) -> float:
+    """Accuracy of always predicting the majority label.
+
+    The floor any learner must beat; for heavily biased PUFs this floor is
+    itself high, which is why the paper reports bias alongside accuracy.
+    """
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        raise ValueError("cannot compute a baseline on an empty set")
+    p = np.mean(labels == 1)
+    return float(max(p, 1.0 - p))

@@ -1,0 +1,156 @@
+"""A small multilayer perceptron, trained with Adam (NumPy only).
+
+The modern face of the improper adversary: a one-hidden-layer tanh network
+can represent the pairwise/triple interactions a BR PUF has and an LTF
+cannot, so it clears the proper-LTF accuracy cap of [11]/Table II the same
+way the LMN low-degree expansion does — with the usual empirical-ML
+trade-off (no PAC certificate, but excellent accuracy per CRP).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+
+FeatureMap = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclasses.dataclass
+class MLPResult:
+    """A trained one-hidden-layer network."""
+
+    w1: np.ndarray  # (d, hidden)
+    b1: np.ndarray  # (hidden,)
+    w2: np.ndarray  # (hidden,)
+    b2: float
+    train_accuracy: float
+    epochs_run: int
+    final_loss: float
+    feature_map: Optional[FeatureMap] = None
+
+    def score(self, x: np.ndarray) -> np.ndarray:
+        feats = x if self.feature_map is None else self.feature_map(x)
+        feats = np.asarray(feats, dtype=np.float64)
+        hidden = np.tanh(feats @ self.w1 + self.b1)
+        return hidden @ self.w2 + self.b2
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.where(self.score(x) >= 0, 1, -1).astype(np.int8)
+
+
+class MLPAttack:
+    """One-hidden-layer tanh MLP with logistic loss and Adam.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden units.
+    epochs:
+        Full passes over the data.
+    batch_size, learning_rate, l2:
+        The usual knobs.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        epochs: int = 60,
+        batch_size: int = 128,
+        learning_rate: float = 0.01,
+        l2: float = 1e-5,
+        feature_map: Optional[FeatureMap] = None,
+    ) -> None:
+        if hidden < 1 or epochs < 1 or batch_size < 1:
+            raise ValueError("hidden, epochs, and batch_size must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.feature_map = feature_map
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MLPResult:
+        """Train on +/-1 inputs and labels."""
+        x = np.asarray(x)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ValueError("x must be (m, n) and y length m")
+        if x.shape[0] == 0:
+            raise ValueError("need at least one example")
+        rng = np.random.default_rng() if rng is None else rng
+        feats = x if self.feature_map is None else self.feature_map(x)
+        feats = np.asarray(feats, dtype=np.float64)
+        m, d = feats.shape
+        h = self.hidden
+
+        w1 = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, h))
+        b1 = np.zeros(h)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(h), size=h)
+        b2 = 0.0
+
+        params = [w1, b1, w2, np.array([b2])]
+        m1 = [np.zeros_like(p) for p in params]
+        m2 = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps_adam = 0.9, 0.999, 1e-8
+        step = 0
+        loss = np.inf
+
+        for epoch in range(self.epochs):
+            order = rng.permutation(m)
+            for start in range(0, m, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = feats[idx], y[idx]
+                # Forward.
+                pre = xb @ params[0] + params[1]
+                hid = np.tanh(pre)
+                score = hid @ params[2] + params[3][0]
+                z = yb * score
+                loss = float(
+                    np.mean(np.logaddexp(0.0, -z))
+                    + 0.5 * self.l2 * (np.sum(params[0] ** 2) + np.sum(params[2] ** 2))
+                )
+                # Backward.
+                sig = 1.0 / (1.0 + np.exp(np.clip(z, -500, 500)))
+                dscore = -yb * sig / xb.shape[0]
+                grads = [
+                    xb.T @ ((dscore[:, None] * params[2][None, :]) * (1 - hid**2))
+                    + self.l2 * params[0],
+                    np.sum((dscore[:, None] * params[2][None, :]) * (1 - hid**2), axis=0),
+                    hid.T @ dscore + self.l2 * params[2],
+                    np.array([np.sum(dscore)]),
+                ]
+                step += 1
+                for p, g, mm, vv in zip(params, grads, m1, m2):
+                    mm *= beta1
+                    mm += (1 - beta1) * g
+                    vv *= beta2
+                    vv += (1 - beta2) * g * g
+                    m_hat = mm / (1 - beta1**step)
+                    v_hat = vv / (1 - beta2**step)
+                    p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
+
+        result = MLPResult(
+            w1=params[0],
+            b1=params[1],
+            w2=params[2],
+            b2=float(params[3][0]),
+            train_accuracy=0.0,
+            epochs_run=self.epochs,
+            final_loss=loss,
+            feature_map=self.feature_map,
+        )
+        result.train_accuracy = float(
+            np.mean(result.predict(x) == y.astype(np.int8))
+        )
+        return result

@@ -1,0 +1,165 @@
+"""Attacker access models as oracle objects (Section IV of the paper).
+
+The paper's second pitfall axis is *what the attacker may ask*:
+
+* :class:`ExampleOracle` — labelled examples drawn from a distribution D
+  (the passive, known-plaintext-like setting).  The distribution is a
+  constructor argument because "random examples" in the LL literature
+  silently means *uniform* (Section III).
+* :class:`MembershipOracle` — the attacker picks the challenge (the
+  chosen-plaintext-like setting); query counting built in.
+* :class:`SimulatedEquivalenceOracle` — Angluin's observation [22] that an
+  equivalence query can be simulated by testing the hypothesis on random
+  examples: if m >= (1/eps)(ln(1/delta) + i ln 2) examples agree at round
+  i, accept.  This is why "EQ is unrealistic for hardware" is not a valid
+  objection (Section IV).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.pufs.crp import ChallengeSampler, uniform_challenges
+
+Target = Callable[[np.ndarray], np.ndarray]
+
+
+class ExampleOracle:
+    """Draws labelled examples (x, f(x)) with x ~ D.
+
+    Parameters
+    ----------
+    n:
+        Challenge length.
+    target:
+        The unknown function (vectorised, +/-1 in and out).
+    rng:
+        Randomness for the draws.
+    sampler:
+        The distribution D; defaults to uniform.
+    noise_rate:
+        Classification-noise rate: each label is flipped independently with
+        this probability (the "attribute noise" surrogate used in noise-
+        tolerance tests).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        target: Target,
+        rng: Optional[np.random.Generator] = None,
+        sampler: ChallengeSampler = uniform_challenges,
+        noise_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= noise_rate < 0.5:
+            raise ValueError("noise_rate must be in [0, 0.5)")
+        self.n = n
+        self.target = target
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.sampler = sampler
+        self.noise_rate = noise_rate
+        self.examples_drawn = 0
+
+    def draw(self, m: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``m`` fresh labelled examples."""
+        if m <= 0:
+            raise ValueError("example count must be positive")
+        x = self.sampler(m, self.n, self.rng)
+        y = np.asarray(self.target(x), dtype=np.int8)
+        if self.noise_rate > 0:
+            flips = self.rng.random(m) < self.noise_rate
+            y = np.where(flips, -y, y).astype(np.int8)
+        self.examples_drawn += m
+        return x, y
+
+
+class MembershipOracle:
+    """Answers f(x) on attacker-chosen challenges, with query accounting."""
+
+    def __init__(
+        self,
+        n: int,
+        target: Target,
+        max_queries: Optional[int] = None,
+    ) -> None:
+        self.n = n
+        self.target = target
+        self.max_queries = max_queries
+        self.queries_made = 0
+
+    def query(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the target on the given challenge rows."""
+        x = np.asarray(x)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.n:
+            raise ValueError(f"expected width {self.n}, got {x.shape[1]}")
+        self.queries_made += x.shape[0]
+        if self.max_queries is not None and self.queries_made > self.max_queries:
+            raise RuntimeError(
+                f"membership query budget of {self.max_queries} exhausted"
+            )
+        return np.asarray(self.target(x), dtype=np.int8)
+
+    def query_one(self, x: np.ndarray) -> int:
+        """Single-point convenience wrapper."""
+        return int(self.query(np.asarray(x)[None, :])[0])
+
+
+def angluin_eq_sample_size(eps: float, delta: float, round_index: int) -> int:
+    """Sample size for the i-th simulated equivalence query.
+
+    From Angluin [22]: testing the i-th hypothesis on
+    ``ceil((1/eps)(ln(1/delta) + (i+1) ln 2))`` random examples keeps the
+    total failure probability below delta while guaranteeing every accepted
+    hypothesis is an eps-approximator.
+    """
+    if not 0 < eps < 1 or not 0 < delta < 1:
+        raise ValueError("eps and delta must be in (0, 1)")
+    if round_index < 0:
+        raise ValueError("round_index must be non-negative")
+    return math.ceil((1.0 / eps) * (math.log(1.0 / delta) + (round_index + 1) * math.log(2.0)))
+
+
+class SimulatedEquivalenceOracle:
+    """Equivalence queries simulated with random examples (Angluin [22]).
+
+    Each call to :meth:`query` tests the hypothesis on a fresh sample whose
+    size grows logarithmically with the round number; a disagreement is
+    returned as a counterexample, otherwise the hypothesis is accepted as
+    an eps-approximator.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        target: Target,
+        eps: float,
+        delta: float,
+        rng: Optional[np.random.Generator] = None,
+        sampler: ChallengeSampler = uniform_challenges,
+    ) -> None:
+        self.n = n
+        self.target = target
+        self.eps = eps
+        self.delta = delta
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.sampler = sampler
+        self.round = 0
+        self.examples_used = 0
+
+    def query(self, hypothesis: Target) -> Optional[np.ndarray]:
+        """A counterexample row where hypothesis != target, or None (accept)."""
+        m = angluin_eq_sample_size(self.eps, self.delta, self.round)
+        self.round += 1
+        x = self.sampler(m, self.n, self.rng)
+        self.examples_used += m
+        y_target = np.asarray(self.target(x), dtype=np.int8)
+        y_hyp = np.asarray(hypothesis(x), dtype=np.int8)
+        disagree = np.nonzero(y_target != y_hyp)[0]
+        if disagree.size:
+            return x[disagree[0]]
+        return None

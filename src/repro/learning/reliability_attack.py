@@ -1,0 +1,187 @@
+"""Becker-style reliability attack on XOR Arbiter PUFs.
+
+The access-model extension the paper's taxonomy invites: besides the
+challenge-response bit, a physical attacker can measure each challenge
+repeatedly and record its *reliability* — and reliability is a property of
+the **individual chains** (a challenge is unstable when some chain's
+margin is small), not of the XOR.  Correlating a hypothetical chain's
+|margin| with measured reliability therefore singles out one chain at a
+time, making the attack polynomial in k where response-only attacks fight
+the full XOR.  This implementation covers the k = 2 case end to end:
+
+1. measure CRPs R times; reliability r_i = |sum of measurements| / R;
+2. evolve a weight vector maximising |corr(|phi w|, r)| (CMA-ES in the
+   original; a (mu, lambda)-ES here) — converges onto one chain;
+3. infer the other chain's labels from b = y * sign(phi w_A) and fit it by
+   logistic regression;
+4. EM-refine both chains alternately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.logistic import LogisticAttack
+from repro.pufs.arbiter import parity_transform
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+@dataclasses.dataclass
+class ReliabilityAttackResult:
+    """Recovered 2-XOR model."""
+
+    chain_a: np.ndarray  # (n+1,) weights over parity features
+    chain_b: np.ndarray
+    reliability_correlation: float  # achieved |corr| of the ES phase
+    train_accuracy: float
+    oracle_measurements: int  # total noisy evaluations consumed
+
+    def predict(self, challenges: np.ndarray) -> np.ndarray:
+        phi = parity_transform(challenges)
+        a = np.where(phi @ self.chain_a >= 0, 1, -1)
+        b = np.where(phi @ self.chain_b >= 0, 1, -1)
+        return (a * b).astype(np.int8)
+
+
+class ReliabilityAttack:
+    """Reliability side-channel attack on 2-XOR Arbiter PUFs.
+
+    Parameters
+    ----------
+    crps:
+        Challenges measured.
+    repetitions:
+        Noisy measurements per challenge (the reliability resolution).
+    generations, mu, lam:
+        ES schedule for the reliability-correlation phase.
+    restarts:
+        Independent ES restarts (the correlation landscape has poor local
+        optima; the best run is kept and the loop stops early once the
+        correlation is clearly locked onto a chain).
+    refinement_rounds:
+        Alternating logistic refinements after the ES phase.
+    """
+
+    def __init__(
+        self,
+        crps: int = 6000,
+        repetitions: int = 15,
+        generations: int = 80,
+        mu: int = 6,
+        lam: int = 24,
+        restarts: int = 4,
+        refinement_rounds: int = 3,
+    ) -> None:
+        if crps < 10 or repetitions < 3:
+            raise ValueError("need >= 10 CRPs and >= 3 repetitions")
+        if generations < 1 or mu < 1 or lam < mu:
+            raise ValueError("invalid ES schedule")
+        if restarts < 1:
+            raise ValueError("restarts must be positive")
+        if refinement_rounds < 0:
+            raise ValueError("refinement_rounds must be non-negative")
+        self.crps = crps
+        self.repetitions = repetitions
+        self.generations = generations
+        self.mu = mu
+        self.lam = lam
+        self.restarts = restarts
+        self.refinement_rounds = refinement_rounds
+
+    def run(
+        self,
+        puf: XORArbiterPUF,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReliabilityAttackResult:
+        """Attack a noisy 2-XOR PUF through repeated measurements."""
+        if puf.k != 2:
+            raise ValueError("this implementation targets k = 2 XOR PUFs")
+        if puf.noise_sigma <= 0:
+            raise ValueError(
+                "the reliability side channel needs a noisy device "
+                "(noise_sigma > 0)"
+            )
+        rng = np.random.default_rng() if rng is None else rng
+        n = puf.n
+        challenges = (1 - 2 * rng.integers(0, 2, size=(self.crps, n))).astype(
+            np.int8
+        )
+        measurements = np.stack(
+            [puf.eval_noisy(challenges, rng) for _ in range(self.repetitions)]
+        )
+        reliability = np.abs(measurements.sum(axis=0)) / self.repetitions
+        responses = np.where(measurements.sum(axis=0) >= 0, 1, -1).astype(np.int8)
+        phi = parity_transform(challenges)
+
+        rel_centred = reliability - reliability.mean()
+        rel_norm = float(np.sqrt(np.sum(rel_centred**2))) or 1.0
+
+        def fitness(w: np.ndarray) -> float:
+            h = np.abs(phi @ w)
+            hc = h - h.mean()
+            denom = float(np.sqrt(np.sum(hc**2))) * rel_norm
+            if denom == 0:
+                return 0.0
+            return abs(float(np.sum(hc * rel_centred)) / denom)
+
+        # (mu, lambda)-ES on the reliability correlation, with restarts.
+        best_w, best_fit = None, -1.0
+        for _ in range(self.restarts):
+            w, fit = self._es_phase(fitness, n, rng)
+            if fit > best_fit:
+                best_w, best_fit = w, fit
+            if best_fit > 0.2:  # clearly locked onto a chain
+                break
+        assert best_w is not None
+
+        # Divide and conquer: chain B's labels follow from chain A's signs.
+        chain_a = best_w
+        chain_b = np.zeros(n + 1)
+        for _ in range(self.refinement_rounds + 1):
+            a_pred = np.where(phi @ chain_a >= 0, 1, -1)
+            b_fit = LogisticAttack().fit(
+                phi, (responses * a_pred).astype(np.float64), rng
+            )
+            chain_b = b_fit.ltf.weights.copy()
+            chain_b[-1] -= b_fit.ltf.threshold
+            b_pred = np.where(phi @ chain_b >= 0, 1, -1)
+            a_fit = LogisticAttack().fit(
+                phi, (responses * b_pred).astype(np.float64), rng
+            )
+            chain_a = a_fit.ltf.weights.copy()
+            chain_a[-1] -= a_fit.ltf.threshold
+
+        result = ReliabilityAttackResult(
+            chain_a=chain_a,
+            chain_b=chain_b,
+            reliability_correlation=best_fit,
+            train_accuracy=0.0,
+            oracle_measurements=self.crps * self.repetitions,
+        )
+        result.train_accuracy = float(
+            np.mean(result.predict(challenges) == responses)
+        )
+        return result
+
+    def _es_phase(self, fitness, n: int, rng: np.random.Generator):
+        """One (mu, lambda)-ES run; returns (best weights, best fitness)."""
+        population = [(rng.normal(size=n + 1), 0.5) for _ in range(self.mu)]
+        best_w, best_fit = population[0][0], fitness(population[0][0])
+        for _ in range(self.generations):
+            offspring = []
+            scores = []
+            for _ in range(self.lam):
+                w, step = population[int(rng.integers(0, self.mu))]
+                new_step = step * float(np.exp(0.1 * rng.normal()))
+                child = w + new_step * rng.normal(size=n + 1)
+                offspring.append((child, new_step))
+                scores.append(fitness(child))
+            order = np.argsort(scores)[::-1][: self.mu]
+            population = [offspring[int(i)] for i in order]
+            if scores[int(order[0])] > best_fit:
+                best_fit = scores[int(order[0])]
+                best_w = population[0][0].copy()
+        return best_w, best_fit

@@ -1,0 +1,149 @@
+"""The Statistical Query (SQ) model — noise-tolerant access, formalised.
+
+Footnote 1 of the paper points at attribute noise as a first-class
+concern; the SQ model (Kearns) is the classical abstraction for it: the
+learner may not see examples at all, only estimates of expectations
+``E[q(x, f(x))]`` answered to within a tolerance tau.  Every SQ learner is
+automatically noise-tolerant — and, famously, parities are *not* SQ
+learnable, which separates the access models the paper compares:
+
+* LTF-structure (Chow parameters) is SQ-learnable: the n+1 correlational
+  queries ``q_i = y x_i`` suffice (``SQChowLearner``);
+* a parity's correlational queries are all 0 except the single right one,
+  so an adversarial tau-rounding oracle reveals nothing — membership
+  queries (LearnPoly, KM) are strictly stronger here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.booleanfuncs.ltf import LTF, ltf_from_chow_parameters
+from repro.pufs.crp import ChallengeSampler, uniform_challenges
+
+Target = Callable[[np.ndarray], np.ndarray]
+Query = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class SQOracle:
+    """Answers statistical queries about (x, f(x)) with tolerance tau.
+
+    Parameters
+    ----------
+    n, target:
+        Arity and the unknown +/-1 function.
+    tau:
+        Tolerance: answers are within tau of the true expectation.
+    mode:
+        ``"adversarial"`` rounds the true expectation to the nearest
+        multiple of tau (the worst legal oracle — kills parities);
+        ``"sampling"`` estimates from ``ceil(4/tau^2)`` fresh examples
+        (the realistic oracle induced by an example stream).
+    sampler:
+        The distribution D the expectations are over.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        target: Target,
+        tau: float,
+        mode: str = "adversarial",
+        rng: Optional[np.random.Generator] = None,
+        sampler: ChallengeSampler = uniform_challenges,
+    ) -> None:
+        if not 0 < tau < 1:
+            raise ValueError("tau must be in (0, 1)")
+        if mode not in ("adversarial", "sampling"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.n = n
+        self.target = target
+        self.tau = tau
+        self.mode = mode
+        self.rng = np.random.default_rng() if rng is None else rng
+        self.sampler = sampler
+        self.queries_made = 0
+        # Exact expectations need a reference sample; large but fixed.
+        self._reference_size = max(int(np.ceil(16.0 / tau**2)), 4096)
+
+    def query(self, q: Query) -> float:
+        """E[q(x, f(x))] to within tau; q must map into [-1, 1]."""
+        self.queries_made += 1
+        if self.mode == "sampling":
+            m = max(int(np.ceil(4.0 / self.tau**2)), 16)
+            x = self.sampler(m, self.n, self.rng)
+            values = np.asarray(q(x, np.asarray(self.target(x))), dtype=np.float64)
+            self._check_range(values)
+            return float(np.mean(values))
+        # Adversarial: compute a high-precision estimate of the truth, then
+        # round it to the tau-grid (a legal answer that leaks the least).
+        x = self.sampler(self._reference_size, self.n, self.rng)
+        values = np.asarray(q(x, np.asarray(self.target(x))), dtype=np.float64)
+        self._check_range(values)
+        truth = float(np.mean(values))
+        return round(truth / self.tau) * self.tau
+
+    @staticmethod
+    def _check_range(values: np.ndarray) -> None:
+        if np.any(np.abs(values) > 1.0 + 1e-9):
+            raise ValueError("SQ query values must lie in [-1, 1]")
+
+
+@dataclasses.dataclass
+class SQChowResult:
+    """Outcome of SQ-based Chow-parameter learning."""
+
+    ltf: LTF
+    chow_estimate: np.ndarray
+    queries_made: int
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.ltf(x)
+
+
+class SQChowLearner:
+    """Learn an LTF from n+1 correlational statistical queries.
+
+    The Chow parameters are exactly the answers to q_0 = y and
+    q_i = y x_i, so the whole learner is n+1 SQ calls — the canonical
+    noise-tolerant attack on LTF-representable PUFs.
+    """
+
+    def fit(self, oracle: SQOracle) -> SQChowResult:
+        n = oracle.n
+        chow = np.empty(n + 1)
+        chow[0] = oracle.query(lambda x, y: y)
+        for i in range(n):
+            chow[i + 1] = oracle.query(
+                lambda x, y, i=i: y * x[:, i]
+            )
+        return SQChowResult(
+            ltf=ltf_from_chow_parameters(chow),
+            chow_estimate=chow,
+            queries_made=oracle.queries_made,
+        )
+
+
+def parity_correlations_under_sq(
+    oracle: SQOracle, candidate_subsets
+) -> dict:
+    """Correlational queries E[y chi_S(x)] for candidate parities.
+
+    Against an adversarial oracle with tau larger than the true (single,
+    +/-1-valued) coefficient's aliasing level... in fact for a parity
+    target every candidate S != S* has true correlation 0 and S* has 1, so
+    the adversarial oracle answers 0 for all wrong candidates and the
+    attack degenerates to exhaustive search over subsets — exponentially
+    many SQ calls.  This helper exists to make that failure measurable.
+    """
+    results = {}
+    for subset in candidate_subsets:
+        subset = tuple(subset)
+        results[subset] = oracle.query(
+            lambda x, y, s=subset: y
+            * (np.prod(x[:, list(s)], axis=1) if s else 1.0)
+        )
+    return results

@@ -1,0 +1,95 @@
+"""Logic locking: circuits, locking schemes, and oracle-guided attacks.
+
+The paper's second running example (besides PUFs) is IP logic locking
+(Section II-A): combinational locking adds key-controlled gates, sequential
+locking augments the FSM with obfuscation states.  Security analyses of
+these schemes reduce to SAT [4], [5] — so this package provides the whole
+stack from scratch:
+
+* a gate-level netlist IR with a ``.bench`` reader/writer,
+* a Tseitin CNF encoder and a CDCL SAT solver,
+* random XOR/XNOR combinational locking,
+* the oracle-guided SAT attack (exact key recovery) and AppSAT
+  (approximate deobfuscation — the exact-vs-approximate distinction of
+  Section IV-A),
+* HARPOON-style sequential locking on Mealy machines, attackable with the
+  L* learner of :mod:`repro.learning.angluin` (Section V-B).
+"""
+
+from repro.locking.netlist import Gate, GateType, Netlist
+from repro.locking.bench_format import parse_bench, write_bench
+from repro.locking.circuits import (
+    array_multiplier,
+    c17,
+    comparator,
+    multiplexer_tree,
+    present_sbox,
+    random_circuit,
+    ripple_carry_adder,
+)
+from repro.locking.metrics import CorruptionReport, corruption_report
+from repro.locking.cnf import CNF, tseitin_encode
+from repro.locking.solver import SATSolver, Satisfiability
+from repro.locking.combinational import LockedCircuit, random_lock
+from repro.locking.antisat import antisat
+from repro.locking.compound import compound_lock
+from repro.locking.sarlock import sarlock
+from repro.locking.sat_attack import SATAttack, SATAttackResult
+from repro.locking.appsat import AppSAT, AppSATResult
+from repro.locking.sequential import (
+    LockedFSM,
+    harpoon_lock,
+    unlock_by_lstar,
+)
+from repro.locking.synthesis import synthesize_truth_table, minimize_cubes
+from repro.locking.unroll import (
+    LockedSequentialCircuit,
+    lock_sequential,
+    unroll,
+)
+from repro.locking.sequential_netlist import (
+    SequentialCircuit,
+    synthesize_mealy,
+    encode_alphabet,
+)
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Netlist",
+    "parse_bench",
+    "write_bench",
+    "c17",
+    "present_sbox",
+    "array_multiplier",
+    "multiplexer_tree",
+    "CorruptionReport",
+    "corruption_report",
+    "random_circuit",
+    "ripple_carry_adder",
+    "comparator",
+    "CNF",
+    "tseitin_encode",
+    "SATSolver",
+    "Satisfiability",
+    "LockedCircuit",
+    "random_lock",
+    "sarlock",
+    "antisat",
+    "compound_lock",
+    "SATAttack",
+    "SATAttackResult",
+    "AppSAT",
+    "AppSATResult",
+    "LockedFSM",
+    "harpoon_lock",
+    "unlock_by_lstar",
+    "synthesize_truth_table",
+    "minimize_cubes",
+    "SequentialCircuit",
+    "synthesize_mealy",
+    "encode_alphabet",
+    "LockedSequentialCircuit",
+    "lock_sequential",
+    "unroll",
+]

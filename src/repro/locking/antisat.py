@@ -1,0 +1,89 @@
+"""Anti-SAT locking.
+
+The other canonical SAT-attack countermeasure besides SARLock: two
+complementary blocks ``g(x XOR k_a)`` and ``NOT g(x XOR k_b)`` are ANDed
+into a flip signal.  With the correct key (k_a = k_b = k*) the two blocks
+are complementary for every input and the flip is constantly 0; with a
+wrong key the flip fires on a small input set (for g = AND, exactly the
+inputs matching one pattern), so each DIP eliminates only a few keys and
+the exact SAT attack needs exponentially many iterations — while AppSAT
+again settles for an approximate key immediately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.locking.combinational import LockedCircuit
+from repro.locking.netlist import Gate, GateType, Netlist
+
+
+def antisat(
+    netlist: Netlist,
+    key_length: int,
+    rng: Optional[np.random.Generator] = None,
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Apply an Anti-SAT block (g = AND) over the first ``key_length`` inputs.
+
+    The public key input vector is the concatenation (k_a, k_b), so the
+    locked circuit has ``2 * key_length`` key bits; the correct key sets
+    k_a = k_b = k* for a random secret k*.
+    """
+    if key_length < 1:
+        raise ValueError("key_length must be at least 1")
+    if key_length > netlist.num_inputs:
+        raise ValueError(
+            f"key_length {key_length} exceeds the {netlist.num_inputs} inputs"
+        )
+    rng = np.random.default_rng() if rng is None else rng
+    secret = rng.integers(0, 2, size=key_length).astype(np.int8)
+    correct_key = np.concatenate([secret, secret])
+    key_a = tuple(f"{key_prefix}{i}" for i in range(key_length))
+    key_b = tuple(f"{key_prefix}{key_length + i}" for i in range(key_length))
+    watched = netlist.inputs[:key_length]
+
+    gates: List[Gate] = list(netlist.gates)
+    # Block A: g(x xor k_a) with g = AND.
+    a_bits = []
+    for i, (x_sig, k_sig) in enumerate(zip(watched, key_a)):
+        sig = f"__as_a{i}"
+        gates.append(Gate(sig, GateType.XOR, (x_sig, k_sig)))
+        a_bits.append(sig)
+    block_a = "__as_ga" if key_length > 1 else a_bits[0]
+    if key_length > 1:
+        gates.append(Gate(block_a, GateType.AND, tuple(a_bits)))
+
+    # Block B: NOT g(x xor k_b).
+    b_bits = []
+    for i, (x_sig, k_sig) in enumerate(zip(watched, key_b)):
+        sig = f"__as_b{i}"
+        gates.append(Gate(sig, GateType.XOR, (x_sig, k_sig)))
+        b_bits.append(sig)
+    if key_length > 1:
+        gates.append(Gate("__as_gb", GateType.NAND, tuple(b_bits)))
+        block_b = "__as_gb"
+    else:
+        gates.append(Gate("__as_gb", GateType.NOT, (b_bits[0],)))
+        block_b = "__as_gb"
+
+    gates.append(Gate("__as_flip", GateType.AND, (block_a, block_b)))
+    first_out = netlist.outputs[0]
+    flipped = f"{first_out}__as"
+    gates.append(Gate(flipped, GateType.XOR, (first_out, "__as_flip")))
+    outputs = (flipped,) + tuple(netlist.outputs[1:])
+
+    locked = Netlist(
+        inputs=tuple(netlist.inputs) + key_a + key_b,
+        outputs=outputs,
+        gates=gates,
+        name=f"{netlist.name}_antisat{key_length}",
+    )
+    return LockedCircuit(
+        locked=locked,
+        original=netlist,
+        correct_key=correct_key,
+        key_inputs=key_a + key_b,
+    )

@@ -1,0 +1,145 @@
+"""AppSAT: approximate deobfuscation [5].
+
+AppSAT interleaves SAT-attack DIP rounds with random-query reinforcement
+and terminates early once a candidate key's estimated error drops below a
+threshold.  The returned key is an *eps-approximation* of the correct one —
+precisely the approximate-inference notion (Rivest [2]) whose contrast
+with exact inference drives Section IV-A of the paper: a locking scheme
+can be provably resilient to exact recovery yet fall to AppSAT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.locking.combinational import LockedCircuit
+from repro.locking.sat_attack import _MiterEngine
+
+
+@dataclasses.dataclass
+class AppSATResult:
+    """Outcome of an AppSAT run."""
+
+    key: Optional[np.ndarray]
+    estimated_error: float
+    exact_termination: bool  # True if the miter became UNSAT (exact key)
+    iterations: int
+    oracle_queries: int
+
+    def summary(self) -> str:
+        kind = "exact" if self.exact_termination else "approximate"
+        return (
+            f"{kind} key after {self.iterations} rounds, "
+            f"estimated error {self.estimated_error:.2%} "
+            f"({self.oracle_queries} oracle queries)"
+        )
+
+
+class AppSAT:
+    """Approximate SAT attack with random-query reinforcement.
+
+    Parameters
+    ----------
+    error_threshold:
+        Terminate once the candidate key's estimated output error rate on
+        random inputs falls to or below this value.
+    settlement_rounds:
+        Number of consecutive low-error estimates required (AppSAT's
+        "settlement" heuristic against lucky samples).
+    queries_per_round:
+        Random oracle queries used per error estimate; failing samples are
+        added as constraints (the reinforcement step).
+    max_iterations:
+        Cap on DIP rounds.
+    """
+
+    def __init__(
+        self,
+        error_threshold: float = 0.01,
+        settlement_rounds: int = 2,
+        queries_per_round: int = 64,
+        max_iterations: int = 2_000,
+    ) -> None:
+        if not 0.0 <= error_threshold < 1.0:
+            raise ValueError("error_threshold must be in [0, 1)")
+        if settlement_rounds < 1:
+            raise ValueError("settlement_rounds must be at least 1")
+        if queries_per_round < 1:
+            raise ValueError("queries_per_round must be at least 1")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self.error_threshold = error_threshold
+        self.settlement_rounds = settlement_rounds
+        self.queries_per_round = queries_per_round
+        self.max_iterations = max_iterations
+
+    def run(
+        self,
+        target: LockedCircuit,
+        rng: Optional[np.random.Generator] = None,
+    ) -> AppSATResult:
+        """Run AppSAT against a locked circuit with oracle access."""
+        rng = np.random.default_rng() if rng is None else rng
+        engine = _MiterEngine(target)
+        n = len(engine.plain_inputs)
+        oracle_queries = 0
+        settled = 0
+        iterations = 0
+        best_key: Optional[np.ndarray] = None
+        best_error = 1.0
+
+        for iterations in range(1, self.max_iterations + 1):
+            dip = engine.find_dip()
+            if dip is None:
+                key = engine.extract_key()
+                return AppSATResult(
+                    key=key,
+                    estimated_error=0.0,
+                    exact_termination=True,
+                    iterations=iterations - 1,
+                    oracle_queries=oracle_queries,
+                )
+            outputs = target.oracle(dip[None, :])[0]
+            oracle_queries += 1
+            engine.add_io_constraint(dip, outputs)
+
+            # Reinforcement + error estimation on the current candidate key.
+            key = engine.extract_key()
+            if key is None:
+                continue
+            samples = rng.integers(0, 2, size=(self.queries_per_round, n)).astype(
+                np.int8
+            )
+            want = target.oracle(samples)
+            oracle_queries += self.queries_per_round
+            got = target.evaluate_locked(samples, key)
+            wrong = np.any(got != want, axis=1)
+            error = float(np.mean(wrong))
+            if error < best_error:
+                best_key, best_error = key, error
+            # Reinforce with a few failing patterns.
+            for idx in np.nonzero(wrong)[0][:4]:
+                engine.add_io_constraint(samples[idx], want[idx])
+            if error <= self.error_threshold:
+                settled += 1
+                if settled >= self.settlement_rounds:
+                    return AppSATResult(
+                        key=key,
+                        estimated_error=error,
+                        exact_termination=False,
+                        iterations=iterations,
+                        oracle_queries=oracle_queries,
+                    )
+            else:
+                settled = 0
+
+        return AppSATResult(
+            key=best_key,
+            estimated_error=best_error,
+            exact_termination=False,
+            iterations=iterations,
+            oracle_queries=oracle_queries,
+        )

@@ -1,0 +1,258 @@
+"""Benchmark circuit generators.
+
+c17 (the smallest ISCAS-85 benchmark, ubiquitous in the locking
+literature), random gate-level DAGs, and two arithmetic blocks that give
+the attacks structured targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.locking.netlist import Gate, GateType, Netlist
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates."""
+    gates = [
+        Gate("G10", GateType.NAND, ("G1", "G3")),
+        Gate("G11", GateType.NAND, ("G3", "G6")),
+        Gate("G16", GateType.NAND, ("G2", "G11")),
+        Gate("G19", GateType.NAND, ("G11", "G7")),
+        Gate("G22", GateType.NAND, ("G10", "G16")),
+        Gate("G23", GateType.NAND, ("G16", "G19")),
+    ]
+    return Netlist(
+        inputs=("G1", "G2", "G3", "G6", "G7"),
+        outputs=("G22", "G23"),
+        gates=gates,
+        name="c17",
+    )
+
+
+def random_circuit(
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int,
+    rng: Optional[np.random.Generator] = None,
+    two_input_only: bool = True,
+) -> Netlist:
+    """A random combinational DAG.
+
+    Each gate draws a random type and fans in from earlier signals, so the
+    result is acyclic by construction.  Outputs are drawn from the last
+    gates (guaranteeing non-trivial logic cones).
+    """
+    if num_inputs < 2 or num_gates < 1 or num_outputs < 1:
+        raise ValueError("need >= 2 inputs, >= 1 gate, >= 1 output")
+    if num_outputs > num_gates:
+        raise ValueError("cannot have more outputs than gates")
+    rng = np.random.default_rng() if rng is None else rng
+    inputs = [f"I{i}" for i in range(num_inputs)]
+    signals: List[str] = list(inputs)
+    gates: List[Gate] = []
+    binary_types = [
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    ]
+    for g in range(num_gates):
+        out = f"N{g}"
+        if not two_input_only and rng.random() < 0.15:
+            gate_type = GateType.NOT
+            fanin = (signals[int(rng.integers(0, len(signals)))],)
+        else:
+            gate_type = binary_types[int(rng.integers(0, len(binary_types)))]
+            a, b = rng.choice(len(signals), size=2, replace=False)
+            fanin = (signals[int(a)], signals[int(b)])
+        gates.append(Gate(out, gate_type, fanin))
+        signals.append(out)
+    tail = [g.output for g in gates[-max(num_outputs * 2, num_outputs) :]]
+    outputs = [
+        tail[int(i)]
+        for i in rng.choice(len(tail), size=num_outputs, replace=False)
+    ]
+    return Netlist(inputs, outputs, gates, name=f"rand_{num_inputs}x{num_gates}")
+
+
+def ripple_carry_adder(width: int) -> Netlist:
+    """A ``width``-bit ripple-carry adder: inputs a0.., b0.., cin."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)] + ["cin"]
+    gates: List[Gate] = []
+    carry = "cin"
+    outputs: List[str] = []
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        axb = f"axb{i}"
+        gates.append(Gate(axb, GateType.XOR, (a, b)))
+        s = f"sum{i}"
+        gates.append(Gate(s, GateType.XOR, (axb, carry)))
+        outputs.append(s)
+        t1, t2 = f"and_ab{i}", f"and_axc{i}"
+        gates.append(Gate(t1, GateType.AND, (a, b)))
+        gates.append(Gate(t2, GateType.AND, (axb, carry)))
+        cout = f"c{i + 1}"
+        gates.append(Gate(cout, GateType.OR, (t1, t2)))
+        carry = cout
+    outputs.append(carry)
+    return Netlist(inputs, outputs, gates, name=f"rca{width}")
+
+
+def multiplexer_tree(select_bits: int) -> Netlist:
+    """A 2^s-to-1 multiplexer: data inputs d0.., select inputs s0.. (MSB first).
+
+    Built as a tree of 2-to-1 muxes; a classic locking target because key
+    gates on select lines mimic design-hiding."""
+    if select_bits < 1:
+        raise ValueError("need at least one select bit")
+    num_data = 2**select_bits
+    data = [f"d{i}" for i in range(num_data)]
+    selects = [f"s{i}" for i in range(select_bits)]
+    gates: List[Gate] = []
+    aux = 0
+
+    def mux2(a: str, b: str, sel: str) -> str:
+        """out = a when sel=0, b when sel=1."""
+        nonlocal aux
+        aux += 1
+        not_sel = f"__ns{aux}"
+        lo = f"__lo{aux}"
+        hi = f"__hi{aux}"
+        out = f"__mx{aux}"
+        gates.append(Gate(not_sel, GateType.NOT, (sel,)))
+        gates.append(Gate(lo, GateType.AND, (a, not_sel)))
+        gates.append(Gate(hi, GateType.AND, (b, sel)))
+        gates.append(Gate(out, GateType.OR, (lo, hi)))
+        return out
+
+    layer = list(data)
+    for level in range(select_bits):
+        sel = selects[select_bits - 1 - level]  # LSB selects first
+        layer = [
+            mux2(layer[2 * i], layer[2 * i + 1], sel)
+            for i in range(len(layer) // 2)
+        ]
+    return Netlist(data + selects, [layer[0]], gates, name=f"mux{num_data}")
+
+
+def array_multiplier(width: int) -> Netlist:
+    """An unsigned ``width x width`` array multiplier (AND partial products
+    + ripple-carry reduction).  Outputs p0 (LSB) .. p{2w-1}."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    a = [f"a{i}" for i in range(width)]
+    b = [f"b{i}" for i in range(width)]
+    gates: List[Gate] = []
+
+    # Partial products pp[i][j] = a_i AND b_j.
+    pp = [[f"pp{i}_{j}" for j in range(width)] for i in range(width)]
+    for i in range(width):
+        for j in range(width):
+            gates.append(Gate(pp[i][j], GateType.AND, (a[i], b[j])))
+
+    aux = 0
+
+    def full_add(x: str, y: str, cin: str) -> Tuple[str, str]:
+        nonlocal aux
+        aux += 1
+        s1 = f"__fs{aux}"
+        s = f"__sum{aux}"
+        c1 = f"__c1{aux}"
+        c2 = f"__c2{aux}"
+        cout = f"__co{aux}"
+        gates.append(Gate(s1, GateType.XOR, (x, y)))
+        gates.append(Gate(s, GateType.XOR, (s1, cin)))
+        gates.append(Gate(c1, GateType.AND, (x, y)))
+        gates.append(Gate(c2, GateType.AND, (s1, cin)))
+        gates.append(Gate(cout, GateType.OR, (c1, c2)))
+        return s, cout
+
+    def half_add(x: str, y: str) -> Tuple[str, str]:
+        nonlocal aux
+        aux += 1
+        s = f"__hs{aux}"
+        c = f"__hc{aux}"
+        gates.append(Gate(s, GateType.XOR, (x, y)))
+        gates.append(Gate(c, GateType.AND, (x, y)))
+        return s, c
+
+    # Column-wise reduction (carry-save, then the columns resolve since we
+    # fold carries into the next column's operand list).
+    columns: List[List[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(pp[i][j])
+    outputs: List[str] = []
+    for col in range(2 * width):
+        operands = columns[col]
+        while len(operands) > 1:
+            if len(operands) >= 3:
+                s, c = full_add(operands[0], operands[1], operands[2])
+                operands = operands[3:] + [s]
+            else:
+                s, c = half_add(operands[0], operands[1])
+                operands = operands[2:] + [s]
+            if col + 1 < 2 * width:
+                columns[col + 1].append(c)
+        if operands:
+            outputs.append(operands[0])
+        else:
+            # Empty top column (no carry): tie to constant 0.
+            zero = f"__zero{col}"
+            gates.append(Gate(zero, GateType.XOR, (a[0], a[0])))
+            outputs.append(zero)
+    return Netlist(a + b, outputs, gates, name=f"mul{width}")
+
+
+#: The PRESENT block cipher's 4-bit S-box (a real cryptographic nonlinear
+#: block, synthesised to gates on demand).
+PRESENT_SBOX = (
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+)
+
+
+def present_sbox() -> Netlist:
+    """The PRESENT S-box as a 4-in/4-out netlist (via two-level synthesis).
+
+    A standard lightweight-crypto component; gives the locking attacks a
+    target with real cryptographic non-linearity rather than random logic.
+    """
+    from repro.locking.synthesis import synthesize_truth_table
+
+    table = np.zeros((16, 4), dtype=np.int8)
+    for x, y in enumerate(PRESENT_SBOX):
+        for b in range(4):
+            table[x, b] = (y >> (3 - b)) & 1
+    return synthesize_truth_table(
+        table,
+        input_names=[f"x{i}" for i in range(4)],
+        output_names=[f"s{i}" for i in range(4)],
+        name="present_sbox",
+    )
+
+
+def comparator(width: int) -> Netlist:
+    """Equality comparator: output 1 iff a == b (bitwise)."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    gates: List[Gate] = []
+    eq_signals: List[str] = []
+    for i in range(width):
+        eq = f"eq{i}"
+        gates.append(Gate(eq, GateType.XNOR, (f"a{i}", f"b{i}")))
+        eq_signals.append(eq)
+    if width == 1:
+        out = eq_signals[0]
+    else:
+        out = "all_eq"
+        gates.append(Gate(out, GateType.AND, tuple(eq_signals)))
+    return Netlist(inputs, [out], gates, name=f"cmp{width}")

@@ -1,0 +1,136 @@
+"""CNF formulas and Tseitin encoding of netlists.
+
+Variables are positive integers; literals are signed integers (DIMACS
+convention).  :func:`tseitin_encode` maps every signal of a netlist to a
+variable and emits the standard gate consistency clauses, which is what
+the SAT attack builds its miters from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.locking.netlist import GateType, Netlist
+
+
+class CNF:
+    """A growable CNF formula with a fresh-variable counter."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Tuple[int, ...]] = []
+        self.num_vars = 0
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (iterable of non-zero signed literals)."""
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause would make the formula trivially UNSAT")
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def _and_clauses(out: int, ins: Sequence[int]) -> List[Tuple[int, ...]]:
+    clauses = [tuple([out] + [-i for i in ins])]
+    clauses.extend((-out, i) for i in ins)
+    return clauses
+
+
+def _or_clauses(out: int, ins: Sequence[int]) -> List[Tuple[int, ...]]:
+    clauses = [tuple([-out] + list(ins))]
+    clauses.extend((out, -i) for i in ins)
+    return clauses
+
+
+def _xor_clauses(out: int, ins: Sequence[int]) -> List[Tuple[int, ...]]:
+    """out <-> XOR(ins), expanded over all sign patterns (fan-in kept small)."""
+    n = len(ins)
+    clauses = []
+    for signs in itertools.product((1, -1), repeat=n):
+        # Pattern: input i is true iff signs[i] == 1; the XOR of the
+        # pattern is the parity of the number of true inputs.
+        parity = sum(1 for s in signs if s == 1) % 2
+        # Forbid assignments inconsistent with out = parity of true inputs.
+        # If inputs match 'signs' pattern negated... derive via implication:
+        # clause = (~(ins pattern) or out==xor).  Encode both polarities.
+        out_lit = out if parity == 1 else -out
+        clause = tuple(-s * v for s, v in zip(signs, ins)) + (out_lit,)
+        clauses.append(clause)
+    return clauses
+
+
+def gate_clauses(
+    gate_type: GateType, out: int, ins: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """Tseitin consistency clauses for one gate."""
+    if gate_type is GateType.BUF:
+        return [(-out, ins[0]), (out, -ins[0])]
+    if gate_type is GateType.NOT:
+        return [(-out, -ins[0]), (out, ins[0])]
+    if gate_type is GateType.AND:
+        return _and_clauses(out, ins)
+    if gate_type is GateType.NAND:
+        aux_free = _and_clauses(-out, ins)
+        return aux_free
+    if gate_type is GateType.OR:
+        return _or_clauses(out, ins)
+    if gate_type is GateType.NOR:
+        return _or_clauses(-out, ins)
+    if gate_type is GateType.XOR:
+        return _xor_clauses(out, ins)
+    if gate_type is GateType.XNOR:
+        return _xor_clauses(-out, ins)
+    raise AssertionError(f"unhandled gate type {gate_type}")
+
+
+def tseitin_encode(
+    netlist: Netlist,
+    cnf: CNF,
+    var_map: Dict[str, int] | None = None,
+) -> Dict[str, int]:
+    """Encode a netlist into ``cnf``; returns the signal -> variable map.
+
+    Pass a partially filled ``var_map`` to share variables across several
+    encodings (this is how the SAT-attack miter ties the two circuit copies
+    to the same key variables).
+    """
+    var_map = {} if var_map is None else dict(var_map)
+    for signal in netlist.signals():
+        if signal not in var_map:
+            var_map[signal] = cnf.new_var()
+    for gate in netlist.gates:
+        out = var_map[gate.output]
+        ins = [var_map[s] for s in gate.inputs]
+        if gate.gate_type in (GateType.XOR, GateType.XNOR) and len(ins) > 6:
+            raise ValueError(
+                "XOR/XNOR fan-in above 6 would blow up the Tseitin encoding; "
+                "decompose the gate first"
+            )
+        cnf.extend(gate_clauses(gate.gate_type, out, ins))
+    return var_map

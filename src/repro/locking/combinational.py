@@ -1,0 +1,147 @@
+"""Combinational logic locking (random XOR/XNOR key-gate insertion).
+
+The classic RLL scheme the SAT-attack literature [4], [5] evaluates: pick
+wires, cut each one, and re-drive its loads through an XOR (key bit 0) or
+XNOR (key bit 1) with a fresh key input.  With the correct key every key
+gate is transparent; any wrong key corrupts some outputs on some inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.locking.netlist import Gate, GateType, Netlist
+
+
+@dataclasses.dataclass
+class LockedCircuit:
+    """A locked netlist together with its secret.
+
+    Attributes
+    ----------
+    locked:
+        Netlist whose primary inputs are the original inputs followed by
+        the key inputs (named ``key_inputs``).
+    original:
+        The unlocked design (the attack oracle evaluates this).
+    correct_key:
+        The key bit vector (0/1) that restores original functionality.
+    key_inputs:
+        Names of the key inputs, in key-bit order.
+    """
+
+    locked: Netlist
+    original: Netlist
+    correct_key: np.ndarray
+    key_inputs: Tuple[str, ...]
+
+    @property
+    def key_length(self) -> int:
+        return len(self.key_inputs)
+
+    def evaluate_locked(self, inputs: np.ndarray, key: np.ndarray) -> np.ndarray:
+        """Evaluate the locked circuit under a specific key.
+
+        ``inputs`` is (m, num_original_inputs); ``key`` is (key_length,).
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.int8))
+        key = np.asarray(key, dtype=np.int8)
+        if key.shape != (self.key_length,):
+            raise ValueError(
+                f"key must have shape ({self.key_length},), got {key.shape}"
+            )
+        key_block = np.broadcast_to(key, (inputs.shape[0], self.key_length))
+        full = np.concatenate([inputs, key_block], axis=1)
+        return self.locked.evaluate(full)
+
+    def oracle(self, inputs: np.ndarray) -> np.ndarray:
+        """The unlocked-chip oracle of the SAT-attack threat model."""
+        return self.original.evaluate(inputs)
+
+    def key_is_functionally_correct(
+        self,
+        key: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        m: int = 4096,
+        exhaustive_below: int = 14,
+    ) -> bool:
+        """Check a candidate key, exhaustively for small input counts."""
+        n = self.original.num_inputs
+        if n <= exhaustive_below:
+            idx = np.arange(2**n, dtype=np.uint32)
+            shifts = np.arange(n - 1, -1, -1, dtype=np.uint32)
+            tests = ((idx[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+        else:
+            rng = np.random.default_rng() if rng is None else rng
+            tests = rng.integers(0, 2, size=(m, n)).astype(np.int8)
+        return bool(
+            np.array_equal(self.evaluate_locked(tests, key), self.oracle(tests))
+        )
+
+    def wrong_key_error_rate(
+        self,
+        key: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        m: int = 4096,
+    ) -> float:
+        """Fraction of random inputs on which ``key`` corrupts some output."""
+        rng = np.random.default_rng() if rng is None else rng
+        tests = rng.integers(0, 2, size=(m, self.original.num_inputs)).astype(np.int8)
+        got = self.evaluate_locked(tests, key)
+        want = self.oracle(tests)
+        return float(np.mean(np.any(got != want, axis=1)))
+
+
+def random_lock(
+    netlist: Netlist,
+    key_length: int,
+    rng: Optional[np.random.Generator] = None,
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Lock ``netlist`` with ``key_length`` random XOR/XNOR key gates.
+
+    Each key gate is inserted on a distinct gate-output wire; key bit value
+    1 uses an XNOR (so the correct key is not all-zeros by construction).
+    """
+    if key_length < 1:
+        raise ValueError("key_length must be at least 1")
+    if key_length > netlist.num_gates:
+        raise ValueError(
+            f"cannot insert {key_length} key gates into {netlist.num_gates} gates"
+        )
+    rng = np.random.default_rng() if rng is None else rng
+    # Lockable wires: gate outputs (cutting primary inputs is also done in
+    # practice; gate outputs keep the construction simple and general).
+    wires = [g.output for g in netlist.gates]
+    chosen = rng.choice(len(wires), size=key_length, replace=False)
+    chosen_wires = [wires[int(i)] for i in sorted(chosen)]
+    key_bits = rng.integers(0, 2, size=key_length).astype(np.int8)
+
+    key_inputs = tuple(f"{key_prefix}{i}" for i in range(key_length))
+    rename: Dict[str, str] = {w: f"{w}__pre" for w in chosen_wires}
+
+    new_gates: List[Gate] = []
+    for gate in netlist.gates:
+        out = rename.get(gate.output, gate.output)
+        # Loads of a locked wire must read the key gate's output, i.e. the
+        # *original* name; only the driver is renamed.
+        new_gates.append(Gate(out, gate.gate_type, gate.inputs))
+    for i, wire in enumerate(chosen_wires):
+        gate_type = GateType.XNOR if key_bits[i] else GateType.XOR
+        new_gates.append(Gate(wire, gate_type, (rename[wire], key_inputs[i])))
+
+    locked = Netlist(
+        inputs=tuple(netlist.inputs) + key_inputs,
+        outputs=netlist.outputs,
+        gates=new_gates,
+        name=f"{netlist.name}_locked{key_length}",
+    )
+    return LockedCircuit(
+        locked=locked,
+        original=netlist,
+        correct_key=key_bits,
+        key_inputs=key_inputs,
+    )

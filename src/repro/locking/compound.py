@@ -1,0 +1,57 @@
+"""Compound locking: RLL plus a point-function block.
+
+The configuration the AppSAT paper [5] actually targets: vendors combine a
+high-corruption scheme (RLL, breaks quickly under the SAT attack but
+really hides logic) with a SAT-resilient point-function scheme (SARLock /
+Anti-SAT, low corruption).  AppSAT's observation — directly relevant to
+the paper's exact-vs-approximate axis — is that an *approximate* attacker
+recovers the RLL half and simply tolerates the point-function half's
+2^-|key| error, reducing the compound scheme to its weak component.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.locking.combinational import LockedCircuit, random_lock
+from repro.locking.netlist import Netlist
+from repro.locking.sarlock import sarlock
+
+PointScheme = Callable[..., LockedCircuit]
+
+
+def compound_lock(
+    netlist: Netlist,
+    rll_bits: int,
+    point_bits: int,
+    rng: Optional[np.random.Generator] = None,
+    point_scheme: PointScheme = sarlock,
+) -> LockedCircuit:
+    """RLL inside, a point-function scheme outside.
+
+    The key vector is the concatenation (RLL key, point-function key).
+    ``point_bits`` must not exceed the original circuit's input count (the
+    comparator watches primary inputs, which come first in the locked
+    netlist's input list).
+    """
+    if point_bits > netlist.num_inputs:
+        raise ValueError(
+            f"point_bits {point_bits} exceeds the {netlist.num_inputs} "
+            "primary inputs"
+        )
+    rng = np.random.default_rng() if rng is None else rng
+    inner = random_lock(netlist, rll_bits, rng, key_prefix="rllkey")
+    outer = point_scheme(inner.locked, point_bits, rng, key_prefix="pfkey")
+    # The outer scheme's 'oracle' is the RLL-locked circuit; rebuild the
+    # compound view against the true original with the concatenated key.
+    # Note: the outer scheme's notion of correctness assumed the inner key
+    # inputs were primary inputs; the compound correct key pins them.
+    correct_key = np.concatenate([inner.correct_key, outer.correct_key])
+    return LockedCircuit(
+        locked=outer.locked,
+        original=netlist,
+        correct_key=correct_key,
+        key_inputs=inner.key_inputs + outer.key_inputs,
+    )

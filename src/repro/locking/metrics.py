@@ -1,0 +1,93 @@
+"""Quality metrics for locking schemes.
+
+The locking literature's standard figures of merit, used to compare RLL
+against the point-function schemes:
+
+* **output corruption** — how wrong is the circuit under a random wrong
+  key?  RLL corrupts about half the input space per wrong key; SARLock /
+  Anti-SAT corrupt a 2^-|key| sliver (which is *why* they resist the exact
+  SAT attack and *why* AppSAT doesn't care).
+* **wrong-key coverage** — the fraction of wrong keys that corrupt at
+  least one sampled input (keys indistinguishable from the correct one on
+  the sample are effective key collisions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.locking.combinational import LockedCircuit
+
+
+@dataclasses.dataclass
+class CorruptionReport:
+    """Output-corruption statistics over sampled wrong keys."""
+
+    mean_error_rate: float  # avg over wrong keys of Pr_x[output wrong]
+    min_error_rate: float
+    max_error_rate: float
+    wrong_key_coverage: float  # fraction of wrong keys with any error
+    keys_sampled: int
+    inputs_per_key: int
+
+    def summary(self) -> str:
+        return (
+            f"corruption over {self.keys_sampled} wrong keys: "
+            f"mean {self.mean_error_rate:.4f}, min {self.min_error_rate:.4f}, "
+            f"max {self.max_error_rate:.4f}; coverage "
+            f"{self.wrong_key_coverage:.2%}"
+        )
+
+
+def corruption_report(
+    locked: LockedCircuit,
+    keys_sampled: int = 32,
+    inputs_per_key: int = 1024,
+    rng: Optional[np.random.Generator] = None,
+    exhaustive_inputs_below: int = 12,
+) -> CorruptionReport:
+    """Measure output corruption over random wrong keys.
+
+    For circuits with few primary inputs the input space is enumerated
+    exhaustively, making the per-key error rates exact.
+    """
+    if keys_sampled < 1 or inputs_per_key < 1:
+        raise ValueError("sample counts must be positive")
+    rng = np.random.default_rng() if rng is None else rng
+    n = locked.original.num_inputs
+    if n <= exhaustive_inputs_below:
+        idx = np.arange(2**n, dtype=np.uint32)
+        shifts = np.arange(n - 1, -1, -1, dtype=np.uint32)
+        inputs = ((idx[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+    else:
+        inputs = rng.integers(0, 2, size=(inputs_per_key, n)).astype(np.int8)
+    reference = locked.oracle(inputs)
+
+    error_rates = []
+    covered = 0
+    seen = 0
+    attempts = 0
+    while seen < keys_sampled and attempts < 50 * keys_sampled:
+        attempts += 1
+        key = rng.integers(0, 2, size=locked.key_length).astype(np.int8)
+        if np.array_equal(key, locked.correct_key):
+            continue
+        seen += 1
+        got = locked.evaluate_locked(inputs, key)
+        rate = float(np.mean(np.any(got != reference, axis=1)))
+        error_rates.append(rate)
+        covered += rate > 0
+    if not error_rates:
+        raise RuntimeError("could not sample any wrong key (key space too small?)")
+    rates = np.asarray(error_rates)
+    return CorruptionReport(
+        mean_error_rate=float(rates.mean()),
+        min_error_rate=float(rates.min()),
+        max_error_rate=float(rates.max()),
+        wrong_key_coverage=covered / len(error_rates),
+        keys_sampled=len(error_rates),
+        inputs_per_key=inputs.shape[0],
+    )

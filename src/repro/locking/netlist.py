@@ -1,0 +1,281 @@
+"""Gate-level combinational netlists.
+
+The IR for everything locking-related: a named DAG of Boolean gates with
+primary inputs and outputs.  Evaluation is vectorised (NumPy bool arrays)
+so oracle queries during SAT/AppSAT attacks are cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class GateType(enum.Enum):
+    """Supported gate primitives (matching .bench usage)."""
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+
+
+_UNARY = {GateType.NOT, GateType.BUF}
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One gate: output signal name, type, and fan-in signal names."""
+
+    output: str
+    gate_type: GateType
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.gate_type in _UNARY:
+            if len(self.inputs) != 1:
+                raise ValueError(
+                    f"{self.gate_type.value} gate {self.output!r} needs exactly one input"
+                )
+        elif len(self.inputs) < 2:
+            raise ValueError(
+                f"{self.gate_type.value} gate {self.output!r} needs at least two inputs"
+            )
+
+
+class Netlist:
+    """A combinational circuit as a DAG of gates.
+
+    Parameters
+    ----------
+    inputs:
+        Primary input signal names (order defines input-vector order).
+    outputs:
+        Primary output signal names (order defines output-vector order).
+    gates:
+        Gate list; any topological or non-topological order is accepted,
+        a topological order is computed at construction.
+    name:
+        Circuit label (carried into .bench files).
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+        name: str = "circuit",
+    ) -> None:
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.outputs: Tuple[str, ...] = tuple(outputs)
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        self.name = name
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ValueError("duplicate primary input names")
+        driver: Dict[str, Gate] = {}
+        for gate in self.gates:
+            if gate.output in driver:
+                raise ValueError(f"signal {gate.output!r} driven twice")
+            if gate.output in self.inputs:
+                raise ValueError(f"signal {gate.output!r} is a primary input")
+            driver[gate.output] = gate
+        self._driver = driver
+        known = set(self.inputs) | set(driver)
+        for gate in self.gates:
+            for src in gate.inputs:
+                if src not in known:
+                    raise ValueError(
+                        f"gate {gate.output!r} reads undefined signal {src!r}"
+                    )
+        for out in self.outputs:
+            if out not in known:
+                raise ValueError(f"primary output {out!r} is undriven")
+        self._topo_order = self._topological_order()
+
+    # ------------------------------------------------------------------
+    def _topological_order(self) -> List[Gate]:
+        order: List[Gate] = []
+        visited: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(signal: str, stack: List[str]) -> None:
+            if signal in self.inputs or signal not in self._driver:
+                return
+            state = visited.get(signal)
+            if state == 1:
+                return
+            if state == 0:
+                cycle = " -> ".join(stack + [signal])
+                raise ValueError(f"combinational cycle: {cycle}")
+            visited[signal] = 0
+            gate = self._driver[signal]
+            for src in gate.inputs:
+                visit(src, stack + [signal])
+            visited[signal] = 1
+            order.append(gate)
+
+        for gate in self.gates:
+            visit(gate.output, [])
+        return order
+
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def signals(self) -> List[str]:
+        """All signal names: inputs then gate outputs in topological order."""
+        return list(self.inputs) + [g.output for g in self._topo_order]
+
+    def depth(self) -> int:
+        """Logic depth: the longest input-to-output gate path.
+
+        The ``d`` of the AC^0 analysis in Section III of the paper (with
+        the caveat that AC^0 assumes unbounded fan-in; our gates mostly
+        have fan-in 2, so this is the circuit-depth upper bound).
+        """
+        level: Dict[str, int] = {name: 0 for name in self.inputs}
+        for gate in self._topo_order:
+            level[gate.output] = 1 + max(level[s] for s in gate.inputs)
+        if not self.gates:
+            return 0
+        return max(level[o] for o in self.outputs)
+
+    def size(self) -> int:
+        """Gate count (the 'size' parameter of circuit-class bounds)."""
+        return self.num_gates
+
+    # ------------------------------------------------------------------
+    def evaluate(self, input_bits: np.ndarray) -> np.ndarray:
+        """Evaluate on a batch of input vectors.
+
+        ``input_bits`` is ``(m, num_inputs)`` of {0,1}; returns
+        ``(m, num_outputs)`` of {0,1} (int8).  A single vector is accepted
+        and returns a single row.
+        """
+        x = np.asarray(input_bits)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self.num_inputs:
+            raise ValueError(
+                f"{self.name} has {self.num_inputs} inputs, got {x.shape[1]}"
+            )
+        values: Dict[str, np.ndarray] = {
+            name: x[:, i].astype(bool) for i, name in enumerate(self.inputs)
+        }
+        for gate in self._topo_order:
+            values[gate.output] = _apply_gate(gate.gate_type, [values[s] for s in gate.inputs])
+        out = np.stack([values[o] for o in self.outputs], axis=1).astype(np.int8)
+        return out[0] if single else out
+
+    def evaluate_all_signals(self, input_bits: np.ndarray) -> Dict[str, np.ndarray]:
+        """Evaluate and return every internal signal (for debugging/attacks)."""
+        x = np.atleast_2d(np.asarray(input_bits))
+        values: Dict[str, np.ndarray] = {
+            name: x[:, i].astype(bool) for i, name in enumerate(self.inputs)
+        }
+        for gate in self._topo_order:
+            values[gate.output] = _apply_gate(gate.gate_type, [values[s] for s in gate.inputs])
+        return {k: v.astype(np.int8) for k, v in values.items()}
+
+    # ------------------------------------------------------------------
+    def with_inputs_fixed(self, assignment: Dict[str, int]) -> "Netlist":
+        """Partially evaluate: replace some primary inputs with constants.
+
+        Constants are modelled by rewriting each fixed input i as a BUF of
+        a fresh XNOR(i', i') = 1 / XOR trick-free approach: we instead
+        substitute during evaluation by adding constant-generator gates.
+        """
+        for name in assignment:
+            if name not in self.inputs:
+                raise ValueError(f"{name!r} is not a primary input")
+        remaining = [i for i in self.inputs if i not in assignment]
+        if not remaining:
+            raise ValueError("cannot fix every input; keep at least one free")
+        anchor = remaining[0]
+        const_gates: List[Gate] = []
+        # one = anchor XNOR anchor, zero = anchor XOR anchor.
+        one_sig, zero_sig = "__const_one", "__const_zero"
+        need_one = any(v == 1 for v in assignment.values())
+        need_zero = any(v == 0 for v in assignment.values())
+        if need_one:
+            const_gates.append(Gate(one_sig, GateType.XNOR, (anchor, anchor)))
+        if need_zero:
+            const_gates.append(Gate(zero_sig, GateType.XOR, (anchor, anchor)))
+        rename = {
+            name: (one_sig if value else zero_sig)
+            for name, value in assignment.items()
+        }
+        new_gates = const_gates + [
+            Gate(
+                g.output,
+                g.gate_type,
+                tuple(rename.get(s, s) for s in g.inputs),
+            )
+            for g in self.gates
+        ]
+        new_outputs = tuple(rename.get(o, o) for o in self.outputs)
+        return Netlist(remaining, new_outputs, new_gates, name=self.name)
+
+    def renamed(self, prefix: str, keep: Optional[Iterable[str]] = None) -> "Netlist":
+        """A copy with every signal (except ``keep``) prefixed.
+
+        Used to build miters from two copies of the same circuit.
+        """
+        keep_set = set(keep or ())
+
+        def rn(s: str) -> str:
+            return s if s in keep_set else prefix + s
+
+        gates = [
+            Gate(rn(g.output), g.gate_type, tuple(rn(s) for s in g.inputs))
+            for g in self.gates
+        ]
+        return Netlist(
+            [rn(i) for i in self.inputs],
+            [rn(o) for o in self.outputs],
+            gates,
+            name=f"{prefix}{self.name}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs}, gates={self.num_gates})"
+        )
+
+
+def _apply_gate(gate_type: GateType, fanins: List[np.ndarray]) -> np.ndarray:
+    if gate_type is GateType.NOT:
+        return ~fanins[0]
+    if gate_type is GateType.BUF:
+        return fanins[0]
+    acc = fanins[0]
+    if gate_type in (GateType.AND, GateType.NAND):
+        for v in fanins[1:]:
+            acc = acc & v
+        return ~acc if gate_type is GateType.NAND else acc
+    if gate_type in (GateType.OR, GateType.NOR):
+        for v in fanins[1:]:
+            acc = acc | v
+        return ~acc if gate_type is GateType.NOR else acc
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        for v in fanins[1:]:
+            acc = acc ^ v
+        return ~acc if gate_type is GateType.XNOR else acc
+    raise AssertionError(f"unhandled gate type {gate_type}")

@@ -1,0 +1,98 @@
+"""SARLock-style point-function locking.
+
+The defence that motivated the exact-vs-approximate discussion the paper
+inherits from [4]/[5]: a comparator flips one output only when the applied
+input equals the (wrong) key, so every wrong key errs on exactly one input
+pattern.  Consequences, both reproduced in the benchmarks:
+
+* the exact SAT attack needs ~2^|key| - 1 DIPs (each DIP eliminates one
+  wrong key) — "SAT-resilient";
+* AppSAT settles almost immediately on a key with 2^-|key| output error —
+  approximation-resiliency is NOT implied by exact-inference-resiliency
+  (Section IV-A's point, after Rivest [2]).
+
+Construction (flip signal added to the first output):
+
+    eq_x  = AND_i XNOR(x_i, key_i)          -- input matches applied key
+    eq_k  = AND_i (key_i == k*_i)           -- applied key is correct
+    flip  = AND(eq_x, NOT(eq_k))
+    y_0   = y_0_orig XOR flip
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.locking.combinational import LockedCircuit
+from repro.locking.netlist import Gate, GateType, Netlist
+
+
+def sarlock(
+    netlist: Netlist,
+    key_length: int,
+    rng: Optional[np.random.Generator] = None,
+    key_prefix: str = "keyinput",
+) -> LockedCircuit:
+    """Apply SARLock with ``key_length`` key bits to ``netlist``.
+
+    The comparator watches the first ``key_length`` primary inputs, so
+    ``key_length <= num_inputs`` is required.
+    """
+    if key_length < 1:
+        raise ValueError("key_length must be at least 1")
+    if key_length > netlist.num_inputs:
+        raise ValueError(
+            f"key_length {key_length} exceeds the {netlist.num_inputs} inputs"
+        )
+    rng = np.random.default_rng() if rng is None else rng
+    correct_key = rng.integers(0, 2, size=key_length).astype(np.int8)
+    key_inputs = tuple(f"{key_prefix}{i}" for i in range(key_length))
+    watched = netlist.inputs[:key_length]
+
+    gates: List[Gate] = list(netlist.gates)
+    # eq_x: the watched input bits equal the applied key bits.
+    eq_x_bits = []
+    for i, (x_sig, k_sig) in enumerate(zip(watched, key_inputs)):
+        sig = f"__sar_eqx{i}"
+        gates.append(Gate(sig, GateType.XNOR, (x_sig, k_sig)))
+        eq_x_bits.append(sig)
+    eq_x = "__sar_eqx" if len(eq_x_bits) > 1 else eq_x_bits[0]
+    if len(eq_x_bits) > 1:
+        gates.append(Gate(eq_x, GateType.AND, tuple(eq_x_bits)))
+
+    # eq_k: the applied key equals the hard-wired correct key.
+    eq_k_bits = []
+    for i, k_sig in enumerate(key_inputs):
+        sig = f"__sar_eqk{i}"
+        if correct_key[i]:
+            gates.append(Gate(sig, GateType.BUF, (k_sig,)))
+        else:
+            gates.append(Gate(sig, GateType.NOT, (k_sig,)))
+        eq_k_bits.append(sig)
+    eq_k = "__sar_eqk" if len(eq_k_bits) > 1 else eq_k_bits[0]
+    if len(eq_k_bits) > 1:
+        gates.append(Gate(eq_k, GateType.AND, tuple(eq_k_bits)))
+
+    gates.append(Gate("__sar_neqk", GateType.NOT, (eq_k,)))
+    gates.append(Gate("__sar_flip", GateType.AND, (eq_x, "__sar_neqk")))
+
+    # XOR the flip into the first output.
+    first_out = netlist.outputs[0]
+    flipped = f"{first_out}__sar"
+    gates.append(Gate(flipped, GateType.XOR, (first_out, "__sar_flip")))
+    outputs = (flipped,) + tuple(netlist.outputs[1:])
+
+    locked = Netlist(
+        inputs=tuple(netlist.inputs) + key_inputs,
+        outputs=outputs,
+        gates=gates,
+        name=f"{netlist.name}_sarlock{key_length}",
+    )
+    return LockedCircuit(
+        locked=locked,
+        original=netlist,
+        correct_key=correct_key,
+        key_inputs=key_inputs,
+    )

@@ -1,0 +1,177 @@
+"""The oracle-guided SAT attack on combinational logic locking.
+
+The attack of Subramanyan et al. that [4], [5] build on: repeatedly ask a
+SAT solver for a *distinguishing input pattern* (DIP) — an input on which
+two different keys make the locked circuit disagree — query the unlocked
+oracle on it, and constrain both key copies to reproduce the observed
+output.  When no DIP exists, any remaining consistent key is functionally
+correct; the attack is exact identification in Rivest's sense (the
+distinction Section IV-A of the paper turns on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.locking.cnf import CNF, gate_clauses, tseitin_encode
+from repro.locking.combinational import LockedCircuit
+from repro.locking.netlist import GateType, Netlist
+from repro.locking.solver import SATSolver, Satisfiability
+
+
+@dataclasses.dataclass
+class SATAttackResult:
+    """Outcome of a SAT attack run."""
+
+    key: Optional[np.ndarray]
+    success: bool
+    iterations: int  # number of DIPs used
+    dips: List[np.ndarray]
+    oracle_queries: int
+
+    def summary(self) -> str:
+        status = "exact key recovered" if self.success else "attack incomplete"
+        return f"{status} after {self.iterations} DIPs ({self.oracle_queries} oracle queries)"
+
+
+class _MiterEngine:
+    """Shared incremental-miter machinery for SATAttack and AppSAT."""
+
+    def __init__(self, target: LockedCircuit) -> None:
+        self.target = target
+        locked = target.locked
+        self.plain_inputs: Tuple[str, ...] = tuple(
+            i for i in locked.inputs if i not in target.key_inputs
+        )
+        self.key_inputs = target.key_inputs
+        self.cnf = CNF()
+        self.solver: Optional[SATSolver] = None
+
+        # Shared variables: plain inputs, key copy A, key copy B.
+        self.input_vars = {name: self.cnf.new_var() for name in self.plain_inputs}
+        self.key_a_vars = [self.cnf.new_var() for _ in self.key_inputs]
+        self.key_b_vars = [self.cnf.new_var() for _ in self.key_inputs]
+
+        out_a = self._encode_copy("mA_", self.input_vars, self.key_a_vars)
+        out_b = self._encode_copy("mB_", self.input_vars, self.key_b_vars)
+
+        # Miter: act -> (some output differs).
+        self.act_var = self.cnf.new_var()
+        diff_vars = []
+        for a, b in zip(out_a, out_b):
+            d = self.cnf.new_var()
+            self.cnf.extend(gate_clauses(GateType.XOR, d, [a, b]))
+            diff_vars.append(d)
+        self.cnf.add_clause([-self.act_var] + diff_vars)
+        self._copy_counter = 0
+
+    # ------------------------------------------------------------------
+    def _encode_copy(
+        self,
+        prefix: str,
+        input_vars: Dict[str, int],
+        key_vars: List[int],
+    ) -> List[int]:
+        """Encode one renamed copy of the locked circuit; returns output vars."""
+        locked = self.target.locked
+        copy = locked.renamed(prefix)
+        var_map: Dict[str, int] = {}
+        for name in self.plain_inputs:
+            var_map[prefix + name] = input_vars[name]
+        for key_name, var in zip(self.key_inputs, key_vars):
+            var_map[prefix + key_name] = var
+        var_map = tseitin_encode(copy, self.cnf, var_map)
+        return [var_map[prefix + o] for o in locked.outputs]
+
+    def _sync_solver(self) -> SATSolver:
+        """(Re)build the incremental solver lazily; append new clauses."""
+        if self.solver is None:
+            self.solver = SATSolver(self.cnf.clauses, self.cnf.num_vars)
+            self._clauses_loaded = len(self.cnf.clauses)
+        else:
+            for clause in self.cnf.clauses[self._clauses_loaded :]:
+                self.solver.add_clause(clause)
+            self._clauses_loaded = len(self.cnf.clauses)
+        return self.solver
+
+    # ------------------------------------------------------------------
+    def find_dip(self) -> Optional[np.ndarray]:
+        """A distinguishing input pattern, or None when keys are pinned."""
+        solver = self._sync_solver()
+        status, model = solver.solve(assumptions=[self.act_var])
+        if status is Satisfiability.UNSAT:
+            return None
+        assert model is not None
+        return np.array(
+            [int(model[self.input_vars[name]]) for name in self.plain_inputs],
+            dtype=np.int8,
+        )
+
+    def add_io_constraint(self, dip: np.ndarray, outputs: np.ndarray) -> None:
+        """Constrain both key copies to reproduce oracle(dip) = outputs."""
+        self._copy_counter += 1
+        for tag, key_vars in (("A", self.key_a_vars), ("B", self.key_b_vars)):
+            prefix = f"c{self._copy_counter}{tag}_"
+            in_vars = {name: self.cnf.new_var() for name in self.plain_inputs}
+            out_vars = self._encode_copy(prefix, in_vars, key_vars)
+            for name, bit in zip(self.plain_inputs, dip):
+                var = in_vars[name]
+                self.cnf.add_clause([var if bit else -var])
+            for var, bit in zip(out_vars, outputs):
+                self.cnf.add_clause([var if bit else -var])
+
+    def extract_key(self) -> Optional[np.ndarray]:
+        """Any key consistent with all recorded IO constraints."""
+        solver = self._sync_solver()
+        status, model = solver.solve(assumptions=[-self.act_var])
+        if status is Satisfiability.UNSAT:
+            return None
+        assert model is not None
+        return np.array([int(model[v]) for v in self.key_a_vars], dtype=np.int8)
+
+
+class SATAttack:
+    """Exact oracle-guided SAT attack.
+
+    Parameters
+    ----------
+    max_iterations:
+        Safety cap on the number of DIP rounds (2^key_length always
+        suffices; real runs finish in far fewer).
+    """
+
+    def __init__(self, max_iterations: int = 10_000) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self.max_iterations = max_iterations
+
+    def run(self, target: LockedCircuit) -> SATAttackResult:
+        """Run the attack against a locked circuit with oracle access."""
+        engine = _MiterEngine(target)
+        dips: List[np.ndarray] = []
+        oracle_queries = 0
+        for _ in range(self.max_iterations):
+            dip = engine.find_dip()
+            if dip is None:
+                key = engine.extract_key()
+                return SATAttackResult(
+                    key=key,
+                    success=key is not None,
+                    iterations=len(dips),
+                    dips=dips,
+                    oracle_queries=oracle_queries,
+                )
+            outputs = target.oracle(dip[None, :])[0]
+            oracle_queries += 1
+            engine.add_io_constraint(dip, outputs)
+            dips.append(dip)
+        return SATAttackResult(
+            key=None,
+            success=False,
+            iterations=len(dips),
+            dips=dips,
+            oracle_queries=oracle_queries,
+        )

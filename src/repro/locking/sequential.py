@@ -1,0 +1,198 @@
+"""Sequential logic locking: FSM augmentation (HARPOON-style).
+
+Sequential locking (Section II-A) adds a new set of states in front of the
+functional FSM: after reset the machine sits in an *obfuscation mode* and
+only a secret input sequence (the key) steers it into the functional
+start state; any deviation traps it among the obfuscation states emitting
+scrambled outputs.
+
+Section V-B's point is reproduced by :func:`unlock_by_lstar`: the locked
+machine is still a finite Mealy machine, so when the input alphabet is
+polynomial an attacker with membership and (simulated) equivalence queries
+learns its DFA representation outright — including the key path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automata.mealy import MealyMachine
+from repro.learning.angluin import (
+    LStarLearner,
+    LStarResult,
+    exact_equivalence_oracle,
+    sampled_equivalence_oracle,
+)
+
+Symbol = Hashable
+
+
+@dataclasses.dataclass
+class LockedFSM:
+    """A sequentially locked Mealy machine plus its secret.
+
+    Attributes
+    ----------
+    locked:
+        The augmented machine (obfuscation states first, functional states
+        appended after them).
+    original:
+        The functional machine.
+    key_sequence:
+        The input word that drives the locked machine from reset into the
+        functional start state.
+    """
+
+    locked: MealyMachine
+    original: MealyMachine
+    key_sequence: Tuple[Symbol, ...]
+
+    def unlocked_view(self) -> MealyMachine:
+        """The locked machine re-rooted after applying the key sequence.
+
+        Behaviourally equivalent to ``original`` iff the lock is sound.
+        """
+        state, _ = self.locked.run(self.key_sequence)
+        return MealyMachine(
+            self.locked.input_alphabet,
+            self.locked.output_alphabet,
+            self.locked.transitions,
+            start=state,
+        )
+
+
+def harpoon_lock(
+    machine: MealyMachine,
+    key_sequence: Sequence[Symbol],
+    rng: Optional[np.random.Generator] = None,
+    decoy_output: Optional[Symbol] = None,
+) -> LockedFSM:
+    """Augment ``machine`` with an obfuscation-mode prefix of states.
+
+    A chain of ``len(key_sequence)`` obfuscation states is prepended; each
+    state advances along the chain on the next key symbol and falls back to
+    a trap behaviour (random walk among the obfuscation states with a
+    decoy output) on any other symbol.  The final key symbol transitions
+    into the original start state.
+    """
+    key = tuple(key_sequence)
+    if not key:
+        raise ValueError("key_sequence must be non-empty")
+    alphabet = machine.input_alphabet
+    for symbol in key:
+        if symbol not in alphabet:
+            raise ValueError(f"key symbol {symbol!r} not in the input alphabet")
+    rng = np.random.default_rng() if rng is None else rng
+    outputs = machine.output_alphabet
+    decoy = outputs[0] if decoy_output is None else decoy_output
+    if decoy not in outputs:
+        raise ValueError("decoy_output must come from the output alphabet")
+
+    num_obf = len(key)
+    offset = num_obf  # original state s becomes state s + offset
+    transitions: List[Dict[Symbol, Tuple[int, Symbol]]] = []
+    for i, key_symbol in enumerate(key):
+        table: Dict[Symbol, Tuple[int, Symbol]] = {}
+        for a in alphabet:
+            if a == key_symbol:
+                nxt = i + 1 if i + 1 < num_obf else machine.start + offset
+                table[a] = (nxt, decoy)
+            else:
+                # Wrong symbol: stay lost among the obfuscation states.
+                table[a] = (int(rng.integers(0, num_obf)), decoy)
+        transitions.append(table)
+    for state_table in machine.transitions:
+        transitions.append(
+            {a: (nxt + offset, out) for a, (nxt, out) in state_table.items()}
+        )
+    locked = MealyMachine(alphabet, outputs, transitions, start=0)
+    return LockedFSM(locked=locked, original=machine, key_sequence=key)
+
+
+@dataclasses.dataclass
+class UnlockResult:
+    """Outcome of the L*-based attack on a locked FSM."""
+
+    lstar: LStarResult
+    learned_states: int
+    behaviour_matches: bool
+    membership_queries: int
+
+
+def unlock_by_lstar(
+    locked_fsm: LockedFSM,
+    target_output: Symbol,
+    eps: float = 0.01,
+    delta: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+    exact_eq: bool = True,
+) -> UnlockResult:
+    """Learn the locked machine's behaviour with Angluin's L* (Section V-B).
+
+    The locked Mealy machine is reduced to the DFA of "last output equals
+    ``target_output``" and learned with membership queries plus either an
+    exact equivalence oracle (experiment mode) or Angluin's sampled one.
+    Success means the attacker holds a complete behavioural model of the
+    locked chip — obfuscation states, key path and all — without knowing
+    the key.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    target_dfa = locked_fsm.locked.to_output_dfa(target_output)
+    learner = LStarLearner(locked_fsm.locked.input_alphabet)
+    if exact_eq:
+        eq = exact_equivalence_oracle(target_dfa)
+    else:
+        eq = sampled_equivalence_oracle(
+            target_dfa.accepts,
+            locked_fsm.locked.input_alphabet,
+            eps=eps,
+            delta=delta,
+            rng=rng,
+            max_length=2 * (locked_fsm.locked.num_states + 2),
+        )
+    result = learner.fit(target_dfa.accepts, eq)
+    matches = result.dfa.equivalent(target_dfa.minimized()) if exact_eq else True
+    return UnlockResult(
+        lstar=result,
+        learned_states=result.dfa.num_states,
+        behaviour_matches=matches,
+        membership_queries=result.membership_queries,
+    )
+
+
+def recover_key_sequence(
+    locked_fsm: LockedFSM, max_length: Optional[int] = None
+) -> Optional[Tuple[Symbol, ...]]:
+    """Search for an input word that unlocks the machine (BFS).
+
+    Uses only the locked machine and the original behaviour as reference —
+    the check an attacker runs after L* to locate the functional mode.
+    Returns the shortest unlocking word, or None if none exists within
+    ``max_length`` (default: number of locked states).
+    """
+    locked = locked_fsm.locked
+    limit = locked.num_states if max_length is None else max_length
+    from collections import deque
+
+    queue = deque([(locked.start, ())])
+    seen = {locked.start}
+    while queue:
+        state, word = queue.popleft()
+        if len(word) > limit:
+            continue
+        # Does the machine re-rooted at `state` behave like the original?
+        candidate = MealyMachine(
+            locked.input_alphabet, locked.output_alphabet, locked.transitions,
+            start=state,
+        )
+        if candidate.equivalent(locked_fsm.original):
+            return word
+        for a in locked.input_alphabet:
+            nxt, _ = locked.transitions[state][a]
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append((nxt, word + (a,)))
+    return None

@@ -1,0 +1,254 @@
+"""Gate-level sequential circuits: a combinational core plus flip-flops.
+
+This closes the loop between the behavioural FSM world
+(:mod:`repro.automata`) and the netlist world: a Mealy machine can be
+*synthesised* to gates (binary state encoding + two-level next-state and
+output logic), simulated cycle by cycle, and *extracted* back by state
+exploration — which is how the paper's Section V-B attack surface looks
+on a real locked chip: the attacker drives primary inputs, observes
+outputs, and L* reconstructs the machine without ever seeing flip-flops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automata.mealy import MealyMachine
+from repro.locking.netlist import Netlist
+from repro.locking.synthesis import synthesize_truth_table
+
+Symbol = Hashable
+
+
+class SequentialCircuit:
+    """A synchronous sequential circuit.
+
+    The combinational ``core`` computes, from the primary inputs and the
+    current state bits, the outputs and the next state bits:
+
+        core inputs  = [primary inputs..., state bits...]
+        core outputs = [primary outputs..., next-state bits...]
+
+    A reset drives the registers to ``initial_state``.
+    """
+
+    def __init__(
+        self,
+        core: Netlist,
+        num_inputs: int,
+        num_outputs: int,
+        num_state_bits: int,
+        initial_state: Sequence[int],
+    ) -> None:
+        if num_inputs < 1 or num_outputs < 1 or num_state_bits < 1:
+            raise ValueError("need at least one input, output, and state bit")
+        if core.num_inputs != num_inputs + num_state_bits:
+            raise ValueError(
+                f"core has {core.num_inputs} inputs, expected "
+                f"{num_inputs}+{num_state_bits}"
+            )
+        if core.num_outputs != num_outputs + num_state_bits:
+            raise ValueError(
+                f"core has {core.num_outputs} outputs, expected "
+                f"{num_outputs}+{num_state_bits}"
+            )
+        self.core = core
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.num_state_bits = num_state_bits
+        self.initial_state = np.asarray(initial_state, dtype=np.int8)
+        if self.initial_state.shape != (num_state_bits,):
+            raise ValueError("initial_state length must equal num_state_bits")
+
+    # ------------------------------------------------------------------
+    def step(
+        self, state_bits: np.ndarray, input_bits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One clock cycle: (state, inputs) -> (next state, outputs)."""
+        state_bits = np.asarray(state_bits, dtype=np.int8)
+        input_bits = np.asarray(input_bits, dtype=np.int8)
+        core_in = np.concatenate([input_bits, state_bits])
+        core_out = self.core.evaluate(core_in)
+        outputs = core_out[: self.num_outputs]
+        next_state = core_out[self.num_outputs :]
+        return next_state, outputs
+
+    def run(
+        self, input_words: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Apply a sequence of input vectors from reset; return final
+        state bits and the per-cycle output vectors."""
+        state = self.initial_state.copy()
+        outputs = []
+        for word in input_words:
+            state, out = self.step(state, np.asarray(word, dtype=np.int8))
+            outputs.append(out)
+        return state, outputs
+
+    # ------------------------------------------------------------------
+    def extract_mealy(self, max_states: int = 4096) -> MealyMachine:
+        """Recover the reachable Mealy machine by state-space exploration.
+
+        Input symbols are tuples of input bits; output symbols are tuples
+        of output bits.  This is the white-box reference extraction used
+        to validate the black-box L* attack.
+        """
+        from collections import deque
+
+        input_symbols = [
+            tuple((idx >> (self.num_inputs - 1 - b)) & 1 for b in range(self.num_inputs))
+            for idx in range(2**self.num_inputs)
+        ]
+        index: Dict[Tuple[int, ...], int] = {}
+        transitions: List[Dict[Symbol, Tuple[int, Symbol]]] = []
+        outputs_seen = set()
+
+        def state_id(bits: Tuple[int, ...]) -> int:
+            if bits not in index:
+                if len(index) >= max_states:
+                    raise RuntimeError(
+                        f"state explosion: more than {max_states} states"
+                    )
+                index[bits] = len(index)
+                transitions.append({})
+            return index[bits]
+
+        start_bits = tuple(int(b) for b in self.initial_state)
+        queue = deque([start_bits])
+        state_id(start_bits)
+        visited = {start_bits}
+        while queue:
+            bits = queue.popleft()
+            sid = index[bits]
+            for symbol in input_symbols:
+                next_state, out = self.step(
+                    np.asarray(bits, dtype=np.int8),
+                    np.asarray(symbol, dtype=np.int8),
+                )
+                nbits = tuple(int(b) for b in next_state)
+                out_symbol = tuple(int(b) for b in out)
+                outputs_seen.add(out_symbol)
+                nid = state_id(nbits)
+                transitions[sid][symbol] = (nid, out_symbol)
+                if nbits not in visited:
+                    visited.add(nbits)
+                    queue.append(nbits)
+        return MealyMachine(
+            input_symbols, sorted(outputs_seen), transitions, start=0
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SequentialCircuit(inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs}, state_bits={self.num_state_bits}, "
+            f"core_gates={self.core.num_gates})"
+        )
+
+
+def synthesize_mealy(
+    machine: MealyMachine,
+    name: str = "fsm",
+) -> SequentialCircuit:
+    """Synthesise a Mealy machine to a gate-level sequential circuit.
+
+    Requirements: the input alphabet must be exactly the 2^i bit-tuples of
+    some width i (use :func:`encode_alphabet` first otherwise); output
+    symbols are assigned a dense binary code.  States get a dense binary
+    encoding with the start state at code 0.
+    """
+    in_symbols = sorted(machine.input_alphabet)
+    num_in = max(1, math.ceil(math.log2(max(2, len(in_symbols)))))
+    expected = [
+        tuple((idx >> (num_in - 1 - b)) & 1 for b in range(num_in))
+        for idx in range(2**num_in)
+    ]
+    if in_symbols != expected:
+        raise ValueError(
+            "input alphabet must be the full set of bit-tuples of some "
+            "width; re-encode symbols first (see encode_alphabet)"
+        )
+
+    out_symbols = sorted(set(machine.output_alphabet))
+    num_out = max(1, math.ceil(math.log2(max(2, len(out_symbols)))))
+    out_code = {sym: idx for idx, sym in enumerate(out_symbols)}
+
+    # State encoding: start state first.
+    order = [machine.start] + [
+        s for s in range(machine.num_states) if s != machine.start
+    ]
+    state_code = {s: idx for idx, s in enumerate(order)}
+    num_state = max(1, math.ceil(math.log2(max(2, machine.num_states))))
+
+    # Build the core truth table over (inputs, state bits).
+    total_in = num_in + num_state
+    rows = 2**total_in
+    table = np.zeros((rows, num_out + num_state), dtype=np.int8)
+    for row in range(rows):
+        bits = [(row >> (total_in - 1 - b)) & 1 for b in range(total_in)]
+        in_bits = tuple(bits[:num_in])
+        state_idx = 0
+        for b in bits[num_in:]:
+            state_idx = (state_idx << 1) | b
+        if state_idx < machine.num_states:
+            state = order[state_idx]
+            next_state, out_sym = machine.transitions[state][in_bits]
+            next_code = state_code[next_state]
+            out_idx = out_code[out_sym]
+        else:
+            # Unreachable encodings: park in the start state, output 0.
+            next_code = 0
+            out_idx = 0
+        for b in range(num_out):
+            table[row, b] = (out_idx >> (num_out - 1 - b)) & 1
+        for b in range(num_state):
+            table[row, num_out + b] = (next_code >> (num_state - 1 - b)) & 1
+
+    input_names = [f"in{b}" for b in range(num_in)] + [
+        f"state{b}" for b in range(num_state)
+    ]
+    output_names = [f"out{b}" for b in range(num_out)] + [
+        f"next{b}" for b in range(num_state)
+    ]
+    core = synthesize_truth_table(
+        table, input_names, output_names, name=f"{name}_core"
+    )
+    return SequentialCircuit(
+        core,
+        num_inputs=num_in,
+        num_outputs=num_out,
+        num_state_bits=num_state,
+        initial_state=[0] * num_state,
+    )
+
+
+def encode_alphabet(machine: MealyMachine) -> MealyMachine:
+    """Re-encode an arbitrary input alphabet as full-width bit tuples.
+
+    The alphabet is padded to the next power of two by self-loop symbols
+    that emit the machine's first output symbol (a conventional 'unused
+    opcode' treatment), so :func:`synthesize_mealy` accepts the result.
+    """
+    symbols = sorted(machine.input_alphabet, key=repr)
+    width = max(1, math.ceil(math.log2(max(2, len(symbols)))))
+    codes = [
+        tuple((idx >> (width - 1 - b)) & 1 for b in range(width))
+        for idx in range(2**width)
+    ]
+    default_out = machine.output_alphabet[0]
+    transitions: List[Dict[Symbol, Tuple[int, Symbol]]] = []
+    for state_table in machine.transitions:
+        table: Dict[Symbol, Tuple[int, Symbol]] = {}
+        for idx, code in enumerate(codes):
+            if idx < len(symbols):
+                table[code] = state_table[symbols[idx]]
+            else:
+                table[code] = (machine.start, default_out)
+        transitions.append(table)
+    # Unused codes self-loop... to the start state; keep behaviour of used
+    # codes identical.
+    return MealyMachine(
+        codes, machine.output_alphabet, transitions, start=machine.start
+    )

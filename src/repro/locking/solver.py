@@ -1,0 +1,353 @@
+"""A CDCL SAT solver.
+
+Conflict-driven clause learning with two-watched-literal propagation,
+1-UIP learning, non-chronological backjumping, VSIDS-style activity
+decision heuristic, and Luby restarts.  Written for clarity first, but fast
+enough for the locking attacks at benchmark scale (hundreds of variables,
+thousands of clauses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Satisfiability(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+@dataclasses.dataclass
+class SolverStats:
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+
+
+class SATSolver:
+    """CDCL solver over clauses of signed integer literals.
+
+    Typical use::
+
+        solver = SATSolver(cnf.clauses, cnf.num_vars)
+        status, model = solver.solve(assumptions=[5, -7])
+
+    ``model`` maps each variable to a bool when SAT, else is None.
+    Incremental use is supported through :meth:`add_clause` between
+    :meth:`solve` calls (the attack loop adds DIP constraints this way).
+    """
+
+    _UNASSIGNED = 0
+
+    def __init__(
+        self, clauses: Iterable[Sequence[int]] = (), num_vars: int = 0
+    ) -> None:
+        self.num_vars = num_vars
+        self._clauses: List[List[int]] = []
+        # assignment[v]: 0 unassigned, 1 true, -1 false
+        self._assign: List[int] = [0] * (num_vars + 1)
+        self._level: List[int] = [0] * (num_vars + 1)
+        self._reason: List[Optional[int]] = [None] * (num_vars + 1)  # clause idx
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._activity: List[float] = [0.0] * (num_vars + 1)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self.stats = SolverStats()
+        self._pending_empty = False
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    def _ensure_var(self, v: int) -> None:
+        while self.num_vars < v:
+            self.num_vars += 1
+            self._assign.append(0)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause; duplicates and tautologies are normalised away."""
+        seen = set()
+        clause: List[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            self._ensure_var(abs(lit))
+            if -lit in seen:
+                return  # tautology, always satisfied
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._pending_empty = True
+            return
+        self._attach(clause)
+
+    def _attach(self, clause: List[int]) -> int:
+        idx = len(self._clauses)
+        self._clauses.append(clause)
+        if len(clause) == 1:
+            # Watch the single literal twice; handled in propagation setup.
+            self._watches.setdefault(clause[0], []).append(idx)
+        else:
+            self._watches.setdefault(clause[0], []).append(idx)
+            self._watches.setdefault(clause[1], []).append(idx)
+        return idx
+
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        """1 true, -1 false, 0 unassigned — of a literal."""
+        v = self._assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        if self._value(lit) == -1:
+            return False
+        if self._value(lit) == 1:
+            return True
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        head = getattr(self, "_qhead", 0)
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            watch_list = self._watches.get(false_lit, [])
+            new_list: List[int] = []
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                i += 1
+                clause = self._clauses[ci]
+                # Ensure false_lit is at position 1.
+                if len(clause) >= 2:
+                    if clause[0] == false_lit:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    first = clause[0]
+                    if self._value(first) == 1:
+                        new_list.append(ci)
+                        continue
+                    # Look for a new watch.
+                    found = False
+                    for j in range(2, len(clause)):
+                        if self._value(clause[j]) != -1:
+                            clause[1], clause[j] = clause[j], clause[1]
+                            self._watches.setdefault(clause[1], []).append(ci)
+                            found = True
+                            break
+                    if found:
+                        continue
+                    new_list.append(ci)
+                    if not self._enqueue(first, ci):
+                        # Conflict: restore remaining watches and report.
+                        new_list.extend(watch_list[i:])
+                        self._watches[false_lit] = new_list
+                        self._qhead = len(self._trail)
+                        return ci
+                else:
+                    new_list.append(ci)
+                    if not self._enqueue(clause[0], ci):
+                        new_list.extend(watch_list[i:])
+                        self._watches[false_lit] = new_list
+                        self._qhead = len(self._trail)
+                        return ci
+            self._watches[false_lit] = new_list
+        self._qhead = head
+        return None
+
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
+        """1-UIP conflict analysis: returns (learned clause, backjump level)."""
+        current_level = len(self._trail_lim)
+        learned: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause = self._clauses[conflict]
+        idx = len(self._trail) - 1
+        while True:
+            for l in clause:
+                v = abs(l)
+                if not seen[v] and self._level[v] > 0 and (lit is None or l != lit):
+                    seen[v] = True
+                    self._bump(v)
+                    if self._level[v] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(l)
+            # Find the next seen literal on the trail.
+            while not seen[abs(self._trail[idx])]:
+                idx -= 1
+            lit = self._trail[idx]
+            v = abs(lit)
+            seen[v] = False
+            counter -= 1
+            idx -= 1
+            if counter == 0:
+                learned.append(-lit)
+                break
+            reason = self._reason[v]
+            assert reason is not None
+            clause = self._clauses[reason]
+            lit = lit  # the asserted literal itself is excluded above
+        # Backjump level: second highest level in the learned clause.
+        if len(learned) == 1:
+            back_level = 0
+        else:
+            levels = sorted((self._level[abs(l)] for l in learned[:-1]), reverse=True)
+            back_level = levels[0]
+        # Put the asserting literal first.
+        learned.reverse()
+        return learned, back_level
+
+    def _backjump(self, level: int) -> None:
+        while len(self._trail_lim) > level:
+            limit = self._trail_lim.pop()
+            while len(self._trail) > limit:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._assign[var] = 0
+                self._reason[var] = None
+        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+
+    def _pick_branch(self) -> Optional[int]:
+        best_var, best_act = None, -1.0
+        for v in range(1, self.num_vars + 1):
+            if self._assign[v] == 0 and self._activity[v] > best_act:
+                best_var, best_act = v, self._activity[v]
+        if best_var is None:
+            return None
+        return -best_var  # negative polarity first (common default)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Tuple[Satisfiability, Optional[Dict[int, bool]]]:
+        """Solve under optional assumptions.
+
+        Returns (SAT, model) or (UNSAT, None).  ``max_conflicts`` raises
+        RuntimeError when exhausted (a watchdog for pathological inputs).
+        """
+        if self._pending_empty:
+            return Satisfiability.UNSAT, None
+        self._backjump(0)
+        self._qhead = 0
+        # Re-propagate unit clauses from scratch.
+        for idx, clause in enumerate(self._clauses):
+            if len(clause) == 1 and self._value(clause[0]) == 0:
+                if not self._enqueue(clause[0], idx):
+                    return Satisfiability.UNSAT, None
+        conflict = self._propagate()
+        if conflict is not None:
+            return Satisfiability.UNSAT, None
+
+        # Assumptions become decisions at successive levels.
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+            if self._value(lit) == -1:
+                self._backjump(0)
+                return Satisfiability.UNSAT, None
+            if self._value(lit) == 0:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._backjump(0)
+                    return Satisfiability.UNSAT, None
+        assumption_level = len(self._trail_lim)
+
+        luby_index = 0
+        conflicts_until_restart = _luby(luby_index) * 64
+        total_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                total_conflicts += 1
+                if max_conflicts is not None and total_conflicts > max_conflicts:
+                    self._backjump(0)
+                    raise RuntimeError("conflict budget exhausted")
+                if len(self._trail_lim) <= assumption_level:
+                    self._backjump(0)
+                    return Satisfiability.UNSAT, None
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, assumption_level)
+                self._backjump(back_level)
+                # Watched-literal invariant: watch the asserting literal and
+                # the highest-level remaining literal.
+                rest = sorted(
+                    learned[1:],
+                    key=lambda l: self._level[abs(l)],
+                    reverse=True,
+                )
+                learned = [learned[0]] + rest
+                idx = self._attach(list(learned))
+                self.stats.learned_clauses += 1
+                self._enqueue(learned[0], idx)
+                self._decay()
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    self.stats.restarts += 1
+                    luby_index += 1
+                    conflicts_until_restart = _luby(luby_index) * 64
+                    self._backjump(assumption_level)
+            else:
+                lit = self._pick_branch()
+                if lit is None:
+                    model = {
+                        v: self._assign[v] == 1 for v in range(1, self.num_vars + 1)
+                    }
+                    self._verify_model(model)
+                    self._backjump(0)
+                    return Satisfiability.SAT, model
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+
+
+    def _verify_model(self, model: Dict[int, bool]) -> None:
+        """Assert every clause is satisfied (cheap final soundness check)."""
+        for clause in self._clauses:
+            if not any(
+                model[abs(l)] == (l > 0) for l in clause
+            ):
+                raise AssertionError(
+                    f"internal solver error: model violates clause {clause}"
+                )
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (0-indexed argument)."""
+    i += 1  # work 1-indexed
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1

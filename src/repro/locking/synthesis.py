@@ -1,0 +1,161 @@
+"""Truth-table to netlist synthesis (two-level SOP with light optimisation).
+
+The bridge between behavioural models (FSMs, truth tables) and the
+gate-level world the locking attacks operate on.  Synthesis is two-level
+sum-of-products with three cheap optimisations: constant outputs, single
+literal/loner detection, and cube merging on adjacent minterms (a one-pass
+Quine-McCluskey step, enough for the FSM next-state functions at our
+scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.locking.netlist import Gate, GateType, Netlist
+
+Cube = Tuple[int, ...]  # per input: 0 (complemented), 1 (true), 2 (don't care)
+
+
+def _minterms_of(column: np.ndarray) -> List[int]:
+    return [int(i) for i in np.nonzero(column)[0]]
+
+
+def _merge_once(cubes: Set[Cube]) -> Set[Cube]:
+    """One pass of adjacent-cube merging; returns the reduced set."""
+    merged: Set[Cube] = set()
+    used: Set[Cube] = set()
+    cube_list = sorted(cubes)
+    for i, a in enumerate(cube_list):
+        for b in cube_list[i + 1 :]:
+            diff = [idx for idx, (x, y) in enumerate(zip(a, b)) if x != y]
+            if len(diff) == 1 and a[diff[0]] != 2 and b[diff[0]] != 2:
+                c = list(a)
+                c[diff[0]] = 2
+                merged.add(tuple(c))
+                used.add(a)
+                used.add(b)
+    survivors = (cubes - used) | merged
+    return survivors
+
+
+def minimize_cubes(minterms: Sequence[int], n: int, passes: int = 4) -> List[Cube]:
+    """Minterms -> a (non-optimal but small) cube cover."""
+    cubes: Set[Cube] = set()
+    for m in minterms:
+        cubes.add(tuple((m >> (n - 1 - i)) & 1 for i in range(n)))
+    for _ in range(passes):
+        reduced = _merge_once(cubes)
+        if reduced == cubes:
+            break
+        cubes = reduced
+    return sorted(cubes)
+
+
+def synthesize_truth_table(
+    table: np.ndarray,
+    input_names: Optional[Sequence[str]] = None,
+    output_names: Optional[Sequence[str]] = None,
+    name: str = "synth",
+) -> Netlist:
+    """Synthesize a multi-output truth table into a netlist.
+
+    ``table`` is a (2^n, outputs) 0/1 array in cube order (MSB-first row
+    index, matching :func:`repro.booleanfuncs.encoding.enumerate_cube`).
+    """
+    table = np.asarray(table)
+    if table.ndim == 1:
+        table = table[:, None]
+    rows, num_outputs = table.shape
+    if rows == 0 or rows & (rows - 1):
+        raise ValueError("truth table must have 2^n rows")
+    if not np.all((table == 0) | (table == 1)):
+        raise ValueError("truth table entries must be 0/1")
+    n = rows.bit_length() - 1
+    if n == 0:
+        raise ValueError("need at least one input")
+    inputs = (
+        [f"x{i}" for i in range(n)] if input_names is None else list(input_names)
+    )
+    outputs = (
+        [f"y{j}" for j in range(num_outputs)]
+        if output_names is None
+        else list(output_names)
+    )
+    if len(inputs) != n or len(outputs) != num_outputs:
+        raise ValueError("name counts must match table dimensions")
+
+    gates: List[Gate] = []
+    aux = _AuxNames()
+    inverted: Dict[str, str] = {}
+
+    def inv(sig: str) -> str:
+        if sig not in inverted:
+            out = aux.fresh("not")
+            gates.append(Gate(out, GateType.NOT, (sig,)))
+            inverted[sig] = out
+        return inverted[sig]
+
+    const_zero: Optional[str] = None
+    const_one: Optional[str] = None
+
+    def zero() -> str:
+        nonlocal const_zero
+        if const_zero is None:
+            const_zero = aux.fresh("zero")
+            gates.append(Gate(const_zero, GateType.XOR, (inputs[0], inputs[0])))
+        return const_zero
+
+    def one() -> str:
+        nonlocal const_one
+        if const_one is None:
+            const_one = aux.fresh("one")
+            gates.append(Gate(const_one, GateType.XNOR, (inputs[0], inputs[0])))
+        return const_one
+
+    for j in range(num_outputs):
+        column = table[:, j]
+        minterms = _minterms_of(column)
+        out_name = outputs[j]
+        if not minterms:
+            gates.append(Gate(out_name, GateType.BUF, (zero(),)))
+            continue
+        if len(minterms) == rows:
+            gates.append(Gate(out_name, GateType.BUF, (one(),)))
+            continue
+        cubes = minimize_cubes(minterms, n)
+        product_signals: List[str] = []
+        for cube in cubes:
+            literals = []
+            for i, v in enumerate(cube):
+                if v == 1:
+                    literals.append(inputs[i])
+                elif v == 0:
+                    literals.append(inv(inputs[i]))
+            if not literals:
+                product_signals.append(one())
+            elif len(literals) == 1:
+                product_signals.append(literals[0])
+            else:
+                sig = aux.fresh("and")
+                gates.append(Gate(sig, GateType.AND, tuple(literals)))
+                product_signals.append(sig)
+        if len(product_signals) == 1:
+            gates.append(Gate(out_name, GateType.BUF, (product_signals[0],)))
+        else:
+            gates.append(Gate(out_name, GateType.OR, tuple(product_signals)))
+
+    return Netlist(inputs, outputs, gates, name=name)
+
+
+class _AuxNames:
+    """Fresh internal signal names."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"__{hint}{self._counter}"

@@ -1,0 +1,168 @@
+"""Time-frame unrolling: the sequential SAT attack substrate.
+
+A sequentially locked design with a *combinational* key (RLL on the core,
+key shared across clock cycles) is attacked by unrolling ``T`` time frames
+into one combinational circuit — frame t's next-state wires drive frame
+t+1's state wires, the initial state is constant, and the key inputs are
+shared — and then running the ordinary oracle-guided SAT attack on the
+unrolled miter.  This is the standard reduction the sequential-attack
+literature builds on, and it composes entirely from pieces this package
+already has.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.locking.combinational import LockedCircuit, random_lock
+from repro.locking.netlist import Gate, GateType, Netlist
+from repro.locking.sequential_netlist import SequentialCircuit
+
+
+@dataclasses.dataclass
+class LockedSequentialCircuit:
+    """A sequential circuit whose combinational core is RLL-locked."""
+
+    locked_core: LockedCircuit  # core netlist locked; original = clean core
+    sequential: SequentialCircuit  # the clean reference design
+    key_inputs: Tuple[str, ...]
+    correct_key: np.ndarray
+
+    def step(
+        self, state_bits: np.ndarray, input_bits: np.ndarray, key: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One cycle of the locked design under a key."""
+        core_in = np.concatenate(
+            [np.asarray(input_bits, np.int8), np.asarray(state_bits, np.int8)]
+        )
+        out = self.locked_core.evaluate_locked(core_in[None, :], key)[0]
+        num_out = self.sequential.num_outputs
+        return out[num_out:], out[:num_out]
+
+    def run(self, input_words, key: np.ndarray):
+        """Run the locked design from reset under ``key``."""
+        state = self.sequential.initial_state.copy()
+        outputs = []
+        for word in input_words:
+            state, out = self.step(state, word, key)
+            outputs.append(out)
+        return state, outputs
+
+
+def lock_sequential(
+    circuit: SequentialCircuit,
+    key_length: int,
+    rng: Optional[np.random.Generator] = None,
+) -> LockedSequentialCircuit:
+    """RLL-lock the combinational core of a sequential circuit."""
+    rng = np.random.default_rng() if rng is None else rng
+    locked_core = random_lock(circuit.core, key_length, rng, key_prefix="seqkey")
+    return LockedSequentialCircuit(
+        locked_core=locked_core,
+        sequential=circuit,
+        key_inputs=locked_core.key_inputs,
+        correct_key=locked_core.correct_key,
+    )
+
+
+def unroll(
+    locked: LockedSequentialCircuit,
+    frames: int,
+) -> LockedCircuit:
+    """Unroll ``frames`` cycles into a combinational :class:`LockedCircuit`.
+
+    The returned circuit's primary inputs are the concatenated per-frame
+    inputs (frame-major); its outputs are the concatenated per-frame
+    outputs; the key is shared across frames.  Its ``original`` is the
+    unrolled *clean* design, so the standard SAT attack applies verbatim.
+    """
+    if frames < 1:
+        raise ValueError("frames must be at least 1")
+    seq = locked.sequential
+    locked_unrolled = _unroll_netlist(
+        locked.locked_core.locked,
+        seq,
+        frames,
+        key_inputs=locked.key_inputs,
+    )
+    clean_unrolled = _unroll_netlist(seq.core, seq, frames, key_inputs=())
+    return LockedCircuit(
+        locked=locked_unrolled,
+        original=clean_unrolled,
+        correct_key=locked.correct_key,
+        key_inputs=locked.key_inputs,
+    )
+
+
+def _unroll_netlist(
+    core: Netlist,
+    seq: SequentialCircuit,
+    frames: int,
+    key_inputs: Tuple[str, ...],
+) -> Netlist:
+    """Chain ``frames`` renamed copies of ``core``.
+
+    ``core`` may be the clean core (no key inputs) or the locked core
+    (key inputs last); key inputs are shared, everything else is renamed
+    per frame.
+    """
+    num_in, num_out = seq.num_inputs, seq.num_outputs
+    num_state = seq.num_state_bits
+    plain_core_inputs = [s for s in core.inputs if s not in key_inputs]
+    frame_inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+
+    # Constant generators for the initial state, derived from the first
+    # frame's first input wire.
+    anchor = f"f0_{plain_core_inputs[0]}"
+    const_one, const_zero = "__unroll_one", "__unroll_zero"
+    state_feed = [
+        const_one if bit else const_zero for bit in seq.initial_state
+    ]
+
+    for t in range(frames):
+        prefix = f"f{t}_"
+        copy = core.renamed(prefix, keep=key_inputs)
+        rename_inputs = {}
+        # Core inputs: primary inputs (fresh per frame) then state bits.
+        for i in range(num_in):
+            src = prefix + plain_core_inputs[i]
+            frame_inputs.append(src)
+        for b in range(num_state):
+            state_sig = prefix + plain_core_inputs[num_in + b]
+            rename_inputs[state_sig] = state_feed[b]
+        # Re-map the copy's state-input reads onto the previous frame's
+        # next-state outputs (or the constants for frame 0): emit BUFs.
+        for old, new in rename_inputs.items():
+            gates.append(Gate(old + "__fed", GateType.BUF, (new,)))
+        replace = {old: old + "__fed" for old in rename_inputs}
+        for gate in copy.gates:
+            gates.append(
+                Gate(
+                    gate.output,
+                    gate.gate_type,
+                    tuple(replace.get(s, s) for s in gate.inputs),
+                )
+            )
+        # Collect this frame's primary outputs and next-state wires.
+        for j in range(num_out):
+            outputs.append(prefix + core.outputs[j])
+        state_feed = [
+            prefix + core.outputs[num_out + b] for b in range(num_state)
+        ]
+
+    const_gates = [
+        Gate(const_one, GateType.XNOR, (anchor, anchor)),
+        Gate(const_zero, GateType.XOR, (anchor, anchor)),
+    ]
+    all_inputs = frame_inputs + list(key_inputs)
+    return Netlist(
+        all_inputs,
+        outputs,
+        const_gates + gates,
+        name=f"{core.name}_unrolled{frames}",
+    )

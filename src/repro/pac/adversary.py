@@ -1,0 +1,139 @@
+"""Adversary models as first-class objects.
+
+An :class:`AdversaryModel` pins down all three axes the paper identifies —
+distribution, access, hypothesis representation — plus the concrete
+algorithm.  Security claims ("this PUF resists ML attacks") are then
+statements *about a model*, and the assessment engine makes the model an
+explicit input instead of an unstated assumption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.pac.framework import AccessType, Distribution, HypothesisClass
+
+
+@dataclasses.dataclass(frozen=True)
+class AdversaryModel:
+    """One row of the paper's taxonomy.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (used in reports and tables).
+    distribution:
+        Which example distributions the learner must handle.
+    access:
+        What the attacker may ask of the device.
+    hypothesis_class:
+        What the learner may output (proper vs improper — Section V-B).
+    algorithm:
+        The concrete algorithm, or None for algorithm-independent bounds.
+    """
+
+    name: str
+    distribution: Distribution
+    access: AccessType
+    hypothesis_class: HypothesisClass
+    algorithm: Optional[str] = None
+
+    def describe(self) -> str:
+        """A one-line description matching Table I's Setting columns."""
+        algo = self.algorithm or "independent"
+        return (
+            f"{self.name}: distribution={self.distribution.value}, "
+            f"algorithm={algo}, access={self.access.value}, "
+            f"hypothesis={self.hypothesis_class.value}"
+        )
+
+
+#: Partial orders on the three axes: larger = more attacker freedom.
+_DISTRIBUTION_RANK = {
+    # Distribution-free learners must handle everything, so an attacker who
+    # only needs uniform examples is *easier to satisfy*: a scheme broken
+    # under the uniform model is broken under any stronger claim.
+    Distribution.ARBITRARY: 0,
+    Distribution.UNIFORM: 1,
+}
+_ACCESS_RANK = {
+    AccessType.RANDOM_EXAMPLES: 0,
+    AccessType.UNIFORM_EXAMPLES: 0,
+    AccessType.MEMBERSHIP_QUERIES: 1,
+    AccessType.MEMBERSHIP_AND_EQUIVALENCE: 2,
+}
+_HYPOTHESIS_RANK = {
+    HypothesisClass.PROPER_LTF: 0,
+    HypothesisClass.PROPER_DFA: 0,
+    HypothesisClass.PROPER_POLYNOMIAL: 0,
+    HypothesisClass.IMPROPER: 1,
+}
+
+
+def dominates(stronger: "AdversaryModel", weaker: "AdversaryModel") -> bool:
+    """True when ``stronger`` has at least as much freedom on every axis.
+
+    If a primitive falls to ``weaker`` it falls to every model dominating
+    it; conversely, an infeasibility proof under ``stronger`` carries down.
+    Using a result proved in one model as if it lived in an incomparable
+    one is exactly the paper's pitfall, so this predicate is the sanity
+    check to run before quoting a bound.
+    """
+    return (
+        _DISTRIBUTION_RANK[stronger.distribution]
+        >= _DISTRIBUTION_RANK[weaker.distribution]
+        and _ACCESS_RANK[stronger.access] >= _ACCESS_RANK[weaker.access]
+        and _HYPOTHESIS_RANK[stronger.hypothesis_class]
+        >= _HYPOTHESIS_RANK[weaker.hypothesis_class]
+    )
+
+
+def comparable(a: "AdversaryModel", b: "AdversaryModel") -> bool:
+    """True when the two models are ordered either way."""
+    return dominates(a, b) or dominates(b, a)
+
+
+#: Row 1 of Table I — the bound of [9].
+PERCEPTRON_ADVERSARY = AdversaryModel(
+    name="[9] (Perceptron)",
+    distribution=Distribution.ARBITRARY,
+    access=AccessType.RANDOM_EXAMPLES,
+    hypothesis_class=HypothesisClass.PROPER_LTF,
+    algorithm="Perceptron",
+)
+
+#: Row 2 — algorithm-independent, uniform distribution.
+GENERAL_UNIFORM_ADVERSARY = AdversaryModel(
+    name="General (VC)",
+    distribution=Distribution.UNIFORM,
+    access=AccessType.UNIFORM_EXAMPLES,
+    hypothesis_class=HypothesisClass.PROPER_LTF,
+    algorithm=None,
+)
+
+#: Row 3 — Corollary 1, the LMN algorithm (improper!).
+LMN_ADVERSARY = AdversaryModel(
+    name="Corollary 1 (LMN)",
+    distribution=Distribution.UNIFORM,
+    access=AccessType.UNIFORM_EXAMPLES,
+    hypothesis_class=HypothesisClass.IMPROPER,
+    algorithm="LMN",
+)
+
+#: Row 4 — Corollary 2, LearnPoly with membership queries.
+LEARNPOLY_ADVERSARY = AdversaryModel(
+    name="Corollary 2 (LearnPoly)",
+    distribution=Distribution.UNIFORM,
+    access=AccessType.MEMBERSHIP_QUERIES,
+    hypothesis_class=HypothesisClass.IMPROPER,
+    algorithm="LearnPoly",
+)
+
+#: All Table I rows in paper order.
+TABLE1_ADVERSARIES = (
+    PERCEPTRON_ADVERSARY,
+    GENERAL_UNIFORM_ADVERSARY,
+    LMN_ADVERSARY,
+    LEARNPOLY_ADVERSARY,
+)

@@ -1,0 +1,117 @@
+"""Auditing security-claim transfers between adversary models.
+
+The paper's pitfalls all have one shape: a result proved in adversary
+model M is quoted as if it held in model M'.  Whether that quotation is
+sound is a mechanical question about the freedom order
+(:func:`repro.pac.adversary.dominates`):
+
+* an **attack** (feasibility) result transfers *upward*: if the attacker
+  of M succeeds, any model granting at least M's freedom also succeeds;
+* a **resistance** (infeasibility) result transfers *downward*: if even
+  M's attacker fails, any attacker with at most M's freedom fails too;
+* everything else — in particular quoting a resistance bound against a
+  model with *more* freedom on any axis — is exactly the pitfall.
+
+``audit_transfer`` encodes this rule; ``audit_assessments`` applies it to
+a batch of Table-I-style assessments and lists every unsound quotation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, List
+
+from repro.pac.adversary import AdversaryModel, dominates
+
+
+class ClaimKind(enum.Enum):
+    """What the original result established."""
+
+    ATTACK = "attack"  # the primitive is broken under the model
+    RESISTANCE = "resistance"  # the primitive resists under the model
+
+
+class TransferVerdict(enum.Enum):
+    SOUND = "sound"
+    UNSOUND = "unsound"
+
+
+@dataclasses.dataclass
+class TransferAudit:
+    """Outcome of auditing one quotation."""
+
+    kind: ClaimKind
+    proved_in: AdversaryModel
+    quoted_in: AdversaryModel
+    verdict: TransferVerdict
+    reason: str
+
+    def summary(self) -> str:
+        return (
+            f"{self.kind.value} proved in [{self.proved_in.name}] quoted in "
+            f"[{self.quoted_in.name}]: {self.verdict.value} — {self.reason}"
+        )
+
+
+def audit_transfer(
+    kind: ClaimKind,
+    proved_in: AdversaryModel,
+    quoted_in: AdversaryModel,
+) -> TransferAudit:
+    """Is quoting this result in that model sound?"""
+    if proved_in == quoted_in:
+        return TransferAudit(
+            kind, proved_in, quoted_in, TransferVerdict.SOUND,
+            "same adversary model",
+        )
+    if kind is ClaimKind.ATTACK:
+        if dominates(quoted_in, proved_in):
+            return TransferAudit(
+                kind, proved_in, quoted_in, TransferVerdict.SOUND,
+                "feasibility transfers to models with at least as much freedom",
+            )
+        return TransferAudit(
+            kind, proved_in, quoted_in, TransferVerdict.UNSOUND,
+            "the quoting model lacks some freedom the attack used",
+        )
+    if kind is ClaimKind.RESISTANCE:
+        if dominates(proved_in, quoted_in):
+            return TransferAudit(
+                kind, proved_in, quoted_in, TransferVerdict.SOUND,
+                "infeasibility transfers to models with at most as much freedom",
+            )
+        return TransferAudit(
+            kind, proved_in, quoted_in, TransferVerdict.UNSOUND,
+            "the quoting model grants freedom the proof never considered "
+            "— the paper's pitfall",
+        )
+    raise ValueError(f"unknown claim kind {kind!r}")
+
+
+def audit_assessments(assessments: Iterable) -> List[TransferAudit]:
+    """Cross-audit a batch of assessments (e.g. the Table I rows).
+
+    For every pair (A proved, B quoted): if A's verdict is feasible the
+    claim kind is ATTACK, if infeasible RESISTANCE; borderline rows are
+    skipped.  Returns only the *unsound* transfers — the quotations the
+    batch does not license.
+    """
+    from repro.pac.assessment import Verdict
+
+    rows = list(assessments)
+    unsound: List[TransferAudit] = []
+    for src in rows:
+        if src.verdict is Verdict.FEASIBLE:
+            kind = ClaimKind.ATTACK
+        elif src.verdict is Verdict.INFEASIBLE:
+            kind = ClaimKind.RESISTANCE
+        else:
+            continue
+        for dst in rows:
+            if dst.adversary == src.adversary:
+                continue
+            audit = audit_transfer(kind, src.adversary, dst.adversary)
+            if audit.verdict is TransferVerdict.UNSOUND:
+                unsound.append(audit)
+    return unsound

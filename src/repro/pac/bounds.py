@@ -1,0 +1,233 @@
+"""The four CRP upper bounds of Table I, as closed-form functions.
+
+=============  ===========================================================
+Row            Bound on the number of CRPs
+=============  ===========================================================
+[9]            O((n+1)^k / eps^3 + ln(1/delta)/eps)        (Perceptron)
+General        O((k(n+1)(1+ln(kn+k)) ln(1/eps) + ln(1/delta)) / eps)
+Corollary 1    O(n^{k^2/eps^2} ln(1/delta))                (LMN)
+Corollary 2    poly(n, k, 1/eps, log(1/delta))             (LearnPoly)
+=============  ===========================================================
+
+Bounds grow astronomically in parts of the parameter space (that is the
+point), so every bound also has a log10 form that never overflows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pac.framework import PACParameters
+
+#: Human-readable registry of the four Table I settings, keyed by row name.
+TABLE1_SETTINGS = {
+    "[9] (Perceptron)": {
+        "distribution": "arbitrary",
+        "algorithm": "Perceptron",
+        "access": "random examples",
+    },
+    "General (VC)": {
+        "distribution": "uniform",
+        "algorithm": "independent",
+        "access": "uniformly-distributed examples",
+    },
+    "Corollary 1 (LMN)": {
+        "distribution": "uniform",
+        "algorithm": "LMN",
+        "access": "uniformly-distributed examples",
+    },
+    "Corollary 2 (LearnPoly)": {
+        "distribution": "uniform",
+        "algorithm": "LearnPoly",
+        "access": "membership queries",
+    },
+}
+
+
+def _check(n: int, k: int) -> None:
+    if n <= 0:
+        raise ValueError(f"challenge length n must be positive, got {n}")
+    if k <= 0:
+        raise ValueError(f"chain count k must be positive, got {k}")
+
+
+# ----------------------------------------------------------------------
+# Row 1: the bound of [9], built on the Perceptron mistake bound.
+# ----------------------------------------------------------------------
+def perceptron_bound(n: int, k: int, params: PACParameters) -> float:
+    """CRP bound of [9]: (n+1)^k / eps^3 + ln(1/delta)/eps.
+
+    Note (footnote a of Table I): this does *not* go through the VC
+    dimension — it converts the Perceptron's mistake bound, which for the
+    LTF representing a k-XOR Arbiter PUF grows like (n+1)^k.
+    """
+    _check(n, k)
+    eps, delta = params.eps, params.delta
+    return float((n + 1) ** k / eps**3 + math.log(1.0 / delta) / eps)
+
+
+def perceptron_bound_log10(n: int, k: int, params: PACParameters) -> float:
+    """log10 of :func:`perceptron_bound` (no overflow for huge k)."""
+    _check(n, k)
+    eps, delta = params.eps, params.delta
+    main = k * math.log10(n + 1) - 3 * math.log10(eps)
+    other = math.log10(max(math.log(1.0 / delta) / eps, 1e-300))
+    return _log10_add(main, other)
+
+
+# ----------------------------------------------------------------------
+# Row 2: algorithm-independent bound via the VC dimension.
+# ----------------------------------------------------------------------
+def vc_dim_xor_arbiter(n: int, k: int) -> float:
+    """VC-dimension upper bound for k-XOR of (n+1)-weight LTFs, cf. [17].
+
+    VC = O(k (n+1) (1 + log(kn + k))): an XOR of k halfspaces over the
+    (n+1)-dimensional feature space.
+    """
+    _check(n, k)
+    return k * (n + 1) * (1.0 + math.log(k * n + k))
+
+
+def general_vc_bound(n: int, k: int, params: PACParameters) -> float:
+    """Algorithm-independent uniform-PAC bound (Table I row 2).
+
+    (k(n+1)(1 + ln(kn+k)) ln(1/eps) + ln(1/delta)) / eps — the [12]-style
+    bound instantiated with the XOR Arbiter PUF VC dimension.
+    """
+    _check(n, k)
+    eps, delta = params.eps, params.delta
+    vc = vc_dim_xor_arbiter(n, k)
+    return float((vc * math.log(1.0 / eps) + math.log(1.0 / delta)) / eps)
+
+
+def general_vc_bound_log10(n: int, k: int, params: PACParameters) -> float:
+    """log10 of :func:`general_vc_bound`."""
+    return math.log10(general_vc_bound(n, k, params))
+
+
+# ----------------------------------------------------------------------
+# Row 3: Corollary 1 — the LMN bound.
+# ----------------------------------------------------------------------
+def lmn_degree(k: int, eps: float) -> float:
+    """m = 2.32 k^2 / eps^2 (the noise-sensitivity-derived cut-off)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    return 2.32 * k * k / (eps * eps)
+
+
+def lmn_bound_log10(n: int, k: int, params: PACParameters) -> float:
+    """log10 of the Corollary 1 bound n^{2.32 k^2/eps^2} ln(1/delta)."""
+    _check(n, k)
+    eps, delta = params.eps, params.delta
+    return lmn_degree(k, eps) * math.log10(n) + math.log10(
+        max(math.log(1.0 / delta), 1e-300)
+    )
+
+
+def lmn_bound(n: int, k: int, params: PACParameters) -> float:
+    """The Corollary 1 bound; returns math.inf when it overflows a float.
+
+    The overflow *is* informative: it is the k >> sqrt(ln n) infeasibility
+    regime.
+    """
+    log10_value = lmn_bound_log10(n, k, params)
+    if log10_value > 308:
+        return math.inf
+    return 10.0**log10_value
+
+
+def lmn_feasible(n: int, k: int) -> bool:
+    """The Corollary 1 feasibility frontier: k = O(sqrt(ln n)).
+
+    Concretely, LMN needs n^{Theta(k^2)} examples, which is polynomial in n
+    only while k^2 = O(1) and super-polynomial once k >> sqrt(ln n).
+    """
+    _check(n, k)
+    return k * k <= max(1.0, math.log(n))
+
+
+# ----------------------------------------------------------------------
+# Row 4: Corollary 2 — LearnPoly with membership queries.
+# ----------------------------------------------------------------------
+def bourgain_junta_size(eps: float, constant: float = 1.0) -> int:
+    """Bourgain's theorem [23]: every LTF is eps-close to an
+    O(eps^{-3/2})-junta.  ``constant`` exposes the hidden constant."""
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    if constant <= 0:
+        raise ValueError("constant must be positive")
+    return max(1, math.ceil(constant * eps ** (-1.5)))
+
+
+def learnpoly_sparsity(k: int, r: int) -> float:
+    """Monomial count O(2^r k) of the combined k-chain polynomial."""
+    if k <= 0 or r < 0:
+        raise ValueError("need k >= 1 and r >= 0")
+    return k * 2.0**r
+
+
+def learnpoly_bound(
+    n: int,
+    k: int,
+    params: PACParameters,
+    junta_size: int | None = None,
+) -> float:
+    """Concrete poly(n, k, 1/eps, log(1/delta)) query bound of Corollary 2.
+
+    Each chain is close to an r-junta (r from Bourgain's theorem unless
+    given), the XOR is an s = k 2^r sparse polynomial of degree r, and
+    LearnPoly costs O(n s r) membership queries per counterexample round,
+    at most s rounds, plus the simulated-EQ examples
+    (s/eps)(ln(1/delta) + s ln 2):
+
+        m = n s^2 r + (s/eps)(ln(1/delta) + s ln 2).
+
+    For the paper's regime k = log2(n) and constant eps this is poly(n).
+    """
+    _check(n, k)
+    eps, delta = params.eps, params.delta
+    r = bourgain_junta_size(eps) if junta_size is None else junta_size
+    if r < 0:
+        raise ValueError("junta_size must be non-negative")
+    s = learnpoly_sparsity(k, r)
+    mq = n * s * s * max(r, 1)
+    eq_examples = (s / eps) * (math.log(1.0 / delta) + s * math.log(2.0))
+    return float(mq + eq_examples)
+
+
+def learnpoly_bound_log10(
+    n: int, k: int, params: PACParameters, junta_size: int | None = None
+) -> float:
+    """log10 of :func:`learnpoly_bound`."""
+    return math.log10(learnpoly_bound(n, k, params, junta_size))
+
+
+# ----------------------------------------------------------------------
+# Classification noise (the paper's footnote-1 "attribute noise", seen by
+# the learner as label noise after stabilisation).
+# ----------------------------------------------------------------------
+def noisy_sample_inflation(eta: float) -> float:
+    """Sample-size multiplier under classification noise of rate eta.
+
+    The standard 1/(1-2 eta)^2 factor: every correlation/coefficient
+    estimate shrinks by (1-2 eta), so variance-limited estimators need the
+    squared inverse in extra examples.  eta -> 1/2 (pure noise) diverges.
+    """
+    if not 0.0 <= eta < 0.5:
+        raise ValueError("noise rate must be in [0, 0.5)")
+    return 1.0 / (1.0 - 2.0 * eta) ** 2
+
+
+def bound_with_noise(bound_value: float, eta: float) -> float:
+    """Inflate any CRP bound for classification noise of rate eta."""
+    if bound_value <= 0:
+        raise ValueError("bound_value must be positive")
+    return bound_value * noisy_sample_inflation(eta)
+
+
+def _log10_add(a: float, b: float) -> float:
+    """log10(10^a + 10^b) without overflow."""
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log10(1.0 + 10.0 ** (lo - hi))

@@ -1,0 +1,116 @@
+"""PAC-learnability bounds for circuit classes (Section III's LL thread).
+
+The paper's first worked pitfall is about logic locking: the class AC^0 of
+poly(n)-size depth-d circuits is
+
+* essentially unlearnable in the *distribution-free* model — no algorithm
+  beats 2^{n - n^{Omega(1/d)}} time (Servedio-Tan [15]); yet
+* quasi-polynomially learnable under the *uniform* distribution — the LMN
+  theorem gives n^{O(log^d(size/eps))} examples/time [16].
+
+So when the locking literature analyses "random" input/output pairs it is
+silently living in the uniform model (the paper's point); these functions
+make both bounds computable so the gap can be tabulated per circuit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.pac.framework import PACParameters
+
+
+def ac0_distribution_free_time_log10(
+    n: int, depth: int, hidden_constant: float = 1.0
+) -> float:
+    """log10 of the distribution-free lower bound 2^{n - n^{c/d}} [15].
+
+    ``hidden_constant`` instantiates the Omega(1/d) exponent as
+    ``hidden_constant / depth``.
+    """
+    if n <= 0 or depth <= 0:
+        raise ValueError("n and depth must be positive")
+    if hidden_constant <= 0:
+        raise ValueError("hidden_constant must be positive")
+    exponent = n - n ** min(1.0, hidden_constant / depth)
+    return exponent * math.log10(2.0)
+
+
+def ac0_uniform_lmn_sample_log10(
+    n: int,
+    depth: int,
+    size: int,
+    params: PACParameters,
+) -> float:
+    """log10 of the uniform-distribution LMN bound n^{O(log^d(size/eps))}.
+
+    Uses the concrete exponent ``(20 log2(size/eps))^depth`` shape of the
+    LMN/Hastad analysis with the leading constant set to 1 (we compare
+    *growth*, not constants, exactly as the paper does).
+    """
+    if n <= 1 or depth <= 0 or size <= 0:
+        raise ValueError("need n > 1, depth > 0, size > 0")
+    t = math.log2(max(2.0, size / params.eps)) ** depth
+    return t * math.log10(n) + math.log10(
+        max(math.log(1.0 / params.delta), 1e-300)
+    )
+
+
+@dataclasses.dataclass
+class CircuitClassAssessment:
+    """Both bounds for one circuit, with the headline gap."""
+
+    n: int
+    depth: int
+    size: int
+    distribution_free_log10: float
+    uniform_lmn_log10: float
+
+    @property
+    def uniform_is_cheaper(self) -> bool:
+        return self.uniform_lmn_log10 < self.distribution_free_log10
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n}, depth={self.depth}, size={self.size}: "
+            f"distribution-free >= 10^{self.distribution_free_log10:.1f} time, "
+            f"uniform LMN ~ 10^{self.uniform_lmn_log10:.1f} examples "
+            f"({'uniform wins' if self.uniform_is_cheaper else 'no gap here'})"
+        )
+
+
+def assess_circuit_learnability(
+    n: int,
+    depth: int,
+    size: int,
+    params: Optional[PACParameters] = None,
+) -> CircuitClassAssessment:
+    """Evaluate both Section III bounds for given circuit parameters."""
+    params = PACParameters(0.05, 0.05) if params is None else params
+    return CircuitClassAssessment(
+        n=n,
+        depth=depth,
+        size=size,
+        distribution_free_log10=ac0_distribution_free_time_log10(n, depth),
+        uniform_lmn_log10=ac0_uniform_lmn_sample_log10(n, depth, size, params),
+    )
+
+
+def assess_netlist_learnability(
+    netlist, params: Optional[PACParameters] = None
+) -> CircuitClassAssessment:
+    """Section III assessment straight from a gate-level netlist.
+
+    Uses the netlist's measured depth and size.  Note the model caveat:
+    AC^0 permits unbounded fan-in, so treating a fan-in-2 netlist's depth
+    as d is generous to the *distribution-free* lower bound and the
+    comparison remains conservative.
+    """
+    return assess_circuit_learnability(
+        n=netlist.num_inputs,
+        depth=netlist.depth(),
+        size=netlist.size(),
+        params=params,
+    )

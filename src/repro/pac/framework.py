@@ -1,0 +1,78 @@
+"""Core PAC-learning framework objects (Definition 1 of the paper).
+
+A PAC learner must, for any target in the concept class, produce with
+probability 1 - delta a hypothesis that is an eps-approximator, from
+polynomially many examples.  The *axes* along which this definition is
+instantiated — distribution, access type, hypothesis class — are the
+enums below; they are what an :class:`repro.pac.adversary.AdversaryModel`
+is made of.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class PACParameters:
+    """Accuracy/confidence pair (eps, delta) of Definition 1."""
+
+    eps: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.eps < 1.0:
+            raise ValueError(f"eps must be in (0, 1), got {self.eps}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+
+
+class Distribution(enum.Enum):
+    """The example distribution the learner must cope with (Section III).
+
+    ARBITRARY is Valiant's original distribution-free requirement; UNIFORM
+    is the relaxation common in complexity/cryptography — and, as the paper
+    stresses, the one silently used by the logic-locking literature when it
+    says "random" input/output pairs.
+    """
+
+    ARBITRARY = "arbitrary"
+    UNIFORM = "uniform"
+
+
+class AccessType(enum.Enum):
+    """What the attacker may ask (Section IV)."""
+
+    RANDOM_EXAMPLES = "random examples"
+    UNIFORM_EXAMPLES = "uniformly-distributed examples"
+    MEMBERSHIP_QUERIES = "membership queries"
+    MEMBERSHIP_AND_EQUIVALENCE = "membership + equivalence queries"
+
+
+class HypothesisClass(enum.Enum):
+    """What the learner may output (Section V-B).
+
+    PROPER learners must output a member of the concept class's own
+    representation (e.g. an LTF); IMPROPER learners may output anything
+    evaluable — and are strictly more powerful, the paper's "ironically,
+    although being called improper" point.
+    """
+
+    PROPER_LTF = "proper (LTF)"
+    PROPER_DFA = "proper (DFA)"
+    PROPER_POLYNOMIAL = "proper (sparse F2 polynomial)"
+    IMPROPER = "improper (unrestricted)"
+
+
+def blumer_sample_bound(vc_dim: float, params: PACParameters) -> float:
+    """The classic distribution-free sample-complexity upper bound [12].
+
+    m = (4/eps) * (vc_dim * log2(13/eps) + log2(2/delta)); any consistent
+    learner with this many examples is a PAC learner.
+    """
+    if vc_dim <= 0:
+        raise ValueError("VC dimension must be positive")
+    eps, delta = params.eps, params.delta
+    return (4.0 / eps) * (vc_dim * math.log2(13.0 / eps) + math.log2(2.0 / delta))

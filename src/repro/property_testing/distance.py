@@ -1,0 +1,101 @@
+"""Empirical distance from a target function to the class of halfspaces.
+
+The tester (:mod:`repro.property_testing.halfspace_tester`) gives a
+one-sided farness certificate; the estimators here attack the distance
+from the other side by *searching* for a good halfspace:
+
+* :func:`best_ltf_agreement` — fit LTFs with several learners and report
+  the best test agreement; 1 - agreement upper-bounds the distance.
+* :func:`exact_min_distance_small_n` — brute-force over the Chow-optimal
+  halfspace for tiny n (exact Fourier route).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF, chow_parameters_exact, ltf_from_chow_parameters
+from repro.learning.chow import ChowLearner
+from repro.learning.logistic import LogisticAttack
+from repro.learning.perceptron import Perceptron
+from repro.pufs.crp import CRPSet
+
+Hypothesis = Callable[[np.ndarray], np.ndarray]
+
+
+def best_ltf_agreement(
+    train: CRPSet,
+    test: CRPSet,
+    rng: Optional[np.random.Generator] = None,
+    perceptron_epochs: int = 40,
+) -> Tuple[float, str]:
+    """Best test-set agreement achieved by LTF learners on the CRPs.
+
+    Runs the Perceptron (plain and averaged), logistic regression, and the
+    Chow-parameter learner; returns (best agreement, learner name).
+    ``1 - agreement`` is an empirical upper bound on the distance from the
+    target to the nearest halfspace.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    candidates: List[Tuple[str, Hypothesis]] = []
+
+    plain = Perceptron(max_epochs=perceptron_epochs).fit(
+        train.challenges, train.responses, rng
+    )
+    candidates.append(("perceptron", plain.predict))
+    averaged = Perceptron(max_epochs=perceptron_epochs, averaged=True).fit(
+        train.challenges, train.responses, rng
+    )
+    candidates.append(("averaged_perceptron", averaged.predict))
+    logistic = LogisticAttack().fit(train.challenges, train.responses, rng)
+    candidates.append(("logistic", logistic.predict))
+    chow = ChowLearner(correction_rounds=6, estimation_sample=5000).fit(train, rng)
+    candidates.append(("chow", chow.predict))
+
+    best_name, best_acc = "", -1.0
+    for name, predict in candidates:
+        acc = float(np.mean(predict(test.challenges) == test.responses))
+        if acc > best_acc:
+            best_name, best_acc = name, acc
+    return best_acc, best_name
+
+
+def empirical_min_distance(
+    train: CRPSet,
+    test: CRPSet,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """1 - best LTF agreement: an upper bound on dist(f, halfspaces)."""
+    acc, _ = best_ltf_agreement(train, test, rng)
+    return 1.0 - acc
+
+
+def exact_min_distance_small_n(
+    f: BooleanFunction,
+    extra_candidates: Sequence[LTF] = (),
+    random_candidates: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Distance from ``f`` to the nearest halfspace among strong candidates.
+
+    Exact minimisation over all halfspaces is intractable, but for small n
+    the Chow-optimal LTF is provably the best *linear* sign approximator in
+    a broad regime; we evaluate it exactly, plus random perturbations of it
+    and any supplied candidates, and return the minimum exact distance.
+    The result is an upper bound on the true minimum that is tight for
+    near-regular targets.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    chow = chow_parameters_exact(f)
+    candidates: List[LTF] = [ltf_from_chow_parameters(chow)]
+    candidates.extend(extra_candidates)
+    base = chow[1:]
+    norm = float(np.linalg.norm(base)) or 1.0
+    for _ in range(random_candidates):
+        weights = base + rng.normal(0.0, 0.3 * norm / max(1, f.n) ** 0.5, size=f.n)
+        threshold = -chow[0] + rng.normal(0.0, 0.1)
+        candidates.append(LTF(weights, threshold))
+    return min(f.distance(c) for c in candidates)

@@ -1,0 +1,28 @@
+"""PUF-based protocols: the lockdown authentication scheme [10].
+
+The paper cites [10] ("A Lockdown Technique to Prevent Machine Learning on
+PUFs for Lightweight Authentication") as a design that consumed the bound
+of [9] — making it the perfect composed-hardware demonstration of the
+pitfall: a CRP-exposure budget that is safe against one adversary model
+can be unsafe against another.
+"""
+
+from repro.protocols.lockdown import (
+    CRPDatabase,
+    LockdownDevice,
+    LockdownServer,
+    EavesdroppingAdversary,
+    AuthenticationResult,
+    run_authentication_rounds,
+    exposure_budget_from_bound,
+)
+
+__all__ = [
+    "CRPDatabase",
+    "LockdownDevice",
+    "LockdownServer",
+    "EavesdroppingAdversary",
+    "AuthenticationResult",
+    "run_authentication_rounds",
+    "exposure_budget_from_bound",
+]

@@ -1,0 +1,77 @@
+"""Simulated Physically Unclonable Functions (PUFs).
+
+The paper's experiments run against silicon PUFs (Arbiter / XOR Arbiter
+PUFs, and Bistable Ring PUFs on a Cyclone IV FPGA).  We have no silicon, so
+this package implements the standard behavioural models from the
+literature:
+
+* :class:`ArbiterPUF` — the additive delay model [Gassend et al. 2004],
+  which makes the PUF a linear threshold function over the parity-
+  transformed challenge.
+* :class:`XORArbiterPUF` — k parallel arbiter chains XORed [Suh & Devadas
+  2007], with an option for *correlated* chains (the RocknRoll construction
+  of [17] that the paper contrasts with the bound of [9]).
+* :class:`BistableRingPUF` — a behavioural model with tunable non-linear
+  stage interactions; at zero interaction it degenerates to an LTF, at the
+  default setting it reproduces the "far from any halfspace" behaviour the
+  paper measures (Tables II and III).
+* :class:`FeedForwardArbiterPUF` — a classic non-linear arbiter variant,
+  included as an additional non-LTF target.
+
+All PUFs share the :class:`PUF` interface: challenges and responses are
++/-1 arrays (chi(0)=+1, chi(1)=-1), and every PUF exposes both a noise-free
+ideal evaluation and a noisy measurement model.
+"""
+
+from repro.pufs.base import PUF
+from repro.pufs.arbiter import ArbiterPUF, parity_transform
+from repro.pufs.xor_arbiter import XORArbiterPUF
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.feed_forward import FeedForwardArbiterPUF
+from repro.pufs.interpose import InterposePUF
+from repro.pufs.ring_oscillator import (
+    RingOscillatorPUF,
+    predict_from_scores,
+    sorting_attack,
+)
+from repro.pufs.crp import CRPSet, generate_crps, uniform_challenges, biased_challenges
+from repro.pufs.noise import majority_vote, stable_challenge_mask, collect_stable_crps
+from repro.pufs.io import load_puf, save_puf
+from repro.pufs.metrics import (
+    uniformity,
+    response_bias,
+    reliability,
+    uniqueness,
+    expected_bias,
+    bit_aliasing,
+    xor_reliability_prediction,
+)
+
+__all__ = [
+    "PUF",
+    "ArbiterPUF",
+    "XORArbiterPUF",
+    "BistableRingPUF",
+    "FeedForwardArbiterPUF",
+    "InterposePUF",
+    "RingOscillatorPUF",
+    "predict_from_scores",
+    "sorting_attack",
+    "parity_transform",
+    "CRPSet",
+    "generate_crps",
+    "uniform_challenges",
+    "biased_challenges",
+    "majority_vote",
+    "stable_challenge_mask",
+    "collect_stable_crps",
+    "load_puf",
+    "save_puf",
+    "uniformity",
+    "response_bias",
+    "reliability",
+    "uniqueness",
+    "expected_bias",
+    "bit_aliasing",
+    "xor_reliability_prediction",
+]

@@ -1,0 +1,155 @@
+"""Challenge-response pair (CRP) containers and generators.
+
+CRP sets are the learning examples of the PAC framework.  The distribution
+the challenges are drawn from is the first axis of the paper's adversary
+model (Section III), so the generator takes the distribution as an explicit
+argument instead of hard-coding "uniform".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.pufs.base import PUF
+
+ChallengeSampler = Callable[[int, int, np.random.Generator], np.ndarray]
+
+
+def uniform_challenges(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """m uniform +/-1 challenges — the distribution of Section III."""
+    return (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+
+
+def biased_challenges(p: float) -> ChallengeSampler:
+    """A product distribution where each bit is 1 (i.e. -1) with probability p.
+
+    Used to demonstrate distribution-dependence: a learner tuned to the
+    uniform distribution can fail badly under a skewed product measure.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"bit probability must be in [0, 1], got {p}")
+
+    def sample(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+        bits = rng.random(size=(m, n)) < p
+        return (1 - 2 * bits.astype(np.int8)).astype(np.int8)
+
+    return sample
+
+
+def low_weight_challenges(max_ones: int) -> ChallengeSampler:
+    """Challenges with at most ``max_ones`` bits set (a sparse distribution)."""
+    if max_ones < 0:
+        raise ValueError("max_ones must be non-negative")
+
+    def sample(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.ones((m, n), dtype=np.int8)
+        for row in range(m):
+            weight = int(rng.integers(0, min(max_ones, n) + 1))
+            if weight:
+                idx = rng.choice(n, size=weight, replace=False)
+                out[row, idx] = -1
+        return out
+
+    return sample
+
+
+@dataclasses.dataclass
+class CRPSet:
+    """A set of challenge-response pairs in the +/-1 encoding."""
+
+    challenges: np.ndarray
+    responses: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.challenges = np.asarray(self.challenges, dtype=np.int8)
+        self.responses = np.asarray(self.responses, dtype=np.int8)
+        if self.challenges.ndim != 2:
+            raise ValueError("challenges must be a 2-D array")
+        if self.responses.shape != (self.challenges.shape[0],):
+            raise ValueError(
+                "responses must be a vector matching the number of challenges"
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.challenges.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Challenge length."""
+        return self.challenges.shape[1]
+
+    def split(
+        self, train_fraction: float, rng: Optional[np.random.Generator] = None
+    ) -> Tuple["CRPSet", "CRPSet"]:
+        """Shuffle and split into (train, test)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng() if rng is None else rng
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        tr, te = order[:cut], order[cut:]
+        return (
+            CRPSet(self.challenges[tr], self.responses[tr]),
+            CRPSet(self.challenges[te], self.responses[te]),
+        )
+
+    def subsample(
+        self, m: int, rng: Optional[np.random.Generator] = None
+    ) -> "CRPSet":
+        """A uniform random subset of ``m`` CRPs (without replacement)."""
+        if m > len(self):
+            raise ValueError(f"cannot subsample {m} from {len(self)} CRPs")
+        rng = np.random.default_rng() if rng is None else rng
+        idx = rng.choice(len(self), size=m, replace=False)
+        return CRPSet(self.challenges[idx], self.responses[idx])
+
+    def take(self, m: int) -> "CRPSet":
+        """The first ``m`` CRPs (deterministic prefix)."""
+        if m > len(self):
+            raise ValueError(f"cannot take {m} from {len(self)} CRPs")
+        return CRPSet(self.challenges[:m], self.responses[:m])
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist as a compressed .npz file."""
+        np.savez_compressed(
+            Path(path), challenges=self.challenges, responses=self.responses
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CRPSet":
+        """Load a CRP set saved with :meth:`save`."""
+        data = np.load(Path(path))
+        return cls(data["challenges"], data["responses"])
+
+    def __repr__(self) -> str:
+        return f"CRPSet(m={len(self)}, n={self.n})"
+
+
+def generate_crps(
+    puf: PUF,
+    m: int,
+    rng: Optional[np.random.Generator] = None,
+    sampler: ChallengeSampler = uniform_challenges,
+    noisy: bool = False,
+) -> CRPSet:
+    """Draw ``m`` challenges from ``sampler`` and evaluate ``puf`` on them.
+
+    With ``noisy=True`` each response is a single noisy measurement (the
+    realistic CRP-collection setting); otherwise the ideal response is
+    recorded.
+    """
+    if m <= 0:
+        raise ValueError("CRP count must be positive")
+    rng = np.random.default_rng() if rng is None else rng
+    challenges = sampler(m, puf.n, rng)
+    if noisy:
+        responses = puf.eval_noisy(challenges, rng)
+    else:
+        responses = puf.eval(challenges)
+    return CRPSet(challenges, responses)

@@ -1,0 +1,75 @@
+"""Feed-forward Arbiter PUFs.
+
+A feed-forward arbiter adds intermediate arbiters whose outputs drive later
+challenge bits, breaking the clean LTF structure of the plain arbiter PUF.
+Included as a second non-LTF target (besides the BR PUF) for the
+representation-choice experiments of Section V.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pufs.base import PUF
+
+
+class FeedForwardArbiterPUF(PUF):
+    """Arbiter PUF with feed-forward loops.
+
+    Each loop is a pair ``(tap, dest)`` with ``tap < dest``: an intermediate
+    arbiter samples the sign of the delay difference after stage ``tap``
+    and overrides the challenge bit of stage ``dest`` with it.
+
+    The delay recursion uses the standard per-stage model: with c_i = +1
+    (straight) the difference accumulates ``d_i``, with c_i = -1 (crossed)
+    it is negated and accumulates ``e_i``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        loops: Sequence[Tuple[int, int]] = (),
+        rng: Optional[np.random.Generator] = None,
+        weight_sigma: float = 1.0,
+        noise_sigma: float = 0.0,
+    ) -> None:
+        super().__init__(n, noise_sigma)
+        for tap, dest in loops:
+            if not (0 <= tap < dest < n):
+                raise ValueError(
+                    f"loop ({tap}, {dest}) must satisfy 0 <= tap < dest < n={n}"
+                )
+        dests = [dest for _, dest in loops]
+        if len(dests) != len(set(dests)):
+            raise ValueError("each destination stage may be driven by one loop only")
+        self.loops: List[Tuple[int, int]] = sorted(loops, key=lambda p: p[1])
+        rng = np.random.default_rng() if rng is None else rng
+        self.straight_delays = rng.normal(0.0, weight_sigma, size=n)
+        self.crossed_delays = rng.normal(0.0, weight_sigma, size=n)
+
+    def raw_margin(self, challenges: np.ndarray) -> np.ndarray:
+        c = challenges
+        m = c.shape[0]
+        effective = c.astype(np.float64).copy()
+        diff = np.zeros(m)
+        loop_by_dest = {dest: tap for tap, dest in self.loops}
+        tap_signs: dict = {}
+        for i in range(self.n):
+            if i in loop_by_dest:
+                effective[:, i] = tap_signs[loop_by_dest[i]]
+            bit = effective[:, i]
+            # straight (+1): diff += d_i ; crossed (-1): diff = -diff + e_i
+            diff = np.where(
+                bit > 0, diff + self.straight_delays[i], -diff + self.crossed_delays[i]
+            )
+            if any(tap == i for tap, _ in self.loops):
+                tap_signs[i] = np.where(diff >= 0, 1.0, -1.0)
+        return diff
+
+    def __repr__(self) -> str:
+        return (
+            f"FeedForwardArbiterPUF(n={self.n}, loops={self.loops}, "
+            f"noise_sigma={self.noise_sigma:g})"
+        )

@@ -1,0 +1,77 @@
+"""The Interpose PUF (iPUF) — a further composed-hardware target.
+
+An (x, y)-iPUF feeds the challenge to an upper x-XOR arbiter PUF, inserts
+that 1-bit response into the middle of the challenge, and evaluates a
+lower y-XOR arbiter PUF on the extended (n+1)-bit challenge.  Proposed as
+an ML-resistant composition after plain XOR PUFs fell; included here as a
+target for the adversary-model machinery (its security story went through
+the same cycle of model-relative claims the paper warns about).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.pufs.base import PUF
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class InterposePUF(PUF):
+    """(x, y)-Interpose PUF over n-bit challenges.
+
+    Parameters
+    ----------
+    n:
+        Challenge length of the upper layer; the lower layer sees n+1 bits.
+    x, y:
+        Chain counts of the upper and lower XOR arbiter layers.
+    position:
+        Index at which the upper response is interposed into the lower
+        challenge (default: the middle, the standard choice).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        x: int = 1,
+        y: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        position: Optional[int] = None,
+        noise_sigma: float = 0.0,
+    ) -> None:
+        super().__init__(n, noise_sigma)
+        rng = np.random.default_rng() if rng is None else rng
+        self.upper = XORArbiterPUF(n, x, rng, noise_sigma=noise_sigma)
+        self.lower = XORArbiterPUF(n + 1, y, rng, noise_sigma=noise_sigma)
+        self.position = (n + 1) // 2 if position is None else position
+        if not 0 <= self.position <= n:
+            raise ValueError(f"position must be in [0, {n}], got {self.position}")
+
+    def _interpose(self, challenges: np.ndarray, upper_bits: np.ndarray) -> np.ndarray:
+        return np.insert(
+            challenges, self.position, upper_bits, axis=1
+        ).astype(np.int8)
+
+    def raw_margin(self, challenges: np.ndarray) -> np.ndarray:
+        upper_bits = self.upper.eval(challenges)
+        extended = self._interpose(challenges, upper_bits)
+        return self.lower.raw_margin(extended)
+
+    def eval_noisy(
+        self, challenges: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Noise propagates through both layers (upper flips shift the
+        interposed bit, lower flips act on the final response)."""
+        challenges = self._check(challenges)
+        rng = np.random.default_rng() if rng is None else rng
+        upper_bits = self.upper.eval_noisy(challenges, rng)
+        extended = self._interpose(challenges, upper_bits)
+        return self.lower.eval_noisy(extended, rng)
+
+    def __repr__(self) -> str:
+        return (
+            f"InterposePUF(n={self.n}, x={self.upper.k}, y={self.lower.k}, "
+            f"position={self.position}, noise_sigma={self.noise_sigma:g})"
+        )

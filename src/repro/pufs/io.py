@@ -1,0 +1,98 @@
+"""Serialisation of PUF instances.
+
+Saving a simulated device pins the 'manufactured' instance, so experiments
+are repeatable across processes and enrolled protocol databases stay bound
+to a specific chip.  Format: a compressed ``.npz`` with a ``kind`` tag and
+the instance parameters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.base import PUF
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+def save_puf(puf: PUF, path: Union[str, Path]) -> None:
+    """Persist a PUF instance to ``.npz`` (Arbiter/XOR-Arbiter/BR only)."""
+    path = Path(path)
+    if isinstance(puf, XORArbiterPUF):
+        np.savez_compressed(
+            path,
+            kind="xor_arbiter",
+            n=puf.n,
+            k=puf.k,
+            correlation=puf.correlation,
+            noise_sigma=puf.noise_sigma,
+            chain_weights=np.stack([c.weights for c in puf.chains]),
+        )
+    elif isinstance(puf, ArbiterPUF):
+        np.savez_compressed(
+            path,
+            kind="arbiter",
+            n=puf.n,
+            noise_sigma=puf.noise_sigma,
+            weights=puf.weights,
+        )
+    elif isinstance(puf, BistableRingPUF):
+        np.savez_compressed(
+            path,
+            kind="bistable_ring",
+            n=puf.n,
+            noise_sigma=puf.noise_sigma,
+            interaction_scale=puf.interaction_scale,
+            bias_terms=puf.bias_terms,
+            linear_weights=puf.linear_weights,
+            global_offset=puf.global_offset,
+            pair_indices=puf.pair_indices,
+            pair_weights=puf.pair_weights,
+            triple_indices=puf.triple_indices,
+            triple_weights=puf.triple_weights,
+        )
+    else:
+        raise TypeError(f"cannot serialise PUF type {type(puf).__name__}")
+
+
+def load_puf(path: Union[str, Path]) -> PUF:
+    """Load a PUF saved with :func:`save_puf`."""
+    data = np.load(Path(path))
+    kind = str(data["kind"])
+    if kind == "arbiter":
+        return ArbiterPUF(
+            int(data["n"]),
+            weights=data["weights"],
+            noise_sigma=float(data["noise_sigma"]),
+        )
+    if kind == "xor_arbiter":
+        puf = XORArbiterPUF(
+            int(data["n"]),
+            int(data["k"]),
+            rng=np.random.default_rng(0),
+            correlation=float(data["correlation"]),
+            noise_sigma=float(data["noise_sigma"]),
+        )
+        for chain, weights in zip(puf.chains, data["chain_weights"]):
+            chain.weights = np.asarray(weights, dtype=np.float64)
+        return puf
+    if kind == "bistable_ring":
+        puf = BistableRingPUF(
+            int(data["n"]),
+            rng=np.random.default_rng(0),
+            interaction_scale=float(data["interaction_scale"]),
+            noise_sigma=float(data["noise_sigma"]),
+        )
+        puf.bias_terms = data["bias_terms"]
+        puf.linear_weights = data["linear_weights"]
+        puf.global_offset = float(data["global_offset"])
+        puf.pair_indices = data["pair_indices"]
+        puf.pair_weights = data["pair_weights"]
+        puf.triple_indices = data["triple_indices"]
+        puf.triple_weights = data["triple_weights"]
+        return puf
+    raise ValueError(f"unknown PUF kind {kind!r}")

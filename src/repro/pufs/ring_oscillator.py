@@ -1,0 +1,123 @@
+"""Ring-Oscillator (RO) PUFs.
+
+An RO PUF compares the frequencies of two challenge-selected ring
+oscillators; the response is the sign of the frequency difference.  Unlike
+arbiter-type PUFs the challenge space is only the set of oscillator pairs,
+and the device leaks a *total order*: an attacker who observes enough
+comparisons sorts the oscillators and predicts every remaining pair — a
+non-parametric 'ML' attack needing O(m log m) of the m(m-1)/2 possible
+CRPs.  Included as the clearest example that CRP-count security arguments
+depend on the primitive's structure, not only on generic bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class RingOscillatorPUF:
+    """An RO PUF with ``m`` oscillators.
+
+    Challenges are index pairs (i, j), i != j; the response is +1 when
+    oscillator i is faster than j (noise-free), with Gaussian measurement
+    noise on the frequency difference otherwise.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        rng: Optional[np.random.Generator] = None,
+        freq_sigma: float = 1.0,
+        noise_sigma: float = 0.0,
+    ) -> None:
+        if m < 2:
+            raise ValueError("need at least two oscillators")
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        rng = np.random.default_rng() if rng is None else rng
+        self.m = m
+        self.frequencies = rng.normal(0.0, freq_sigma, size=m)
+        self.noise_sigma = float(noise_sigma)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct comparisons (unordered pairs)."""
+        return self.m * (self.m - 1) // 2
+
+    def _check(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.atleast_2d(np.asarray(pairs))
+        if pairs.shape[1] != 2:
+            raise ValueError("challenges are (i, j) index pairs")
+        if np.any(pairs < 0) or np.any(pairs >= self.m):
+            raise ValueError("oscillator index out of range")
+        if np.any(pairs[:, 0] == pairs[:, 1]):
+            raise ValueError("a pair must name two distinct oscillators")
+        return pairs
+
+    def eval(self, pairs: np.ndarray) -> np.ndarray:
+        """Ideal +/-1 responses for (k, 2) index pairs."""
+        pairs = self._check(pairs)
+        diff = self.frequencies[pairs[:, 0]] - self.frequencies[pairs[:, 1]]
+        return np.where(diff >= 0, 1, -1).astype(np.int8)
+
+    def eval_noisy(
+        self, pairs: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """One noisy comparison per pair."""
+        pairs = self._check(pairs)
+        rng = np.random.default_rng() if rng is None else rng
+        diff = self.frequencies[pairs[:, 0]] - self.frequencies[pairs[:, 1]]
+        if self.noise_sigma > 0:
+            diff = diff + rng.normal(0.0, self.noise_sigma, size=diff.shape)
+        return np.where(diff >= 0, 1, -1).astype(np.int8)
+
+    def random_pairs(
+        self, k: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """``k`` uniformly random distinct-index pairs."""
+        if k < 1:
+            raise ValueError("pair count must be positive")
+        rng = np.random.default_rng() if rng is None else rng
+        first = rng.integers(0, self.m, size=k)
+        offset = rng.integers(1, self.m, size=k)
+        second = (first + offset) % self.m
+        return np.stack([first, second], axis=1).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"RingOscillatorPUF(m={self.m}, noise_sigma={self.noise_sigma:g})"
+
+
+def sorting_attack(
+    puf: RingOscillatorPUF,
+    observed_pairs: np.ndarray,
+    observed_responses: np.ndarray,
+) -> Tuple[np.ndarray, float]:
+    """Model an RO PUF from observed comparisons by rank estimation.
+
+    Builds a Borda-style score for every oscillator (wins minus losses over
+    observed comparisons) and predicts unseen comparisons from the induced
+    order.  Returns (scores, training agreement).  With O(m log m) random
+    comparisons the recovered order predicts almost all of the
+    m(m-1)/2 pairs — the RO PUF's CRP space is exponentially redundant.
+    """
+    observed_pairs = np.atleast_2d(np.asarray(observed_pairs))
+    observed_responses = np.asarray(observed_responses)
+    if observed_pairs.shape[0] != observed_responses.shape[0]:
+        raise ValueError("pairs/responses length mismatch")
+    scores = np.zeros(puf.m)
+    for (i, j), r in zip(observed_pairs, observed_responses):
+        scores[i] += float(r)
+        scores[j] -= float(r)
+    diff = scores[observed_pairs[:, 0]] - scores[observed_pairs[:, 1]]
+    predictions = np.where(diff >= 0, 1, -1)
+    agreement = float(np.mean(predictions == observed_responses))
+    return scores, agreement
+
+
+def predict_from_scores(scores: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Predict comparisons from Borda scores (ties -> +1)."""
+    pairs = np.atleast_2d(np.asarray(pairs))
+    diff = scores[pairs[:, 0]] - scores[pairs[:, 1]]
+    return np.where(diff >= 0, 1, -1).astype(np.int8)

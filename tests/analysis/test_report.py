@@ -1,0 +1,47 @@
+"""Unit tests for the report aggregator."""
+
+import pytest
+
+from repro.analysis.report import aggregate_results, main, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "table1_bounds.txt").write_text("TABLE ONE\n")
+    (d / "zzz_custom.txt").write_text("CUSTOM\n")
+    (d / "lmn_xorpuf.txt").write_text("LMN\n")
+    return d
+
+
+class TestAggregate:
+    def test_orders_known_sections_first(self, results_dir):
+        text = aggregate_results(results_dir)
+        assert text.index("table1_bounds") < text.index("lmn_xorpuf")
+        assert text.index("lmn_xorpuf") < text.index("zzz_custom")
+
+    def test_contents_included(self, results_dir):
+        text = aggregate_results(results_dir)
+        assert "TABLE ONE" in text
+        assert "CUSTOM" in text
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            aggregate_results(tmp_path / "nope")
+
+    def test_empty_dir_raises(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(FileNotFoundError):
+            aggregate_results(d)
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "REPORT.md")
+        assert out.exists()
+        assert "# Benchmark results" in out.read_text()
+
+    def test_cli(self, results_dir, tmp_path, capsys):
+        assert main([str(results_dir), str(tmp_path / "r.md")]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main([]) == 2

@@ -1,0 +1,66 @@
+"""Unit tests for repro.analysis.tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import TableBuilder, format_float, format_table
+
+
+class TestFormatFloat:
+    def test_integers_plain(self):
+        assert format_float(42.0) == "42"
+
+    def test_small_floats_fixed(self):
+        assert format_float(3.14159) == "3.14"
+        assert format_float(3.14159, digits=4) == "3.1416"
+
+    def test_huge_scientific(self):
+        assert "e" in format_float(1.5e12)
+
+    def test_inf(self):
+        assert format_float(math.inf) == "inf"
+
+    def test_none_and_str_passthrough(self):
+        assert format_float(None) == "-"
+        assert format_float("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert text.startswith("T\n")
+        assert "| a" in text
+        assert "| 1" in text
+
+    def test_alignment(self):
+        text = format_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[1:]}) == 1  # uniform width
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTableBuilder:
+    def test_build_and_render(self):
+        tb = TableBuilder(["n", "acc"], title="demo")
+        tb.add_row(16, 0.95)
+        tb.add_row(32, 0.90)
+        text = tb.render()
+        assert "demo" in text
+        assert "0.95" in text
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            TableBuilder([])
+        tb = TableBuilder(["a"])
+        with pytest.raises(ValueError):
+            tb.add_row(1, 2)
+
+    def test_print_does_not_crash(self, capsys):
+        tb = TableBuilder(["a"])
+        tb.add_row(1)
+        tb.print()
+        assert "| a |" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Unit tests for repro.automata.dfa."""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import DFA
+
+
+def even_zeros_dfa():
+    """Accepts binary words with an even number of 0s."""
+    return DFA(
+        alphabet=(0, 1),
+        transitions=[{0: 1, 1: 0}, {0: 0, 1: 1}],
+        accepting={0},
+    )
+
+
+def ends_in_one_dfa():
+    """Accepts binary words ending in 1."""
+    return DFA(
+        alphabet=(0, 1),
+        transitions=[{0: 0, 1: 1}, {0: 0, 1: 1}],
+        accepting={1},
+    )
+
+
+class TestDFABasics:
+    def test_accepts(self):
+        dfa = even_zeros_dfa()
+        assert dfa.accepts(())
+        assert not dfa.accepts((0,))
+        assert dfa.accepts((0, 1, 0))
+        assert not dfa.accepts((0, 0, 0))
+
+    def test_run_from_state(self):
+        dfa = even_zeros_dfa()
+        assert dfa.run((0,), state=1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DFA((), [], set())
+        with pytest.raises(ValueError):
+            DFA((0,), [], set())
+        with pytest.raises(ValueError):
+            DFA((0, 1), [{0: 0}], set())  # missing transition on 1
+        with pytest.raises(ValueError):
+            DFA((0,), [{0: 5}], set())  # out-of-range target
+        with pytest.raises(ValueError):
+            DFA((0,), [{0: 0}], set(), start=3)
+
+    def test_reachable_states(self):
+        # State 2 is unreachable.
+        dfa = DFA(
+            (0,),
+            [{0: 1}, {0: 0}, {0: 2}],
+            accepting={1},
+        )
+        assert dfa.reachable_states() == [0, 1]
+
+
+class TestMinimization:
+    def test_removes_unreachable(self):
+        dfa = DFA((0,), [{0: 1}, {0: 0}, {0: 2}], accepting={1})
+        mini = dfa.minimized()
+        assert mini.num_states == 2
+        assert mini.equivalent(dfa)
+
+    def test_merges_equivalent_states(self):
+        # Two redundant accepting states behaving identically.
+        dfa = DFA(
+            (0, 1),
+            [
+                {0: 1, 1: 2},
+                {0: 1, 1: 1},
+                {0: 2, 1: 2},
+            ],
+            accepting={1, 2},
+        )
+        mini = dfa.minimized()
+        assert mini.num_states == 2
+        assert mini.equivalent(dfa)
+
+    def test_minimized_preserves_language(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            dfa = DFA.random(8, (0, 1), np.random.default_rng(seed))
+            mini = dfa.minimized()
+            assert mini.equivalent(dfa)
+            assert mini.num_states <= dfa.num_states
+
+
+class TestEquivalence:
+    def test_equivalent_to_self(self):
+        dfa = even_zeros_dfa()
+        assert dfa.equivalent(dfa)
+
+    def test_distinguishes_languages(self):
+        a, b = even_zeros_dfa(), ends_in_one_dfa()
+        cex = a.find_counterexample(b)
+        assert cex is not None
+        assert a.accepts(cex) != b.accepts(cex)
+
+    def test_counterexample_is_shortest(self):
+        a, b = even_zeros_dfa(), ends_in_one_dfa()
+        cex = a.find_counterexample(b)
+        # () differs already: even_zeros accepts (), ends_in_one rejects.
+        assert cex == ()
+
+    def test_alphabet_mismatch(self):
+        a = even_zeros_dfa()
+        b = DFA(("x",), [{"x": 0}], {0})
+        with pytest.raises(ValueError):
+            a.find_counterexample(b)
+
+
+class TestRandomAndEnumeration:
+    def test_random_valid(self):
+        dfa = DFA.random(5, (0, 1), np.random.default_rng(1))
+        assert dfa.num_states == 5
+        for w in [(0,), (1, 0), (1, 1, 1)]:
+            assert isinstance(dfa.accepts(w), bool)
+
+    def test_random_validates(self):
+        with pytest.raises(ValueError):
+            DFA.random(0, (0, 1), np.random.default_rng(2))
+
+    def test_enumerate_words(self):
+        dfa = even_zeros_dfa()
+        words = list(dfa.enumerate_words(2))
+        assert words[0] == ()
+        assert len(words) == 1 + 2 + 4

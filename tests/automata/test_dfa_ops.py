@@ -1,0 +1,110 @@
+"""Unit tests for DFA boolean operations and bit-aliasing metric."""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.metrics import bit_aliasing
+
+
+def even_zeros():
+    return DFA((0, 1), [{0: 1, 1: 0}, {0: 0, 1: 1}], {0})
+
+
+def ends_in_one():
+    return DFA((0, 1), [{0: 0, 1: 1}, {0: 0, 1: 1}], {1})
+
+
+WORDS = [
+    (),
+    (0,),
+    (1,),
+    (0, 1),
+    (1, 0),
+    (0, 0, 1),
+    (1, 1, 0, 0),
+    (0, 1, 0, 1, 1),
+]
+
+
+class TestDFAOps:
+    def test_complement(self):
+        dfa = even_zeros()
+        comp = dfa.complement()
+        for w in WORDS:
+            assert comp.accepts(w) == (not dfa.accepts(w))
+
+    def test_double_complement_identity(self):
+        dfa = ends_in_one()
+        assert dfa.complement().complement().equivalent(dfa)
+
+    def test_intersection(self):
+        a, b = even_zeros(), ends_in_one()
+        inter = a.intersection(b)
+        for w in WORDS:
+            assert inter.accepts(w) == (a.accepts(w) and b.accepts(w))
+
+    def test_union_de_morgan(self):
+        a, b = even_zeros(), ends_in_one()
+        union = a.union(b)
+        via_demorgan = (
+            a.complement().intersection(b.complement()).complement()
+        )
+        assert union.equivalent(via_demorgan)
+
+    def test_symmetric_difference_and_equivalence(self):
+        a = even_zeros()
+        assert a.symmetric_difference(a).is_empty()
+        b = ends_in_one()
+        diff = a.symmetric_difference(b)
+        assert not diff.is_empty()
+        for w in WORDS:
+            assert diff.accepts(w) == (a.accepts(w) != b.accepts(w))
+
+    def test_is_empty(self):
+        nothing = DFA((0,), [{0: 0}], set())
+        assert nothing.is_empty()
+        everything = DFA((0,), [{0: 0}], {0})
+        assert not everything.is_empty()
+
+    def test_alphabet_mismatch(self):
+        a = even_zeros()
+        b = DFA(("x",), [{"x": 0}], {0})
+        with pytest.raises(ValueError):
+            a.intersection(b)
+
+    def test_random_dfas_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for seed in range(4):
+            a = DFA.random(5, (0, 1), np.random.default_rng(seed))
+            b = DFA.random(4, (0, 1), np.random.default_rng(seed + 100))
+            # L(a) = (L(a) ∩ L(b)) ∪ (L(a) ∩ ¬L(b))
+            rebuilt = a.intersection(b).union(a.intersection(b.complement()))
+            assert rebuilt.equivalent(a)
+
+
+class TestBitAliasing:
+    def test_near_half_for_arbiter_population(self):
+        pufs = [ArbiterPUF(32, np.random.default_rng(s)) for s in range(40)]
+        aliasing = bit_aliasing(pufs, m=300, rng=np.random.default_rng(1))
+        assert aliasing.shape == (300,)
+        assert 0.3 < float(np.mean(aliasing)) < 0.7
+
+    def test_identical_chips_fully_aliased(self):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(size=9)
+        pufs = [ArbiterPUF(8, weights=weights) for _ in range(5)]
+        aliasing = bit_aliasing(pufs, m=200, rng=np.random.default_rng(3))
+        assert np.all((aliasing == 0.0) | (aliasing == 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_aliasing([ArbiterPUF(8, np.random.default_rng(4))])
+        with pytest.raises(ValueError):
+            bit_aliasing(
+                [
+                    ArbiterPUF(8, np.random.default_rng(5)),
+                    ArbiterPUF(16, np.random.default_rng(6)),
+                ]
+            )

@@ -1,0 +1,90 @@
+"""Unit tests for repro.automata.mealy."""
+
+import numpy as np
+import pytest
+
+from repro.automata.mealy import MealyMachine
+
+
+def toggle_machine():
+    """Outputs 'hi' when input 1 arrives in state 1, else 'lo'; 1 toggles."""
+    return MealyMachine(
+        input_alphabet=(0, 1),
+        output_alphabet=("lo", "hi"),
+        transitions=[
+            {0: (0, "lo"), 1: (1, "lo")},
+            {0: (1, "lo"), 1: (0, "hi")},
+        ],
+    )
+
+
+class TestMealyBasics:
+    def test_run_outputs(self):
+        m = toggle_machine()
+        state, outputs = m.run((1, 1, 1))
+        assert outputs == ("lo", "hi", "lo")
+        assert state == 1
+
+    def test_last_output(self):
+        m = toggle_machine()
+        assert m.last_output((1, 1)) == "hi"
+        assert m.last_output(()) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MealyMachine((), ("o",), [])
+        with pytest.raises(ValueError):
+            MealyMachine((0,), ("o",), [])
+        with pytest.raises(ValueError):
+            MealyMachine((0,), ("o",), [{0: (5, "o")}])
+        with pytest.raises(ValueError):
+            MealyMachine((0,), ("o",), [{0: (0, "bad")}])
+        with pytest.raises(ValueError):
+            MealyMachine((0, 1), ("o",), [{0: (0, "o")}])  # missing on 1
+
+
+class TestEquivalence:
+    def test_self_equivalent(self):
+        m = toggle_machine()
+        assert m.equivalent(m)
+
+    def test_counterexample_found(self):
+        m1 = toggle_machine()
+        m2 = MealyMachine(
+            (0, 1),
+            ("lo", "hi"),
+            [
+                {0: (0, "lo"), 1: (1, "lo")},
+                {0: (1, "lo"), 1: (0, "lo")},  # never says "hi"
+            ],
+        )
+        cex = m1.behavioural_counterexample(m2)
+        assert cex is not None
+        assert m1.output_word(cex) != m2.output_word(cex)
+
+    def test_alphabet_mismatch(self):
+        m1 = toggle_machine()
+        m2 = MealyMachine(("a",), ("lo",), [{"a": (0, "lo")}])
+        with pytest.raises(ValueError):
+            m1.behavioural_counterexample(m2)
+
+
+class TestOutputDFA:
+    def test_dfa_language_matches_last_output(self):
+        m = toggle_machine()
+        dfa = m.to_output_dfa("hi")
+        for word in [(), (1,), (1, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]:
+            expected = m.last_output(word) == "hi"
+            assert dfa.accepts(word) == expected
+
+    def test_random_machine_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = MealyMachine.random(6, (0, 1), ("a", "b", "c"), rng)
+        for out in ("a", "b", "c"):
+            dfa = m.to_output_dfa(out)
+            for word in [(0, 1, 1, 0), (1,), (), (1, 1, 1, 1, 0)]:
+                assert dfa.accepts(word) == (m.last_output(word) == out)
+
+    def test_random_validates(self):
+        with pytest.raises(ValueError):
+            MealyMachine.random(0, (0,), ("o",), np.random.default_rng(1))

@@ -1,0 +1,122 @@
+"""Unit tests for repro.booleanfuncs.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import (
+    bits_to_pm1,
+    chi,
+    enumerate_cube,
+    flip_noise,
+    parity,
+    pm1_to_bits,
+    random_pm1,
+)
+
+
+class TestBitConversions:
+    def test_bits_to_pm1_basic(self):
+        assert bits_to_pm1([0, 1, 1, 0]).tolist() == [1, -1, -1, 1]
+
+    def test_pm1_to_bits_basic(self):
+        assert pm1_to_bits([1, -1, -1, 1]).tolist() == [0, 1, 1, 0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_pm1([0, 2])
+
+    def test_rejects_non_pm1(self):
+        with pytest.raises(ValueError):
+            pm1_to_bits([1, 0])
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=64))
+    def test_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.int8)
+        assert np.array_equal(pm1_to_bits(bits_to_pm1(arr)), arr)
+
+    @given(st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=64))
+    def test_roundtrip_pm1(self, pm1):
+        arr = np.array(pm1, dtype=np.int8)
+        assert np.array_equal(bits_to_pm1(pm1_to_bits(arr)), arr)
+
+
+class TestParityAndChi:
+    def test_parity_matches_xor(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(50, 7))
+        pm1 = bits_to_pm1(bits)
+        xor = np.bitwise_xor.reduce(bits, axis=1)
+        assert np.array_equal(pm1_to_bits(parity(pm1)), xor.astype(np.int8))
+
+    def test_chi_empty_subset_is_one(self):
+        x = random_pm1(5, 10, np.random.default_rng(1))
+        assert np.all(chi([], x) == 1)
+
+    def test_chi_single_point(self):
+        x = np.array([1, -1, 1, -1], dtype=np.int8)
+        assert chi([1, 3], x) == 1
+        assert chi([1], x) == -1
+
+    def test_chi_multiplicative(self):
+        rng = np.random.default_rng(2)
+        x = random_pm1(6, 20, rng)
+        assert np.array_equal(chi([0, 2], x) * chi([2, 4], x), chi([0, 4], x))
+
+
+class TestEnumerateCube:
+    def test_size_and_values(self):
+        cube = enumerate_cube(3)
+        assert cube.shape == (8, 3)
+        assert set(np.unique(cube)) == {-1, 1}
+
+    def test_truth_table_order(self):
+        # Row 0 is all zeros -> all +1; last row all ones -> all -1.
+        cube = enumerate_cube(4)
+        assert cube[0].tolist() == [1, 1, 1, 1]
+        assert cube[-1].tolist() == [-1, -1, -1, -1]
+        # Row 1 = binary 0001 -> last variable is 1.
+        assert cube[1].tolist() == [1, 1, 1, -1]
+
+    def test_rows_unique(self):
+        cube = enumerate_cube(5, encoding="bits")
+        assert len({tuple(r) for r in cube}) == 32
+
+    def test_rejects_large_n(self):
+        with pytest.raises(ValueError):
+            enumerate_cube(30)
+
+    def test_rejects_bad_encoding(self):
+        with pytest.raises(ValueError):
+            enumerate_cube(3, encoding="hex")
+
+    def test_n_zero(self):
+        cube = enumerate_cube(0)
+        assert cube.shape == (1, 0)
+
+
+class TestNoiseAndSampling:
+    def test_random_pm1_shape_and_values(self):
+        x = random_pm1(10, 100, np.random.default_rng(3))
+        assert x.shape == (100, 10)
+        assert set(np.unique(x)) <= {-1, 1}
+
+    def test_flip_noise_zero_is_identity(self):
+        x = random_pm1(8, 50, np.random.default_rng(4))
+        assert np.array_equal(flip_noise(x, 0.0, np.random.default_rng(5)), x)
+
+    def test_flip_noise_one_negates(self):
+        x = random_pm1(8, 50, np.random.default_rng(6))
+        assert np.array_equal(flip_noise(x, 1.0, np.random.default_rng(7)), -x)
+
+    def test_flip_noise_rate(self):
+        rng = np.random.default_rng(8)
+        x = random_pm1(20, 5000, rng)
+        flipped = flip_noise(x, 0.3, rng)
+        rate = np.mean(x != flipped)
+        assert abs(rate - 0.3) < 0.02
+
+    def test_flip_noise_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            flip_noise(np.ones(3, dtype=np.int8), 1.5)

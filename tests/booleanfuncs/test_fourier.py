@@ -1,0 +1,120 @@
+"""Unit tests for repro.booleanfuncs.fourier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import enumerate_cube
+from repro.booleanfuncs.fourier import (
+    estimate_fourier_coefficient,
+    fourier_spectrum,
+    index_to_subset,
+    inverse_walsh_hadamard,
+    low_degree_projection,
+    sign_of_expansion,
+    spectral_weight_by_degree,
+    subset_to_index,
+    walsh_hadamard,
+)
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF
+
+
+class TestWalshHadamard:
+    def test_constant_function(self):
+        coeffs = walsh_hadamard(np.ones(8))
+        assert coeffs[0] == pytest.approx(1.0)
+        assert np.allclose(coeffs[1:], 0.0)
+
+    def test_parity_function(self):
+        f = BooleanFunction.parity_on(3, [0, 1, 2])
+        coeffs = walsh_hadamard(f.truth_table())
+        idx = subset_to_index([0, 1, 2], 3)
+        assert coeffs[idx] == pytest.approx(1.0)
+        mask = np.ones(8, dtype=bool)
+        mask[idx] = False
+        assert np.allclose(coeffs[mask], 0.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            walsh_hadamard(np.ones(6))
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=20)
+    def test_involution(self, n):
+        rng = np.random.default_rng(n)
+        v = rng.normal(size=2**n)
+        assert np.allclose(inverse_walsh_hadamard(walsh_hadamard(v)), v)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=20)
+    def test_parseval(self, n):
+        rng = np.random.default_rng(100 + n)
+        tab = (1 - 2 * rng.integers(0, 2, size=2**n)).astype(np.int8)
+        coeffs = walsh_hadamard(tab)
+        assert np.sum(coeffs**2) == pytest.approx(1.0)
+
+
+class TestIndexSubset:
+    @given(st.integers(1, 10))
+    def test_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        s = int(rng.integers(0, 2**n))
+        assert subset_to_index(index_to_subset(s, n), n) == s
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            subset_to_index([7], 4)
+
+
+class TestSpectrum:
+    def test_spectrum_of_dictator(self):
+        f = BooleanFunction.parity_on(4, [2])
+        spec = fourier_spectrum(f)
+        assert spec == {(2,): pytest.approx(1.0)}
+
+    def test_spectrum_matches_definition(self):
+        # fhat(S) = E[f chi_S] computed directly.
+        rng = np.random.default_rng(5)
+        tab = (1 - 2 * rng.integers(0, 2, size=16)).astype(np.int8)
+        f = BooleanFunction.from_truth_table(tab)
+        cube = enumerate_cube(4)
+        spec = fourier_spectrum(f, threshold=-1.0)
+        for subset, coeff in spec.items():
+            direct = np.mean(tab * np.prod(cube[:, list(subset)], axis=1))
+            assert coeff == pytest.approx(direct)
+
+    def test_weight_by_degree_sums_to_one(self):
+        f = LTF(np.array([1.0, 2.0, -1.0, 0.5]))
+        w = spectral_weight_by_degree(f)
+        assert np.sum(w) == pytest.approx(1.0)
+
+    def test_low_degree_projection_keeps_only_low(self):
+        f = BooleanFunction.parity_on(5, [0, 1, 2, 3])
+        proj = low_degree_projection(f, degree=2)
+        assert proj == {}
+
+    def test_sign_of_expansion_recovers_ltf(self):
+        ltf = LTF(np.array([3.0, 1.0, -2.0]))
+        spec = low_degree_projection(ltf, degree=3)
+        g = sign_of_expansion(3, spec)
+        assert ltf.distance(g) == 0.0
+
+
+class TestEstimation:
+    def test_estimate_converges(self):
+        ltf = LTF(np.array([1.0, 1.0, 1.0, 1.0, 1.0]))
+        exact = fourier_spectrum(ltf, threshold=-1.0)[(0,)]
+        est = estimate_fourier_coefficient(
+            ltf, [0], m=50_000, rng=np.random.default_rng(9)
+        )
+        assert est == pytest.approx(exact, abs=0.02)
+
+    def test_estimate_with_fixed_samples(self):
+        f = BooleanFunction.parity_on(3, [1])
+        rng = np.random.default_rng(10)
+        x = (1 - 2 * rng.integers(0, 2, size=(1000, 3))).astype(np.int8)
+        y = f(x)
+        est = estimate_fourier_coefficient(f, [1], m=0, samples=(x, y))
+        assert est == pytest.approx(1.0)

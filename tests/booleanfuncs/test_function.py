@@ -1,0 +1,146 @@
+"""Unit tests for repro.booleanfuncs.function."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import enumerate_cube, random_pm1
+from repro.booleanfuncs.function import BooleanFunction
+
+
+def majority3():
+    def evaluate(x):
+        return np.where(np.sum(x, axis=1) >= 0, 1, -1).astype(np.int8)
+
+    return BooleanFunction(3, evaluate, name="maj3")
+
+
+class TestConstruction:
+    def test_from_truth_table_roundtrip(self):
+        tab = [1, -1, -1, 1, 1, 1, -1, -1]
+        f = BooleanFunction.from_truth_table(tab)
+        assert f.n == 3
+        assert f.truth_table().tolist() == tab
+
+    def test_from_truth_table_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.from_truth_table([1, -1, 1])
+
+    def test_from_truth_table_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.from_truth_table([1, 0, -1, 1])
+
+    def test_from_callable_unvectorized(self):
+        f = BooleanFunction.from_callable(
+            2, lambda row: int(row[0]), vectorized=False
+        )
+        x = enumerate_cube(2)
+        assert np.array_equal(f(x), x[:, 0])
+
+    def test_constant(self):
+        f = BooleanFunction.constant(4, -1)
+        assert np.all(f.truth_table() == -1)
+
+    def test_constant_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.constant(4, 0)
+
+    def test_parity_on(self):
+        f = BooleanFunction.parity_on(4, [0, 2])
+        x = random_pm1(4, 30, np.random.default_rng(0))
+        assert np.array_equal(f(x), x[:, 0] * x[:, 2])
+
+    def test_parity_on_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.parity_on(3, [5])
+
+
+class TestEvaluation:
+    def test_single_point(self):
+        f = majority3()
+        assert f(np.array([1, 1, -1])) == 1
+        assert f(np.array([-1, -1, 1])) == -1
+
+    def test_arity_check(self):
+        f = majority3()
+        with pytest.raises(ValueError):
+            f(np.ones((5, 4), dtype=np.int8))
+
+    def test_truth_table_cached(self):
+        f = majority3()
+        t1 = f.truth_table()
+        t2 = f.truth_table()
+        assert t1 is t2
+
+
+class TestComposition:
+    def test_xor_is_product(self):
+        f = BooleanFunction.parity_on(3, [0])
+        g = BooleanFunction.parity_on(3, [1])
+        h = f.xor(g)
+        x = random_pm1(3, 20, np.random.default_rng(1))
+        assert np.array_equal(h(x), x[:, 0] * x[:, 1])
+
+    def test_xor_many_equals_parity(self):
+        fs = [BooleanFunction.parity_on(5, [i]) for i in range(5)]
+        h = BooleanFunction.xor_many(fs)
+        full_parity = BooleanFunction.parity_on(5, range(5))
+        assert h.distance(full_parity) == 0.0
+
+    def test_xor_many_empty_raises(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.xor_many([])
+
+    def test_negate(self):
+        f = majority3()
+        g = f.negate()
+        assert np.array_equal(g.truth_table(), -f.truth_table())
+
+    def test_restrict(self):
+        f = BooleanFunction.parity_on(3, [0, 1, 2])
+        g = f.restrict(0, -1)  # x0 fixed to -1 flips the parity of the rest
+        assert g.n == 2
+        x = enumerate_cube(2)
+        assert np.array_equal(g(x), -(x[:, 0] * x[:, 1]))
+
+    def test_restrict_rejects_bad_args(self):
+        f = majority3()
+        with pytest.raises(ValueError):
+            f.restrict(5, 1)
+        with pytest.raises(ValueError):
+            f.restrict(0, 0)
+
+    def test_arity_mismatch_raises(self):
+        f = majority3()
+        g = BooleanFunction.constant(4, 1)
+        with pytest.raises(ValueError):
+            f.xor(g)
+
+
+class TestStatistics:
+    def test_distance_self_is_zero(self):
+        f = majority3()
+        assert f.distance(f) == 0.0
+
+    def test_distance_negation_is_one(self):
+        f = majority3()
+        assert f.distance(f.negate()) == 1.0
+
+    def test_bias_of_parity_is_zero(self):
+        f = BooleanFunction.parity_on(4, [0, 3])
+        assert f.bias() == 0.0
+
+    def test_agreement(self):
+        f = majority3()
+        x = enumerate_cube(3)
+        assert f.agreement(f, x) == 1.0
+        assert f.agreement(f.negate(), x) == 0.0
+
+    @given(st.integers(1, 5))
+    def test_truth_table_matches_pointwise(self, n):
+        rng = np.random.default_rng(n)
+        tab = (1 - 2 * rng.integers(0, 2, size=2**n)).astype(np.int8)
+        f = BooleanFunction.from_truth_table(tab)
+        cube = enumerate_cube(n)
+        assert np.array_equal(f(cube), tab)

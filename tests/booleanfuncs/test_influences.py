@@ -1,0 +1,80 @@
+"""Unit tests for repro.booleanfuncs.influences."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.influences import (
+    influence_exact,
+    influence_mc,
+    influences_exact,
+    is_junta_on,
+    junta_coordinates,
+    total_influence_exact,
+)
+from repro.booleanfuncs.ltf import LTF
+
+
+class TestExactInfluences:
+    def test_dictator_influence(self):
+        f = BooleanFunction.parity_on(4, [1])
+        inf = influences_exact(f)
+        assert inf[1] == pytest.approx(1.0)
+        assert inf[0] == inf[2] == inf[3] == pytest.approx(0.0)
+
+    def test_parity_all_influences_one(self):
+        f = BooleanFunction.parity_on(3, [0, 1, 2])
+        assert np.allclose(influences_exact(f), 1.0)
+
+    def test_total_influence_of_parity(self):
+        n = 5
+        f = BooleanFunction.parity_on(n, range(n))
+        assert total_influence_exact(f) == pytest.approx(n)
+
+    def test_majority_influences_symmetric(self):
+        f = LTF(np.ones(5))
+        inf = influences_exact(f)
+        assert np.allclose(inf, inf[0])
+        # Influence of each coordinate of MAJ_5 is C(4,2)/2^4 = 6/16.
+        assert inf[0] == pytest.approx(6 / 16)
+
+    def test_influence_exact_range_check(self):
+        f = BooleanFunction.constant(3, 1)
+        with pytest.raises(ValueError):
+            influence_exact(f, 3)
+
+
+class TestMonteCarloInfluence:
+    def test_matches_exact(self):
+        f = LTF(np.array([3.0, 1.0, 1.0, 1.0]))
+        exact = influence_exact(f, 0)
+        mc = influence_mc(f, 0, m=50_000, rng=np.random.default_rng(0))
+        assert mc == pytest.approx(exact, abs=0.01)
+
+    def test_range_check(self):
+        f = BooleanFunction.constant(3, 1)
+        with pytest.raises(ValueError):
+            influence_mc(f, -1)
+
+
+class TestJunta:
+    def test_junta_coordinates_exact(self):
+        # Function depends on coordinates {0, 3} only.
+        f = BooleanFunction.parity_on(6, [0, 3])
+        assert junta_coordinates(f) == [0, 3]
+
+    def test_junta_coordinates_sampled(self):
+        f = BooleanFunction.parity_on(6, [2, 5])
+        coords = junta_coordinates(f, tau=0.1, m=2000, rng=np.random.default_rng(1))
+        assert coords == [2, 5]
+
+    def test_is_junta_on(self):
+        f = BooleanFunction.parity_on(5, [1, 2])
+        assert is_junta_on(f, [1, 2])
+        assert is_junta_on(f, [0, 1, 2])
+        assert not is_junta_on(f, [1])
+
+    def test_constant_is_empty_junta(self):
+        f = BooleanFunction.constant(4, -1)
+        assert is_junta_on(f, [])
+        assert junta_coordinates(f) == []

@@ -1,0 +1,162 @@
+"""Unit tests for repro.booleanfuncs.ltf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import enumerate_cube, random_pm1
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import (
+    LTF,
+    chow_parameters_exact,
+    empirical_distance,
+    estimate_chow_parameters,
+    integer_weight_approximation,
+    ltf_from_chow_parameters,
+    regularity,
+)
+
+
+class TestLTFBasics:
+    def test_majority(self):
+        f = LTF(np.ones(3))
+        assert f(np.array([1, 1, -1])) == 1
+        assert f(np.array([-1, -1, 1])) == -1
+
+    def test_threshold_shifts_decision(self):
+        f = LTF(np.ones(3), threshold=2.5)
+        assert f(np.array([1, 1, -1])) == -1  # sum=1 < 2.5
+        assert f(np.array([1, 1, 1])) == 1
+
+    def test_sign_zero_is_plus_one(self):
+        f = LTF(np.array([1.0, -1.0]))
+        assert f(np.array([1, 1])) == 1
+
+    def test_margin(self):
+        f = LTF(np.array([2.0, -1.0]), threshold=0.5)
+        assert f.margin(np.array([1, -1])) == pytest.approx(2.5)
+
+    def test_rejects_matrix_weights(self):
+        with pytest.raises(ValueError):
+            LTF(np.ones((2, 2)))
+
+    def test_normalised_same_function(self):
+        f = LTF(np.array([3.0, 4.0]), threshold=1.0)
+        g = f.normalised()
+        assert np.linalg.norm(g.weights) == pytest.approx(1.0)
+        assert f.distance(g) == 0.0
+
+    def test_normalise_zero_raises(self):
+        with pytest.raises(ValueError):
+            LTF(np.zeros(3)).normalised()
+
+    def test_random_reproducible(self):
+        a = LTF.random(5, np.random.default_rng(42))
+        b = LTF.random(5, np.random.default_rng(42))
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestChowParameters:
+    def test_exact_matches_definition(self):
+        f = LTF(np.array([1.0, 2.0, -1.0]))
+        chow = chow_parameters_exact(f)
+        cube = enumerate_cube(3)
+        tab = f.truth_table().astype(float)
+        assert chow[0] == pytest.approx(tab.mean())
+        for i in range(3):
+            assert chow[i + 1] == pytest.approx(np.mean(tab * cube[:, i]))
+
+    def test_estimate_converges_to_exact(self):
+        f = LTF(np.array([1.0, -2.0, 0.5, 1.5]))
+        exact = chow_parameters_exact(f)
+        rng = np.random.default_rng(0)
+        x = random_pm1(4, 100_000, rng)
+        est = estimate_chow_parameters(x, f(x))
+        assert np.allclose(est, exact, atol=0.02)
+
+    def test_estimate_validates_shapes(self):
+        with pytest.raises(ValueError):
+            estimate_chow_parameters(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            estimate_chow_parameters(np.ones((0, 2)), np.ones(0))
+
+    def test_reconstruction_recovers_majority(self):
+        # For MAJ the Chow vector is proportional to the weights, so the
+        # reconstruction is exact.
+        f = LTF(np.ones(5))
+        g = ltf_from_chow_parameters(chow_parameters_exact(f))
+        assert f.distance(g) == 0.0
+
+    @given(st.integers(2, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_reconstruction_close_for_random_ltfs(self, n):
+        # Chow-parameter reconstruction of an actual LTF should be close.
+        f = LTF.random(n, np.random.default_rng(n))
+        g = ltf_from_chow_parameters(chow_parameters_exact(f))
+        assert f.distance(g) <= 0.15
+
+    def test_reconstruction_degenerate_chow(self):
+        g = ltf_from_chow_parameters(np.array([1.0, 0.0, 0.0]))
+        # Should return a constant-ish function without crashing.
+        assert g.n == 2
+
+    def test_reconstruction_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            ltf_from_chow_parameters(np.array([0.5]))
+
+
+class TestIntegerApproximation:
+    def test_integer_weights_close(self):
+        f = LTF.random(8, np.random.default_rng(3))
+        w, theta = integer_weight_approximation(f, eps=0.01)
+        assert w.dtype == np.int64
+        g = LTF(w.astype(float), theta)
+        assert f.distance(g) <= 0.05
+
+    def test_weight_magnitude_bounded(self):
+        f = LTF.random(8, np.random.default_rng(4))
+        eps = 0.05
+        w, _ = integer_weight_approximation(f, eps=eps)
+        cap = np.sqrt(8) * (1 / eps) ** max(1.0, np.log2(1 / eps))
+        assert np.max(np.abs(w)) <= cap
+
+    def test_tiny_weights_do_not_crash(self):
+        f = LTF(np.array([0.0, 0.0, 0.0, 1e-30]))
+        w, _ = integer_weight_approximation(f, eps=0.1)
+        assert w.shape == (4,)
+
+    def test_rejects_bad_eps(self):
+        f = LTF.random(4, np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            integer_weight_approximation(f, eps=0.0)
+
+
+class TestRegularity:
+    def test_majority_is_most_regular(self):
+        f = LTF(np.ones(9))
+        assert regularity(f) == pytest.approx(1 / 3)
+
+    def test_dictator_is_least_regular(self):
+        f = LTF(np.array([1.0, 0.0, 0.0, 0.0]))
+        assert regularity(f) == pytest.approx(1.0)
+
+    def test_zero_weights(self):
+        assert regularity(LTF(np.zeros(3))) == 0.0
+
+
+class TestEmpiricalDistance:
+    def test_self_distance_zero(self):
+        f = LTF.random(20, np.random.default_rng(6))
+        assert empirical_distance(f, f, m=1000) == 0.0
+
+    def test_negation_distance_one(self):
+        f = LTF.random(20, np.random.default_rng(7))
+        assert empirical_distance(f, f.negate(), m=1000) == 1.0
+
+    def test_matches_exact_for_small_n(self):
+        f = LTF.random(6, np.random.default_rng(8))
+        g = LTF.random(6, np.random.default_rng(9))
+        exact = f.distance(g)
+        emp = empirical_distance(f, g, m=50_000, rng=np.random.default_rng(10))
+        assert emp == pytest.approx(exact, abs=0.02)

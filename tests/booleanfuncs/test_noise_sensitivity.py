@@ -1,0 +1,121 @@
+"""Unit tests for repro.booleanfuncs.noise_sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF
+from repro.booleanfuncs.noise_sensitivity import (
+    lmn_degree_for_xor_puf,
+    ltf_noise_sensitivity_bound,
+    noise_sensitivity_exact,
+    noise_sensitivity_mc,
+    noise_stability_exact,
+    xor_of_ltfs_noise_sensitivity_bound,
+)
+
+
+class TestExactNoiseSensitivity:
+    def test_constant_function_insensitive(self):
+        f = BooleanFunction.constant(4, 1)
+        assert noise_sensitivity_exact(f, 0.3) == pytest.approx(0.0)
+
+    def test_dictator(self):
+        # NS_eps(x_i) = eps exactly.
+        f = BooleanFunction.parity_on(5, [2])
+        for eps in (0.0, 0.1, 0.25, 0.5):
+            assert noise_sensitivity_exact(f, eps) == pytest.approx(eps)
+
+    def test_parity_formula(self):
+        # NS_eps(parity_n) = 1/2 (1 - (1-2eps)^n).
+        n = 4
+        f = BooleanFunction.parity_on(n, range(n))
+        for eps in (0.05, 0.2):
+            expected = 0.5 * (1 - (1 - 2 * eps) ** n)
+            assert noise_sensitivity_exact(f, eps) == pytest.approx(expected)
+
+    def test_monotone_in_eps(self):
+        f = LTF(np.array([1.0, 0.7, -0.3, 2.0]))
+        values = [noise_sensitivity_exact(f, e) for e in (0.01, 0.1, 0.3, 0.5)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_eps(self):
+        f = BooleanFunction.constant(2, 1)
+        with pytest.raises(ValueError):
+            noise_sensitivity_exact(f, 1.5)
+
+
+class TestStability:
+    def test_stability_at_one_is_one(self):
+        f = LTF(np.array([1.0, -1.0, 0.5]))
+        assert noise_stability_exact(f, 1.0) == pytest.approx(1.0)
+
+    def test_stability_relationship(self):
+        # NS_eps(f) = 1/2 - 1/2 Stab_{1-2eps}(f).
+        f = LTF(np.array([2.0, 1.0, 1.0, -1.0]))
+        eps = 0.15
+        ns = noise_sensitivity_exact(f, eps)
+        stab = noise_stability_exact(f, 1 - 2 * eps)
+        assert ns == pytest.approx(0.5 - 0.5 * stab)
+
+    def test_rejects_bad_rho(self):
+        f = BooleanFunction.constant(2, 1)
+        with pytest.raises(ValueError):
+            noise_stability_exact(f, 2.0)
+
+
+class TestMonteCarlo:
+    def test_mc_matches_exact(self):
+        f = LTF(np.array([1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]))
+        eps = 0.2
+        exact = noise_sensitivity_exact(f, eps)
+        mc = noise_sensitivity_mc(f, eps, m=60_000, rng=np.random.default_rng(0))
+        assert mc == pytest.approx(exact, abs=0.01)
+
+    def test_mc_rejects_zero_samples(self):
+        f = BooleanFunction.constant(2, 1)
+        with pytest.raises(ValueError):
+            noise_sensitivity_mc(f, 0.1, m=0)
+
+
+class TestBounds:
+    def test_peres_bound_holds_for_random_ltfs(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            f = LTF.random(8, rng)
+            for eps in (0.01, 0.1, 0.3):
+                assert noise_sensitivity_exact(f, eps) <= ltf_noise_sensitivity_bound(eps)
+
+    def test_kos_bound_holds_for_xor_of_ltfs(self):
+        rng = np.random.default_rng(2)
+        k = 3
+        fs = [LTF.random(6, rng) for _ in range(k)]
+        h = BooleanFunction.xor_many(fs)
+        for eps in (0.01, 0.05):
+            assert noise_sensitivity_exact(h, eps) <= xor_of_ltfs_noise_sensitivity_bound(k, eps)
+
+    def test_bounds_capped_at_half(self):
+        assert ltf_noise_sensitivity_bound(1.0) == 0.5
+        assert xor_of_ltfs_noise_sensitivity_bound(100, 0.5) == 0.5
+
+    def test_bound_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ltf_noise_sensitivity_bound(-0.1)
+        with pytest.raises(ValueError):
+            xor_of_ltfs_noise_sensitivity_bound(0, 0.1)
+
+
+class TestLMNDegree:
+    def test_corollary1_formula(self):
+        # m = ceil(2.32 k^2 / eps^2)
+        assert lmn_degree_for_xor_puf(2, 0.5) == int(np.ceil(2.32 * 4 / 0.25))
+
+    def test_grows_with_k(self):
+        ms = [lmn_degree_for_xor_puf(k, 0.2) for k in (1, 2, 4, 8)]
+        assert ms == sorted(ms) and ms[0] < ms[-1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lmn_degree_for_xor_puf(2, 0.0)
+        with pytest.raises(ValueError):
+            lmn_degree_for_xor_puf(0, 0.1)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.booleanfuncs.polynomials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import enumerate_cube
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.polynomials import (
+    SparseF2Polynomial,
+    XorOfTerms,
+    monomial_count_bound,
+)
+
+
+class TestSparseF2Polynomial:
+    def test_zero_polynomial(self):
+        p = SparseF2Polynomial(3)
+        assert p.is_zero()
+        assert p.degree == 0
+        assert np.all(p.evaluate_bits(np.zeros((4, 3), dtype=np.int8)) == 0)
+
+    def test_constant_one(self):
+        p = SparseF2Polynomial(2, [[]])
+        assert np.all(p.evaluate_bits(enumerate_cube(2, "bits")) == 1)
+
+    def test_single_monomial(self):
+        p = SparseF2Polynomial(3, [[0, 2]])
+        x = np.array([[1, 0, 1], [1, 1, 0], [0, 0, 1]], dtype=np.int8)
+        assert p.evaluate_bits(x).tolist() == [1, 0, 0]
+
+    def test_duplicate_monomials_cancel(self):
+        p = SparseF2Polynomial(3, [[0], [0]])
+        assert p.is_zero()
+
+    def test_degree_and_sparsity(self):
+        p = SparseF2Polynomial(5, [[0], [1, 2], [0, 3, 4]])
+        assert p.degree == 3
+        assert p.sparsity == 3
+
+    def test_out_of_range_monomial(self):
+        with pytest.raises(ValueError):
+            SparseF2Polynomial(2, [[5]])
+
+    def test_addition_is_xor(self):
+        p = SparseF2Polynomial(3, [[0], [1]])
+        q = SparseF2Polynomial(3, [[1], [2]])
+        r = p + q
+        assert r.monomials == SparseF2Polynomial(3, [[0], [2]]).monomials
+
+    def test_multiplication_idempotent_variables(self):
+        # x0 * x0 = x0 over F2 with x^2 = x.
+        p = SparseF2Polynomial(2, [[0]])
+        assert (p * p) == p
+
+    def test_multiplication_distributes(self):
+        p = SparseF2Polynomial(3, [[0], [1]])
+        q = SparseF2Polynomial(3, [[2]])
+        r = p * q
+        assert r == SparseF2Polynomial(3, [[0, 2], [1, 2]])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            SparseF2Polynomial(2, [[0]]) + SparseF2Polynomial(3, [[0]])
+
+    def test_parity_constructor(self):
+        p = SparseF2Polynomial.parity(4, [0, 2])
+        x = np.array([[1, 0, 1, 0], [1, 0, 0, 0]], dtype=np.int8)
+        assert p.evaluate_bits(x).tolist() == [0, 1]
+
+    def test_to_boolean_function_encoding(self):
+        # p(x) = x0 over F2 -> in the +/-1 world: chi encoding of the bit.
+        p = SparseF2Polynomial(2, [[0]])
+        f = p.to_boolean_function()
+        assert f(np.array([1, 1])) == 1   # bit 0 -> value 0 -> +1
+        assert f(np.array([-1, 1])) == -1  # bit 1 -> value 1 -> -1
+
+    @given(st.integers(1, 5), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_add_then_add_cancels(self, n, sparsity):
+        rng = np.random.default_rng(n * 100 + sparsity)
+        p = SparseF2Polynomial.random(n, sparsity, max_degree=n, rng=rng)
+        assert (p + p).is_zero()
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_eval_linear_in_f2(self, n):
+        # (p + q)(x) = p(x) xor q(x) pointwise.
+        rng = np.random.default_rng(n)
+        p = SparseF2Polynomial.random(n, 3, n, rng)
+        q = SparseF2Polynomial.random(n, 3, n, rng)
+        x = enumerate_cube(n, "bits")
+        assert np.array_equal(
+            (p + q).evaluate_bits(x), p.evaluate_bits(x) ^ q.evaluate_bits(x)
+        )
+
+
+class TestXorOfTerms:
+    def test_term_size_enforced(self):
+        with pytest.raises(ValueError):
+            XorOfTerms(4, [[0, 1, 2]], r=2)
+
+    def test_evaluates_like_polynomial(self):
+        xt = XorOfTerms(3, [[0], [1, 2]], r=2)
+        x = enumerate_cube(3, "bits")
+        expected = x[:, 0] ^ (x[:, 1] & x[:, 2])
+        assert np.array_equal(xt.evaluate_bits(x), expected)
+
+    def test_num_terms(self):
+        xt = XorOfTerms(4, [[0], [1], [2, 3]], r=2)
+        assert xt.num_terms == 3
+
+    def test_to_boolean_function_arity(self):
+        xt = XorOfTerms(4, [[0]], r=1)
+        assert xt.to_boolean_function().n == 4
+
+
+class TestMonomialBound:
+    def test_formula(self):
+        assert monomial_count_bound(3, 2) == 12
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            monomial_count_bound(0, 2)
+        with pytest.raises(ValueError):
+            monomial_count_bound(1, -1)

@@ -1,0 +1,101 @@
+"""Unit tests for sensitivity and block sensitivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import enumerate_cube
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.influences import total_influence_exact
+from repro.booleanfuncs.ltf import LTF
+from repro.booleanfuncs.sensitivity import (
+    average_sensitivity,
+    block_sensitivity,
+    block_sensitivity_at,
+    max_sensitivity,
+    sensitivity_at,
+)
+
+
+def random_function(n, seed):
+    rng = np.random.default_rng(seed)
+    tab = (1 - 2 * rng.integers(0, 2, size=2**n)).astype(np.int8)
+    return BooleanFunction.from_truth_table(tab)
+
+
+class TestSensitivity:
+    def test_parity_fully_sensitive(self):
+        n = 5
+        f = BooleanFunction.parity_on(n, range(n))
+        x = np.ones(n, dtype=np.int8)
+        assert sensitivity_at(f, x) == n
+        assert max_sensitivity(f) == n
+
+    def test_constant_insensitive(self):
+        f = BooleanFunction.constant(4, 1)
+        assert max_sensitivity(f) == 0
+        assert sensitivity_at(f, np.ones(4, dtype=np.int8)) == 0
+
+    def test_majority_sensitivity(self):
+        # MAJ_3: at a 2-1 point, flipping either majority bit changes f.
+        f = LTF(np.ones(3))
+        assert sensitivity_at(f, np.array([1, 1, -1], dtype=np.int8)) == 2
+        assert max_sensitivity(f) == 2
+
+    def test_average_equals_total_influence(self):
+        f = random_function(5, 0)
+        assert average_sensitivity(f) == pytest.approx(total_influence_exact(f))
+
+    def test_point_length_checked(self):
+        f = BooleanFunction.constant(3, 1)
+        with pytest.raises(ValueError):
+            sensitivity_at(f, np.ones(4, dtype=np.int8))
+        with pytest.raises(ValueError):
+            block_sensitivity_at(f, np.ones(4, dtype=np.int8))
+
+
+class TestBlockSensitivity:
+    def test_parity_blocks_are_singletons(self):
+        n = 4
+        f = BooleanFunction.parity_on(n, range(n))
+        x = np.ones(n, dtype=np.int8)
+        assert block_sensitivity_at(f, x) == n
+
+    def test_constant_zero(self):
+        f = BooleanFunction.constant(3, -1)
+        assert block_sensitivity(f) == 0
+
+    def test_or_function(self):
+        # OR at the all-false point: every singleton is sensitive.
+        def or_eval(x):
+            return np.where(np.any(x == -1, axis=1), -1, 1).astype(np.int8)
+
+        f = BooleanFunction(4, or_eval, name="or4")
+        all_true = np.ones(4, dtype=np.int8)
+        assert block_sensitivity_at(f, all_true) == 4
+        # At the all-false point f only changes when EVERY bit flips, so
+        # there is a single sensitive block (the full coordinate set).
+        all_false = -np.ones(4, dtype=np.int8)
+        assert block_sensitivity_at(f, all_false) == 1
+
+    @given(st.integers(2, 5), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_bs_at_least_s(self, n, seed):
+        f = random_function(n, seed)
+        cube = enumerate_cube(n)
+        rng = np.random.default_rng(seed)
+        x = cube[int(rng.integers(0, 2**n))]
+        assert block_sensitivity_at(f, x) >= sensitivity_at(f, x)
+
+    @given(st.integers(2, 4), st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_nisan_quadratic_bound(self, n, seed):
+        """bs(f) <= s(f)^2 (and s(f) >= 1 for non-constant f)."""
+        f = random_function(n, seed)
+        s = max_sensitivity(f)
+        bs = block_sensitivity(f)
+        if s == 0:
+            assert bs == 0
+        else:
+            assert bs <= s * s

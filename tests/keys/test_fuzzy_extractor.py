@@ -1,0 +1,143 @@
+"""Unit tests for the code-offset fuzzy extractor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keys.fuzzy_extractor import (
+    FuzzyExtractor,
+    block_failure_probability,
+    repetition_decode,
+    repetition_encode,
+)
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.crp import uniform_challenges
+
+
+class TestRepetitionCode:
+    def test_encode_repeats(self):
+        assert repetition_encode(np.array([1, 0]), 3).tolist() == [1, 1, 1, 0, 0, 0]
+
+    def test_decode_majority(self):
+        code = np.array([1, 0, 1, 0, 0, 1], dtype=np.int8)
+        assert repetition_decode(code, 3).tolist() == [1, 0]
+
+    @given(st.integers(1, 20), st.integers(1, 9), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_with_correctable_errors(self, key_len, half_r, seed):
+        r = 2 * half_r + 1  # odd
+        rng = np.random.default_rng(seed)
+        key = rng.integers(0, 2, size=key_len).astype(np.int8)
+        code = repetition_encode(key, r)
+        # Flip up to (r-1)/2 bits in each block.
+        corrupted = code.copy().reshape(key_len, r)
+        for b in range(key_len):
+            flips = rng.choice(r, size=half_r, replace=False)
+            corrupted[b, flips] ^= 1
+        assert np.array_equal(repetition_decode(corrupted.ravel(), r), key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repetition_encode(np.array([2]), 3)
+        with pytest.raises(ValueError):
+            repetition_encode(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            repetition_decode(np.array([1, 0, 1], dtype=np.int8), 2)
+
+
+class TestFailureProbability:
+    def test_zero_error_rate(self):
+        assert block_failure_probability(5, 0.0) == 0.0
+
+    def test_monotone_in_p(self):
+        probs = [block_failure_probability(5, p) for p in (0.05, 0.1, 0.2, 0.4)]
+        assert probs == sorted(probs)
+
+    def test_decreases_with_r(self):
+        assert block_failure_probability(9, 0.1) < block_failure_probability(3, 0.1)
+
+    def test_known_value(self):
+        # r=3, p=0.1: P[>=2 errors] = 3*0.01*0.9 + 0.001 = 0.028.
+        assert block_failure_probability(3, 0.1) == pytest.approx(0.028)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_failure_probability(0, 0.1)
+        with pytest.raises(ValueError):
+            block_failure_probability(3, 1.5)
+
+
+class TestFuzzyExtractor:
+    def test_noise_free_roundtrip(self):
+        fe = FuzzyExtractor(key_length=16, r=5)
+        rng = np.random.default_rng(0)
+        response = rng.integers(0, 2, size=fe.response_length).astype(np.int8)
+        key, helper = fe.generate(response, rng)
+        assert fe.reproduce(response, helper) == key
+
+    def test_corrects_bounded_noise(self):
+        fe = FuzzyExtractor(key_length=8, r=7)
+        rng = np.random.default_rng(1)
+        response = rng.integers(0, 2, size=fe.response_length).astype(np.int8)
+        key, helper = fe.generate(response, rng)
+        noisy = response.copy().reshape(8, 7)
+        for b in range(8):
+            flips = rng.choice(7, size=3, replace=False)  # (r-1)/2 = 3
+            noisy[b, flips] ^= 1
+        assert fe.reproduce(noisy.ravel(), helper) == key
+
+    def test_excess_noise_changes_key(self):
+        fe = FuzzyExtractor(key_length=4, r=3)
+        rng = np.random.default_rng(2)
+        response = rng.integers(0, 2, size=fe.response_length).astype(np.int8)
+        key, helper = fe.generate(response, rng)
+        flipped = (1 - response).astype(np.int8)  # every bit wrong
+        assert fe.reproduce(flipped, helper) != key
+
+    def test_raw_output_mode(self):
+        fe = FuzzyExtractor(key_length=8, r=3, hash_output=False)
+        rng = np.random.default_rng(3)
+        response = rng.integers(0, 2, size=fe.response_length).astype(np.int8)
+        key, helper = fe.generate(response, rng)
+        assert len(key) == 1  # 8 bits packed
+        assert fe.reproduce(response, helper) == key
+
+    def test_helper_leakage_accounting(self):
+        fe = FuzzyExtractor(key_length=10, r=5)
+        rng = np.random.default_rng(4)
+        response = rng.integers(0, 2, size=fe.response_length).astype(np.int8)
+        _, helper = fe.generate(response, rng)
+        assert helper.leakage_bits == 10 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FuzzyExtractor(key_length=0)
+        with pytest.raises(ValueError):
+            FuzzyExtractor(key_length=4, r=0)
+        fe = FuzzyExtractor(key_length=4, r=3)
+        with pytest.raises(ValueError):
+            fe.generate(np.zeros(5, dtype=np.int8))
+        rng = np.random.default_rng(5)
+        response = rng.integers(0, 2, size=12).astype(np.int8)
+        _, helper = fe.generate(response, rng)
+        other = FuzzyExtractor(key_length=4, r=5)
+        with pytest.raises(ValueError):
+            other.reproduce(np.zeros(20, dtype=np.int8), helper)
+
+    def test_end_to_end_with_noisy_puf(self):
+        """Key generation from an actual noisy PUF matches the theory."""
+        rng = np.random.default_rng(6)
+        fe = FuzzyExtractor(key_length=16, r=9)
+        puf = ArbiterPUF(32, rng, noise_sigma=0.2)
+        challenges = uniform_challenges(fe.response_length, 32, rng)
+        reference = ((1 - puf.eval(challenges)) // 2).astype(np.int8)
+        key, helper = fe.generate(reference, rng)
+        successes = 0
+        trials = 30
+        for _ in range(trials):
+            noisy = ((1 - puf.eval_noisy(challenges, rng)) // 2).astype(np.int8)
+            successes += fe.reproduce(noisy, helper) == key
+        # Arbiter BER at sigma=0.2 is a few percent; r=9 corrects 4 errors
+        # per block, so reproduction should almost always succeed.
+        assert successes >= trials - 2

@@ -1,0 +1,105 @@
+"""Unit tests for Angluin's L* learner."""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.mealy import MealyMachine
+from repro.learning.angluin import (
+    LStarLearner,
+    exact_equivalence_oracle,
+    sampled_equivalence_oracle,
+)
+
+
+def even_zeros_dfa():
+    return DFA((0, 1), [{0: 1, 1: 0}, {0: 0, 1: 1}], {0})
+
+
+class TestLStarExactEQ:
+    def test_learns_even_zeros(self):
+        target = even_zeros_dfa()
+        learner = LStarLearner((0, 1))
+        result = learner.fit(target.accepts, exact_equivalence_oracle(target))
+        assert result.exact
+        assert result.dfa.equivalent(target)
+        assert result.dfa.num_states == 2
+
+    def test_learns_minimal_automaton(self):
+        # A bloated 4-state DFA for "ends in 1" must come back with 2 states.
+        target = DFA(
+            (0, 1),
+            [
+                {0: 2, 1: 1},
+                {0: 0, 1: 3},
+                {0: 0, 1: 3},
+                {0: 2, 1: 1},
+            ],
+            accepting={1, 3},
+        )
+        learner = LStarLearner((0, 1))
+        result = learner.fit(target.accepts, exact_equivalence_oracle(target))
+        assert result.dfa.equivalent(target)
+        assert result.dfa.num_states == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_learns_random_dfas(self, seed):
+        rng = np.random.default_rng(seed)
+        target = DFA.random(7, (0, 1), rng)
+        learner = LStarLearner((0, 1))
+        result = learner.fit(target.accepts, exact_equivalence_oracle(target))
+        assert result.exact
+        assert result.dfa.equivalent(target)
+        assert result.dfa.num_states == target.minimized().num_states
+
+    def test_larger_alphabet(self):
+        rng = np.random.default_rng(11)
+        target = DFA.random(5, ("a", "b", "c"), rng)
+        learner = LStarLearner(("a", "b", "c"))
+        result = learner.fit(target.accepts, exact_equivalence_oracle(target))
+        assert result.dfa.equivalent(target)
+
+    def test_query_accounting(self):
+        target = even_zeros_dfa()
+        learner = LStarLearner((0, 1))
+        result = learner.fit(target.accepts, exact_equivalence_oracle(target))
+        assert result.membership_queries > 0
+        assert result.equivalence_queries >= 1
+
+
+class TestLStarSampledEQ:
+    def test_pac_learns_with_sampled_oracle(self):
+        rng = np.random.default_rng(12)
+        target = DFA.random(5, (0, 1), rng)
+        learner = LStarLearner((0, 1))
+        eq = sampled_equivalence_oracle(
+            target.accepts, (0, 1), eps=0.01, delta=0.05,
+            rng=np.random.default_rng(13), max_length=14,
+        )
+        result = learner.fit(target.accepts, eq)
+        # PAC guarantee: high agreement on random words.
+        rng2 = np.random.default_rng(14)
+        agree = 0
+        trials = 2000
+        for _ in range(trials):
+            length = int(rng2.integers(0, 12))
+            word = tuple(int(rng2.integers(0, 2)) for _ in range(length))
+            agree += result.dfa.accepts(word) == target.accepts(word)
+        assert agree / trials > 0.97
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LStarLearner(())
+        with pytest.raises(ValueError):
+            LStarLearner((0, 1), max_rounds=0)
+
+
+class TestLStarOnMealy:
+    def test_learns_mealy_output_language(self):
+        """The Section V-B workflow: learn the FSM via its output DFA."""
+        rng = np.random.default_rng(15)
+        machine = MealyMachine.random(4, (0, 1), ("lo", "hi"), rng)
+        target = machine.to_output_dfa("hi")
+        learner = LStarLearner((0, 1))
+        result = learner.fit(target.accepts, exact_equivalence_oracle(target))
+        assert result.dfa.equivalent(target)

@@ -1,0 +1,74 @@
+"""Unit tests for the evolution-strategies attack."""
+
+import numpy as np
+import pytest
+
+from repro.learning.evolution import EvolutionStrategiesAttack
+from repro.pufs.arbiter import ArbiterPUF, parity_transform
+from repro.pufs.crp import generate_crps
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class TestESAttack:
+    def test_breaks_single_arbiter(self):
+        rng = np.random.default_rng(0)
+        puf = ArbiterPUF(16, rng)
+        crps = generate_crps(puf, 2000, rng)
+        attack = EvolutionStrategiesAttack(
+            1, generations=150, feature_map=parity_transform
+        )
+        result = attack.fit(crps.challenges, crps.responses, rng)
+        test = generate_crps(puf, 3000, rng)
+        acc = np.mean(result.predict(test.challenges) == test.responses)
+        assert acc > 0.9
+
+    def test_breaks_2xor(self):
+        rng = np.random.default_rng(1)
+        puf = XORArbiterPUF(12, 2, rng)
+        crps = generate_crps(puf, 4000, rng)
+        attack = EvolutionStrategiesAttack(
+            2, generations=250, lam=48, feature_map=parity_transform,
+            target_accuracy=0.95,
+        )
+        result = attack.fit(crps.challenges, crps.responses, rng)
+        test = generate_crps(puf, 3000, rng)
+        acc = np.mean(result.predict(test.challenges) == test.responses)
+        assert acc > 0.85
+
+    def test_early_stop_on_target_accuracy(self):
+        rng = np.random.default_rng(2)
+        puf = ArbiterPUF(8, rng)
+        crps = generate_crps(puf, 800, rng)
+        attack = EvolutionStrategiesAttack(
+            1, generations=500, target_accuracy=0.9,
+            feature_map=parity_transform,
+        )
+        result = attack.fit(crps.challenges, crps.responses, rng)
+        assert result.train_accuracy >= 0.9
+        assert result.generations_run < 500
+
+    def test_evaluation_accounting(self):
+        rng = np.random.default_rng(3)
+        puf = ArbiterPUF(8, rng)
+        crps = generate_crps(puf, 300, rng)
+        attack = EvolutionStrategiesAttack(
+            1, mu=4, lam=8, generations=5, target_accuracy=1.0,
+            feature_map=parity_transform,
+        )
+        result = attack.fit(crps.challenges, crps.responses, rng)
+        assert result.evaluations <= 4 + 5 * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionStrategiesAttack(0)
+        with pytest.raises(ValueError):
+            EvolutionStrategiesAttack(1, mu=4, lam=2)
+        with pytest.raises(ValueError):
+            EvolutionStrategiesAttack(1, generations=0)
+        with pytest.raises(ValueError):
+            EvolutionStrategiesAttack(1, sigma0=0)
+        with pytest.raises(ValueError):
+            EvolutionStrategiesAttack(1, target_accuracy=0.3)
+        attack = EvolutionStrategiesAttack(1)
+        with pytest.raises(ValueError):
+            attack.fit(np.ones((2, 3)), np.ones(3))

@@ -1,0 +1,65 @@
+"""Unit tests for the iPUF splitting attack."""
+
+import numpy as np
+import pytest
+
+from repro.learning.interpose_attack import (
+    InterposeSplittingAttack,
+    attack_interpose_puf,
+)
+from repro.learning.logistic import LogisticAttack
+from repro.pufs.arbiter import parity_transform
+from repro.pufs.crp import generate_crps
+from repro.pufs.interpose import InterposePUF
+
+
+class TestSplittingAttack:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_breaks_11_ipuf(self, seed):
+        puf = InterposePUF(20, 1, 1, np.random.default_rng(seed))
+        result = attack_interpose_puf(puf, 8000, np.random.default_rng(100 + seed))
+        test = generate_crps(puf, 4000, np.random.default_rng(200 + seed))
+        acc = np.mean(result.predict(test.challenges) == test.responses)
+        assert acc > 0.95, f"seed {seed}: {acc:.3f}"
+
+    def test_beats_monolithic_ltf_attack(self):
+        """The structural attack outperforms treating the iPUF as one LTF."""
+        rng = np.random.default_rng(5)
+        puf = InterposePUF(20, 1, 1, np.random.default_rng(6))
+        crps = generate_crps(puf, 8000, rng)
+        mono = LogisticAttack(feature_map=parity_transform).fit(
+            crps.challenges, crps.responses, rng
+        )
+        split = InterposeSplittingAttack(puf.position).fit(
+            crps.challenges, crps.responses, rng
+        )
+        test = generate_crps(puf, 4000, rng)
+        mono_acc = np.mean(mono.predict(test.challenges) == test.responses)
+        split_acc = np.mean(split.predict(test.challenges) == test.responses)
+        assert split_acc > mono_acc + 0.02
+
+    def test_iteration_tracking(self):
+        puf = InterposePUF(12, 1, 1, np.random.default_rng(7))
+        crps = generate_crps(puf, 2000, np.random.default_rng(8))
+        result = InterposeSplittingAttack(puf.position, iterations=3).fit(
+            crps.challenges, crps.responses, np.random.default_rng(9)
+        )
+        assert 1 <= result.iterations_run <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterposeSplittingAttack(-1)
+        with pytest.raises(ValueError):
+            InterposeSplittingAttack(2, iterations=0)
+        attack = InterposeSplittingAttack(5)
+        with pytest.raises(ValueError):
+            attack.fit(np.ones((3, 4)), np.ones(2))
+        with pytest.raises(ValueError):
+            InterposeSplittingAttack(10).fit(
+                np.ones((10, 4), dtype=np.int8), np.ones(10, dtype=np.int8)
+            )
+
+    def test_rejects_bigger_ipufs(self):
+        puf = InterposePUF(12, 2, 1, np.random.default_rng(10))
+        with pytest.raises(ValueError, match=r"\(1,1\)"):
+            attack_interpose_puf(puf, 100)

@@ -1,0 +1,110 @@
+"""Unit tests for the Kushilevitz-Mansour learner."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF
+from repro.learning.kushilevitz_mansour import KushilevitzMansour
+from repro.pufs.arbiter import ArbiterPUF, parity_transform
+
+
+class TestKMOnStructuredTargets:
+    def test_finds_high_degree_parity(self):
+        """The LMN-vs-KM separation: a degree-10 parity in n=16.
+
+        LMN at degree 10 would estimate C(16,<=10) ~ 59k coefficients from
+        random examples; KM homes in on the single heavy one with
+        membership queries.
+        """
+        subset = (0, 2, 3, 5, 6, 8, 9, 11, 13, 15)
+        target = BooleanFunction.parity_on(16, subset)
+        km = KushilevitzMansour(theta=0.3, bucket_samples=1024)
+        result = km.fit(16, target, np.random.default_rng(0))
+        assert result.heavy_subsets() == [subset]
+        assert result.spectrum[subset] == pytest.approx(1.0, abs=0.05)
+        x = random_pm1(16, 2000, np.random.default_rng(1))
+        assert np.mean(result.predict(x) == target(x)) == 1.0
+
+    def test_finds_sparse_mixed_spectrum(self):
+        # f = MAJ3(x0, x3 x4, x1 x2 x5) = (a + b + c - abc)/2: exactly four
+        # coefficients of magnitude 1/2, at degrees 1, 2, 3, and 6.
+        def target(x):
+            a = x[:, 0]
+            b = x[:, 3] * x[:, 4]
+            c = x[:, 1] * x[:, 2] * x[:, 5]
+            return np.where(a + b + c >= 0, 1, -1).astype(np.int8)
+
+        km = KushilevitzMansour(theta=0.3, bucket_samples=4096)
+        result = km.fit(8, target, np.random.default_rng(2))
+        found = set(result.heavy_subsets())
+        assert {(0,), (3, 4), (1, 2, 5), (0, 1, 2, 3, 4, 5)} <= found
+        x = random_pm1(8, 3000, np.random.default_rng(3))
+        assert np.mean(result.predict(x) == target(x)) > 0.95
+
+    def test_majority_degree_one_coefficients(self):
+        target = LTF(np.ones(7))
+        km = KushilevitzMansour(theta=0.2, bucket_samples=2048)
+        result = km.fit(7, target, np.random.default_rng(4))
+        # MAJ_7's heavy coefficients are exactly the seven singletons.
+        singletons = {s for s in result.heavy_subsets() if len(s) == 1}
+        assert len(singletons) == 7
+
+    def test_constant_function(self):
+        target = BooleanFunction.constant(6, -1)
+        km = KushilevitzMansour(theta=0.5)
+        result = km.fit(6, target, np.random.default_rng(5))
+        assert result.heavy_subsets() == [()]
+        assert result.spectrum[()] == pytest.approx(-1.0, abs=0.05)
+
+    def test_arbiter_puf_in_feature_space(self):
+        """KM models an arbiter PUF given MQ access (the [19]-style attack)."""
+        puf = ArbiterPUF(10, np.random.default_rng(6))
+
+        def target(x_feat):
+            # Oracle over the parity-feature cube: LTF with weights w.
+            return np.where(
+                x_feat @ puf.weights[:-1] + puf.weights[-1] >= 0, 1, -1
+            ).astype(np.int8)
+
+        km = KushilevitzMansour(theta=0.15, bucket_samples=2048)
+        result = km.fit(10, target, np.random.default_rng(7))
+        x = random_pm1(10, 3000, np.random.default_rng(8))
+        assert np.mean(result.predict(x) == target(x)) > 0.85
+
+
+class TestKMBehaviour:
+    def test_query_accounting(self):
+        target = BooleanFunction.parity_on(6, [1])
+        km = KushilevitzMansour(theta=0.4, bucket_samples=256)
+        result = km.fit(6, target, np.random.default_rng(9))
+        assert result.membership_queries > 0
+        assert result.buckets_explored >= 2 * 6
+
+    def test_queries_scale_with_precision(self):
+        target = BooleanFunction.parity_on(6, [1])
+        cheap = KushilevitzMansour(theta=0.4, bucket_samples=128).fit(
+            6, target, np.random.default_rng(10)
+        )
+        costly = KushilevitzMansour(theta=0.4, bucket_samples=2048).fit(
+            6, target, np.random.default_rng(11)
+        )
+        assert costly.membership_queries > cheap.membership_queries
+
+    def test_high_theta_finds_nothing_on_flat_spectrum(self):
+        # Full parity spreads weight 1 on a single far coefficient, but a
+        # bent-like random function has flat small coefficients: with a
+        # large theta, KM returns an empty spectrum.
+        rng = np.random.default_rng(12)
+        tab = (1 - 2 * rng.integers(0, 2, size=2**10)).astype(np.int8)
+        target = BooleanFunction.from_truth_table(tab)
+        km = KushilevitzMansour(theta=0.6, bucket_samples=1024)
+        result = km.fit(10, target, np.random.default_rng(13))
+        assert result.spectrum == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KushilevitzMansour(theta=0.0)
+        with pytest.raises(ValueError):
+            KushilevitzMansour(theta=0.1, bucket_samples=0)

@@ -1,0 +1,111 @@
+"""Unit tests for the LearnPoly (Schapire-Sellie style) learner."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.polynomials import SparseF2Polynomial
+from repro.learning.learn_poly import (
+    LearnPoly,
+    QueryBudgetExceeded,
+    SupportTooLarge,
+)
+
+
+def run_learner(poly, seed=0, **kwargs):
+    learner = LearnPoly(**kwargs)
+    return learner.fit(poly.n, poly.evaluate_bits, np.random.default_rng(seed))
+
+
+class TestLearnPolyExactRecovery:
+    def test_zero_polynomial(self):
+        poly = SparseF2Polynomial(6)
+        result = run_learner(poly)
+        assert result.polynomial.is_zero()
+        assert result.exact
+        assert result.rounds == 0
+
+    def test_single_monomial(self):
+        poly = SparseF2Polynomial(8, [[1, 3]])
+        result = run_learner(poly, seed=1)
+        assert result.polynomial == poly
+        assert result.exact
+
+    def test_constant_one(self):
+        poly = SparseF2Polynomial(5, [[]])
+        result = run_learner(poly, seed=2)
+        assert result.polynomial == poly
+
+    def test_parity_target(self):
+        # Parity is the hard case for single-bit shrinking (needs pairs).
+        poly = SparseF2Polynomial.parity(10, [0, 2, 4, 6, 8])
+        result = run_learner(poly, seed=3)
+        assert result.polynomial == poly
+        assert result.exact
+
+    def test_mixed_degree_sparse_target(self):
+        poly = SparseF2Polynomial(12, [[0], [1, 2], [3, 4, 5], [6]])
+        result = run_learner(poly, seed=4)
+        assert result.polynomial == poly
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_sparse_targets(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        poly = SparseF2Polynomial.random(10, sparsity=6, max_degree=3, rng=rng)
+        result = run_learner(poly, seed=seed)
+        assert result.polynomial == poly
+        assert result.exact
+
+    def test_query_counts_polynomial(self):
+        poly = SparseF2Polynomial(16, [[0, 1], [5], [9, 12, 15]])
+        result = run_learner(poly, seed=5)
+        # Generous sanity cap: a few thousand queries, not 2^16.
+        assert result.membership_queries < 30_000
+        assert result.rounds <= 10
+
+
+class TestLearnPolyLimits:
+    def test_query_budget_enforced(self):
+        poly = SparseF2Polynomial(10, [[0], [1, 2], [3, 4, 5]])
+        learner = LearnPoly(max_queries=10)
+        with pytest.raises(QueryBudgetExceeded):
+            learner.fit(10, poly.evaluate_bits, np.random.default_rng(6))
+
+    def test_dense_high_degree_target_detected(self):
+        # Majority is far from any sparse low-degree F2 polynomial; the
+        # learner must fail loudly (SupportTooLarge) or run out of rounds,
+        # never silently return a wrong "exact" answer.
+        n = 14
+
+        def majority_bits(x):
+            return (np.sum(x, axis=1) > n // 2).astype(np.int8)
+
+        learner = LearnPoly(subcube_cap=6, max_rounds=30)
+        try:
+            result = learner.fit(n, majority_bits, np.random.default_rng(7))
+            assert not result.exact
+        except SupportTooLarge:
+            pass
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LearnPoly(eps=0.0)
+        with pytest.raises(ValueError):
+            LearnPoly(delta=1.0)
+        with pytest.raises(ValueError):
+            LearnPoly(subcube_cap=0)
+        with pytest.raises(ValueError):
+            LearnPoly(max_rounds=0)
+
+
+class TestLearnPolyAgainstJuntas:
+    def test_learns_junta_of_xored_ands(self):
+        """The Corollary 2 shape: XOR of small-support terms."""
+        poly = SparseF2Polynomial(20, [[0, 1], [2, 3], [4, 5], [6, 7]])
+        result = run_learner(poly, seed=8)
+        assert result.polynomial == poly
+
+    def test_prediction_interface(self):
+        poly = SparseF2Polynomial(8, [[0], [3, 4]])
+        result = run_learner(poly, seed=9)
+        x = np.random.default_rng(10).integers(0, 2, size=(50, 8)).astype(np.int8)
+        assert np.array_equal(result.predict_bits(x), poly.evaluate_bits(x))

@@ -1,0 +1,166 @@
+"""Unit tests for the LMN and Chow-parameter learners."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF
+from repro.learning.chow import ChowLearner
+from repro.learning.lmn import LMNLearner, lmn_sample_size, num_low_degree_subsets
+from repro.learning.oracles import ExampleOracle
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.crp import CRPSet, generate_crps
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class TestLMNHelpers:
+    def test_subset_count(self):
+        assert num_low_degree_subsets(5, 0) == 1
+        assert num_low_degree_subsets(5, 1) == 6
+        assert num_low_degree_subsets(5, 2) == 16
+        assert num_low_degree_subsets(5, 5) == 32
+        assert num_low_degree_subsets(5, 9) == 32  # degree clamped to n
+
+    def test_subset_count_validates(self):
+        with pytest.raises(ValueError):
+            num_low_degree_subsets(5, -1)
+
+    def test_sample_size_monotone_in_degree(self):
+        sizes = [lmn_sample_size(10, d, 0.1, 0.05) for d in (1, 2, 3)]
+        assert sizes == sorted(sizes)
+
+    def test_sample_size_validates(self):
+        with pytest.raises(ValueError):
+            lmn_sample_size(10, 2, 0.0, 0.5)
+
+
+class TestLMNLearner:
+    def test_learns_low_degree_target_exactly(self):
+        # A degree-2 sign-of-polynomial target.
+        rng = np.random.default_rng(0)
+        target = BooleanFunction.parity_on(8, [1, 4])
+        oracle = ExampleOracle(8, target, rng)
+        result = LMNLearner(degree=2).fit_oracle(oracle, 4000)
+        x = random_pm1(8, 3000, rng)
+        assert np.mean(result.predict(x) == target(x)) > 0.99
+
+    def test_learns_majority(self):
+        rng = np.random.default_rng(1)
+        target = LTF(np.ones(9))
+        oracle = ExampleOracle(9, target, rng)
+        result = LMNLearner(degree=3).fit_oracle(oracle, 8000)
+        x = random_pm1(9, 3000, rng)
+        assert np.mean(result.predict(x) == target(x)) > 0.93
+
+    def test_degree_too_low_fails_on_parity(self):
+        # Parity of 4 has no Fourier weight below degree 4.
+        rng = np.random.default_rng(2)
+        target = BooleanFunction.parity_on(6, [0, 1, 2, 3])
+        oracle = ExampleOracle(6, target, rng)
+        result = LMNLearner(degree=2).fit_oracle(oracle, 5000)
+        x = random_pm1(6, 4000, rng)
+        acc = np.mean(result.predict(x) == target(x))
+        assert acc < 0.6  # essentially random
+
+    def test_noise_tolerance(self):
+        """Classification noise shrinks coefficients but not their signs."""
+        rng = np.random.default_rng(3)
+        target = BooleanFunction.parity_on(8, [2, 5])
+        oracle = ExampleOracle(8, target, rng, noise_rate=0.2)
+        result = LMNLearner(degree=2).fit_oracle(oracle, 20_000)
+        x = random_pm1(8, 3000, rng)
+        assert np.mean(result.predict(x) == target(x)) > 0.95
+
+    def test_captured_weight_parseval(self):
+        rng = np.random.default_rng(4)
+        target = LTF(np.ones(7))
+        oracle = ExampleOracle(7, target, rng)
+        result = LMNLearner(degree=7).fit_oracle(oracle, 20_000)
+        assert result.captured_weight == pytest.approx(1.0, abs=0.1)
+
+    def test_guard_rail_on_coefficient_blowup(self):
+        learner = LMNLearner(degree=10, max_coefficients=1000)
+        with pytest.raises(ValueError, match="infeasibility"):
+            learner.low_degree_subsets(64)
+
+    def test_small_k_xor_puf_learnable(self):
+        """Corollary 1 feasibility direction: constant k."""
+        rng = np.random.default_rng(5)
+        puf = XORArbiterPUF(10, 2, rng)
+        oracle = ExampleOracle(10, puf.eval, rng)
+        result = LMNLearner(degree=3).fit_oracle(oracle, 30_000)
+        x = random_pm1(10, 5000, rng)
+        assert np.mean(result.predict(x) == puf.eval(x)) > 0.8
+
+    def test_threshold_prunes_spectrum(self):
+        rng = np.random.default_rng(6)
+        target = BooleanFunction.parity_on(8, [0])
+        oracle = ExampleOracle(8, target, rng)
+        dense = LMNLearner(degree=2, threshold=0.0).fit_oracle(oracle, 3000)
+        sparse = LMNLearner(degree=2, threshold=0.2).fit_oracle(oracle, 3000)
+        assert len(sparse.spectrum) < len(dense.spectrum)
+        assert list(sparse.spectrum) == [(0,)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LMNLearner(degree=-1)
+        with pytest.raises(ValueError):
+            LMNLearner(degree=1, threshold=-0.5)
+        learner = LMNLearner(degree=1)
+        with pytest.raises(ValueError):
+            learner.fit_sample(np.ones((3, 2)), np.ones(2))
+
+
+class TestChowLearner:
+    def test_recovers_actual_ltf(self):
+        """When the target IS an LTF, Chow reconstruction approaches it."""
+        rng = np.random.default_rng(7)
+        target = LTF.random(12, rng)
+        x = random_pm1(12, 30_000, rng)
+        crps = CRPSet(x, target(x))
+        result = ChowLearner(correction_rounds=8).fit(crps, rng)
+        x_test = random_pm1(12, 10_000, rng)
+        acc = np.mean(result.predict(x_test) == target(x_test))
+        assert acc > 0.95
+
+    def test_plateaus_on_br_puf(self):
+        """The paper's Table II effect: BR PUFs defeat LTF reconstruction."""
+        rng = np.random.default_rng(8)
+        puf = BistableRingPUF(16, rng)
+        crps = generate_crps(puf, 30_000, rng)
+        result = ChowLearner(correction_rounds=8).fit(crps, rng)
+        test = generate_crps(puf, 10_000, rng)
+        acc = np.mean(result.predict(test.challenges) == test.responses)
+        assert acc < 0.99  # cannot be arbitrarily close to 1
+
+    def test_correction_rounds_help_or_hold(self):
+        rng = np.random.default_rng(9)
+        target = LTF.random(10, rng)
+        x = random_pm1(10, 20_000, rng)
+        crps = CRPSet(x, target(x))
+        raw = ChowLearner(correction_rounds=0).fit(crps, np.random.default_rng(10))
+        corrected = ChowLearner(correction_rounds=10).fit(crps, np.random.default_rng(10))
+        x_test = random_pm1(10, 10_000, np.random.default_rng(11))
+        acc_raw = np.mean(raw.predict(x_test) == target(x_test))
+        acc_cor = np.mean(corrected.predict(x_test) == target(x_test))
+        assert acc_cor >= acc_raw - 0.02
+
+    def test_result_fields(self):
+        rng = np.random.default_rng(12)
+        target = LTF.random(6, rng)
+        x = random_pm1(6, 2000, rng)
+        result = ChowLearner(correction_rounds=2, estimation_sample=2000).fit(
+            CRPSet(x, target(x)), rng
+        )
+        assert result.chow_estimate.shape == (7,)
+        assert result.rounds_run <= 2
+        assert result.residual >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChowLearner(correction_rounds=-1)
+        with pytest.raises(ValueError):
+            ChowLearner(step=0)
+        with pytest.raises(ValueError):
+            ChowLearner(estimation_sample=0)

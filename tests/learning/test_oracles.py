@@ -1,0 +1,141 @@
+"""Unit tests for repro.learning.oracles and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learning.metrics import (
+    accuracy,
+    error_rate,
+    evaluate_hypothesis,
+    majority_baseline,
+)
+from repro.learning.oracles import (
+    ExampleOracle,
+    MembershipOracle,
+    SimulatedEquivalenceOracle,
+    angluin_eq_sample_size,
+)
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.crp import CRPSet, biased_challenges
+
+
+def xor_target(x):
+    return np.prod(x, axis=1).astype(np.int8)
+
+
+class TestExampleOracle:
+    def test_draw_shapes_and_labels(self):
+        oracle = ExampleOracle(6, xor_target, np.random.default_rng(0))
+        x, y = oracle.draw(100)
+        assert x.shape == (100, 6)
+        assert np.array_equal(y, xor_target(x))
+        assert oracle.examples_drawn == 100
+
+    def test_draw_counts_accumulate(self):
+        oracle = ExampleOracle(4, xor_target, np.random.default_rng(1))
+        oracle.draw(10)
+        oracle.draw(5)
+        assert oracle.examples_drawn == 15
+
+    def test_noise_rate_applied(self):
+        oracle = ExampleOracle(
+            8, xor_target, np.random.default_rng(2), noise_rate=0.25
+        )
+        x, y = oracle.draw(20_000)
+        flip_rate = np.mean(y != xor_target(x))
+        assert abs(flip_rate - 0.25) < 0.02
+
+    def test_custom_distribution(self):
+        oracle = ExampleOracle(
+            8, xor_target, np.random.default_rng(3), sampler=biased_challenges(0.9)
+        )
+        x, _ = oracle.draw(5000)
+        assert np.mean(x) < -0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExampleOracle(4, xor_target, noise_rate=0.5)
+        oracle = ExampleOracle(4, xor_target)
+        with pytest.raises(ValueError):
+            oracle.draw(0)
+
+
+class TestMembershipOracle:
+    def test_query_and_counting(self):
+        oracle = MembershipOracle(4, xor_target)
+        x = np.array([[1, 1, -1, 1], [-1, -1, -1, -1]], dtype=np.int8)
+        y = oracle.query(x)
+        assert y.tolist() == [-1, 1]
+        assert oracle.queries_made == 2
+
+    def test_query_one(self):
+        oracle = MembershipOracle(3, xor_target)
+        assert oracle.query_one(np.array([1, -1, 1])) == -1
+
+    def test_budget_enforced(self):
+        oracle = MembershipOracle(3, xor_target, max_queries=5)
+        oracle.query(np.ones((5, 3), dtype=np.int8))
+        with pytest.raises(RuntimeError):
+            oracle.query(np.ones((1, 3), dtype=np.int8))
+
+    def test_width_check(self):
+        oracle = MembershipOracle(3, xor_target)
+        with pytest.raises(ValueError):
+            oracle.query(np.ones((2, 4), dtype=np.int8))
+
+
+class TestSimulatedEQ:
+    def test_sample_size_grows_with_round(self):
+        sizes = [angluin_eq_sample_size(0.1, 0.05, i) for i in range(5)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 1
+
+    def test_sample_size_validates(self):
+        with pytest.raises(ValueError):
+            angluin_eq_sample_size(0.0, 0.5, 0)
+        with pytest.raises(ValueError):
+            angluin_eq_sample_size(0.1, 0.5, -1)
+
+    def test_accepts_correct_hypothesis(self):
+        eq = SimulatedEquivalenceOracle(
+            6, xor_target, eps=0.05, delta=0.05, rng=np.random.default_rng(4)
+        )
+        assert eq.query(xor_target) is None
+        assert eq.examples_used > 0
+
+    def test_rejects_wrong_hypothesis_with_counterexample(self):
+        eq = SimulatedEquivalenceOracle(
+            6, xor_target, eps=0.05, delta=0.05, rng=np.random.default_rng(5)
+        )
+        wrong = lambda x: -xor_target(x)
+        cex = eq.query(wrong)
+        assert cex is not None
+        assert xor_target(cex[None, :])[0] != wrong(cex[None, :])[0]
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        a = np.array([1, -1, 1, 1])
+        b = np.array([1, 1, 1, -1])
+        assert accuracy(a, b) == 0.5
+        assert error_rate(a, b) == 0.5
+
+    def test_accuracy_validates(self):
+        with pytest.raises(ValueError):
+            accuracy(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_evaluate_hypothesis(self):
+        rng = np.random.default_rng(6)
+        puf = ArbiterPUF(8, rng)
+        from repro.pufs.crp import generate_crps
+
+        crps = generate_crps(puf, 500, rng)
+        assert evaluate_hypothesis(puf.eval, crps) == 1.0
+
+    def test_majority_baseline(self):
+        labels = np.array([1, 1, 1, -1])
+        assert majority_baseline(labels) == 0.75
+        with pytest.raises(ValueError):
+            majority_baseline(np.array([]))

@@ -1,0 +1,60 @@
+"""Unit tests for the reliability (Becker-style) attack."""
+
+import numpy as np
+import pytest
+
+from repro.learning.reliability_attack import ReliabilityAttack
+from repro.pufs.crp import generate_crps
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class TestReliabilityAttack:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_breaks_noisy_2xor(self, seed):
+        rng = np.random.default_rng(seed)
+        puf = XORArbiterPUF(32, 2, np.random.default_rng(10 + seed), noise_sigma=0.4)
+        attack = ReliabilityAttack(crps=6000, repetitions=15)
+        result = attack.run(puf, rng)
+        test = generate_crps(puf, 4000, np.random.default_rng(20 + seed))
+        acc = np.mean(result.predict(test.challenges) == test.responses)
+        assert acc > 0.9, f"seed {seed}: {acc:.3f}"
+        assert result.reliability_correlation > 0.1
+
+    def test_es_phase_locks_onto_one_chain(self):
+        rng = np.random.default_rng(2)
+        puf = XORArbiterPUF(32, 2, np.random.default_rng(12), noise_sigma=0.4)
+        result = ReliabilityAttack(crps=6000, repetitions=15).run(puf, rng)
+        # One of the recovered chain vectors must align strongly with one
+        # of the true chains (up to sign).
+        best = 0.0
+        for recovered in (result.chain_a, result.chain_b):
+            r = recovered / np.linalg.norm(recovered)
+            for chain in puf.chains:
+                t = chain.weights / np.linalg.norm(chain.weights)
+                best = max(best, abs(float(r @ t)))
+        assert best > 0.85
+
+    def test_measurement_accounting(self):
+        rng = np.random.default_rng(3)
+        puf = XORArbiterPUF(16, 2, np.random.default_rng(13), noise_sigma=0.3)
+        attack = ReliabilityAttack(crps=500, repetitions=5, generations=10)
+        result = attack.run(puf, rng)
+        assert result.oracle_measurements == 500 * 5
+
+    def test_rejects_wrong_targets(self):
+        rng = np.random.default_rng(4)
+        attack = ReliabilityAttack(crps=100, repetitions=3, generations=2)
+        with pytest.raises(ValueError, match="k = 2"):
+            attack.run(XORArbiterPUF(16, 3, rng, noise_sigma=0.3))
+        with pytest.raises(ValueError, match="noisy"):
+            attack.run(XORArbiterPUF(16, 2, rng, noise_sigma=0.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityAttack(crps=5)
+        with pytest.raises(ValueError):
+            ReliabilityAttack(repetitions=1)
+        with pytest.raises(ValueError):
+            ReliabilityAttack(mu=4, lam=2)
+        with pytest.raises(ValueError):
+            ReliabilityAttack(refinement_rounds=-1)

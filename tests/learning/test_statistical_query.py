@@ -1,0 +1,120 @@
+"""Unit tests for the Statistical Query framework."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF
+from repro.learning.statistical_query import (
+    SQChowLearner,
+    SQOracle,
+    parity_correlations_under_sq,
+)
+
+
+class TestSQOracle:
+    def test_adversarial_answers_on_tau_grid(self):
+        target = LTF(np.ones(5))
+        oracle = SQOracle(5, target, tau=0.1, rng=np.random.default_rng(0))
+        answer = oracle.query(lambda x, y: y)
+        assert answer == pytest.approx(round(answer / 0.1) * 0.1)
+
+    def test_adversarial_within_tolerance(self):
+        target = BooleanFunction.constant(4, 1)
+        oracle = SQOracle(4, target, tau=0.05, rng=np.random.default_rng(1))
+        answer = oracle.query(lambda x, y: y)
+        assert abs(answer - 1.0) <= 0.05 + 1e-9
+
+    def test_sampling_mode_close_to_truth(self):
+        target = BooleanFunction.parity_on(6, [0])
+        oracle = SQOracle(
+            6, target, tau=0.05, mode="sampling", rng=np.random.default_rng(2)
+        )
+        answer = oracle.query(lambda x, y: y * x[:, 0])
+        assert answer == pytest.approx(1.0, abs=0.1)
+
+    def test_query_counting(self):
+        target = BooleanFunction.constant(3, 1)
+        oracle = SQOracle(3, target, tau=0.1, rng=np.random.default_rng(3))
+        oracle.query(lambda x, y: y)
+        oracle.query(lambda x, y: y)
+        assert oracle.queries_made == 2
+
+    def test_range_enforced(self):
+        target = BooleanFunction.constant(3, 1)
+        oracle = SQOracle(3, target, tau=0.1, rng=np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            oracle.query(lambda x, y: 2.0 * y)
+
+    def test_validation(self):
+        target = BooleanFunction.constant(3, 1)
+        with pytest.raises(ValueError):
+            SQOracle(3, target, tau=0.0)
+        with pytest.raises(ValueError):
+            SQOracle(3, target, tau=0.1, mode="oracle-of-delphi")
+
+
+class TestSQChowLearner:
+    def test_learns_majority_under_adversarial_sq(self):
+        """LTFs are SQ-learnable: tau-perturbed Chow parameters suffice."""
+        target = LTF(np.ones(9))
+        oracle = SQOracle(9, target, tau=0.02, rng=np.random.default_rng(5))
+        result = SQChowLearner().fit(oracle)
+        assert result.queries_made == 10
+        x = random_pm1(9, 5000, np.random.default_rng(6))
+        assert np.mean(result.predict(x) == target(x)) > 0.9
+
+    def test_learns_random_ltf_under_sampling_sq(self):
+        target = LTF.random(10, np.random.default_rng(7))
+        oracle = SQOracle(
+            10, target, tau=0.02, mode="sampling", rng=np.random.default_rng(8)
+        )
+        result = SQChowLearner().fit(oracle)
+        x = random_pm1(10, 5000, np.random.default_rng(9))
+        assert np.mean(result.predict(x) == target(x)) > 0.85
+
+    def test_noise_tolerance_by_construction(self):
+        """A noisy target (flipped labels) shrinks but keeps Chow signs."""
+        clean = LTF(np.ones(7))
+        rng = np.random.default_rng(10)
+
+        def noisy(x):
+            y = clean(x)
+            flips = rng.random(y.shape) < 0.2
+            return np.where(flips, -y, y)
+
+        oracle = SQOracle(7, noisy, tau=0.02, rng=np.random.default_rng(11))
+        result = SQChowLearner().fit(oracle)
+        x = random_pm1(7, 5000, np.random.default_rng(12))
+        assert np.mean(result.predict(x) == clean(x)) > 0.85
+
+
+class TestParitySQHardness:
+    def test_adversarial_oracle_hides_the_parity(self):
+        """All wrong candidates answer exactly 0; the right one stands out
+        only when queried directly — no better than exhaustive search."""
+        secret = (1, 3, 4)
+        target = BooleanFunction.parity_on(6, secret)
+        oracle = SQOracle(6, target, tau=0.2, rng=np.random.default_rng(13))
+        candidates = [
+            s for r in range(0, 4) for s in itertools.combinations(range(6), r)
+        ]
+        answers = parity_correlations_under_sq(oracle, candidates)
+        for subset, value in answers.items():
+            if subset == secret:
+                assert value == pytest.approx(1.0, abs=0.2)
+            else:
+                assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_membership_queries_beat_sq_on_parities(self):
+        """The access-model separation: KM (MQ) finds what SQ cannot."""
+        from repro.learning.kushilevitz_mansour import KushilevitzMansour
+
+        secret = (0, 2, 3, 5, 7, 8)
+        target = BooleanFunction.parity_on(10, secret)
+        km = KushilevitzMansour(theta=0.4, bucket_samples=1024)
+        result = km.fit(10, target, np.random.default_rng(14))
+        assert result.heavy_subsets() == [secret]

@@ -1,0 +1,66 @@
+"""Unit tests for Anti-SAT locking."""
+
+import numpy as np
+import pytest
+
+from repro.locking.antisat import antisat
+from repro.locking.appsat import AppSAT
+from repro.locking.circuits import c17
+from repro.locking.sat_attack import SATAttack
+
+
+class TestAntiSATConstruction:
+    def test_correct_key_restores_function(self):
+        lc = antisat(c17(), 4, np.random.default_rng(0))
+        assert lc.key_length == 8  # k_a and k_b
+        assert lc.key_is_functionally_correct(lc.correct_key)
+
+    def test_any_matched_halves_are_correct(self):
+        """Anti-SAT's correct-key class: every key with k_a == k_b works."""
+        rng = np.random.default_rng(1)
+        lc = antisat(c17(), 3, rng)
+        for _ in range(4):
+            half = rng.integers(0, 2, size=3).astype(np.int8)
+            key = np.concatenate([half, half])
+            assert lc.key_is_functionally_correct(key)
+
+    def test_mismatched_halves_err_on_one_input(self):
+        rng = np.random.default_rng(2)
+        lc = antisat(c17(), 5, rng)
+        idx = np.arange(32, dtype=np.uint32)
+        shifts = np.arange(4, -1, -1, dtype=np.uint32)
+        all_inputs = ((idx[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+        for _ in range(5):
+            key = rng.integers(0, 2, size=10).astype(np.int8)
+            if np.array_equal(key[:5], key[5:]):
+                continue
+            got = lc.evaluate_locked(all_inputs, key)
+            want = lc.oracle(all_inputs)
+            wrong = np.nonzero(np.any(got != want, axis=1))[0]
+            assert len(wrong) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            antisat(c17(), 0)
+        with pytest.raises(ValueError):
+            antisat(c17(), 6)
+
+    def test_key_length_one(self):
+        lc = antisat(c17(), 1, np.random.default_rng(3))
+        assert lc.key_is_functionally_correct(lc.correct_key)
+
+
+class TestAntiSATVsAttacks:
+    def test_sat_attack_recovers_a_functional_key(self):
+        rng = np.random.default_rng(4)
+        lc = antisat(c17(), 3, rng)
+        result = SATAttack().run(lc)
+        assert result.success
+        assert lc.key_is_functionally_correct(result.key)
+
+    def test_appsat_cheap_with_tiny_error(self):
+        rng = np.random.default_rng(5)
+        lc = antisat(c17(), 4, rng)
+        result = AppSAT(error_threshold=0.05, queries_per_round=64).run(lc, rng)
+        assert result.key is not None
+        assert lc.wrong_key_error_rate(result.key, rng, m=4096) <= 0.08

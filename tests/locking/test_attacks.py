@@ -1,0 +1,144 @@
+"""Unit tests for combinational locking, SAT attack, and AppSAT."""
+
+import numpy as np
+import pytest
+
+from repro.locking.appsat import AppSAT
+from repro.locking.circuits import c17, comparator, random_circuit, ripple_carry_adder
+from repro.locking.combinational import random_lock
+from repro.locking.sat_attack import SATAttack
+
+
+class TestRandomLock:
+    def test_correct_key_restores_function(self):
+        rng = np.random.default_rng(0)
+        net = c17()
+        lc = random_lock(net, 4, rng)
+        assert lc.key_is_functionally_correct(lc.correct_key)
+
+    def test_wrong_keys_usually_corrupt(self):
+        rng = np.random.default_rng(1)
+        net = random_circuit(8, 30, 3, rng)
+        lc = random_lock(net, 8, rng)
+        corrupting = 0
+        for _ in range(10):
+            key = rng.integers(0, 2, size=8).astype(np.int8)
+            if not np.array_equal(key, lc.correct_key):
+                if lc.wrong_key_error_rate(key, rng, m=512) > 0:
+                    corrupting += 1
+        assert corrupting >= 5  # most wrong keys corrupt something
+
+    def test_key_length_and_inputs(self):
+        rng = np.random.default_rng(2)
+        lc = random_lock(c17(), 3, rng)
+        assert lc.key_length == 3
+        assert lc.locked.num_inputs == 5 + 3
+        assert all(k.startswith("keyinput") for k in lc.key_inputs)
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            random_lock(c17(), 0, rng)
+        with pytest.raises(ValueError):
+            random_lock(c17(), 100, rng)
+        lc = random_lock(c17(), 2, rng)
+        with pytest.raises(ValueError):
+            lc.evaluate_locked(np.zeros((1, 5), np.int8), np.zeros(5, np.int8))
+
+    def test_locked_differs_under_flipped_key(self):
+        rng = np.random.default_rng(4)
+        lc = random_lock(c17(), 4, rng)
+        bad_key = 1 - lc.correct_key  # flip every bit
+        assert lc.wrong_key_error_rate(bad_key, rng, m=256) > 0
+
+
+class TestSATAttack:
+    @pytest.mark.parametrize("key_length", [2, 4, 6])
+    def test_recovers_functional_key_on_c17(self, key_length):
+        rng = np.random.default_rng(10 + key_length)
+        lc = random_lock(c17(), key_length, rng)
+        result = SATAttack().run(lc)
+        assert result.success
+        assert lc.key_is_functionally_correct(result.key)
+
+    def test_recovers_key_on_random_circuits(self):
+        for seed in range(4):
+            rng = np.random.default_rng(20 + seed)
+            net = random_circuit(8, 25, 3, rng)
+            lc = random_lock(net, 8, rng)
+            result = SATAttack().run(lc)
+            assert result.success, f"seed {seed}"
+            assert lc.key_is_functionally_correct(result.key), f"seed {seed}"
+
+    def test_recovers_key_on_adder(self):
+        rng = np.random.default_rng(30)
+        lc = random_lock(ripple_carry_adder(3), 6, rng)
+        result = SATAttack().run(lc)
+        assert result.success
+        assert lc.key_is_functionally_correct(result.key)
+
+    def test_dip_count_far_below_exhaustive(self):
+        """The SAT attack's whole point: #DIPs << 2^n oracle queries."""
+        rng = np.random.default_rng(31)
+        net = random_circuit(10, 35, 3, rng)
+        lc = random_lock(net, 10, rng)
+        result = SATAttack().run(lc)
+        assert result.success
+        assert result.oracle_queries < 2**6  # vs 2^10 inputs / 2^10 keys
+
+    def test_iteration_cap(self):
+        rng = np.random.default_rng(32)
+        lc = random_lock(c17(), 6, rng)
+        result = SATAttack(max_iterations=0 + 1).run(lc)
+        # With a cap of 1 the attack may or may not finish; it must not lie.
+        if result.success:
+            assert lc.key_is_functionally_correct(result.key)
+        else:
+            assert result.key is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SATAttack(max_iterations=0)
+
+
+class TestAppSAT:
+    def test_exact_termination_matches_sat_attack(self):
+        rng = np.random.default_rng(40)
+        lc = random_lock(c17(), 4, rng)
+        result = AppSAT(error_threshold=0.0).run(lc, rng)
+        assert result.key is not None
+        assert lc.key_is_functionally_correct(result.key)
+
+    def test_approximate_key_quality(self):
+        rng = np.random.default_rng(41)
+        net = random_circuit(10, 40, 4, rng)
+        lc = random_lock(net, 10, rng)
+        result = AppSAT(error_threshold=0.05).run(lc, rng)
+        assert result.key is not None
+        # The returned key is an approximation within ~threshold error.
+        assert lc.wrong_key_error_rate(result.key, rng, m=2048) <= 0.10
+
+    def test_fewer_or_equal_dips_than_exact(self):
+        """AppSAT's selling point: early termination."""
+        rng = np.random.default_rng(42)
+        net = random_circuit(9, 30, 3, rng)
+        lc = random_lock(net, 9, rng)
+        exact = SATAttack().run(lc)
+        approx = AppSAT(error_threshold=0.05).run(lc, np.random.default_rng(43))
+        assert approx.iterations <= exact.iterations + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppSAT(error_threshold=1.0)
+        with pytest.raises(ValueError):
+            AppSAT(settlement_rounds=0)
+        with pytest.raises(ValueError):
+            AppSAT(queries_per_round=0)
+        with pytest.raises(ValueError):
+            AppSAT(max_iterations=0)
+
+    def test_summary_text(self):
+        rng = np.random.default_rng(44)
+        lc = random_lock(c17(), 2, rng)
+        result = AppSAT().run(lc, rng)
+        assert "key after" in result.summary()

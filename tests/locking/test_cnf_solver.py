@@ -1,0 +1,250 @@
+"""Unit tests for the CNF encoder and the CDCL SAT solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locking.circuits import c17, random_circuit
+from repro.locking.cnf import CNF, gate_clauses, tseitin_encode
+from repro.locking.netlist import GateType
+from repro.locking.solver import SATSolver, Satisfiability
+
+
+class TestCNF:
+    def test_new_var_and_add(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, -b])
+        assert cnf.num_vars == 2
+        assert len(cnf) == 1
+
+    def test_rejects_bad_clauses(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_dimacs_output(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([a])
+        text = cnf.to_dimacs()
+        assert text.startswith("p cnf 1 1")
+        assert "1 0" in text
+
+
+class TestGateClauses:
+    @pytest.mark.parametrize(
+        "gate_type",
+        [
+            GateType.AND,
+            GateType.OR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ],
+    )
+    def test_binary_gate_semantics(self, gate_type):
+        """Every satisfying assignment of the clauses matches the gate table."""
+        clauses = gate_clauses(gate_type, 3, [1, 2])
+        for bits in itertools.product([False, True], repeat=3):
+            ok = all(
+                any(bits[abs(l) - 1] == (l > 0) for l in clause)
+                for clause in clauses
+            )
+            a, b, out = bits
+            expected = {
+                GateType.AND: a and b,
+                GateType.OR: a or b,
+                GateType.NAND: not (a and b),
+                GateType.NOR: not (a or b),
+                GateType.XOR: a != b,
+                GateType.XNOR: a == b,
+            }[gate_type]
+            assert ok == (out == expected)
+
+    @pytest.mark.parametrize("gate_type", [GateType.NOT, GateType.BUF])
+    def test_unary_gate_semantics(self, gate_type):
+        clauses = gate_clauses(gate_type, 2, [1])
+        for bits in itertools.product([False, True], repeat=2):
+            ok = all(
+                any(bits[abs(l) - 1] == (l > 0) for l in clause)
+                for clause in clauses
+            )
+            a, out = bits
+            expected = (not a) if gate_type is GateType.NOT else a
+            assert ok == (out == expected)
+
+    def test_three_input_xor(self):
+        clauses = gate_clauses(GateType.XOR, 4, [1, 2, 3])
+        for bits in itertools.product([False, True], repeat=4):
+            ok = all(
+                any(bits[abs(l) - 1] == (l > 0) for l in clause)
+                for clause in clauses
+            )
+            expected = bits[0] ^ bits[1] ^ bits[2]
+            assert ok == (bits[3] == expected)
+
+
+class TestTseitin:
+    def test_encoding_agrees_with_simulation(self):
+        """SAT models of the encoding match circuit evaluation."""
+        net = c17()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 2, size=5).astype(np.int8)
+            cnf = CNF()
+            var_map = tseitin_encode(net, cnf)
+            assumptions = [
+                var_map[name] if bit else -var_map[name]
+                for name, bit in zip(net.inputs, x)
+            ]
+            solver = SATSolver(cnf.clauses, cnf.num_vars)
+            status, model = solver.solve(assumptions=assumptions)
+            assert status is Satisfiability.SAT
+            out = net.evaluate(x)
+            for name, bit in zip(net.outputs, out):
+                assert model[var_map[name]] == bool(bit)
+
+    def test_shared_var_map(self):
+        net = c17()
+        cnf = CNF()
+        pre = {sig: cnf.new_var() for sig in net.inputs}
+        var_map = tseitin_encode(net, cnf, pre)
+        for sig in net.inputs:
+            assert var_map[sig] == pre[sig]
+
+    def test_xor_fanin_guard(self):
+        from repro.locking.netlist import Gate, Netlist
+
+        wide = Netlist(
+            tuple(f"i{j}" for j in range(8)),
+            ("y",),
+            [Gate("y", GateType.XOR, tuple(f"i{j}" for j in range(8)))],
+        )
+        with pytest.raises(ValueError, match="fan-in"):
+            tseitin_encode(wide, CNF())
+
+
+class TestSolver:
+    def test_simple_sat(self):
+        solver = SATSolver([[1, 2], [-1, 2], [1, -2]], 2)
+        status, model = solver.solve()
+        assert status is Satisfiability.SAT
+        assert model[1] and model[2]
+
+    def test_simple_unsat(self):
+        solver = SATSolver([[1], [-1]], 1)
+        status, model = solver.solve()
+        assert status is Satisfiability.UNSAT
+        assert model is None
+
+    def test_empty_clause_unsat(self):
+        solver = SATSolver()
+        solver.add_clause([1])
+        solver._pending_empty = True  # simulate adding an empty clause
+        assert solver.solve()[0] is Satisfiability.UNSAT
+
+    def test_tautology_dropped(self):
+        solver = SATSolver([[1, -1]], 1)
+        assert solver.solve()[0] is Satisfiability.SAT
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            SATSolver([[0]])
+
+    def test_assumptions(self):
+        solver = SATSolver([[1, 2]], 2)
+        status, model = solver.solve(assumptions=[-1])
+        assert status is Satisfiability.SAT
+        assert model[2]
+        assert solver.solve(assumptions=[-1, -2])[0] is Satisfiability.UNSAT
+        # Solver is reusable after an assumption-UNSAT.
+        assert solver.solve()[0] is Satisfiability.SAT
+
+    def test_incremental_clauses(self):
+        solver = SATSolver([[1, 2]], 2)
+        assert solver.solve()[0] is Satisfiability.SAT
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve()[0] is Satisfiability.UNSAT
+
+    def test_pigeonhole_unsat(self):
+        """PHP(4,3): 4 pigeons, 3 holes — classic CDCL stress case."""
+        # var p_{i,h} = 1 + i*3 + h
+        def v(i, h):
+            return 1 + i * 3 + h
+
+        clauses = []
+        for i in range(4):
+            clauses.append([v(i, h) for h in range(3)])
+        for h in range(3):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    clauses.append([-v(i, h), -v(j, h)])
+        solver = SATSolver(clauses, 12)
+        assert solver.solve()[0] is Satisfiability.UNSAT
+        assert solver.stats.conflicts > 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_random_formulas_against_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        nv = int(rng.integers(3, 8))
+        nc = int(rng.integers(3, 25))
+        clauses = [
+            [
+                int(rng.choice([1, -1])) * int(rng.integers(1, nv + 1))
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            for _ in range(nc)
+        ]
+        expected = any(
+            all(
+                any((bits >> (abs(l) - 1)) & 1 == (l > 0) for l in clause)
+                for clause in clauses
+            )
+            for bits in range(2**nv)
+        )
+        status, model = SATSolver(clauses, nv).solve()
+        assert (status is Satisfiability.SAT) == expected
+        if model is not None:
+            for clause in clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    def test_conflict_budget(self):
+        def v(i, h):
+            return 1 + i * 4 + h
+
+        clauses = []
+        for i in range(5):
+            clauses.append([v(i, h) for h in range(4)])
+        for h in range(4):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    clauses.append([-v(i, h), -v(j, h)])
+        solver = SATSolver(clauses, 20)
+        with pytest.raises(RuntimeError):
+            solver.solve(max_conflicts=2)
+
+    def test_equivalence_check_of_circuits(self):
+        """Miter of a circuit against itself must be UNSAT."""
+        net = random_circuit(5, 15, 2, np.random.default_rng(1))
+        cnf = CNF()
+        shared = {sig: cnf.new_var() for sig in net.inputs}
+        map_a = tseitin_encode(net.renamed("a_", keep=net.inputs), cnf, dict(shared))
+        map_b = tseitin_encode(net.renamed("b_", keep=net.inputs), cnf, dict(shared))
+        from repro.locking.cnf import gate_clauses as gc
+
+        diffs = []
+        for o in net.outputs:
+            d = cnf.new_var()
+            cnf.extend(gc(GateType.XOR, d, [map_a["a_" + o], map_b["b_" + o]]))
+            diffs.append(d)
+        cnf.add_clause(diffs)
+        assert SATSolver(cnf.clauses, cnf.num_vars).solve()[0] is Satisfiability.UNSAT

@@ -1,0 +1,132 @@
+"""Unit tests for compound locking and the new circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.locking.antisat import antisat
+from repro.locking.appsat import AppSAT
+from repro.locking.circuits import array_multiplier, c17, multiplexer_tree
+from repro.locking.compound import compound_lock
+from repro.locking.sat_attack import SATAttack
+
+
+class TestMultiplexerTree:
+    @pytest.mark.parametrize("s", [1, 2, 3])
+    def test_selects_correct_input(self, s):
+        net = multiplexer_tree(s)
+        num_data = 2**s
+        for value in range(num_data):
+            data = np.zeros(num_data, dtype=np.int8)
+            data[value] = 1
+            select = np.array(
+                [(value >> (s - 1 - i)) & 1 for i in range(s)], dtype=np.int8
+            )
+            out = net.evaluate(np.concatenate([data, select]))
+            assert out.tolist() == [1]
+
+    def test_unselected_input_ignored(self):
+        net = multiplexer_tree(2)
+        data = np.array([0, 1, 1, 1], dtype=np.int8)
+        select = np.array([0, 0], dtype=np.int8)  # selects d0
+        assert net.evaluate(np.concatenate([data, select])).tolist() == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiplexer_tree(0)
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_exhaustive_small_widths(self, width):
+        net = array_multiplier(width)
+        for a in range(2**width):
+            for b in range(2**width):
+                bits = [(a >> i) & 1 for i in range(width)] + [
+                    (b >> i) & 1 for i in range(width)
+                ]
+                out = net.evaluate(np.array(bits, dtype=np.int8))
+                value = sum(int(out[i]) << i for i in range(2 * width))
+                assert value == a * b, (a, b)
+
+    def test_random_width_four(self):
+        net = array_multiplier(4)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = int(rng.integers(0, 16)), int(rng.integers(0, 16))
+            bits = [(a >> i) & 1 for i in range(4)] + [
+                (b >> i) & 1 for i in range(4)
+            ]
+            out = net.evaluate(np.array(bits, dtype=np.int8))
+            assert sum(int(out[i]) << i for i in range(8)) == a * b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            array_multiplier(0)
+
+
+class TestCompoundLock:
+    def test_correct_key_restores_function(self):
+        rng = np.random.default_rng(1)
+        lc = compound_lock(c17(), rll_bits=3, point_bits=4, rng=rng)
+        assert lc.key_length == 3 + 4
+        assert lc.key_is_functionally_correct(lc.correct_key)
+
+    def test_wrong_rll_half_corrupts_heavily(self):
+        rng = np.random.default_rng(2)
+        lc = compound_lock(c17(), 3, 4, rng)
+        bad = lc.correct_key.copy()
+        bad[:3] = 1 - bad[:3]  # break the RLL half
+        assert lc.wrong_key_error_rate(bad, rng, m=512) > 0.05
+
+    def test_wrong_point_half_corrupts_minimally(self):
+        rng = np.random.default_rng(3)
+        lc = compound_lock(c17(), 3, 5, rng)
+        bad = lc.correct_key.copy()
+        bad[3:] = 1 - bad[3:]  # break only the SARLock half
+        rate = lc.wrong_key_error_rate(bad, rng, m=4096)
+        assert rate <= 1 / 32 + 0.02
+
+    def test_appsat_reduces_to_the_weak_component(self):
+        """AppSAT's headline: the approximate key nails the RLL half."""
+        rng = np.random.default_rng(4)
+        lc = compound_lock(c17(), 4, 5, rng)
+        result = AppSAT(error_threshold=0.05, queries_per_round=128).run(lc, rng)
+        assert result.key is not None
+        err = lc.wrong_key_error_rate(result.key, rng, m=4096)
+        assert err <= 0.08
+
+    def test_exact_attack_still_succeeds_but_expensively(self):
+        rng = np.random.default_rng(5)
+        lc = compound_lock(c17(), 3, 4, rng)
+        exact = SATAttack().run(lc)
+        assert exact.success
+        assert lc.key_is_functionally_correct(exact.key)
+        approx = AppSAT(error_threshold=0.05, queries_per_round=128).run(
+            lc, np.random.default_rng(6)
+        )
+        assert approx.iterations <= exact.iterations
+
+    def test_antisat_as_point_scheme(self):
+        rng = np.random.default_rng(7)
+        lc = compound_lock(c17(), 2, 3, rng, point_scheme=antisat)
+        assert lc.key_is_functionally_correct(lc.correct_key)
+
+    def test_validation(self):
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            compound_lock(c17(), 2, 6, rng)  # c17 has 5 inputs
+
+
+class TestNoiseInflation:
+    def test_formula_and_monotonicity(self):
+        from repro.pac.bounds import bound_with_noise, noisy_sample_inflation
+
+        assert noisy_sample_inflation(0.0) == 1.0
+        assert noisy_sample_inflation(0.25) == pytest.approx(4.0)
+        values = [noisy_sample_inflation(e) for e in (0.0, 0.1, 0.3, 0.45)]
+        assert values == sorted(values)
+        assert bound_with_noise(1000.0, 0.25) == pytest.approx(4000.0)
+        with pytest.raises(ValueError):
+            noisy_sample_inflation(0.5)
+        with pytest.raises(ValueError):
+            bound_with_noise(0.0, 0.1)

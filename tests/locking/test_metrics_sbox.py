@@ -1,0 +1,110 @@
+"""Unit tests for locking metrics, the PRESENT S-box, and PUF serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.locking.antisat import antisat
+from repro.locking.circuits import PRESENT_SBOX, c17, present_sbox
+from repro.locking.combinational import random_lock
+from repro.locking.metrics import corruption_report
+from repro.locking.sarlock import sarlock
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.io import load_puf, save_puf
+from repro.pufs.xor_arbiter import XORArbiterPUF
+from repro.booleanfuncs.encoding import random_pm1
+
+
+class TestPresentSbox:
+    def test_matches_reference_table(self):
+        net = present_sbox()
+        for x, expected in enumerate(PRESENT_SBOX):
+            bits = np.array([(x >> (3 - b)) & 1 for b in range(4)], dtype=np.int8)
+            out = net.evaluate(bits)
+            value = sum(int(out[b]) << (3 - b) for b in range(4))
+            assert value == expected, f"S[{x:X}]"
+
+    def test_is_a_permutation(self):
+        net = present_sbox()
+        idx = np.arange(16, dtype=np.uint32)
+        shifts = np.arange(3, -1, -1, dtype=np.uint32)
+        inputs = ((idx[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+        outs = net.evaluate(inputs)
+        values = {sum(int(o[b]) << (3 - b) for b in range(4)) for o in outs}
+        assert values == set(range(16))
+
+    def test_lockable_and_attackable(self):
+        from repro.locking.sat_attack import SATAttack
+
+        rng = np.random.default_rng(0)
+        lc = random_lock(present_sbox(), 6, rng)
+        result = SATAttack().run(lc)
+        assert result.success
+        assert lc.key_is_functionally_correct(result.key)
+
+
+class TestCorruptionReport:
+    def test_rll_corrupts_heavily(self):
+        rng = np.random.default_rng(1)
+        lc = random_lock(c17(), 4, rng)
+        report = corruption_report(lc, keys_sampled=15, rng=rng)
+        assert report.mean_error_rate > 0.05
+        assert report.wrong_key_coverage > 0.8
+
+    def test_sarlock_corrupts_minimally(self):
+        rng = np.random.default_rng(2)
+        lc = sarlock(c17(), 5, rng)
+        report = corruption_report(lc, keys_sampled=15, rng=rng)
+        # Each wrong key errs on exactly 1 of 32 inputs.
+        assert report.max_error_rate <= 1 / 32 + 1e-9
+        assert report.mean_error_rate <= 1 / 32 + 1e-9
+
+    def test_rll_vs_pointfunction_ordering(self):
+        """The corruption/resilience trade-off in one comparison."""
+        rng = np.random.default_rng(3)
+        rll = corruption_report(random_lock(c17(), 5, rng), keys_sampled=12, rng=rng)
+        sar = corruption_report(sarlock(c17(), 5, rng), keys_sampled=12, rng=rng)
+        anti = corruption_report(antisat(c17(), 4, rng), keys_sampled=12, rng=rng)
+        assert rll.mean_error_rate > sar.mean_error_rate
+        assert rll.mean_error_rate > anti.mean_error_rate
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        lc = random_lock(c17(), 3, rng)
+        with pytest.raises(ValueError):
+            corruption_report(lc, keys_sampled=0)
+
+
+class TestPUFSerialisation:
+    def test_arbiter_roundtrip(self, tmp_path):
+        puf = ArbiterPUF(24, np.random.default_rng(5), noise_sigma=0.3)
+        path = tmp_path / "arbiter.npz"
+        save_puf(puf, path)
+        loaded = load_puf(path)
+        c = random_pm1(24, 500, np.random.default_rng(6))
+        assert np.array_equal(puf.eval(c), loaded.eval(c))
+        assert loaded.noise_sigma == 0.3
+
+    def test_xor_arbiter_roundtrip(self, tmp_path):
+        puf = XORArbiterPUF(16, 4, np.random.default_rng(7), correlation=0.5)
+        path = tmp_path / "xor.npz"
+        save_puf(puf, path)
+        loaded = load_puf(path)
+        c = random_pm1(16, 500, np.random.default_rng(8))
+        assert np.array_equal(puf.eval(c), loaded.eval(c))
+        assert loaded.k == 4
+
+    def test_bistable_ring_roundtrip(self, tmp_path):
+        puf = BistableRingPUF(20, np.random.default_rng(9))
+        path = tmp_path / "br.npz"
+        save_puf(puf, path)
+        loaded = load_puf(path)
+        c = random_pm1(20, 500, np.random.default_rng(10))
+        assert np.array_equal(puf.eval(c), loaded.eval(c))
+
+    def test_unknown_type_rejected(self, tmp_path):
+        from repro.pufs.feed_forward import FeedForwardArbiterPUF
+
+        puf = FeedForwardArbiterPUF(8, rng=np.random.default_rng(11))
+        with pytest.raises(TypeError):
+            save_puf(puf, tmp_path / "ff.npz")

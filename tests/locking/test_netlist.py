@@ -1,0 +1,211 @@
+"""Unit tests for the netlist IR and .bench format."""
+
+import numpy as np
+import pytest
+
+from repro.locking.bench_format import load_bench, parse_bench, save_bench, write_bench
+from repro.locking.circuits import c17, comparator, random_circuit, ripple_carry_adder
+from repro.locking.netlist import Gate, GateType, Netlist
+
+
+class TestGate:
+    def test_unary_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate("o", GateType.NOT, ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate("o", GateType.AND, ("a",))
+
+    def test_valid(self):
+        g = Gate("o", GateType.XOR, ("a", "b"))
+        assert g.output == "o"
+
+
+class TestNetlistValidation:
+    def test_duplicate_driver_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(
+                ("a", "b"),
+                ("x",),
+                [Gate("x", GateType.AND, ("a", "b")), Gate("x", GateType.OR, ("a", "b"))],
+            )
+
+    def test_driving_an_input_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(("a", "b"), ("a",), [Gate("a", GateType.AND, ("a", "b"))])
+
+    def test_undefined_signal_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(("a",), ("x",), [Gate("x", GateType.NOT, ("ghost",))])
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(("a", "b"), ("nowhere",), [Gate("x", GateType.AND, ("a", "b"))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            Netlist(
+                ("a",),
+                ("x",),
+                [
+                    Gate("x", GateType.AND, ("a", "y")),
+                    Gate("y", GateType.NOT, ("x",)),
+                ],
+            )
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(("a", "a"), ("x",), [Gate("x", GateType.NOT, ("a",))])
+
+
+class TestEvaluation:
+    def test_every_gate_type(self):
+        gates = [
+            Gate("and_", GateType.AND, ("a", "b")),
+            Gate("or_", GateType.OR, ("a", "b")),
+            Gate("nand_", GateType.NAND, ("a", "b")),
+            Gate("nor_", GateType.NOR, ("a", "b")),
+            Gate("xor_", GateType.XOR, ("a", "b")),
+            Gate("xnor_", GateType.XNOR, ("a", "b")),
+            Gate("not_", GateType.NOT, ("a",)),
+            Gate("buf_", GateType.BUF, ("a",)),
+        ]
+        net = Netlist(
+            ("a", "b"),
+            tuple(g.output for g in gates),
+            gates,
+        )
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.int8)
+        out = net.evaluate(x)
+        a, b = x[:, 0].astype(bool), x[:, 1].astype(bool)
+        expected = np.stack(
+            [a & b, a | b, ~(a & b), ~(a | b), a ^ b, ~(a ^ b), ~a, a], axis=1
+        ).astype(np.int8)
+        assert np.array_equal(out, expected)
+
+    def test_c17_known_vector(self):
+        net = c17()
+        # All-zero input: G10=NAND(0,0)=1, G11=1, G16=NAND(0,1)=1,
+        # G19=NAND(1,0)=1, G22=NAND(1,1)=0, G23=NAND(1,1)=0.
+        assert net.evaluate(np.zeros(5, dtype=np.int8)).tolist() == [0, 0]
+
+    def test_single_vector_shape(self):
+        net = c17()
+        out = net.evaluate(np.ones(5, dtype=np.int8))
+        assert out.shape == (2,)
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            c17().evaluate(np.zeros((3, 4), dtype=np.int8))
+
+    def test_evaluate_all_signals(self):
+        net = c17()
+        vals = net.evaluate_all_signals(np.zeros((1, 5), dtype=np.int8))
+        assert vals["G10"][0] == 1
+
+    def test_adder_adds(self):
+        net = ripple_carry_adder(4)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a, b = int(rng.integers(0, 16)), int(rng.integers(0, 16))
+            cin = int(rng.integers(0, 2))
+            bits = [((a >> i) & 1) for i in range(4)] + [
+                ((b >> i) & 1) for i in range(4)
+            ] + [cin]
+            out = net.evaluate(np.array(bits, dtype=np.int8))
+            total = sum(int(out[i]) << i for i in range(5))
+            assert total == a + b + cin
+
+    def test_comparator(self):
+        net = comparator(3)
+        assert net.evaluate(np.array([1, 0, 1, 1, 0, 1], dtype=np.int8)).tolist() == [1]
+        assert net.evaluate(np.array([1, 0, 1, 1, 1, 1], dtype=np.int8)).tolist() == [0]
+
+    def test_comparator_width_one(self):
+        net = comparator(1)
+        assert net.evaluate(np.array([1, 1], dtype=np.int8)).tolist() == [1]
+
+
+class TestTransforms:
+    def test_renamed_preserves_function(self):
+        net = c17()
+        renamed = net.renamed("p_")
+        x = np.random.default_rng(1).integers(0, 2, size=(20, 5)).astype(np.int8)
+        assert np.array_equal(net.evaluate(x), renamed.evaluate(x))
+
+    def test_renamed_keep(self):
+        net = c17()
+        renamed = net.renamed("p_", keep=("G1",))
+        assert "G1" in renamed.inputs
+        assert "p_G2" in renamed.inputs
+
+    def test_with_inputs_fixed(self):
+        net = c17()
+        fixed = net.with_inputs_fixed({"G1": 1, "G2": 0})
+        assert fixed.num_inputs == 3
+        rng = np.random.default_rng(2)
+        rest = rng.integers(0, 2, size=(16, 3)).astype(np.int8)
+        full = np.concatenate(
+            [np.ones((16, 1), np.int8), np.zeros((16, 1), np.int8), rest], axis=1
+        )
+        assert np.array_equal(fixed.evaluate(rest), net.evaluate(full))
+
+    def test_with_inputs_fixed_validates(self):
+        net = c17()
+        with pytest.raises(ValueError):
+            net.with_inputs_fixed({"nope": 1})
+        with pytest.raises(ValueError):
+            net.with_inputs_fixed({i: 0 for i in net.inputs})
+
+
+class TestBenchFormat:
+    def test_roundtrip(self):
+        net = c17()
+        text = write_bench(net)
+        parsed = parse_bench(text, name="c17")
+        x = np.random.default_rng(3).integers(0, 2, size=(32, 5)).astype(np.int8)
+        assert np.array_equal(net.evaluate(x), parsed.evaluate(x))
+        assert parsed.inputs == net.inputs
+        assert parsed.outputs == net.outputs
+
+    def test_parse_with_comments_and_blanks(self):
+        text = """
+        # a comment
+        INPUT(a)
+        INPUT(b)
+
+        OUTPUT(y)
+        y = AND(a, b)  # trailing comment
+        """
+        net = parse_bench(text)
+        assert net.evaluate(np.array([1, 1], dtype=np.int8)).tolist() == [1]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny <- AND(a, a)")
+
+    def test_parse_rejects_unknown_gate(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(a, b)")
+
+    def test_file_roundtrip(self, tmp_path):
+        net = ripple_carry_adder(2)
+        path = tmp_path / "rca2.bench"
+        save_bench(net, path)
+        loaded = load_bench(path)
+        x = np.random.default_rng(4).integers(0, 2, size=(10, 5)).astype(np.int8)
+        assert np.array_equal(net.evaluate(x), loaded.evaluate(x))
+
+
+class TestRandomCircuit:
+    def test_valid_and_deterministic(self):
+        a = random_circuit(6, 20, 2, np.random.default_rng(5))
+        b = random_circuit(6, 20, 2, np.random.default_rng(5))
+        x = np.random.default_rng(6).integers(0, 2, size=(40, 6)).astype(np.int8)
+        assert np.array_equal(a.evaluate(x), b.evaluate(x))
+
+    def test_validates(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            random_circuit(1, 5, 1, rng)
+        with pytest.raises(ValueError):
+            random_circuit(4, 2, 3, rng)

@@ -1,0 +1,81 @@
+"""Unit tests for SARLock point-function locking."""
+
+import numpy as np
+import pytest
+
+from repro.locking.appsat import AppSAT
+from repro.locking.circuits import c17, random_circuit
+from repro.locking.sarlock import sarlock
+from repro.locking.sat_attack import SATAttack
+
+
+class TestSARLockConstruction:
+    def test_correct_key_restores_function(self):
+        lc = sarlock(c17(), 4, np.random.default_rng(0))
+        assert lc.key_is_functionally_correct(lc.correct_key)
+
+    def test_wrong_key_errs_on_exactly_one_input(self):
+        """The defining SARLock property."""
+        rng = np.random.default_rng(1)
+        lc = sarlock(c17(), 5, rng)
+        # Enumerate all 2^5 inputs for a handful of wrong keys.
+        idx = np.arange(32, dtype=np.uint32)
+        shifts = np.arange(4, -1, -1, dtype=np.uint32)
+        all_inputs = ((idx[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+        for _ in range(5):
+            key = rng.integers(0, 2, size=5).astype(np.int8)
+            if np.array_equal(key, lc.correct_key):
+                continue
+            got = lc.evaluate_locked(all_inputs, key)
+            want = lc.oracle(all_inputs)
+            wrong_rows = np.nonzero(np.any(got != want, axis=1))[0]
+            assert len(wrong_rows) == 1
+            # The erring input is the one whose watched bits equal the key.
+            assert np.array_equal(all_inputs[wrong_rows[0]][:5], key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sarlock(c17(), 0)
+        with pytest.raises(ValueError):
+            sarlock(c17(), 6)  # c17 has 5 inputs
+
+    def test_key_length_one(self):
+        lc = sarlock(c17(), 1, np.random.default_rng(2))
+        assert lc.key_is_functionally_correct(lc.correct_key)
+
+
+class TestSARLockVsAttacks:
+    def test_sat_attack_needs_exponential_dips(self):
+        """Exact attack cost ~ 2^|key| - 1 DIPs (each kills one wrong key)."""
+        rng = np.random.default_rng(3)
+        lc = sarlock(c17(), 4, rng)
+        result = SATAttack().run(lc)
+        assert result.success
+        assert lc.key_is_functionally_correct(result.key)
+        # 2^4 - 1 = 15 wrong keys; allow slack for lucky eliminations.
+        assert result.iterations >= 10
+
+    def test_appsat_settles_early_with_tiny_error(self):
+        """The approximate adversary wins cheaply where exact is expensive."""
+        rng = np.random.default_rng(4)
+        net = random_circuit(10, 30, 3, rng)
+        lc = sarlock(net, 8, rng)
+        result = AppSAT(
+            error_threshold=0.02, queries_per_round=128, settlement_rounds=2
+        ).run(lc, rng)
+        assert result.key is not None
+        err = lc.wrong_key_error_rate(result.key, rng, m=8192)
+        # Any SARLock key errs on ~2^-8 of inputs; AppSAT's key must be in
+        # that regime, far below the threshold.
+        assert err <= 0.02
+        exact = SATAttack().run(lc)
+        assert result.iterations < exact.iterations
+
+    def test_sat_attack_scaling_with_key_length(self):
+        rng = np.random.default_rng(5)
+        dips = []
+        for klen in (3, 5):
+            lc = sarlock(c17(), klen, rng)
+            dips.append(SATAttack().run(lc).iterations)
+        # Roughly doubling per extra bit: 2^5 vs 2^3 regime.
+        assert dips[1] > 2 * dips[0]

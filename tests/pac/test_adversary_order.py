@@ -1,0 +1,111 @@
+"""Unit tests for the adversary-model dominance order and noise helpers."""
+
+import numpy as np
+import pytest
+
+from repro.pac.adversary import (
+    AdversaryModel,
+    GENERAL_UNIFORM_ADVERSARY,
+    LEARNPOLY_ADVERSARY,
+    LMN_ADVERSARY,
+    PERCEPTRON_ADVERSARY,
+    comparable,
+    dominates,
+)
+from repro.pac.framework import AccessType, Distribution, HypothesisClass
+from repro.pufs.metrics import xor_reliability_prediction
+from repro.pufs.xor_arbiter import XORArbiterPUF
+from repro.pufs.crp import uniform_challenges
+
+
+class TestDominance:
+    def test_reflexive(self):
+        for model in (PERCEPTRON_ADVERSARY, LMN_ADVERSARY, LEARNPOLY_ADVERSARY):
+            assert dominates(model, model)
+
+    def test_learnpoly_dominates_lmn(self):
+        """More access (MQ) and same distribution/hypothesis freedom."""
+        assert dominates(LEARNPOLY_ADVERSARY, LMN_ADVERSARY)
+        assert not dominates(LMN_ADVERSARY, LEARNPOLY_ADVERSARY)
+
+    def test_lmn_dominates_general_uniform(self):
+        """Improper hypothesis freedom on top of the same access."""
+        assert dominates(LMN_ADVERSARY, GENERAL_UNIFORM_ADVERSARY)
+
+    def test_lmn_model_dominates_perceptron_model(self):
+        """Uniform + improper is a more permissive attacker model than
+        arbitrary-distribution + proper: easier to instantiate on every
+        axis.  (The paper's 'not comparable' verdict for [9] vs [17] is
+        about the *results* — an algorithm-specific mistake bound vs an
+        empirical run with correlated chains — not about this freedom
+        order.)"""
+        assert dominates(LMN_ADVERSARY, PERCEPTRON_ADVERSARY)
+
+    def test_axis_tradeoff_is_incomparable(self):
+        """A model trading access for distribution freedom is incomparable."""
+        arbitrary_mq = AdversaryModel(
+            name="arbitrary+MQ",
+            distribution=Distribution.ARBITRARY,
+            access=AccessType.MEMBERSHIP_QUERIES,
+            hypothesis_class=HypothesisClass.PROPER_LTF,
+        )
+        uniform_passive = AdversaryModel(
+            name="uniform+passive",
+            distribution=Distribution.UNIFORM,
+            access=AccessType.UNIFORM_EXAMPLES,
+            hypothesis_class=HypothesisClass.PROPER_LTF,
+        )
+        assert not comparable(arbitrary_mq, uniform_passive)
+
+    def test_full_freedom_dominates_everything(self):
+        top = AdversaryModel(
+            name="top",
+            distribution=Distribution.UNIFORM,
+            access=AccessType.MEMBERSHIP_AND_EQUIVALENCE,
+            hypothesis_class=HypothesisClass.IMPROPER,
+        )
+        for model in (
+            PERCEPTRON_ADVERSARY,
+            GENERAL_UNIFORM_ADVERSARY,
+            LMN_ADVERSARY,
+            LEARNPOLY_ADVERSARY,
+        ):
+            assert dominates(top, model)
+
+
+class TestXorReliabilityFormula:
+    def test_k1_identity(self):
+        assert xor_reliability_prediction(0.05, 1) == pytest.approx(0.95)
+
+    def test_decreases_with_k(self):
+        values = [xor_reliability_prediction(0.05, k) for k in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_simulation(self):
+        """Analytic (1+(1-2p)^k)/2 vs a simulated XOR PUF."""
+        rng = np.random.default_rng(0)
+        n, k, sigma = 64, 4, 0.4
+        puf = XORArbiterPUF(n, k, rng, noise_sigma=sigma)
+        challenges = uniform_challenges(4000, n, rng)
+        # Per-chain flip rate, measured.
+        chain = puf.chains[0]
+        ideal = chain.eval(challenges)
+        flips = []
+        for _ in range(5):
+            noisy = chain.eval_noisy(challenges, rng)
+            flips.append(np.mean(noisy != ideal))
+        p = float(np.mean(flips))
+        predicted = xor_reliability_prediction(p, k)
+        # Measured XOR stability.
+        xor_ideal = puf.eval(challenges)
+        stable = []
+        for _ in range(5):
+            stable.append(np.mean(puf.eval_noisy(challenges, rng) == xor_ideal))
+        measured = float(np.mean(stable))
+        assert measured == pytest.approx(predicted, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            xor_reliability_prediction(0.6, 2)
+        with pytest.raises(ValueError):
+            xor_reliability_prediction(0.1, 0)

@@ -1,0 +1,146 @@
+"""Unit tests for repro.pac.adversary and assessment."""
+
+import math
+
+import pytest
+
+from repro.pac.adversary import (
+    TABLE1_ADVERSARIES,
+    AdversaryModel,
+    GENERAL_UNIFORM_ADVERSARY,
+    LEARNPOLY_ADVERSARY,
+    LMN_ADVERSARY,
+    PERCEPTRON_ADVERSARY,
+)
+from repro.pac.assessment import (
+    Assessment,
+    Verdict,
+    XorArbiterSpec,
+    assess_xor_arbiter,
+    table1_rows,
+    verdicts_disagree,
+)
+from repro.pac.framework import AccessType, Distribution, HypothesisClass, PACParameters
+
+PARAMS = PACParameters(eps=0.05, delta=0.05)
+
+
+class TestAdversaryModels:
+    def test_table1_has_four_rows(self):
+        assert len(TABLE1_ADVERSARIES) == 4
+        names = [a.name for a in TABLE1_ADVERSARIES]
+        assert len(set(names)) == 4
+
+    def test_describe_mentions_all_axes(self):
+        desc = LMN_ADVERSARY.describe()
+        assert "uniform" in desc
+        assert "LMN" in desc
+        assert "improper" in desc
+
+    def test_perceptron_is_arbitrary_distribution(self):
+        assert PERCEPTRON_ADVERSARY.distribution is Distribution.ARBITRARY
+
+    def test_learnpoly_uses_membership_queries(self):
+        assert LEARNPOLY_ADVERSARY.access is AccessType.MEMBERSHIP_QUERIES
+
+    def test_improper_rows(self):
+        assert LMN_ADVERSARY.hypothesis_class is HypothesisClass.IMPROPER
+        assert LEARNPOLY_ADVERSARY.hypothesis_class is HypothesisClass.IMPROPER
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PERCEPTRON_ADVERSARY.name = "x"
+
+
+class TestTable1SettingsRegistry:
+    def test_registry_matches_adversary_constants(self):
+        """The human-readable registry and the AdversaryModel objects must
+        describe the same four settings (they feed docs and code
+        respectively)."""
+        from repro.pac.bounds import TABLE1_SETTINGS
+
+        by_name = {a.name: a for a in TABLE1_ADVERSARIES}
+        assert set(TABLE1_SETTINGS) == set(by_name)
+        for name, setting in TABLE1_SETTINGS.items():
+            model = by_name[name]
+            assert setting["distribution"] == model.distribution.value
+            assert setting["access"] == model.access.value
+            expected_algo = model.algorithm or "independent"
+            assert setting["algorithm"] == expected_algo
+
+
+class TestSpec:
+    def test_valid(self):
+        spec = XorArbiterSpec(64, 4)
+        assert spec.n == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            XorArbiterSpec(0, 4)
+        with pytest.raises(ValueError):
+            XorArbiterSpec(64, 0)
+
+
+class TestAssessment:
+    def test_all_rows_produce_assessments(self):
+        rows = table1_rows(XorArbiterSpec(64, 4), PARAMS, junta_size=4)
+        assert len(rows) == 4
+        for row in rows:
+            assert isinstance(row, Assessment)
+            assert math.isfinite(row.crp_bound_log10)
+            assert row.verdict in Verdict
+
+    def test_small_puf_feasible_everywhere(self):
+        # The LMN exponent 2.32 k^2/eps^2 is large even for k=1 unless the
+        # accuracy demand is loose — hence eps close to 1/2 here.
+        params = PACParameters(0.49, 0.1)
+        rows = table1_rows(XorArbiterSpec(16, 1), params, junta_size=2)
+        assert all(r.verdict is Verdict.FEASIBLE for r in rows)
+
+    def test_large_k_splits_verdicts(self):
+        """The paper's pitfall: verdicts depend on the adversary model."""
+        rows = table1_rows(XorArbiterSpec(64, 9), PARAMS, junta_size=3)
+        by_name = {r.adversary.name: r for r in rows}
+        # Perceptron route: (65)^9 / eps^3 ~ 10^20 -> infeasible.
+        assert by_name["[9] (Perceptron)"].verdict is Verdict.INFEASIBLE
+        # VC route: polynomial -> feasible.
+        assert by_name["General (VC)"].verdict is Verdict.FEASIBLE
+        # LMN: k >> sqrt(ln 64) -> infeasible.
+        assert by_name["Corollary 1 (LMN)"].verdict is Verdict.INFEASIBLE
+        assert verdicts_disagree(rows)
+
+    def test_membership_queries_break_log_n_xor(self):
+        """Corollary 2's consequence in executable form."""
+        n = 256
+        k = 8  # = log2(n)
+        params = PACParameters(0.25, 0.05)
+        lmn = assess_xor_arbiter(XorArbiterSpec(n, k), LMN_ADVERSARY, params)
+        mq = assess_xor_arbiter(
+            XorArbiterSpec(n, k), LEARNPOLY_ADVERSARY, params, junta_size=3
+        )
+        assert lmn.verdict is Verdict.INFEASIBLE
+        assert mq.verdict is Verdict.FEASIBLE
+
+    def test_unknown_adversary_rejected(self):
+        other = AdversaryModel(
+            name="mystery",
+            distribution=Distribution.UNIFORM,
+            access=AccessType.RANDOM_EXAMPLES,
+            hypothesis_class=HypothesisClass.IMPROPER,
+        )
+        with pytest.raises(ValueError):
+            assess_xor_arbiter(XorArbiterSpec(64, 4), other, PARAMS)
+
+    def test_summary_readable(self):
+        row = assess_xor_arbiter(XorArbiterSpec(64, 2), GENERAL_UNIFORM_ADVERSARY, PARAMS)
+        text = row.summary()
+        assert "General (VC)" in text
+        assert "feasible" in text
+
+    def test_rationales_mention_regime(self):
+        lmn_small = assess_xor_arbiter(XorArbiterSpec(64, 1), LMN_ADVERSARY, PACParameters(0.3, 0.1))
+        lmn_large = assess_xor_arbiter(XorArbiterSpec(64, 10), LMN_ADVERSARY, PARAMS)
+        assert "stays polynomial" in lmn_small.rationale
+        assert "super-polynomial" in lmn_large.rationale

@@ -1,0 +1,90 @@
+"""Unit tests for the claim-transfer auditor."""
+
+import pytest
+
+from repro.pac.adversary import (
+    GENERAL_UNIFORM_ADVERSARY,
+    LEARNPOLY_ADVERSARY,
+    LMN_ADVERSARY,
+    PERCEPTRON_ADVERSARY,
+)
+from repro.pac.assessment import XorArbiterSpec, table1_rows
+from repro.pac.audit import (
+    ClaimKind,
+    TransferVerdict,
+    audit_assessments,
+    audit_transfer,
+)
+from repro.pac.framework import PACParameters
+
+
+class TestAuditTransfer:
+    def test_same_model_always_sound(self):
+        for kind in ClaimKind:
+            audit = audit_transfer(kind, LMN_ADVERSARY, LMN_ADVERSARY)
+            assert audit.verdict is TransferVerdict.SOUND
+
+    def test_attack_transfers_upward(self):
+        """An attack under the VC model also works for the freer LMN model."""
+        audit = audit_transfer(
+            ClaimKind.ATTACK, GENERAL_UNIFORM_ADVERSARY, LMN_ADVERSARY
+        )
+        assert audit.verdict is TransferVerdict.SOUND
+
+    def test_attack_does_not_transfer_downward(self):
+        """An MQ-based attack says nothing about a passive attacker."""
+        audit = audit_transfer(
+            ClaimKind.ATTACK, LEARNPOLY_ADVERSARY, GENERAL_UNIFORM_ADVERSARY
+        )
+        assert audit.verdict is TransferVerdict.UNSOUND
+
+    def test_resistance_transfers_downward(self):
+        """Resisting the MQ adversary implies resisting the passive one."""
+        audit = audit_transfer(
+            ClaimKind.RESISTANCE, LEARNPOLY_ADVERSARY, LMN_ADVERSARY
+        )
+        assert audit.verdict is TransferVerdict.SOUND
+
+    def test_the_papers_headline_pitfall(self):
+        """Quoting [9]'s resistance (Perceptron model) against an improper
+        uniform attacker is unsound — Section V-B in one predicate."""
+        audit = audit_transfer(
+            ClaimKind.RESISTANCE, PERCEPTRON_ADVERSARY, LMN_ADVERSARY
+        )
+        assert audit.verdict is TransferVerdict.UNSOUND
+        assert "pitfall" in audit.reason
+
+    def test_summary_readable(self):
+        audit = audit_transfer(
+            ClaimKind.RESISTANCE, PERCEPTRON_ADVERSARY, LEARNPOLY_ADVERSARY
+        )
+        text = audit.summary()
+        assert "resistance" in text
+        assert "unsound" in text
+
+
+class TestAuditAssessments:
+    def test_table1_batch_contains_unsound_quotations(self):
+        params = PACParameters(0.05, 0.05)
+        rows = table1_rows(XorArbiterSpec(64, 9), params, junta_size=3)
+        unsound = audit_assessments(rows)
+        # At (64, 9): Perceptron & LMN say infeasible, VC & LearnPoly say
+        # feasible — several cross-quotations must be flagged.
+        assert len(unsound) >= 2
+        # The flagship: quoting the LMN resistance against the MQ model.
+        assert any(
+            a.kind is ClaimKind.RESISTANCE
+            and a.proved_in.name == LMN_ADVERSARY.name
+            and a.quoted_in.name == LEARNPOLY_ADVERSARY.name
+            for a in unsound
+        )
+
+    def test_borderline_rows_skipped(self):
+        import dataclasses
+
+        params = PACParameters(0.05, 0.05)
+        rows = table1_rows(XorArbiterSpec(64, 2), params, junta_size=3)
+        from repro.pac.assessment import Verdict
+
+        rows = [dataclasses.replace(r, verdict=Verdict.BORDERLINE) for r in rows]
+        assert audit_assessments(rows) == []

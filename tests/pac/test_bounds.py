@@ -1,0 +1,204 @@
+"""Unit tests for repro.pac.bounds and framework."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pac.bounds import (
+    bourgain_junta_size,
+    general_vc_bound,
+    general_vc_bound_log10,
+    learnpoly_bound,
+    learnpoly_bound_log10,
+    learnpoly_sparsity,
+    lmn_bound,
+    lmn_bound_log10,
+    lmn_degree,
+    lmn_feasible,
+    perceptron_bound,
+    perceptron_bound_log10,
+    vc_dim_xor_arbiter,
+)
+from repro.pac.framework import (
+    Distribution,
+    PACParameters,
+    blumer_sample_bound,
+)
+
+PARAMS = PACParameters(eps=0.05, delta=0.05)
+
+
+class TestPACParameters:
+    def test_valid(self):
+        p = PACParameters(0.1, 0.01)
+        assert p.eps == 0.1
+
+    @pytest.mark.parametrize("eps,delta", [(0.0, 0.1), (1.0, 0.1), (0.1, 0.0), (0.1, 1.0)])
+    def test_invalid(self, eps, delta):
+        with pytest.raises(ValueError):
+            PACParameters(eps, delta)
+
+    def test_frozen(self):
+        p = PACParameters(0.1, 0.1)
+        with pytest.raises(dataclasses_frozen_error()):
+            p.eps = 0.2
+
+
+def dataclasses_frozen_error():
+    import dataclasses
+
+    return dataclasses.FrozenInstanceError
+
+
+class TestBlumerBound:
+    def test_monotone_in_vc(self):
+        assert blumer_sample_bound(10, PARAMS) < blumer_sample_bound(100, PARAMS)
+
+    def test_monotone_in_eps(self):
+        loose = PACParameters(0.2, 0.05)
+        tight = PACParameters(0.01, 0.05)
+        assert blumer_sample_bound(10, tight) > blumer_sample_bound(10, loose)
+
+    def test_rejects_bad_vc(self):
+        with pytest.raises(ValueError):
+            blumer_sample_bound(0, PARAMS)
+
+
+class TestPerceptronBound:
+    def test_formula(self):
+        n, k = 16, 2
+        expected = (n + 1) ** k / PARAMS.eps**3 + math.log(1 / PARAMS.delta) / PARAMS.eps
+        assert perceptron_bound(n, k, PARAMS) == pytest.approx(expected)
+
+    def test_exponential_in_k(self):
+        b4 = perceptron_bound(64, 4, PARAMS)
+        b5 = perceptron_bound(64, 5, PARAMS)
+        assert b5 / b4 == pytest.approx(65, rel=0.01)
+
+    def test_log10_matches_direct(self):
+        n, k = 32, 3
+        assert perceptron_bound_log10(n, k, PARAMS) == pytest.approx(
+            math.log10(perceptron_bound(n, k, PARAMS)), abs=1e-9
+        )
+
+    def test_log10_survives_huge_k(self):
+        val = perceptron_bound_log10(128, 200, PARAMS)
+        assert math.isfinite(val)
+        assert val > 300
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            perceptron_bound(0, 2, PARAMS)
+        with pytest.raises(ValueError):
+            perceptron_bound(16, 0, PARAMS)
+
+
+class TestGeneralVCBound:
+    def test_vc_dim_formula(self):
+        n, k = 16, 3
+        assert vc_dim_xor_arbiter(n, k) == pytest.approx(
+            k * (n + 1) * (1 + math.log(k * n + k))
+        )
+
+    def test_polynomial_in_k(self):
+        # Doubling k should roughly double (not square) the bound.
+        b2 = general_vc_bound(64, 2, PARAMS)
+        b4 = general_vc_bound(64, 4, PARAMS)
+        assert b4 / b2 < 3.0
+
+    def test_log10_consistent(self):
+        assert general_vc_bound_log10(32, 4, PARAMS) == pytest.approx(
+            math.log10(general_vc_bound(32, 4, PARAMS))
+        )
+
+
+class TestLMNBound:
+    def test_degree_formula(self):
+        assert lmn_degree(3, 0.1) == pytest.approx(2.32 * 9 / 0.01)
+
+    def test_small_k_finite(self):
+        params = PACParameters(0.49, 0.05)
+        assert math.isfinite(lmn_bound(64, 1, params))
+
+    def test_large_k_overflows_to_inf(self):
+        assert lmn_bound(64, 10, PARAMS) == math.inf
+        assert math.isfinite(lmn_bound_log10(64, 10, PARAMS))
+
+    def test_feasibility_frontier(self):
+        # k=1 on a large n is feasible; k=10 is not.
+        assert lmn_feasible(10**9, 4)  # ln(1e9) ~ 20.7 >= 16
+        assert not lmn_feasible(64, 10)
+        assert lmn_feasible(64, 2)
+
+    def test_infeasible_regime_matches_paper(self):
+        """k >> sqrt(ln n) -> infeasible (Section III-A discussion)."""
+        n = 128
+        threshold = math.sqrt(math.log(n))
+        assert lmn_feasible(n, max(1, int(threshold)))
+        assert not lmn_feasible(n, int(4 * threshold) + 2)
+
+
+class TestLearnPolyBound:
+    def test_bourgain_junta(self):
+        assert bourgain_junta_size(0.25) == math.ceil(0.25**-1.5)
+        with pytest.raises(ValueError):
+            bourgain_junta_size(0.0)
+        with pytest.raises(ValueError):
+            bourgain_junta_size(0.1, constant=0)
+
+    def test_sparsity(self):
+        assert learnpoly_sparsity(3, 4) == 48
+        with pytest.raises(ValueError):
+            learnpoly_sparsity(0, 2)
+
+    def test_polynomial_in_n_for_log_k(self):
+        """Corollary 2: k = log n with MQ stays polynomial in n."""
+        params = PACParameters(0.25, 0.05)
+        bounds = []
+        for n in (64, 256, 1024):
+            k = int(math.log2(n))
+            bounds.append(learnpoly_bound(n, k, params, junta_size=4))
+        # Polynomial growth: quadrupling n raises the bound by a constant
+        # power, not an exponential jump.
+        assert bounds[2] / bounds[0] < (1024 / 64) ** 4
+
+    def test_log10_consistent(self):
+        assert learnpoly_bound_log10(64, 3, PARAMS, junta_size=3) == pytest.approx(
+            math.log10(learnpoly_bound(64, 3, PARAMS, junta_size=3))
+        )
+
+    def test_junta_override(self):
+        small = learnpoly_bound(64, 3, PARAMS, junta_size=2)
+        large = learnpoly_bound(64, 3, PARAMS, junta_size=8)
+        assert small < large
+
+
+class TestCrossBoundComparisons:
+    """The shape claims of Table I as assertions."""
+
+    def test_general_beats_perceptron_for_moderate_k(self):
+        # For k >= 3 the VC route is dramatically cheaper than (n+1)^k.
+        for k in (3, 5, 8):
+            assert general_vc_bound(64, k, PARAMS) < perceptron_bound(64, k, PARAMS)
+
+    def test_lmn_worst_for_large_k(self):
+        k = 8
+        assert lmn_bound_log10(64, k, PARAMS) > perceptron_bound_log10(64, k, PARAMS)
+
+    def test_learnpoly_cheapest_at_log_k_regime(self):
+        params = PACParameters(0.25, 0.05)
+        n = 256
+        k = 8  # log2(256)
+        lp = learnpoly_bound_log10(n, k, params, junta_size=3)
+        assert lp < perceptron_bound_log10(n, k, params)
+        assert lp < lmn_bound_log10(n, k, params)
+
+    @given(st.integers(2, 128), st.integers(1, 12))
+    @settings(max_examples=50)
+    def test_all_log10_forms_finite(self, n, k):
+        assert math.isfinite(perceptron_bound_log10(n, k, PARAMS))
+        assert math.isfinite(general_vc_bound_log10(n, k, PARAMS))
+        assert math.isfinite(lmn_bound_log10(n, k, PARAMS))
+        assert math.isfinite(learnpoly_bound_log10(n, k, PARAMS, junta_size=4))

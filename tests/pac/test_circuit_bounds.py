@@ -1,0 +1,96 @@
+"""Unit tests for the AC^0 learnability bounds (Section III's LL thread)."""
+
+import math
+
+import pytest
+
+from repro.locking.circuits import c17, present_sbox, ripple_carry_adder
+from repro.pac.circuit_bounds import (
+    ac0_distribution_free_time_log10,
+    ac0_uniform_lmn_sample_log10,
+    assess_circuit_learnability,
+    assess_netlist_learnability,
+)
+from repro.pac.framework import PACParameters
+
+PARAMS = PACParameters(0.05, 0.05)
+
+
+class TestDistributionFreeBound:
+    def test_grows_with_n(self):
+        values = [ac0_distribution_free_time_log10(n, 3) for n in (64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_deeper_circuits_harder_to_beat(self):
+        # Larger d pushes n^{1/d} down, so the 2^{n - n^{1/d}} bound grows.
+        shallow = ac0_distribution_free_time_log10(256, 2)
+        deep = ac0_distribution_free_time_log10(256, 6)
+        assert deep > shallow
+
+    def test_depth_one_degenerates(self):
+        # d=1: exponent n - n = 0 -> trivial bound.
+        assert ac0_distribution_free_time_log10(64, 1) == pytest.approx(0.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ac0_distribution_free_time_log10(0, 2)
+        with pytest.raises(ValueError):
+            ac0_distribution_free_time_log10(8, 0)
+        with pytest.raises(ValueError):
+            ac0_distribution_free_time_log10(8, 2, hidden_constant=0)
+
+
+class TestUniformLMNBound:
+    def test_quasipolynomial_in_n(self):
+        """log of the bound is polylog(n)-ish: doubling n adds little."""
+        a = ac0_uniform_lmn_sample_log10(256, 2, 100, PARAMS)
+        b = ac0_uniform_lmn_sample_log10(512, 2, 100, PARAMS)
+        assert b - a < 0.35 * a
+
+    def test_depth_in_the_exponent(self):
+        shallow = ac0_uniform_lmn_sample_log10(64, 2, 100, PARAMS)
+        deep = ac0_uniform_lmn_sample_log10(64, 4, 100, PARAMS)
+        assert deep > 10 * shallow
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ac0_uniform_lmn_sample_log10(1, 2, 10, PARAMS)
+        with pytest.raises(ValueError):
+            ac0_uniform_lmn_sample_log10(8, 0, 10, PARAMS)
+
+
+class TestAssessment:
+    def test_the_sections_iii_gap(self):
+        """Asymptotically the distribution-free cost is exponential in n
+        while uniform-PAC is quasi-polynomial; for large n at small depth
+        the gap is overwhelming — the paper's LL pitfall.  (The crossover
+        sits at large n because the quasi-poly exponent log^d(size/eps) is
+        a big constant; below it the *lower* bound is smaller, which is
+        exactly why small-instance intuition misleads.)"""
+        assessment = assess_circuit_learnability(n=100_000, depth=2, size=5000)
+        assert assessment.uniform_is_cheaper
+        assert (
+            assessment.distribution_free_log10
+            > 3 * assessment.uniform_lmn_log10
+        )
+        # Below the crossover the ordering flips — quote bounds with care.
+        small = assess_circuit_learnability(n=1024, depth=3, size=5000)
+        assert not small.uniform_is_cheaper
+
+    def test_netlist_depth_and_size_feed_the_assessment(self):
+        net = c17()
+        assessment = assess_netlist_learnability(net, PARAMS)
+        assert assessment.n == 5
+        assert assessment.size == 6
+        assert assessment.depth == net.depth() == 3
+
+    def test_netlist_depth_values(self):
+        assert c17().depth() == 3
+        assert present_sbox().depth() >= 2
+        # A w-bit ripple adder has depth ~2 per stage.
+        assert ripple_carry_adder(4).depth() >= 6
+
+    def test_summary_text(self):
+        text = assess_circuit_learnability(64, 2, 30).summary()
+        assert "distribution-free" in text
+        assert "uniform" in text

@@ -1,0 +1,74 @@
+"""Unit tests for empirical distance-to-halfspace estimators."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF
+from repro.property_testing.distance import (
+    best_ltf_agreement,
+    empirical_min_distance,
+    exact_min_distance_small_n,
+)
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.crp import generate_crps
+
+
+class TestBestLTFAgreement:
+    def test_near_perfect_on_actual_ltf(self):
+        rng = np.random.default_rng(0)
+        target = LTF.random(12, rng)
+        from repro.booleanfuncs.encoding import random_pm1
+        from repro.pufs.crp import CRPSet
+
+        x = random_pm1(12, 8000, rng)
+        crps = CRPSet(x, target(x))
+        train, test = crps.split(0.7, rng)
+        acc, name = best_ltf_agreement(train, test, rng)
+        assert acc > 0.95
+        assert name in {"perceptron", "averaged_perceptron", "logistic", "chow"}
+
+    def test_capped_on_br_puf(self):
+        rng = np.random.default_rng(1)
+        puf = BistableRingPUF(16, np.random.default_rng(2))
+        crps = generate_crps(puf, 12_000, rng)
+        train, test = crps.split(0.7, rng)
+        acc, _ = best_ltf_agreement(train, test, rng)
+        assert 0.6 < acc < 0.995
+
+    def test_empirical_min_distance_complements(self):
+        rng = np.random.default_rng(3)
+        puf = BistableRingPUF(16, np.random.default_rng(4))
+        crps = generate_crps(puf, 8000, rng)
+        train, test = crps.split(0.7, rng)
+        d = empirical_min_distance(train, test, np.random.default_rng(5))
+        assert 0.0 <= d <= 0.5
+
+
+class TestExactSmallN:
+    def test_zero_for_ltf(self):
+        f = LTF(np.array([1.0, 2.0, -0.5, 1.0, 0.3]))
+        d = exact_min_distance_small_n(f, rng=np.random.default_rng(6))
+        assert d == 0.0
+
+    def test_positive_for_parity(self):
+        f = BooleanFunction.parity_on(6, range(6))
+        d = exact_min_distance_small_n(f, rng=np.random.default_rng(7))
+        # Parity is asymptotically 1/2-far from every halfspace; at n=6
+        # corner effects let some LTFs agree a bit above chance.
+        assert 0.3 < d <= 0.5
+
+    def test_positive_for_nonlinear_br_puf(self):
+        puf = BistableRingPUF(10, np.random.default_rng(8), interaction_scale=0.8)
+        f = puf.as_boolean_function()
+        d = exact_min_distance_small_n(f, rng=np.random.default_rng(9))
+        assert d > 0.02
+
+    def test_extra_candidates_used(self):
+        f = LTF(np.array([3.0, -1.0, 0.5, 2.0]))
+        # Give the true function itself as a candidate: distance 0 certain.
+        d = exact_min_distance_small_n(
+            f, extra_candidates=[f], random_candidates=0,
+            rng=np.random.default_rng(10),
+        )
+        assert d == 0.0

@@ -1,0 +1,82 @@
+"""Unit tests for the k-junta tester."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.ltf import LTF
+from repro.property_testing.junta_tester import JuntaTester
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class TestJuntaTester:
+    def test_accepts_true_junta(self):
+        target = BooleanFunction.parity_on(16, [2, 7, 11])
+        tester = JuntaTester(k=3, eps=0.1)
+        result = tester.test(16, target, np.random.default_rng(0))
+        assert result.accepted
+        assert result.candidate_coordinates == [2, 7, 11]
+        assert result.residual_influence == 0.0
+
+    def test_accepts_with_slack_k(self):
+        target = BooleanFunction.parity_on(12, [0, 5])
+        tester = JuntaTester(k=4, eps=0.1)
+        result = tester.test(12, target, np.random.default_rng(1))
+        assert result.accepted
+        assert {0, 5} <= set(result.candidate_coordinates)
+
+    def test_rejects_majority_as_small_junta(self):
+        target = LTF(np.ones(15))
+        tester = JuntaTester(k=3, eps=0.1)
+        result = tester.test(15, target, np.random.default_rng(2))
+        assert not result.accepted
+        assert result.residual_influence > result.threshold
+
+    def test_rejects_full_parity(self):
+        target = BooleanFunction.parity_on(10, range(10))
+        tester = JuntaTester(k=5, eps=0.1)
+        result = tester.test(10, target, np.random.default_rng(3))
+        assert not result.accepted
+
+    def test_junta_ltf_accepted(self):
+        """The Corollary 2 shape: an LTF on few coordinates is a junta."""
+
+        def target(x):
+            # Weights chosen so no coordinate dominates the other two.
+            return np.where(
+                1.5 * x[:, 3] + 1.0 * x[:, 8] - 0.75 * x[:, 12] >= 0, 1, -1
+            ).astype(np.int8)
+
+        tester = JuntaTester(k=3, eps=0.1)
+        result = tester.test(16, target, np.random.default_rng(4))
+        assert result.accepted
+        assert set(result.candidate_coordinates) == {3, 8, 12}
+
+    def test_xor_puf_not_a_small_junta(self):
+        """Uncorrelated arbiter chains spread influence over all stages."""
+        puf = XORArbiterPUF(16, 2, np.random.default_rng(5))
+        tester = JuntaTester(k=3, eps=0.1)
+        result = tester.test(16, puf.eval, np.random.default_rng(6))
+        assert not result.accepted
+
+    def test_query_accounting(self):
+        target = BooleanFunction.parity_on(8, [1])
+        tester = JuntaTester(k=1, influence_samples=128, residual_samples=256)
+        result = tester.test(8, target, np.random.default_rng(7))
+        assert result.queries_used == 8 * 2 * 128 + 2 * 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JuntaTester(k=-1)
+        with pytest.raises(ValueError):
+            JuntaTester(k=2, eps=0.0)
+        with pytest.raises(ValueError):
+            JuntaTester(k=2, influence_samples=0)
+        tester = JuntaTester(k=5)
+        with pytest.raises(ValueError):
+            tester.test(5, lambda x: np.ones(len(x)), np.random.default_rng(8))
+
+    def test_summary_text(self):
+        target = BooleanFunction.parity_on(6, [0])
+        result = JuntaTester(k=1).test(6, target, np.random.default_rng(9))
+        assert "junta" in result.summary()

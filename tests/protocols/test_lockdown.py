@@ -1,0 +1,165 @@
+"""Unit tests for the lockdown authentication protocol."""
+
+import numpy as np
+import pytest
+
+from repro.pac.framework import PACParameters
+from repro.protocols.lockdown import (
+    AuthenticationResult,
+    CRPDatabase,
+    EavesdroppingAdversary,
+    LockdownDevice,
+    LockdownServer,
+    enroll,
+    exposure_budget_from_bound,
+    run_authentication_rounds,
+)
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+def make_setup(noise=0.2, budget=200, m_enroll=300, seed=0):
+    rng = np.random.default_rng(seed)
+    puf = XORArbiterPUF(32, 2, rng, noise_sigma=noise)
+    db = enroll(puf, m_enroll, rng)
+    server = LockdownServer(db)
+    device = LockdownDevice(puf, exposure_budget=budget, rng=rng)
+    return puf, server, device
+
+
+class TestDatabase:
+    def test_draw_consumes(self):
+        rng = np.random.default_rng(1)
+        puf = ArbiterPUF(16, rng)
+        db = enroll(puf, 10, rng)
+        assert db.remaining == 10
+        db.draw()
+        assert db.remaining == 9
+
+    def test_exhaustion_raises(self):
+        rng = np.random.default_rng(2)
+        puf = ArbiterPUF(16, rng)
+        db = enroll(puf, 2, rng)
+        db.draw()
+        db.draw()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            db.draw()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CRPDatabase(np.ones((3, 2), np.int8), np.ones(4, np.int8))
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            enroll(ArbiterPUF(8, rng), 0, rng)
+
+
+class TestDeviceLockdown:
+    def test_budget_enforced(self):
+        rng = np.random.default_rng(4)
+        puf = ArbiterPUF(16, rng)
+        device = LockdownDevice(puf, exposure_budget=3, rng=rng)
+        challenge = np.ones(16, dtype=np.int8)
+        for _ in range(3):
+            device.respond(challenge)
+        with pytest.raises(RuntimeError, match="lockdown"):
+            device.respond(challenge)
+
+    def test_validation(self):
+        rng = np.random.default_rng(5)
+        puf = ArbiterPUF(8, rng)
+        with pytest.raises(ValueError):
+            LockdownDevice(puf, exposure_budget=0)
+        with pytest.raises(ValueError):
+            LockdownDevice(puf, exposure_budget=5, repetitions=0)
+
+
+class TestAuthentication:
+    def test_honest_device_accepted(self):
+        _, server, device = make_setup()
+        result = run_authentication_rounds(server, device, rounds=100)
+        assert result.rounds_run == 100
+        assert result.acceptance_rate > 0.9
+
+    def test_wrong_device_rejected(self):
+        rng = np.random.default_rng(6)
+        genuine = XORArbiterPUF(32, 2, np.random.default_rng(7))
+        impostor = XORArbiterPUF(32, 2, np.random.default_rng(8))
+        db = enroll(genuine, 200, rng)
+        server = LockdownServer(db)
+        device = LockdownDevice(impostor, exposure_budget=500, rng=rng)
+        result = run_authentication_rounds(server, device, rounds=150)
+        assert result.acceptance_rate < 0.7  # ~0.5 for an unrelated PUF
+
+    def test_lockdown_stops_the_run(self):
+        _, server, device = make_setup(budget=20)
+        result = run_authentication_rounds(server, device, rounds=100)
+        assert result.device_locked
+        assert result.rounds_run == 20
+
+    def test_database_exhaustion_stops_the_run(self):
+        _, server, device = make_setup(budget=1000, m_enroll=30)
+        result = run_authentication_rounds(server, device, rounds=100)
+        assert result.rounds_run == 30
+        assert not result.device_locked
+
+    def test_empty_result_rate(self):
+        assert AuthenticationResult(0, 0, False).acceptance_rate == 0.0
+
+
+class TestAdversary:
+    def test_observes_all_traffic(self):
+        _, server, device = make_setup()
+        adversary = EavesdroppingAdversary(k_guess=2)
+        run_authentication_rounds(server, device, rounds=50, adversary=adversary)
+        assert adversary.crps_collected == 50
+
+    def test_too_few_crps_no_model(self):
+        adversary = EavesdroppingAdversary(k_guess=2)
+        assert adversary.attempt_clone() is None
+
+    def test_clone_succeeds_with_generous_exposure(self):
+        """The pitfall: a 2-XOR PUF is cloned from a few thousand CRPs."""
+        rng = np.random.default_rng(9)
+        puf = XORArbiterPUF(32, 2, rng, noise_sigma=0.0)
+        db = enroll(puf, 4000, rng)
+        server = LockdownServer(db)
+        device = LockdownDevice(puf, exposure_budget=4000, rng=rng)
+        adversary = EavesdroppingAdversary(k_guess=2)
+        run_authentication_rounds(server, device, rounds=4000, adversary=adversary)
+        model = adversary.attempt_clone(rng)
+        assert model is not None
+        from repro.pufs.crp import generate_crps
+
+        test = generate_crps(puf, 3000, rng)
+        acc = np.mean(model.predict(test.challenges) == test.responses)
+        assert acc > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EavesdroppingAdversary(k_guess=0)
+
+
+class TestBudgetDerivation:
+    def test_perceptron_budget_huge_for_large_k(self):
+        params = PACParameters(0.05, 0.05)
+        budget = exposure_budget_from_bound(64, 8, params, bound="perceptron")
+        assert budget > 10**9  # the [9] route suggests enormous safety
+
+    def test_vc_budget_moderate(self):
+        params = PACParameters(0.05, 0.05)
+        budget = exposure_budget_from_bound(64, 8, params, bound="vc")
+        assert budget < 10**5
+
+    def test_model_relativity(self):
+        """Different bounds, wildly different 'safe' budgets — the pitfall."""
+        params = PACParameters(0.05, 0.05)
+        p = exposure_budget_from_bound(64, 6, params, bound="perceptron")
+        v = exposure_budget_from_bound(64, 6, params, bound="vc")
+        assert p > 100 * v
+
+    def test_validation(self):
+        params = PACParameters(0.1, 0.1)
+        with pytest.raises(ValueError):
+            exposure_budget_from_bound(64, 2, params, bound="nope")
+        with pytest.raises(ValueError):
+            exposure_budget_from_bound(64, 2, params, safety_factor=0.0)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.pufs.arbiter and repro.pufs.base."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.pufs.arbiter import ArbiterPUF, parity_transform
+
+
+class TestParityTransform:
+    def test_shape(self):
+        c = random_pm1(8, 20, np.random.default_rng(0))
+        phi = parity_transform(c)
+        assert phi.shape == (20, 9)
+
+    def test_last_column_constant(self):
+        c = random_pm1(5, 10, np.random.default_rng(1))
+        assert np.all(parity_transform(c)[:, -1] == 1.0)
+
+    def test_definition(self):
+        c = np.array([[1, -1, -1, 1]], dtype=np.int8)
+        phi = parity_transform(c)[0]
+        # phi_i = prod_{j>=i} c_j
+        expected = [1 * -1 * -1 * 1, -1 * -1 * 1, -1 * 1, 1, 1]
+        assert phi.tolist() == expected
+
+    def test_single_row(self):
+        phi = parity_transform(np.array([1, -1], dtype=np.int8))
+        assert phi.shape == (1, 3)
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=20)
+    def test_values_pm1(self, n):
+        c = random_pm1(n, 50, np.random.default_rng(n))
+        phi = parity_transform(c)
+        assert set(np.unique(phi)) <= {-1.0, 1.0}
+
+    def test_bijective_on_cube(self):
+        # phi restricted to its first n columns is injective on challenges.
+        from repro.booleanfuncs.encoding import enumerate_cube
+
+        c = enumerate_cube(6)
+        phi = parity_transform(c)[:, :6]
+        assert len({tuple(r) for r in phi}) == 64
+
+
+class TestArbiterPUF:
+    def test_deterministic_ideal_eval(self):
+        puf = ArbiterPUF(16, np.random.default_rng(0))
+        c = random_pm1(16, 100, np.random.default_rng(1))
+        assert np.array_equal(puf.eval(c), puf.eval(c))
+
+    def test_responses_pm1(self):
+        puf = ArbiterPUF(8, np.random.default_rng(2))
+        r = puf.eval(random_pm1(8, 50, np.random.default_rng(3)))
+        assert set(np.unique(r)) <= {-1, 1}
+
+    def test_explicit_weights(self):
+        w = np.zeros(5)
+        w[-1] = 1.0  # pure positive bias -> all responses +1
+        puf = ArbiterPUF(4, weights=w)
+        assert np.all(puf.eval(random_pm1(4, 20, np.random.default_rng(4))) == 1)
+
+    def test_explicit_weights_shape_checked(self):
+        with pytest.raises(ValueError):
+            ArbiterPUF(4, weights=np.zeros(4))
+
+    def test_margin_is_linear_in_features(self):
+        puf = ArbiterPUF(6, np.random.default_rng(5))
+        c = random_pm1(6, 30, np.random.default_rng(6))
+        margin = puf.raw_margin(c)
+        assert np.allclose(margin, parity_transform(c) @ puf.weights)
+
+    def test_as_feature_ltf_consistent(self):
+        puf = ArbiterPUF(6, np.random.default_rng(7))
+        ltf = puf.as_feature_ltf()
+        c = random_pm1(6, 200, np.random.default_rng(8))
+        phi = parity_transform(c)[:, :-1]
+        assert np.array_equal(ltf(phi.astype(np.int8)), puf.eval(c))
+
+    def test_noise_flips_some_responses(self):
+        puf = ArbiterPUF(32, np.random.default_rng(9), noise_sigma=0.5)
+        c = random_pm1(32, 2000, np.random.default_rng(10))
+        ideal = puf.eval(c)
+        noisy = puf.eval_noisy(c, np.random.default_rng(11))
+        flip_rate = np.mean(ideal != noisy)
+        assert 0.0 < flip_rate < 0.2
+
+    def test_zero_noise_noisy_equals_ideal(self):
+        puf = ArbiterPUF(16, np.random.default_rng(12))
+        c = random_pm1(16, 100, np.random.default_rng(13))
+        assert np.array_equal(puf.eval_noisy(c), puf.eval(c))
+
+    def test_shape_validation(self):
+        puf = ArbiterPUF(8, np.random.default_rng(14))
+        with pytest.raises(ValueError):
+            puf.eval(np.ones((5, 7), dtype=np.int8))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ArbiterPUF(0)
+        with pytest.raises(ValueError):
+            ArbiterPUF(8, noise_sigma=-1.0)
+
+    def test_as_boolean_function(self):
+        puf = ArbiterPUF(6, np.random.default_rng(15))
+        f = puf.as_boolean_function()
+        c = random_pm1(6, 50, np.random.default_rng(16))
+        assert np.array_equal(f(c), puf.eval(c))
+
+    def test_single_challenge_vector(self):
+        puf = ArbiterPUF(8, np.random.default_rng(17))
+        c = random_pm1(8, 1, np.random.default_rng(18))[0]
+        assert puf.eval(c) in (-1, 1)
+
+    def test_different_seeds_different_instances(self):
+        a = ArbiterPUF(32, np.random.default_rng(19))
+        b = ArbiterPUF(32, np.random.default_rng(20))
+        c = random_pm1(32, 500, np.random.default_rng(21))
+        assert np.mean(a.eval(c) != b.eval(c)) > 0.2

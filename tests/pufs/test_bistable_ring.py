@@ -1,0 +1,102 @@
+"""Unit tests for repro.pufs.bistable_ring and feed_forward."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.feed_forward import FeedForwardArbiterPUF
+
+
+class TestBistableRingPUF:
+    def test_deterministic(self):
+        puf = BistableRingPUF(16, np.random.default_rng(0))
+        c = random_pm1(16, 100, np.random.default_rng(1))
+        assert np.array_equal(puf.eval(c), puf.eval(c))
+
+    def test_zero_interaction_is_ltf(self):
+        """At interaction_scale=0 the BR PUF must be exactly an LTF."""
+        puf = BistableRingPUF(12, np.random.default_rng(2), interaction_scale=0.0)
+        c = random_pm1(12, 500, np.random.default_rng(3))
+        offset = puf.global_offset + np.sum(puf.bias_terms)
+        linear = c.astype(float) @ puf.linear_weights + offset
+        expected = np.where(linear >= 0, 1, -1)
+        assert np.array_equal(puf.eval(c), expected)
+
+    def test_interaction_changes_function(self):
+        rng_c = np.random.default_rng(4)
+        c = random_pm1(32, 3000, rng_c)
+        linear = BistableRingPUF(32, np.random.default_rng(5), interaction_scale=0.0)
+        nonlinear = BistableRingPUF(32, np.random.default_rng(5), interaction_scale=0.8)
+        # Same seed, so the linear parts coincide; responses must differ on
+        # a non-trivial fraction of challenges.
+        disagreement = np.mean(linear.eval(c) != nonlinear.eval(c))
+        assert disagreement > 0.05
+
+    def test_not_too_biased(self):
+        for seed in range(5):
+            puf = BistableRingPUF(64, np.random.default_rng(seed))
+            c = random_pm1(64, 4000, np.random.default_rng(100 + seed))
+            assert abs(np.mean(puf.eval(c))) < 0.9
+
+    def test_pair_indices_include_ring_neighbours(self):
+        puf = BistableRingPUF(10, np.random.default_rng(6))
+        pairs = {tuple(p) for p in puf.pair_indices}
+        for i in range(10):
+            assert tuple(sorted((i, (i + 1) % 10))) in pairs
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BistableRingPUF(8, interaction_scale=-1.0)
+        with pytest.raises(ValueError):
+            BistableRingPUF(8, pair_density=2.0)
+        with pytest.raises(ValueError):
+            BistableRingPUF(8, triple_density=-0.5)
+
+    def test_noise_model(self):
+        puf = BistableRingPUF(32, np.random.default_rng(7), noise_sigma=1.0)
+        c = random_pm1(32, 2000, np.random.default_rng(8))
+        flips = np.mean(puf.eval(c) != puf.eval_noisy(c, np.random.default_rng(9)))
+        assert 0.0 < flips < 0.3
+
+
+class TestFeedForwardArbiterPUF:
+    def test_no_loops_matches_arbiter_recursion(self):
+        puf = FeedForwardArbiterPUF(8, loops=(), rng=np.random.default_rng(0))
+        c = random_pm1(8, 50, np.random.default_rng(1))
+        # Manual recursion.
+        diff = np.zeros(50)
+        for i in range(8):
+            bit = c[:, i]
+            diff = np.where(
+                bit > 0, diff + puf.straight_delays[i], -diff + puf.crossed_delays[i]
+            )
+        assert np.array_equal(puf.eval(c), np.where(diff >= 0, 1, -1))
+
+    def test_loop_overrides_challenge_bit(self):
+        puf = FeedForwardArbiterPUF(8, loops=[(2, 5)], rng=np.random.default_rng(2))
+        c = random_pm1(8, 400, np.random.default_rng(3))
+        c_flipped = c.copy()
+        c_flipped[:, 5] = -c_flipped[:, 5]
+        # Bit 5 is driven by the loop, so flipping it changes nothing.
+        assert np.array_equal(puf.eval(c), puf.eval(c_flipped))
+
+    def test_non_loop_bits_still_matter(self):
+        puf = FeedForwardArbiterPUF(8, loops=[(2, 5)], rng=np.random.default_rng(4))
+        c = random_pm1(8, 400, np.random.default_rng(5))
+        c_flipped = c.copy()
+        c_flipped[:, 0] = -c_flipped[:, 0]
+        assert np.any(puf.eval(c) != puf.eval(c_flipped))
+
+    def test_invalid_loops(self):
+        with pytest.raises(ValueError):
+            FeedForwardArbiterPUF(8, loops=[(5, 2)])
+        with pytest.raises(ValueError):
+            FeedForwardArbiterPUF(8, loops=[(0, 9)])
+        with pytest.raises(ValueError):
+            FeedForwardArbiterPUF(8, loops=[(0, 4), (1, 4)])
+
+    def test_responses_pm1(self):
+        puf = FeedForwardArbiterPUF(16, loops=[(3, 8), (5, 12)], rng=np.random.default_rng(6))
+        r = puf.eval(random_pm1(16, 100, np.random.default_rng(7)))
+        assert set(np.unique(r)) <= {-1, 1}

@@ -1,0 +1,125 @@
+"""Unit tests for repro.pufs.crp."""
+
+import numpy as np
+import pytest
+
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.crp import (
+    CRPSet,
+    biased_challenges,
+    generate_crps,
+    low_weight_challenges,
+    uniform_challenges,
+)
+
+
+class TestSamplers:
+    def test_uniform_shape(self):
+        c = uniform_challenges(100, 8, np.random.default_rng(0))
+        assert c.shape == (100, 8)
+        assert set(np.unique(c)) <= {-1, 1}
+
+    def test_uniform_balance(self):
+        c = uniform_challenges(20_000, 4, np.random.default_rng(1))
+        assert abs(np.mean(c)) < 0.02
+
+    def test_biased_sampler(self):
+        sampler = biased_challenges(0.9)
+        c = sampler(10_000, 6, np.random.default_rng(2))
+        # p=0.9 chance of bit 1 -> value -1, so mean ~ 1 - 2*0.9 = -0.8.
+        assert abs(np.mean(c) + 0.8) < 0.02
+
+    def test_biased_sampler_validates(self):
+        with pytest.raises(ValueError):
+            biased_challenges(1.5)
+
+    def test_low_weight_sampler(self):
+        sampler = low_weight_challenges(2)
+        c = sampler(500, 10, np.random.default_rng(3))
+        ones = np.sum(c == -1, axis=1)
+        assert np.all(ones <= 2)
+
+    def test_low_weight_validates(self):
+        with pytest.raises(ValueError):
+            low_weight_challenges(-1)
+
+
+class TestCRPSet:
+    def make(self, m=100, n=8, seed=0):
+        rng = np.random.default_rng(seed)
+        puf = ArbiterPUF(n, rng)
+        return generate_crps(puf, m, rng)
+
+    def test_len_and_n(self):
+        crps = self.make(50, 12)
+        assert len(crps) == 50
+        assert crps.n == 12
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CRPSet(np.ones((3, 2, 2), dtype=np.int8), np.ones(3, dtype=np.int8))
+        with pytest.raises(ValueError):
+            CRPSet(np.ones((3, 2), dtype=np.int8), np.ones(4, dtype=np.int8))
+
+    def test_split_partitions(self):
+        crps = self.make(100)
+        train, test = crps.split(0.7, np.random.default_rng(1))
+        assert len(train) == 70 and len(test) == 30
+        combined = {tuple(c) for c in train.challenges} | {
+            tuple(c) for c in test.challenges
+        }
+        original = {tuple(c) for c in crps.challenges}
+        assert combined == original
+
+    def test_split_validates(self):
+        crps = self.make(10)
+        with pytest.raises(ValueError):
+            crps.split(1.0)
+
+    def test_subsample(self):
+        crps = self.make(100)
+        sub = crps.subsample(25, np.random.default_rng(2))
+        assert len(sub) == 25
+        with pytest.raises(ValueError):
+            crps.subsample(101)
+
+    def test_take_prefix(self):
+        crps = self.make(100)
+        head = crps.take(10)
+        assert np.array_equal(head.challenges, crps.challenges[:10])
+        with pytest.raises(ValueError):
+            crps.take(200)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        crps = self.make(40)
+        path = tmp_path / "crps.npz"
+        crps.save(path)
+        loaded = CRPSet.load(path)
+        assert np.array_equal(loaded.challenges, crps.challenges)
+        assert np.array_equal(loaded.responses, crps.responses)
+
+
+class TestGenerateCRPs:
+    def test_responses_match_puf(self):
+        rng = np.random.default_rng(4)
+        puf = ArbiterPUF(8, rng)
+        crps = generate_crps(puf, 200, rng)
+        assert np.array_equal(crps.responses, puf.eval(crps.challenges))
+
+    def test_noisy_generation_differs(self):
+        rng = np.random.default_rng(5)
+        puf = ArbiterPUF(32, rng, noise_sigma=0.8)
+        crps = generate_crps(puf, 3000, rng, noisy=True)
+        ideal = puf.eval(crps.challenges)
+        assert 0.0 < np.mean(crps.responses != ideal) < 0.3
+
+    def test_rejects_zero_count(self):
+        puf = ArbiterPUF(8, np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            generate_crps(puf, 0)
+
+    def test_custom_sampler_used(self):
+        rng = np.random.default_rng(7)
+        puf = ArbiterPUF(8, rng)
+        crps = generate_crps(puf, 100, rng, sampler=low_weight_challenges(1))
+        assert np.all(np.sum(crps.challenges == -1, axis=1) <= 1)

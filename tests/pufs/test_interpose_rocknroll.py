@@ -1,0 +1,99 @@
+"""Unit tests for the Interpose PUF and the RocknRoll constructor."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.learning.logistic import LogisticAttack
+from repro.pufs.arbiter import parity_transform
+from repro.pufs.crp import generate_crps
+from repro.pufs.interpose import InterposePUF
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class TestInterposePUF:
+    def test_deterministic_and_pm1(self):
+        puf = InterposePUF(16, 1, 1, np.random.default_rng(0))
+        c = random_pm1(16, 200, np.random.default_rng(1))
+        r = puf.eval(c)
+        assert np.array_equal(r, puf.eval(c))
+        assert set(np.unique(r)) <= {-1, 1}
+
+    def test_structure_matches_manual_composition(self):
+        puf = InterposePUF(12, 1, 1, np.random.default_rng(2))
+        c = random_pm1(12, 300, np.random.default_rng(3))
+        upper = puf.upper.eval(c)
+        extended = np.insert(c, puf.position, upper, axis=1).astype(np.int8)
+        assert np.array_equal(puf.eval(c), puf.lower.eval(extended))
+
+    def test_upper_bit_matters(self):
+        """Challenges where the upper response flips the lower response exist."""
+        puf = InterposePUF(16, 1, 1, np.random.default_rng(4))
+        c = random_pm1(16, 4000, np.random.default_rng(5))
+        upper = puf.upper.eval(c)
+        ext_real = np.insert(c, puf.position, upper, axis=1).astype(np.int8)
+        ext_flip = np.insert(c, puf.position, -upper, axis=1).astype(np.int8)
+        assert np.any(puf.lower.eval(ext_real) != puf.lower.eval(ext_flip))
+
+    def test_bias_moderate(self):
+        puf = InterposePUF(32, 1, 2, np.random.default_rng(6))
+        c = random_pm1(32, 5000, np.random.default_rng(7))
+        assert abs(np.mean(puf.eval(c))) < 0.3
+
+    def test_harder_than_plain_arbiter_for_plain_lr(self):
+        """A (1,1)-iPUF resists the plain single-LTF attack that kills a
+        plain arbiter chain (the interposed bit breaks the feature map)."""
+        rng = np.random.default_rng(8)
+        ipuf = InterposePUF(24, 1, 1, np.random.default_rng(9))
+        crps = generate_crps(ipuf, 6000, rng)
+        fit = LogisticAttack(feature_map=parity_transform).fit(
+            crps.challenges, crps.responses, rng
+        )
+        test = generate_crps(ipuf, 4000, rng)
+        acc = np.mean(fit.predict(test.challenges) == test.responses)
+        assert acc < 0.99  # not a clean LTF over phi(c) any more
+        assert acc > 0.6  # but substantial structure leaks (known weakness)
+
+    def test_noise_propagates(self):
+        puf = InterposePUF(16, 1, 1, np.random.default_rng(10), noise_sigma=0.5)
+        c = random_pm1(16, 2000, np.random.default_rng(11))
+        flips = np.mean(puf.eval(c) != puf.eval_noisy(c, np.random.default_rng(12)))
+        assert 0.0 < flips < 0.3
+
+    def test_position_validation(self):
+        with pytest.raises(ValueError):
+            InterposePUF(8, position=9)
+
+
+class TestRocknRoll:
+    def test_constructor_sets_high_correlation(self):
+        puf = XORArbiterPUF.rocknroll(32, 8, np.random.default_rng(13))
+        assert puf.correlation == 0.95
+        assert puf.k == 8
+
+    def test_chains_strongly_agree(self):
+        puf = XORArbiterPUF.rocknroll(32, 4, np.random.default_rng(14))
+        c = random_pm1(32, 3000, np.random.default_rng(15))
+        r0 = puf.chains[0].eval(c)
+        agreements = [
+            np.mean(r0 == chain.eval(c)) for chain in puf.chains[1:]
+        ]
+        assert min(agreements) > 0.7
+
+    def test_more_learnable_than_independent(self):
+        """The [17]-vs-[9] effect with the degree-2 LMN budget."""
+        from repro.learning.lmn import LMNLearner
+
+        rng = np.random.default_rng(16)
+        x = random_pm1(10, 20_000, rng)
+        xt = random_pm1(10, 4000, rng)
+        feats = parity_transform(x)[:, :-1].astype(np.int8)
+        featst = parity_transform(xt)[:, :-1].astype(np.int8)
+        accs = {}
+        for name, puf in [
+            ("independent", XORArbiterPUF(10, 6, np.random.default_rng(17))),
+            ("rocknroll", XORArbiterPUF.rocknroll(10, 6, np.random.default_rng(17))),
+        ]:
+            fit = LMNLearner(degree=2).fit_sample(feats, puf.eval(x))
+            accs[name] = np.mean(fit.hypothesis(featst) == puf.eval(xt))
+        assert accs["rocknroll"] > accs["independent"] + 0.1

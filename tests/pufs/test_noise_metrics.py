@@ -1,0 +1,136 @@
+"""Unit tests for repro.pufs.noise and repro.pufs.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.metrics import (
+    expected_bias,
+    reliability,
+    response_bias,
+    uniformity,
+    uniqueness,
+)
+from repro.pufs.noise import (
+    collect_stable_crps,
+    majority_vote,
+    repeated_measurements,
+    stable_challenge_mask,
+)
+
+
+class TestNoiseHelpers:
+    def test_repeated_measurements_shape(self):
+        puf = ArbiterPUF(8, np.random.default_rng(0), noise_sigma=0.5)
+        c = random_pm1(8, 30, np.random.default_rng(1))
+        meas = repeated_measurements(puf, c, 7, np.random.default_rng(2))
+        assert meas.shape == (7, 30)
+
+    def test_repeated_measurements_validates(self):
+        puf = ArbiterPUF(8, np.random.default_rng(0))
+        c = random_pm1(8, 5, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            repeated_measurements(puf, c, 0)
+
+    def test_majority_vote_denoises(self):
+        puf = ArbiterPUF(32, np.random.default_rng(3), noise_sigma=0.4)
+        c = random_pm1(32, 1000, np.random.default_rng(4))
+        ideal = puf.eval(c)
+        single = puf.eval_noisy(c, np.random.default_rng(5))
+        voted = majority_vote(puf, c, repetitions=21, rng=np.random.default_rng(6))
+        assert np.mean(voted != ideal) < np.mean(single != ideal)
+
+    def test_majority_vote_noise_free_exact(self):
+        puf = ArbiterPUF(16, np.random.default_rng(7))
+        c = random_pm1(16, 200, np.random.default_rng(8))
+        assert np.array_equal(majority_vote(puf, c, 3), puf.eval(c))
+
+    def test_stable_mask_all_true_when_noise_free(self):
+        puf = ArbiterPUF(16, np.random.default_rng(9))
+        c = random_pm1(16, 100, np.random.default_rng(10))
+        assert np.all(stable_challenge_mask(puf, c, 5))
+
+    def test_stable_mask_filters_noisy(self):
+        puf = ArbiterPUF(32, np.random.default_rng(11), noise_sigma=1.0)
+        c = random_pm1(32, 2000, np.random.default_rng(12))
+        mask = stable_challenge_mask(puf, c, 11, np.random.default_rng(13))
+        assert 0.0 < np.mean(mask) < 1.0
+
+    def test_collect_stable_crps(self):
+        puf = ArbiterPUF(32, np.random.default_rng(14), noise_sigma=0.3)
+        crps, frac = collect_stable_crps(
+            puf, 500, repetitions=7, rng=np.random.default_rng(15)
+        )
+        assert len(crps) == 500
+        assert 0.0 < frac <= 1.0
+        # Stable responses agree with the ideal function almost everywhere:
+        # surviving challenges have large margins.
+        assert np.mean(crps.responses == puf.eval(crps.challenges)) > 0.98
+
+    def test_collect_stable_crps_raises_for_hopeless_device(self):
+        puf = ArbiterPUF(16, np.random.default_rng(16), noise_sigma=500.0)
+        with pytest.raises(RuntimeError):
+            collect_stable_crps(
+                puf, 1000, repetitions=11, rng=np.random.default_rng(17), max_batches=1
+            )
+
+    def test_collect_validates_target(self):
+        puf = ArbiterPUF(8, np.random.default_rng(18))
+        with pytest.raises(ValueError):
+            collect_stable_crps(puf, 0)
+
+
+class TestMetrics:
+    def test_uniformity_and_bias(self):
+        r = np.array([1, 1, -1, -1, -1, 1], dtype=np.int8)
+        assert uniformity(r) == pytest.approx(0.5)
+        assert response_bias(r) == pytest.approx(0.0)
+
+    def test_uniformity_empty_raises(self):
+        with pytest.raises(ValueError):
+            uniformity(np.array([]))
+        with pytest.raises(ValueError):
+            response_bias(np.array([]))
+
+    def test_reliability_perfect_when_noise_free(self):
+        puf = ArbiterPUF(16, np.random.default_rng(19))
+        assert reliability(puf, m=200, rng=np.random.default_rng(20)) == 1.0
+
+    def test_reliability_degrades_with_noise(self):
+        quiet = ArbiterPUF(32, np.random.default_rng(21), noise_sigma=0.1)
+        loud = ArbiterPUF(32, np.random.default_rng(21), noise_sigma=2.0)
+        rng = np.random.default_rng(22)
+        assert reliability(loud, m=500, rng=rng) < reliability(quiet, m=500, rng=rng)
+
+    def test_uniqueness_near_half(self):
+        pufs = [ArbiterPUF(32, np.random.default_rng(s)) for s in range(30, 36)]
+        u = uniqueness(pufs, m=2000, rng=np.random.default_rng(23))
+        assert 0.35 < u < 0.65
+
+    def test_uniqueness_validates(self):
+        with pytest.raises(ValueError):
+            uniqueness([ArbiterPUF(8, np.random.default_rng(0))])
+        with pytest.raises(ValueError):
+            uniqueness(
+                [
+                    ArbiterPUF(8, np.random.default_rng(0)),
+                    ArbiterPUF(16, np.random.default_rng(1)),
+                ]
+            )
+
+    def test_expected_bias_close_to_ideal_bias_when_quiet(self):
+        puf = BistableRingPUF(16, np.random.default_rng(24), noise_sigma=0.0)
+        c = random_pm1(16, 5000, np.random.default_rng(25))
+        ideal = np.mean(puf.eval(c))
+        eb = expected_bias(puf, m=5000, repetitions=3, rng=np.random.default_rng(26))
+        assert eb == pytest.approx(ideal, abs=0.05)
+
+    def test_expected_bias_shrinks_with_noise(self):
+        # Heavy attribute noise pushes the expected function toward
+        # unbiased coin flips.
+        quiet = BistableRingPUF(16, np.random.default_rng(27), noise_sigma=0.0)
+        loud = BistableRingPUF(16, np.random.default_rng(27), noise_sigma=50.0)
+        rng = np.random.default_rng(28)
+        assert abs(expected_bias(loud, rng=rng)) <= abs(expected_bias(quiet, rng=rng)) + 0.02

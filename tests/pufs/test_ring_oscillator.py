@@ -1,0 +1,94 @@
+"""Unit tests for the Ring-Oscillator PUF and its sorting attack."""
+
+import numpy as np
+import pytest
+
+from repro.pufs.ring_oscillator import (
+    RingOscillatorPUF,
+    predict_from_scores,
+    sorting_attack,
+)
+
+
+class TestRingOscillatorPUF:
+    def test_antisymmetric_responses(self):
+        puf = RingOscillatorPUF(16, np.random.default_rng(0))
+        pairs = puf.random_pairs(100, np.random.default_rng(1))
+        swapped = pairs[:, ::-1]
+        r = puf.eval(pairs)
+        r_swapped = puf.eval(swapped)
+        # Generic frequencies have no ties, so swapping flips the sign.
+        assert np.array_equal(r, -r_swapped)
+
+    def test_transitivity(self):
+        """If i beats j and j beats l then i beats l — it's a total order."""
+        puf = RingOscillatorPUF(8, np.random.default_rng(2))
+        order = np.argsort(-puf.frequencies)
+        for a in range(7):
+            pair = np.array([[order[a], order[a + 1]]])
+            assert puf.eval(pair)[0] == 1
+
+    def test_num_pairs(self):
+        assert RingOscillatorPUF(10, np.random.default_rng(3)).num_pairs == 45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingOscillatorPUF(1)
+        puf = RingOscillatorPUF(5, np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            puf.eval(np.array([[0, 0]]))
+        with pytest.raises(ValueError):
+            puf.eval(np.array([[0, 9]]))
+        with pytest.raises(ValueError):
+            puf.eval(np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            puf.random_pairs(0)
+        with pytest.raises(ValueError):
+            RingOscillatorPUF(4, noise_sigma=-1)
+
+    def test_noise_flips_close_pairs(self):
+        puf = RingOscillatorPUF(32, np.random.default_rng(5), noise_sigma=0.5)
+        pairs = puf.random_pairs(3000, np.random.default_rng(6))
+        ideal = puf.eval(pairs)
+        noisy = puf.eval_noisy(pairs, np.random.default_rng(7))
+        rate = np.mean(ideal != noisy)
+        assert 0.0 < rate < 0.4
+
+    def test_random_pairs_distinct(self):
+        puf = RingOscillatorPUF(6, np.random.default_rng(8))
+        pairs = puf.random_pairs(500, np.random.default_rng(9))
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+
+class TestSortingAttack:
+    def test_few_comparisons_model_the_whole_puf(self):
+        """O(m log m) comparisons predict ~all of the m(m-1)/2 pairs."""
+        rng = np.random.default_rng(10)
+        puf = RingOscillatorPUF(64, rng)
+        budget = int(10 * 64 * np.log2(64))  # generous O(m log m)
+        observed = puf.random_pairs(budget, rng)
+        responses = puf.eval(observed)
+        scores, train_agreement = sorting_attack(puf, observed, responses)
+        assert train_agreement > 0.95
+        # Held-out pairs.
+        test = puf.random_pairs(4000, rng)
+        acc = np.mean(predict_from_scores(scores, test) == puf.eval(test))
+        assert acc > 0.93
+        # The budget is a vanishing fraction of the full CRP space... for
+        # larger m; here simply far below exhaustive collection:
+        assert budget < 3 * puf.num_pairs
+
+    def test_scores_recover_frequency_order_roughly(self):
+        rng = np.random.default_rng(11)
+        puf = RingOscillatorPUF(20, rng)
+        observed = puf.random_pairs(2000, rng)
+        scores, _ = sorting_attack(puf, observed, puf.eval(observed))
+        true_rank = np.argsort(np.argsort(-puf.frequencies))
+        est_rank = np.argsort(np.argsort(-scores))
+        # Spearman-ish agreement: mean absolute rank error small.
+        assert np.mean(np.abs(true_rank - est_rank)) < 2.0
+
+    def test_validation(self):
+        puf = RingOscillatorPUF(5, np.random.default_rng(12))
+        with pytest.raises(ValueError):
+            sorting_attack(puf, np.array([[0, 1]]), np.array([1, -1]))

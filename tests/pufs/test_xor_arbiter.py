@@ -1,0 +1,72 @@
+"""Unit tests for repro.pufs.xor_arbiter."""
+
+import numpy as np
+import pytest
+
+from repro.booleanfuncs.encoding import random_pm1
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class TestXORArbiterPUF:
+    def test_k1_equals_single_chain(self):
+        puf = XORArbiterPUF(16, 1, np.random.default_rng(0))
+        c = random_pm1(16, 200, np.random.default_rng(1))
+        assert np.array_equal(puf.eval(c), puf.chains[0].eval(c))
+
+    def test_response_is_xor_of_chains(self):
+        puf = XORArbiterPUF(12, 4, np.random.default_rng(2))
+        c = random_pm1(12, 300, np.random.default_rng(3))
+        prod = np.ones(300, dtype=np.int8)
+        for chain in puf.chains:
+            prod = prod * chain.eval(c)
+        assert np.array_equal(puf.eval(c), prod)
+
+    def test_chain_margins_shape(self):
+        puf = XORArbiterPUF(8, 3, np.random.default_rng(4))
+        c = random_pm1(8, 17, np.random.default_rng(5))
+        assert puf.chain_margins(c).shape == (17, 3)
+
+    def test_bias_small_for_uncorrelated(self):
+        puf = XORArbiterPUF(32, 4, np.random.default_rng(6))
+        c = random_pm1(32, 5000, np.random.default_rng(7))
+        assert abs(np.mean(puf.eval(c))) < 0.1
+
+    def test_correlated_chains_share_structure(self):
+        rng = np.random.default_rng(8)
+        puf = XORArbiterPUF(32, 4, rng, correlation=0.95)
+        # With high correlation, pairs of chains agree far more than chance.
+        c = random_pm1(32, 2000, np.random.default_rng(9))
+        r0 = puf.chains[0].eval(c)
+        r1 = puf.chains[1].eval(c)
+        assert np.mean(r0 == r1) > 0.7
+
+    def test_uncorrelated_chains_independent(self):
+        puf = XORArbiterPUF(32, 2, np.random.default_rng(10), correlation=0.0)
+        c = random_pm1(32, 2000, np.random.default_rng(11))
+        r0 = puf.chains[0].eval(c)
+        r1 = puf.chains[1].eval(c)
+        assert abs(np.mean(r0 == r1) - 0.5) < 0.1
+
+    def test_noise_compounds_with_k(self):
+        # Reliability of an XOR PUF degrades with chain count.
+        rng_c = np.random.default_rng(12)
+        c = random_pm1(64, 3000, rng_c)
+        rates = []
+        for k in (1, 4, 8):
+            puf = XORArbiterPUF(64, k, np.random.default_rng(13), noise_sigma=0.3)
+            ideal = puf.eval(c)
+            noisy = puf.eval_noisy(c, np.random.default_rng(14))
+            rates.append(np.mean(ideal != noisy))
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            XORArbiterPUF(8, 0)
+        with pytest.raises(ValueError):
+            XORArbiterPUF(8, 2, correlation=1.0)
+        with pytest.raises(ValueError):
+            XORArbiterPUF(8, 2, correlation=-0.1)
+
+    def test_repr_mentions_k(self):
+        puf = XORArbiterPUF(8, 5, np.random.default_rng(15))
+        assert "k=5" in repr(puf)

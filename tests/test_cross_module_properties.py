@@ -1,0 +1,215 @@
+"""Property-based invariants that span modules (hypothesis-driven).
+
+These are the library's load-bearing mathematical identities; each test
+draws randomized instances and checks an exact or statistical invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.booleanfuncs.encoding import enumerate_cube, random_pm1
+from repro.booleanfuncs.fourier import (
+    fourier_spectrum,
+    spectral_weight_by_degree,
+    walsh_hadamard,
+)
+from repro.booleanfuncs.function import BooleanFunction
+from repro.booleanfuncs.influences import influences_exact
+from repro.booleanfuncs.ltf import LTF, chow_parameters_exact
+from repro.booleanfuncs.noise_sensitivity import (
+    noise_sensitivity_exact,
+    noise_sensitivity_mc,
+)
+from repro.booleanfuncs.polynomials import SparseF2Polynomial
+from repro.locking.circuits import random_circuit
+from repro.locking.cnf import CNF, tseitin_encode
+from repro.locking.solver import SATSolver, Satisfiability
+from repro.pufs.arbiter import parity_transform
+
+
+def random_function(n: int, seed: int) -> BooleanFunction:
+    rng = np.random.default_rng(seed)
+    tab = (1 - 2 * rng.integers(0, 2, size=2**n)).astype(np.int8)
+    return BooleanFunction.from_truth_table(tab)
+
+
+class TestFourierIdentities:
+    @given(st.integers(1, 6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_parseval(self, n, seed):
+        f = random_function(n, seed)
+        assert np.sum(walsh_hadamard(f.truth_table()) ** 2) == pytest.approx(1.0)
+
+    @given(st.integers(1, 6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_plancherel_distance(self, n, seed):
+        """dist(f, g) = (1 - <fhat, ghat>) / 2."""
+        f = random_function(n, seed)
+        g = random_function(n, seed + 1)
+        inner = float(
+            np.sum(
+                walsh_hadamard(f.truth_table()) * walsh_hadamard(g.truth_table())
+            )
+        )
+        assert f.distance(g) == pytest.approx((1.0 - inner) / 2.0)
+
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_total_influence_equals_weighted_degree(self, n, seed):
+        """I[f] = sum_k k W^k[f]."""
+        f = random_function(n, seed)
+        weights = spectral_weight_by_degree(f)
+        expected = float(np.sum(np.arange(n + 1) * weights))
+        assert np.sum(influences_exact(f)) == pytest.approx(expected)
+
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_xor_spectrum_is_convolution_for_disjoint_juntas(self, n, seed):
+        """fg for functions on disjoint variables: fhatg(S u T) = fhat(S) ghat(T)."""
+        rng = np.random.default_rng(seed)
+        # f on first coordinate only, g a parity on the rest.
+        f = BooleanFunction.parity_on(n, [0])
+        rest = [i for i in range(1, n)]
+        g = BooleanFunction.parity_on(n, rest)
+        h = f.xor(g)
+        spec = fourier_spectrum(h)
+        assert spec == {tuple(range(n)): pytest.approx(1.0)}
+
+    @given(st.integers(2, 7), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_noise_sensitivity_mc_matches_exact(self, n, seed):
+        rng = np.random.default_rng(seed)
+        f = LTF.random(n, rng)
+        eps = float(rng.uniform(0.05, 0.4))
+        exact = noise_sensitivity_exact(f, eps)
+        mc = noise_sensitivity_mc(f, eps, m=40_000, rng=rng)
+        assert mc == pytest.approx(exact, abs=0.02)
+
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_chow_parameters_are_low_degree_spectrum(self, n, seed):
+        f = random_function(n, seed)
+        chow = chow_parameters_exact(f)
+        spec = fourier_spectrum(f, threshold=-1.0)
+        assert chow[0] == pytest.approx(spec.get((), 0.0))
+        for i in range(n):
+            assert chow[i + 1] == pytest.approx(spec.get((i,), 0.0))
+
+
+class TestF2PolynomialRing:
+    @st.composite
+    @staticmethod
+    def polys(draw, n=5):
+        mons = draw(
+            st.lists(
+                st.lists(st.integers(0, n - 1), max_size=n, unique=True),
+                max_size=6,
+            )
+        )
+        return SparseF2Polynomial(n, mons)
+
+    @given(polys(), polys())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, p, q):
+        assert p + q == q + p
+
+    @given(polys(), polys(), polys())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_associates(self, p, q, r):
+        assert (p + q) + r == p + (q + r)
+
+    @given(polys(), polys(), polys())
+    @settings(max_examples=25, deadline=None)
+    def test_multiplication_distributes(self, p, q, r):
+        assert p * (q + r) == (p * q) + (p * r)
+
+    @given(polys(), polys())
+    @settings(max_examples=25, deadline=None)
+    def test_multiplication_commutes(self, p, q):
+        assert p * q == q * p
+
+    @given(polys())
+    @settings(max_examples=25, deadline=None)
+    def test_char_two(self, p):
+        assert (p + p).is_zero()
+
+    @given(polys(), polys())
+    @settings(max_examples=25, deadline=None)
+    def test_eval_homomorphism(self, p, q):
+        x = enumerate_cube(5, "bits")
+        assert np.array_equal(
+            (p * q).evaluate_bits(x),
+            p.evaluate_bits(x) & q.evaluate_bits(x),
+        )
+
+
+class TestTransformBijectivity:
+    @given(st.integers(2, 10), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_parity_transform_injective(self, n, seed):
+        rng = np.random.default_rng(seed)
+        c = random_pm1(n, 200, rng)
+        unique_c = len({tuple(r) for r in c})
+        phi = parity_transform(c)[:, :-1]
+        unique_phi = len({tuple(r) for r in phi})
+        assert unique_c == unique_phi
+
+    @given(st.integers(2, 10), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_parity_transform_uniform_to_uniform(self, n, seed):
+        """phi maps the uniform distribution to the uniform distribution."""
+        rng = np.random.default_rng(seed)
+        c = random_pm1(n, 4000, rng)
+        phi = parity_transform(c)[:, :-1]
+        # Each feature column is +/-1 balanced.
+        assert np.all(np.abs(phi.mean(axis=0)) < 0.1)
+
+
+class TestUnrollEquivalence:
+    @given(st.integers(0, 1000), st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_unrolled_equals_cycle_accurate_simulation(self, seed, frames):
+        """Unrolling is exact: the flattened circuit reproduces the
+        sequential run for every frame count, machine, and key."""
+        from repro.automata.mealy import MealyMachine
+        from repro.locking.sequential_netlist import synthesize_mealy
+        from repro.locking.unroll import lock_sequential, unroll
+
+        rng = np.random.default_rng(seed)
+        machine = MealyMachine.random(
+            int(rng.integers(2, 6)), [(0,), (1,)], ("a", "b"), rng
+        )
+        circuit = synthesize_mealy(machine)
+        max_key = max(1, min(5, circuit.core.num_gates))
+        locked = lock_sequential(circuit, int(rng.integers(1, max_key + 1)), rng)
+        unrolled = unroll(locked, frames)
+        words = [
+            np.array([int(rng.integers(0, 2))]) for _ in range(frames)
+        ]
+        key = rng.integers(0, 2, size=locked.correct_key.size).astype(np.int8)
+        _, seq_out = locked.run(words, key)
+        flat = unrolled.evaluate_locked(np.concatenate(words)[None, :], key)[0]
+        assert np.array_equal(flat, np.concatenate(seq_out))
+
+
+class TestCircuitCnfAgreement:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_tseitin_models_match_simulation(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_circuit(5, 12, 2, rng)
+        x = rng.integers(0, 2, size=5).astype(np.int8)
+        cnf = CNF()
+        var_map = tseitin_encode(net, cnf)
+        assumptions = [
+            var_map[s] if b else -var_map[s] for s, b in zip(net.inputs, x)
+        ]
+        status, model = SATSolver(cnf.clauses, cnf.num_vars).solve(
+            assumptions=assumptions
+        )
+        assert status is Satisfiability.SAT
+        out = net.evaluate(x)
+        for sig, bit in zip(net.outputs, out):
+            assert model[var_map[sig]] == bool(bit)

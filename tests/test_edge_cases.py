@@ -1,0 +1,107 @@
+"""Assorted edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.learning.learn_poly import xor_of_junta_ltfs_target
+from repro.locking.netlist import Gate, GateType, Netlist
+from repro.pufs.arbiter import ArbiterPUF
+
+
+class TestNetlistEdges:
+    def test_zero_gate_passthrough(self):
+        """Outputs may simply be inputs; depth is 0."""
+        net = Netlist(("a", "b"), ("a",), [])
+        assert net.depth() == 0
+        assert net.size() == 0
+        x = np.array([[1, 0], [0, 1]], dtype=np.int8)
+        assert np.array_equal(net.evaluate(x), np.array([[1], [0]]))
+
+    def test_depth_counts_longest_path(self):
+        gates = [
+            Gate("n1", GateType.NOT, ("a",)),
+            Gate("n2", GateType.NOT, ("n1",)),
+            Gate("n3", GateType.AND, ("n2", "a")),
+        ]
+        net = Netlist(("a",), ("n3",), gates)
+        assert net.depth() == 3
+
+    def test_depth_ignores_dangling_logic(self):
+        gates = [
+            Gate("deep1", GateType.NOT, ("a",)),
+            Gate("deep2", GateType.NOT, ("deep1",)),
+            Gate("out", GateType.NOT, ("a",)),
+        ]
+        net = Netlist(("a",), ("out",), gates)
+        assert net.depth() == 1
+
+    def test_wide_and_gate(self):
+        net = Netlist(
+            tuple(f"i{j}" for j in range(6)),
+            ("y",),
+            [Gate("y", GateType.AND, tuple(f"i{j}" for j in range(6)))],
+        )
+        assert net.evaluate(np.ones(6, dtype=np.int8)).tolist() == [1]
+        bits = np.ones(6, dtype=np.int8)
+        bits[3] = 0
+        assert net.evaluate(bits).tolist() == [0]
+
+
+class TestTargetBuilders:
+    def test_xor_of_junta_target_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            xor_of_junta_ltfs_target(4, 2, 5, rng)  # junta > n
+        with pytest.raises(ValueError):
+            xor_of_junta_ltfs_target(8, 0, 2, rng)
+        with pytest.raises(ValueError):
+            xor_of_junta_ltfs_target(8, 2, 0, rng)
+
+    def test_xor_of_junta_target_is_deterministic_given_build(self):
+        rng = np.random.default_rng(1)
+        target = xor_of_junta_ltfs_target(10, 3, 3, rng)
+        x = np.random.default_rng(2).integers(0, 2, (50, 10)).astype(np.int8)
+        assert np.array_equal(target(x), target(x))
+
+    def test_single_row_input(self):
+        rng = np.random.default_rng(3)
+        target = xor_of_junta_ltfs_target(6, 2, 2, rng)
+        row = np.ones(6, dtype=np.int8)
+        out = target(row)
+        assert out.shape == (1,)
+        assert out[0] in (0, 1)
+
+
+class TestPUFBaseEdges:
+    def test_repr(self):
+        puf = ArbiterPUF(8, np.random.default_rng(0), noise_sigma=0.25)
+        text = repr(puf)
+        assert "ArbiterPUF" in text and "0.25" in text
+
+    def test_single_challenge_noisy(self):
+        puf = ArbiterPUF(8, np.random.default_rng(1), noise_sigma=0.1)
+        c = np.ones(8, dtype=np.int8)
+        r = puf.eval_noisy(c, np.random.default_rng(2))
+        assert r.shape == (1,)
+        assert r[0] in (-1, 1)
+
+    def test_three_dim_challenges_rejected(self):
+        puf = ArbiterPUF(8, np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            puf.eval(np.ones((2, 2, 8), dtype=np.int8))
+
+
+class TestAnalysisEdges:
+    def test_format_float_negative_huge(self):
+        from repro.analysis.tables import format_float
+
+        assert "e" in format_float(-3.7e9)
+
+    def test_table_mixed_cell_types(self):
+        from repro.analysis.tables import format_table
+
+        text = format_table(
+            ["a", "b", "c"], [[1, "x", 2.5], [float("inf"), None, -1]]
+        )
+        assert "inf" in text
+        assert "-" in text
