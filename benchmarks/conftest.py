@@ -14,6 +14,18 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture
+def crp_cache():
+    """A persistent CRP cache under ``benchmarks/results/crp_cache``.
+
+    Surviving across runs is the point: the first benchmark invocation
+    pays CRP generation, later ones replay the memoised pools.
+    """
+    from repro.runtime import CRPCache
+
+    return CRPCache(RESULTS_DIR / "crp_cache")
+
+
+@pytest.fixture
 def report():
     """Write a named report file and echo it to stdout."""
 

@@ -11,9 +11,11 @@ bounds to measurements):
    product-of-margins model converges.
 """
 
+import os
+
 import numpy as np
 
-from repro.analysis.learning_curves import compare_learners
+from repro.analysis.learning_curves import compare_learners, replicated_learning_curve
 from repro.analysis.tables import TableBuilder
 from repro.learning.boosting import AdaBoost
 from repro.learning.logistic import LogisticAttack
@@ -102,3 +104,72 @@ def test_learning_curves(benchmark, report):
     xor_knee = xor_by_name["product-of-margins"].budget_to_reach(0.95)
     assert arb_knee is not None and xor_knee is not None
     assert xor_knee >= arb_knee
+
+
+# ----------------------------------------------------------------------
+# Replicated (multi-instance) curves through the parallel runtime.
+# Factory and fitter are module-level so the process pool can pickle them.
+
+REPLICA_BUDGETS = (100, 400, 1600)
+
+
+def _arbiter_factory(rng):
+    return ArbiterPUF(40, rng)
+
+
+def _logistic_fitter(x, y, rng):
+    return LogisticAttack(feature_map=parity_transform).fit(x, y, rng).predict
+
+
+def run_replicated(workers):
+    serial_curve, serial_report = replicated_learning_curve(
+        "logistic",
+        _logistic_fitter,
+        _arbiter_factory,
+        REPLICA_BUDGETS,
+        trials=8,
+        test_size=1000,
+        master_seed=99,
+        workers=1,
+    )
+    parallel_curve, parallel_report = replicated_learning_curve(
+        "logistic",
+        _logistic_fitter,
+        _arbiter_factory,
+        REPLICA_BUDGETS,
+        trials=8,
+        test_size=1000,
+        master_seed=99,
+        workers=workers,
+    )
+    return serial_curve, serial_report, parallel_curve, parallel_report
+
+
+def test_replicated_learning_curve(benchmark, report):
+    workers = int(os.environ.get("REPRO_WORKERS", "2"))
+    serial_curve, serial_report, parallel_curve, parallel_report = (
+        benchmark.pedantic(run_replicated, args=(workers,), rounds=1, iterations=1)
+    )
+
+    table = TableBuilder(
+        ["statistic"] + [f"{b} CRPs" for b in REPLICA_BUDGETS],
+        title=(
+            "E11b: arbiter-40 logistic curve over 8 fresh instances "
+            f"(serial {serial_report.wall_seconds:.2f}s vs "
+            f"{workers}-worker {parallel_report.wall_seconds:.2f}s)"
+        ),
+    )
+    table.add_row(
+        "mean acc [%]", *[f"{100 * a:.1f}" for a in parallel_curve.mean_accuracies]
+    )
+    table.add_row(
+        "std acc [%]", *[f"{100 * s:.1f}" for s in parallel_curve.std_accuracies]
+    )
+    report("replicated_learning_curve", table.render())
+
+    # The determinism contract: worker count must not change the numbers.
+    assert serial_curve.mean_accuracies == parallel_curve.mean_accuracies
+    assert serial_curve.std_accuracies == parallel_curve.std_accuracies
+    # The averaged curve behaves like a learning curve should.
+    assert parallel_curve.mean_accuracies[-1] > 0.95
+    assert parallel_curve.as_curve().is_monotone(slack=0.05)

@@ -25,16 +25,39 @@ CRP_BUDGETS = (1000, 2500, 5000, 10000)
 TEST_SIZE = 15_000
 
 
-def run_table2():
-    rng = np.random.default_rng(2020)
+def run_table2(cache=None):
+    """Reproduce Table II; with ``cache`` set, stable-CRP pools are memoised.
+
+    Each ring size owns its own collection seed so a cache hit for one
+    size cannot shift the random stream of another — the pools are a
+    pure function of ``(n, seed)`` either way.
+    """
     accuracies = {}
     for n in RING_SIZES:
         puf = BistableRingPUF(n, np.random.default_rng(n), noise_sigma=0.4)
-        pool, _ = collect_stable_crps(
-            puf, max(CRP_BUDGETS) + TEST_SIZE, repetitions=7, rng=rng
-        )
+        pool_size = max(CRP_BUDGETS) + TEST_SIZE
+
+        def collect(n=n, puf=puf, pool_size=pool_size):
+            return collect_stable_crps(
+                puf,
+                pool_size,
+                repetitions=7,
+                rng=np.random.default_rng(2020 + n),
+            )[0]
+
+        if cache is not None:
+            pool = cache.get_or_generate(
+                puf_spec=f"BistableRingPUF(n={n}, sigma=0.4, stable, reps=7)",
+                seed=2020 + n,
+                distribution="uniform-stable",
+                m=pool_size,
+                generate=collect,
+            )
+        else:
+            pool = collect()
         test = pool.take(TEST_SIZE)
         train_all = pool.challenges[TEST_SIZE:], pool.responses[TEST_SIZE:]
+        fit_rng = np.random.default_rng(7000 + n)
         for budget in CRP_BUDGETS:
             x = train_all[0][:budget]
             y = train_all[1][:budget]
@@ -43,7 +66,7 @@ def run_table2():
             # Perceptron learns f' from f'-labelled challenges (the paper's
             # Weka step), then is evaluated on the device's own CRPs.
             labels = f_prime(x)
-            result = Perceptron(max_epochs=25).fit(x, labels, rng)
+            result = Perceptron(max_epochs=25).fit(x, labels, fit_rng)
             acc = float(
                 np.mean(result.predict(test.challenges) == test.responses)
             )
@@ -51,8 +74,10 @@ def run_table2():
     return accuracies
 
 
-def test_table2_chow_brpuf(benchmark, report):
-    accuracies = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+def test_table2_chow_brpuf(benchmark, report, crp_cache):
+    accuracies = benchmark.pedantic(
+        run_table2, args=(crp_cache,), rounds=1, iterations=1
+    )
 
     table = TableBuilder(
         ["# CRPs for Chow params"] + [str(n) for n in RING_SIZES],

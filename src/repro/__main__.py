@@ -8,6 +8,12 @@ Subcommands:
 
 * ``attack-demo`` — a 30-second tour: lock c17, run the SAT attack,
   print the recovered key.
+
+* ``trials`` — the parallel experiment runtime: fan a learning-curve
+  workload out over worker processes and report per-trial timings,
+  wall-clock speedup over serial, and the bit-identity check::
+
+      python -m repro trials --trials 32 --workers 4
 """
 
 from __future__ import annotations
@@ -88,6 +94,63 @@ def cmd_attack_demo(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def cmd_trials(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import TableBuilder
+    from repro.runtime import TrialRunner
+    from repro.runtime.workloads import LearningCurveSpec, learning_curve_trial
+
+    budgets = tuple(int(b) for b in args.budgets.split(","))
+    spec = LearningCurveSpec(
+        n=args.n, k=args.k, budgets=budgets, test_size=args.test_size
+    )
+    kwargs = {"spec": spec}
+    print(
+        f"workload: {args.trials} learning-curve trials "
+        f"({'arbiter' if args.k == 1 else f'{args.k}-XOR arbiter'}, n={args.n}, "
+        f"budgets={budgets}, test_size={args.test_size}), master seed {args.seed}"
+    )
+
+    serial = None
+    if not args.skip_serial:
+        serial = TrialRunner(workers=1).run(
+            learning_curve_trial, args.trials, args.seed, kwargs
+        )
+        print(f"serial:   {serial.summary()}")
+    parallel = TrialRunner(workers=args.workers).run(
+        learning_curve_trial, args.trials, args.seed, kwargs
+    )
+    print(f"parallel: {parallel.summary()}")
+
+    table = TableBuilder(
+        ["trial", "seconds"] + [f"acc @ {b}" for b in sorted(budgets)],
+        title="per-trial timings and accuracies (parallel run)",
+    )
+    for result in parallel.results:
+        table.add_row(
+            result.index,
+            f"{result.seconds:.3f}",
+            *[f"{a:.4f}" for a in result.value],
+        )
+    print(table.render())
+
+    if serial is not None:
+        identical = all(
+            np.array_equal(a, b)
+            for a, b in zip(serial.values(), parallel.values())
+        )
+        speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+        print(
+            f"speedup: {speedup:.2f}x at workers={args.workers} "
+            f"({serial.wall_seconds:.2f}s serial vs "
+            f"{parallel.wall_seconds:.2f}s parallel)"
+        )
+        print(f"bit-identical results across worker counts: {identical}")
+        if not identical:
+            print("DETERMINISM VIOLATION: parallel results differ from serial")
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -119,6 +182,32 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--key-length", type=int, default=5)
     demo.add_argument("--seed", type=int, default=0)
     demo.set_defaults(func=cmd_attack_demo)
+
+    trials = sub.add_parser(
+        "trials", help="parallel trial fan-out benchmark with determinism check"
+    )
+    trials.add_argument("--trials", type=int, default=32, help="number of trials")
+    trials.add_argument(
+        "--workers", type=int, default=4, help="worker processes for the parallel run"
+    )
+    trials.add_argument("--n", type=int, default=48, help="challenge length")
+    trials.add_argument(
+        "--k", type=int, default=1, help="XOR chain count (1 = plain arbiter)"
+    )
+    trials.add_argument(
+        "--budgets",
+        type=str,
+        default="100,400,1600",
+        help="comma-separated CRP budgets",
+    )
+    trials.add_argument("--test-size", type=int, default=2000)
+    trials.add_argument("--seed", type=int, default=0, help="master seed")
+    trials.add_argument(
+        "--skip-serial",
+        action="store_true",
+        help="skip the serial reference run (no speedup/identity check)",
+    )
+    trials.set_defaults(func=cmd_trials)
     return parser
 
 

@@ -2,16 +2,20 @@
 
 from repro.analysis.tables import format_table, format_float, TableBuilder
 from repro.analysis.learning_curves import (
+    AveragedLearningCurve,
     LearningCurve,
     compare_learners,
     learning_curve,
+    replicated_learning_curve,
 )
 
 __all__ = [
     "format_table",
     "format_float",
     "TableBuilder",
+    "AveragedLearningCurve",
     "LearningCurve",
     "compare_learners",
     "learning_curve",
+    "replicated_learning_curve",
 ]

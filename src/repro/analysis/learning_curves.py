@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.pufs.base import PUF
 from repro.pufs.crp import CRPSet, generate_crps
+from repro.runtime.runner import TrialContext, TrialReport, TrialRunner
 
 #: fit(x, y, rng) -> predict(x) callable
 Fitter = Callable[
@@ -77,6 +78,87 @@ def learning_curve(
             float(np.mean(np.asarray(predict(test.challenges)) == test.responses))
         )
     return LearningCurve(learner_name, budgets, accuracies)
+
+
+@dataclasses.dataclass
+class AveragedLearningCurve:
+    """A learning curve averaged over independent trials.
+
+    Each trial builds a *fresh* PUF instance and CRP pool, so the mean
+    and standard deviation describe the primitive class, not one chip —
+    the statistic the Table I bounds are actually about.
+    """
+
+    learner: str
+    budgets: List[int]
+    mean_accuracies: List[float]
+    std_accuracies: List[float]
+    trials: int
+
+    def as_curve(self) -> LearningCurve:
+        """The mean curve, viewed as an ordinary :class:`LearningCurve`."""
+        return LearningCurve(self.learner, self.budgets, self.mean_accuracies)
+
+
+def _replicated_curve_trial(
+    ctx: TrialContext,
+    fitter: Fitter,
+    puf_factory: Callable[[np.random.Generator], PUF],
+    budgets: Sequence[int],
+    test_size: int,
+) -> List[float]:
+    """One trial of :func:`replicated_learning_curve` (module-level so the
+    process pool can pickle it when factory and fitter are picklable)."""
+    instance_rng, crp_rng = ctx.spawn_rngs(2)
+    puf = puf_factory(instance_rng)
+    curve = learning_curve("trial", fitter, puf, budgets, test_size, crp_rng)
+    return curve.accuracies
+
+
+def replicated_learning_curve(
+    learner_name: str,
+    fitter: Fitter,
+    puf_factory: Callable[[np.random.Generator], PUF],
+    budgets: Sequence[int],
+    trials: int,
+    test_size: int = 5000,
+    master_seed: int = 0,
+    workers: int = 1,
+    runner: Optional[TrialRunner] = None,
+) -> "tuple[AveragedLearningCurve, TrialReport]":
+    """A learning curve averaged over ``trials`` fresh PUF instances.
+
+    Trials fan out over :class:`repro.runtime.TrialRunner`: pass
+    ``workers > 1`` (or a configured ``runner``) to parallelise.  Results
+    are bit-identical for every worker count because each trial's
+    randomness derives only from ``(master_seed, trial_index)``.  Note
+    that ``puf_factory`` and ``fitter`` must be module-level callables to
+    actually reach the pool; closures fall back to serial execution.
+    """
+    budgets = sorted(int(b) for b in budgets)
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    runner = TrialRunner(workers=workers) if runner is None else runner
+    report = runner.run(
+        _replicated_curve_trial,
+        trials,
+        master_seed=master_seed,
+        trial_kwargs={
+            "fitter": fitter,
+            "puf_factory": puf_factory,
+            "budgets": budgets,
+            "test_size": test_size,
+        },
+    )
+    matrix = np.asarray(report.values(), dtype=np.float64)
+    curve = AveragedLearningCurve(
+        learner=learner_name,
+        budgets=list(budgets),
+        mean_accuracies=[float(v) for v in matrix.mean(axis=0)],
+        std_accuracies=[float(v) for v in matrix.std(axis=0)],
+        trials=trials,
+    )
+    return curve, report
 
 
 def compare_learners(

@@ -25,7 +25,13 @@ def uniform_challenges(m: int, n: int, rng: np.random.Generator) -> np.ndarray:
 
 
 def biased_challenges(p: float) -> ChallengeSampler:
-    """A product distribution where each bit is 1 (i.e. -1) with probability p.
+    """A product distribution over +/-1 challenges with bias ``p``.
+
+    Each bit independently takes the value ``-1`` with probability ``p``
+    and ``+1`` with probability ``1 - p``.  (``-1`` is the +/-1 encoding
+    of the *logical one*, via the standard map ``b -> (-1)**b``; so
+    ``p = 1.0`` yields all-(-1) rows and ``p = 0.0`` all-(+1) rows.  The
+    exact convention is pinned by tests/property/test_crp_distributions.py.)
 
     Used to demonstrate distribution-dependence: a learner tuned to the
     uniform distribution can fail badly under a skewed product measure.

@@ -1,0 +1,52 @@
+"""Parallel experiment runtime: deterministic trial fan-out, chunked CRP
+evaluation, and on-disk CRP memoisation.
+
+The three pieces compose into the standard experiment loop:
+
+* :mod:`repro.runtime.seeding` — ``SeedSequence``-based fan-out so trial
+  ``i`` owns a stream independent of worker count and scheduling order;
+* :mod:`repro.runtime.runner` — :class:`TrialRunner`, a process-pool
+  executor for independent trials with a serial fallback and per-trial
+  timing;
+* :mod:`repro.runtime.chunking` — blocked CRP generation/evaluation that
+  keeps the working set cache-resident;
+* :mod:`repro.runtime.cache` — :class:`CRPCache`, ``.npz`` memoisation of
+  generated CRP sets keyed by generation provenance.
+
+Picklable standard workloads live in :mod:`repro.runtime.workloads`
+(imported explicitly, not re-exported, to keep this package import-light).
+"""
+
+from repro.runtime.cache import CRPCache, cache_key
+from repro.runtime.chunking import (
+    DEFAULT_BLOCK_SIZE,
+    eval_blocked,
+    eval_noisy_blocked,
+    generate_crps_blocked,
+    iter_blocks,
+)
+from repro.runtime.runner import (
+    TrialContext,
+    TrialReport,
+    TrialResult,
+    TrialRunner,
+)
+from repro.runtime.seeding import as_seed_sequence, fan_out, trial_rng, trial_seed
+
+__all__ = [
+    "CRPCache",
+    "cache_key",
+    "DEFAULT_BLOCK_SIZE",
+    "eval_blocked",
+    "eval_noisy_blocked",
+    "generate_crps_blocked",
+    "iter_blocks",
+    "TrialContext",
+    "TrialReport",
+    "TrialResult",
+    "TrialRunner",
+    "as_seed_sequence",
+    "fan_out",
+    "trial_rng",
+    "trial_seed",
+]

@@ -1,0 +1,129 @@
+"""On-disk memoisation of generated CRP sets.
+
+Benchmark runs regenerate the same CRP pools over and over: the Table II
+sweep alone draws tens of thousands of BR PUF responses per ring size,
+every time it runs.  Since a CRP set is a pure function of
+``(PUF spec, instance seed, challenge distribution, count, noise flag)``,
+it can be generated once and memoised to a compressed ``.npz``.
+
+Keys are explicit, not derived from live PUF objects: the caller states
+the spec string (e.g. ``"BistableRingPUF(n=64, sigma=0.4)"``) and the
+instance seed, which is exactly the information needed to regenerate the
+set.  A cached file stores however many CRPs were generated; a request
+for a *prefix* of that is served from the same file, because blocked and
+unblocked generators draw challenges sequentially — the first ``m`` rows
+of a larger draw equal an ``m``-row draw from the same state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.pufs.crp import CRPSet
+
+
+def cache_key(
+    puf_spec: str,
+    seed: object,
+    distribution: str,
+    m: int,
+    noisy: bool = False,
+) -> str:
+    """A stable hex digest identifying one CRP set's provenance.
+
+    ``m`` is *not* part of the digest — see prefix reuse in the module
+    docstring — but is validated by :meth:`CRPCache.get_or_generate`.
+    """
+    material = f"{puf_spec}|seed={seed!r}|dist={distribution}|noisy={bool(noisy)}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+
+class CRPCache:
+    """A directory of memoised CRP sets keyed by generation provenance.
+
+    Parameters
+    ----------
+    cache_dir:
+        Where the ``.npz`` files live; created on first store.  Defaults
+        to ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in the working
+        directory.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"crps-{key}.npz"
+
+    def load(self, key: str) -> Optional[CRPSet]:
+        """The cached set for ``key``, or None."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        return CRPSet.load(path)
+
+    def store(self, key: str, crps: CRPSet) -> Path:
+        """Persist ``crps`` under ``key`` (atomic replace)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp.npz")
+        crps.save(tmp)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def get_or_generate(
+        self,
+        puf_spec: str,
+        seed: object,
+        distribution: str,
+        m: int,
+        generate: Callable[[], CRPSet],
+        noisy: bool = False,
+    ) -> CRPSet:
+        """The first ``m`` CRPs for this provenance, generating on miss.
+
+        On a hit with at least ``m`` cached CRPs the prefix is returned
+        without calling ``generate``.  On a miss (or a cached set that is
+        too short) ``generate()`` runs and its output replaces the cached
+        file, so the cache monotonically grows to the largest request.
+        """
+        if m <= 0:
+            raise ValueError("CRP count must be positive")
+        key = cache_key(puf_spec, seed, distribution, m, noisy)
+        cached = self.load(key)
+        if cached is not None and len(cached) >= m:
+            self.hits += 1
+            return cached.take(m)
+        self.misses += 1
+        crps = generate()
+        if len(crps) < m:
+            raise ValueError(
+                f"generator produced {len(crps)} CRPs, fewer than requested {m}"
+            )
+        self.store(key, crps)
+        return crps.take(m)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete all cached sets; returns how many files were removed."""
+        removed = 0
+        if self.cache_dir.exists():
+            for path in self.cache_dir.glob("crps-*.npz"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"CRPCache(dir={str(self.cache_dir)!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

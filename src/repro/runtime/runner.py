@@ -1,0 +1,209 @@
+"""The parallel trial runner.
+
+A *trial* is one independent repetition of an experiment: build a fresh
+PUF instance, draw CRPs, fit a learner, score it.  Table I assessments,
+the BR PUF Chow/LTF experiments, learning curves and noise-tolerance
+ablations are all loops of such trials, so this one abstraction is the
+scaling point for the whole reproduction.
+
+Determinism contract
+--------------------
+``TrialRunner.run(fn, num_trials, master_seed)`` yields *bit-identical*
+results for any ``workers`` setting: every trial's randomness comes from
+its own :class:`~numpy.random.SeedSequence` child (see
+:mod:`repro.runtime.seeding`), results are re-ordered by trial index, and
+nothing a trial computes may depend on shared mutable state.  Trial
+functions must be picklable (module-level) to run on the pool; closures
+and lambdas silently degrade to the serial path with a warning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.seeding import SeedLike, fan_out
+
+
+@dataclasses.dataclass
+class TrialContext:
+    """What a trial function receives: its index and its private stream."""
+
+    index: int
+    seed: np.random.SeedSequence
+
+    def __post_init__(self) -> None:
+        self._rng: Optional[np.random.Generator] = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The trial's Generator (created once, then reused)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
+        return self._rng
+
+    def spawn_rngs(self, k: int) -> List[np.random.Generator]:
+        """``k`` further independent Generators (e.g. one per learner)."""
+        return [np.random.default_rng(s) for s in self.seed.spawn(k)]
+
+
+#: A trial function: (context, **kwargs) -> any picklable result.
+TrialFn = Callable[..., Any]
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """One trial's outcome plus its in-worker wall-clock time."""
+
+    index: int
+    value: Any
+    seconds: float
+
+
+@dataclasses.dataclass
+class TrialReport:
+    """All trial results (ordered by index) plus timing aggregates."""
+
+    results: List[TrialResult]
+    workers: int
+    wall_seconds: float
+    executor: str  # "serial" or "process-pool"
+
+    def values(self) -> List[Any]:
+        """Trial values in index order."""
+        return [r.value for r in self.results]
+
+    def trial_seconds(self) -> np.ndarray:
+        """Per-trial in-worker durations, index order."""
+        return np.array([r.seconds for r in self.results])
+
+    @property
+    def total_trial_seconds(self) -> float:
+        """Sum of per-trial durations (the serial-equivalent work)."""
+        return float(np.sum(self.trial_seconds()))
+
+    def summary(self) -> str:
+        secs = self.trial_seconds()
+        return (
+            f"{len(self.results)} trials on {self.workers} worker(s) "
+            f"[{self.executor}]: wall {self.wall_seconds:.2f}s, "
+            f"per-trial mean {np.mean(secs):.3f}s "
+            f"(min {np.min(secs):.3f}s, max {np.max(secs):.3f}s)"
+        )
+
+
+def _execute_trial(
+    trial_fn: TrialFn,
+    index: int,
+    seed: np.random.SeedSequence,
+    kwargs: Dict[str, Any],
+) -> TrialResult:
+    """Run one trial and time it (module-level so the pool can pickle it)."""
+    start = time.perf_counter()
+    value = trial_fn(TrialContext(index, seed), **kwargs)
+    return TrialResult(index=index, value=value, seconds=time.perf_counter() - start)
+
+
+class TrialRunner:
+    """Fan independent trials out over a process pool, deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs serially in
+        the current process — no pool, no pickling requirements.
+    chunk_size:
+        Trials submitted per pool task.  Defaults to
+        ``ceil(num_trials / (4 * workers))``, which keeps every worker
+        busy while amortising inter-process overhead.
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trial_fn: TrialFn,
+        num_trials: int,
+        master_seed: SeedLike = 0,
+        trial_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> TrialReport:
+        """Run ``num_trials`` independent trials of ``trial_fn``.
+
+        ``trial_fn`` is called as ``trial_fn(ctx, **trial_kwargs)`` where
+        ``ctx`` is a :class:`TrialContext`; it must draw all randomness
+        from ``ctx.rng`` / ``ctx.spawn_rngs`` for the determinism
+        contract to hold.  Results are returned in trial-index order and
+        are bit-identical for every ``workers`` value.
+        """
+        kwargs = dict(trial_kwargs or {})
+        seeds = fan_out(master_seed, num_trials)
+        start = time.perf_counter()
+
+        if self.workers == 1:
+            results = self._run_serial(trial_fn, seeds, kwargs)
+            executor = "serial"
+        else:
+            try:
+                results = self._run_pool(trial_fn, seeds, kwargs)
+                executor = "process-pool"
+            except Exception as exc:  # unpicklable fn, broken pool, no sem …
+                warnings.warn(
+                    f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                results = self._run_serial(trial_fn, seeds, kwargs)
+                executor = "serial"
+
+        results.sort(key=lambda r: r.index)
+        return TrialReport(
+            results=results,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - start,
+            executor=executor,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        trial_fn: TrialFn,
+        seeds: List[np.random.SeedSequence],
+        kwargs: Dict[str, Any],
+    ) -> List[TrialResult]:
+        return [
+            _execute_trial(trial_fn, i, seed, kwargs)
+            for i, seed in enumerate(seeds)
+        ]
+
+    def _run_pool(
+        self,
+        trial_fn: TrialFn,
+        seeds: List[np.random.SeedSequence],
+        kwargs: Dict[str, Any],
+    ) -> List[TrialResult]:
+        num_trials = len(seeds)
+        chunk = self.chunk_size or max(1, -(-num_trials // (4 * self.workers)))
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(
+                pool.map(
+                    _execute_trial,
+                    [trial_fn] * num_trials,
+                    range(num_trials),
+                    seeds,
+                    [kwargs] * num_trials,
+                    chunksize=chunk,
+                )
+            )

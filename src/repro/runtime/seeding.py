@@ -1,0 +1,59 @@
+"""Deterministic seed fan-out for parallel trials.
+
+Every experiment in this reproduction is a loop of independent trials
+(fresh PUF instance x CRP draw x learner fit).  To run those trials on a
+process pool *without* losing reproducibility, each trial must own a
+random stream that depends only on ``(master_seed, trial_index)`` — never
+on which worker ran it or in what order.  ``numpy.random.SeedSequence``
+is built for exactly this: ``SeedSequence(master).spawn(k)`` derives k
+statistically independent children, and child ``i`` is identical to
+``SeedSequence(master, spawn_key=(i,))``, so a worker can reconstruct its
+stream from two integers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[int, Sequence[int], np.random.SeedSequence, None]
+
+
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Coerce an int / sequence / SeedSequence / None into a SeedSequence."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def fan_out(master_seed: SeedLike, num_trials: int) -> List[np.random.SeedSequence]:
+    """One independent :class:`~numpy.random.SeedSequence` per trial.
+
+    The fan-out is a pure function of ``(master_seed, num_trials)``:
+    trial ``i`` receives the same child regardless of worker count,
+    scheduling order, or platform.
+    """
+    if num_trials <= 0:
+        raise ValueError(f"num_trials must be positive, got {num_trials}")
+    return as_seed_sequence(master_seed).spawn(num_trials)
+
+
+def trial_seed(master_seed: SeedLike, index: int) -> np.random.SeedSequence:
+    """The ``index``-th child of the fan-out, reconstructed directly.
+
+    Equivalent to ``fan_out(master_seed, index + 1)[index]`` but O(1):
+    NumPy guarantees spawned child ``i`` equals
+    ``SeedSequence(entropy, spawn_key=(i,))``.
+    """
+    if index < 0:
+        raise ValueError(f"trial index must be non-negative, got {index}")
+    base = as_seed_sequence(master_seed)
+    return np.random.SeedSequence(
+        base.entropy, spawn_key=tuple(base.spawn_key) + (index,)
+    )
+
+
+def trial_rng(master_seed: SeedLike, index: int) -> np.random.Generator:
+    """A fresh Generator for one trial, independent of all other trials."""
+    return np.random.default_rng(trial_seed(master_seed, index))

@@ -1,0 +1,122 @@
+"""Picklable trial workloads for the parallel runtime.
+
+:class:`~repro.runtime.runner.TrialRunner` ships trial functions to
+worker processes, so they must be module-level callables.  This module
+collects the standard experiment shapes — the learning-curve trial used
+by ``python -m repro trials`` and the CRP-collection trial the cache
+benchmarks replay — with all parameters passed as plain dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.learning.logistic import LogisticAttack
+from repro.pufs.arbiter import ArbiterPUF, parity_transform
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.crp import generate_crps
+from repro.pufs.xor_arbiter import XORArbiterPUF
+from repro.runtime.cache import CRPCache
+from repro.runtime.chunking import DEFAULT_BLOCK_SIZE, generate_crps_blocked
+from repro.runtime.runner import TrialContext
+
+
+@dataclasses.dataclass(frozen=True)
+class LearningCurveSpec:
+    """One learning-curve trial: fresh PUF, one pool, accuracy per budget."""
+
+    n: int = 48
+    k: int = 1  # 1 = plain arbiter chain; >1 = XOR arbiter
+    budgets: Tuple[int, ...] = (100, 400, 1600)
+    test_size: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.k <= 0:
+            raise ValueError("n and k must be positive")
+        if not self.budgets or min(self.budgets) < 1:
+            raise ValueError("budgets must be positive")
+        if self.test_size <= 0:
+            raise ValueError("test_size must be positive")
+
+    @property
+    def sorted_budgets(self) -> Tuple[int, ...]:
+        return tuple(sorted(int(b) for b in self.budgets))
+
+
+def learning_curve_trial(ctx: TrialContext, spec: LearningCurveSpec) -> np.ndarray:
+    """Accuracy of the logistic attack at each budget, for one fresh PUF.
+
+    All randomness (instance weights, CRP draws, learner init) comes from
+    ``ctx``, so the result is a pure function of ``(master_seed, index)``
+    — the determinism contract of :class:`TrialRunner`.
+    """
+    rng = ctx.rng
+    if spec.k == 1:
+        puf = ArbiterPUF(spec.n, rng)
+    else:
+        puf = XORArbiterPUF(spec.n, spec.k, rng)
+    budgets = spec.sorted_budgets
+    pool = generate_crps_blocked(puf, budgets[-1], rng)
+    test = generate_crps_blocked(puf, spec.test_size, rng)
+    accuracies = np.empty(len(budgets))
+    for i, budget in enumerate(budgets):
+        result = LogisticAttack(feature_map=parity_transform).fit(
+            pool.challenges[:budget], pool.responses[:budget], rng
+        )
+        accuracies[i] = float(
+            np.mean(result.predict(test.challenges) == test.responses)
+        )
+    return accuracies
+
+
+@dataclasses.dataclass(frozen=True)
+class ChowTrialSpec:
+    """One Chow-parameter trial on a fresh BR PUF — generation-heavy."""
+
+    n: int = 64
+    m: int = 20_000
+    interaction_scale: float = 0.55
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+
+def chow_brpuf_trial(
+    ctx: TrialContext,
+    spec: ChowTrialSpec,
+    cache_dir: Optional[str] = None,
+) -> np.ndarray:
+    """Chow parameters of a fresh BR PUF from ``m`` noiseless CRPs.
+
+    The CRP pool dominates the cost; with ``cache_dir`` set it is
+    memoised by (spec, trial seed), so a warm re-run skips generation
+    entirely and only the O(n m) Chow estimate remains.
+    """
+    instance_rng, crp_rng = ctx.spawn_rngs(2)
+    puf = BistableRingPUF(
+        spec.n, instance_rng, interaction_scale=spec.interaction_scale
+    )
+    puf_spec = (
+        f"BistableRingPUF(n={spec.n}, interaction_scale={spec.interaction_scale})"
+    )
+
+    def generate():
+        return generate_crps_blocked(
+            puf, spec.m, crp_rng, block_size=spec.block_size
+        )
+
+    if cache_dir is not None:
+        crps = CRPCache(cache_dir).get_or_generate(
+            puf_spec=puf_spec,
+            seed=(ctx.seed.entropy, tuple(ctx.seed.spawn_key), ctx.index),
+            distribution="uniform",
+            m=spec.m,
+            generate=generate,
+        )
+    else:
+        crps = generate()
+    x = crps.challenges.astype(np.float64)
+    y = crps.responses.astype(np.float64)
+    # Chow parameters: E[f(x)] and E[f(x) x_i].
+    return np.concatenate([[np.mean(y)], (x.T @ y) / len(crps)])

@@ -8,6 +8,7 @@ from repro.analysis.learning_curves import (
     LearningCurve,
     compare_learners,
     learning_curve,
+    replicated_learning_curve,
 )
 from repro.learning.logistic import LogisticAttack
 from repro.pufs.arbiter import ArbiterPUF, parity_transform
@@ -15,6 +16,10 @@ from repro.pufs.arbiter import ArbiterPUF, parity_transform
 
 def logistic_fitter(x, y, rng):
     return LogisticAttack(feature_map=parity_transform).fit(x, y, rng).predict
+
+
+def arbiter_factory(rng):
+    return ArbiterPUF(16, rng)
 
 
 class TestLearningCurve:
@@ -59,6 +64,44 @@ class TestLearningCurve:
         assert {c.learner for c in curves} == {"a", "b"}
 
 
+class TestReplicatedLearningCurve:
+    def test_mean_and_std_shapes(self):
+        curve, report = replicated_learning_curve(
+            "logistic",
+            logistic_fitter,
+            arbiter_factory,
+            [50, 200],
+            trials=3,
+            test_size=300,
+            master_seed=5,
+        )
+        assert curve.budgets == [50, 200]
+        assert len(curve.mean_accuracies) == 2
+        assert len(curve.std_accuracies) == 2
+        assert curve.trials == 3
+        assert len(report.results) == 3
+        assert curve.as_curve().accuracies == curve.mean_accuracies
+
+    def test_worker_count_does_not_change_numbers(self):
+        kwargs = dict(
+            budgets=[50, 200], trials=4, test_size=300, master_seed=17
+        )
+        serial, _ = replicated_learning_curve(
+            "l", logistic_fitter, arbiter_factory, workers=1, **kwargs
+        )
+        pooled, _ = replicated_learning_curve(
+            "l", logistic_fitter, arbiter_factory, workers=4, **kwargs
+        )
+        assert serial.mean_accuracies == pooled.mean_accuracies
+        assert serial.std_accuracies == pooled.std_accuracies
+
+    def test_validates_trials(self):
+        with pytest.raises(ValueError):
+            replicated_learning_curve(
+                "l", logistic_fitter, arbiter_factory, [10], trials=0
+            )
+
+
 class TestCLI:
     def test_assess_runs(self, capsys):
         assert main(["assess", "--n", "32", "--k", "6"]) == 0
@@ -76,6 +119,24 @@ class TestCLI:
         assert main(["attack-demo", "--key-length", "3", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "recovered key" in out
+
+    def test_trials_runs_and_checks_identity(self, capsys):
+        code = main(
+            [
+                "trials",
+                "--trials", "3",
+                "--workers", "2",
+                "--n", "16",
+                "--budgets", "40,80",
+                "--test-size", "200",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical results across worker counts: True" in out
+        assert "speedup:" in out
+        assert "per-trial timings" in out
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,82 @@
+"""Statistical contracts of the oracle layer.
+
+The PAC analysis treats the oracles' parameters as ground truth — an
+``ExampleOracle`` with ``noise_rate=p`` *is* the p-noisy example oracle
+of the noise-tolerance theorems, and a ``MembershipOracle``'s counter
+*is* the query complexity being charged.  These tests verify both claims
+empirically: the realised flip rate lands inside a binomial confidence
+interval around p, and the counter matches the challenges actually asked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learning.oracles import ExampleOracle, MembershipOracle
+
+
+def parity_target(x):
+    return np.prod(x, axis=1).astype(np.int8)
+
+
+class TestExampleOracleNoiseRate:
+    @pytest.mark.parametrize("p", [0.05, 0.15, 0.3, 0.45])
+    def test_empirical_flip_rate_in_binomial_ci(self, p):
+        m = 40_000
+        oracle = ExampleOracle(
+            8, parity_target, np.random.default_rng(123), noise_rate=p
+        )
+        x, y = oracle.draw(m)
+        flips = int(np.sum(y != parity_target(x)))
+        # 4-sigma two-sided binomial band: false-failure odds ~ 1 in 15000
+        # per parameter point, and the seed is fixed anyway.
+        sigma = np.sqrt(m * p * (1 - p))
+        assert abs(flips - m * p) < 4 * sigma, (
+            f"flip count {flips} outside CI around {m * p:.0f}"
+        )
+
+    def test_zero_noise_never_flips(self):
+        oracle = ExampleOracle(
+            8, parity_target, np.random.default_rng(7), noise_rate=0.0
+        )
+        x, y = oracle.draw(5000)
+        np.testing.assert_array_equal(y, parity_target(x))
+
+    def test_flips_are_independent_of_position(self):
+        """Early and late halves of a draw flip at the same rate (no drift)."""
+        p = 0.2
+        oracle = ExampleOracle(
+            6, parity_target, np.random.default_rng(11), noise_rate=p
+        )
+        x, y = oracle.draw(30_000)
+        mism = y != parity_target(x)
+        first, second = mism[:15_000], mism[15_000:]
+        sigma = np.sqrt(p * (1 - p) / 15_000)
+        assert abs(float(np.mean(first)) - float(np.mean(second))) < 6 * sigma
+
+
+class TestMembershipOracleAccounting:
+    def test_counter_matches_challenges_asked(self):
+        oracle = MembershipOracle(5, parity_target)
+        rng = np.random.default_rng(0)
+        asked = 0
+        for batch in (1, 7, 32, 100):
+            x = (1 - 2 * rng.integers(0, 2, size=(batch, 5))).astype(np.int8)
+            oracle.query(x)
+            asked += batch
+            assert oracle.queries_made == asked
+
+    def test_single_row_and_query_one_count_as_one(self):
+        oracle = MembershipOracle(4, parity_target)
+        oracle.query(np.array([1, -1, 1, -1], dtype=np.int8))
+        assert oracle.queries_made == 1
+        oracle.query_one(np.array([1, 1, 1, 1], dtype=np.int8))
+        assert oracle.queries_made == 2
+
+    def test_budget_enforced_at_exact_boundary(self):
+        oracle = MembershipOracle(4, parity_target, max_queries=10)
+        x = np.ones((10, 4), dtype=np.int8)
+        oracle.query(x)  # exactly the budget: fine
+        with pytest.raises(RuntimeError, match="budget"):
+            oracle.query_one(np.ones(4, dtype=np.int8))
+        # The counter still reflects every challenge that was asked.
+        assert oracle.queries_made == 11

@@ -1,0 +1,61 @@
+"""Golden regression for the paper's headline table.
+
+``table1_rows`` at the paper's reference point (n=64, k=6,
+eps=delta=0.05) is the repository's front-page output — ``python -m
+repro assess`` prints exactly these numbers.  This snapshot pins the
+log10 CRP bounds and verdicts so refactors (vectorisation, runtime
+changes, bound rewrites) cannot silently shift them.  If a change is
+*supposed* to alter the maths, update the snapshot in the same commit
+and say why.
+"""
+
+import math
+
+import pytest
+
+from repro.pac import PACParameters, XorArbiterSpec, table1_rows
+from repro.pac.assessment import Verdict
+
+# (adversary name, log10 CRP bound, verdict) at n=64, k=6, eps=delta=0.05.
+GOLDEN = [
+    ("[9] (Perceptron)", 14.780570126849119, Verdict.FEASIBLE),
+    ("General (VC)", 5.211750045229823, Verdict.FEASIBLE),
+    ("Corollary 1 (LMN)", 60341.33707385184, Verdict.INFEASIBLE),
+    ("Corollary 2 (LearnPoly)", 59.50316819093705, Verdict.INFEASIBLE),
+]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_rows(XorArbiterSpec(64, 6), PACParameters(eps=0.05, delta=0.05))
+
+
+def test_row_order_and_names(rows):
+    assert [r.adversary.name for r in rows] == [name for name, _, _ in GOLDEN]
+
+
+def test_log10_bounds_are_pinned(rows):
+    for row, (name, log10_bound, _) in zip(rows, GOLDEN):
+        assert row.crp_bound_log10 == pytest.approx(log10_bound, rel=1e-12), (
+            f"{name}: log10 bound drifted from the golden snapshot"
+        )
+
+
+def test_verdicts_are_pinned(rows):
+    assert [r.verdict for r in rows] == [v for _, _, v in GOLDEN]
+
+
+def test_bound_and_log10_consistent(rows):
+    for row in rows:
+        if math.isfinite(row.crp_bound):
+            assert math.log10(row.crp_bound) == pytest.approx(
+                row.crp_bound_log10, rel=1e-9
+            )
+        else:
+            # Overflowed bounds must still carry a finite log10 surrogate.
+            assert math.isfinite(row.crp_bound_log10)
+
+
+def test_headline_disagreement_holds(rows):
+    """The paper's point: the same device gets conflicting verdicts."""
+    assert {r.verdict for r in rows} == {Verdict.FEASIBLE, Verdict.INFEASIBLE}

@@ -1,0 +1,64 @@
+"""Challenge-distribution invariants, including the pinned sign
+convention of :func:`repro.pufs.crp.biased_challenges`.
+
+The docstring promise is: each bit is ``-1`` (the +/-1 encoding of
+logical one) with probability ``p`` and ``+1`` otherwise.  These tests
+make that contract executable so neither side can drift again.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pufs.crp import (
+    biased_challenges,
+    low_weight_challenges,
+    uniform_challenges,
+)
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def test_biased_extreme_p_one_is_all_minus_one():
+    sample = biased_challenges(1.0)(50, 8, np.random.default_rng(0))
+    assert (sample == -1).all()
+
+
+def test_biased_extreme_p_zero_is_all_plus_one():
+    sample = biased_challenges(0.0)(50, 8, np.random.default_rng(0))
+    assert (sample == 1).all()
+
+
+@SETTINGS
+@given(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_biased_minus_one_rate_matches_p(p, seed):
+    """Empirical fraction of -1 bits within a 4-sigma binomial band of p."""
+    m, n = 400, 32
+    sample = biased_challenges(p)(m, n, np.random.default_rng(seed))
+    rate = float(np.mean(sample == -1))
+    sigma = np.sqrt(p * (1 - p) / (m * n))
+    assert abs(rate - p) < 4 * sigma + 1e-9
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=2**31))
+def test_uniform_is_pm1_and_balanced(seed):
+    sample = uniform_challenges(500, 16, np.random.default_rng(seed))
+    assert sample.dtype == np.int8
+    assert set(np.unique(sample)).issubset({-1, 1})
+    # 4-sigma band around 1/2 for 8000 fair bits.
+    rate = float(np.mean(sample == -1))
+    assert abs(rate - 0.5) < 4 * np.sqrt(0.25 / sample.size)
+
+
+@SETTINGS
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_low_weight_respects_max_ones(max_ones, seed):
+    sample = low_weight_challenges(max_ones)(80, 16, np.random.default_rng(seed))
+    ones_per_row = np.sum(sample == -1, axis=1)
+    assert (ones_per_row <= max_ones).all()

@@ -1,0 +1,113 @@
+"""Property-based invariants every PUF simulator must satisfy.
+
+Hypothesis drives (n, seed, challenge) through the three PUF families the
+paper's experiments use — Arbiter, XOR Arbiter, and Bistable Ring — and
+checks the contracts the rest of the codebase silently relies on:
+
+* ``eval`` is deterministic (same instance, same challenges, same answer);
+* responses are exactly +/-1 with dtype int8;
+* ``eval_noisy`` with ``noise_sigma == 0`` equals ``eval`` — zero noise
+  must be *exactly* the ideal device, not approximately;
+* a k-XOR arbiter's response is the product of its component chains'
+  responses on every challenge (the +/-1 encoding of XOR).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def make_puf(family, n, seed):
+    rng = np.random.default_rng(seed)
+    if family == "arbiter":
+        return ArbiterPUF(n, rng)
+    if family == "xor":
+        return XORArbiterPUF(n, 3, rng)
+    if family == "br":
+        return BistableRingPUF(n, rng)
+    raise AssertionError(family)
+
+
+def random_challenges(n, seed, m=64):
+    rng = np.random.default_rng(seed)
+    return (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+
+
+challenge_params = st.tuples(
+    st.sampled_from(["arbiter", "xor", "br"]),
+    st.integers(min_value=4, max_value=32),  # challenge length
+    st.integers(min_value=0, max_value=2**31),  # instance seed
+    st.integers(min_value=0, max_value=2**31),  # challenge seed
+)
+
+
+@SETTINGS
+@given(challenge_params)
+def test_eval_is_deterministic(params):
+    family, n, inst_seed, chal_seed = params
+    puf = make_puf(family, n, inst_seed)
+    challenges = random_challenges(n, chal_seed)
+    first = puf.eval(challenges)
+    second = puf.eval(challenges)
+    np.testing.assert_array_equal(first, second)
+
+
+@SETTINGS
+@given(challenge_params)
+def test_responses_are_pm1_int8(params):
+    family, n, inst_seed, chal_seed = params
+    puf = make_puf(family, n, inst_seed)
+    challenges = random_challenges(n, chal_seed)
+    responses = puf.eval(challenges)
+    assert responses.dtype == np.int8
+    assert set(np.unique(responses)).issubset({-1, 1})
+
+
+@SETTINGS
+@given(challenge_params)
+def test_noiseless_eval_noisy_equals_eval(params):
+    family, n, inst_seed, chal_seed = params
+    puf = make_puf(family, n, inst_seed)
+    assert puf.noise_sigma == 0.0
+    challenges = random_challenges(n, chal_seed)
+    rng = np.random.default_rng(chal_seed)
+    np.testing.assert_array_equal(
+        puf.eval_noisy(challenges, rng), puf.eval(challenges)
+    )
+
+
+@SETTINGS
+@given(
+    st.integers(min_value=4, max_value=32),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_xor_is_product_of_chains(n, k, inst_seed, chal_seed):
+    puf = XORArbiterPUF(n, k, np.random.default_rng(inst_seed))
+    challenges = random_challenges(n, chal_seed)
+    product = np.prod(
+        np.stack([chain.eval(challenges) for chain in puf.chains]), axis=0
+    )
+    np.testing.assert_array_equal(puf.eval(challenges), product.astype(np.int8))
+
+
+@pytest.mark.parametrize("family", ["arbiter", "xor", "br"])
+def test_noisy_responses_still_pm1_int8(family):
+    """Even under noise the response alphabet never changes."""
+    rng = np.random.default_rng(5)
+    if family == "arbiter":
+        puf = ArbiterPUF(16, rng, noise_sigma=0.8)
+    elif family == "xor":
+        puf = XORArbiterPUF(16, 3, rng, noise_sigma=0.8)
+    else:
+        puf = BistableRingPUF(16, rng, noise_sigma=0.8)
+    responses = puf.eval_noisy(random_challenges(16, 6, m=256), rng)
+    assert responses.dtype == np.int8
+    assert set(np.unique(responses)).issubset({-1, 1})

@@ -1,0 +1,131 @@
+"""CRPCache: hit/miss behaviour, prefix reuse, atomicity of provenance."""
+
+import numpy as np
+import pytest
+
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.crp import CRPSet, generate_crps
+from repro.runtime.cache import CRPCache, cache_key
+
+
+def make_crps(seed=0, m=100, n=12):
+    puf = ArbiterPUF(n, np.random.default_rng(seed))
+    return generate_crps(puf, m, np.random.default_rng(seed + 1))
+
+
+def test_miss_generates_and_stores(tmp_path):
+    cache = CRPCache(tmp_path)
+    calls = []
+
+    def gen():
+        calls.append(1)
+        return make_crps()
+
+    crps = cache.get_or_generate(
+        puf_spec="arbiter(n=12)", seed=0, distribution="uniform", m=100, generate=gen
+    )
+    assert len(crps) == 100
+    assert calls == [1]
+    assert cache.misses == 1 and cache.hits == 0
+    assert cache.path_for(
+        cache_key("arbiter(n=12)", 0, "uniform", 100)
+    ).exists()
+
+
+def test_hit_skips_generation(tmp_path):
+    cache = CRPCache(tmp_path)
+    first = cache.get_or_generate(
+        puf_spec="a", seed=1, distribution="uniform", m=50, generate=make_crps
+    )
+
+    def must_not_run():
+        raise AssertionError("generator called on a cache hit")
+
+    second = cache.get_or_generate(
+        puf_spec="a", seed=1, distribution="uniform", m=50, generate=must_not_run
+    )
+    np.testing.assert_array_equal(first.challenges, second.challenges)
+    np.testing.assert_array_equal(first.responses, second.responses)
+    assert cache.hits == 1
+
+
+def test_prefix_served_from_larger_cached_set(tmp_path):
+    cache = CRPCache(tmp_path)
+    full = cache.get_or_generate(
+        puf_spec="a", seed=2, distribution="uniform", m=100, generate=make_crps
+    )
+    prefix = cache.get_or_generate(
+        puf_spec="a",
+        seed=2,
+        distribution="uniform",
+        m=30,
+        generate=lambda: pytest.fail("prefix request must hit"),
+    )
+    np.testing.assert_array_equal(prefix.challenges, full.challenges[:30])
+
+
+def test_larger_request_regenerates(tmp_path):
+    cache = CRPCache(tmp_path)
+    cache.get_or_generate(
+        puf_spec="a", seed=3, distribution="uniform", m=50,
+        generate=lambda: make_crps(m=50),
+    )
+    bigger = cache.get_or_generate(
+        puf_spec="a", seed=3, distribution="uniform", m=80,
+        generate=lambda: make_crps(m=80),
+    )
+    assert len(bigger) == 80
+    assert cache.misses == 2
+
+
+def test_distinct_provenance_distinct_entries(tmp_path):
+    keys = {
+        cache_key("a", 0, "uniform", 10),
+        cache_key("a", 1, "uniform", 10),
+        cache_key("b", 0, "uniform", 10),
+        cache_key("a", 0, "biased(0.3)", 10),
+        cache_key("a", 0, "uniform", 10, noisy=True),
+    }
+    assert len(keys) == 5
+    # m is deliberately NOT part of the key (prefix reuse).
+    assert cache_key("a", 0, "uniform", 10) == cache_key("a", 0, "uniform", 99)
+
+
+def test_short_generator_output_rejected(tmp_path):
+    cache = CRPCache(tmp_path)
+    with pytest.raises(ValueError, match="fewer than requested"):
+        cache.get_or_generate(
+            puf_spec="a", seed=4, distribution="uniform", m=100,
+            generate=lambda: make_crps(m=10),
+        )
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = CRPCache(tmp_path)
+    cache.get_or_generate(
+        puf_spec="a", seed=5, distribution="uniform", m=10,
+        generate=lambda: make_crps(m=10),
+    )
+    assert cache.clear() == 1
+    assert cache.load(cache_key("a", 5, "uniform", 10)) is None
+
+
+def test_env_var_default_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    cache = CRPCache()
+    assert cache.cache_dir == tmp_path / "envcache"
+
+
+def test_roundtrip_preserves_dtypes(tmp_path):
+    cache = CRPCache(tmp_path)
+    crps = cache.get_or_generate(
+        puf_spec="a", seed=6, distribution="uniform", m=20,
+        generate=lambda: make_crps(m=20),
+    )
+    reloaded = cache.get_or_generate(
+        puf_spec="a", seed=6, distribution="uniform", m=20,
+        generate=lambda: pytest.fail("must hit"),
+    )
+    assert isinstance(reloaded, CRPSet)
+    assert reloaded.challenges.dtype == np.int8
+    assert reloaded.responses.dtype == np.int8

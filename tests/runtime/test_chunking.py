@@ -1,0 +1,110 @@
+"""Blocked CRP evaluation must be numerically indistinguishable from the
+one-shot path (and deterministic where streams interleave)."""
+
+import numpy as np
+import pytest
+
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.bistable_ring import BistableRingPUF
+from repro.pufs.crp import biased_challenges, generate_crps
+from repro.pufs.xor_arbiter import XORArbiterPUF
+from repro.runtime.chunking import (
+    eval_blocked,
+    eval_noisy_blocked,
+    generate_crps_blocked,
+    iter_blocks,
+)
+
+
+def test_iter_blocks_covers_range_exactly():
+    spans = list(iter_blocks(1000, 256))
+    assert spans[0] == (0, 256)
+    assert spans[-1] == (768, 1000)
+    assert sum(stop - start for start, stop in spans) == 1000
+
+
+def test_iter_blocks_edge_cases():
+    assert list(iter_blocks(0, 8)) == []
+    assert list(iter_blocks(5, 8)) == [(0, 5)]
+    with pytest.raises(ValueError):
+        list(iter_blocks(10, 0))
+    with pytest.raises(ValueError):
+        list(iter_blocks(-1, 8))
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda rng: ArbiterPUF(24, rng),
+        lambda rng: XORArbiterPUF(24, 3, rng),
+        lambda rng: BistableRingPUF(24, rng),
+    ],
+)
+def test_eval_blocked_equals_eval(make):
+    rng = np.random.default_rng(0)
+    puf = make(rng)
+    challenges = (1 - 2 * rng.integers(0, 2, size=(777, 24))).astype(np.int8)
+    np.testing.assert_array_equal(
+        eval_blocked(puf, challenges, block_size=100), puf.eval(challenges)
+    )
+
+
+def test_eval_noisy_blocked_equals_unblocked_stream():
+    """Gaussian draws are consumed sequentially, so blocking the noisy
+    evaluation of a single-margin PUF reproduces the one-shot stream."""
+    rng = np.random.default_rng(1)
+    puf = ArbiterPUF(16, rng, noise_sigma=0.5)
+    challenges = (1 - 2 * rng.integers(0, 2, size=(500, 16))).astype(np.int8)
+    blocked = eval_noisy_blocked(
+        puf, challenges, np.random.default_rng(7), block_size=64
+    )
+    unblocked = puf.eval_noisy(challenges, np.random.default_rng(7))
+    np.testing.assert_array_equal(blocked, unblocked)
+
+
+def test_generate_crps_blocked_equals_generate_crps_noiseless():
+    rng = np.random.default_rng(2)
+    puf = ArbiterPUF(20, rng)
+    blocked = generate_crps_blocked(
+        puf, 600, np.random.default_rng(3), block_size=128
+    )
+    plain = generate_crps(puf, 600, np.random.default_rng(3))
+    np.testing.assert_array_equal(blocked.challenges, plain.challenges)
+    np.testing.assert_array_equal(blocked.responses, plain.responses)
+
+
+def test_generate_crps_blocked_respects_sampler():
+    rng = np.random.default_rng(4)
+    puf = ArbiterPUF(12, rng)
+    crps = generate_crps_blocked(
+        puf,
+        400,
+        np.random.default_rng(5),
+        sampler=biased_challenges(1.0),
+        block_size=64,
+    )
+    assert (crps.challenges == -1).all()
+
+
+def test_generate_crps_blocked_noisy_is_deterministic():
+    rng = np.random.default_rng(6)
+    puf = ArbiterPUF(16, rng, noise_sigma=0.4)
+    a = generate_crps_blocked(
+        puf, 300, np.random.default_rng(8), noisy=True, block_size=50
+    )
+    b = generate_crps_blocked(
+        puf, 300, np.random.default_rng(8), noisy=True, block_size=50
+    )
+    np.testing.assert_array_equal(a.challenges, b.challenges)
+    np.testing.assert_array_equal(a.responses, b.responses)
+
+
+def test_blocked_prefix_property():
+    """A longer blocked draw starts with the shorter draw — the property
+    the CRP cache's prefix reuse relies on."""
+    rng = np.random.default_rng(9)
+    puf = ArbiterPUF(16, rng)
+    short = generate_crps_blocked(puf, 200, np.random.default_rng(10), block_size=64)
+    long = generate_crps_blocked(puf, 500, np.random.default_rng(10), block_size=64)
+    np.testing.assert_array_equal(long.challenges[:200], short.challenges)
+    np.testing.assert_array_equal(long.responses[:200], short.responses)

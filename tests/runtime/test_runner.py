@@ -1,0 +1,110 @@
+"""TrialRunner: execution semantics and the worker-count determinism
+contract (the regression test the tentpole must honour)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import TrialContext, TrialRunner
+from repro.runtime.workloads import LearningCurveSpec, learning_curve_trial
+
+
+def draw_trial(ctx: TrialContext, size: int = 8) -> np.ndarray:
+    """A cheap picklable trial: a vector from the trial's own stream."""
+    return ctx.rng.random(size)
+
+
+def indexed_trial(ctx: TrialContext) -> int:
+    return ctx.index
+
+
+def test_workers_1_vs_4_bit_identical():
+    """The contract: worker count must not change any trial's result."""
+    serial = TrialRunner(workers=1).run(draw_trial, 12, master_seed=2718)
+    pooled = TrialRunner(workers=4).run(draw_trial, 12, master_seed=2718)
+    assert len(serial.results) == len(pooled.results) == 12
+    for a, b in zip(serial.values(), pooled.values()):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_workers_1_vs_4_bit_identical_learning_workload():
+    """Same contract on a real learning-curve trial (PUF + CRPs + fit)."""
+    spec = LearningCurveSpec(n=16, budgets=(40, 80), test_size=200)
+    kwargs = {"spec": spec}
+    serial = TrialRunner(workers=1).run(
+        learning_curve_trial, 4, master_seed=31, trial_kwargs=kwargs
+    )
+    pooled = TrialRunner(workers=4).run(
+        learning_curve_trial, 4, master_seed=31, trial_kwargs=kwargs
+    )
+    for a, b in zip(serial.values(), pooled.values()):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_results_ordered_by_index():
+    report = TrialRunner(workers=2).run(indexed_trial, 9, master_seed=0)
+    assert [r.index for r in report.results] == list(range(9))
+    assert report.values() == list(range(9))
+
+
+def test_master_seed_changes_results():
+    a = TrialRunner(workers=1).run(draw_trial, 3, master_seed=1)
+    b = TrialRunner(workers=1).run(draw_trial, 3, master_seed=2)
+    assert not any(
+        np.array_equal(x, y) for x, y in zip(a.values(), b.values())
+    )
+
+
+def test_trials_are_mutually_independent():
+    report = TrialRunner(workers=1).run(draw_trial, 6, master_seed=5)
+    values = report.values()
+    for i in range(len(values)):
+        for j in range(i + 1, len(values)):
+            assert not np.array_equal(values[i], values[j])
+
+
+def test_unpicklable_fn_falls_back_to_serial_with_warning():
+    with pytest.warns(RuntimeWarning, match="falling back to serial"):
+        report = TrialRunner(workers=2).run(
+            lambda ctx: float(ctx.rng.random()), 3, master_seed=4
+        )
+    assert report.executor == "serial"
+    # And the fallback still honours the seed fan-out.
+    reference = TrialRunner(workers=1).run(
+        lambda ctx: float(ctx.rng.random()), 3, master_seed=4
+    )
+    assert report.values() == reference.values()
+
+
+def test_trial_kwargs_are_passed(tmp_path):
+    report = TrialRunner(workers=1).run(
+        draw_trial, 2, master_seed=0, trial_kwargs={"size": 3}
+    )
+    assert all(v.shape == (3,) for v in report.values())
+
+
+def test_report_timings_and_summary():
+    report = TrialRunner(workers=1).run(draw_trial, 5, master_seed=0)
+    assert report.trial_seconds().shape == (5,)
+    assert (report.trial_seconds() >= 0).all()
+    assert report.wall_seconds > 0
+    assert report.total_trial_seconds == pytest.approx(
+        float(np.sum(report.trial_seconds()))
+    )
+    assert "5 trials" in report.summary()
+
+
+def test_context_rng_is_cached_and_spawnable():
+    ctx = TrialContext(0, np.random.SeedSequence(8))
+    assert ctx.rng is ctx.rng
+    streams = ctx.spawn_rngs(3)
+    draws = [g.random() for g in streams]
+    assert len(set(draws)) == 3
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        TrialRunner(workers=0)
+    with pytest.raises(ValueError):
+        TrialRunner(workers=2, chunk_size=0)
+    with pytest.raises(ValueError):
+        TrialRunner().run(draw_trial, 0)

@@ -1,0 +1,60 @@
+"""Seed fan-out: the determinism foundation of the parallel runtime."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.seeding import as_seed_sequence, fan_out, trial_rng, trial_seed
+
+
+def test_fan_out_is_reproducible():
+    first = fan_out(1234, 8)
+    second = fan_out(1234, 8)
+    for a, b in zip(first, second):
+        assert np.random.default_rng(a).integers(0, 2**32) == np.random.default_rng(
+            b
+        ).integers(0, 2**32)
+
+
+def test_fan_out_children_are_distinct():
+    draws = [
+        np.random.default_rng(s).integers(0, 2**63) for s in fan_out(0, 16)
+    ]
+    assert len(set(draws)) == 16
+
+
+def test_trial_seed_matches_fan_out():
+    children = fan_out(99, 5)
+    for i, child in enumerate(children):
+        direct = trial_seed(99, i)
+        assert np.random.default_rng(direct).integers(
+            0, 2**63
+        ) == np.random.default_rng(child).integers(0, 2**63)
+
+
+def test_trial_seed_of_spawned_parent():
+    parent = np.random.SeedSequence(7).spawn(3)[1]
+    children = parent.spawn(4)
+    direct = trial_seed(parent, 2)
+    assert np.random.default_rng(direct).integers(
+        0, 2**63
+    ) == np.random.default_rng(children[2]).integers(0, 2**63)
+
+
+def test_trial_rng_is_prefix_stable():
+    """Trial i's stream does not depend on how many trials exist."""
+    few = trial_rng(42, 3).random(4)
+    many = trial_rng(42, 3).random(4)
+    np.testing.assert_array_equal(few, many)
+
+
+def test_as_seed_sequence_passthrough():
+    seq = np.random.SeedSequence(5)
+    assert as_seed_sequence(seq) is seq
+    assert as_seed_sequence(5).entropy == 5
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        fan_out(0, 0)
+    with pytest.raises(ValueError):
+        trial_seed(0, -1)
