@@ -14,6 +14,11 @@ Subcommands:
   wall-clock speedup over serial, and the bit-identity check::
 
       python -m repro trials --trials 32 --workers 4
+
+* ``bench-kernels`` — time the shared character kernel against the old
+  per-subset loops and regenerate the machine-readable baseline::
+
+      python -m repro bench-kernels --out benchmarks/results/BENCH_kernels.json
 """
 
 from __future__ import annotations
@@ -151,6 +156,40 @@ def cmd_trials(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels.bench import (
+        default_cases,
+        render_table,
+        run_kernel_bench,
+        smoke_cases,
+        write_results,
+    )
+
+    cases = smoke_cases() if args.smoke else default_cases()
+    payload = run_kernel_bench(cases)
+    print(render_table(payload))
+    if args.out is not None:
+        from pathlib import Path
+
+        write_results(payload, Path(args.out))
+        print(f"wrote {args.out}")
+
+    failures = []
+    for rec in payload["cases"]:
+        if not rec["equivalent"]:
+            failures.append(f"{rec['name']}: kernel output differs from naive path")
+        if args.smoke:
+            timing = rec.get("fit") or rec.get("transform")
+            if timing["speedup"] < 1.0:
+                failures.append(
+                    f"{rec['name']}: kernel slower than naive "
+                    f"({timing['speedup']:.2f}x)"
+                )
+    for failure in failures:
+        print("FAIL:", failure)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,6 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the serial reference run (no speedup/identity check)",
     )
     trials.set_defaults(func=cmd_trials)
+
+    bench = sub.add_parser(
+        "bench-kernels",
+        help="time the character kernel vs the old per-subset loops",
+    )
+    bench.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the JSON payload here (e.g. benchmarks/results/BENCH_kernels.json)",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the seconds-fast CI subset and fail unless the kernel is "
+        "equivalent and at least as fast as the naive path",
+    )
+    bench.set_defaults(func=cmd_bench_kernels)
     return parser
 
 

@@ -17,44 +17,31 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.booleanfuncs.encoding import chi
 from repro.booleanfuncs.function import BooleanFunction
+from repro.kernels import character_column, fwht
+from repro.kernels import sign_of_expansion as _kernel_sign_of_expansion
 
 
 def walsh_hadamard(values: np.ndarray) -> np.ndarray:
     """Normalised fast Walsh-Hadamard transform.
 
     Input is a length-``2^n`` vector of function values in truth-table order
-    (the value on the all-(+1) point first).  Output index ``s`` holds
+    (the value on the all-(+1) point first); higher-dimensional inputs are
+    transformed batched along the last axis.  Output index ``s`` holds
     fhat(S) where the binary expansion of ``s`` (MSB = variable 0) gives the
     membership of each variable in ``S``.
 
+    The butterfly runs in place on one working copy (see
+    :func:`repro.kernels.fwht.fwht_inplace`) — no per-level half-copies.
     The transform is an involution up to the 1/2^n normalisation applied
     here, so ``inverse_walsh_hadamard(walsh_hadamard(v)) == v``.
     """
-    v = np.asarray(values, dtype=np.float64).copy()
-    m = v.size
-    if m == 0 or m & (m - 1):
-        raise ValueError("input length must be a power of two")
-    h = 1
-    while h < m:
-        v = v.reshape(-1, 2, h)
-        a = v[:, 0, :].copy()
-        b = v[:, 1, :].copy()
-        v[:, 0, :] = a + b
-        v[:, 1, :] = a - b
-        v = v.reshape(m)
-        h *= 2
-    return v / m
+    return fwht(values)
 
 
 def inverse_walsh_hadamard(coeffs: np.ndarray) -> np.ndarray:
     """Inverse of :func:`walsh_hadamard` (spectrum back to values)."""
-    c = np.asarray(coeffs, dtype=np.float64)
-    m = c.size
-    if m == 0 or m & (m - 1):
-        raise ValueError("input length must be a power of two")
-    return walsh_hadamard(c) * m
+    return fwht(coeffs, normalise=False)
 
 
 def index_to_subset(s: int, n: int) -> Tuple[int, ...]:
@@ -91,7 +78,7 @@ def fourier_spectrum(
 def estimate_fourier_coefficient(
     f: BooleanFunction,
     subset: Iterable[int],
-    m: int,
+    m: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     samples: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> float:
@@ -99,15 +86,28 @@ def estimate_fourier_coefficient(
 
     Either draws ``m`` fresh uniform challenges and queries ``f``, or reuses
     a fixed sample ``(X, y)`` passed via ``samples`` — the latter is how the
-    LMN algorithm shares one example set across all coefficients.
+    LMN algorithm shares one example set across all coefficients.  The two
+    sources are mutually exclusive: with ``samples``, every row is used and
+    ``m`` (if given) must equal the sample size; without ``samples``, ``m``
+    is required.  Historically a mismatched ``m`` was silently ignored.
     """
     if samples is not None:
         x, y = samples
+        x = np.asarray(x)
+        if m is not None and m != x.shape[0]:
+            raise ValueError(
+                f"m={m} contradicts the {x.shape[0]} fixed samples; pass "
+                "m only when drawing fresh challenges"
+            )
     else:
+        if m is None:
+            raise ValueError("m is required when no fixed samples are given")
+        if m < 1:
+            raise ValueError(f"m must be positive, got {m}")
         rng = np.random.default_rng() if rng is None else rng
         x = (1 - 2 * rng.integers(0, 2, size=(m, f.n))).astype(np.int8)
         y = f(x)
-    return float(np.mean(y * chi(subset, x)))
+    return float(np.mean(y * character_column(x, subset)))
 
 
 def spectral_weight_by_degree(f: BooleanFunction) -> np.ndarray:
@@ -134,8 +134,12 @@ def low_degree_projection(
     coefficients and taking the sign yields the best degree-``degree``
     approximator in L2.
     """
-    spectrum = fourier_spectrum(f)
-    return {s: v for s, v in spectrum.items() if len(s) <= degree}
+    coeffs = walsh_hadamard(f.truth_table())
+    return {
+        index_to_subset(s, f.n): float(v)
+        for s, v in enumerate(coeffs)
+        if abs(v) > 0 and bin(s).count("1") <= degree
+    }
 
 
 def sign_of_expansion(
@@ -145,13 +149,8 @@ def sign_of_expansion(
 
     Zero values of the inner sum are mapped to +1 so the output is always
     +/-1 (the measure-zero tie-break is irrelevant for approximation).
+    Evaluation is one blocked GEMM per call — see
+    :func:`repro.kernels.sign_of_expansion`, the shared implementation
+    behind this helper and the LMN and KM hypotheses.
     """
-    items = [(tuple(s), v) for s, v in spectrum.items()]
-
-    def evaluate(x: np.ndarray) -> np.ndarray:
-        acc = np.zeros(x.shape[0])
-        for subset, coeff in items:
-            acc += coeff * chi(subset, x)
-        return np.where(acc >= 0, 1, -1).astype(np.int8)
-
-    return BooleanFunction(n, evaluate, name="sign_of_expansion")
+    return _kernel_sign_of_expansion(n, spectrum, name="sign_of_expansion")

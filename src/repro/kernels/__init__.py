@@ -1,0 +1,36 @@
+"""Shared character kernels for all spectral learners.
+
+``repro.kernels`` is a leaf package: importing it pulls in numpy and
+nothing else from ``repro`` (:func:`sign_of_expansion` imports
+``BooleanFunction`` lazily), so every learner and the runtime can build
+on it without import cycles.  ``repro.kernels.bench`` (the benchmark
+cases, which do construct PUFs) is deliberately not imported here.
+"""
+
+from repro.kernels.blocking import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_CHARACTER_BLOCK,
+    iter_blocks,
+)
+from repro.kernels.fwht import fwht, fwht_inplace, mobius_f2_inplace
+from repro.kernels.character import (
+    CharacterBasis,
+    character_column,
+    low_degree_subsets,
+    num_low_degree_subsets,
+    sign_of_expansion,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CHARACTER_BLOCK",
+    "iter_blocks",
+    "fwht",
+    "fwht_inplace",
+    "mobius_f2_inplace",
+    "CharacterBasis",
+    "character_column",
+    "low_degree_subsets",
+    "num_low_degree_subsets",
+    "sign_of_expansion",
+]

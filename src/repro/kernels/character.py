@@ -1,0 +1,326 @@
+"""The shared character-kernel layer: spectral hot paths as blocked GEMMs.
+
+Every spectral learner in this repository — LMN, Kushilevitz-Mansour, the
+SQ parity probes, ``learn_poly`` — ultimately does one of two things with
+the Fourier characters chi_S(x) = prod_{i in S} x_i:
+
+* estimate coefficients  fhat(S) = E[y chi_S(x)]  from a sample, or
+* evaluate a hypothesis  sign(sum_S fhat(S) chi_S(x)).
+
+Both are matrix products against the same ``(m, N)`` character matrix
+``C`` with ``C[t, j] = chi_{S_j}(x_t)``: coefficient estimation is
+``C.T @ y / m`` and hypothesis evaluation is ``C @ coeffs``.  This module
+builds ``C`` once, incrementally, and turns both operations into one GEMM
+per example block:
+
+* **Incremental construction.**  Columns are ordered so that every subset
+  is preceded by its prefix ``S[:-1]``; the degree-k character is then a
+  single elementwise multiply of its degree-(k-1) parent column by one
+  input column — no ``np.prod`` over gathered columns, no recomputation
+  of shared prefixes.  For the full degree-<=d family the lexicographic
+  order additionally makes all children of a parent contiguous, so the
+  whole level is built with one broadcast multiply per *parent*.
+* **Blocking.**  Examples stream through fixed-size blocks (see
+  :mod:`repro.kernels.blocking`) so the active character rows stay
+  cache-resident; the per-block products are accumulated exactly.
+
+Exactness: characters and +/-1 labels are integer-valued floats, so block
+partial sums are exact integers (< 2^53) and the final ``/ m`` is a single
+rounding — estimates are **bit-identical** to the historical per-subset
+``np.mean(y * np.prod(...))`` loops, regardless of block size.
+
+Subset convention (shared with :mod:`repro.booleanfuncs.fourier`): a
+subset is a strictly increasing tuple of 0-based variable indices; the
+empty tuple is the constant character.  ``fourier.subset_to_index`` /
+``index_to_subset`` convert between this form and Walsh-Hadamard spectrum
+indices.  :meth:`CharacterBasis.low_degree` orders columns by degree, then
+lexicographically — the same order ``LMNLearner.low_degree_subsets`` has
+always produced.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.blocking import DEFAULT_CHARACTER_BLOCK, iter_blocks
+
+Subset = Tuple[int, ...]
+
+
+def num_low_degree_subsets(n: int, degree: int) -> int:
+    """How many subsets of [n] have size <= degree."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    return sum(math.comb(n, i) for i in range(min(degree, n) + 1))
+
+
+def low_degree_subsets(n: int, degree: int) -> List[Subset]:
+    """All subsets of [n] of size <= degree, by degree then lexicographic."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    subsets: List[Subset] = []
+    for size in range(min(degree, n) + 1):
+        subsets.extend(itertools.combinations(range(n), size))
+    return subsets
+
+
+def _normalise_subset(subset: Iterable[int], n: int) -> Subset:
+    idx = tuple(sorted({int(i) for i in subset}))
+    if idx and (idx[0] < 0 or idx[-1] >= n):
+        raise ValueError(f"subset {idx} out of range for n={n}")
+    return idx
+
+
+def character_column(x: np.ndarray, subset: Iterable[int]) -> np.ndarray:
+    """chi_S on a batch of +/-1 rows, as float64 (the kernel's column type).
+
+    Equivalent to ``np.prod(x[:, sorted(set(subset))], axis=1)`` but built
+    by successive in-place multiplies — no gathered ``(m, |S|)`` copy.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError("character_column expects an (m, n) batch")
+    idx = _normalise_subset(subset, x.shape[1])
+    out = np.ones(x.shape[0], dtype=np.float64)
+    for i in idx:
+        out *= x[:, i]
+    return out
+
+
+class CharacterBasis:
+    """An ordered family of Fourier characters with a blocked-GEMM engine.
+
+    Construct with :meth:`low_degree` (the full degree-<=d family, the LMN
+    case) or :meth:`from_subsets` (an arbitrary collection, the KM case —
+    missing prefixes are added internally so construction stays
+    incremental, but only the requested subsets appear in results).
+
+    The instance caches one ``(columns, block_size)`` float64 work buffer
+    across calls; instances are cheap but not thread-safe.  All inputs are
+    +/-1 challenge rows; labels may be any real values, though the
+    bit-identity guarantee versus per-subset loops assumes integer-valued
+    labels (the +/-1 responses every consumer passes).
+    """
+
+    def __init__(self, n: int, subsets: Sequence[Iterable[int]]) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        requested = [_normalise_subset(s, n) for s in subsets]
+        if len(set(requested)) != len(requested):
+            raise ValueError("duplicate subsets in character basis")
+        self.n = n
+        self.subsets: Tuple[Subset, ...] = tuple(requested)
+        closure = set(requested)
+        closure.add(())
+        for s in requested:
+            for cut in range(1, len(s)):
+                closure.add(s[:cut])
+        self._columns: List[Subset] = sorted(closure, key=lambda s: (len(s), s))
+        index = {s: j for j, s in enumerate(self._columns)}
+        self._pairs: List[Tuple[int, int, int]] = [
+            (j, index[s[:-1]], s[-1])
+            for j, s in enumerate(self._columns)
+            if s
+        ]
+        if tuple(self._columns) == tuple(self.subsets):
+            self._select: Optional[np.ndarray] = None
+        else:
+            self._select = np.array([index[s] for s in self.subsets], dtype=np.intp)
+        # Grouped schedule: one broadcast multiply per parent, usable when
+        # every parent's children (all extensions by a larger variable) are
+        # present and contiguous — true for the full low-degree family.
+        self._grouped = self._build_grouped_schedule(index)
+        self._buf: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def low_degree(
+        cls, n: int, degree: int, max_coefficients: Optional[int] = None
+    ) -> "CharacterBasis":
+        """The full degree-<=``degree`` family, in LMN column order."""
+        count = num_low_degree_subsets(n, degree)
+        if max_coefficients is not None and count > max_coefficients:
+            raise ValueError(
+                f"degree {degree} over n={n} variables needs {count} "
+                f"character columns (> cap {max_coefficients})"
+            )
+        return cls(n, low_degree_subsets(n, degree))
+
+    @classmethod
+    def from_subsets(cls, n: int, subsets: Sequence[Iterable[int]]) -> "CharacterBasis":
+        """A basis over an explicit subset collection (order preserved)."""
+        return cls(n, subsets)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.subsets)
+
+    @property
+    def num_internal_columns(self) -> int:
+        """Columns actually constructed (requested plus closure prefixes)."""
+        return len(self._columns)
+
+    def _build_grouped_schedule(
+        self, index: Dict[Subset, int]
+    ) -> Optional[List[Tuple[int, int, int, int]]]:
+        covered = 0
+        schedule: List[Tuple[int, int, int, int]] = []
+        for j, s in enumerate(self._columns):
+            top = s[-1] if s else -1
+            if top >= self.n - 1:
+                continue
+            kids = [index.get(s + (v,)) for v in range(top + 1, self.n)]
+            if all(k is None for k in kids):
+                continue  # a leaf (e.g. a maximal-degree subset)
+            if any(k is None for k in kids):
+                return None
+            if kids != list(range(kids[0], kids[0] + len(kids))):
+                return None
+            schedule.append((j, kids[0], kids[0] + len(kids), top + 1))
+            covered += len(kids)
+        if covered != len(self._columns) - 1:
+            return None
+        return schedule
+
+    def _buffer(self, width: int) -> np.ndarray:
+        if self._buf is None or self._buf.shape[1] < width:
+            self._buf = np.empty((len(self._columns), width))
+        return self._buf
+
+    def _fill(self, c: np.ndarray, xb: np.ndarray) -> None:
+        """Fill ``c`` (columns x width) with characters of the block ``xb``.
+
+        ``xb`` is the transposed (n, width) view of the example block; row
+        ``j`` of ``c`` becomes chi of internal column ``j``, each computed
+        as one elementwise multiply of its parent row.
+        """
+        c[0] = 1.0
+        if self._grouped is not None:
+            for parent, lo, hi, first_var in self._grouped:
+                np.multiply(xb[first_var : first_var + (hi - lo)], c[parent], out=c[lo:hi])
+        else:
+            for j, parent, var in self._pairs:
+                np.multiply(c[parent], xb[var], out=c[j])
+
+    def _validated(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.n:
+            raise ValueError(f"x must be (m, {self.n}), got shape {x.shape}")
+        return x
+
+    # ------------------------------------------------------------------
+    def character_matrix(self, x: np.ndarray) -> np.ndarray:
+        """The dense ``(m, N)`` character matrix (small inputs / testing).
+
+        Column ``j`` is chi of ``self.subsets[j]``.  The streaming methods
+        below never materialise this full matrix; prefer them for large m.
+        """
+        x = self._validated(x)
+        xt = np.ascontiguousarray(x.T, dtype=np.float64)
+        c = np.empty((len(self._columns), x.shape[0]))
+        self._fill(c, xt)
+        if self._select is not None:
+            c = c[self._select]
+        return np.ascontiguousarray(c.T)
+
+    def estimate_coefficients(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        block_size: int = DEFAULT_CHARACTER_BLOCK,
+    ) -> np.ndarray:
+        """All coefficient estimates ``E_hat[y chi_S]`` in one GEMM per block.
+
+        Returns a float64 vector aligned with ``self.subsets``.  For +/-1
+        labels the result is bit-identical to the per-subset
+        ``np.mean(y * chi_S(x))`` loop for every ``block_size``.
+        """
+        x = self._validated(x)
+        m = x.shape[0]
+        y = np.asarray(y)
+        if y.shape != (m,):
+            raise ValueError(f"y must have shape ({m},), got {y.shape}")
+        if m == 0:
+            raise ValueError("need at least one example")
+        xt = np.ascontiguousarray(x.T, dtype=np.float64)
+        yf = np.asarray(y, dtype=np.float64)
+        acc = np.zeros(len(self._columns))
+        buf = self._buffer(min(block_size, m))
+        for start, stop in iter_blocks(m, block_size):
+            c = buf[:, : stop - start]
+            self._fill(c, xt[:, start:stop])
+            acc += c @ yf[start:stop]
+        estimates = acc / m
+        if self._select is not None:
+            estimates = estimates[self._select]
+        return estimates
+
+    def evaluate_expansion(
+        self,
+        x: np.ndarray,
+        coeffs: np.ndarray,
+        block_size: int = DEFAULT_CHARACTER_BLOCK,
+    ) -> np.ndarray:
+        """``sum_S coeffs[S] chi_S(x)`` for every row, one GEMM per block."""
+        x = self._validated(x)
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.shape != (len(self.subsets),):
+            raise ValueError(
+                f"coeffs must have shape ({len(self.subsets)},), got {coeffs.shape}"
+            )
+        if self._select is None:
+            full = coeffs
+        else:
+            full = np.zeros(len(self._columns))
+            full[self._select] = coeffs
+        m = x.shape[0]
+        xt = np.ascontiguousarray(x.T, dtype=np.float64)
+        out = np.empty(m)
+        buf = self._buffer(min(block_size, m) if m else block_size)
+        for start, stop in iter_blocks(m, block_size):
+            c = buf[:, : stop - start]
+            self._fill(c, xt[:, start:stop])
+            out[start:stop] = full @ c
+        return out
+
+    def predict_sign(
+        self,
+        x: np.ndarray,
+        coeffs: np.ndarray,
+        block_size: int = DEFAULT_CHARACTER_BLOCK,
+    ) -> np.ndarray:
+        """sign of the expansion as int8 +/-1 (ties at 0 map to +1)."""
+        values = self.evaluate_expansion(x, coeffs, block_size=block_size)
+        return np.where(values >= 0, 1, -1).astype(np.int8)
+
+
+def sign_of_expansion(
+    n: int,
+    spectrum: Dict[Subset, float],
+    name: str = "sign_of_expansion",
+    block_size: int = DEFAULT_CHARACTER_BLOCK,
+) -> "BooleanFunction":  # noqa: F821 - forward ref, imported lazily
+    """sign(sum_S fhat(S) chi_S(x)) as a BooleanFunction (ties -> +1).
+
+    The single kernel-backed implementation behind
+    ``fourier.sign_of_expansion``, the LMN hypothesis, and the KM
+    hypothesis.  Subset keys may be any iterables of variable indices.
+    """
+    from repro.booleanfuncs.function import BooleanFunction
+
+    items = sorted(
+        (_normalise_subset(s, n), float(v)) for s, v in spectrum.items()
+    )
+    basis = CharacterBasis.from_subsets(n, [s for s, _ in items])
+    coeffs = np.array([v for _, v in items], dtype=np.float64)
+
+    def evaluate(x: np.ndarray) -> np.ndarray:
+        return basis.predict_sign(x, coeffs, block_size=block_size)
+
+    return BooleanFunction(n, evaluate, name=name)

@@ -1,0 +1,85 @@
+"""Frozen per-subset reference loops, kept for equivalence and benchmarks.
+
+These are the historical implementations the character kernel replaced:
+one Python-level iteration per subset, each calling ``np.prod`` over a
+gathered column slice.  They are deliberately *not* used by any learner —
+they exist so the property tests can assert the kernel is bit-identical
+to the old behaviour, and so ``benchmarks/test_kernel_speedup.py`` can
+time old-path vs kernel-path on the same data.
+
+Do not optimise these.  Their slowness is the baseline being measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+Subset = Tuple[int, ...]
+
+
+def naive_estimate_coefficients(
+    x: np.ndarray, y: np.ndarray, subsets: Sequence[Subset]
+) -> np.ndarray:
+    """Per-subset ``np.mean(y * np.prod(x[:, S], axis=1))`` loop.
+
+    The pre-kernel body of ``LMNLearner.fit_sample`` (and of KM's
+    ``_coefficient``), verbatim: one gathered product per subset.
+    """
+    x = np.asarray(x)
+    xf = x.astype(np.float64)
+    yf = np.asarray(y, dtype=np.float64)
+    estimates = np.empty(len(subsets))
+    for j, subset in enumerate(subsets):
+        if subset:
+            char = np.prod(xf[:, list(subset)], axis=1)
+        else:
+            char = np.ones(x.shape[0])
+        estimates[j] = float(np.mean(yf * char))
+    return estimates
+
+
+def naive_expansion_values(
+    x: np.ndarray, spectrum: Dict[Subset, float]
+) -> np.ndarray:
+    """Per-subset accumulation of ``sum_S fhat(S) chi_S(x)``.
+
+    The pre-kernel body of ``lmn._expansion_sign`` (sorted-items order),
+    verbatim.
+    """
+    x = np.asarray(x)
+    xf = x.astype(np.float64)
+    acc = np.zeros(x.shape[0])
+    for subset, coeff in sorted(spectrum.items()):
+        if subset:
+            acc += coeff * np.prod(xf[:, list(subset)], axis=1)
+        else:
+            acc += coeff
+    return acc
+
+
+def naive_sign_of_expansion(
+    x: np.ndarray, spectrum: Dict[Subset, float]
+) -> np.ndarray:
+    """Sign of :func:`naive_expansion_values`, ties to +1, as int8."""
+    values = naive_expansion_values(x, spectrum)
+    return np.where(values >= 0, 1, -1).astype(np.int8)
+
+
+def naive_walsh_hadamard(values: np.ndarray) -> np.ndarray:
+    """The pre-kernel copying butterfly (one table, two copies per level)."""
+    v = np.asarray(values, dtype=np.float64).copy()
+    m = v.size
+    if m == 0 or m & (m - 1):
+        raise ValueError("input length must be a power of two")
+    h = 1
+    while h < m:
+        v = v.reshape(-1, 2, h)
+        a = v[:, 0, :].copy()
+        b = v[:, 1, :].copy()
+        v[:, 0, :] = a + b
+        v[:, 1, :] = a - b
+        v = v.reshape(m)
+        h *= 2
+    return v / m

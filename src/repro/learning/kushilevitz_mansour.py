@@ -29,6 +29,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.booleanfuncs.function import BooleanFunction
+from repro.kernels import CharacterBasis, character_column
+from repro.kernels import sign_of_expansion as _kernel_sign_of_expansion
 
 Target = Callable[[np.ndarray], np.ndarray]
 
@@ -61,7 +63,10 @@ class KushilevitzMansour:
     bucket_samples:
         Samples per bucket-weight estimate.
     coefficient_samples:
-        Samples per final coefficient estimate.
+        Samples in the final coefficient-estimation batch, which is
+        *shared*: all surviving buckets are estimated from one sample via
+        one blocked GEMM (``coefficient_samples`` membership queries in
+        total, not per bucket).
     max_buckets:
         Guard rail on simultaneous buckets (defaults to 8/theta^2).
     """
@@ -120,12 +125,26 @@ class KushilevitzMansour:
             if not buckets:
                 break
 
+        # Final coefficient estimates: one shared sample and one blocked
+        # GEMM across all surviving buckets, instead of a fresh
+        # coefficient_samples-sized query batch per bucket.  Statistically
+        # this is the same estimator (a shared sample only correlates the
+        # estimates, each remains an unbiased mean of m products) and it
+        # costs m membership queries total rather than m per bucket.
         spectrum: Dict[Tuple[int, ...], float] = {}
-        for alpha in buckets:
-            subset = tuple(i for i, flag in enumerate(alpha) if flag)
-            estimate = self._coefficient(n, subset, rng)
-            if abs(estimate) >= self.theta / 2.0:
-                spectrum[subset] = estimate
+        if buckets:
+            subsets = [
+                tuple(i for i, flag in enumerate(alpha) if flag)
+                for alpha in buckets
+            ]
+            m = self.coefficient_samples
+            x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+            y = self._query(x)
+            basis = CharacterBasis.from_subsets(n, subsets)
+            estimates = basis.estimate_coefficients(x, y)
+            for subset, estimate in zip(subsets, estimates):
+                if abs(estimate) >= self.theta / 2.0:
+                    spectrum[subset] = float(estimate)
 
         hypothesis = _sign_of_spectrum(n, spectrum)
         return KMResult(
@@ -149,35 +168,15 @@ class KushilevitzMansour:
         z1 = (1 - 2 * rng.integers(0, 2, size=(m, k))).astype(np.int8)
         z2 = (1 - 2 * rng.integers(0, 2, size=(m, k))).astype(np.int8)
         x = (1 - 2 * rng.integers(0, 2, size=(m, n - k))).astype(np.int8)
-        chi_idx = [i for i, flag in enumerate(alpha) if flag]
-        chi1 = np.prod(z1[:, chi_idx], axis=1) if chi_idx else np.ones(m)
-        chi2 = np.prod(z2[:, chi_idx], axis=1) if chi_idx else np.ones(m)
+        subset = tuple(i for i, flag in enumerate(alpha) if flag)
+        chi1 = character_column(z1, subset)
+        chi2 = character_column(z2, subset)
         f1 = self._query(np.concatenate([z1, x], axis=1))
         f2 = self._query(np.concatenate([z2, x], axis=1))
         return float(np.mean(f1 * chi1 * f2 * chi2))
-
-    def _coefficient(
-        self, n: int, subset: Tuple[int, ...], rng: np.random.Generator
-    ) -> float:
-        m = self.coefficient_samples
-        x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
-        chi = np.prod(x[:, list(subset)], axis=1) if subset else np.ones(m)
-        return float(np.mean(self._query(x) * chi))
 
 
 def _sign_of_spectrum(
     n: int, spectrum: Dict[Tuple[int, ...], float]
 ) -> BooleanFunction:
-    items = sorted(spectrum.items())
-
-    def evaluate(x: np.ndarray) -> np.ndarray:
-        xf = x.astype(np.float64)
-        acc = np.zeros(x.shape[0])
-        for subset, coeff in items:
-            if subset:
-                acc += coeff * np.prod(xf[:, list(subset)], axis=1)
-            else:
-                acc += coeff
-        return np.where(acc >= 0, 1, -1).astype(np.int8)
-
-    return BooleanFunction(n, evaluate, name="km_hypothesis")
+    return _kernel_sign_of_expansion(n, spectrum, name="km_hypothesis")

@@ -30,6 +30,7 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from repro.booleanfuncs.polynomials import Monomial, SparseF2Polynomial
+from repro.kernels import mobius_f2_inplace
 from repro.learning.oracles import angluin_eq_sample_size
 
 
@@ -236,17 +237,16 @@ class LearnPoly:
             points[idx, list(subset)] = 1
         values = self._residual(h, points)
 
-        # Moebius over F2: a_M = xor of g(1_T) over T subseteq M.
-        value_by_subset = {frozenset(s): int(v) for s, v in zip(subsets, values)}
-        monomials: List[Monomial] = []
-        for subset in subsets:
-            fs = frozenset(subset)
-            coeff = 0
-            for r in range(len(subset) + 1):
-                for sub in itertools.combinations(subset, r):
-                    coeff ^= value_by_subset[frozenset(sub)]
-            if coeff:
-                monomials.append(fs)
+        # Moebius over F2: a_M = xor of g(1_T) over T subseteq M.  The
+        # subcube enumeration above lists subsets in submask order
+        # (itertools.product with bit j <-> support[j]), so the in-place
+        # XOR butterfly applies directly — 2^k log 2^k bit-ops instead of
+        # the 3^k explicit submask double loop.
+        coeffs = np.ascontiguousarray(values, dtype=np.int8)
+        mobius_f2_inplace(coeffs)
+        monomials: List[Monomial] = [
+            frozenset(subsets[int(i)]) for i in np.nonzero(coeffs)[0]
+        ]
         if not monomials:
             raise InconsistentOracle(
                 "residual positive on the subcube top but the Moebius "

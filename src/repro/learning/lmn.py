@@ -15,21 +15,17 @@ the sign of the expansion, only its margin.
 from __future__ import annotations
 
 import dataclasses
-import itertools
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.booleanfuncs.function import BooleanFunction
+from repro.kernels import CharacterBasis
+from repro.kernels import low_degree_subsets as _low_degree_subsets
+from repro.kernels import num_low_degree_subsets  # noqa: F401 - re-export
+from repro.kernels import sign_of_expansion as _kernel_sign_of_expansion
 from repro.learning.oracles import ExampleOracle
-
-
-def num_low_degree_subsets(n: int, degree: int) -> int:
-    """How many subsets of [n] have size <= degree."""
-    if degree < 0:
-        raise ValueError("degree must be non-negative")
-    return sum(math.comb(n, i) for i in range(min(degree, n) + 1))
 
 
 def lmn_sample_size(n: int, degree: int, eps: float, delta: float) -> int:
@@ -100,10 +96,7 @@ class LMNLearner:
                 f"coefficients (> cap {self.max_coefficients}); this blow-up "
                 "is exactly the LMN infeasibility regime"
             )
-        subsets: List[Tuple[int, ...]] = []
-        for size in range(min(self.degree, n) + 1):
-            subsets.extend(itertools.combinations(range(n), size))
-        return subsets
+        return _low_degree_subsets(n, self.degree)
 
     def fit_sample(self, x: np.ndarray, y: np.ndarray) -> LMNResult:
         """Run LMN on a fixed sample of uniform examples."""
@@ -116,18 +109,16 @@ class LMNLearner:
         n = x.shape[1]
         subsets = self.low_degree_subsets(n)
 
-        # Estimate all coefficients from the shared sample.  Group by
-        # subset size and compute products incrementally where possible.
-        xf = x.astype(np.float64)
-        spectrum: Dict[Tuple[int, ...], float] = {}
-        for subset in subsets:
-            if subset:
-                char = np.prod(xf[:, list(subset)], axis=1)
-            else:
-                char = np.ones(x.shape[0])
-            estimate = float(np.mean(y * char))
-            if abs(estimate) > self.threshold:
-                spectrum[subset] = estimate
+        # All coefficients from the shared sample, one blocked GEMM per
+        # example block; bit-identical to the per-subset mean (the
+        # characters and partial sums are integer-valued, hence exact).
+        basis = CharacterBasis.from_subsets(n, subsets)
+        estimates = basis.estimate_coefficients(x, y)
+        spectrum: Dict[Tuple[int, ...], float] = {
+            subset: float(estimate)
+            for subset, estimate in zip(subsets, estimates)
+            if abs(estimate) > self.threshold
+        }
 
         captured = float(sum(v * v for v in spectrum.values()))
         hypothesis = _expansion_sign(n, spectrum)
@@ -149,16 +140,4 @@ def _expansion_sign(
     n: int, spectrum: Dict[Tuple[int, ...], float]
 ) -> BooleanFunction:
     """sign(sum fhat(S) chi_S(x)) as a BooleanFunction (ties -> +1)."""
-    items = sorted(spectrum.items())
-
-    def evaluate(x: np.ndarray) -> np.ndarray:
-        xf = x.astype(np.float64)
-        acc = np.zeros(x.shape[0])
-        for subset, coeff in items:
-            if subset:
-                acc += coeff * np.prod(xf[:, list(subset)], axis=1)
-            else:
-                acc += coeff
-        return np.where(acc >= 0, 1, -1).astype(np.int8)
-
-    return BooleanFunction(n, evaluate, name="lmn_hypothesis")
+    return _kernel_sign_of_expansion(n, spectrum, name="lmn_hypothesis")

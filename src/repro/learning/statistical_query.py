@@ -139,11 +139,12 @@ def parity_correlations_under_sq(
     attack degenerates to exhaustive search over subsets — exponentially
     many SQ calls.  This helper exists to make that failure measurable.
     """
+    from repro.kernels import character_column
+
     results = {}
     for subset in candidate_subsets:
         subset = tuple(subset)
         results[subset] = oracle.query(
-            lambda x, y, s=subset: y
-            * (np.prod(x[:, list(s)], axis=1) if s else 1.0)
+            lambda x, y, s=subset: y * character_column(x, s)
         )
     return results

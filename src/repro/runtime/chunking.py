@@ -16,26 +16,15 @@ for the same Generator state (pinned by tests/runtime/test_chunking.py).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
+# The block walk lives in repro.kernels.blocking so the character kernel
+# (a leaf package) can share it; re-exported here for back-compat.
+from repro.kernels.blocking import DEFAULT_BLOCK_SIZE, iter_blocks  # noqa: F401
 from repro.pufs.base import PUF
 from repro.pufs.crp import ChallengeSampler, CRPSet, uniform_challenges
-
-#: Default rows per block: 8192 challenges x 65 float64 features ~ 4 MB,
-#: comfortably inside L2/L3 on anything modern.
-DEFAULT_BLOCK_SIZE = 8192
-
-
-def iter_blocks(m: int, block_size: int = DEFAULT_BLOCK_SIZE) -> Iterator[Tuple[int, int]]:
-    """Yield ``(start, stop)`` row ranges covering ``range(m)``."""
-    if m < 0:
-        raise ValueError("m must be non-negative")
-    if block_size <= 0:
-        raise ValueError(f"block_size must be positive, got {block_size}")
-    for start in range(0, m, block_size):
-        yield start, min(start + block_size, m)
 
 
 def eval_blocked(

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.kernels import CharacterBasis, DEFAULT_CHARACTER_BLOCK
 from repro.learning.logistic import LogisticAttack
 from repro.pufs.arbiter import ArbiterPUF, parity_transform
 from repro.pufs.bistable_ring import BistableRingPUF
@@ -116,7 +117,60 @@ def chow_brpuf_trial(
         )
     else:
         crps = generate()
-    x = crps.challenges.astype(np.float64)
-    y = crps.responses.astype(np.float64)
-    # Chow parameters: E[f(x)] and E[f(x) x_i].
-    return np.concatenate([[np.mean(y)], (x.T @ y) / len(crps)])
+    # Chow parameters are exactly the degree-<=1 Fourier coefficients
+    # E[f(x)] and E[f(x) x_i], in the kernel's [(), (0,), ..., (n-1,)]
+    # column order — one blocked GEMM, bit-identical to the former
+    # explicit ``x.T @ y / m`` (integer-valued partial sums are exact).
+    basis = CharacterBasis.low_degree(spec.n, 1)
+    return basis.estimate_coefficients(
+        crps.challenges, crps.responses, block_size=spec.block_size
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class LMNTrialSpec:
+    """One LMN trial on a fresh XOR Arbiter PUF over parity features.
+
+    Mirrors the E4 benchmark shape: the n-stage challenge is mapped to
+    the n-column parity feature space (the constant feature dropped), and
+    the degree-<=``degree`` spectrum is estimated from ``m`` uniform
+    CRPs through the character kernel.
+    """
+
+    n: int = 12
+    k: int = 2
+    degree: int = 3
+    m: int = 25_000
+    test_size: int = 5_000
+    block_size: int = DEFAULT_CHARACTER_BLOCK
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.k <= 0:
+            raise ValueError("n and k must be positive")
+        if self.degree < 0:
+            raise ValueError("degree must be non-negative")
+        if self.m <= 0 or self.test_size <= 0:
+            raise ValueError("m and test_size must be positive")
+
+
+def lmn_trial(ctx: TrialContext, spec: LMNTrialSpec) -> np.ndarray:
+    """[captured_weight, test_accuracy] of LMN on one fresh XOR PUF."""
+    from repro.learning.lmn import LMNLearner
+
+    instance_rng, crp_rng = ctx.spawn_rngs(2)
+    puf = XORArbiterPUF(spec.n, spec.k, instance_rng)
+
+    def features(challenges: np.ndarray) -> np.ndarray:
+        return parity_transform(challenges)[:, :-1].astype(np.int8)
+
+    train = (1 - 2 * crp_rng.integers(0, 2, size=(spec.m, spec.n))).astype(np.int8)
+    result = LMNLearner(degree=spec.degree).fit_sample(
+        features(train), puf.eval(train)
+    )
+    test = (1 - 2 * crp_rng.integers(0, 2, size=(spec.test_size, spec.n))).astype(
+        np.int8
+    )
+    accuracy = float(
+        np.mean(result.hypothesis(features(test)) == puf.eval(test))
+    )
+    return np.array([result.captured_weight, accuracy])

@@ -116,5 +116,30 @@ class TestEstimation:
         rng = np.random.default_rng(10)
         x = (1 - 2 * rng.integers(0, 2, size=(1000, 3))).astype(np.int8)
         y = f(x)
-        est = estimate_fourier_coefficient(f, [1], m=0, samples=(x, y))
+        est = estimate_fourier_coefficient(f, [1], samples=(x, y))
         assert est == pytest.approx(1.0)
+
+    def test_matching_m_with_fixed_samples_is_allowed(self):
+        f = BooleanFunction.parity_on(3, [1])
+        rng = np.random.default_rng(10)
+        x = (1 - 2 * rng.integers(0, 2, size=(1000, 3))).astype(np.int8)
+        y = f(x)
+        est = estimate_fourier_coefficient(f, [1], m=1000, samples=(x, y))
+        assert est == pytest.approx(1.0)
+
+    def test_mismatched_m_with_fixed_samples_is_an_error(self):
+        # m used to be silently ignored whenever samples was given; now
+        # a contradictory m is rejected instead of misleading the caller.
+        f = BooleanFunction.parity_on(3, [1])
+        rng = np.random.default_rng(10)
+        x = (1 - 2 * rng.integers(0, 2, size=(1000, 3))).astype(np.int8)
+        y = f(x)
+        with pytest.raises(ValueError, match="contradicts"):
+            estimate_fourier_coefficient(f, [1], m=500, samples=(x, y))
+
+    def test_missing_m_without_samples_is_an_error(self):
+        f = BooleanFunction.parity_on(3, [1])
+        with pytest.raises(ValueError, match="m is required"):
+            estimate_fourier_coefficient(f, [1])
+        with pytest.raises(ValueError, match="positive"):
+            estimate_fourier_coefficient(f, [1], m=0)

@@ -1,0 +1,186 @@
+"""Unit tests for the character-kernel basis (repro.kernels.character)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    CharacterBasis,
+    character_column,
+    low_degree_subsets,
+    num_low_degree_subsets,
+    sign_of_expansion,
+)
+from repro.kernels.reference import (
+    naive_estimate_coefficients,
+    naive_expansion_values,
+    naive_sign_of_expansion,
+)
+
+
+def _sample(rng, m, n):
+    x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+    y = (1 - 2 * rng.integers(0, 2, size=m)).astype(np.int8)
+    return x, y
+
+
+class TestSubsetEnumeration:
+    def test_order_is_degree_then_lex(self):
+        subsets = low_degree_subsets(4, 2)
+        assert subsets == [
+            (), (0,), (1,), (2,), (3,),
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        ]
+
+    def test_counts_match(self):
+        for n in range(7):
+            for d in range(n + 2):
+                assert len(low_degree_subsets(n, d)) == num_low_degree_subsets(n, d)
+
+    def test_low_degree_cap(self):
+        with pytest.raises(ValueError, match="cap"):
+            CharacterBasis.low_degree(20, 3, max_coefficients=100)
+
+
+class TestCharacterColumn:
+    def test_matches_prod(self):
+        rng = np.random.default_rng(0)
+        x, _ = _sample(rng, 100, 6)
+        for subset in [(), (3,), (0, 5), (1, 2, 4)]:
+            expected = (
+                np.prod(x[:, list(subset)], axis=1) if subset else np.ones(100)
+            )
+            assert np.array_equal(character_column(x, subset), expected)
+
+    def test_normalises_order_and_duplicates(self):
+        rng = np.random.default_rng(1)
+        x, _ = _sample(rng, 50, 5)
+        assert np.array_equal(
+            character_column(x, (4, 1)), character_column(x, (1, 4))
+        )
+        # chi is a product over the *set* of indices.
+        assert np.array_equal(
+            character_column(x, (2, 2, 3)), character_column(x, (2, 3))
+        )
+
+    def test_out_of_range(self):
+        x = np.ones((4, 3), dtype=np.int8)
+        with pytest.raises(ValueError, match="out of range"):
+            character_column(x, (3,))
+
+
+class TestCharacterBasis:
+    def test_character_matrix_matches_definition(self):
+        rng = np.random.default_rng(2)
+        x, _ = _sample(rng, 64, 5)
+        basis = CharacterBasis.low_degree(5, 3)
+        c = basis.character_matrix(x)
+        assert c.shape == (64, len(basis))
+        for j, subset in enumerate(basis.subsets):
+            assert np.array_equal(c[:, j], character_column(x, subset))
+
+    def test_estimates_bit_identical_to_naive(self):
+        rng = np.random.default_rng(3)
+        x, y = _sample(rng, 777, 8)
+        basis = CharacterBasis.low_degree(8, 3)
+        kernel = basis.estimate_coefficients(x, y, block_size=100)
+        naive = naive_estimate_coefficients(x, y, list(basis.subsets))
+        assert np.array_equal(kernel, naive)
+
+    def test_block_size_does_not_change_estimates(self):
+        rng = np.random.default_rng(4)
+        x, y = _sample(rng, 500, 6)
+        basis = CharacterBasis.low_degree(6, 4)
+        reference_est = basis.estimate_coefficients(x, y, block_size=500)
+        for block_size in (1, 7, 64, 499, 501, 10_000):
+            est = basis.estimate_coefficients(x, y, block_size=block_size)
+            assert np.array_equal(est, reference_est), block_size
+
+    def test_from_subsets_preserves_requested_order(self):
+        rng = np.random.default_rng(5)
+        x, y = _sample(rng, 200, 6)
+        subsets = [(2, 4), (), (0, 1, 5), (3,)]
+        basis = CharacterBasis.from_subsets(6, subsets)
+        assert basis.subsets == ((2, 4), (), (0, 1, 5), (3,))
+        kernel = basis.estimate_coefficients(x, y)
+        naive = naive_estimate_coefficients(x, y, subsets)
+        assert np.array_equal(kernel, naive)
+
+    def test_from_subsets_adds_prefix_closure_internally(self):
+        basis = CharacterBasis.from_subsets(6, [(0, 1, 5)])
+        assert len(basis) == 1
+        # (), (0,), (0, 1) are constructed as scaffolding.
+        assert basis.num_internal_columns == 4
+
+    def test_duplicate_subsets_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CharacterBasis.from_subsets(4, [(1, 3), (3, 1)])
+
+    def test_expansion_values_match_naive_for_dyadic_coeffs(self):
+        # With power-of-two denominators every partial sum is exact, so
+        # the GEMM and the sequential loop agree bit for bit.
+        rng = np.random.default_rng(6)
+        x, y = _sample(rng, 512, 6)
+        basis = CharacterBasis.low_degree(6, 3)
+        coeffs = basis.estimate_coefficients(x, y)
+        spectrum = dict(zip(basis.subsets, coeffs))
+        values = basis.evaluate_expansion(x, coeffs)
+        assert np.array_equal(values, naive_expansion_values(x, spectrum))
+        assert np.array_equal(
+            basis.predict_sign(x, coeffs), naive_sign_of_expansion(x, spectrum)
+        )
+
+    def test_input_validation(self):
+        basis = CharacterBasis.low_degree(4, 2)
+        x = np.ones((10, 4), dtype=np.int8)
+        with pytest.raises(ValueError, match="x must be"):
+            basis.estimate_coefficients(np.ones((10, 3), dtype=np.int8), np.ones(10))
+        with pytest.raises(ValueError, match="y must have shape"):
+            basis.estimate_coefficients(x, np.ones(9))
+        with pytest.raises(ValueError, match="at least one example"):
+            basis.estimate_coefficients(np.ones((0, 4), dtype=np.int8), np.ones(0))
+        with pytest.raises(ValueError, match="coeffs must have shape"):
+            basis.evaluate_expansion(x, np.ones(3))
+
+    def test_grouped_schedule_active_for_low_degree_families(self):
+        # The one-multiply-per-parent fast path must engage for the LMN
+        # shape; falling back to per-subset multiplies would silently
+        # forfeit most of the speedup.
+        assert CharacterBasis.low_degree(12, 3)._grouped is not None
+        assert CharacterBasis.from_subsets(6, low_degree_subsets(6, 2))._grouped is not None
+        # An arbitrary sparse family cannot use it.
+        assert CharacterBasis.from_subsets(6, [(0, 3)])._grouped is None
+
+
+class TestSignOfExpansion:
+    def test_empty_spectrum_is_constant_plus_one(self):
+        f = sign_of_expansion(4, {})
+        x = (1 - 2 * np.random.default_rng(0).integers(0, 2, size=(20, 4))).astype(
+            np.int8
+        )
+        assert np.array_equal(f(x), np.ones(20, dtype=np.int8))
+
+    def test_parity_spectrum_recovers_parity(self):
+        rng = np.random.default_rng(7)
+        x, _ = _sample(rng, 100, 5)
+        f = sign_of_expansion(5, {(1, 3): 1.0})
+        assert np.array_equal(f(x), character_column(x, (1, 3)).astype(np.int8))
+
+    def test_ties_map_to_plus_one(self):
+        f = sign_of_expansion(2, {(): 1.0, (0,): -1.0})
+        x = np.array([[1, 1], [-1, 1]], dtype=np.int8)
+        # Row 0: 1 - 1 = 0 -> +1; row 1: 1 + 1 = 2 -> +1.
+        assert np.array_equal(f(x), np.array([1, 1], dtype=np.int8))
+
+    def test_exhaustive_agreement_with_naive_on_small_cube(self):
+        rng = np.random.default_rng(8)
+        cube = np.array(
+            list(itertools.product((1, -1), repeat=4)), dtype=np.int8
+        )
+        # Dyadic coefficients: exact in both paths.
+        subsets = low_degree_subsets(4, 4)
+        coeffs = rng.integers(-8, 9, size=len(subsets)) / 16.0
+        spectrum = dict(zip(subsets, coeffs))
+        f = sign_of_expansion(4, spectrum)
+        assert np.array_equal(f(cube), naive_sign_of_expansion(cube, spectrum))

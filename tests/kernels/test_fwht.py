@@ -1,0 +1,75 @@
+"""Unit tests for the in-place butterfly transforms (repro.kernels.fwht)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import fwht, fwht_inplace, mobius_f2_inplace
+from repro.kernels.reference import naive_walsh_hadamard
+
+
+class TestFWHTInplace:
+    def test_matches_old_butterfly_exactly(self):
+        rng = np.random.default_rng(0)
+        for n in range(0, 8):
+            tab = (1 - 2 * rng.integers(0, 2, size=2**n)).astype(np.float64)
+            assert np.array_equal(fwht(tab), naive_walsh_hadamard(tab))
+
+    def test_batched_matches_per_table(self):
+        rng = np.random.default_rng(1)
+        tables = (1 - 2 * rng.integers(0, 2, size=(17, 64))).astype(np.float64)
+        batched = fwht(tables)
+        assert batched.shape == tables.shape
+        for row_in, row_out in zip(tables, batched):
+            assert np.array_equal(fwht(row_in), row_out)
+
+    def test_truly_in_place(self):
+        a = np.array([1.0, -1.0, -1.0, 1.0])
+        out = fwht_inplace(a)
+        assert out is a
+        assert np.array_equal(a, [0.0, 0.0, 0.0, 4.0])
+
+    def test_unnormalised_involution(self):
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=32)
+        w = v.copy()
+        fwht_inplace(w)
+        fwht_inplace(w)
+        assert np.allclose(w / 32.0, v)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="power of two"):
+            fwht(np.ones(6))
+        with pytest.raises(ValueError, match="power of two"):
+            fwht(np.ones(0))
+        with pytest.raises(TypeError, match="ndarray"):
+            fwht_inplace([1.0, -1.0])
+        with pytest.raises(TypeError, match="dtype"):
+            fwht_inplace(np.ones(4, dtype=np.int64))
+        with pytest.raises(ValueError, match="contiguous"):
+            fwht_inplace(np.ones((4, 8))[:, ::2])
+
+
+class TestMobiusF2:
+    def test_matches_explicit_submask_sum(self):
+        rng = np.random.default_rng(3)
+        v = rng.integers(0, 2, size=32).astype(np.int8)
+        out = v.copy()
+        mobius_f2_inplace(out)
+        for s in range(32):
+            expected = 0
+            for t in range(32):
+                if t & s == t:
+                    expected ^= int(v[t])
+            assert int(out[s]) == expected
+
+    def test_involution(self):
+        rng = np.random.default_rng(4)
+        v = rng.integers(0, 2, size=(5, 16)).astype(np.uint8)
+        w = v.copy()
+        mobius_f2_inplace(w)
+        mobius_f2_inplace(w)
+        assert np.array_equal(v, w)
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(TypeError, match="dtype"):
+            mobius_f2_inplace(np.ones(8))

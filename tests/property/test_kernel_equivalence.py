@@ -1,0 +1,119 @@
+"""Property tests: the character kernel is bit-identical to the old loops.
+
+The blocked-GEMM kernel replaced per-subset ``np.prod``/``np.mean`` loops
+in every spectral learner; these properties pin the equivalence the
+rewiring relies on, across random shapes, degrees, and block boundaries
+(odd blocks, block == m, block > m, block = 1).
+
+Exactness background: characters and +/-1 labels are integer-valued, so
+coefficient *sums* are exact in any evaluation order and estimates match
+bit for bit for every block size.  Hypothesis *evaluation* sums dyadic
+coefficients, which is exact only when the sample size is a power of two
+— the prediction properties draw m accordingly (with non-dyadic
+coefficients the two paths can legitimately differ on exact ties of the
+expansion value).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import CharacterBasis, fwht, low_degree_subsets
+from repro.kernels.reference import (
+    naive_estimate_coefficients,
+    naive_expansion_values,
+    naive_sign_of_expansion,
+    naive_walsh_hadamard,
+)
+
+
+@st.composite
+def estimation_cases(draw):
+    n = draw(st.integers(1, 10))
+    degree = draw(st.integers(0, min(4, n)))
+    m = draw(st.integers(1, 400))
+    block_size = draw(
+        st.one_of(
+            st.integers(1, 16),  # many tiny blocks, odd boundaries
+            st.just(m),  # exactly one block
+            st.integers(m, m + 50),  # single partial block
+            st.sampled_from([7, 31, 100]),  # fixed odd strides
+        )
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    return n, degree, m, block_size, seed
+
+
+@given(estimation_cases())
+@settings(max_examples=60, deadline=None)
+def test_estimates_bit_identical_across_block_sizes(case):
+    n, degree, m, block_size, seed = case
+    rng = np.random.default_rng(seed)
+    x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+    y = (1 - 2 * rng.integers(0, 2, size=m)).astype(np.int8)
+    basis = CharacterBasis.low_degree(n, degree)
+    kernel = basis.estimate_coefficients(x, y, block_size=block_size)
+    naive = naive_estimate_coefficients(x, y, list(basis.subsets))
+    assert np.array_equal(kernel, naive)
+
+
+@given(
+    n=st.integers(1, 8),
+    degree=st.integers(0, 4),
+    log2_m=st.integers(0, 9),
+    block_size=st.sampled_from([1, 3, 8, 100, 10_000]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_predictions_bit_identical_for_dyadic_spectra(
+    n, degree, log2_m, block_size, seed
+):
+    m = 2**log2_m
+    rng = np.random.default_rng(seed)
+    x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+    y = (1 - 2 * rng.integers(0, 2, size=m)).astype(np.int8)
+    basis = CharacterBasis.low_degree(n, min(degree, n))
+    # Estimated coefficients have denominator m (a power of two), so both
+    # evaluation paths are exact and must agree everywhere — including
+    # on genuine ties, which both map to +1.
+    coeffs = basis.estimate_coefficients(x, y)
+    spectrum = dict(zip(basis.subsets, coeffs))
+    values = basis.evaluate_expansion(x, coeffs, block_size=block_size)
+    assert np.array_equal(values, naive_expansion_values(x, spectrum))
+    assert np.array_equal(
+        basis.predict_sign(x, coeffs, block_size=block_size),
+        naive_sign_of_expansion(x, spectrum),
+    )
+
+
+@given(
+    n=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+    subset_count=st.integers(1, 12),
+)
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_subset_families_match_naive(n, seed, subset_count):
+    rng = np.random.default_rng(seed)
+    pool = low_degree_subsets(n, n)
+    picks = rng.choice(len(pool), size=min(subset_count, len(pool)), replace=False)
+    subsets = [pool[int(i)] for i in picks]
+    x = (1 - 2 * rng.integers(0, 2, size=(97, n))).astype(np.int8)
+    y = (1 - 2 * rng.integers(0, 2, size=97)).astype(np.int8)
+    basis = CharacterBasis.from_subsets(n, subsets)
+    kernel = basis.estimate_coefficients(x, y, block_size=13)
+    naive = naive_estimate_coefficients(x, y, subsets)
+    assert np.array_equal(kernel, naive)
+
+
+@given(
+    n=st.integers(0, 8),
+    batch=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_batched_fwht_matches_old_transform(n, batch, seed):
+    rng = np.random.default_rng(seed)
+    tables = (1 - 2 * rng.integers(0, 2, size=(batch, 2**n))).astype(np.float64)
+    batched = fwht(tables)
+    for row_in, row_out in zip(tables, batched):
+        assert np.array_equal(naive_walsh_hadamard(row_in), row_out)
