@@ -9,16 +9,31 @@ Subcommands:
 * ``attack-demo`` — a 30-second tour: lock c17, run the SAT attack,
   print the recovered key.
 
-* ``trials`` — the parallel experiment runtime: fan a learning-curve
-  workload out over worker processes and report per-trial timings,
-  wall-clock speedup over serial, and the bit-identity check::
+* ``trials`` — the parallel experiment runtime: fan a workload
+  (``curve``/``lmn``/``km``/``sq``) out over worker processes, report
+  per-trial timings, speedup over serial, and the bit-identity check;
+  ``--ledger`` additionally writes a query-accounting run directory::
 
       python -m repro trials --trials 32 --workers 4
+      python -m repro trials --workload lmn --trials 4 --ledger
+
+* ``report`` — aggregate a run ledger into ``report.md``/``report.json``
+  comparing the measured query counts against the ``pac.bounds``
+  predictions (exit 1 on a bound violation)::
+
+      python -m repro report runs/<run_id>
 
 * ``bench-kernels`` — time the shared character kernel against the old
   per-subset loops and regenerate the machine-readable baseline::
 
       python -m repro bench-kernels --out benchmarks/results/BENCH_kernels.json
+
+* ``docs-bench`` — regenerate ``docs/BENCHMARKS.md`` from the committed
+  ``benchmarks/results/BENCH_*.json`` baselines (``--check`` fails on
+  drift; CI runs it so the page can never go stale).
+
+* ``lint-docstrings`` — AST-based docstring-coverage gate over the
+  instrumented packages (``--fail-under`` sets the CI threshold).
 """
 
 from __future__ import annotations
@@ -99,36 +114,107 @@ def cmd_attack_demo(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _resolve_workload(args: argparse.Namespace):
+    """(trial_fn, spec, value column labels) for ``args.workload``.
+
+    ``--n``/``--k``/``--test-size`` default to ``None`` in the parser so
+    each workload keeps its own dataclass defaults unless overridden.
+    """
+    from repro.runtime import workloads as w
+
+    def pick(value, default):
+        return default if value is None else value
+
+    name = args.workload
+    if name == "curve":
+        budgets = tuple(int(b) for b in args.budgets.split(","))
+        spec = w.LearningCurveSpec(
+            n=pick(args.n, 48),
+            k=pick(args.k, 1),
+            budgets=budgets,
+            test_size=pick(args.test_size, 2000),
+        )
+        return (
+            w.learning_curve_trial,
+            spec,
+            [f"acc @ {b}" for b in spec.sorted_budgets],
+        )
+    if name == "lmn":
+        spec = w.LMNTrialSpec(
+            n=pick(args.n, 12),
+            k=pick(args.k, 2),
+            degree=args.degree,
+            m=args.m,
+            test_size=pick(args.test_size, 5000),
+        )
+        return w.lmn_trial, spec, ["captured wt", "accuracy"]
+    if name == "km":
+        spec = w.KMTrialSpec(
+            n=pick(args.n, 12),
+            theta=args.theta,
+            bucket_samples=args.bucket_samples,
+            coefficient_samples=args.coefficient_samples,
+            test_size=pick(args.test_size, 2000),
+        )
+        return w.km_trial, spec, ["accuracy", "MQ queries"]
+    if name == "sq":
+        spec = w.SQTrialSpec(
+            n=pick(args.n, 32),
+            tau=args.tau,
+            mode=args.mode,
+            test_size=pick(args.test_size, 2000),
+        )
+        return w.sq_trial, spec, ["accuracy", "SQ queries"]
+    raise ValueError(f"unknown workload {name!r}")
+
+
 def cmd_trials(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.analysis.tables import TableBuilder
     from repro.runtime import TrialRunner
-    from repro.runtime.workloads import LearningCurveSpec, learning_curve_trial
 
-    budgets = tuple(int(b) for b in args.budgets.split(","))
-    spec = LearningCurveSpec(
-        n=args.n, k=args.k, budgets=budgets, test_size=args.test_size
-    )
+    trial_fn, spec, columns = _resolve_workload(args)
     kwargs = {"spec": spec}
     print(
-        f"workload: {args.trials} learning-curve trials "
-        f"({'arbiter' if args.k == 1 else f'{args.k}-XOR arbiter'}, n={args.n}, "
-        f"budgets={budgets}, test_size={args.test_size}), master seed {args.seed}"
+        f"workload: {args.trials} {args.workload} trials ({spec!r}), "
+        f"master seed {args.seed}"
     )
+
+    ledger = None
+    if args.ledger:
+        from pathlib import Path
+
+        from repro.telemetry import RunLedger, new_run_id
+
+        run_id = args.run_id or new_run_id(args.workload)
+        ledger = RunLedger(Path(args.runs_dir) / run_id)
+        ledger.write_meta(
+            {
+                "workload": args.workload,
+                "spec": dataclasses.asdict(spec),
+                "trials": args.trials,
+                "workers": args.workers,
+                "master_seed": args.seed,
+                "eps": args.eps,
+                "delta": args.delta,
+            }
+        )
 
     serial = None
     if not args.skip_serial:
         serial = TrialRunner(workers=1).run(
-            learning_curve_trial, args.trials, args.seed, kwargs
+            trial_fn, args.trials, args.seed, kwargs
         )
         print(f"serial:   {serial.summary()}")
     parallel = TrialRunner(workers=args.workers).run(
-        learning_curve_trial, args.trials, args.seed, kwargs
+        trial_fn, args.trials, args.seed, kwargs, ledger=ledger
     )
     print(f"parallel: {parallel.summary()}")
 
     table = TableBuilder(
-        ["trial", "seconds"] + [f"acc @ {b}" for b in sorted(budgets)],
-        title="per-trial timings and accuracies (parallel run)",
+        ["trial", "seconds"] + columns,
+        title=f"per-trial timings and results (parallel run, {args.workload})",
     )
     for result in parallel.results:
         table.add_row(
@@ -137,6 +223,9 @@ def cmd_trials(args: argparse.Namespace) -> int:
             *[f"{a:.4f}" for a in result.value],
         )
     print(table.render())
+    if ledger is not None:
+        print(f"ledger: {ledger.path} ({args.trials} records)")
+        print(f"next: python -m repro report {ledger.run_dir}")
 
     if serial is not None:
         identical = all(
@@ -153,6 +242,57 @@ def cmd_trials(args: argparse.Namespace) -> int:
         if not identical:
             print("DETERMINISM VIOLATION: parallel results differ from serial")
             return 1
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import generate_report
+
+    payload, markdown = generate_report(args.run_dir, write=not args.no_write)
+    print(markdown)
+    if not args.no_write:
+        print(f"wrote {args.run_dir}/report.md and report.json")
+    if not payload["all_within_bounds"]:
+        return 1
+    return 0
+
+
+def cmd_docs_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.tooling.benchdocs import render_benchmarks_markdown
+
+    content = render_benchmarks_markdown(args.results)
+    out = Path(args.out)
+    if args.check:
+        current = out.read_text() if out.exists() else ""
+        if current != content:
+            print(
+                f"DRIFT: {out} does not match benchmarks/results/ — "
+                f"run `python -m repro docs-bench` and commit the result"
+            )
+            return 1
+        print(f"{out} is up to date with {args.results}")
+        return 0
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(content)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_lint_docstrings(args: argparse.Namespace) -> int:
+    from repro.tooling.docscov import measure_docstring_coverage
+
+    report = measure_docstring_coverage(
+        args.paths, include_private=args.include_private
+    )
+    print(report.render(verbose=args.verbose))
+    if report.percent < args.fail_under:
+        print(
+            f"FAIL: docstring coverage {report.percent:.1f}% is below the "
+            f"--fail-under threshold {args.fail_under:.1f}%"
+        )
+        return 1
     return 0
 
 
@@ -225,28 +365,142 @@ def build_parser() -> argparse.ArgumentParser:
     trials = sub.add_parser(
         "trials", help="parallel trial fan-out benchmark with determinism check"
     )
+    trials.add_argument(
+        "--workload",
+        choices=("curve", "lmn", "km", "sq"),
+        default="curve",
+        help="which trial workload to fan out",
+    )
     trials.add_argument("--trials", type=int, default=32, help="number of trials")
     trials.add_argument(
         "--workers", type=int, default=4, help="worker processes for the parallel run"
     )
-    trials.add_argument("--n", type=int, default=48, help="challenge length")
     trials.add_argument(
-        "--k", type=int, default=1, help="XOR chain count (1 = plain arbiter)"
+        "--n", type=int, default=None, help="challenge length (workload default)"
+    )
+    trials.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="XOR chain count (1 = plain arbiter; workload default)",
     )
     trials.add_argument(
         "--budgets",
         type=str,
         default="100,400,1600",
-        help="comma-separated CRP budgets",
+        help="comma-separated CRP budgets (curve workload)",
     )
-    trials.add_argument("--test-size", type=int, default=2000)
+    trials.add_argument(
+        "--test-size", type=int, default=None, help="held-out evaluation size"
+    )
+    trials.add_argument(
+        "--degree", type=int, default=3, help="LMN spectrum degree (lmn workload)"
+    )
+    trials.add_argument(
+        "--m", type=int, default=25_000, help="LMN training sample size (lmn workload)"
+    )
+    trials.add_argument(
+        "--theta", type=float, default=0.25, help="KM coefficient threshold (km workload)"
+    )
+    trials.add_argument(
+        "--bucket-samples", type=int, default=2048, help="KM bucket-weight samples"
+    )
+    trials.add_argument(
+        "--coefficient-samples", type=int, default=8192, help="KM coefficient samples"
+    )
+    trials.add_argument(
+        "--tau", type=float, default=0.05, help="SQ oracle tolerance (sq workload)"
+    )
+    trials.add_argument(
+        "--mode",
+        choices=("sampling", "adversarial"),
+        default="sampling",
+        help="SQ oracle mode (sq workload)",
+    )
     trials.add_argument("--seed", type=int, default=0, help="master seed")
     trials.add_argument(
         "--skip-serial",
         action="store_true",
         help="skip the serial reference run (no speedup/identity check)",
     )
+    trials.add_argument(
+        "--ledger",
+        action="store_true",
+        help="write a run ledger under --runs-dir for `python -m repro report`",
+    )
+    trials.add_argument(
+        "--runs-dir", type=str, default="runs", help="parent directory for run ledgers"
+    )
+    trials.add_argument(
+        "--run-id",
+        type=str,
+        default=None,
+        help="explicit run id (default: <workload>-<timestamp>)",
+    )
+    trials.add_argument(
+        "--eps", type=float, default=0.05, help="PAC accuracy for the bound checks"
+    )
+    trials.add_argument(
+        "--delta", type=float, default=0.05, help="PAC confidence for the bound checks"
+    )
     trials.set_defaults(func=cmd_trials)
+
+    report = sub.add_parser(
+        "report", help="aggregate a run ledger vs the pac.bounds predictions"
+    )
+    report.add_argument("run_dir", type=str, help="run directory (runs/<run_id>)")
+    report.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without writing report.md/report.json",
+    )
+    report.set_defaults(func=cmd_report)
+
+    docs_bench = sub.add_parser(
+        "docs-bench",
+        help="regenerate docs/BENCHMARKS.md from benchmarks/results/BENCH_*.json",
+    )
+    docs_bench.add_argument(
+        "--results",
+        type=str,
+        default="benchmarks/results",
+        help="directory holding the BENCH_*.json baselines",
+    )
+    docs_bench.add_argument(
+        "--out", type=str, default="docs/BENCHMARKS.md", help="markdown output path"
+    )
+    docs_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if the committed page differs from a fresh render",
+    )
+    docs_bench.set_defaults(func=cmd_docs_bench)
+
+    lint = sub.add_parser(
+        "lint-docstrings",
+        help="AST docstring-coverage gate (interrogate equivalent)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro/telemetry", "src/repro/kernels", "src/repro/runtime"],
+        help="files or directories to measure",
+    )
+    lint.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        help="minimum acceptable coverage percentage",
+    )
+    lint.add_argument(
+        "--include-private",
+        action="store_true",
+        help="also require docstrings on _private definitions and __init__",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true", help="list each missing docstring"
+    )
+    lint.set_defaults(func=cmd_lint_docstrings)
 
     bench = sub.add_parser(
         "bench-kernels",

@@ -261,6 +261,7 @@ def render_table(payload: Dict[str, object]) -> str:
 
 
 def write_results(payload: Dict[str, object], path: Path) -> None:
+    """Write the benchmark payload as indented JSON, creating parents."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -47,6 +47,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.kernels.blocking import DEFAULT_CHARACTER_BLOCK, iter_blocks
+from repro.telemetry.spans import trace
 
 Subset = Tuple[int, ...]
 
@@ -248,15 +249,20 @@ class CharacterBasis:
             raise ValueError(f"y must have shape ({m},), got {y.shape}")
         if m == 0:
             raise ValueError("need at least one example")
-        xt = np.ascontiguousarray(x.T, dtype=np.float64)
-        yf = np.asarray(y, dtype=np.float64)
-        acc = np.zeros(len(self._columns))
-        buf = self._buffer(min(block_size, m))
-        for start, stop in iter_blocks(m, block_size):
-            c = buf[:, : stop - start]
-            self._fill(c, xt[:, start:stop])
-            acc += c @ yf[start:stop]
-        estimates = acc / m
+        # Traced at call granularity (one span per GEMM sweep, not per
+        # block) so the instrumented hot loop stays allocation-free.
+        with trace(
+            "kernel.estimate_coefficients", rows=m, columns=len(self._columns)
+        ):
+            xt = np.ascontiguousarray(x.T, dtype=np.float64)
+            yf = np.asarray(y, dtype=np.float64)
+            acc = np.zeros(len(self._columns))
+            buf = self._buffer(min(block_size, m))
+            for start, stop in iter_blocks(m, block_size):
+                c = buf[:, : stop - start]
+                self._fill(c, xt[:, start:stop])
+                acc += c @ yf[start:stop]
+            estimates = acc / m
         if self._select is not None:
             estimates = estimates[self._select]
         return estimates
@@ -280,13 +286,16 @@ class CharacterBasis:
             full = np.zeros(len(self._columns))
             full[self._select] = coeffs
         m = x.shape[0]
-        xt = np.ascontiguousarray(x.T, dtype=np.float64)
-        out = np.empty(m)
-        buf = self._buffer(min(block_size, m) if m else block_size)
-        for start, stop in iter_blocks(m, block_size):
-            c = buf[:, : stop - start]
-            self._fill(c, xt[:, start:stop])
-            out[start:stop] = full @ c
+        with trace(
+            "kernel.evaluate_expansion", rows=m, columns=len(self._columns)
+        ):
+            xt = np.ascontiguousarray(x.T, dtype=np.float64)
+            out = np.empty(m)
+            buf = self._buffer(min(block_size, m) if m else block_size)
+            for start, stop in iter_blocks(m, block_size):
+                c = buf[:, : stop - start]
+                self._fill(c, xt[:, start:stop])
+                out[start:stop] = full @ c
         return out
 
     def predict_sign(

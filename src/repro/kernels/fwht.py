@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.spans import trace
+
 #: Working-set bound for batched butterflies: ~512 KB (64k float64)
 #: chunks keep every level's reads and writes inside L2 instead of
 #: streaming the full batch through memory once per level.
@@ -55,18 +57,20 @@ def fwht_inplace(a: np.ndarray) -> np.ndarray:
     # Batches are processed in row chunks small enough to stay
     # cache-resident across all log2(m) levels — one big (rows, m) pass
     # per level would stream the whole batch through memory every level.
-    rows_per_chunk = max(1, _CHUNK_FLOATS // m)
-    for start in range(0, flat.shape[0], rows_per_chunk):
-        chunk = flat[start : start + rows_per_chunk]
-        h = 1
-        while h < m:
-            v = chunk.reshape(-1, 2, h)
-            top = v[:, 0, :]
-            bot = v[:, 1, :]
-            top += bot  # top = A + B
-            bot *= 2.0  # bot = 2B
-            np.subtract(top, bot, out=bot)  # bot = (A + B) - 2B = A - B
-            h *= 2
+    # One span per transform call, never per chunk or level.
+    with trace("kernel.fwht", tables=flat.shape[0], length=m):
+        rows_per_chunk = max(1, _CHUNK_FLOATS // m)
+        for start in range(0, flat.shape[0], rows_per_chunk):
+            chunk = flat[start : start + rows_per_chunk]
+            h = 1
+            while h < m:
+                v = chunk.reshape(-1, 2, h)
+                top = v[:, 0, :]
+                bot = v[:, 1, :]
+                top += bot  # top = A + B
+                bot *= 2.0  # bot = 2B
+                np.subtract(top, bot, out=bot)  # bot = (A + B) - 2B = A - B
+                h *= 2
     return a
 
 

@@ -20,6 +20,7 @@ oracles live in :mod:`repro.learning.oracles`.
 from repro.learning.oracles import (
     ExampleOracle,
     MembershipOracle,
+    QueryBudgetExceeded,
     SimulatedEquivalenceOracle,
     angluin_eq_sample_size,
 )
@@ -49,6 +50,7 @@ from repro.learning.xor_logistic import XorLogisticAttack, XorLogisticResult
 __all__ = [
     "ExampleOracle",
     "MembershipOracle",
+    "QueryBudgetExceeded",
     "SimulatedEquivalenceOracle",
     "angluin_eq_sample_size",
     "accuracy",

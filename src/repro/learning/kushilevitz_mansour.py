@@ -31,6 +31,8 @@ import numpy as np
 from repro.booleanfuncs.function import BooleanFunction
 from repro.kernels import CharacterBasis, character_column
 from repro.kernels import sign_of_expansion as _kernel_sign_of_expansion
+from repro.telemetry import QueryMeter, current_meter, metered, trace
+from repro.telemetry import meter as _meter
 
 Target = Callable[[np.ndarray], np.ndarray]
 
@@ -43,6 +45,7 @@ class KMResult:
     hypothesis: BooleanFunction
     membership_queries: int
     buckets_explored: int
+    telemetry: Optional[dict] = None  # learner-local query-meter snapshot
 
     def heavy_subsets(self) -> List[Tuple[int, ...]]:
         """The located subsets, heaviest first."""
@@ -96,68 +99,83 @@ class KushilevitzMansour:
         target: Target,
         rng: Optional[np.random.Generator] = None,
     ) -> KMResult:
-        """Run KM against a +/-1 membership oracle of arity n."""
+        """Run KM against a +/-1 membership oracle of arity n.
+
+        Pass a *raw* target callable, not a
+        :class:`~repro.learning.oracles.MembershipOracle`: the learner's
+        internal :meth:`_query` path already records every row as an
+        ``mq`` query (wrapping would double-count).  The result's
+        ``telemetry`` is a learner-local meter snapshot; counts also
+        forward to any ambient trial meter.
+        """
         rng = np.random.default_rng() if rng is None else rng
         self._queries = 0
         self._target = target
+        local = QueryMeter(parent=current_meter())
 
-        # Buckets are (depth k, alpha) with alpha a tuple of 0/1 membership
-        # flags for coordinates 0..k-1.
-        buckets: List[Tuple[int, ...]] = [()]
-        explored = 0
-        for depth in range(n):
-            next_buckets: List[Tuple[int, ...]] = []
-            for alpha in buckets:
-                for flag in (0, 1):
-                    candidate = alpha + (flag,)
-                    explored += 1
-                    weight = self._bucket_weight(n, candidate, rng)
-                    if weight >= self.theta**2 / 2.0:
-                        next_buckets.append(candidate)
-            if len(next_buckets) > self.max_buckets:
-                # Keep the heaviest ones (Parseval says the rest are noise).
-                weights = [
-                    self._bucket_weight(n, a, rng) for a in next_buckets
+        with metered(local), trace("km.fit", theta=self.theta):
+            # Buckets are (depth k, alpha) with alpha a tuple of 0/1
+            # membership flags for coordinates 0..k-1.
+            buckets: List[Tuple[int, ...]] = [()]
+            explored = 0
+            for depth in range(n):
+                next_buckets: List[Tuple[int, ...]] = []
+                for alpha in buckets:
+                    for flag in (0, 1):
+                        candidate = alpha + (flag,)
+                        explored += 1
+                        weight = self._bucket_weight(n, candidate, rng)
+                        if weight >= self.theta**2 / 2.0:
+                            next_buckets.append(candidate)
+                if len(next_buckets) > self.max_buckets:
+                    # Keep the heaviest (Parseval says the rest are noise).
+                    weights = [
+                        self._bucket_weight(n, a, rng) for a in next_buckets
+                    ]
+                    order = np.argsort(weights)[::-1][: self.max_buckets]
+                    next_buckets = [next_buckets[int(i)] for i in order]
+                buckets = next_buckets
+                if not buckets:
+                    break
+
+            # Final coefficient estimates: one shared sample and one blocked
+            # GEMM across all surviving buckets, instead of a fresh
+            # coefficient_samples-sized query batch per bucket.  Statistically
+            # this is the same estimator (a shared sample only correlates the
+            # estimates, each remains an unbiased mean of m products) and it
+            # costs m membership queries total rather than m per bucket.
+            spectrum: Dict[Tuple[int, ...], float] = {}
+            if buckets:
+                subsets = [
+                    tuple(i for i, flag in enumerate(alpha) if flag)
+                    for alpha in buckets
                 ]
-                order = np.argsort(weights)[::-1][: self.max_buckets]
-                next_buckets = [next_buckets[int(i)] for i in order]
-            buckets = next_buckets
-            if not buckets:
-                break
+                m = self.coefficient_samples
+                x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+                y = self._query(x)
+                basis = CharacterBasis.from_subsets(n, subsets)
+                estimates = basis.estimate_coefficients(x, y)
+                for subset, estimate in zip(subsets, estimates):
+                    if abs(estimate) >= self.theta / 2.0:
+                        spectrum[subset] = float(estimate)
 
-        # Final coefficient estimates: one shared sample and one blocked
-        # GEMM across all surviving buckets, instead of a fresh
-        # coefficient_samples-sized query batch per bucket.  Statistically
-        # this is the same estimator (a shared sample only correlates the
-        # estimates, each remains an unbiased mean of m products) and it
-        # costs m membership queries total rather than m per bucket.
-        spectrum: Dict[Tuple[int, ...], float] = {}
-        if buckets:
-            subsets = [
-                tuple(i for i, flag in enumerate(alpha) if flag)
-                for alpha in buckets
-            ]
-            m = self.coefficient_samples
-            x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
-            y = self._query(x)
-            basis = CharacterBasis.from_subsets(n, subsets)
-            estimates = basis.estimate_coefficients(x, y)
-            for subset, estimate in zip(subsets, estimates):
-                if abs(estimate) >= self.theta / 2.0:
-                    spectrum[subset] = float(estimate)
-
-        hypothesis = _sign_of_spectrum(n, spectrum)
+            hypothesis = _sign_of_spectrum(n, spectrum)
         return KMResult(
             spectrum=spectrum,
             hypothesis=hypothesis,
             membership_queries=self._queries,
             buckets_explored=explored,
+            telemetry=local.snapshot(),
         )
 
     # ------------------------------------------------------------------
     def _query(self, x: np.ndarray) -> np.ndarray:
         self._queries += x.shape[0]
-        return np.asarray(self._target(x), dtype=np.float64)
+        y = np.asarray(self._target(x), dtype=np.float64)
+        _meter.record(
+            "mq", queries=x.shape[0], challenges=x, response_bytes=y.nbytes
+        )
+        return y
 
     def _bucket_weight(
         self, n: int, alpha: Tuple[int, ...], rng: np.random.Generator

@@ -31,7 +31,9 @@ import numpy as np
 
 from repro.booleanfuncs.polynomials import Monomial, SparseF2Polynomial
 from repro.kernels import mobius_f2_inplace
-from repro.learning.oracles import angluin_eq_sample_size
+from repro.learning.oracles import QueryBudgetExceeded, angluin_eq_sample_size
+from repro.telemetry import QueryMeter, current_meter, metered, trace
+from repro.telemetry import meter as _meter
 
 
 def xor_of_junta_ltfs_target(
@@ -72,10 +74,6 @@ def xor_of_junta_ltfs_target(
     return target_bits
 
 
-class QueryBudgetExceeded(RuntimeError):
-    """Raised when the learner would exceed its membership-query budget."""
-
-
 class InconsistentOracle(RuntimeError):
     """Raised when oracle answers contradict any polynomial structure.
 
@@ -103,6 +101,7 @@ class LearnPolyResult:
     equivalence_queries: int
     rounds: int
     exact: bool  # True when the final simulated EQ accepted
+    telemetry: Optional[dict] = None  # learner-local query-meter snapshot
 
     def predict_bits(self, x: np.ndarray) -> np.ndarray:
         return self.polynomial.evaluate_bits(x)
@@ -152,24 +151,34 @@ class LearnPoly:
         target_bits,
         rng: Optional[np.random.Generator] = None,
     ) -> LearnPolyResult:
-        """Learn ``target_bits`` : {0,1}^n -> {0,1} (vectorised callable)."""
+        """Learn ``target_bits`` : {0,1}^n -> {0,1} (vectorised callable).
+
+        Pass a raw callable, not a
+        :class:`~repro.learning.oracles.MembershipOracle`: the internal
+        :meth:`_query` path records every row as an ``mq`` query itself
+        (wrapping would double-count) and each simulated equivalence test
+        as an ``eq`` round.  ``result.telemetry`` is a learner-local
+        meter snapshot; counts also forward to any ambient trial meter.
+        """
         rng = np.random.default_rng() if rng is None else rng
         self._queries = 0
         self._target = target_bits
+        local = QueryMeter(parent=current_meter())
         h = SparseF2Polynomial(n)
         eq_rounds = 0
         rounds = 0
         exact = False
 
-        while rounds < self.max_rounds:
-            counterexample = self._simulated_eq(n, h, eq_rounds, rng)
-            eq_rounds += 1
-            if counterexample is None:
-                exact = True
-                break
-            rounds += 1
-            new_monomials = self._extract_monomials(n, h, counterexample, rng)
-            h = h + SparseF2Polynomial(n, new_monomials)
+        with metered(local), trace("learnpoly.fit", n=n):
+            while rounds < self.max_rounds:
+                counterexample = self._simulated_eq(n, h, eq_rounds, rng)
+                eq_rounds += 1
+                if counterexample is None:
+                    exact = True
+                    break
+                rounds += 1
+                new_monomials = self._extract_monomials(n, h, counterexample, rng)
+                h = h + SparseF2Polynomial(n, new_monomials)
 
         return LearnPolyResult(
             polynomial=h,
@@ -177,18 +186,23 @@ class LearnPoly:
             equivalence_queries=eq_rounds,
             rounds=rounds,
             exact=exact,
+            telemetry=local.snapshot(),
         )
 
     # ------------------------------------------------------------------
     def _query(self, x: np.ndarray) -> np.ndarray:
-        """Batched membership query on 0/1 rows."""
+        """Batched membership query on 0/1 rows (count-then-raise budget)."""
         x = np.atleast_2d(x)
         self._queries += x.shape[0]
         if self.max_queries is not None and self._queries > self.max_queries:
             raise QueryBudgetExceeded(
                 f"membership-query budget {self.max_queries} exhausted"
             )
-        return np.asarray(self._target(x), dtype=np.int8)
+        y = np.asarray(self._target(x), dtype=np.int8)
+        _meter.record(
+            "mq", queries=x.shape[0], challenges=x, response_bytes=y.nbytes
+        )
+        return y
 
     def _residual(self, h: SparseF2Polynomial, x: np.ndarray) -> np.ndarray:
         """g(x) = f(x) xor h(x) on 0/1 rows."""
@@ -204,6 +218,9 @@ class LearnPoly:
         m = angluin_eq_sample_size(self.eps, self.delta, round_index)
         x = rng.integers(0, 2, size=(m, n)).astype(np.int8)
         g = self._residual(h, x)
+        # The f-queries above were recorded as MQ rows by _query; this
+        # records only the EQ round itself and its simulation sample size.
+        _meter.record("eq", queries=1, examples=m)
         hits = np.nonzero(g == 1)[0]
         if hits.size:
             return x[hits[0]]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.kernels import low_degree_subsets as _low_degree_subsets
 from repro.kernels import num_low_degree_subsets  # noqa: F401 - re-export
 from repro.kernels import sign_of_expansion as _kernel_sign_of_expansion
 from repro.learning.oracles import ExampleOracle
+from repro.telemetry import QueryMeter, current_meter, metered, trace
 
 
 def lmn_sample_size(n: int, degree: int, eps: float, delta: float) -> int:
@@ -50,6 +51,7 @@ class LMNResult:
     degree: int
     examples_used: int
     captured_weight: float  # sum of squared estimated coefficients
+    telemetry: Optional[dict] = None  # query-meter snapshot (oracle runs)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.hypothesis(x)
@@ -106,22 +108,23 @@ class LMNLearner:
             raise ValueError("x must be (m, n) and y length m")
         if x.shape[0] == 0:
             raise ValueError("need at least one example")
-        n = x.shape[1]
-        subsets = self.low_degree_subsets(n)
+        with trace("lmn.fit", examples=x.shape[0], degree=self.degree):
+            n = x.shape[1]
+            subsets = self.low_degree_subsets(n)
 
-        # All coefficients from the shared sample, one blocked GEMM per
-        # example block; bit-identical to the per-subset mean (the
-        # characters and partial sums are integer-valued, hence exact).
-        basis = CharacterBasis.from_subsets(n, subsets)
-        estimates = basis.estimate_coefficients(x, y)
-        spectrum: Dict[Tuple[int, ...], float] = {
-            subset: float(estimate)
-            for subset, estimate in zip(subsets, estimates)
-            if abs(estimate) > self.threshold
-        }
+            # All coefficients from the shared sample, one blocked GEMM per
+            # example block; bit-identical to the per-subset mean (the
+            # characters and partial sums are integer-valued, hence exact).
+            basis = CharacterBasis.from_subsets(n, subsets)
+            estimates = basis.estimate_coefficients(x, y)
+            spectrum: Dict[Tuple[int, ...], float] = {
+                subset: float(estimate)
+                for subset, estimate in zip(subsets, estimates)
+                if abs(estimate) > self.threshold
+            }
 
-        captured = float(sum(v * v for v in spectrum.values()))
-        hypothesis = _expansion_sign(n, spectrum)
+            captured = float(sum(v * v for v in spectrum.values()))
+            hypothesis = _expansion_sign(n, spectrum)
         return LMNResult(
             hypothesis=hypothesis,
             spectrum=spectrum,
@@ -131,9 +134,18 @@ class LMNLearner:
         )
 
     def fit_oracle(self, oracle: ExampleOracle, m: int) -> LMNResult:
-        """Draw ``m`` examples from the oracle and run LMN."""
-        x, y = oracle.draw(m)
-        return self.fit_sample(x, y)
+        """Draw ``m`` examples from the oracle and run LMN.
+
+        The result's ``telemetry`` is a learner-local query-meter snapshot
+        (the oracle draw plus nothing else); counts also forward to any
+        ambient trial meter.
+        """
+        local = QueryMeter(parent=current_meter())
+        with metered(local):
+            x, y = oracle.draw(m)
+            result = self.fit_sample(x, y)
+        result.telemetry = local.snapshot()
+        return result
 
 
 def _expansion_sign(

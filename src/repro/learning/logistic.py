@@ -15,6 +15,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.booleanfuncs.ltf import LTF
+from repro.telemetry import trace
 
 FeatureMap = Callable[[np.ndarray], np.ndarray]
 
@@ -98,13 +99,14 @@ class LogisticAttack:
             grad_b = np.sum(coef)
             return loss, np.concatenate([grad_w, [grad_b]])
 
-        result = optimize.minimize(
-            loss_and_grad,
-            theta0,
-            jac=True,
-            method="L-BFGS-B",
-            options={"maxiter": self.max_iter},
-        )
+        with trace("logistic.fit", examples=m, features=d):
+            result = optimize.minimize(
+                loss_and_grad,
+                theta0,
+                jac=True,
+                method="L-BFGS-B",
+                options={"maxiter": self.max_iter},
+            )
         w, b = result.x[:d], result.x[d]
         ltf = LTF(w, -b, name="logistic_ltf")
         preds = ltf(feats)

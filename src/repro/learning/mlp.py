@@ -14,6 +14,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.telemetry import trace
+
 FeatureMap = Callable[[np.ndarray], np.ndarray]
 
 
@@ -106,39 +108,41 @@ class MLPAttack:
         step = 0
         loss = np.inf
 
-        for epoch in range(self.epochs):
-            order = rng.permutation(m)
-            for start in range(0, m, self.batch_size):
-                idx = order[start : start + self.batch_size]
-                xb, yb = feats[idx], y[idx]
-                # Forward.
-                pre = xb @ params[0] + params[1]
-                hid = np.tanh(pre)
-                score = hid @ params[2] + params[3][0]
-                z = yb * score
-                loss = float(
-                    np.mean(np.logaddexp(0.0, -z))
-                    + 0.5 * self.l2 * (np.sum(params[0] ** 2) + np.sum(params[2] ** 2))
-                )
-                # Backward.
-                sig = 1.0 / (1.0 + np.exp(np.clip(z, -500, 500)))
-                dscore = -yb * sig / xb.shape[0]
-                grads = [
-                    xb.T @ ((dscore[:, None] * params[2][None, :]) * (1 - hid**2))
-                    + self.l2 * params[0],
-                    np.sum((dscore[:, None] * params[2][None, :]) * (1 - hid**2), axis=0),
-                    hid.T @ dscore + self.l2 * params[2],
-                    np.array([np.sum(dscore)]),
-                ]
-                step += 1
-                for p, g, mm, vv in zip(params, grads, m1, m2):
-                    mm *= beta1
-                    mm += (1 - beta1) * g
-                    vv *= beta2
-                    vv += (1 - beta2) * g * g
-                    m_hat = mm / (1 - beta1**step)
-                    v_hat = vv / (1 - beta2**step)
-                    p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
+        # One span for the whole optimisation, not per epoch or batch.
+        with trace("mlp.fit", examples=m, features=d, epochs=self.epochs):
+            for epoch in range(self.epochs):
+                order = rng.permutation(m)
+                for start in range(0, m, self.batch_size):
+                    idx = order[start : start + self.batch_size]
+                    xb, yb = feats[idx], y[idx]
+                    # Forward.
+                    pre = xb @ params[0] + params[1]
+                    hid = np.tanh(pre)
+                    score = hid @ params[2] + params[3][0]
+                    z = yb * score
+                    loss = float(
+                        np.mean(np.logaddexp(0.0, -z))
+                        + 0.5 * self.l2 * (np.sum(params[0] ** 2) + np.sum(params[2] ** 2))
+                    )
+                    # Backward.
+                    sig = 1.0 / (1.0 + np.exp(np.clip(z, -500, 500)))
+                    dscore = -yb * sig / xb.shape[0]
+                    grads = [
+                        xb.T @ ((dscore[:, None] * params[2][None, :]) * (1 - hid**2))
+                        + self.l2 * params[0],
+                        np.sum((dscore[:, None] * params[2][None, :]) * (1 - hid**2), axis=0),
+                        hid.T @ dscore + self.l2 * params[2],
+                        np.array([np.sum(dscore)]),
+                    ]
+                    step += 1
+                    for p, g, mm, vv in zip(params, grads, m1, m2):
+                        mm *= beta1
+                        mm += (1 - beta1) * g
+                        vv *= beta2
+                        vv += (1 - beta2) * g * g
+                        m_hat = mm / (1 - beta1**step)
+                        v_hat = vv / (1 - beta2**step)
+                        p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps_adam)
 
         result = MLPResult(
             w1=params[0],

@@ -23,8 +23,21 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.pufs.crp import ChallengeSampler, uniform_challenges
+from repro.telemetry import meter as _meter
 
 Target = Callable[[np.ndarray], np.ndarray]
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """An oracle's query budget is exhausted.
+
+    Budget semantics (shared by every oracle here): the counter reflects
+    every query *asked*, including the batch that blew the budget, but no
+    answers from that batch are returned — an over-budget request fails
+    loudly instead of silently truncating or recycling earlier examples.
+    A subclass of ``RuntimeError`` for backward compatibility with callers
+    that catch the generic exception.
+    """
 
 
 class ExampleOracle:
@@ -44,6 +57,11 @@ class ExampleOracle:
         Classification-noise rate: each label is flipped independently with
         this probability (the "attribute noise" surrogate used in noise-
         tolerance tests).
+    max_examples:
+        Optional example budget.  A draw that would push
+        ``examples_drawn`` past it raises :class:`QueryBudgetExceeded`
+        *after* counting the refused batch and returns nothing — examples
+        are never silently recycled or truncated to fit the budget.
     """
 
     def __init__(
@@ -53,31 +71,50 @@ class ExampleOracle:
         rng: Optional[np.random.Generator] = None,
         sampler: ChallengeSampler = uniform_challenges,
         noise_rate: float = 0.0,
+        max_examples: Optional[int] = None,
     ) -> None:
         if not 0.0 <= noise_rate < 0.5:
             raise ValueError("noise_rate must be in [0, 0.5)")
+        if max_examples is not None and max_examples < 1:
+            raise ValueError("max_examples must be positive when given")
         self.n = n
         self.target = target
         self.rng = np.random.default_rng() if rng is None else rng
         self.sampler = sampler
         self.noise_rate = noise_rate
+        self.max_examples = max_examples
         self.examples_drawn = 0
 
     def draw(self, m: int) -> Tuple[np.ndarray, np.ndarray]:
-        """``m`` fresh labelled examples."""
+        """``m`` fresh labelled examples (counts toward the EX budget)."""
         if m <= 0:
             raise ValueError("example count must be positive")
+        self.examples_drawn += m
+        if self.max_examples is not None and self.examples_drawn > self.max_examples:
+            raise QueryBudgetExceeded(
+                f"example budget of {self.max_examples} exhausted "
+                f"({self.examples_drawn} drawn including this refused batch)"
+            )
         x = self.sampler(m, self.n, self.rng)
         y = np.asarray(self.target(x), dtype=np.int8)
         if self.noise_rate > 0:
             flips = self.rng.random(m) < self.noise_rate
             y = np.where(flips, -y, y).astype(np.int8)
-        self.examples_drawn += m
+        _meter.record(
+            "ex", queries=m, examples=m, challenges=x, response_bytes=y.nbytes
+        )
         return x, y
 
 
 class MembershipOracle:
-    """Answers f(x) on attacker-chosen challenges, with query accounting."""
+    """Answers f(x) on attacker-chosen challenges, with query accounting.
+
+    Budget semantics: ``queries_made`` counts every challenge row asked,
+    including a batch that exceeds ``max_queries``; that batch raises
+    :class:`QueryBudgetExceeded` and its answers are withheld.  The
+    budget is therefore a hard cap on *answers*, while the counter stays
+    an honest record of everything the attacker attempted.
+    """
 
     def __init__(
         self,
@@ -99,10 +136,17 @@ class MembershipOracle:
             raise ValueError(f"expected width {self.n}, got {x.shape[1]}")
         self.queries_made += x.shape[0]
         if self.max_queries is not None and self.queries_made > self.max_queries:
-            raise RuntimeError(
+            raise QueryBudgetExceeded(
                 f"membership query budget of {self.max_queries} exhausted"
             )
-        return np.asarray(self.target(x), dtype=np.int8)
+        y = np.asarray(self.target(x), dtype=np.int8)
+        _meter.record(
+            "mq",
+            queries=x.shape[0],
+            challenges=x,
+            response_bytes=y.nbytes,
+        )
+        return y
 
     def query_one(self, x: np.ndarray) -> int:
         """Single-point convenience wrapper."""
@@ -131,6 +175,10 @@ class SimulatedEquivalenceOracle:
     size grows logarithmically with the round number; a disagreement is
     returned as a counterexample, otherwise the hypothesis is accepted as
     an eps-approximator.
+
+    Budget semantics match the other oracles: with ``max_rounds`` set, the
+    over-budget call is still counted in ``round`` before
+    :class:`QueryBudgetExceeded` is raised, and no sample is drawn for it.
     """
 
     def __init__(
@@ -141,13 +189,17 @@ class SimulatedEquivalenceOracle:
         delta: float,
         rng: Optional[np.random.Generator] = None,
         sampler: ChallengeSampler = uniform_challenges,
+        max_rounds: Optional[int] = None,
     ) -> None:
+        if max_rounds is not None and max_rounds < 1:
+            raise ValueError("max_rounds must be positive when given")
         self.n = n
         self.target = target
         self.eps = eps
         self.delta = delta
         self.rng = np.random.default_rng() if rng is None else rng
         self.sampler = sampler
+        self.max_rounds = max_rounds
         self.round = 0
         self.examples_used = 0
 
@@ -155,10 +207,21 @@ class SimulatedEquivalenceOracle:
         """A counterexample row where hypothesis != target, or None (accept)."""
         m = angluin_eq_sample_size(self.eps, self.delta, self.round)
         self.round += 1
+        if self.max_rounds is not None and self.round > self.max_rounds:
+            raise QueryBudgetExceeded(
+                f"equivalence query budget of {self.max_rounds} rounds exhausted"
+            )
         x = self.sampler(m, self.n, self.rng)
         self.examples_used += m
         y_target = np.asarray(self.target(x), dtype=np.int8)
         y_hyp = np.asarray(hypothesis(x), dtype=np.int8)
+        _meter.record(
+            "eq",
+            queries=1,
+            examples=m,
+            challenges=x,
+            response_bytes=y_target.nbytes,
+        )
         disagree = np.nonzero(y_target != y_hyp)[0]
         if disagree.size:
             return x[disagree[0]]

@@ -22,7 +22,9 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.booleanfuncs.ltf import LTF, ltf_from_chow_parameters
+from repro.learning.oracles import QueryBudgetExceeded
 from repro.pufs.crp import ChallengeSampler, uniform_challenges
+from repro.telemetry import meter as _meter
 
 Target = Callable[[np.ndarray], np.ndarray]
 Query = Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -44,6 +46,17 @@ class SQOracle:
         (the realistic oracle induced by an example stream).
     sampler:
         The distribution D the expectations are over.
+    max_queries:
+        Optional SQ budget, with the shared count-then-raise semantics:
+        the refused call still increments ``queries_made``, then
+        :class:`~repro.learning.oracles.QueryBudgetExceeded` is raised.
+
+    Telemetry: each answered query records one ``sq`` query into the
+    ambient :class:`~repro.telemetry.meter.QueryMeter`.  In sampling mode
+    the examples the oracle privately spends are recorded in the ``sq``
+    counter's ``examples`` field; the adversarial oracle's reference
+    sample is *not* an attacker cost (it models oracle-side omniscience)
+    and records zero examples.
     """
 
     def __init__(
@@ -54,17 +67,21 @@ class SQOracle:
         mode: str = "adversarial",
         rng: Optional[np.random.Generator] = None,
         sampler: ChallengeSampler = uniform_challenges,
+        max_queries: Optional[int] = None,
     ) -> None:
         if not 0 < tau < 1:
             raise ValueError("tau must be in (0, 1)")
         if mode not in ("adversarial", "sampling"):
             raise ValueError(f"unknown mode {mode!r}")
+        if max_queries is not None and max_queries < 1:
+            raise ValueError("max_queries must be positive when given")
         self.n = n
         self.target = target
         self.tau = tau
         self.mode = mode
         self.rng = np.random.default_rng() if rng is None else rng
         self.sampler = sampler
+        self.max_queries = max_queries
         self.queries_made = 0
         # Exact expectations need a reference sample; large but fixed.
         self._reference_size = max(int(np.ceil(16.0 / tau**2)), 4096)
@@ -72,17 +89,23 @@ class SQOracle:
     def query(self, q: Query) -> float:
         """E[q(x, f(x))] to within tau; q must map into [-1, 1]."""
         self.queries_made += 1
+        if self.max_queries is not None and self.queries_made > self.max_queries:
+            raise QueryBudgetExceeded(
+                f"statistical query budget of {self.max_queries} exhausted"
+            )
         if self.mode == "sampling":
             m = max(int(np.ceil(4.0 / self.tau**2)), 16)
             x = self.sampler(m, self.n, self.rng)
             values = np.asarray(q(x, np.asarray(self.target(x))), dtype=np.float64)
             self._check_range(values)
+            _meter.record("sq", queries=1, examples=m)
             return float(np.mean(values))
         # Adversarial: compute a high-precision estimate of the truth, then
         # round it to the tau-grid (a legal answer that leaks the least).
         x = self.sampler(self._reference_size, self.n, self.rng)
         values = np.asarray(q(x, np.asarray(self.target(x))), dtype=np.float64)
         self._check_range(values)
+        _meter.record("sq", queries=1)
         truth = float(np.mean(values))
         return round(truth / self.tau) * self.tau
 
@@ -99,6 +122,7 @@ class SQChowResult:
     ltf: LTF
     chow_estimate: np.ndarray
     queries_made: int
+    telemetry: Optional[dict] = None  # learner-local query-meter snapshot
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.ltf(x)
@@ -113,17 +137,23 @@ class SQChowLearner:
     """
 
     def fit(self, oracle: SQOracle) -> SQChowResult:
+        """Ask the n+1 Chow queries; ``result.telemetry`` snapshots them."""
+        from repro.telemetry import QueryMeter, current_meter, metered, trace
+
         n = oracle.n
-        chow = np.empty(n + 1)
-        chow[0] = oracle.query(lambda x, y: y)
-        for i in range(n):
-            chow[i + 1] = oracle.query(
-                lambda x, y, i=i: y * x[:, i]
-            )
+        local = QueryMeter(parent=current_meter())
+        with metered(local), trace("sq_chow.fit", n=n):
+            chow = np.empty(n + 1)
+            chow[0] = oracle.query(lambda x, y: y)
+            for i in range(n):
+                chow[i + 1] = oracle.query(
+                    lambda x, y, i=i: y * x[:, i]
+                )
         return SQChowResult(
             ltf=ltf_from_chow_parameters(chow),
             chow_estimate=chow,
             queries_made=oracle.queries_made,
+            telemetry=local.snapshot(),
         )
 
 

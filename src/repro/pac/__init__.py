@@ -49,7 +49,13 @@ from repro.pac.audit import (
     audit_assessments,
     audit_transfer,
 )
-from repro.pac.bounds import bound_with_noise, noisy_sample_inflation
+from repro.pac.bounds import (
+    bound_with_noise,
+    km_query_bound,
+    noisy_sample_inflation,
+    sq_chow_example_bound,
+    sq_chow_query_count,
+)
 from repro.pac.circuit_bounds import (
     CircuitClassAssessment,
     ac0_distribution_free_time_log10,
@@ -88,7 +94,10 @@ __all__ = [
     "audit_transfer",
     "audit_assessments",
     "bound_with_noise",
+    "km_query_bound",
     "noisy_sample_inflation",
+    "sq_chow_example_bound",
+    "sq_chow_query_count",
     "CircuitClassAssessment",
     "ac0_distribution_free_time_log10",
     "ac0_uniform_lmn_sample_log10",

@@ -205,6 +205,68 @@ def learnpoly_bound_log10(
 
 
 # ----------------------------------------------------------------------
+# Measured-query companions: concrete per-algorithm budgets the telemetry
+# report (python -m repro report) checks trial meters against.  Each is
+# the structural worst case of the implementation in repro.learning, so a
+# measured count above it is a bug, not bad luck.
+# ----------------------------------------------------------------------
+def km_query_bound(
+    n: int,
+    theta: float,
+    bucket_samples: int,
+    coefficient_samples: int,
+    max_buckets: int | None = None,
+) -> float:
+    """Membership-query upper bound for Kushilevitz-Mansour at arity n.
+
+    The access-model companion of Table I row 4: with membership queries,
+    locating every coefficient above ``theta`` is poly(n, 1/theta).
+    Structurally (matching :class:`repro.learning.KushilevitzMansour`):
+    each level keeps at most ``max_buckets`` buckets (default, via
+    Parseval, ``ceil(8/theta^2)``), expands each into two candidates, and
+    estimates each candidate's weight with ``2 * bucket_samples`` queries;
+    a pruning pass may re-estimate every candidate once more; there are at
+    most ``n`` levels, plus one *shared* final sample of
+    ``coefficient_samples`` queries for all surviving coefficients.
+    """
+    _check(n, 1)
+    if not 0 < theta <= 1:
+        raise ValueError("theta must be in (0, 1]")
+    if bucket_samples < 1 or coefficient_samples < 1:
+        raise ValueError("sample counts must be positive")
+    if max_buckets is None:
+        max_buckets = math.ceil(8.0 / theta**2)
+    if max_buckets < 1:
+        raise ValueError("max_buckets must be positive")
+    per_level = 8 * max_buckets * bucket_samples
+    return float(n * per_level + coefficient_samples)
+
+
+def sq_chow_query_count(n: int) -> int:
+    """Exact SQ cost of Chow-parameter learning: n + 1 correlational queries.
+
+    The noise-tolerant access model: :class:`repro.learning.SQChowLearner`
+    asks exactly one query per Chow parameter, so a meter reading above
+    ``n + 1`` is a bug and below is impossible.
+    """
+    _check(n, 1)
+    return n + 1
+
+
+def sq_chow_example_bound(n: int, tau: float) -> float:
+    """Examples a sampling-mode SQ oracle spends answering the Chow queries.
+
+    Each of the ``n + 1`` queries is answered from
+    ``max(ceil(4 / tau^2), 16)`` fresh examples (the oracle's sampling
+    rule), so the total example cost is exactly this bound.
+    """
+    _check(n, 1)
+    if not 0 < tau < 1:
+        raise ValueError("tau must be in (0, 1)")
+    return float((n + 1) * max(math.ceil(4.0 / tau**2), 16))
+
+
+# ----------------------------------------------------------------------
 # Classification noise (the paper's footnote-1 "attribute noise", seen by
 # the learner as label noise after stabilisation).
 # ----------------------------------------------------------------------

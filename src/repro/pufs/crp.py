@@ -158,4 +158,13 @@ def generate_crps(
         responses = puf.eval_noisy(challenges, rng)
     else:
         responses = puf.eval(challenges)
+    from repro.telemetry.meter import record as _record
+
+    _record(
+        "ex",
+        queries=m,
+        examples=m,
+        challenges=challenges,
+        response_bytes=responses.nbytes,
+    )
     return CRPSet(challenges, responses)

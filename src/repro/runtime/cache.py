@@ -23,6 +23,8 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro.pufs.crp import CRPSet
+from repro.telemetry.meter import incr as _incr
+from repro.telemetry.meter import record as _record
 
 
 def cache_key(
@@ -61,6 +63,7 @@ class CRPCache:
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
+        """The ``.npz`` file backing cache entry ``key``."""
         return self.cache_dir / f"crps-{key}.npz"
 
     def load(self, key: str) -> Optional[CRPSet]:
@@ -102,8 +105,21 @@ class CRPCache:
         cached = self.load(key)
         if cached is not None and len(cached) >= m:
             self.hits += 1
-            return cached.take(m)
+            _incr("crp_cache.hits")
+            taken = cached.take(m)
+            # A cache hit replays CRPs the adversary is still accountable
+            # for; record them as EX queries just like fresh generation
+            # (the generator inside `generate` records the miss path).
+            _record(
+                "ex",
+                queries=m,
+                examples=m,
+                challenges=taken.challenges,
+                response_bytes=taken.responses.nbytes,
+            )
+            return taken
         self.misses += 1
+        _incr("crp_cache.misses")
         crps = generate()
         if len(crps) < m:
             raise ValueError(

@@ -91,4 +91,15 @@ def generate_crps_blocked(
             responses[start:stop] = puf.eval_noisy(block, rng)
         else:
             responses[start:stop] = puf.eval(block)
+    # One record for the whole draw (not per block): the meter's distinct
+    # split and byte accounting see the same rows either way.
+    from repro.telemetry.meter import record as _record
+
+    _record(
+        "ex",
+        queries=m,
+        examples=m,
+        challenges=challenges,
+        response_bytes=responses.nbytes,
+    )
     return CRPSet(challenges, responses)

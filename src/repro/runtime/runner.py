@@ -23,11 +23,16 @@ import dataclasses
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.runtime.seeding import SeedLike, fan_out
+from repro.telemetry.meter import QueryMeter, metered
+from repro.telemetry.spans import SpanRecorder, recording
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.telemetry.ledger import RunLedger
 
 
 @dataclasses.dataclass
@@ -58,11 +63,21 @@ TrialFn = Callable[..., Any]
 
 @dataclasses.dataclass
 class TrialResult:
-    """One trial's outcome plus its in-worker wall-clock time."""
+    """One trial's outcome plus its in-worker timing and telemetry.
+
+    ``seconds`` is in-worker wall time, ``cpu_seconds`` in-worker process
+    CPU time, and ``queue_wait`` the delay between submission in the
+    parent and execution start in the worker (0 on the serial path).
+    ``telemetry`` is ``{"queries": <QueryMeter snapshot>, "spans": <span
+    summary>}`` — picklable dicts, so pool workers ship them back intact.
+    """
 
     index: int
     value: Any
     seconds: float
+    cpu_seconds: float = 0.0
+    queue_wait: float = 0.0
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclasses.dataclass
@@ -88,6 +103,7 @@ class TrialReport:
         return float(np.sum(self.trial_seconds()))
 
     def summary(self) -> str:
+        """One-line digest: trial count, workers, wall clock, per-trial stats."""
         secs = self.trial_seconds()
         return (
             f"{len(self.results)} trials on {self.workers} worker(s) "
@@ -102,11 +118,32 @@ def _execute_trial(
     index: int,
     seed: np.random.SeedSequence,
     kwargs: Dict[str, Any],
+    submitted_at: Optional[float] = None,
 ) -> TrialResult:
-    """Run one trial and time it (module-level so the pool can pickle it)."""
+    """Run one trial, metered and timed (module-level for pool pickling).
+
+    Installs a fresh :class:`QueryMeter` and :class:`SpanRecorder` around
+    the trial, so every oracle draw and kernel span inside lands on this
+    trial's telemetry — in the worker process under the pool, or inline on
+    the serial fallback; either way the snapshot returns in the result.
+    ``submitted_at`` is a ``time.time()`` stamp from the parent (wall
+    clock, comparable across processes), giving the queue-wait estimate.
+    """
+    queue_wait = 0.0 if submitted_at is None else max(0.0, time.time() - submitted_at)
+    meter = QueryMeter()
+    spans = SpanRecorder()
     start = time.perf_counter()
-    value = trial_fn(TrialContext(index, seed), **kwargs)
-    return TrialResult(index=index, value=value, seconds=time.perf_counter() - start)
+    cpu_start = time.process_time()
+    with metered(meter), recording(spans):
+        value = trial_fn(TrialContext(index, seed), **kwargs)
+    return TrialResult(
+        index=index,
+        value=value,
+        seconds=time.perf_counter() - start,
+        cpu_seconds=time.process_time() - cpu_start,
+        queue_wait=queue_wait,
+        telemetry={"queries": meter.snapshot(), "spans": spans.summary()},
+    )
 
 
 class TrialRunner:
@@ -138,6 +175,7 @@ class TrialRunner:
         num_trials: int,
         master_seed: SeedLike = 0,
         trial_kwargs: Optional[Dict[str, Any]] = None,
+        ledger: Optional["RunLedger"] = None,
     ) -> TrialReport:
         """Run ``num_trials`` independent trials of ``trial_fn``.
 
@@ -146,6 +184,10 @@ class TrialRunner:
         from ``ctx.rng`` / ``ctx.spawn_rngs`` for the determinism
         contract to hold.  Results are returned in trial-index order and
         are bit-identical for every ``workers`` value.
+
+        With ``ledger`` set, one JSONL record per trial (index, timings,
+        telemetry snapshot, value) is appended after all trials finish —
+        written here in the parent, never concurrently from workers.
         """
         kwargs = dict(trial_kwargs or {})
         seeds = fan_out(master_seed, num_trials)
@@ -169,12 +211,25 @@ class TrialRunner:
                 executor = "serial"
 
         results.sort(key=lambda r: r.index)
-        return TrialReport(
+        report = TrialReport(
             results=results,
             workers=self.workers,
             wall_seconds=time.perf_counter() - start,
             executor=executor,
         )
+        if ledger is not None:
+            ledger.append_many(
+                {
+                    "index": r.index,
+                    "seconds": r.seconds,
+                    "cpu_seconds": r.cpu_seconds,
+                    "queue_wait": r.queue_wait,
+                    "telemetry": r.telemetry,
+                    "value": r.value,
+                }
+                for r in results
+            )
+        return report
 
     # ------------------------------------------------------------------
     def _run_serial(
@@ -196,6 +251,7 @@ class TrialRunner:
     ) -> List[TrialResult]:
         num_trials = len(seeds)
         chunk = self.chunk_size or max(1, -(-num_trials // (4 * self.workers)))
+        submitted_at = time.time()
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             return list(
                 pool.map(
@@ -204,6 +260,7 @@ class TrialRunner:
                     range(num_trials),
                     seeds,
                     [kwargs] * num_trials,
+                    [submitted_at] * num_trials,
                     chunksize=chunk,
                 )
             )

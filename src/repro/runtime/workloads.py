@@ -18,11 +18,12 @@ from repro.kernels import CharacterBasis, DEFAULT_CHARACTER_BLOCK
 from repro.learning.logistic import LogisticAttack
 from repro.pufs.arbiter import ArbiterPUF, parity_transform
 from repro.pufs.bistable_ring import BistableRingPUF
-from repro.pufs.crp import generate_crps
+from repro.pufs.crp import generate_crps, uniform_challenges
 from repro.pufs.xor_arbiter import XORArbiterPUF
 from repro.runtime.cache import CRPCache
 from repro.runtime.chunking import DEFAULT_BLOCK_SIZE, generate_crps_blocked
 from repro.runtime.runner import TrialContext
+from repro.telemetry import unmetered
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +45,7 @@ class LearningCurveSpec:
 
     @property
     def sorted_budgets(self) -> Tuple[int, ...]:
+        """The CRP budgets in ascending order (the evaluation order)."""
         return tuple(sorted(int(b) for b in self.budgets))
 
 
@@ -61,7 +63,10 @@ def learning_curve_trial(ctx: TrialContext, spec: LearningCurveSpec) -> np.ndarr
         puf = XORArbiterPUF(spec.n, spec.k, rng)
     budgets = spec.sorted_budgets
     pool = generate_crps_blocked(puf, budgets[-1], rng)
-    test = generate_crps_blocked(puf, spec.test_size, rng)
+    # Held-out evaluation is not an adversary query: suspend the meter so
+    # the ledger's EX count equals the attack budget exactly.
+    with unmetered():
+        test = generate_crps_blocked(puf, spec.test_size, rng)
     accuracies = np.empty(len(budgets))
     for i, budget in enumerate(budgets):
         result = LogisticAttack(feature_map=parity_transform).fit(
@@ -154,8 +159,16 @@ class LMNTrialSpec:
 
 
 def lmn_trial(ctx: TrialContext, spec: LMNTrialSpec) -> np.ndarray:
-    """[captured_weight, test_accuracy] of LMN on one fresh XOR PUF."""
+    """[captured_weight, test_accuracy] of LMN on one fresh XOR PUF.
+
+    The training sample is drawn through an
+    :class:`~repro.learning.oracles.ExampleOracle` so the trial meter sees
+    exactly ``m`` EX queries; the held-out test draw is unmetered.  The
+    oracle's uniform sampler consumes the rng stream identically to the
+    former inline draw, so results are bit-identical across PRs.
+    """
     from repro.learning.lmn import LMNLearner
+    from repro.learning.oracles import ExampleOracle
 
     instance_rng, crp_rng = ctx.spawn_rngs(2)
     puf = XORArbiterPUF(spec.n, spec.k, instance_rng)
@@ -163,14 +176,118 @@ def lmn_trial(ctx: TrialContext, spec: LMNTrialSpec) -> np.ndarray:
     def features(challenges: np.ndarray) -> np.ndarray:
         return parity_transform(challenges)[:, :-1].astype(np.int8)
 
-    train = (1 - 2 * crp_rng.integers(0, 2, size=(spec.m, spec.n))).astype(np.int8)
+    oracle = ExampleOracle(spec.n, puf.eval, rng=crp_rng)
+    train, responses = oracle.draw(spec.m)
     result = LMNLearner(degree=spec.degree).fit_sample(
-        features(train), puf.eval(train)
+        features(train), responses
     )
-    test = (1 - 2 * crp_rng.integers(0, 2, size=(spec.test_size, spec.n))).astype(
-        np.int8
-    )
+    with unmetered():
+        test = uniform_challenges(spec.test_size, spec.n, crp_rng)
     accuracy = float(
         np.mean(result.hypothesis(features(test)) == puf.eval(test))
     )
     return np.array([result.captured_weight, accuracy])
+
+
+@dataclasses.dataclass(frozen=True)
+class KMTrialSpec:
+    """One Kushilevitz-Mansour trial against an arbiter PUF's feature LTF.
+
+    The arbiter parity map is a bijection on the hypercube, so a
+    membership query in feature space is a physically realisable
+    chosen-challenge query — the access model of Table I row 4.  The
+    target has arity ``n + 1`` (the n parity features plus the constant
+    column, freed to +/-1 under membership queries).
+    """
+
+    n: int = 12
+    theta: float = 0.25
+    bucket_samples: int = 2048
+    coefficient_samples: int = 8192
+    test_size: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if not 0 < self.theta <= 1:
+            raise ValueError("theta must be in (0, 1]")
+        if self.bucket_samples < 1 or self.coefficient_samples < 1:
+            raise ValueError("sample counts must be positive")
+        if self.test_size <= 0:
+            raise ValueError("test_size must be positive")
+
+
+def km_trial(ctx: TrialContext, spec: KMTrialSpec) -> np.ndarray:
+    """[test_accuracy, membership_queries] of KM on one fresh arbiter PUF.
+
+    The raw target callable goes straight to
+    :class:`~repro.learning.KushilevitzMansour`, whose internal query path
+    records every row as an MQ query (wrapping the target in a
+    ``MembershipOracle`` would double-count).
+    """
+    from repro.learning.kushilevitz_mansour import KushilevitzMansour
+
+    instance_rng, query_rng = ctx.spawn_rngs(2)
+    puf = ArbiterPUF(spec.n, instance_rng)
+    weights = puf.weights
+    arity = spec.n + 1
+
+    def target(z: np.ndarray) -> np.ndarray:
+        margins = np.asarray(z, dtype=np.float64) @ weights
+        return np.where(margins >= 0, 1, -1).astype(np.int8)
+
+    km = KushilevitzMansour(
+        theta=spec.theta,
+        bucket_samples=spec.bucket_samples,
+        coefficient_samples=spec.coefficient_samples,
+    )
+    result = km.fit(arity, target, query_rng)
+    with unmetered():
+        test = uniform_challenges(spec.test_size, arity, query_rng)
+    accuracy = float(np.mean(result.hypothesis(test) == target(test)))
+    return np.array([accuracy, float(result.membership_queries)])
+
+
+@dataclasses.dataclass(frozen=True)
+class SQTrialSpec:
+    """One statistical-query Chow trial on a random feature-space LTF.
+
+    ``n`` is the oracle arity (the feature dimension); the learner asks
+    exactly ``n + 1`` correlational queries.  ``mode`` selects the
+    sampling oracle (realistic, example-backed) or the adversarial
+    tau-rounding oracle of the SQ lower-bound argument.
+    """
+
+    n: int = 32
+    tau: float = 0.05
+    mode: str = "sampling"
+    test_size: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if not 0 < self.tau < 1:
+            raise ValueError("tau must be in (0, 1)")
+        if self.mode not in ("adversarial", "sampling"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.test_size <= 0:
+            raise ValueError("test_size must be positive")
+
+
+def sq_trial(ctx: TrialContext, spec: SQTrialSpec) -> np.ndarray:
+    """[test_accuracy, sq_queries] of the Chow learner on a random LTF."""
+    from repro.learning.statistical_query import SQChowLearner, SQOracle
+
+    instance_rng, query_rng = ctx.spawn_rngs(2)
+    weights = instance_rng.normal(0.0, 1.0, size=spec.n)
+
+    def target(z: np.ndarray) -> np.ndarray:
+        margins = np.asarray(z, dtype=np.float64) @ weights
+        return np.where(margins >= 0, 1, -1).astype(np.int8)
+
+    oracle = SQOracle(spec.n, target, tau=spec.tau, mode=spec.mode, rng=query_rng)
+    result = SQChowLearner().fit(oracle)
+    with unmetered():
+        test = uniform_challenges(spec.test_size, spec.n, query_rng)
+    accuracy = float(np.mean(result.predict(test) == target(test)))
+    return np.array([accuracy, float(result.queries_made)])

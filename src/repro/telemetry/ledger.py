@@ -1,0 +1,132 @@
+"""The JSONL run ledger: one line per trial, one directory per run.
+
+A *run* is one invocation of an experiment (``python -m repro trials``,
+or any :class:`~repro.runtime.runner.TrialRunner` call given a ledger).
+Its directory, ``runs/<run_id>/`` by convention, holds:
+
+* ``meta.json`` — the run's provenance: workload name, spec parameters,
+  trial count, worker count, master seed, and the PAC parameters its
+  bounds should be evaluated at;
+* ``ledger.jsonl`` — one JSON record per trial, appended in index order:
+  timings (wall/CPU/queue-wait), the trial's return value, and the full
+  query-meter + span-summary telemetry snapshot.
+
+``python -m repro report runs/<run_id>`` aggregates a ledger against the
+:mod:`repro.pac.bounds` predictions (see :mod:`repro.telemetry.report`).
+Records are plain dicts of JSON scalars; numpy values are converted on
+write so readers need nothing but the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+#: File names inside a run directory.
+LEDGER_NAME = "ledger.jsonl"
+META_NAME = "meta.json"
+
+
+def _json_default(obj: object) -> object:
+    """Convert numpy scalars/arrays so ledger writes never fail."""
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(obj).__name__}")
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """A sortable run id: ``<prefix>-YYYYmmdd-HHMMSS``.
+
+    Collisions within one second are possible; pass an explicit
+    ``--run-id`` when launching runs programmatically in a loop.
+    """
+    return f"{prefix}-{time.strftime('%Y%m%d-%H%M%S')}"
+
+
+class RunLedger:
+    """Append-only JSONL ledger plus ``meta.json`` for one run directory.
+
+    Parameters
+    ----------
+    run_dir:
+        The run's directory (e.g. ``runs/curve-20260806-120000``).
+        Created on construction.
+    """
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """The ``ledger.jsonl`` path."""
+        return self.run_dir / LEDGER_NAME
+
+    @property
+    def meta_path(self) -> Path:
+        """The ``meta.json`` path."""
+        return self.run_dir / META_NAME
+
+    @property
+    def run_id(self) -> str:
+        """The run id (the directory name)."""
+        return self.run_dir.name
+
+    # ------------------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one trial record as a single JSON line."""
+        line = json.dumps(record, default=_json_default, sort_keys=True)
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+
+    def append_many(self, records: Iterable[Dict[str, object]]) -> None:
+        """Append several records in one file open."""
+        with self.path.open("a") as fh:
+            for record in records:
+                fh.write(
+                    json.dumps(record, default=_json_default, sort_keys=True) + "\n"
+                )
+
+    def write_meta(self, meta: Dict[str, object]) -> None:
+        """Write (replace) the run's ``meta.json``."""
+        self.meta_path.write_text(
+            json.dumps(meta, default=_json_default, sort_keys=True, indent=2) + "\n"
+        )
+
+    # ------------------------------------------------------------------
+    def read(self) -> List[Dict[str, object]]:
+        """All trial records, in file order (skips blank lines)."""
+        if not self.path.exists():
+            return []
+        records = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+        return records
+
+    def read_meta(self) -> Optional[Dict[str, object]]:
+        """The run's metadata, or None when ``meta.json`` is absent."""
+        if not self.meta_path.exists():
+            return None
+        return json.loads(self.meta_path.read_text())
+
+    @classmethod
+    def open_existing(cls, run_dir: Union[str, Path]) -> "RunLedger":
+        """Open a run directory that must already contain a ledger."""
+        run_dir = Path(run_dir)
+        if not (run_dir / LEDGER_NAME).exists():
+            raise FileNotFoundError(
+                f"no {LEDGER_NAME} under {run_dir} — not a run directory"
+            )
+        return cls(run_dir)
+
+    def __repr__(self) -> str:
+        return f"RunLedger({str(self.run_dir)!r})"

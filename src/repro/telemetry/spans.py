@@ -1,0 +1,148 @@
+"""Lightweight timing spans: ``with trace("lmn.fit"): ...``.
+
+A span records wall and CPU time for a named region, nests (child spans
+know their depth and parent), and carries free-form numeric attributes
+(block counts, matrix shapes).  Recording is ambient, like
+:mod:`repro.telemetry.meter`: instrumented code calls :func:`trace`,
+which is a near-free no-op (one context-variable read) until a
+:class:`SpanRecorder` is installed with :func:`recording`.
+
+The kernels layer traces its GEMM/FWHT calls, learners trace their fits,
+and :class:`repro.runtime.runner.TrialRunner` installs a recorder around
+every trial so per-trial span summaries land in the run ledger —
+including on the serial fallback path, where trials share a process but
+each still gets its own recorder.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclasses.dataclass
+class Span:
+    """One completed traced region."""
+
+    name: str
+    wall_s: float
+    cpu_s: float
+    depth: int
+    index: int
+    parent_index: int  # -1 for a root span
+    attrs: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-ready)."""
+        return dataclasses.asdict(self)
+
+
+class SpanRecorder:
+    """Collects completed spans and aggregates them by name.
+
+    Spans are appended on *exit* (so children precede parents in
+    ``spans``); nesting structure survives via ``depth`` and
+    ``parent_index``.  Not thread-safe — one recorder per trial.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    def _enter(self) -> int:
+        index = self._next_index
+        self._next_index += 1
+        self._stack.append(index)
+        return index
+
+    def _exit(self, span: Span) -> None:
+        self._stack.pop()
+        self.spans.append(span)
+
+    @property
+    def current_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregate: call count, total wall and CPU seconds.
+
+        Nested same-name spans all count, so a name's total can exceed
+        wall-clock; the per-span list keeps the exact structure.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            agg = out.setdefault(
+                span.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["wall_s"] += span.wall_s
+            agg["cpu_s"] += span.cpu_s
+        return out
+
+    def roots(self) -> List[Span]:
+        """Top-level spans, in completion order."""
+        return [s for s in self.spans if s.parent_index == -1]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+# ----------------------------------------------------------------------
+_RECORDER: contextvars.ContextVar[Optional[SpanRecorder]] = contextvars.ContextVar(
+    "repro_span_recorder", default=None
+)
+
+
+def current_recorder() -> Optional[SpanRecorder]:
+    """The ambient recorder, or None when tracing is off."""
+    return _RECORDER.get()
+
+
+@contextlib.contextmanager
+def recording(recorder: Optional[SpanRecorder] = None) -> Iterator[SpanRecorder]:
+    """Install ``recorder`` (or a fresh one) as the ambient span sink."""
+    recorder = SpanRecorder() if recorder is None else recorder
+    token = _RECORDER.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _RECORDER.reset(token)
+
+
+@contextlib.contextmanager
+def trace(name: str, **attrs: object) -> Iterator[None]:
+    """Time a region under ``name``; a no-op without an active recorder.
+
+    Numeric keyword attributes (``m=25000, blocks=7``) are stored on the
+    span verbatim — keep them JSON-serialisable.
+    """
+    recorder = _RECORDER.get()
+    if recorder is None:
+        yield
+        return
+    parent = recorder._stack[-1] if recorder._stack else -1
+    depth = recorder.current_depth
+    index = recorder._enter()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        yield
+    finally:
+        recorder._exit(
+            Span(
+                name=name,
+                wall_s=time.perf_counter() - wall0,
+                cpu_s=time.process_time() - cpu0,
+                depth=depth,
+                index=index,
+                parent_index=parent,
+                attrs=dict(attrs),
+            )
+        )

@@ -1,0 +1,164 @@
+"""AST-based docstring-coverage measurement (an ``interrogate`` stand-in).
+
+The container has no docstring-lint package installed, so this module
+implements the needed subset directly on :mod:`ast`: walk Python sources,
+count the definitions that *should* carry a docstring, and report the
+fraction that do.  ``python -m repro lint-docstrings`` turns the report
+into a CI gate with a ``--fail-under`` threshold.
+
+What counts as a documentable definition:
+
+* the module itself;
+* every class, regardless of name;
+* every function or method whose name is public (no leading underscore) —
+  plus private ones when ``include_private`` is set.
+
+Dunder methods other than ``__init__`` are skipped (their contracts are
+the language's, not ours), as are ``@overload`` stubs and functions
+nested inside other functions (closures are implementation detail, not
+API surface — the same default as ``interrogate``'s
+``--ignore-nested-functions``).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+
+@dataclasses.dataclass
+class FileCoverage:
+    """Coverage of one source file."""
+
+    path: str
+    total: int
+    documented: int
+    missing: Tuple[str, ...]  # qualified names lacking docstrings
+
+    @property
+    def percent(self) -> float:
+        """Documented fraction in percent (an empty file counts as 100)."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.documented / self.total
+
+
+@dataclasses.dataclass
+class CoverageReport:
+    """Aggregated docstring coverage over a file set."""
+
+    files: List[FileCoverage]
+
+    @property
+    def total(self) -> int:
+        """Documentable definitions across all files."""
+        return sum(f.total for f in self.files)
+
+    @property
+    def documented(self) -> int:
+        """Definitions that carry a docstring."""
+        return sum(f.documented for f in self.files)
+
+    @property
+    def percent(self) -> float:
+        """Overall coverage in percent (empty set counts as 100)."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.documented / self.total
+
+    def render(self, verbose: bool = False) -> str:
+        """A terminal summary; ``verbose`` lists every missing docstring."""
+        lines = []
+        for f in sorted(self.files, key=lambda f: f.path):
+            lines.append(
+                f"{f.path}: {f.documented}/{f.total} ({f.percent:.1f}%)"
+            )
+            if verbose:
+                for name in f.missing:
+                    lines.append(f"  missing: {name}")
+        lines.append(
+            f"TOTAL: {self.documented}/{self.total} ({self.percent:.1f}%)"
+        )
+        return "\n".join(lines)
+
+
+def _is_overload_stub(node: ast.AST) -> bool:
+    decorators = getattr(node, "decorator_list", [])
+    for dec in decorators:
+        name = dec.attr if isinstance(dec, ast.Attribute) else getattr(dec, "id", "")
+        if name == "overload":
+            return True
+    return False
+
+
+def _wants_docstring(node: ast.AST, include_private: bool) -> bool:
+    if isinstance(node, ast.ClassDef):
+        return include_private or not node.name.startswith("_")
+    name = node.name  # FunctionDef / AsyncFunctionDef
+    if name.startswith("__") and name.endswith("__"):
+        return name == "__init__" and include_private
+    if name.startswith("_"):
+        return include_private
+    return not _is_overload_stub(node)
+
+
+def _walk_definitions(
+    tree: ast.Module, include_private: bool
+) -> Iterable[Tuple[str, ast.AST]]:
+    """(qualified name, node) for every documentable definition in order."""
+    stack: List[Tuple[str, ast.AST]] = [("", tree)]
+    while stack:
+        prefix, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qualified = f"{prefix}{child.name}"
+                if _wants_docstring(child, include_private):
+                    yield qualified, child
+                # Methods of private classes are still documentable if
+                # public themselves, so recurse into every class; but do
+                # not descend into function bodies — closures are not
+                # API surface.
+                if isinstance(child, ast.ClassDef):
+                    stack.append((f"{qualified}.", child))
+
+
+def measure_file(
+    path: Union[str, Path], include_private: bool = False
+) -> FileCoverage:
+    """Docstring coverage of a single ``.py`` file."""
+    path = Path(path)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    total = 1  # the module docstring
+    documented = 1 if ast.get_docstring(tree) else 0
+    missing: List[str] = [] if documented else ["<module>"]
+    for qualified, node in _walk_definitions(tree, include_private):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(qualified)
+    return FileCoverage(
+        path=str(path), total=total, documented=documented, missing=tuple(missing)
+    )
+
+
+def measure_docstring_coverage(
+    paths: Sequence[Union[str, Path]], include_private: bool = False
+) -> CoverageReport:
+    """Coverage over files and (recursively) directories of ``.py`` sources."""
+    files: List[FileCoverage] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            sources = sorted(entry.rglob("*.py"))
+        elif entry.suffix == ".py":
+            sources = [entry]
+        else:
+            raise ValueError(f"not a Python source or directory: {entry}")
+        for source in sources:
+            files.append(measure_file(source, include_private))
+    return CoverageReport(files=files)

@@ -1,0 +1,121 @@
+"""Exact query bills: each learner's meter counts are pinned, not fuzzy."""
+
+import numpy as np
+import pytest
+
+from repro.learning import (
+    ExampleOracle,
+    LMNLearner,
+    KushilevitzMansour,
+    QueryBudgetExceeded,
+    SimulatedEquivalenceOracle,
+    SQChowLearner,
+    SQOracle,
+)
+from repro.telemetry import QueryMeter, metered
+
+
+def ltf_target(n, rng):
+    weights = rng.normal(size=n)
+
+    def target(x):
+        return np.where(np.asarray(x, float) @ weights >= 0, 1, -1).astype(np.int8)
+
+    return target
+
+
+def test_lmn_fit_oracle_records_exactly_m_examples():
+    rng = np.random.default_rng(0)
+    oracle = ExampleOracle(10, ltf_target(10, rng), rng=rng)
+    with metered() as meter:
+        result = LMNLearner(degree=1).fit_oracle(oracle, m=500)
+    ex = meter.snapshot()["queries"]["ex"]
+    assert ex["queries"] == 500
+    assert ex["examples"] == 500
+    assert ex["batches"] == 1
+    # Learner-local snapshot carries the same bill.
+    assert result.telemetry["queries"]["ex"]["queries"] == 500
+    assert meter.total_queries == 500  # nothing else was charged
+
+
+def test_km_meter_matches_membership_queries_counter():
+    """The meter's MQ total equals the learner's own queries_made count —
+    the shared coefficient sample is charged once, not per bucket."""
+    rng = np.random.default_rng(1)
+    n = 8
+    km = KushilevitzMansour(theta=0.4, bucket_samples=256, coefficient_samples=512)
+    with metered() as meter:
+        result = km.fit(n, ltf_target(n, rng), rng)
+    mq = meter.snapshot()["queries"]["mq"]
+    assert mq["queries"] == result.membership_queries
+    assert meter.kinds["ex"].queries == 0
+    assert result.telemetry["queries"]["mq"]["queries"] == result.membership_queries
+
+
+def test_sq_chow_records_exactly_n_plus_1_queries():
+    rng = np.random.default_rng(2)
+    n = 12
+    oracle = SQOracle(n, ltf_target(n, rng), tau=0.1, mode="sampling", rng=rng)
+    with metered() as meter:
+        result = SQChowLearner().fit(oracle)
+    sq = meter.snapshot()["queries"]["sq"]
+    assert sq["queries"] == n + 1 == result.queries_made
+    # Sampling mode: each call consumed max(ceil(4/tau^2), 16) examples.
+    assert sq["examples"] == (n + 1) * max(int(np.ceil(4 / 0.1**2)), 16)
+
+
+def test_sq_adversarial_mode_records_zero_examples():
+    """The adversary's internal reference sample is not attacker cost."""
+    rng = np.random.default_rng(3)
+    n = 6
+    oracle = SQOracle(n, ltf_target(n, rng), tau=0.2, mode="adversarial", rng=rng)
+    with metered() as meter:
+        SQChowLearner().fit(oracle)
+    sq = meter.snapshot()["queries"]["sq"]
+    assert sq["queries"] == n + 1
+    assert sq["examples"] == 0
+
+
+def test_example_oracle_budget_count_then_raise():
+    rng = np.random.default_rng(4)
+    oracle = ExampleOracle(8, ltf_target(8, rng), rng=rng, max_examples=100)
+    with metered() as meter:
+        oracle.draw(80)
+        with pytest.raises(QueryBudgetExceeded):
+            oracle.draw(30)
+    # The refused batch is counted on the oracle but never answered, so
+    # the meter (which records answered queries) stays at 80.
+    assert oracle.examples_drawn == 110
+    assert meter.kinds["ex"].queries == 80
+
+
+def test_eq_oracle_budget_count_then_raise():
+    rng = np.random.default_rng(5)
+    target = ltf_target(8, rng)
+    oracle = SimulatedEquivalenceOracle(
+        8, target, eps=0.2, delta=0.2, rng=rng, max_rounds=2
+    )
+
+    def wrong(x):
+        return -target(x)
+
+    with metered() as meter:
+        assert oracle.query(wrong) is not None
+        assert oracle.query(wrong) is not None
+        with pytest.raises(QueryBudgetExceeded):
+            oracle.query(wrong)
+    assert oracle.round == 3  # the refused round is still counted
+    assert meter.kinds["eq"].queries == 2  # but was never answered
+
+
+def test_unmetered_test_draws_keep_trial_bill_equal_to_budget():
+    """The lmn workload's ledger EX count is the training budget exactly."""
+    from repro.runtime.runner import TrialContext
+    from repro.runtime.seeding import fan_out
+    from repro.runtime.workloads import LMNTrialSpec, lmn_trial
+
+    spec = LMNTrialSpec(n=8, k=1, degree=1, m=400, test_size=200)
+    ctx = TrialContext(index=0, seed=fan_out(0, 1)[0])
+    with metered() as meter:
+        lmn_trial(ctx, spec)
+    assert meter.kinds["ex"].queries == 400  # test_size rows never metered

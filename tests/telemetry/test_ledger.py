@@ -1,0 +1,75 @@
+"""RunLedger: JSONL round-trips, metadata, and runner integration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import TrialRunner
+from repro.telemetry import RunLedger, new_run_id
+
+
+def test_round_trip_records_and_meta(tmp_path):
+    ledger = RunLedger(tmp_path / "run-1")
+    ledger.write_meta({"workload": "curve", "spec": {"n": 8}})
+    ledger.append({"index": 0, "value": [0.5]})
+    ledger.append_many([{"index": 1}, {"index": 2}])
+    reopened = RunLedger.open_existing(tmp_path / "run-1")
+    assert reopened.read_meta()["workload"] == "curve"
+    records = reopened.read()
+    assert [r["index"] for r in records] == [0, 1, 2]
+
+
+def test_numpy_values_serialised(tmp_path):
+    ledger = RunLedger(tmp_path / "run-np")
+    ledger.append(
+        {"value": np.array([1.5, 2.5]), "count": np.int64(7), "f": np.float32(0.5)}
+    )
+    raw = ledger.path.read_text()
+    record = json.loads(raw)
+    assert record["value"] == [1.5, 2.5]
+    assert record["count"] == 7
+
+
+def test_open_existing_requires_ledger_file(tmp_path):
+    with pytest.raises(FileNotFoundError, match="not a run directory"):
+        RunLedger.open_existing(tmp_path / "nope")
+
+
+def test_new_run_id_prefix():
+    run_id = new_run_id("lmn")
+    assert run_id.startswith("lmn-")
+
+
+def test_runner_writes_one_record_per_trial_in_index_order(tmp_path):
+    from repro.runtime.workloads import LearningCurveSpec, learning_curve_trial
+
+    spec = LearningCurveSpec(n=16, budgets=(30, 60), test_size=50)
+    ledger = RunLedger(tmp_path / "run-curve")
+    report = TrialRunner(workers=2).run(
+        learning_curve_trial,
+        4,
+        master_seed=3,
+        trial_kwargs={"spec": spec},
+        ledger=ledger,
+    )
+    records = ledger.read()
+    assert [r["index"] for r in records] == [0, 1, 2, 3]
+    for record, result in zip(records, report.results):
+        assert record["value"] == pytest.approx(list(result.value))
+        assert record["seconds"] == pytest.approx(result.seconds)
+        assert record["cpu_seconds"] == pytest.approx(result.cpu_seconds)
+        assert record["queue_wait"] >= 0.0
+        # The attack spent exactly the largest budget in EX queries; the
+        # held-out test draw is unmetered.
+        assert record["telemetry"]["queries"]["queries"]["ex"]["queries"] == 60
+
+
+def test_runner_without_ledger_writes_nothing(tmp_path):
+    from repro.runtime.workloads import LearningCurveSpec, learning_curve_trial
+
+    spec = LearningCurveSpec(n=16, budgets=(30,), test_size=50)
+    TrialRunner(workers=1).run(
+        learning_curve_trial, 1, master_seed=3, trial_kwargs={"spec": spec}
+    )
+    assert list(tmp_path.iterdir()) == []

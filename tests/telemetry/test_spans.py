@@ -1,0 +1,111 @@
+"""Trace spans: nesting, aggregation, and runner integration."""
+
+import time
+
+import numpy as np
+
+from repro.runtime import TrialRunner
+from repro.telemetry import SpanRecorder, current_recorder, recording, trace
+
+
+def test_trace_is_noop_without_recorder():
+    assert current_recorder() is None
+    with trace("orphan"):
+        pass  # must not raise, must not record anywhere
+
+
+def test_nesting_depth_and_parents():
+    with recording() as rec:
+        with trace("outer"):
+            with trace("inner"):
+                pass
+            with trace("inner"):
+                pass
+    # Children complete (and are appended) before their parent.
+    names = [s.name for s in rec.spans]
+    assert names == ["inner", "inner", "outer"]
+    outer = rec.spans[2]
+    assert outer.depth == 0 and outer.parent_index == -1
+    for inner in rec.spans[:2]:
+        assert inner.depth == 1
+        assert inner.parent_index == outer.index
+    assert rec.roots() == [outer]
+
+
+def test_summary_aggregates_by_name():
+    with recording() as rec:
+        for _ in range(3):
+            with trace("kernel.fwht", length=8):
+                time.sleep(0.001)
+    summary = rec.summary()
+    assert summary["kernel.fwht"]["count"] == 3
+    assert summary["kernel.fwht"]["wall_s"] > 0
+    assert rec.spans[0].attrs == {"length": 8}
+
+
+def test_span_recorded_on_exception():
+    with recording() as rec:
+        try:
+            with trace("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+    assert [s.name for s in rec.spans] == ["failing"]
+    assert rec.current_depth == 0
+
+
+def test_learner_spans_reach_trial_telemetry_through_runner():
+    """TrialRunner installs a recorder per trial; learner fits land in it."""
+    from repro.runtime.workloads import LearningCurveSpec, learning_curve_trial
+
+    spec = LearningCurveSpec(n=16, budgets=(30, 60), test_size=50)
+    report = TrialRunner(workers=1).run(
+        learning_curve_trial, 2, master_seed=5, trial_kwargs={"spec": spec}
+    )
+    for result in report.results:
+        spans = result.telemetry["spans"]
+        assert spans["logistic.fit"]["count"] == 2  # one fit per budget
+        assert spans["logistic.fit"]["wall_s"] > 0
+
+
+def closure_hostile_trial(ctx, spec):
+    """Module-level but given an unpicklable kwarg to force the fallback."""
+    from repro.runtime.workloads import learning_curve_trial
+
+    return learning_curve_trial(ctx, spec)
+
+
+def test_spans_survive_process_pool_fallback():
+    """On the serial-fallback path each trial still gets its own recorder."""
+    from repro.runtime.workloads import LearningCurveSpec
+
+    spec = LearningCurveSpec(n=16, budgets=(30,), test_size=50)
+
+    def local_trial(ctx, spec=spec):  # closure -> unpicklable -> fallback
+        return closure_hostile_trial(ctx, spec)
+
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        report = TrialRunner(workers=4).run(local_trial, 3, master_seed=9)
+    assert len(report.results) == 3
+    for result in report.results:
+        assert result.telemetry["spans"]["logistic.fit"]["count"] == 1
+
+
+def test_pool_and_serial_telemetry_agree():
+    """Query counts in telemetry are deterministic across worker counts."""
+    from repro.runtime.workloads import LearningCurveSpec, learning_curve_trial
+
+    spec = LearningCurveSpec(n=16, budgets=(40,), test_size=50)
+    kwargs = {"spec": spec}
+    serial = TrialRunner(workers=1).run(
+        learning_curve_trial, 3, master_seed=11, trial_kwargs=kwargs
+    )
+    pooled = TrialRunner(workers=3).run(
+        learning_curve_trial, 3, master_seed=11, trial_kwargs=kwargs
+    )
+    for a, b in zip(serial.results, pooled.results):
+        assert a.telemetry["queries"]["queries"] == b.telemetry["queries"]["queries"]
+        np.testing.assert_array_equal(a.value, b.value)

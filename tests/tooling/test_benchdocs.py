@@ -1,0 +1,61 @@
+"""BENCHMARKS.md generation: deterministic render + the CI drift gate."""
+
+import json
+
+from repro.tooling.benchdocs import render_benchmarks_markdown
+
+
+def test_render_is_deterministic(tmp_path):
+    (tmp_path / "BENCH_x.json").write_text(
+        json.dumps(
+            {
+                "generated_by": "cmd",
+                "cases": [
+                    {"name": "a", "fit": {"old_s": 1.0, "new_s": 0.5, "speedup": 2.0}},
+                    {"name": "b", "fit": {"old_s": 2.0, "new_s": 1.0, "speedup": 2.0}},
+                ],
+            }
+        )
+    )
+    first = render_benchmarks_markdown(tmp_path)
+    second = render_benchmarks_markdown(tmp_path)
+    assert first == second
+    assert "## `BENCH_x.json`" in first
+    assert "fit.speedup" in first
+    assert "| a |" in first and "| b |" in first
+
+
+def test_multiple_files_sorted_and_empty_dir_noted(tmp_path):
+    (tmp_path / "BENCH_zz.json").write_text(json.dumps({"cases": []}))
+    (tmp_path / "BENCH_aa.json").write_text(json.dumps({"cases": []}))
+    page = render_benchmarks_markdown(tmp_path)
+    assert page.index("BENCH_aa") < page.index("BENCH_zz")
+    empty = render_benchmarks_markdown(tmp_path / "nothing-here")
+    assert "No `BENCH_*.json` baselines found" in empty
+
+
+def test_committed_page_matches_committed_baselines():
+    """The drift gate CI enforces via `python -m repro docs-bench --check`."""
+    from pathlib import Path
+
+    rendered = render_benchmarks_markdown("benchmarks/results")
+    committed = Path("docs/BENCHMARKS.md").read_text()
+    assert committed == rendered, (
+        "docs/BENCHMARKS.md is stale — regenerate with `python -m repro docs-bench`"
+    )
+
+
+def test_cli_check_mode(tmp_path, capsys):
+    from repro.__main__ import main
+
+    (tmp_path / "BENCH_x.json").write_text(json.dumps({"cases": [{"name": "a"}]}))
+    out = tmp_path / "page.md"
+    assert main(["docs-bench", "--results", str(tmp_path), "--out", str(out)]) == 0
+    assert main(
+        ["docs-bench", "--results", str(tmp_path), "--out", str(out), "--check"]
+    ) == 0
+    out.write_text(out.read_text() + "tampered\n")
+    assert main(
+        ["docs-bench", "--results", str(tmp_path), "--out", str(out), "--check"]
+    ) == 1
+    assert "DRIFT" in capsys.readouterr().out
