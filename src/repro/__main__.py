@@ -10,12 +10,16 @@ Subcommands:
   print the recovered key.
 
 * ``trials`` — the parallel experiment runtime: fan a workload
-  (``curve``/``lmn``/``km``/``sq``) out over worker processes, report
-  per-trial timings, speedup over serial, and the bit-identity check;
-  ``--ledger`` additionally writes a query-accounting run directory::
+  (``curve``/``lmn``/``km``/``sq``/``fault``) out over worker processes,
+  report per-trial timings, speedup over serial, and the bit-identity
+  check; ``--ledger`` additionally writes a query-accounting run
+  directory, ``--retries``/``--trial-timeout`` configure the retry
+  policy for infrastructure failures, and ``--resume`` replays a killed
+  run's ledger so only missing trials re-execute::
 
       python -m repro trials --trials 32 --workers 4
       python -m repro trials --workload lmn --trials 4 --ledger
+      python -m repro trials --ledger --run-id demo --resume
 
 * ``report`` — aggregate a run ledger into ``report.md``/``report.json``
   comparing the measured query counts against the ``pac.bounds``
@@ -165,17 +169,46 @@ def _resolve_workload(args: argparse.Namespace):
             test_size=pick(args.test_size, 2000),
         )
         return w.sq_trial, spec, ["accuracy", "SQ queries"]
+    if name == "fault":
+        fail_at = tuple(int(i) for i in args.fail_at.split(",") if i.strip())
+        spec = w.FaultInjectionSpec(
+            size=2,
+            sleep_seconds=args.sleep_seconds,
+            fail_indices=fail_at,
+        )
+        return w.fault_injection_trial, spec, ["draw 0", "draw 1"]
     raise ValueError(f"unknown workload {name!r}")
+
+
+def _results_match(a, b) -> bool:
+    """Bit-identity for one (serial, parallel) result pair.
+
+    Successes compare by value; deterministic failures compare by
+    exception type (the traceback strings differ across processes).  An
+    ok/error mismatch is a determinism violation like any value mismatch.
+    """
+    if a.ok and b.ok:
+        return bool(np.array_equal(a.value, b.value))
+    if not a.ok and not b.ok:
+        return a.error.exc_type == b.error.exc_type
+    return False
 
 
 def cmd_trials(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.analysis.tables import TableBuilder
-    from repro.runtime import TrialRunner
+    from repro.runtime import RetryPolicy, TrialRunner
+
+    if args.resume and not args.run_id:
+        print("--resume needs --run-id (the run directory to pick up)")
+        return 2
+    if args.resume:
+        args.ledger = True
 
     trial_fn, spec, columns = _resolve_workload(args)
     kwargs = {"spec": spec}
+    retry = RetryPolicy(max_attempts=args.retries)
     print(
         f"workload: {args.trials} {args.workload} trials ({spec!r}), "
         f"master seed {args.seed}"
@@ -189,26 +222,34 @@ def cmd_trials(args: argparse.Namespace) -> int:
 
         run_id = args.run_id or new_run_id(args.workload)
         ledger = RunLedger(Path(args.runs_dir) / run_id)
-        ledger.write_meta(
-            {
-                "workload": args.workload,
-                "spec": dataclasses.asdict(spec),
-                "trials": args.trials,
-                "workers": args.workers,
-                "master_seed": args.seed,
-                "eps": args.eps,
-                "delta": args.delta,
-            }
-        )
+        if not (args.resume and ledger.read_meta() is not None):
+            ledger.write_meta(
+                {
+                    "workload": args.workload,
+                    "spec": dataclasses.asdict(spec),
+                    "trials": args.trials,
+                    "workers": args.workers,
+                    "master_seed": args.seed,
+                    "eps": args.eps,
+                    "delta": args.delta,
+                }
+            )
 
     serial = None
     if not args.skip_serial:
         serial = TrialRunner(workers=1).run(
-            trial_fn, args.trials, args.seed, kwargs
+            trial_fn, args.trials, args.seed, kwargs, retry=retry
         )
         print(f"serial:   {serial.summary()}")
     parallel = TrialRunner(workers=args.workers).run(
-        trial_fn, args.trials, args.seed, kwargs, ledger=ledger
+        trial_fn,
+        args.trials,
+        args.seed,
+        kwargs,
+        ledger=ledger,
+        resume_from=ledger if args.resume else None,
+        retry=retry,
+        trial_timeout=args.trial_timeout,
     )
     print(f"parallel: {parallel.summary()}")
 
@@ -217,20 +258,24 @@ def cmd_trials(args: argparse.Namespace) -> int:
         title=f"per-trial timings and results (parallel run, {args.workload})",
     )
     for result in parallel.results:
-        table.add_row(
-            result.index,
-            f"{result.seconds:.3f}",
-            *[f"{a:.4f}" for a in result.value],
-        )
+        if result.ok:
+            cells = [f"{a:.4f}" for a in np.atleast_1d(result.value)]
+        else:
+            cells = [f"ERROR: {result.error.exc_type}"] + [""] * (len(columns) - 1)
+        table.add_row(result.index, f"{result.seconds:.3f}", *cells)
     print(table.render())
+
+    failures = parallel.failures()
+    for failed in failures:
+        print(f"FAILED {failed.error.summary()} (attempts={failed.attempts})")
     if ledger is not None:
-        print(f"ledger: {ledger.path} ({args.trials} records)")
+        print(f"ledger: {ledger.path}")
         print(f"next: python -m repro report {ledger.run_dir}")
 
     if serial is not None:
         identical = all(
-            np.array_equal(a, b)
-            for a, b in zip(serial.values(), parallel.values())
+            _results_match(a, b)
+            for a, b in zip(serial.results, parallel.results)
         )
         speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
         print(
@@ -242,7 +287,7 @@ def cmd_trials(args: argparse.Namespace) -> int:
         if not identical:
             print("DETERMINISM VIOLATION: parallel results differ from serial")
             return 1
-    return 0
+    return 1 if failures else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -367,7 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trials.add_argument(
         "--workload",
-        choices=("curve", "lmn", "km", "sq"),
+        choices=("curve", "lmn", "km", "sq", "fault"),
         default="curve",
         help="which trial workload to fan out",
     )
@@ -417,7 +462,38 @@ def build_parser() -> argparse.ArgumentParser:
         default="sampling",
         help="SQ oracle mode (sq workload)",
     )
+    trials.add_argument(
+        "--fail-at",
+        type=str,
+        default="",
+        help="comma-separated trial indices that raise (fault workload)",
+    )
+    trials.add_argument(
+        "--sleep-seconds",
+        type=float,
+        default=0.2,
+        help="per-trial sleep, a window for kill tests (fault workload)",
+    )
     trials.add_argument("--seed", type=int, default=0, help="master seed")
+    trials.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts per trial for infrastructure failures "
+        "(worker death, timeout); trial exceptions are never retried",
+    )
+    trials.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        help="seconds before a pooled trial counts as hung (default: no limit)",
+    )
+    trials.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed trials from the run's ledger (needs --run-id); "
+        "only missing or infra-failed indices re-execute",
+    )
     trials.add_argument(
         "--skip-serial",
         action="store_true",

@@ -150,6 +150,9 @@ def replicated_learning_curve(
             "test_size": test_size,
         },
     )
+    # A failed trial cannot be averaged away — surface it as an exception
+    # (TrialFailure) instead of poisoning the mean with a missing row.
+    report.raise_failures()
     matrix = np.asarray(report.values(), dtype=np.float64)
     curve = AveragedLearningCurve(
         learner=learner_name,

@@ -6,8 +6,10 @@ The three pieces compose into the standard experiment loop:
 * :mod:`repro.runtime.seeding` — ``SeedSequence``-based fan-out so trial
   ``i`` owns a stream independent of worker count and scheduling order;
 * :mod:`repro.runtime.runner` — :class:`TrialRunner`, a process-pool
-  executor for independent trials with a serial fallback and per-trial
-  timing;
+  executor for independent trials with a serial fallback, per-trial
+  timing, structured :class:`TrialError` capture, infrastructure-only
+  retries (:class:`RetryPolicy`), per-trial timeouts with pool rebuild,
+  and crash-safe resume from a run ledger;
 * :mod:`repro.runtime.chunking` — blocked CRP generation/evaluation that
   keeps the working set cache-resident;
 * :mod:`repro.runtime.cache` — :class:`CRPCache`, ``.npz`` memoisation of
@@ -26,10 +28,15 @@ from repro.runtime.chunking import (
     iter_blocks,
 )
 from repro.runtime.runner import (
+    RetryPolicy,
     TrialContext,
+    TrialError,
+    TrialFailure,
     TrialReport,
     TrialResult,
     TrialRunner,
+    result_from_record,
+    trial_record,
 )
 from repro.runtime.seeding import as_seed_sequence, fan_out, trial_rng, trial_seed
 
@@ -41,10 +48,15 @@ __all__ = [
     "eval_noisy_blocked",
     "generate_crps_blocked",
     "iter_blocks",
+    "RetryPolicy",
     "TrialContext",
+    "TrialError",
+    "TrialFailure",
     "TrialReport",
     "TrialResult",
     "TrialRunner",
+    "result_from_record",
+    "trial_record",
     "as_seed_sequence",
     "fan_out",
     "trial_rng",

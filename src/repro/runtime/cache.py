@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import tempfile
+import warnings
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -67,19 +69,54 @@ class CRPCache:
         return self.cache_dir / f"crps-{key}.npz"
 
     def load(self, key: str) -> Optional[CRPSet]:
-        """The cached set for ``key``, or None."""
+        """The cached set for ``key``, or None.
+
+        An unreadable entry — a truncated or corrupt ``.npz`` left behind
+        by a killed writer — is treated as a miss: the file is warned
+        about, unlinked, and the caller regenerates.  Every *read* after
+        a crash would otherwise fail forever on the same poisoned file.
+        """
         path = self.path_for(key)
         if not path.exists():
             return None
-        return CRPSet.load(path)
+        try:
+            return CRPSet.load(path)
+        except Exception as exc:
+            warnings.warn(
+                f"discarding unreadable CRP cache entry {path.name} "
+                f"({type(exc).__name__}: {exc}); regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _incr("crp_cache.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     def store(self, key: str, crps: CRPSet) -> Path:
-        """Persist ``crps`` under ``key`` (atomic replace)."""
+        """Persist ``crps`` under ``key`` (atomic replace).
+
+        The staging file comes from ``tempfile.mkstemp`` in ``cache_dir``,
+        so concurrent writers of the same key never interleave into one
+        tmp path — each publishes its own complete archive via
+        ``os.replace`` and the last one wins whole.  Orphaned staging
+        files from killed writers are swept by :meth:`clear`.
+        """
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
-        tmp = path.with_suffix(".tmp.npz")
-        crps.save(tmp)
-        os.replace(tmp, path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"crps-{key}-", suffix=".tmp.npz", dir=self.cache_dir
+        )
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            crps.save(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # only on a failed save/replace
+                tmp.unlink()
         return path
 
     # ------------------------------------------------------------------
@@ -130,7 +167,11 @@ class CRPCache:
 
     # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Delete all cached sets; returns how many files were removed."""
+        """Delete all cached sets; returns how many files were removed.
+
+        Also sweeps ``*.tmp.npz`` staging orphans left by writers that
+        were killed between ``mkstemp`` and ``os.replace``.
+        """
         removed = 0
         if self.cache_dir.exists():
             for path in self.cache_dir.glob("crps-*.npz"):

@@ -15,15 +15,46 @@ its own :class:`~numpy.random.SeedSequence` child (see
 nothing a trial computes may depend on shared mutable state.  Trial
 functions must be picklable (module-level) to run on the pool; closures
 and lambdas silently degrade to the serial path with a warning.
+
+Failure semantics
+-----------------
+Failures split into two disjoint classes with opposite handling:
+
+*Trial errors* — the trial function itself raised.  The exception is a
+deterministic function of ``(master_seed, index)``, so it is **never
+retried**: it is captured *inside* the worker as a structured
+:class:`TrialError` (exception type, message, traceback, seed identity)
+and returned as a failed :class:`TrialResult`, leaving every other trial
+untouched.  Serial and pooled runs produce identical trial errors.
+
+*Infrastructure failures* — the machinery around the trial broke: a
+worker died (``BrokenProcessPool``), a worker hung past ``trial_timeout``
+(the pool is killed and rebuilt), or the function/arguments could not be
+pickled.  Worker death and hangs are transient, so the affected trials
+are resubmitted under a :class:`RetryPolicy` (capped exponential backoff
+whose jitter derives from the trial's own seed, keeping reruns
+deterministic); pickling failures are deterministic, so the runner falls
+back to in-process serial execution instead.  A trial whose retry budget
+is exhausted is recorded as a ``category="infra"`` / ``"timeout"``
+:class:`TrialError` rather than crashing the run.
+
+With a ledger attached, each record is appended as its trial completes
+(parent-side), so a killed run can be restarted with
+``run(..., resume_from=ledger)``: completed trials replay bit-identically
+from the ledger and only the missing (or infrastructure-failed) indices
+re-execute.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
+import traceback as _traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -60,6 +91,116 @@ class TrialContext:
 #: A trial function: (context, **kwargs) -> any picklable result.
 TrialFn = Callable[..., Any]
 
+#: Maximum traceback characters kept on a TrialError (ledger size guard).
+_TRACEBACK_LIMIT = 16_384
+
+#: spawn_key domain separating retry-backoff jitter from trial streams.
+_RETRY_JITTER_DOMAIN = 0x52455452  # "RETR"
+
+
+@dataclasses.dataclass
+class TrialError:
+    """Structured record of one failed trial.
+
+    ``category`` states which failure class produced it:
+
+    * ``"trial"`` — the trial function raised; deterministic, never
+      retried, replayed as-is on resume;
+    * ``"timeout"`` — the trial exceeded ``trial_timeout`` and its worker
+      was killed; re-executed on resume;
+    * ``"infra"`` — the worker died and the retry budget ran out;
+      re-executed on resume.
+
+    ``entropy``/``spawn_key`` identify the trial's SeedSequence so the
+    failure can be reproduced in isolation with
+    ``np.random.SeedSequence(int(entropy), spawn_key=spawn_key)``.
+    """
+
+    exc_type: str
+    message: str
+    traceback: str = ""
+    category: str = "trial"
+    entropy: Optional[str] = None
+    spawn_key: Tuple[int, ...] = ()
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, seed: Optional[np.random.SeedSequence] = None
+    ) -> "TrialError":
+        """Capture a raised exception as a deterministic trial error."""
+        tb = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return cls(
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback=tb[-_TRACEBACK_LIMIT:],
+            category="trial",
+            **_seed_identity(seed),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-ready, ledger record form)."""
+        record = dataclasses.asdict(self)
+        record["spawn_key"] = list(self.spawn_key)
+        return record
+
+    def summary(self) -> str:
+        """One-line digest: ``ValueError (trial): message``."""
+        return f"{self.exc_type} ({self.category}): {self.message}"
+
+
+def _seed_identity(seed: Optional[np.random.SeedSequence]) -> Dict[str, object]:
+    """The TrialError fields that pin down a trial's SeedSequence."""
+    if seed is None:
+        return {"entropy": None, "spawn_key": ()}
+    return {"entropy": str(seed.entropy), "spawn_key": tuple(seed.spawn_key)}
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff for *infrastructure* failures only.
+
+    Deterministic trial exceptions are never retried — re-running a pure
+    function of ``(master_seed, index)`` re-raises the same error and
+    re-bills every oracle query it made.  Retries apply to worker death
+    (``BrokenProcessPool``) and per-trial timeouts, where a second
+    attempt can genuinely succeed.
+
+    ``max_attempts`` counts total executions (1 = no retry).  Backoff for
+    attempt ``a`` is ``min(max_delay, base_delay * 2**(a-1))`` stretched
+    by up to ``jitter`` (a fraction), with the jitter drawn from a stream
+    derived from the trial's own SeedSequence under a fixed domain tag —
+    so delays are reproducible and never perturb the trial's results.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.25
+    max_delay: float = 8.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, seed: np.random.SeedSequence) -> float:
+        """Seconds to back off after ``attempt`` completed executions."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if base <= 0 or self.jitter <= 0:
+            return base
+        jitter_seed = np.random.SeedSequence(
+            seed.entropy,
+            spawn_key=tuple(seed.spawn_key) + (_RETRY_JITTER_DOMAIN, attempt),
+        )
+        u = float(np.random.default_rng(jitter_seed).random())
+        return base * (1.0 + self.jitter * u)
+
 
 @dataclasses.dataclass
 class TrialResult:
@@ -70,6 +211,10 @@ class TrialResult:
     parent and execution start in the worker (0 on the serial path).
     ``telemetry`` is ``{"queries": <QueryMeter snapshot>, "spans": <span
     summary>}`` — picklable dicts, so pool workers ship them back intact.
+    A failed trial carries its :class:`TrialError` in ``error`` (and
+    ``value`` is None); ``attempts`` counts executions including retries,
+    and ``replayed`` marks results reconstructed from a resume ledger
+    rather than executed.
     """
 
     index: int
@@ -78,6 +223,14 @@ class TrialResult:
     cpu_seconds: float = 0.0
     queue_wait: float = 0.0
     telemetry: Optional[Dict[str, Any]] = None
+    error: Optional[TrialError] = None
+    attempts: int = 1
+    replayed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial completed without error."""
+        return self.error is None
 
 
 @dataclasses.dataclass
@@ -87,11 +240,37 @@ class TrialReport:
     results: List[TrialResult]
     workers: int
     wall_seconds: float
-    executor: str  # "serial" or "process-pool"
+    executor: str  # "serial", "process-pool", "mixed" or "replay"
 
     def values(self) -> List[Any]:
-        """Trial values in index order."""
+        """Trial values in index order (None for failed trials)."""
         return [r.value for r in self.results]
+
+    def failures(self) -> List[TrialResult]:
+        """The failed trials, in index order."""
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def replayed_count(self) -> int:
+        """How many results were replayed from a resume ledger."""
+        return sum(1 for r in self.results if r.replayed)
+
+    @property
+    def retried_count(self) -> int:
+        """How many trials needed more than one execution attempt."""
+        return sum(1 for r in self.results if r.attempts > 1)
+
+    def raise_failures(self) -> "TrialReport":
+        """Raise ``TrialFailure`` if any trial failed; else return self.
+
+        For callers (learning-curve averaging, table builders) whose
+        downstream math cannot represent a missing trial — the structured
+        errors become one exception instead of NaN-poisoned aggregates.
+        """
+        failed = self.failures()
+        if failed:
+            raise TrialFailure(failed)
+        return self
 
     def trial_seconds(self) -> np.ndarray:
         """Per-trial in-worker durations, index order."""
@@ -105,37 +284,131 @@ class TrialReport:
     def summary(self) -> str:
         """One-line digest: trial count, workers, wall clock, per-trial stats."""
         secs = self.trial_seconds()
-        return (
+        base = (
             f"{len(self.results)} trials on {self.workers} worker(s) "
             f"[{self.executor}]: wall {self.wall_seconds:.2f}s, "
             f"per-trial mean {np.mean(secs):.3f}s "
             f"(min {np.min(secs):.3f}s, max {np.max(secs):.3f}s)"
         )
+        extras = []
+        if self.failures():
+            extras.append(f"{len(self.failures())} failed")
+        if self.retried_count:
+            extras.append(f"{self.retried_count} retried")
+        if self.replayed_count:
+            extras.append(f"{self.replayed_count} replayed")
+        return base + (", " + ", ".join(extras) if extras else "")
 
 
+class TrialFailure(RuntimeError):
+    """Raised by :meth:`TrialReport.raise_failures` when trials failed."""
+
+    def __init__(self, failures: List[TrialResult]) -> None:
+        self.failures = failures
+        first = failures[0]
+        detail = first.error.summary() if first.error else "unknown error"
+        super().__init__(
+            f"{len(failures)} of the trials failed; "
+            f"first: trial {first.index} — {detail}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ledger record round-trip (crash-safe resume).
+# ----------------------------------------------------------------------
+def trial_record(result: TrialResult) -> Dict[str, object]:
+    """The JSONL ledger record for one trial result.
+
+    ``value_meta`` preserves ndarray dtype/shape so a replayed value is
+    bit-identical to the executed one (JSON floats round-trip exactly).
+    """
+    value, value_meta = result.value, None
+    if isinstance(value, np.ndarray):
+        value_meta = {"dtype": str(value.dtype), "shape": list(value.shape)}
+        value = value.tolist()
+    record: Dict[str, object] = {
+        "index": result.index,
+        "status": "ok" if result.ok else "error",
+        "attempts": result.attempts,
+        "seconds": result.seconds,
+        "cpu_seconds": result.cpu_seconds,
+        "queue_wait": result.queue_wait,
+        "telemetry": result.telemetry,
+        "value": value,
+    }
+    if value_meta is not None:
+        record["value_meta"] = value_meta
+    if result.error is not None:
+        record["error"] = result.error.as_dict()
+    return record
+
+
+def result_from_record(record: Dict[str, object]) -> TrialResult:
+    """Reconstruct a replayed :class:`TrialResult` from a ledger record."""
+    value = record.get("value")
+    meta = record.get("value_meta")
+    if meta is not None and value is not None:
+        value = np.asarray(value, dtype=meta["dtype"]).reshape(meta["shape"])
+    error = None
+    raw_error = record.get("error")
+    if raw_error:
+        error = TrialError(
+            exc_type=str(raw_error.get("exc_type", "Exception")),
+            message=str(raw_error.get("message", "")),
+            traceback=str(raw_error.get("traceback", "")),
+            category=str(raw_error.get("category", "trial")),
+            entropy=raw_error.get("entropy"),
+            spawn_key=tuple(raw_error.get("spawn_key", ())),
+        )
+    return TrialResult(
+        index=int(record["index"]),
+        value=value,
+        seconds=float(record.get("seconds", 0.0)),
+        cpu_seconds=float(record.get("cpu_seconds", 0.0)),
+        queue_wait=float(record.get("queue_wait", 0.0)),
+        telemetry=record.get("telemetry"),
+        error=error,
+        attempts=int(record.get("attempts", 1)),
+        replayed=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (module-level for pool pickling).
+# ----------------------------------------------------------------------
 def _execute_trial(
     trial_fn: TrialFn,
     index: int,
     seed: np.random.SeedSequence,
     kwargs: Dict[str, Any],
     submitted_at: Optional[float] = None,
+    attempts: int = 1,
 ) -> TrialResult:
-    """Run one trial, metered and timed (module-level for pool pickling).
+    """Run one trial, metered and timed; exceptions become TrialErrors.
 
     Installs a fresh :class:`QueryMeter` and :class:`SpanRecorder` around
     the trial, so every oracle draw and kernel span inside lands on this
     trial's telemetry — in the worker process under the pool, or inline on
     the serial fallback; either way the snapshot returns in the result.
+    An exception raised by ``trial_fn`` is deterministic (the trial is a
+    pure function of its seed), so it is captured as a ``category="trial"``
+    :class:`TrialError` — with the telemetry spent up to the raise, which
+    is real adversary spend — instead of escaping to the pool machinery.
     ``submitted_at`` is a ``time.time()`` stamp from the parent (wall
     clock, comparable across processes), giving the queue-wait estimate.
     """
     queue_wait = 0.0 if submitted_at is None else max(0.0, time.time() - submitted_at)
     meter = QueryMeter()
     spans = SpanRecorder()
+    value: Any = None
+    error: Optional[TrialError] = None
     start = time.perf_counter()
     cpu_start = time.process_time()
     with metered(meter), recording(spans):
-        value = trial_fn(TrialContext(index, seed), **kwargs)
+        try:
+            value = trial_fn(TrialContext(index, seed), **kwargs)
+        except Exception as exc:
+            error = TrialError.from_exception(exc, seed)
     return TrialResult(
         index=index,
         value=value,
@@ -143,7 +416,73 @@ def _execute_trial(
         cpu_seconds=time.process_time() - cpu_start,
         queue_wait=queue_wait,
         telemetry={"queries": meter.snapshot(), "spans": spans.summary()},
+        error=error,
+        attempts=attempts,
     )
+
+
+def _execute_chunk(
+    trial_fn: TrialFn,
+    items: List[Tuple[int, np.random.SeedSequence]],
+    kwargs: Dict[str, Any],
+    submitted_at: Optional[float],
+    attempts: int,
+) -> List[TrialResult]:
+    """Run one pool task's worth of trials (module-level for pickling)."""
+    return [
+        _execute_trial(trial_fn, index, seed, kwargs, submitted_at, attempts)
+        for index, seed in items
+    ]
+
+
+def _stop_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: kill the workers, then join the machinery.
+
+    Used when a worker hung past its deadline (a cooperative shutdown
+    would block on it forever) or after the pool broke; the executor
+    object is discarded afterwards.  The workers are killed *first* so
+    the executor's manager thread — still in its normal wait, watching
+    the worker sentinels — observes their death and exits through its
+    broken-pool path; shutting down before killing can instead park the
+    manager in a wait nothing will ever wake, which then deadlocks
+    interpreter exit (concurrent.futures joins manager threads atexit).
+    """
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown on a broken pool
+        pass
+
+
+def _failed_results(
+    items: List[Tuple[int, np.random.SeedSequence]],
+    attempts: int,
+    category: str,
+    exc_type: str,
+    message: str,
+    seconds: float = 0.0,
+) -> List[TrialResult]:
+    """Parent-side TrialError results for trials the pool lost."""
+    return [
+        TrialResult(
+            index=index,
+            value=None,
+            seconds=seconds,
+            telemetry=None,
+            error=TrialError(
+                exc_type=exc_type,
+                message=message,
+                category=category,
+                **_seed_identity(seed),
+            ),
+            attempts=attempts,
+        )
+        for index, seed in items
+    ]
 
 
 class TrialRunner:
@@ -157,7 +496,9 @@ class TrialRunner:
     chunk_size:
         Trials submitted per pool task.  Defaults to
         ``ceil(num_trials / (4 * workers))``, which keeps every worker
-        busy while amortising inter-process overhead.
+        busy while amortising inter-process overhead.  Retry and timeout
+        act at chunk granularity: a smaller ``chunk_size`` narrows the
+        blast radius of a dead or hung worker.
     """
 
     def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
@@ -176,6 +517,9 @@ class TrialRunner:
         master_seed: SeedLike = 0,
         trial_kwargs: Optional[Dict[str, Any]] = None,
         ledger: Optional["RunLedger"] = None,
+        resume_from: Optional[Union[str, Path, "RunLedger"]] = None,
+        retry: Optional[RetryPolicy] = None,
+        trial_timeout: Optional[float] = None,
     ) -> TrialReport:
         """Run ``num_trials`` independent trials of ``trial_fn``.
 
@@ -185,82 +529,294 @@ class TrialRunner:
         contract to hold.  Results are returned in trial-index order and
         are bit-identical for every ``workers`` value.
 
-        With ``ledger`` set, one JSONL record per trial (index, timings,
-        telemetry snapshot, value) is appended after all trials finish —
-        written here in the parent, never concurrently from workers.
+        With ``ledger`` set, one JSONL record per trial is appended *as
+        that trial completes* (written here in the parent, never
+        concurrently from workers), so a killed run leaves every finished
+        trial on disk.  ``resume_from`` — a run directory, ledger path,
+        or :class:`RunLedger` — replays the recorded results for
+        already-completed trial indices bit-identically and executes only
+        the missing ones (infrastructure/timeout failures re-execute;
+        deterministic trial errors replay).  ``retry`` (default
+        :class:`RetryPolicy`) governs resubmission after worker death,
+        and ``trial_timeout`` (seconds per trial; pool path only) kills
+        and rebuilds the pool when a worker hangs.
         """
+        if trial_timeout is not None and trial_timeout <= 0:
+            raise ValueError(f"trial_timeout must be positive, got {trial_timeout}")
         kwargs = dict(trial_kwargs or {})
+        retry = RetryPolicy() if retry is None else retry
         seeds = fan_out(master_seed, num_trials)
         start = time.perf_counter()
 
-        if self.workers == 1:
-            results = self._run_serial(trial_fn, seeds, kwargs)
+        replayed: Dict[int, TrialResult] = {}
+        if resume_from is not None:
+            replayed = self._load_resume(resume_from, num_trials, master_seed)
+        items = [
+            (index, seed)
+            for index, seed in enumerate(seeds)
+            if index not in replayed
+        ]
+
+        def emit(result: TrialResult) -> None:
+            if ledger is not None:
+                ledger.append(trial_record(result))
+
+        pooled: List[TrialResult] = []
+        serial: List[TrialResult] = []
+        if not items:
+            executor = "replay"
+        elif self.workers == 1:
+            serial = self._run_serial(trial_fn, items, kwargs, emit)
             executor = "serial"
         else:
-            try:
-                results = self._run_pool(trial_fn, seeds, kwargs)
+            pooled, leftover, fallback = self._run_pool(
+                trial_fn, items, kwargs, retry, trial_timeout, emit
+            )
+            if fallback is None:
                 executor = "process-pool"
-            except Exception as exc:  # unpicklable fn, broken pool, no sem …
+            else:
                 warnings.warn(
-                    f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                    f"process pool unavailable ({fallback}); "
                     "falling back to serial execution",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                results = self._run_serial(trial_fn, seeds, kwargs)
-                executor = "serial"
+                serial = self._run_serial(trial_fn, leftover, kwargs, emit)
+                executor = "mixed" if pooled else "serial"
 
+        results = pooled + serial + list(replayed.values())
         results.sort(key=lambda r: r.index)
-        report = TrialReport(
+        return TrialReport(
             results=results,
             workers=self.workers,
             wall_seconds=time.perf_counter() - start,
             executor=executor,
         )
-        if ledger is not None:
-            ledger.append_many(
-                {
-                    "index": r.index,
-                    "seconds": r.seconds,
-                    "cpu_seconds": r.cpu_seconds,
-                    "queue_wait": r.queue_wait,
-                    "telemetry": r.telemetry,
-                    "value": r.value,
-                }
-                for r in results
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _load_resume(
+        resume_from: Union[str, Path, "RunLedger"],
+        num_trials: int,
+        master_seed: SeedLike,
+    ) -> Dict[int, TrialResult]:
+        """Replayable results from a prior run's ledger, keyed by index.
+
+        Accepts a run directory, a ``ledger.jsonl`` path, or an open
+        :class:`RunLedger`; a directory with no ledger yet resumes to an
+        empty replay set, so passing ``resume_from`` unconditionally is
+        safe for idempotent launchers.  Raises ``ValueError`` when the
+        ledger's recorded ``master_seed`` disagrees with this run's.
+        """
+        from repro.telemetry.ledger import LEDGER_NAME, RunLedger
+
+        if isinstance(resume_from, RunLedger):
+            ledger = resume_from
+        else:
+            path = Path(resume_from)
+            if path.name == LEDGER_NAME:
+                path = path.parent
+            ledger = RunLedger(path)
+        meta = ledger.read_meta() or {}
+        recorded_seed = meta.get("master_seed")
+        if (
+            recorded_seed is not None
+            and isinstance(master_seed, int)
+            and recorded_seed != master_seed
+        ):
+            raise ValueError(
+                f"cannot resume from {ledger.run_dir}: ledger was written "
+                f"with master_seed={recorded_seed}, this run uses "
+                f"master_seed={master_seed}"
             )
-        return report
+        replayed: Dict[int, TrialResult] = {}
+        for index, record in ledger.read_latest().items():
+            if not 0 <= index < num_trials:
+                continue
+            result = result_from_record(record)
+            if result.error is not None and result.error.category != "trial":
+                continue  # infra/timeout failures get a fresh execution
+            replayed[index] = result
+        return replayed
 
     # ------------------------------------------------------------------
     def _run_serial(
         self,
         trial_fn: TrialFn,
-        seeds: List[np.random.SeedSequence],
+        items: List[Tuple[int, np.random.SeedSequence]],
         kwargs: Dict[str, Any],
+        emit: Callable[[TrialResult], None],
     ) -> List[TrialResult]:
-        return [
-            _execute_trial(trial_fn, i, seed, kwargs)
-            for i, seed in enumerate(seeds)
-        ]
+        results = []
+        for index, seed in items:
+            result = _execute_trial(trial_fn, index, seed, kwargs)
+            emit(result)
+            results.append(result)
+        return results
 
     def _run_pool(
         self,
         trial_fn: TrialFn,
-        seeds: List[np.random.SeedSequence],
+        items: List[Tuple[int, np.random.SeedSequence]],
         kwargs: Dict[str, Any],
-    ) -> List[TrialResult]:
-        num_trials = len(seeds)
-        chunk = self.chunk_size or max(1, -(-num_trials // (4 * self.workers)))
-        submitted_at = time.time()
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(
-                pool.map(
-                    _execute_trial,
-                    [trial_fn] * num_trials,
-                    range(num_trials),
-                    seeds,
-                    [kwargs] * num_trials,
-                    [submitted_at] * num_trials,
-                    chunksize=chunk,
-                )
+        retry: RetryPolicy,
+        trial_timeout: Optional[float],
+        emit: Callable[[TrialResult], None],
+    ) -> "tuple[List[TrialResult], List[Tuple[int, np.random.SeedSequence]], Optional[str]]":
+        """The fault-tolerant pool path.
+
+        Returns ``(results, leftover_items, fallback_reason)``; a non-None
+        ``fallback_reason`` means the pool is unusable for the leftover
+        items (unpicklable function, no OS semaphores, ...) and the caller
+        should finish them serially.
+        """
+        chunk = self.chunk_size or max(1, -(-len(items) // (4 * self.workers)))
+        chunks = [items[i : i + chunk] for i in range(0, len(items), chunk)]
+        results: List[TrialResult] = []
+        outstanding = set(range(len(chunks)))
+        attempts: Dict[int, int] = {}
+        pending: Dict[Future, int] = {}
+        deadlines: Dict[Future, float] = {}
+
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+        except Exception as exc:  # no POSIX semaphores, fork failure, ...
+            return results, items, f"{type(exc).__name__}: {exc}"
+
+        def submit(ci: int, charge: bool = True) -> None:
+            if charge:
+                attempts[ci] = attempts.get(ci, 0) + 1
+            future = pool.submit(
+                _execute_chunk, trial_fn, chunks[ci], kwargs, time.time(), attempts[ci]
             )
+            pending[future] = ci
+            if trial_timeout is not None:
+                deadlines[future] = (
+                    time.monotonic() + trial_timeout * len(chunks[ci])
+                )
+
+        def rebuild() -> None:
+            nonlocal pool
+            _stop_pool(pool)
+            pending.clear()
+            deadlines.clear()
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+
+        def finish_chunk(ci: int, chunk_results: List[TrialResult]) -> None:
+            outstanding.discard(ci)
+            for result in chunk_results:
+                emit(result)
+            results.extend(chunk_results)
+
+        def backoff(ci: int) -> None:
+            delay = retry.delay(attempts[ci], chunks[ci][0][1])
+            if delay > 0:
+                time.sleep(delay)
+
+        fallback: Optional[str] = None
+        for ci in range(len(chunks)):
+            submit(ci)
+        while pending and fallback is None:
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            done, _ = wait(set(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                now = time.monotonic()
+                overdue = {
+                    pending[f] for f, d in deadlines.items() if d <= now
+                }
+                if not overdue:
+                    continue
+                # A worker hung past its deadline.  Everything in flight
+                # dies with the pool; innocents are resubmitted without
+                # being charged an attempt.
+                victims = sorted(set(pending.values()))
+                rebuild()
+                for vi in victims:
+                    if vi not in overdue:
+                        submit(vi, charge=False)
+                    elif attempts[vi] >= retry.max_attempts:
+                        finish_chunk(
+                            vi,
+                            _failed_results(
+                                chunks[vi],
+                                attempts[vi],
+                                category="timeout",
+                                exc_type="TimeoutError",
+                                message=(
+                                    f"trial exceeded trial_timeout="
+                                    f"{trial_timeout}s on every one of "
+                                    f"{attempts[vi]} attempt(s); worker killed"
+                                ),
+                                seconds=float(trial_timeout),
+                            ),
+                        )
+                    else:
+                        warnings.warn(
+                            f"worker hung past {trial_timeout}s on trials "
+                            f"{[i for i, _ in chunks[vi]]}; pool rebuilt, "
+                            f"retrying (attempt {attempts[vi] + 1})",
+                            RuntimeWarning,
+                        )
+                        backoff(vi)
+                        submit(vi)
+                continue
+            for future in done:
+                ci = pending.pop(future, None)
+                if ci is None:
+                    continue  # belonged to a pool torn down this round
+                deadlines.pop(future, None)
+                try:
+                    chunk_results = future.result()
+                except BrokenProcessPool:
+                    # A worker died (SIGKILL, OOM, segfault).  The whole
+                    # pool is unusable and every in-flight chunk was lost;
+                    # which one killed the worker is unknowable, so all of
+                    # them are charged an attempt and resubmitted.
+                    victims = sorted({ci} | set(pending.values()))
+                    rebuild()
+                    for vi in victims:
+                        if attempts[vi] >= retry.max_attempts:
+                            finish_chunk(
+                                vi,
+                                _failed_results(
+                                    chunks[vi],
+                                    attempts[vi],
+                                    category="infra",
+                                    exc_type="BrokenProcessPool",
+                                    message=(
+                                        "worker process died; retry budget "
+                                        f"exhausted after {attempts[vi]} "
+                                        "attempt(s)"
+                                    ),
+                                ),
+                            )
+                        else:
+                            warnings.warn(
+                                "worker process died; pool rebuilt, retrying "
+                                f"trials {[i for i, _ in chunks[vi]]} "
+                                f"(attempt {attempts[vi] + 1})",
+                                RuntimeWarning,
+                            )
+                            backoff(vi)
+                            submit(vi)
+                    break  # remaining futures in `done` died with the pool
+                except Exception as exc:
+                    # Deterministic plumbing failure (the function, kwargs
+                    # or result can't cross the process boundary): retrying
+                    # cannot help, finish in-process instead.
+                    fallback = f"{type(exc).__name__}: {exc}"
+                    break
+                else:
+                    finish_chunk(ci, chunk_results)
+
+        if fallback is not None:
+            _stop_pool(pool)
+        else:
+            pool.shutdown()
+        if fallback is None:
+            leftover = []
+        else:
+            leftover = [item for ci in sorted(outstanding) for item in chunks[ci]]
+        return results, leftover, fallback

@@ -10,6 +10,9 @@ benchmarks replay — with all parameters passed as plain dataclasses.
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
+from pathlib import Path
 from typing import Optional, Tuple
 
 import numpy as np
@@ -76,6 +79,85 @@ def learning_curve_trial(ctx: TrialContext, spec: LearningCurveSpec) -> np.ndarr
             np.mean(result.predict(test.challenges) == test.responses)
         )
     return accuracies
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjectionSpec:
+    """Deterministic fault injection for the runtime's failure semantics.
+
+    The trial draws ``size`` uniforms from its own stream (so survivors
+    and retries are bit-identical to a clean run), then misbehaves on the
+    configured indices:
+
+    * ``fail_indices`` raise ``ValueError`` on *every* attempt — a
+      deterministic trial bug, which the runner must report as a
+      :class:`~repro.runtime.runner.TrialError` and never retry;
+    * ``exit_indices`` hard-kill the hosting process with ``os._exit`` —
+      what a SIGKILL'd/OOM'd worker looks like to the pool
+      (``BrokenProcessPool``); **never run these on the serial path**,
+      they would kill the parent;
+    * ``hang_indices`` sleep ``hang_seconds`` — a hung worker for the
+      ``trial_timeout`` machinery.
+
+    With ``once_dir`` set, exit/hang faults arm only on the first attempt:
+    a marker file per index (atomic ``O_EXCL`` create, so pool workers
+    race safely) disarms the fault and the retry succeeds.  ``fail``
+    faults ignore ``once_dir`` — a deterministic exception that vanished
+    on retry would be exactly the misreporting this runtime exists to
+    prevent.  ``sleep_seconds`` stretches every trial, giving kill-test
+    harnesses a window to interrupt mid-run.
+    """
+
+    size: int = 4
+    sleep_seconds: float = 0.0
+    fail_indices: Tuple[int, ...] = ()
+    exit_indices: Tuple[int, ...] = ()
+    hang_indices: Tuple[int, ...] = ()
+    hang_seconds: float = 60.0
+    once_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        if self.sleep_seconds < 0 or self.hang_seconds < 0:
+            raise ValueError("sleep/hang durations must be non-negative")
+
+
+def _fault_armed(spec: FaultInjectionSpec, index: int) -> bool:
+    """Whether an injected infra fault fires on this attempt.
+
+    Without ``once_dir`` faults always fire; with it, the first caller to
+    create the marker wins the right to misbehave and later attempts run
+    clean.
+    """
+    if spec.once_dir is None:
+        return True
+    marker = Path(spec.once_dir) / f"fault-fired-{index}"
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def fault_injection_trial(ctx: TrialContext, spec: FaultInjectionSpec) -> np.ndarray:
+    """A cheap trial that can fail, hang, or kill its host on demand.
+
+    The returned draw is a pure function of the trial's seed, so killed
+    and resumed runs reproduce surviving trials bit-identically — the
+    property every fault test in ``tests/runtime`` pins down.
+    """
+    value = ctx.rng.random(spec.size)
+    if spec.sleep_seconds > 0:
+        time.sleep(spec.sleep_seconds)
+    if ctx.index in spec.exit_indices and _fault_armed(spec, ctx.index):
+        os._exit(42)  # abrupt worker death; the pool sees BrokenProcessPool
+    if ctx.index in spec.hang_indices and _fault_armed(spec, ctx.index):
+        time.sleep(spec.hang_seconds)
+    if ctx.index in spec.fail_indices:
+        raise ValueError(f"injected failure in trial {ctx.index}")
+    return value
 
 
 @dataclasses.dataclass(frozen=True)

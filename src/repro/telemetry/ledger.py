@@ -7,9 +7,13 @@ Its directory, ``runs/<run_id>/`` by convention, holds:
 * ``meta.json`` — the run's provenance: workload name, spec parameters,
   trial count, worker count, master seed, and the PAC parameters its
   bounds should be evaluated at;
-* ``ledger.jsonl`` — one JSON record per trial, appended in index order:
-  timings (wall/CPU/queue-wait), the trial's return value, and the full
-  query-meter + span-summary telemetry snapshot.
+* ``ledger.jsonl`` — one JSON record per trial, appended from the parent
+  process *as each trial completes* (so a killed run keeps every finished
+  trial): timings (wall/CPU/queue-wait), attempt count, the trial's
+  return value or structured error, and the full query-meter +
+  span-summary telemetry snapshot.  ``TrialRunner.run(...,
+  resume_from=...)`` replays these records to restart a run
+  bit-identically (see :func:`~repro.runtime.runner.result_from_record`).
 
 ``python -m repro report runs/<run_id>`` aggregates a ledger against the
 :mod:`repro.pac.bounds` predictions (see :mod:`repro.telemetry.report`).
@@ -21,6 +25,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -102,15 +107,46 @@ class RunLedger:
 
     # ------------------------------------------------------------------
     def read(self) -> List[Dict[str, object]]:
-        """All trial records, in file order (skips blank lines)."""
+        """All parseable trial records, in file order.
+
+        Blank lines are skipped silently; an unparseable line — typically
+        the truncated final record of a run killed mid-append — is skipped
+        with a warning, so a crashed ledger stays readable and the trial
+        behind the torn record simply re-executes on resume.
+        """
         if not self.path.exists():
             return []
         records = []
-        for line in self.path.read_text().splitlines():
+        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except ValueError:
+                warnings.warn(
+                    f"{self.path}:{lineno}: skipping unparseable ledger line "
+                    "(torn write from a killed run?)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return records
+
+    def read_latest(self) -> Dict[int, Dict[str, object]]:
+        """The last record per trial index, keyed by index.
+
+        A resumed run appends fresh records for re-executed trials after
+        the originals (e.g. an infrastructure failure followed by a clean
+        rerun), so readers — resume itself and ``repro report`` — must
+        take the *latest* record for each index, never double-count.
+        Records without an integer ``index`` are ignored.
+        """
+        latest: Dict[int, Dict[str, object]] = {}
+        for record in self.read():
+            index = record.get("index")
+            if isinstance(index, int):
+                latest[index] = record
+        return latest
 
     def read_meta(self) -> Optional[Dict[str, object]]:
         """The run's metadata, or None when ``meta.json`` is absent."""

@@ -230,8 +230,11 @@ class QueryMeter:
 
         Distinct/repeated counts are summed, not re-deduplicated: rows are
         not stored in snapshots, so cross-trial duplicates are invisible.
+        A saturated snapshot taints the merged meter (the totals are then
+        lower bounds), and partial snapshots — e.g. from a trial whose
+        worker died mid-flight — merge their surviving fields.
         """
-        for kind, values in snap.get("queries", {}).items():
+        for kind, values in (snap.get("queries") or {}).items():
             counter = self.kinds.setdefault(kind, KindCounter())
             counter.queries += values.get("queries", 0)
             counter.examples += values.get("examples", 0)
@@ -239,10 +242,13 @@ class QueryMeter:
             counter.crp_bytes += values.get("crp_bytes", 0)
         self.challenge_rows += snap.get("challenge_rows", 0)
         self.repeated_challenges += snap.get("repeated_challenges", 0)
+        self.distinct_saturated = self.distinct_saturated or bool(
+            snap.get("distinct_saturated", False)
+        )
         self._merged_distinct = getattr(self, "_merged_distinct", 0) + snap.get(
             "distinct_challenges", 0
         )
-        for name, amount in snap.get("counters", {}).items():
+        for name, amount in (snap.get("counters") or {}).items():
             self.counters[name] = self.counters.get(name, 0) + amount
 
     def __repr__(self) -> str:

@@ -146,6 +146,48 @@ def _bound_checks(meta: dict, records: List[dict]) -> List[BoundCheck]:
     return checks
 
 
+def _reliability_stats(records: List[dict]) -> Dict[str, object]:
+    """Failure/retry/resume accounting across trial records.
+
+    ``attempts_total`` counts executions including retries; a run with no
+    infrastructure trouble has ``attempts_total == trials`` and zeros
+    everywhere else.
+    """
+    stats = {
+        "trials": len(records),
+        "ok": 0,
+        "trial_errors": 0,
+        "timeouts": 0,
+        "infra_failures": 0,
+        "retried_trials": 0,
+        "attempts_total": 0,
+    }
+    error_samples: List[str] = []
+    for record in records:
+        attempts = int(record.get("attempts", 1))
+        stats["attempts_total"] += attempts
+        if attempts > 1:
+            stats["retried_trials"] += 1
+        error = record.get("error")
+        if not error:
+            stats["ok"] += 1
+            continue
+        category = error.get("category", "trial")
+        if category == "timeout":
+            stats["timeouts"] += 1
+        elif category == "infra":
+            stats["infra_failures"] += 1
+        else:
+            stats["trial_errors"] += 1
+        if len(error_samples) < 5:
+            error_samples.append(
+                f"trial {record.get('index')}: {error.get('exc_type')} "
+                f"({category}): {error.get('message', '')}"
+            )
+    stats["error_samples"] = error_samples
+    return stats
+
+
 def _timing_stats(records: List[dict]) -> Dict[str, float]:
     """Aggregate wall/CPU/queue-wait timings across trial records."""
     def col(name: str) -> List[float]:
@@ -187,9 +229,15 @@ def _merge_counters(records: List[dict]) -> Dict[str, int]:
 
 
 def build_report(run_dir: Union[str, Path]) -> Dict[str, object]:
-    """Aggregate a run directory into the serialisable report payload."""
+    """Aggregate a run directory into the serialisable report payload.
+
+    Uses the *latest* record per trial index: a resumed or retried run
+    appends fresh records after the originals, and counting both would
+    double-bill queries the adversary only spent once.
+    """
     ledger = RunLedger.open_existing(run_dir)
-    records = ledger.read()
+    latest = ledger.read_latest()
+    records = [latest[index] for index in sorted(latest)]
     meta = ledger.read_meta() or {}
     checks = _bound_checks(meta, records)
 
@@ -223,6 +271,7 @@ def build_report(run_dir: Union[str, Path]) -> Dict[str, object]:
         "repeated_challenges": repeated,
         "crp_bytes": crp_bytes,
         "timings": _timing_stats(records),
+        "reliability": _reliability_stats(records),
         "spans": _merge_spans(records),
         "counters": _merge_counters(records),
     }
@@ -305,6 +354,19 @@ def render_markdown(report: Dict[str, object]) -> str:
         f"CPU total {t['cpu_total_s']:.2f}s, "
         f"queue wait mean {t['queue_wait_mean_s']:.3f}s"
     )
+    rel = report.get("reliability")
+    if rel:
+        lines += ["", "## Reliability", ""]
+        lines.append(
+            f"{rel['ok']} of {rel['trials']} trials completed clean; "
+            f"{rel['trial_errors']} trial error(s), "
+            f"{rel['timeouts']} timeout(s), "
+            f"{rel['infra_failures']} infrastructure failure(s); "
+            f"{rel['retried_trials']} trial(s) retried "
+            f"({rel['attempts_total']} execution attempts total)"
+        )
+        for sample in rel.get("error_samples", []):
+            lines.append(f"* `{sample}`")
     spans = report.get("spans") or {}
     if spans:
         lines += ["", "## Spans (summed over trials)", "",

@@ -121,7 +121,10 @@ def trace(name: str, **attrs: object) -> Iterator[None]:
     """Time a region under ``name``; a no-op without an active recorder.
 
     Numeric keyword attributes (``m=25000, blocks=7``) are stored on the
-    span verbatim — keep them JSON-serialisable.
+    span verbatim — keep them JSON-serialisable.  A region that exits via
+    an exception still records its span, with an ``"error"`` attribute
+    naming the exception type — so a failed trial's ledger shows exactly
+    which traced stage blew up and how long it ran first.
     """
     recorder = _RECORDER.get()
     if recorder is None:
@@ -130,10 +133,14 @@ def trace(name: str, **attrs: object) -> Iterator[None]:
     parent = recorder._stack[-1] if recorder._stack else -1
     depth = recorder.current_depth
     index = recorder._enter()
+    span_attrs = dict(attrs)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     try:
         yield
+    except BaseException as exc:
+        span_attrs["error"] = type(exc).__name__
+        raise
     finally:
         recorder._exit(
             Span(
@@ -143,6 +150,6 @@ def trace(name: str, **attrs: object) -> Iterator[None]:
                 depth=depth,
                 index=index,
                 parent_index=parent,
-                attrs=dict(attrs),
+                attrs=span_attrs,
             )
         )

@@ -1,0 +1,107 @@
+"""End-to-end crash recovery: SIGKILL a pooled CLI run, resume it.
+
+Drives ``python -m repro trials`` as a real subprocess, kills it -9 in
+the middle of a pooled fault-injection workload, and asserts the
+``--resume`` rerun completes with bit-identical values (the CLI's own
+serial-vs-parallel identity check) and a clean ``repro report``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TRIALS = 10
+
+
+def run_cli(*args, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=180,
+        **kwargs,
+    )
+
+
+def trials_args(runs_dir, extra=()):
+    return [
+        "trials",
+        "--workload", "fault",
+        "--trials", str(TRIALS),
+        "--workers", "2",
+        "--sleep-seconds", "0.3",
+        "--ledger",
+        "--run-id", "killrun",
+        "--runs-dir", str(runs_dir),
+        *extra,
+    ]
+
+
+def test_sigkill_mid_run_then_resume_completes_bit_identical(tmp_path):
+    runs_dir = tmp_path / "runs"
+    ledger_path = runs_dir / "killrun" / "ledger.jsonl"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"]
+        + trials_args(runs_dir, extra=("--skip-serial",)),
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Wait until some trials have landed in the ledger, then kill -9
+        # the parent mid-run (its pool workers are orphaned too).
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if ledger_path.exists() and ledger_path.stat().st_size > 0:
+                break
+            if proc.poll() is not None:
+                pytest.fail("run finished before it could be killed")
+            time.sleep(0.05)
+        else:
+            pytest.fail("no ledger records appeared within 60s")
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+
+    completed = [
+        json.loads(line)
+        for line in ledger_path.read_text().splitlines()
+        if line.strip()
+    ]
+    assert 0 < len(completed) < TRIALS, "kill landed too early or too late"
+
+    # Resume: replays the completed records, executes only the rest, and
+    # runs the CLI's serial-vs-parallel bit-identity check over all of it.
+    resumed = run_cli(*trials_args(runs_dir, extra=("--resume",)))
+    assert resumed.returncode == 0, resumed.stdout
+    assert "bit-identical results across worker counts: True" in resumed.stdout
+    assert f"{len(completed)} replayed" in resumed.stdout
+
+    report = run_cli("report", str(runs_dir / "killrun"), "--no-write")
+    assert report.returncode == 0, report.stdout
+    assert f"{TRIALS} of {TRIALS} trials completed clean" in report.stdout
+
+
+def test_resume_without_run_id_is_rejected(tmp_path):
+    result = run_cli(
+        "trials", "--workload", "fault", "--trials", "2", "--resume",
+        "--runs-dir", str(tmp_path),
+    )
+    assert result.returncode == 2
+    assert "--resume needs --run-id" in result.stdout

@@ -116,6 +116,87 @@ def test_env_var_default_dir(tmp_path, monkeypatch):
     assert cache.cache_dir == tmp_path / "envcache"
 
 
+def test_corrupt_entry_is_a_miss_and_regenerates(tmp_path):
+    """A truncated/corrupt .npz (killed writer, bad disk) must not poison
+    every future read: warn, unlink, regenerate."""
+    cache = CRPCache(tmp_path)
+    cache.get_or_generate(
+        puf_spec="a", seed=7, distribution="uniform", m=20,
+        generate=lambda: make_crps(m=20),
+    )
+    key = cache_key("a", 7, "uniform", 20)
+    cache.path_for(key).write_bytes(b"this is not an npz archive")
+    calls = []
+
+    def regenerate():
+        calls.append(1)
+        return make_crps(m=20)
+
+    with pytest.warns(RuntimeWarning, match="unreadable CRP cache entry"):
+        crps = cache.get_or_generate(
+            puf_spec="a", seed=7, distribution="uniform", m=20,
+            generate=regenerate,
+        )
+    assert calls == [1]
+    assert len(crps) == 20
+    # The poisoned file was replaced with a readable one.
+    assert cache.load(key) is not None
+
+
+def test_store_leaves_no_staging_files(tmp_path):
+    cache = CRPCache(tmp_path)
+    cache.store(cache_key("a", 8, "uniform", 10), make_crps(m=10))
+    assert list(tmp_path.glob("*.tmp.npz")) == []
+
+
+def test_failed_store_cleans_its_staging_file(tmp_path, monkeypatch):
+    cache = CRPCache(tmp_path)
+    crps = make_crps(m=10)
+
+    def boom(self, path):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(CRPSet, "save", boom)
+    with pytest.raises(OSError, match="disk full"):
+        cache.store("deadbeef", crps)
+    assert list(tmp_path.glob("*.tmp.npz")) == []
+    assert not cache.path_for("deadbeef").exists()
+
+
+def test_clear_sweeps_orphaned_staging_files(tmp_path):
+    cache = CRPCache(tmp_path)
+    cache.get_or_generate(
+        puf_spec="a", seed=9, distribution="uniform", m=10,
+        generate=lambda: make_crps(m=10),
+    )
+    orphan = tmp_path / "crps-deadbeef-x1y2z3.tmp.npz"
+    orphan.write_bytes(b"partial write from a killed process")
+    assert cache.clear() == 2
+    assert not orphan.exists()
+
+
+def test_concurrent_writers_never_corrupt_the_entry(tmp_path):
+    """Racing writers of one key each stage in a private mkstemp file and
+    publish atomically — the surviving entry is always whole."""
+    import threading
+
+    cache = CRPCache(tmp_path)
+    key = cache_key("a", 10, "uniform", 30)
+    sets = [make_crps(seed=s, m=30) for s in range(4)]
+    threads = [
+        threading.Thread(target=cache.store, args=(key, crps))
+        for crps in sets
+        for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    loaded = cache.load(key)
+    assert loaded is not None and len(loaded) == 30
+    assert list(tmp_path.glob("*.tmp.npz")) == []
+
+
 def test_roundtrip_preserves_dtypes(tmp_path):
     cache = CRPCache(tmp_path)
     crps = cache.get_or_generate(

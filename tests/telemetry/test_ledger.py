@@ -53,9 +53,12 @@ def test_runner_writes_one_record_per_trial_in_index_order(tmp_path):
         trial_kwargs={"spec": spec},
         ledger=ledger,
     )
-    records = ledger.read()
+    # Records append in completion order (crash safety), so sort by index.
+    records = sorted(ledger.read(), key=lambda r: r["index"])
     assert [r["index"] for r in records] == [0, 1, 2, 3]
     for record, result in zip(records, report.results):
+        assert record["status"] == "ok"
+        assert record["attempts"] == 1
         assert record["value"] == pytest.approx(list(result.value))
         assert record["seconds"] == pytest.approx(result.seconds)
         assert record["cpu_seconds"] == pytest.approx(result.cpu_seconds)
