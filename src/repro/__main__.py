@@ -180,6 +180,39 @@ def _resolve_workload(args: argparse.Namespace):
     raise ValueError(f"unknown workload {name!r}")
 
 
+def _retry_policy(retries: int):
+    """Map ``--retries`` (extra attempts after the first; 0 = no retry)
+    onto :class:`~repro.runtime.RetryPolicy`, whose ``max_attempts``
+    counts total executions."""
+    from repro.runtime import RetryPolicy
+
+    if retries < 0:
+        raise ValueError(f"--retries must be >= 0, got {retries}")
+    return RetryPolicy(max_attempts=retries + 1)
+
+
+def _resume_mismatches(meta, workload: str, spec, trials: int, seed) -> list:
+    """Fields where a run's ``meta.json`` disagrees with this invocation.
+
+    The spec is canonicalised through a JSON round-trip so tuples compare
+    equal to the lists ``meta.json`` stores.
+    """
+    import dataclasses
+    import json
+
+    current = {
+        "workload": workload,
+        "spec": json.loads(json.dumps(dataclasses.asdict(spec))),
+        "trials": trials,
+        "master_seed": seed,
+    }
+    return [
+        f"{key}: run has {meta[key]!r}, this invocation has {value!r}"
+        for key, value in current.items()
+        if key in meta and meta[key] != value
+    ]
+
+
 def _results_match(a, b) -> bool:
     """Bit-identity for one (serial, parallel) result pair.
 
@@ -198,17 +231,20 @@ def cmd_trials(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.analysis.tables import TableBuilder
-    from repro.runtime import RetryPolicy, TrialRunner
+    from repro.runtime import TrialRunner
 
     if args.resume and not args.run_id:
         print("--resume needs --run-id (the run directory to pick up)")
         return 2
     if args.resume:
         args.ledger = True
+    if args.retries < 0:
+        print("--retries must be >= 0 (0 disables retrying)")
+        return 2
 
     trial_fn, spec, columns = _resolve_workload(args)
     kwargs = {"spec": spec}
-    retry = RetryPolicy(max_attempts=args.retries)
+    retry = _retry_policy(args.retries)
     print(
         f"workload: {args.trials} {args.workload} trials ({spec!r}), "
         f"master seed {args.seed}"
@@ -222,7 +258,20 @@ def cmd_trials(args: argparse.Namespace) -> int:
 
         run_id = args.run_id or new_run_id(args.workload)
         ledger = RunLedger(Path(args.runs_dir) / run_id)
-        if not (args.resume and ledger.read_meta() is not None):
+        meta = ledger.read_meta()
+        if args.resume and meta is not None:
+            mismatches = _resume_mismatches(
+                meta, args.workload, spec, args.trials, args.seed
+            )
+            if mismatches:
+                print(
+                    f"cannot --resume {ledger.run_dir}: its meta.json "
+                    "disagrees with this invocation"
+                )
+                for line in mismatches:
+                    print("  " + line)
+                return 2
+        if not (args.resume and meta is not None):
             ledger.write_meta(
                 {
                     "workload": args.workload,
@@ -478,9 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
     trials.add_argument(
         "--retries",
         type=int,
-        default=3,
-        help="max attempts per trial for infrastructure failures "
-        "(worker death, timeout); trial exceptions are never retried",
+        default=2,
+        help="retries per trial after infrastructure failures (worker "
+        "death, timeout), on top of the first attempt; 0 disables "
+        "retrying; trial exceptions are never retried",
     )
     trials.add_argument(
         "--trial-timeout",

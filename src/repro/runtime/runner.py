@@ -51,6 +51,7 @@ import dataclasses
 import time
 import traceback as _traceback
 import warnings
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -58,7 +59,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Un
 
 import numpy as np
 
-from repro.runtime.seeding import SeedLike, fan_out
+from repro.runtime.seeding import SeedLike, as_seed_sequence, fan_out
 from repro.telemetry.meter import QueryMeter, metered
 from repro.telemetry.spans import SpanRecorder, recording
 
@@ -155,6 +156,32 @@ def _seed_identity(seed: Optional[np.random.SeedSequence]) -> Dict[str, object]:
     if seed is None:
         return {"entropy": None, "spawn_key": ()}
     return {"entropy": str(seed.entropy), "spawn_key": tuple(seed.spawn_key)}
+
+
+def _canonical_seed(seed: SeedLike) -> Tuple[object, Tuple[int, ...]]:
+    """A seed's ``(entropy, spawn_key)`` identity, for cross-run comparison.
+
+    Canonicalising through :class:`~numpy.random.SeedSequence` lets an
+    ``int``, an entropy sequence, and an equivalent ``SeedSequence``
+    compare equal regardless of which form each run was launched with.
+    """
+    sequence = as_seed_sequence(seed)
+    entropy = sequence.entropy
+    if isinstance(entropy, (list, tuple, np.ndarray)):
+        entropy = tuple(int(word) for word in entropy)
+    return entropy, tuple(sequence.spawn_key)
+
+
+def _seed_mismatch(current: SeedLike, recorded: object) -> bool:
+    """Whether a recorded master seed disagrees with the current one.
+
+    An unintelligible recorded seed counts as a mismatch — resuming is
+    refused rather than guessed at.
+    """
+    try:
+        return _canonical_seed(current) != _canonical_seed(recorded)
+    except Exception:
+        return True
 
 
 @dataclasses.dataclass(frozen=True)
@@ -498,7 +525,10 @@ class TrialRunner:
         ``ceil(num_trials / (4 * workers))``, which keeps every worker
         busy while amortising inter-process overhead.  Retry and timeout
         act at chunk granularity: a smaller ``chunk_size`` narrows the
-        blast radius of a dead or hung worker.
+        blast radius of a dead or hung worker.  At most ``workers``
+        chunks are in flight at once (the rest wait in a parent-side
+        backlog), so a chunk's ``trial_timeout`` deadline starts when it
+        starts executing, not when the run was launched.
     """
 
     def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
@@ -606,7 +636,9 @@ class TrialRunner:
         :class:`RunLedger`; a directory with no ledger yet resumes to an
         empty replay set, so passing ``resume_from`` unconditionally is
         safe for idempotent launchers.  Raises ``ValueError`` when the
-        ledger's recorded ``master_seed`` disagrees with this run's.
+        ledger's recorded ``master_seed`` disagrees with this run's
+        (compared canonically, so an int and an equivalent SeedSequence
+        match) and warns when the recorded trial count differs.
         """
         from repro.telemetry.ledger import LEDGER_NAME, RunLedger
 
@@ -619,15 +651,20 @@ class TrialRunner:
             ledger = RunLedger(path)
         meta = ledger.read_meta() or {}
         recorded_seed = meta.get("master_seed")
-        if (
-            recorded_seed is not None
-            and isinstance(master_seed, int)
-            and recorded_seed != master_seed
-        ):
+        if recorded_seed is not None and _seed_mismatch(master_seed, recorded_seed):
             raise ValueError(
                 f"cannot resume from {ledger.run_dir}: ledger was written "
-                f"with master_seed={recorded_seed}, this run uses "
-                f"master_seed={master_seed}"
+                f"with master_seed={recorded_seed!r}, this run uses "
+                f"master_seed={master_seed!r}"
+            )
+        recorded_trials = meta.get("trials")
+        if isinstance(recorded_trials, int) and recorded_trials != num_trials:
+            warnings.warn(
+                f"resuming {ledger.run_dir} with num_trials={num_trials} "
+                f"but its ledger was written for trials={recorded_trials}; "
+                "only overlapping indices replay",
+                RuntimeWarning,
+                stacklevel=3,
             )
         replayed: Dict[int, TrialResult] = {}
         for index, record in ledger.read_latest().items():
@@ -677,6 +714,7 @@ class TrialRunner:
         attempts: Dict[int, int] = {}
         pending: Dict[Future, int] = {}
         deadlines: Dict[Future, float] = {}
+        backlog = deque(range(len(chunks)))
 
         try:
             pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -694,6 +732,15 @@ class TrialRunner:
                 deadlines[future] = (
                     time.monotonic() + trial_timeout * len(chunks[ci])
                 )
+
+        def pump() -> None:
+            # At most `workers` chunks are in flight at once, so a
+            # submitted chunk starts executing immediately and its
+            # timeout deadline (armed at submit) measures execution, not
+            # time spent queued behind other chunks — queued chunks wait
+            # here in the backlog with no deadline running.
+            while backlog and len(pending) < self.workers:
+                submit(backlog.popleft())
 
         def rebuild() -> None:
             nonlocal pool
@@ -714,9 +761,8 @@ class TrialRunner:
                 time.sleep(delay)
 
         fallback: Optional[str] = None
-        for ci in range(len(chunks)):
-            submit(ci)
-        while pending and fallback is None:
+        while (pending or backlog) and fallback is None:
+            pump()
             timeout = None
             if deadlines:
                 timeout = max(0.0, min(deadlines.values()) - time.monotonic())
@@ -770,11 +816,26 @@ class TrialRunner:
                 try:
                     chunk_results = future.result()
                 except BrokenProcessPool:
-                    # A worker died (SIGKILL, OOM, segfault).  The whole
-                    # pool is unusable and every in-flight chunk was lost;
-                    # which one killed the worker is unknowable, so all of
-                    # them are charged an attempt and resubmitted.
-                    victims = sorted({ci} | set(pending.values()))
+                    # A worker died (SIGKILL, OOM, segfault) and the pool
+                    # is unusable.  Chunks whose futures already hold a
+                    # successful result are harvested first — only the
+                    # chunks genuinely lost with the pool are charged an
+                    # attempt and resubmitted.
+                    victims = {ci}
+                    for other, oi in list(pending.items()):
+                        harvest = None
+                        if other.done():
+                            try:
+                                harvest = other.result()
+                            except Exception:
+                                harvest = None
+                        if harvest is None:
+                            victims.add(oi)
+                        else:
+                            pending.pop(other)
+                            deadlines.pop(other, None)
+                            finish_chunk(oi, harvest)
+                    victims = sorted(victims)
                     rebuild()
                     for vi in victims:
                         if attempts[vi] >= retry.max_attempts:

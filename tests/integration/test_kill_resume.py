@@ -98,6 +98,39 @@ def test_sigkill_mid_run_then_resume_completes_bit_identical(tmp_path):
     assert f"{TRIALS} of {TRIALS} trials completed clean" in report.stdout
 
 
+def test_resume_refuses_mismatched_invocation(tmp_path):
+    """--resume with a different workload/spec/trial count than the run's
+    meta.json must refuse instead of splicing foreign records in."""
+    runs_dir = tmp_path / "runs"
+    base = [
+        "trials", "--workload", "fault", "--workers", "1",
+        "--sleep-seconds", "0", "--skip-serial",
+        "--ledger", "--run-id", "metarun", "--runs-dir", str(runs_dir),
+    ]
+    first = run_cli(*base, "--trials", "2")
+    assert first.returncode == 0, first.stdout
+
+    clash = run_cli(*base, "--trials", "4", "--resume")
+    assert clash.returncode == 2
+    assert "meta.json" in clash.stdout
+    assert "trials" in clash.stdout
+
+    matching = run_cli(*base, "--trials", "2", "--resume")
+    assert matching.returncode == 0, matching.stdout
+    assert "2 replayed" in matching.stdout
+
+
+def test_retries_flag_maps_to_extra_attempts():
+    """--retries N means N retries on top of the first attempt, so 0
+    disables retrying (RetryPolicy counts total executions)."""
+    from repro.__main__ import _retry_policy
+
+    assert _retry_policy(0).max_attempts == 1
+    assert _retry_policy(2).max_attempts == 3
+    with pytest.raises(ValueError, match="retries"):
+        _retry_policy(-1)
+
+
 def test_resume_without_run_id_is_rejected(tmp_path):
     result = run_cli(
         "trials", "--workload", "fault", "--trials", "2", "--resume",

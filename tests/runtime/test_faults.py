@@ -9,12 +9,16 @@ bits.
 """
 
 import contextlib
+import os
+import time
 import warnings as _warnings
+from concurrent import futures as _futures
 
 import numpy as np
 import pytest
 
 from repro.runtime import RetryPolicy, TrialError, TrialFailure, TrialRunner
+from repro.runtime import runner as runner_module
 from repro.runtime.workloads import FaultInjectionSpec, fault_injection_trial
 
 
@@ -170,6 +174,48 @@ class TestWorkerDeath:
         assert failed.attempts == 2
 
 
+def fast_or_exit_trial(ctx, exit_index, size=2):
+    """Picklable: the chosen trial kills its worker late, others are instant."""
+    if ctx.index == exit_index:
+        time.sleep(0.4)
+        os._exit(42)
+    return ctx.rng.random(size)
+
+
+class TestBrokenPoolHarvest:
+    def test_completed_chunks_survive_a_broken_pool(self, monkeypatch):
+        """A chunk whose future already completed when another chunk broke
+        the pool keeps its result: it must never be discarded, re-executed,
+        or mislabeled as an infra failure — even with no retry budget left
+        and even when the broken future is processed first."""
+        real_wait = _futures.wait
+
+        def wait_broken_first(fs, timeout=None, return_when=None):
+            done, not_done = real_wait(fs, return_when=_futures.ALL_COMPLETED)
+            # Force the worst-case ordering: the runner sees the broken
+            # future before the successful one still sitting in `pending`.
+            ordered = sorted(done, key=lambda f: f.exception() is None)
+            return ordered, not_done
+
+        monkeypatch.setattr(runner_module, "wait", wait_broken_first)
+        report = TrialRunner(workers=2, chunk_size=1).run(
+            fast_or_exit_trial,
+            2,
+            master_seed=29,
+            trial_kwargs={"exit_index": 1},
+            retry=RetryPolicy(max_attempts=1),
+        )
+        survivor, dead = report.results
+        assert survivor.ok
+        assert survivor.attempts == 1
+        reference = TrialRunner(workers=1).run(
+            fast_or_exit_trial, 2, master_seed=29, trial_kwargs={"exit_index": -1}
+        )
+        np.testing.assert_array_equal(survivor.value, reference.values()[0])
+        assert not dead.ok
+        assert dead.error.category == "infra"
+
+
 class TestHungWorkers:
     def test_hung_worker_is_killed_and_retried(self, tmp_path):
         spec = FaultInjectionSpec(
@@ -208,6 +254,27 @@ class TestHungWorkers:
         survivor = report.results[1]
         assert survivor.ok
         np.testing.assert_array_equal(survivor.value, clean_values(2, 0)[1])
+
+    def test_backlogged_chunks_do_not_accrue_timeout(self):
+        """Deadlines arm when a chunk starts executing, not when the run
+        is launched: with far more chunks than workers, the later waves
+        must not time out merely because they waited for a worker slot
+        (8 trials x 0.4s on 2 workers would blow a 1s deadline armed at
+        submit-everything-upfront time)."""
+        spec = FaultInjectionSpec(size=2, sleep_seconds=0.4)
+        with warnings_as_errors():
+            report = TrialRunner(workers=2, chunk_size=1).run(
+                fault_injection_trial,
+                8,
+                master_seed=1,
+                trial_kwargs={"spec": spec},
+                retry=RetryPolicy(max_attempts=1),
+                trial_timeout=1.0,
+            )
+        assert all(r.ok for r in report.results)
+        assert all(r.attempts == 1 for r in report.results)
+        for value, reference in zip(report.values(), clean_values(8, 1)):
+            np.testing.assert_array_equal(value, reference)
 
     def test_invalid_trial_timeout_rejected(self):
         with pytest.raises(ValueError, match="trial_timeout"):

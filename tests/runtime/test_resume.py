@@ -190,6 +190,50 @@ class TestResume:
                 resume_from=ledger,
             )
 
+    def test_seed_sequence_master_seed_validates_canonically(self, tmp_path):
+        """Non-int seeds validate too: an equivalent SeedSequence resumes,
+        a different one is refused (the old check only caught ints)."""
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        kwargs = {"marker_dir": str(markers)}
+        ledger = RunLedger(tmp_path / "run")
+        ledger.write_meta({"master_seed": 1})
+        TrialRunner(workers=1).run(
+            counting_trial, 2, master_seed=1, trial_kwargs=kwargs, ledger=ledger
+        )
+        resumed = TrialRunner(workers=1).run(
+            counting_trial,
+            2,
+            master_seed=np.random.SeedSequence(1),
+            trial_kwargs=kwargs,
+            resume_from=ledger,
+        )
+        assert resumed.executor == "replay"
+        with pytest.raises(ValueError, match="master_seed"):
+            TrialRunner(workers=1).run(
+                counting_trial,
+                2,
+                master_seed=np.random.SeedSequence(2),
+                trial_kwargs=kwargs,
+                resume_from=ledger,
+            )
+
+    def test_trial_count_mismatch_warns(self, tmp_path):
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        kwargs = {"marker_dir": str(markers)}
+        ledger = RunLedger(tmp_path / "run")
+        ledger.write_meta({"master_seed": 0, "trials": 4})
+        TrialRunner(workers=1).run(
+            counting_trial, 4, master_seed=0, trial_kwargs=kwargs, ledger=ledger
+        )
+        with pytest.warns(RuntimeWarning, match="trials=4"):
+            resumed = TrialRunner(workers=1).run(
+                counting_trial, 2, master_seed=0, trial_kwargs=kwargs,
+                resume_from=ledger,
+            )
+        assert resumed.replayed_count == 2
+
     def test_resume_accepts_dir_and_ledger_path(self, tmp_path):
         markers = tmp_path / "markers"
         markers.mkdir()
