@@ -38,6 +38,15 @@ Subcommands:
 
 * ``lint-docstrings`` — AST-based docstring-coverage gate over the
   instrumented packages (``--fail-under`` sets the CI threshold).
+
+* ``conformance`` — run the differential + metamorphic conformance
+  suite (see ``docs/TESTING.md``): every statistical relation draws its
+  alpha from a family-wise error budget, every relation's exact seed is
+  printed on violation, and ``--ledger`` writes one JSONL record per
+  relation.  Exit 1 on any violation::
+
+      python -m repro conformance
+      python -m repro conformance --smoke --ledger
 """
 
 from __future__ import annotations
@@ -424,6 +433,68 @@ def cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import TableBuilder
+    from repro.conformance import run_suite
+
+    ledger = None
+    if args.ledger:
+        from pathlib import Path
+
+        from repro.telemetry import RunLedger, new_run_id
+
+        run_id = args.run_id or new_run_id("conformance")
+        ledger = RunLedger(Path(args.runs_dir) / run_id)
+
+    scale = 0.1 if args.smoke else 1.0
+    suite = run_suite(
+        master_seed=args.seed,
+        family_alpha=args.family_alpha,
+        ledger=ledger,
+        scale=scale,
+    )
+
+    table = TableBuilder(
+        ["status", "kind", "relation", "alpha", "seconds"],
+        title=(
+            f"conformance suite: {len(suite.reports)} relations, "
+            f"family-wise alpha {suite.family_alpha:g}"
+            + (" (smoke tier)" if args.smoke else "")
+        ),
+    )
+    for report in suite.reports:
+        table.add_row(
+            "ok" if report.passed else "VIOLATED",
+            report.kind,
+            report.name,
+            f"{report.alpha:.2e}" if report.alpha else "exact",
+            f"{report.seconds:.2f}",
+        )
+    print(table.render())
+
+    for report in suite.violations:
+        print(f"\nVIOLATION {report.name}: {report.error}")
+        print(f"  claim: {report.description}")
+        print(
+            "  replay: seed = np.random.SeedSequence("
+            f"{report.seed['entropy']!r}, "
+            f"spawn_key={tuple(report.seed['spawn_key'])!r})"
+        )
+    if ledger is not None:
+        print(f"ledger: {ledger.path}")
+    print(
+        f"\n{suite.num_statistical} statistical relations share the "
+        f"{suite.family_alpha:g} family-wise false-failure budget; "
+        f"{len(suite.reports) - suite.num_statistical} exact relations "
+        "consume none (docs/TESTING.md has the derivation)."
+    )
+    if suite.violations:
+        print(f"FAIL: {len(suite.violations)} relation(s) violated")
+        return 1
+    print("all relations hold")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -609,7 +680,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths",
         nargs="*",
-        default=["src/repro/telemetry", "src/repro/kernels", "src/repro/runtime"],
+        default=[
+            "src/repro/telemetry",
+            "src/repro/kernels",
+            "src/repro/runtime",
+            "src/repro/conformance",
+        ],
         help="files or directories to measure",
     )
     lint.add_argument(
@@ -645,6 +721,39 @@ def build_parser() -> argparse.ArgumentParser:
         "equivalent and at least as fast as the naive path",
     )
     bench.set_defaults(func=cmd_bench_kernels)
+
+    conf = sub.add_parser(
+        "conformance",
+        help="run the differential + metamorphic conformance suite "
+        "(exit 1 on violation)",
+    )
+    conf.add_argument("--seed", type=int, default=0, help="master seed")
+    conf.add_argument(
+        "--family-alpha",
+        type=float,
+        default=1e-6,
+        help="family-wise false-failure probability for the whole run",
+    )
+    conf.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: run statistical relations at 10%% sample scale",
+    )
+    conf.add_argument(
+        "--ledger",
+        action="store_true",
+        help="write one JSONL record per relation under --runs-dir",
+    )
+    conf.add_argument(
+        "--runs-dir", type=str, default="runs", help="parent directory for run ledgers"
+    )
+    conf.add_argument(
+        "--run-id",
+        type=str,
+        default=None,
+        help="explicit run id (default: conformance-<timestamp>)",
+    )
+    conf.set_defaults(func=cmd_conformance)
     return parser
 
 

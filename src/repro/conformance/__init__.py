@@ -1,0 +1,93 @@
+"""Statistical conformance: calibrated oracles, differential and
+metamorphic relations, and a family-wise error budget.
+
+The test suite's stochastic assertions all flow through this package so
+that every tolerance is an explicit false-failure probability and the
+whole suite's flake rate is a documented bound (``<= 1e-6`` per run; see
+``docs/TESTING.md``).  Three layers:
+
+* :mod:`~repro.conformance.oracles` — Hoeffding / Clopper-Pearson
+  interval checks and the Bonferroni :class:`ErrorBudget`;
+* :mod:`~repro.conformance.differential` and
+  :mod:`~repro.conformance.relations` — the differential harnesses
+  (optimised paths vs :mod:`repro.kernels.reference`) and metamorphic
+  relations, run by :func:`~repro.conformance.suite.run_suite` behind
+  ``python -m repro conformance``;
+* :mod:`~repro.conformance.pytest_plugin` — the ``@statistical_test``
+  marker, ``stat`` fixture, and seed-capture failure sections for the
+  pytest tier.
+"""
+
+from repro.conformance.differential import differential_relations
+from repro.conformance.oracles import (
+    BudgetConflict,
+    BudgetExceeded,
+    CheckResult,
+    ErrorBudget,
+    binomial_pvalue,
+    check_at_least,
+    check_at_most,
+    check_bernoulli,
+    check_two_sample_equal,
+    check_two_sample_less,
+    check_within,
+    clopper_pearson_interval,
+    hoeffding_halfwidth,
+    hoeffding_interval,
+    holm_rejections,
+)
+from repro.conformance.relations import (
+    ConformanceViolation,
+    Relation,
+    RelationContext,
+    RelationReport,
+    metamorphic_relations,
+)
+from repro.conformance.seeds import (
+    SeedRegistry,
+    format_seed,
+    note_seed,
+    reproduction_line,
+    seed_identity,
+)
+from repro.conformance.suite import (
+    DEFAULT_FAMILY_ALPHA,
+    SuiteReport,
+    all_relations,
+    relation_seed,
+    run_suite,
+)
+
+__all__ = [
+    "BudgetConflict",
+    "BudgetExceeded",
+    "CheckResult",
+    "ConformanceViolation",
+    "DEFAULT_FAMILY_ALPHA",
+    "ErrorBudget",
+    "Relation",
+    "RelationContext",
+    "RelationReport",
+    "SeedRegistry",
+    "SuiteReport",
+    "all_relations",
+    "binomial_pvalue",
+    "check_at_least",
+    "check_at_most",
+    "check_bernoulli",
+    "check_two_sample_equal",
+    "check_two_sample_less",
+    "check_within",
+    "clopper_pearson_interval",
+    "differential_relations",
+    "format_seed",
+    "hoeffding_halfwidth",
+    "hoeffding_interval",
+    "holm_rejections",
+    "metamorphic_relations",
+    "note_seed",
+    "relation_seed",
+    "reproduction_line",
+    "run_suite",
+    "seed_identity",
+]

@@ -1,0 +1,339 @@
+"""Differential harnesses: optimized hot paths vs frozen references.
+
+Each relation here drives a production code path (the blocked-GEMM
+character kernel, the in-place FWHT / Moebius butterflies, the
+vectorised PUF margin evaluators, LTF evaluation) and its independent
+re-implementation from :mod:`repro.kernels.reference` over *shared
+seeded inputs*, then asserts agreement:
+
+* **bit-identical** wherever both paths compute with integer-valued
+  intermediates (characters, +/-1 FWHT tables, GF(2) Moebius, parity
+  transform) — any difference is a logic bug, full stop;
+* **interval-bounded** for float margins, where the reference
+  accumulates with ``math.fsum`` (correct rounding) and the production
+  path uses BLAS: margins must agree to a few ulps of the row scale,
+  and the *signs* must agree on every row whose reference margin
+  clears a tolerance-sized guard band around zero (rows inside the
+  band are counted and reported, never silently passed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.conformance.relations import (
+    ConformanceViolation,
+    Relation,
+    RelationContext,
+)
+from repro.kernels import reference as ref
+
+
+def _random_challenges(rng: np.random.Generator, m: int, n: int) -> np.ndarray:
+    return (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+
+
+def _compare_margins(
+    name: str,
+    production: np.ndarray,
+    reference: np.ndarray,
+    production_signs: np.ndarray,
+    scale: np.ndarray,
+) -> Dict[str, object]:
+    """Interval-bounded margin agreement plus guard-banded sign identity.
+
+    ``scale`` is a per-row magnitude bound (sum of absolute terms); the
+    tolerance is ``1e-9 * scale`` — generous against ulp accumulation,
+    vanishingly small against any real logic difference.
+    """
+    tol = 1e-9 * np.maximum(scale, 1.0)
+    err = np.abs(production - reference)
+    if np.any(err > tol):
+        worst = int(np.argmax(err - tol))
+        raise ConformanceViolation(
+            f"{name}: margin mismatch at row {worst}: "
+            f"production {production[worst]!r} vs reference {reference[worst]!r} "
+            f"(tolerance {tol[worst]:.3e})"
+        )
+    clear = np.abs(reference) > tol
+    ref_signs = np.where(reference >= 0, 1, -1).astype(np.int8)
+    if not np.array_equal(production_signs[clear], ref_signs[clear]):
+        raise ConformanceViolation(
+            f"{name}: response signs differ outside the guard band"
+        )
+    return {
+        "rows": int(reference.size),
+        "guard_band_rows": int(np.sum(~clear)),
+        "max_margin_error": float(np.max(err)) if err.size else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Exact (integer-valued) paths
+# ----------------------------------------------------------------------
+def _diff_character_estimates(ctx: RelationContext) -> Dict[str, object]:
+    """Character-kernel coefficient estimation is bit-identical to the
+    per-subset loops across degrees and block boundaries."""
+    from repro.kernels import CharacterBasis
+
+    rng = ctx.rng()
+    cases = 0
+    for n, degree, m, block in (
+        (10, 3, 257, 16),
+        (6, 0, 100, 7),
+        (8, 8, 64, 100),
+        (1, 1, 1, 1),
+        (12, 2, 999, 31),
+    ):
+        x = _random_challenges(rng, m, n)
+        y = (1 - 2 * rng.integers(0, 2, size=m)).astype(np.int8)
+        basis = CharacterBasis.low_degree(n, min(degree, n))
+        kernel = basis.estimate_coefficients(x, y, block_size=block)
+        naive = ref.naive_estimate_coefficients(x, y, list(basis.subsets))
+        if not np.array_equal(kernel, naive):
+            raise ConformanceViolation(
+                f"estimate_coefficients(n={n}, d={degree}, m={m}, block={block}) "
+                "differs from the reference loop"
+            )
+        cases += 1
+    return {"cases": cases}
+
+
+def _diff_expansion_sign(ctx: RelationContext) -> Dict[str, object]:
+    """Expansion evaluation and sign prediction match the reference on
+    dyadic spectra (both paths exact, so equality is bit-level)."""
+    from repro.kernels import CharacterBasis
+
+    rng = ctx.rng()
+    cases = 0
+    for n, degree, log2_m, block in ((8, 3, 9, 13), (5, 5, 6, 1), (1, 0, 0, 8)):
+        m = 2**log2_m
+        x = _random_challenges(rng, m, n)
+        y = (1 - 2 * rng.integers(0, 2, size=m)).astype(np.int8)
+        basis = CharacterBasis.low_degree(n, min(degree, n))
+        coeffs = basis.estimate_coefficients(x, y)
+        spectrum = dict(zip(basis.subsets, coeffs))
+        if not np.array_equal(
+            basis.evaluate_expansion(x, coeffs, block_size=block),
+            ref.naive_expansion_values(x, spectrum),
+        ):
+            raise ConformanceViolation(
+                f"evaluate_expansion(n={n}, d={degree}, m={m}) differs"
+            )
+        if not np.array_equal(
+            basis.predict_sign(x, coeffs, block_size=block),
+            ref.naive_sign_of_expansion(x, spectrum),
+        ):
+            raise ConformanceViolation(f"predict_sign(n={n}, d={degree}) differs")
+        cases += 1
+    return {"cases": cases}
+
+
+def _diff_fwht(ctx: RelationContext) -> Dict[str, object]:
+    """Batched in-place FWHT is bit-identical to the copying butterfly."""
+    from repro.kernels import fwht
+
+    rng = ctx.rng()
+    cases = 0
+    for n, batch in ((0, 1), (1, 3), (6, 4), (10, 2)):
+        tables = (1 - 2 * rng.integers(0, 2, size=(batch, 2**n))).astype(np.float64)
+        batched = fwht(tables)
+        for row_in, row_out in zip(tables, batched):
+            if not np.array_equal(ref.naive_walsh_hadamard(row_in), row_out):
+                raise ConformanceViolation(f"fwht differs at n={n}, batch={batch}")
+        cases += 1
+    return {"cases": cases}
+
+
+def _diff_mobius(ctx: RelationContext) -> Dict[str, object]:
+    """The GF(2) Moebius butterfly matches the submask-sum definition
+    and is an involution."""
+    from repro.kernels import mobius_f2_inplace
+
+    rng = ctx.rng()
+    cases = 0
+    for n in (0, 1, 4, 8):
+        values = rng.integers(0, 2, size=2**n).astype(np.uint8)
+        butterfly = mobius_f2_inplace(values.copy())
+        if not np.array_equal(butterfly, ref.naive_mobius_f2(values)):
+            raise ConformanceViolation(f"mobius_f2 differs at n={n}")
+        if not np.array_equal(mobius_f2_inplace(butterfly.copy()), values):
+            raise ConformanceViolation(f"mobius_f2 not an involution at n={n}")
+        cases += 1
+    return {"cases": cases}
+
+
+def _diff_parity_transform(ctx: RelationContext) -> Dict[str, object]:
+    """Vectorised cumprod parity transform equals the per-stage loops."""
+    from repro.pufs.arbiter import parity_transform
+
+    rng = ctx.rng()
+    cases = 0
+    for m, n in ((64, 16), (1, 1), (7, 3), (128, 48)):
+        c = _random_challenges(rng, m, n)
+        if not np.array_equal(parity_transform(c), ref.naive_parity_transform(c)):
+            raise ConformanceViolation(f"parity_transform differs at (m={m}, n={n})")
+        cases += 1
+    return {"cases": cases}
+
+
+# ----------------------------------------------------------------------
+# Interval-bounded (float-margin) paths
+# ----------------------------------------------------------------------
+def _diff_arbiter_response(ctx: RelationContext) -> Dict[str, object]:
+    """Arbiter margins/responses agree with the fsum reference path."""
+    from repro.pufs.arbiter import ArbiterPUF, parity_transform
+
+    rng = ctx.rng()
+    n = 48
+    weights = rng.normal(0.0, 1.0, size=n + 1)
+    puf = ArbiterPUF(n, weights=weights)
+    c = _random_challenges(ctx.rng(), ctx.samples(2_000, minimum=256), n)
+    scale = np.abs(parity_transform(c)) @ np.abs(weights)
+    return _compare_margins(
+        "arbiter",
+        puf.raw_margin(c),
+        ref.naive_arbiter_margin(weights, c),
+        puf.eval(c),
+        scale,
+    )
+
+
+def _diff_xor_response(ctx: RelationContext) -> Dict[str, object]:
+    """Per-chain XOR margins agree with the fsum reference; responses
+    match wherever every chain clears the guard band."""
+    from repro.pufs.arbiter import parity_transform
+    from repro.pufs.xor_arbiter import XORArbiterPUF
+
+    n, k = 32, 4
+    puf = XORArbiterPUF(n, k, ctx.rng())
+    c = _random_challenges(ctx.rng(), ctx.samples(1_500, minimum=256), n)
+    margins = puf.chain_margins(c)
+    phi_abs = np.abs(parity_transform(c))
+    guard_clear = np.ones(c.shape[0], dtype=bool)
+    details: Dict[str, object] = {"chains": k}
+    for idx, chain in enumerate(puf.chains):
+        reference = ref.naive_arbiter_margin(chain.weights, c)
+        scale = phi_abs @ np.abs(chain.weights)
+        chain_signs = np.where(margins[:, idx] >= 0, 1, -1).astype(np.int8)
+        sub = _compare_margins(
+            f"xor_chain[{idx}]", margins[:, idx], reference, chain_signs, scale
+        )
+        guard_clear &= np.abs(reference) > 1e-9 * np.maximum(scale, 1.0)
+        details[f"chain_{idx}_max_error"] = sub["max_margin_error"]
+    expected = ref.naive_xor_arbiter_response(
+        [chain.weights for chain in puf.chains], c
+    )
+    if not np.array_equal(puf.eval(c)[guard_clear], expected[guard_clear]):
+        raise ConformanceViolation("XOR responses differ outside the guard band")
+    details["guard_band_rows"] = int(np.sum(~guard_clear))
+    return details
+
+
+def _diff_br_margin(ctx: RelationContext) -> Dict[str, object]:
+    """Bistable Ring margins agree with the per-term fsum reference."""
+    from repro.pufs.bistable_ring import BistableRingPUF
+
+    n = 24
+    puf = BistableRingPUF(n, ctx.rng())
+    c = _random_challenges(ctx.rng(), ctx.samples(1_000, minimum=256), n)
+    reference = ref.naive_br_margin(
+        c,
+        puf.bias_terms,
+        puf.linear_weights,
+        puf.global_offset,
+        puf.pair_indices,
+        puf.pair_weights,
+        puf.triple_indices,
+        puf.triple_weights,
+    )
+    scale = np.full(
+        c.shape[0],
+        abs(puf.global_offset)
+        + float(np.sum(np.abs(puf.bias_terms)))
+        + float(np.sum(np.abs(puf.linear_weights)))
+        + float(np.sum(np.abs(puf.pair_weights)))
+        + float(np.sum(np.abs(puf.triple_weights))),
+    )
+    return _compare_margins(
+        "bistable_ring", puf.raw_margin(c), reference, puf.eval(c), scale
+    )
+
+
+def _diff_ltf_eval(ctx: RelationContext) -> Dict[str, object]:
+    """LTF margins and signs agree with the fsum reference evaluator."""
+    from repro.booleanfuncs.ltf import LTF
+
+    rng = ctx.rng()
+    n = 40
+    ltf = LTF(rng.normal(0.0, 1.0, size=n), threshold=rng.normal())
+    x = _random_challenges(ctx.rng(), ctx.samples(2_000, minimum=256), n)
+    reference = ref.naive_ltf_margin(ltf.weights, ltf.threshold, x)
+    scale = np.full(
+        x.shape[0], float(np.sum(np.abs(ltf.weights))) + abs(ltf.threshold)
+    )
+    return _compare_margins("ltf", ltf.margin(x), reference, ltf(x), scale)
+
+
+def differential_relations() -> List[Relation]:
+    """The registry of differential relations, in stable order."""
+    return [
+        Relation(
+            "diff_character_estimates",
+            "differential",
+            "character kernel coefficient estimates are bit-identical to "
+            "the per-subset reference loops",
+            _diff_character_estimates,
+        ),
+        Relation(
+            "diff_expansion_sign",
+            "differential",
+            "expansion evaluation and sign prediction are bit-identical "
+            "to the reference on dyadic spectra",
+            _diff_expansion_sign,
+        ),
+        Relation(
+            "diff_fwht",
+            "differential",
+            "in-place batched FWHT is bit-identical to the copying butterfly",
+            _diff_fwht,
+        ),
+        Relation(
+            "diff_mobius_f2",
+            "differential",
+            "GF(2) Moebius butterfly matches the submask-sum definition",
+            _diff_mobius,
+        ),
+        Relation(
+            "diff_parity_transform",
+            "differential",
+            "vectorised parity transform equals the per-stage loops",
+            _diff_parity_transform,
+        ),
+        Relation(
+            "diff_arbiter_response",
+            "differential",
+            "arbiter margins agree with the fsum reference within ulp bounds",
+            _diff_arbiter_response,
+        ),
+        Relation(
+            "diff_xor_response",
+            "differential",
+            "XOR arbiter chain margins and responses agree with the reference",
+            _diff_xor_response,
+        ),
+        Relation(
+            "diff_br_margin",
+            "differential",
+            "Bistable Ring margins agree with the per-term fsum reference",
+            _diff_br_margin,
+        ),
+        Relation(
+            "diff_ltf_eval",
+            "differential",
+            "LTF margins and signs agree with the fsum reference evaluator",
+            _diff_ltf_eval,
+        ),
+    ]

@@ -1,0 +1,456 @@
+"""Statistical oracles with explicit, accountable error probabilities.
+
+Every stochastic contract in this codebase — "the oracle flips labels at
+rate p", "uniform challenges are fair coins", "noise makes flip rates
+*rise*" — used to be asserted with a hand-tuned tolerance (a 4-sigma
+band, a magic ``< 0.02``).  Each such tolerance hides an unquantified
+false-failure probability, and the probabilities compound across the
+suite.  This module replaces them with interval checks whose
+false-failure probability is an explicit ``alpha`` argument, plus an
+:class:`ErrorBudget` that allocates a *family-wise* alpha across a whole
+test tier (Bonferroni), so the suite's total flake probability is a
+documented number (``<= 1e-6`` per CI run; derivation in
+``docs/TESTING.md``) instead of folklore.
+
+Two interval constructions are offered:
+
+* **Hoeffding** — distribution-free half-width ``sqrt(ln(2/alpha)/2m)``.
+  Conservative but closed-form; used for two-sample comparisons where
+  the exact construction has no clean analogue.
+* **Clopper-Pearson** — the exact binomial interval via Beta quantiles.
+  Tighter for small m or extreme p; the default for one-sample checks.
+
+Check semantics (all guarantee false-failure probability ``<= alpha``
+*when the claimed property is true*):
+
+* :func:`check_bernoulli` — the true rate *is* ``p``: fail iff ``p``
+  falls outside the confidence interval.
+* :func:`check_within` / ``check_at_most`` / ``check_at_least`` — the
+  true rate lies in ``[lo, hi]``: fail iff the interval and the claimed
+  band are disjoint.
+* :func:`check_two_sample_equal` / :func:`check_two_sample_less` —
+  two independent Bernoulli samples have equal (resp. ordered) rates:
+  fail iff the Hoeffding intervals separate the wrong way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class BudgetExceeded(RuntimeError):
+    """Registering a check would push the family-wise alpha past its cap."""
+
+
+class BudgetConflict(RuntimeError):
+    """A check name was re-registered with a *different* alpha.
+
+    Re-registration with the same alpha is legal and idempotent — that is
+    exactly what happens when a failed run is resumed or a test is
+    retried — but silently changing a registered alpha would invalidate
+    the family-wise accounting, so it fails loudly.
+    """
+
+
+# ----------------------------------------------------------------------
+# Interval constructions
+# ----------------------------------------------------------------------
+def hoeffding_halfwidth(trials: int, alpha: float) -> float:
+    """Two-sided Hoeffding half-width: ``sqrt(ln(2/alpha) / (2 m))``.
+
+    ``P(|p_hat - p| >= t) <= 2 exp(-2 m t^2) = alpha`` solved for t.
+    """
+    _check_alpha(alpha)
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    return math.sqrt(math.log(2.0 / alpha) / (2.0 * trials))
+
+
+def hoeffding_interval(
+    successes: int, trials: int, alpha: float
+) -> Tuple[float, float]:
+    """Two-sided Hoeffding confidence interval for a Bernoulli rate."""
+    p_hat = _check_counts(successes, trials)
+    t = hoeffding_halfwidth(trials, alpha)
+    return (max(0.0, p_hat - t), min(1.0, p_hat + t))
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, alpha: float
+) -> Tuple[float, float]:
+    """Exact (Clopper-Pearson) two-sided binomial confidence interval.
+
+    Endpoints are Beta quantiles: ``lo = Beta(alpha/2; k, m-k+1)`` and
+    ``hi = Beta(1-alpha/2; k+1, m-k)``, with the conventional closed ends
+    at k=0 and k=m.  Coverage is *at least* ``1 - alpha`` for every true
+    p — the construction is conservative, never anti-conservative.
+    """
+    _check_counts(successes, trials)
+    _check_alpha(alpha)
+    from scipy import stats
+
+    k, m = successes, trials
+    lo = 0.0 if k == 0 else float(stats.beta.ppf(alpha / 2.0, k, m - k + 1))
+    hi = 1.0 if k == m else float(stats.beta.ppf(1.0 - alpha / 2.0, k + 1, m - k))
+    return (lo, hi)
+
+
+def binomial_pvalue(successes: int, trials: int, p: float) -> float:
+    """Exact two-sided binomial p-value for H0: rate == p."""
+    _check_counts(successes, trials)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    from scipy import stats
+
+    return float(stats.binomtest(successes, trials, p).pvalue)
+
+
+# ----------------------------------------------------------------------
+# Check results
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CheckResult:
+    """Outcome of one statistical check, with its full audit trail."""
+
+    name: str  #: what was checked (shown in failure messages and reports)
+    passed: bool  #: True unless the data refutes the claimed property
+    alpha: float  #: the check's false-failure probability when the claim holds
+    method: str  #: interval construction ("clopper-pearson" / "hoeffding")
+    claim: str  #: the stochastic contract being asserted, human-readable
+    estimate: float  #: the observed rate (or rate difference)
+    interval: Tuple[float, float]  #: the confidence interval used
+    successes: int = 0  #: observed success count
+    trials: int = 0  #: sample size
+    p_value: Optional[float] = None  #: exact p-value where computable
+
+    def message(self) -> str:
+        """One-line verdict suitable for an assertion message."""
+        lo, hi = self.interval
+        verdict = "ok" if self.passed else "VIOLATED"
+        return (
+            f"[{verdict}] {self.name}: {self.claim}; observed "
+            f"{self.successes}/{self.trials} = {self.estimate:.5f}, "
+            f"{self.method} CI({self.alpha:.2e}) = [{lo:.5f}, {hi:.5f}]"
+            + (f", p-value {self.p_value:.3e}" if self.p_value is not None else "")
+        )
+
+    def require(self) -> "CheckResult":
+        """Raise ``AssertionError`` with the audit trail unless passed."""
+        if not self.passed:
+            raise AssertionError(self.message())
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form for ledger records."""
+        payload = dataclasses.asdict(self)
+        payload["interval"] = list(self.interval)
+        return payload
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+
+
+def _check_counts(successes: int, trials: int) -> float:
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    return successes / trials
+
+
+def _interval(
+    successes: int, trials: int, alpha: float, method: str
+) -> Tuple[float, float]:
+    if method == "clopper-pearson":
+        return clopper_pearson_interval(successes, trials, alpha)
+    if method == "hoeffding":
+        return hoeffding_interval(successes, trials, alpha)
+    raise ValueError(f"unknown interval method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# One-sample checks
+# ----------------------------------------------------------------------
+def check_bernoulli(
+    successes: int,
+    trials: int,
+    p: float,
+    alpha: float,
+    name: str = "bernoulli",
+    method: str = "clopper-pearson",
+) -> CheckResult:
+    """Check that the true success rate is exactly ``p``.
+
+    Fails iff ``p`` lies outside the two-sided confidence interval, so
+    when the rate really is ``p`` the failure probability is ``<= alpha``
+    (exactly the interval's non-coverage probability).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    lo, hi = _interval(successes, trials, alpha, method)
+    return CheckResult(
+        name=name,
+        passed=lo <= p <= hi,
+        alpha=alpha,
+        method=method,
+        claim=f"true rate == {p:g}",
+        estimate=successes / trials,
+        interval=(lo, hi),
+        successes=successes,
+        trials=trials,
+        p_value=binomial_pvalue(successes, trials, p),
+    )
+
+
+def check_within(
+    successes: int,
+    trials: int,
+    lo_bound: float,
+    hi_bound: float,
+    alpha: float,
+    name: str = "within",
+    method: str = "clopper-pearson",
+) -> CheckResult:
+    """Check that the true rate lies in ``[lo_bound, hi_bound]``.
+
+    Fails iff the confidence interval is disjoint from the claimed band;
+    when the true rate is inside the band, the interval covers it with
+    probability ``>= 1 - alpha`` and therefore intersects the band, so
+    false failures have probability ``<= alpha``.
+    """
+    if not 0.0 <= lo_bound <= hi_bound <= 1.0:
+        raise ValueError(f"need 0 <= lo <= hi <= 1, got [{lo_bound}, {hi_bound}]")
+    lo, hi = _interval(successes, trials, alpha, method)
+    return CheckResult(
+        name=name,
+        passed=not (hi < lo_bound or lo > hi_bound),
+        alpha=alpha,
+        method=method,
+        claim=f"true rate in [{lo_bound:g}, {hi_bound:g}]",
+        estimate=successes / trials,
+        interval=(lo, hi),
+        successes=successes,
+        trials=trials,
+    )
+
+
+def check_at_most(
+    successes: int,
+    trials: int,
+    bound: float,
+    alpha: float,
+    name: str = "at_most",
+    method: str = "clopper-pearson",
+) -> CheckResult:
+    """Check that the true rate is ``<= bound`` (one-sided band)."""
+    return dataclasses.replace(
+        check_within(successes, trials, 0.0, bound, alpha, name, method),
+        claim=f"true rate <= {bound:g}",
+    )
+
+
+def check_at_least(
+    successes: int,
+    trials: int,
+    bound: float,
+    alpha: float,
+    name: str = "at_least",
+    method: str = "clopper-pearson",
+) -> CheckResult:
+    """Check that the true rate is ``>= bound`` (one-sided band)."""
+    return dataclasses.replace(
+        check_within(successes, trials, bound, 1.0, alpha, name, method),
+        claim=f"true rate >= {bound:g}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Two-sample checks (Hoeffding; distribution-free)
+# ----------------------------------------------------------------------
+def check_two_sample_equal(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    alpha: float,
+    name: str = "two_sample_equal",
+) -> CheckResult:
+    """Check that two independent Bernoulli samples share one true rate.
+
+    Splits alpha across the two samples (alpha/2 each); with probability
+    ``>= 1 - alpha`` both empirical rates are within their Hoeffding
+    half-widths of the (common) truth, so the check — fail iff
+    ``|p_hat_a - p_hat_b|`` exceeds the summed half-widths — has
+    false-failure probability ``<= alpha``.
+    """
+    pa = _check_counts(successes_a, trials_a)
+    pb = _check_counts(successes_b, trials_b)
+    ta = hoeffding_halfwidth(trials_a, alpha / 2.0)
+    tb = hoeffding_halfwidth(trials_b, alpha / 2.0)
+    diff = pa - pb
+    return CheckResult(
+        name=name,
+        passed=abs(diff) <= ta + tb,
+        alpha=alpha,
+        method="hoeffding",
+        claim="true rates equal",
+        estimate=diff,
+        interval=(-(ta + tb), ta + tb),
+        successes=successes_a + successes_b,
+        trials=trials_a + trials_b,
+    )
+
+
+def check_two_sample_less(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    alpha: float,
+    name: str = "two_sample_less",
+) -> CheckResult:
+    """Check the ordering ``rate_a <= rate_b`` across two samples.
+
+    One-sided Hoeffding bounds at alpha/2 each: under ``p_a <= p_b`` the
+    event ``p_hat_a - t_a > p_hat_b + t_b`` requires one of the two
+    one-sided deviations, so false failures have probability ``<= alpha``.
+    """
+    pa = _check_counts(successes_a, trials_a)
+    pb = _check_counts(successes_b, trials_b)
+    # One-sided half-widths: P(p_hat - p >= t) <= exp(-2 m t^2) = alpha/2.
+    ta = math.sqrt(math.log(2.0 / alpha) / (2.0 * trials_a))
+    tb = math.sqrt(math.log(2.0 / alpha) / (2.0 * trials_b))
+    diff = pa - pb
+    return CheckResult(
+        name=name,
+        passed=diff <= ta + tb,
+        alpha=alpha,
+        method="hoeffding",
+        claim="true rate_a <= rate_b",
+        estimate=diff,
+        interval=(-1.0, ta + tb),
+        successes=successes_a + successes_b,
+        trials=trials_a + trials_b,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family-wise error budget
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class Registration:
+    """One named alpha allocation inside an :class:`ErrorBudget`."""
+
+    name: str  #: unique key (test nodeid or relation name)
+    alpha: float  #: this check's false-failure probability
+    count: int = 1  #: how many times the name was (re-)registered
+
+
+class ErrorBudget:
+    """Bonferroni allocator for a suite-level family-wise error bound.
+
+    Every statistical check registers ``(name, alpha)`` before running;
+    the union bound guarantees the probability of *any* false failure in
+    the family is at most the sum of registered alphas, which this class
+    caps at ``total``.  Registration is **idempotent per name**: a
+    resumed run or retried test re-registers the same (name, alpha) pair
+    without double-counting — the regression the runtime-resume tests pin
+    — while re-registering a name with a *different* alpha raises
+    :class:`BudgetConflict`.
+    """
+
+    def __init__(self, total: float = 1e-6) -> None:
+        _check_alpha(total)
+        self.total = float(total)
+        self._registrations: Dict[str, Registration] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def registrations(self) -> Dict[str, Registration]:
+        """Read-only view of the named allocations."""
+        return dict(self._registrations)
+
+    def spent(self) -> float:
+        """Sum of registered alphas (the family-wise bound so far)."""
+        return sum(r.alpha for r in self._registrations.values())
+
+    def remaining(self) -> float:
+        """Unallocated family-wise probability mass."""
+        return self.total - self.spent()
+
+    def split(self, count: int) -> float:
+        """An even Bonferroni share: ``remaining() / count``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return self.remaining() / count
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, alpha: float) -> float:
+        """Allocate ``alpha`` to ``name``; idempotent per name.
+
+        Returns the registered alpha.  Raises :class:`BudgetConflict` if
+        ``name`` already holds a different alpha and
+        :class:`BudgetExceeded` if a *new* registration would push the
+        family-wise total past the cap.
+        """
+        _check_alpha(alpha)
+        existing = self._registrations.get(name)
+        if existing is not None:
+            if not math.isclose(existing.alpha, alpha, rel_tol=1e-12):
+                raise BudgetConflict(
+                    f"{name!r} already registered with alpha={existing.alpha:g}, "
+                    f"cannot re-register with alpha={alpha:g}"
+                )
+            existing.count += 1
+            return existing.alpha
+        if self.spent() + alpha > self.total * (1.0 + 1e-12):
+            raise BudgetExceeded(
+                f"registering {name!r} at alpha={alpha:g} would spend "
+                f"{self.spent() + alpha:g} of the {self.total:g} family-wise budget"
+            )
+        self._registrations[name] = Registration(name=name, alpha=alpha)
+        return alpha
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable accounting of the whole family."""
+        return {
+            "total": self.total,
+            "spent": self.spent(),
+            "remaining": self.remaining(),
+            "checks": len(self._registrations),
+            "registrations": {
+                r.name: {"alpha": r.alpha, "count": r.count}
+                for r in self._registrations.values()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorBudget(total={self.total:g}, spent={self.spent():g}, "
+            f"checks={len(self._registrations)})"
+        )
+
+
+def holm_rejections(pvalues: Dict[str, float], alpha: float) -> Dict[str, bool]:
+    """Holm step-down: which hypotheses to reject at family-wise ``alpha``.
+
+    Strictly more powerful than plain Bonferroni at the same family-wise
+    error rate; used by the suite report to flag which *violations* are
+    family-significant (the pass/fail decision itself stays with the
+    pre-allocated Bonferroni alphas, which need no p-values).
+    """
+    _check_alpha(alpha)
+    ordered: List[Tuple[str, float]] = sorted(pvalues.items(), key=lambda kv: kv[1])
+    rejected: Dict[str, bool] = {name: False for name in pvalues}
+    m = len(ordered)
+    for rank, (name, p) in enumerate(ordered):
+        if p <= alpha / (m - rank):
+            rejected[name] = True
+        else:
+            break  # step-down stops at the first acceptance
+    return rejected

@@ -1,0 +1,229 @@
+"""Pytest integration for the conformance oracles.
+
+Loaded via ``pytest_plugins = ["repro.conformance.pytest_plugin"]`` in
+``tests/conftest.py``, this plugin gives the statistical test tier three
+things:
+
+* an ``@statistical_test(alpha=...)`` marker that declares a test's
+  false-failure probability and registers it — by nodeid, idempotently —
+  with one session-wide :class:`~repro.conformance.oracles.ErrorBudget`
+  whose cap is the ini option ``conformance_family_alpha`` (default
+  1e-6, matching docs/TESTING.md);
+* a ``stat`` fixture: a :class:`StatContext` bound to the test's
+  registered alpha, with ``stat.check(...)`` routing through the oracle
+  constructors and ``stat.rng(label)`` capturing every numpy seed the
+  test draws;
+* failure forensics: when a statistical test fails, its report grows a
+  ``conformance seeds`` section with copy-pasteable ``SeedSequence``
+  reconstruction lines, and the terminal summary prints the family-wise
+  alpha accounting for the whole run.
+
+A test that requests ``stat`` without the marker fails collection-time
+semantics loudly (errors in the fixture), so nobody consumes family
+budget implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.conformance import oracles as orc
+from repro.conformance.seeds import SeedRegistry
+from repro.runtime.seeding import SeedLike
+
+#: Marker name; ``@statistical_test(alpha=...)`` is sugar for it.
+MARKER = "statistical"
+
+#: Default family-wise false-failure probability per pytest run.
+DEFAULT_FAMILY_ALPHA = 1e-6
+
+#: Per-test default when the marker gives no alpha: 1/50th of the family
+#: cap, leaving headroom for ~50 statistical tests per run.
+DEFAULT_TEST_ALPHA = 2e-8
+
+
+def statistical_test(alpha: float = DEFAULT_TEST_ALPHA):
+    """Decorator declaring a statistical test and its alpha.
+
+    ``@statistical_test(alpha=2e-8)`` is ``@pytest.mark.statistical(
+    alpha=2e-8)`` with the conformance default spelled out; the plugin
+    registers the alpha against the session budget before the test runs.
+    For a hypothesis-driven test the declared alpha must cover *all*
+    examples the strategy draws (split it across max_examples inside the
+    test body when each example performs its own check).
+    """
+    return pytest.mark.statistical(alpha=alpha)
+
+
+class StatContext:
+    """Per-test statistical context: alpha, seed capture, check routing."""
+
+    def __init__(self, nodeid: str, alpha: float) -> None:
+        self.nodeid = nodeid
+        self.alpha = float(alpha)
+        self.seeds = SeedRegistry()
+        self.results: List[orc.CheckResult] = []
+        self._alpha_spent = 0.0
+
+    # -- seeding -------------------------------------------------------
+    def rng(self, label: str, seed: SeedLike):
+        """A Generator whose exact seed is captured for failure output."""
+        return self.seeds.rng(label, seed)
+
+    def capture(self, label: str, seed: SeedLike):
+        """Record a seed used indirectly (e.g. handed to an oracle)."""
+        return self.seeds.capture(label, seed)
+
+    # -- alpha accounting ----------------------------------------------
+    def split_alpha(self, parts: int) -> float:
+        """An even share of this test's alpha for one of ``parts`` checks."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        return self.alpha / parts
+
+    def check(self, result: orc.CheckResult) -> orc.CheckResult:
+        """Record a check, enforce the test's alpha ledger, and assert it."""
+        self._alpha_spent += result.alpha
+        if self._alpha_spent > self.alpha * (1.0 + 1e-12):
+            raise RuntimeError(
+                f"{self.nodeid} overspent its declared alpha: "
+                f"{self._alpha_spent:g} > {self.alpha:g} — raise the marker "
+                "alpha or split it across fewer checks"
+            )
+        self.results.append(result)
+        return result.require()
+
+    # -- sugar over the oracle constructors ----------------------------
+    def check_bernoulli(self, successes, trials, p, **kw) -> orc.CheckResult:
+        """Assert the true rate is ``p`` at this test's (split) alpha."""
+        kw.setdefault("alpha", self.alpha)
+        return self.check(orc.check_bernoulli(successes, trials, p, **kw))
+
+    def check_within(self, successes, trials, lo, hi, **kw) -> orc.CheckResult:
+        """Assert the true rate lies in ``[lo, hi]``."""
+        kw.setdefault("alpha", self.alpha)
+        return self.check(orc.check_within(successes, trials, lo, hi, **kw))
+
+    def check_at_most(self, successes, trials, bound, **kw) -> orc.CheckResult:
+        """Assert the true rate is at most ``bound``."""
+        kw.setdefault("alpha", self.alpha)
+        return self.check(orc.check_at_most(successes, trials, bound, **kw))
+
+    def check_at_least(self, successes, trials, bound, **kw) -> orc.CheckResult:
+        """Assert the true rate is at least ``bound``."""
+        kw.setdefault("alpha", self.alpha)
+        return self.check(orc.check_at_least(successes, trials, bound, **kw))
+
+    def check_two_sample_less(self, sa, ma, sb, mb, **kw) -> orc.CheckResult:
+        """Assert ``rate_a <= rate_b`` across two independent samples."""
+        kw.setdefault("alpha", self.alpha)
+        return self.check(orc.check_two_sample_less(sa, ma, sb, mb, **kw))
+
+    def check_two_sample_equal(self, sa, ma, sb, mb, **kw) -> orc.CheckResult:
+        """Assert two independent samples share one true rate."""
+        kw.setdefault("alpha", self.alpha)
+        return self.check(orc.check_two_sample_equal(sa, ma, sb, mb, **kw))
+
+
+# ----------------------------------------------------------------------
+# Plugin hooks
+# ----------------------------------------------------------------------
+def pytest_addoption(parser) -> None:
+    """Register the family-wise alpha ini option."""
+    parser.addini(
+        "conformance_family_alpha",
+        help="family-wise false-failure probability cap for one pytest run "
+        "(all @statistical_test alphas must sum below it)",
+        default=str(DEFAULT_FAMILY_ALPHA),
+    )
+
+
+def pytest_configure(config) -> None:
+    """Create the session budget and document the marker."""
+    config.addinivalue_line(
+        "markers",
+        "statistical(alpha): statistical test whose false-failure "
+        "probability is alpha; registered with the session-wide "
+        "conformance ErrorBudget",
+    )
+    total = float(config.getini("conformance_family_alpha"))
+    config._conformance_budget = orc.ErrorBudget(total=total)
+
+
+def _marker_alpha(item) -> Optional[float]:
+    marker = item.get_closest_marker(MARKER)
+    if marker is None:
+        return None
+    return float(marker.kwargs.get("alpha", DEFAULT_TEST_ALPHA))
+
+
+def pytest_runtest_setup(item) -> None:
+    """Register every marked test's alpha before it runs.
+
+    Registration is keyed by nodeid and idempotent, so reruns (pytest
+    ``--lf``, flaky-retry plugins) never double-charge the family budget,
+    while two tests can never silently share one allocation.  Hypothesis
+    tests therefore need only the marker, not the ``stat`` fixture — the
+    budget sees them either way.
+    """
+    alpha = _marker_alpha(item)
+    if alpha is None:
+        return
+    budget: orc.ErrorBudget = item.config._conformance_budget
+    budget.register(item.nodeid, alpha)
+
+
+@pytest.fixture
+def stat(request) -> StatContext:
+    """The statistical context for a ``@statistical_test`` item."""
+    alpha = _marker_alpha(request.node)
+    if alpha is None:
+        raise RuntimeError(
+            "the `stat` fixture requires the @statistical_test(alpha=...) "
+            "marker — statistical checks must declare their alpha so the "
+            "family-wise budget stays accountable"
+        )
+    budget: orc.ErrorBudget = request.config._conformance_budget
+    registered = budget.register(request.node.nodeid, alpha)
+    ctx = StatContext(request.node.nodeid, registered)
+    request.node._conformance_stat = ctx
+    return ctx
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach the seed-reproduction recipe to failing statistical tests."""
+    outcome = yield
+    report = outcome.get_result()
+    ctx: Optional[StatContext] = getattr(item, "_conformance_stat", None)
+    if ctx is None or report.when != "call" or not report.failed:
+        return
+    lines = [f"declared alpha: {ctx.alpha:g}"]
+    if ctx.results:
+        lines.append("checks:")
+        lines.extend(f"  {r.message()}" for r in ctx.results)
+    lines.append("seeds:")
+    lines.append(
+        "  " + ctx.seeds.report().replace("\n", "\n  ")
+        if len(ctx.seeds)
+        else "  (no seeds captured)"
+    )
+    report.sections.append(("conformance seeds", "\n".join(lines)))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    """Print the family-wise alpha accounting for the run."""
+    budget: Optional[orc.ErrorBudget] = getattr(
+        config, "_conformance_budget", None
+    )
+    if budget is None or not budget.registrations:
+        return
+    summary: Dict[str, object] = budget.summary()
+    terminalreporter.write_sep("-", "conformance error budget")
+    terminalreporter.write_line(
+        f"statistical tests: {summary['checks']}; family-wise alpha spent "
+        f"{summary['spent']:.3e} of {summary['total']:.1e} "
+        f"({summary['remaining']:.3e} unallocated)"
+    )

@@ -1,0 +1,95 @@
+"""Seed capture: make every stochastic failure reproducible by hand.
+
+Hypothesis shrinks and replays its *own* draws, but the PUFs and oracles
+in this codebase are seeded through ``numpy.random.SeedSequence`` — when
+a property fails, the hypothesis database remembers the strategy inputs,
+not the numpy entropy, so a failure seen in CI could not be replayed in
+a plain REPL.  These helpers close that gap: every statistical test and
+conformance relation records the exact ``SeedSequence`` identity it
+used, and failure output prints a copy-pasteable reconstruction line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.seeding import SeedLike, as_seed_sequence
+
+
+def seed_identity(seed: SeedLike) -> Dict[str, object]:
+    """The (entropy, spawn_key) pair that fully determines a SeedSequence."""
+    ss = as_seed_sequence(seed)
+    return {"entropy": ss.entropy, "spawn_key": list(ss.spawn_key)}
+
+
+def format_seed(seed: SeedLike) -> str:
+    """A copy-pasteable ``SeedSequence`` reconstruction expression."""
+    ss = as_seed_sequence(seed)
+    if ss.spawn_key:
+        return (
+            f"np.random.SeedSequence({ss.entropy!r}, "
+            f"spawn_key={tuple(ss.spawn_key)!r})"
+        )
+    return f"np.random.SeedSequence({ss.entropy!r})"
+
+
+def reproduction_line(label: str, seed: SeedLike) -> str:
+    """One human-readable line tying a label to its exact seed."""
+    return f"{label}: rng = np.random.default_rng({format_seed(seed)})"
+
+
+def note_seed(label: str, seed: SeedLike) -> str:
+    """Record a seed so a failing test prints how to rebuild its rng.
+
+    Inside a hypothesis-driven test the line goes through
+    ``hypothesis.note`` (printed with the falsifying example); elsewhere
+    it is simply returned for the caller to embed in an assertion
+    message.  Always returns the formatted line.
+    """
+    line = reproduction_line(label, seed)
+    try:  # hypothesis is a test-only dependency; never required at runtime
+        from hypothesis import note
+        from hypothesis.errors import InvalidArgument
+
+        try:
+            note(line)
+        except InvalidArgument:
+            pass  # not inside a hypothesis test — nothing to attach to
+    except ImportError:
+        pass
+    return line
+
+
+class SeedRegistry:
+    """Ordered record of every seed a test touched, for failure reports."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[str, np.random.SeedSequence]] = []
+
+    def capture(self, label: str, seed: SeedLike) -> np.random.SeedSequence:
+        """Record ``seed`` under ``label`` and return it as a SeedSequence."""
+        ss = as_seed_sequence(seed)
+        self._entries.append((label, ss))
+        return ss
+
+    def rng(self, label: str, seed: SeedLike) -> np.random.Generator:
+        """Record the seed and hand back a Generator built from it."""
+        return np.random.default_rng(self.capture(label, seed))
+
+    @property
+    def entries(self) -> List[Tuple[str, np.random.SeedSequence]]:
+        """All captured (label, SeedSequence) pairs, in capture order."""
+        return list(self._entries)
+
+    def report(self) -> str:
+        """Multi-line reproduction recipe for every captured seed."""
+        if not self._entries:
+            return "(no seeds captured)"
+        return "\n".join(
+            reproduction_line(label, ss) for label, ss in self._entries
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

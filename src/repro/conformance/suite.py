@@ -1,0 +1,167 @@
+"""The conformance suite runner: enumerate, seed, budget, report.
+
+``run_suite`` is the single entry point behind ``python -m repro
+conformance`` and the conformance tests: it takes the relation registry
+(differential harnesses first, then metamorphic relations), fans the
+master ``SeedSequence`` out into one child per relation (so any single
+relation can be replayed in isolation from its printed seed identity),
+registers every *statistical* relation with a family-wise
+:class:`~repro.conformance.oracles.ErrorBudget`, runs each relation,
+and writes one JSONL record per relation through the telemetry
+:class:`~repro.telemetry.ledger.RunLedger`.
+
+Error accounting: the family budget (default 1e-6 per suite run) is
+split evenly across the statistical relations *by registered name* —
+registration is idempotent, so re-running the suite over an existing
+ledger (resume) cannot double-charge the budget.  Deterministic
+relations assert exact facts and consume no alpha; the suite's total
+false-failure probability is therefore exactly the family alpha, by the
+union bound over the per-relation allocations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.conformance.differential import differential_relations
+from repro.conformance.oracles import ErrorBudget
+from repro.conformance.relations import Relation, RelationContext, RelationReport
+from repro.conformance.seeds import seed_identity
+from repro.runtime.seeding import SeedLike, as_seed_sequence
+from repro.telemetry.ledger import RunLedger
+
+#: The documented family-wise false-failure probability per suite run.
+DEFAULT_FAMILY_ALPHA = 1e-6
+
+
+def all_relations() -> List[Relation]:
+    """Differential harnesses first, then metamorphic relations."""
+    from repro.conformance.relations import metamorphic_relations
+
+    return differential_relations() + metamorphic_relations()
+
+
+def relation_seed(master: SeedLike, index: int) -> np.random.SeedSequence:
+    """Child seed for relation ``index``: master fan-out, position-stable.
+
+    Seeds are keyed by registry *position* so that replaying relation i
+    needs only the master entropy and the index — the identity each
+    report records.
+    """
+    ss = as_seed_sequence(master)
+    return np.random.SeedSequence(
+        ss.entropy, spawn_key=tuple(ss.spawn_key) + (index,)
+    )
+
+
+@dataclasses.dataclass
+class SuiteReport:
+    """Aggregate outcome of one conformance suite run."""
+
+    reports: List[RelationReport]
+    family_alpha: float
+    master_seed: Dict[str, object]
+    scale: float
+
+    @property
+    def passed(self) -> bool:
+        """True iff every relation held."""
+        return all(r.passed for r in self.reports)
+
+    @property
+    def violations(self) -> List[RelationReport]:
+        """The failing relations, in registry order."""
+        return [r for r in self.reports if not r.passed]
+
+    @property
+    def num_statistical(self) -> int:
+        """How many relations carried a share of the family alpha."""
+        return sum(1 for r in self.reports if r.alpha > 0.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Summary record (the ledger's ``meta.json`` payload)."""
+        return {
+            "family_alpha": self.family_alpha,
+            "master_seed": self.master_seed,
+            "num_relations": len(self.reports),
+            "num_statistical": self.num_statistical,
+            "num_violations": len(self.violations),
+            "passed": self.passed,
+            "scale": self.scale,
+        }
+
+
+def run_suite(
+    relations: Optional[Sequence[Relation]] = None,
+    master_seed: SeedLike = 0,
+    family_alpha: float = DEFAULT_FAMILY_ALPHA,
+    ledger: Optional[RunLedger] = None,
+    budget: Optional[ErrorBudget] = None,
+    scale: float = 1.0,
+) -> SuiteReport:
+    """Run the conformance relations and return the aggregate report.
+
+    Parameters
+    ----------
+    relations:
+        Relations to run; defaults to the full registry (differential
+        then metamorphic).  Order determines each relation's seed.
+    master_seed:
+        Entropy for the suite-level seed fan-out.  Every relation's
+        exact child seed is recorded in its report.
+    family_alpha:
+        Total false-failure probability for the whole run, split evenly
+        across the statistical relations.
+    ledger:
+        When given, one JSONL record is appended per relation as it
+        completes (crash-safe, like trial runs) and the suite summary
+        is written to ``meta.json`` at the end.
+    budget:
+        The family :class:`ErrorBudget` to register against.  Passing
+        an existing budget (e.g. across a resume) exercises the
+        idempotent-registration guarantee: each relation name registers
+        its alpha exactly once no matter how many times the suite runs.
+    scale:
+        Sample-size multiplier forwarded to every
+        :class:`RelationContext` (the ``--smoke`` tier runs at 0.1).
+    """
+    if relations is None:
+        relations = all_relations()
+    names = [r.name for r in relations]
+    if len(set(names)) != len(names):
+        raise ValueError("relation names must be unique")
+    budget = ErrorBudget(total=family_alpha) if budget is None else budget
+    num_statistical = sum(1 for r in relations if r.statistical)
+    per_relation = family_alpha / num_statistical if num_statistical else 0.0
+
+    master = as_seed_sequence(master_seed)
+    reports: List[RelationReport] = []
+    for index, relation in enumerate(relations):
+        alpha = 0.0
+        if relation.statistical:
+            alpha = budget.register(relation.name, per_relation)
+        ctx = RelationContext(
+            relation_seed(master, index), alpha=alpha, scale=scale
+        )
+        report = relation.run(ctx)
+        reports.append(report)
+        if ledger is not None:
+            record = report.as_dict()
+            record["index"] = index
+            ledger.append(record)
+
+    suite = SuiteReport(
+        reports=reports,
+        family_alpha=family_alpha,
+        master_seed=seed_identity(master),
+        scale=scale,
+    )
+    if ledger is not None:
+        meta = suite.as_dict()
+        meta["kind"] = "conformance"
+        meta["budget"] = budget.summary()
+        ledger.write_meta(meta)
+    return suite

@@ -1,17 +1,32 @@
-"""Frozen per-subset reference loops, kept for equivalence and benchmarks.
+"""Frozen pure-python/numpy reference paths, kept for equivalence checks.
 
-These are the historical implementations the character kernel replaced:
-one Python-level iteration per subset, each calling ``np.prod`` over a
-gathered column slice.  They are deliberately *not* used by any learner —
-they exist so the property tests can assert the kernel is bit-identical
-to the old behaviour, and so ``benchmarks/test_kernel_speedup.py`` can
-time old-path vs kernel-path on the same data.
+Two families live here:
 
-Do not optimise these.  Their slowness is the baseline being measured.
+* the historical per-subset loops the character kernel replaced (one
+  Python-level iteration per subset, each calling ``np.prod`` over a
+  gathered column slice), kept so the property tests can assert the
+  kernel is bit-identical to the old behaviour and so
+  ``benchmarks/test_kernel_speedup.py`` can time old-path vs kernel-path
+  on the same data;
+* independent re-implementations of the PUF response paths (parity
+  transform, arbiter/XOR/BR margins, LTF margins) and the GF(2) Moebius
+  butterfly, written as transparent per-row loops with ``math.fsum``
+  accumulation, which the :mod:`repro.conformance` differential
+  harnesses drive against the optimised production paths on shared
+  seeded inputs.
+
+Do not optimise these.  Their slowness *is* the point: a reference must
+stay simple enough to audit by eye.  Integer-valued paths (characters,
+FWHT on +/-1 tables, Moebius, parity transform) must agree with the
+production code bit for bit; float-margin paths use ``math.fsum`` —
+correctly-rounded summation — so the production result must land within
+a few ulp-scale tolerances of the reference, with sign agreement
+guaranteed outside a tolerance-sized guard band around zero.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -83,3 +98,147 @@ def naive_walsh_hadamard(values: np.ndarray) -> np.ndarray:
         v = v.reshape(m)
         h *= 2
     return v / m
+
+
+def naive_mobius_f2(values: np.ndarray) -> np.ndarray:
+    """Textbook GF(2) Moebius transform: per-subset submask XOR sums.
+
+    Entry ``s`` of the output is the XOR of input entries over all
+    bitwise submasks of ``s`` — the definition, evaluated directly with
+    a per-subset Python loop over submasks (``O(3^n)`` total), against
+    which the in-place butterfly ``mobius_f2_inplace`` is verified.
+    Input and output are 0/1 integer arrays over one length-``2^n`` axis.
+    """
+    v = np.asarray(values)
+    m = v.size
+    if m == 0 or m & (m - 1):
+        raise ValueError("input length must be a power of two")
+    flat = [int(x) & 1 for x in v.reshape(m)]
+    out = np.zeros(m, dtype=v.dtype)
+    for s in range(m):
+        acc = 0
+        sub = s
+        while True:  # enumerate submasks of s, descending
+            acc ^= flat[sub]
+            if sub == 0:
+                break
+            sub = (sub - 1) & s
+        out[s] = acc
+    return out.reshape(v.shape)
+
+
+# ----------------------------------------------------------------------
+# PUF response reference paths (driven by repro.conformance.differential)
+# ----------------------------------------------------------------------
+def naive_parity_transform(challenges: np.ndarray) -> np.ndarray:
+    """Per-row, per-stage arbiter feature map ``phi_i = prod_{j>=i} c_j``.
+
+    Integer products of +/-1 entries, so the result is exact and must be
+    bit-identical to the vectorised ``pufs.arbiter.parity_transform``.
+    """
+    challenges = np.asarray(challenges)
+    if challenges.ndim == 1:
+        challenges = challenges[None, :]
+    m, n = challenges.shape
+    phi = np.ones((m, n + 1), dtype=np.float64)
+    for row in range(m):
+        for i in range(n):
+            prod = 1
+            for j in range(i, n):
+                prod *= int(challenges[row, j])
+            phi[row, i] = float(prod)
+    return phi
+
+
+def naive_linear_margin(features: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Per-row correctly-rounded dot products via ``math.fsum``.
+
+    The reference accumulator for every float-margin path: each row's
+    margin is the exactly-rounded sum of the per-coordinate products, so
+    any production dot product (BLAS gemv/gemm, fused or not) must agree
+    to a few ulps of the row scale.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    return np.array(
+        [
+            math.fsum(float(f) * float(w) for f, w in zip(row, weights))
+            for row in features
+        ]
+    )
+
+
+def naive_arbiter_margin(weights: np.ndarray, challenges: np.ndarray) -> np.ndarray:
+    """Reference arbiter delay margin: fsum over parity-transformed stages."""
+    return naive_linear_margin(naive_parity_transform(challenges), weights)
+
+
+def naive_arbiter_response(weights: np.ndarray, challenges: np.ndarray) -> np.ndarray:
+    """Reference arbiter response: sign of the fsum margin, ties to +1."""
+    margin = naive_arbiter_margin(weights, challenges)
+    return np.where(margin >= 0, 1, -1).astype(np.int8)
+
+
+def naive_xor_arbiter_response(
+    chain_weights: Sequence[np.ndarray], challenges: np.ndarray
+) -> np.ndarray:
+    """Reference k-XOR response: product of per-chain reference signs."""
+    challenges = np.asarray(challenges)
+    if challenges.ndim == 1:
+        challenges = challenges[None, :]
+    responses = np.ones(challenges.shape[0], dtype=np.int64)
+    for weights in chain_weights:
+        responses = responses * naive_arbiter_response(weights, challenges)
+    return responses.astype(np.int8)
+
+
+def naive_br_margin(
+    challenges: np.ndarray,
+    bias_terms: np.ndarray,
+    linear_weights: np.ndarray,
+    global_offset: float,
+    pair_indices: np.ndarray,
+    pair_weights: np.ndarray,
+    triple_indices: np.ndarray,
+    triple_weights: np.ndarray,
+) -> np.ndarray:
+    """Reference Bistable Ring settling margin, one fsum per challenge.
+
+    Accumulates the constant offset, every linear term, and every pair /
+    triple interaction term of ``pufs.bistable_ring.BistableRingPUF`` in
+    a single correctly-rounded ``math.fsum`` per row.
+    """
+    challenges = np.asarray(challenges, dtype=np.float64)
+    margins = np.empty(challenges.shape[0])
+    constant = [float(global_offset)] + [float(a) for a in bias_terms]
+    for row in range(challenges.shape[0]):
+        c = challenges[row]
+        terms = list(constant)
+        terms.extend(float(w) * float(c[i]) for i, w in enumerate(linear_weights))
+        terms.extend(
+            float(w) * float(c[i]) * float(c[j])
+            for (i, j), w in zip(pair_indices, pair_weights)
+        )
+        terms.extend(
+            float(w) * float(c[i]) * float(c[j]) * float(c[l])
+            for (i, j, l), w in zip(triple_indices, triple_weights)
+        )
+        margins[row] = math.fsum(terms)
+    return margins
+
+
+def naive_ltf_margin(
+    weights: np.ndarray, threshold: float, x: np.ndarray
+) -> np.ndarray:
+    """Reference LTF margin ``w . x - theta`` with fsum accumulation."""
+    x = np.asarray(x, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    return np.array(
+        [
+            math.fsum(
+                [float(v) * float(w) for v, w in zip(row, weights)]
+                + [-float(threshold)]
+            )
+            for row in x
+        ]
+    )

@@ -1,0 +1,171 @@
+"""Unit tests for the statistical oracles and the error budget.
+
+The oracles are the suite's foundation: if an interval or an alpha
+ledger is wrong, every downstream statistical guarantee is wrong, so
+these tests pin the constructions against closed-form facts (scipy's
+Beta quantiles, the Hoeffding formula) and the budget against its
+idempotency/conflict/overflow contract.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.conformance import oracles as orc
+
+
+class TestIntervals:
+    def test_hoeffding_halfwidth_formula(self):
+        t = orc.hoeffding_halfwidth(2000, 0.01)
+        assert t == pytest.approx(math.sqrt(math.log(200.0) / 4000.0))
+
+    def test_hoeffding_interval_clipped_to_unit(self):
+        lo, hi = orc.hoeffding_interval(1, 10, 0.5)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_clopper_pearson_matches_beta_quantiles(self):
+        from scipy import stats
+
+        k, m, alpha = 37, 200, 0.05
+        lo, hi = orc.clopper_pearson_interval(k, m, alpha)
+        assert lo == pytest.approx(stats.beta.ppf(alpha / 2, k, m - k + 1))
+        assert hi == pytest.approx(stats.beta.ppf(1 - alpha / 2, k + 1, m - k))
+
+    def test_clopper_pearson_closed_ends(self):
+        lo, hi = orc.clopper_pearson_interval(0, 50, 0.05)
+        assert lo == 0.0 and 0.0 < hi < 0.2
+        lo, hi = orc.clopper_pearson_interval(50, 50, 0.05)
+        assert hi == 1.0 and 0.8 < lo < 1.0
+
+    def test_clopper_pearson_contains_true_p_typically(self):
+        rng = np.random.default_rng(0)
+        p, m = 0.3, 5000
+        covered = 0
+        for _ in range(50):
+            k = int(rng.binomial(m, p))
+            lo, hi = orc.clopper_pearson_interval(k, m, 0.05)
+            covered += lo <= p <= hi
+        assert covered >= 45  # coverage is >= 95% by construction
+
+    def test_tighter_than_hoeffding_for_extreme_p(self):
+        # CP exploits the binomial shape; at p near 0 its interval is far
+        # narrower than the distribution-free Hoeffding band.
+        k, m, alpha = 5, 10_000, 1e-6
+        cp_lo, cp_hi = orc.clopper_pearson_interval(k, m, alpha)
+        h_lo, h_hi = orc.hoeffding_interval(k, m, alpha)
+        assert (cp_hi - cp_lo) < 0.3 * (h_hi - h_lo)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            orc.hoeffding_halfwidth(0, 0.05)
+        with pytest.raises(ValueError):
+            orc.hoeffding_halfwidth(10, 0.0)
+        with pytest.raises(ValueError):
+            orc.clopper_pearson_interval(11, 10, 0.05)
+        with pytest.raises(ValueError):
+            orc.binomial_pvalue(5, 10, 1.5)
+
+
+class TestChecks:
+    def test_bernoulli_passes_on_truth(self):
+        result = orc.check_bernoulli(5000, 10_000, 0.5, 1e-6)
+        assert result.passed
+        assert result.require() is result
+        assert result.p_value is not None
+
+    def test_bernoulli_fails_on_gross_violation(self):
+        result = orc.check_bernoulli(9000, 10_000, 0.5, 1e-6)
+        assert not result.passed
+        with pytest.raises(AssertionError, match="VIOLATED"):
+            result.require()
+
+    def test_within_band_semantics(self):
+        # CI around 0.5 intersects [0.4, 0.6]: pass.
+        assert orc.check_within(5000, 10_000, 0.4, 0.6, 1e-6).passed
+        # CI around 0.9 is disjoint from [0.0, 0.6]: fail.
+        assert not orc.check_within(9000, 10_000, 0.0, 0.6, 1e-6).passed
+
+    def test_one_sided_wrappers(self):
+        assert orc.check_at_most(100, 10_000, 0.05, 1e-6).passed
+        assert not orc.check_at_most(5000, 10_000, 0.05, 1e-6).passed
+        assert orc.check_at_least(9000, 10_000, 0.5, 1e-6).passed
+        assert not orc.check_at_least(100, 10_000, 0.5, 1e-6).passed
+
+    def test_two_sample_equal(self):
+        assert orc.check_two_sample_equal(500, 1000, 510, 1000, 1e-6).passed
+        assert not orc.check_two_sample_equal(100, 1000, 900, 1000, 1e-6).passed
+
+    def test_two_sample_less_is_one_sided(self):
+        # a far below b passes even at a huge observed gap...
+        assert orc.check_two_sample_less(10, 1000, 900, 1000, 1e-6).passed
+        # ...but the reverse ordering fails.
+        assert not orc.check_two_sample_less(900, 1000, 10, 1000, 1e-6).passed
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        payload = orc.check_bernoulli(5, 10, 0.5, 0.01).as_dict()
+        json.dumps(payload)
+        assert payload["interval"] == list(payload["interval"])
+
+
+class TestErrorBudget:
+    def test_register_and_accounting(self):
+        budget = orc.ErrorBudget(total=1e-6)
+        assert budget.register("a", 4e-7) == 4e-7
+        budget.register("b", 4e-7)
+        assert budget.spent() == pytest.approx(8e-7)
+        assert budget.remaining() == pytest.approx(2e-7)
+
+    def test_register_is_idempotent_per_name(self):
+        budget = orc.ErrorBudget(total=1e-6)
+        for _ in range(5):
+            budget.register("resumed-check", 9e-7)
+        assert budget.spent() == pytest.approx(9e-7)
+        assert budget.registrations["resumed-check"].count == 5
+
+    def test_conflicting_alpha_rejected(self):
+        budget = orc.ErrorBudget(total=1e-6)
+        budget.register("a", 1e-7)
+        with pytest.raises(orc.BudgetConflict):
+            budget.register("a", 2e-7)
+
+    def test_overflow_rejected(self):
+        budget = orc.ErrorBudget(total=1e-6)
+        budget.register("a", 9e-7)
+        with pytest.raises(orc.BudgetExceeded):
+            budget.register("b", 2e-7)
+        # The failed registration must not corrupt the ledger.
+        assert budget.spent() == pytest.approx(9e-7)
+
+    def test_split_divides_remaining(self):
+        budget = orc.ErrorBudget(total=1e-6)
+        budget.register("a", 5e-7)
+        assert budget.split(5) == pytest.approx(1e-7)
+
+    def test_summary_shape(self):
+        budget = orc.ErrorBudget(total=1e-6)
+        budget.register("a", 1e-7)
+        summary = budget.summary()
+        assert summary["checks"] == 1
+        assert summary["registrations"]["a"]["count"] == 1
+
+
+class TestHolm:
+    def test_holm_rejects_smallest_first(self):
+        pvalues = {"a": 1e-9, "b": 0.2, "c": 1e-3}
+        rejected = orc.holm_rejections(pvalues, alpha=0.01)
+        assert rejected["a"] and rejected["c"] and not rejected["b"]
+
+    def test_holm_more_powerful_than_bonferroni(self):
+        # Bonferroni at alpha/3 ~ 0.0033 would reject only `a`; Holm's
+        # step-down thresholds (alpha/3, alpha/2, alpha) reject all three.
+        pvalues = {"a": 0.0032, "b": 0.004, "c": 0.0045}
+        rejected = orc.holm_rejections(pvalues, alpha=0.01)
+        assert all(rejected.values())
+
+    def test_holm_stops_at_first_acceptance(self):
+        pvalues = {"a": 1e-6, "b": 0.9, "c": 0.8}
+        rejected = orc.holm_rejections(pvalues, alpha=0.05)
+        assert rejected["a"] and not rejected["b"] and not rejected["c"]

@@ -1,0 +1,176 @@
+"""Tests for the pytest plugin: marker, fixture, budget, forensics.
+
+The ``StatContext`` unit tests exercise the per-test alpha ledger
+directly; the ``pytester`` tests run the plugin end-to-end in throwaway
+test trees and assert on the observable contract — budget registration,
+the refusal to hand out ``stat`` without a marker, the family cap, and
+the ``conformance seeds`` failure section.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conformance.pytest_plugin import DEFAULT_TEST_ALPHA, StatContext
+
+
+class TestStatContext:
+    def test_rng_is_captured_and_deterministic(self):
+        ctx = StatContext("node::id", 1e-8)
+        a = ctx.rng("sampler", 42).integers(0, 2**31)
+        b = np.random.default_rng(42).integers(0, 2**31)
+        assert a == b
+        assert len(ctx.seeds) == 1
+        assert "sampler" in ctx.seeds.report()
+
+    def test_split_alpha(self):
+        ctx = StatContext("n", 1e-8)
+        assert ctx.split_alpha(4) == pytest.approx(2.5e-9)
+        with pytest.raises(ValueError):
+            ctx.split_alpha(0)
+
+    def test_sugar_defaults_to_declared_alpha(self):
+        ctx = StatContext("n", 1e-6)
+        result = ctx.check_bernoulli(500, 1000, 0.5)
+        assert result.alpha == 1e-6
+        assert ctx.results == [result]
+
+    def test_overspend_raises_runtime_error(self):
+        ctx = StatContext("n", 1e-8)
+        ctx.check_bernoulli(500, 1000, 0.5, alpha=8e-9)
+        with pytest.raises(RuntimeError, match="overspent"):
+            ctx.check_bernoulli(500, 1000, 0.5, alpha=8e-9)
+
+    def test_failed_check_still_recorded_before_raising(self):
+        ctx = StatContext("n", 1e-6)
+        with pytest.raises(AssertionError):
+            ctx.check_bernoulli(990, 1000, 0.5)
+        assert len(ctx.results) == 1 and not ctx.results[0].passed
+
+
+PLUGIN_ARGS = ("-p", "repro.conformance.pytest_plugin")
+
+
+class TestPluginEndToEnd:
+    def test_marked_test_registers_and_summary_prints(self, pytester):
+        pytester.makepyfile(
+            """
+            from repro.conformance.pytest_plugin import statistical_test
+
+            @statistical_test(alpha=2e-8)
+            def test_fair(stat):
+                rng = stat.rng("coin", 7)
+                heads = int((rng.random(10_000) < 0.5).sum())
+                stat.check_bernoulli(heads, 10_000, 0.5)
+            """
+        )
+        result = pytester.runpytest(*PLUGIN_ARGS)
+        result.assert_outcomes(passed=1)
+        result.stdout.fnmatch_lines(
+            ["*conformance error budget*", "*statistical tests: 1*"]
+        )
+
+    def test_stat_fixture_without_marker_errors(self, pytester):
+        pytester.makepyfile(
+            """
+            def test_unmarked(stat):
+                pass
+            """
+        )
+        result = pytester.runpytest(*PLUGIN_ARGS)
+        result.assert_outcomes(errors=1)
+        result.stdout.fnmatch_lines(["*requires the @statistical_test*"])
+
+    def test_failure_report_carries_seed_recipe(self, pytester):
+        pytester.makepyfile(
+            """
+            from repro.conformance.pytest_plugin import statistical_test
+
+            @statistical_test(alpha=2e-8)
+            def test_wrong_claim(stat):
+                rng = stat.rng("coin", 7)
+                heads = int((rng.random(10_000) < 0.9).sum())
+                stat.check_bernoulli(heads, 10_000, 0.5)
+            """
+        )
+        result = pytester.runpytest(*PLUGIN_ARGS)
+        result.assert_outcomes(failed=1)
+        result.stdout.fnmatch_lines(
+            [
+                "*conformance seeds*",
+                "*declared alpha: 2e-08*",
+                "*SeedSequence*",
+            ]
+        )
+
+    def test_family_cap_enforced_across_tests(self, pytester):
+        pytester.makepyfile(
+            """
+            from repro.conformance.pytest_plugin import statistical_test
+
+            @statistical_test(alpha=6e-7)
+            def test_a(stat):
+                stat.check_bernoulli(500, 1000, 0.5)
+
+            @statistical_test(alpha=6e-7)
+            def test_b(stat):
+                stat.check_bernoulli(500, 1000, 0.5)
+            """
+        )
+        result = pytester.runpytest(*PLUGIN_ARGS)
+        # The second registration would push the family past 1e-6.
+        result.assert_outcomes(passed=1, errors=1)
+        result.stdout.fnmatch_lines(["*BudgetExceeded*"])
+
+    def test_family_alpha_configurable_via_ini(self, pytester):
+        pytester.makeini(
+            """
+            [pytest]
+            conformance_family_alpha = 1e-9
+            """
+        )
+        pytester.makepyfile(
+            """
+            from repro.conformance.pytest_plugin import statistical_test
+
+            @statistical_test(alpha=2e-8)
+            def test_too_expensive(stat):
+                stat.check_bernoulli(500, 1000, 0.5)
+            """
+        )
+        result = pytester.runpytest(*PLUGIN_ARGS)
+        result.assert_outcomes(errors=1)
+        result.stdout.fnmatch_lines(["*BudgetExceeded*"])
+
+    def test_marker_only_registration_covers_hypothesis_style(self, pytester):
+        """A marked test without the fixture still charges the budget —
+        this is the path hypothesis-driven tests take."""
+        pytester.makepyfile(
+            """
+            from repro.conformance import check_bernoulli
+            from repro.conformance.pytest_plugin import statistical_test
+
+            @statistical_test(alpha=2e-8)
+            def test_marker_only():
+                check_bernoulli(5000, 10_000, 0.5, 2e-8).require()
+            """
+        )
+        result = pytester.runpytest(*PLUGIN_ARGS)
+        result.assert_outcomes(passed=1)
+        result.stdout.fnmatch_lines(["*statistical tests: 1*"])
+
+    def test_default_marker_alpha_is_conformance_default(self, pytester):
+        pytester.makepyfile(
+            """
+            from repro.conformance.pytest_plugin import (
+                DEFAULT_TEST_ALPHA,
+                statistical_test,
+            )
+
+            @statistical_test()
+            def test_default(stat):
+                assert stat.alpha == DEFAULT_TEST_ALPHA
+            """
+        )
+        result = pytester.runpytest(*PLUGIN_ARGS)
+        result.assert_outcomes(passed=1)
+        assert DEFAULT_TEST_ALPHA == 2e-8

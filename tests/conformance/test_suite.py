@@ -1,0 +1,223 @@
+"""Tests for the relation framework and the suite runner.
+
+Covers the registry contract (>= 12 relations, unique names, both
+kinds), deterministic re-runs (same master seed, bit-identical seed
+fan-out), violation reporting (a failing relation is reported, never
+raised), and the ledger integration (one JSONL record per relation plus
+a meta.json summary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    ConformanceViolation,
+    ErrorBudget,
+    Relation,
+    RelationContext,
+    all_relations,
+    differential_relations,
+    metamorphic_relations,
+    relation_seed,
+    run_suite,
+)
+from repro.telemetry.ledger import RunLedger
+
+
+class TestRegistry:
+    def test_at_least_twelve_relations(self):
+        assert len(all_relations()) >= 12
+
+    def test_names_unique(self):
+        names = [r.name for r in all_relations()]
+        assert len(set(names)) == len(names)
+
+    def test_both_kinds_present(self):
+        kinds = {r.kind for r in all_relations()}
+        assert kinds == {"differential", "metamorphic"}
+
+    def test_differential_relations_are_deterministic(self):
+        # Differential checks assert exactness; none should consume alpha.
+        assert not any(r.statistical for r in differential_relations())
+
+    def test_statistical_relations_exist(self):
+        assert sum(r.statistical for r in metamorphic_relations()) >= 5
+
+
+class TestRelationContext:
+    def test_rng_spawns_deterministic_children(self):
+        a = RelationContext(np.random.SeedSequence(7))
+        b = RelationContext(np.random.SeedSequence(7))
+        assert a.rng().integers(0, 2**31) == b.rng().integers(0, 2**31)
+        # Successive spawns differ from each other.
+        c = RelationContext(np.random.SeedSequence(7))
+        first, second = c.rng(), c.rng()
+        assert first.integers(0, 2**31) != second.integers(0, 2**31)
+
+    def test_samples_scaling_floors_at_minimum(self):
+        ctx = RelationContext(0, scale=0.01)
+        assert ctx.samples(100_000, minimum=512) == 1000
+        assert ctx.samples(10_000, minimum=512) == 512
+
+    def test_deterministic_relation_cannot_spend_alpha(self):
+        ctx = RelationContext(0, alpha=0.0)
+        with pytest.raises(ConformanceViolation, match="deterministic"):
+            ctx.split_alpha(2)
+
+    def test_alpha_overspend_detected(self):
+        from repro.conformance import check_bernoulli
+
+        ctx = RelationContext(0, alpha=1e-7)
+        result = check_bernoulli(500, 1000, 0.5, 8e-8)
+        ctx.check(result)
+        with pytest.raises(ConformanceViolation, match="overspent"):
+            ctx.check(check_bernoulli(500, 1000, 0.5, 8e-8))
+
+
+class TestRelationRun:
+    def test_crash_is_a_violation_not_an_exception(self):
+        relation = Relation(
+            "boom", "metamorphic", "always crashes", lambda ctx: 1 / 0
+        )
+        report = relation.run(RelationContext(0))
+        assert not report.passed
+        assert "ZeroDivisionError" in report.error
+
+    def test_assertion_captured_with_message(self):
+        def check(ctx):
+            raise ConformanceViolation("the contract broke")
+
+        report = Relation("bad", "metamorphic", "fails", check).run(
+            RelationContext(0)
+        )
+        assert not report.passed
+        assert report.error == "the contract broke"
+
+    def test_report_records_seed_identity(self):
+        relation = Relation("ok", "metamorphic", "passes", lambda ctx: {"x": 1})
+        seed = relation_seed(42, 3)
+        report = relation.run(RelationContext(seed))
+        assert report.passed
+        assert report.seed["entropy"] == 42
+        assert report.seed["spawn_key"] == [3]
+        assert report.details == {"x": 1}
+
+
+class TestRunSuite:
+    def _toy_relations(self):
+        from repro.conformance import check_bernoulli
+
+        def stat_check(ctx):
+            rng = ctx.rng()
+            flips = int(np.sum(rng.random(2000) < 0.25))
+            ctx.check(check_bernoulli(flips, 2000, 0.25, ctx.alpha))
+            return {"flips": flips}
+
+        return [
+            Relation("det_ok", "differential", "exact pass", lambda ctx: None),
+            Relation("stat_ok", "metamorphic", "rate check", stat_check, statistical=True),
+            Relation(
+                "det_fail",
+                "metamorphic",
+                "always fails",
+                lambda ctx: (_ for _ in ()).throw(ConformanceViolation("nope")),
+            ),
+        ]
+
+    def test_violations_reported_and_flagged(self):
+        suite = run_suite(self._toy_relations(), master_seed=1)
+        assert not suite.passed
+        assert [v.name for v in suite.violations] == ["det_fail"]
+        assert suite.num_statistical == 1
+
+    def test_statistical_relations_share_family_alpha(self):
+        suite = run_suite(self._toy_relations(), master_seed=1, family_alpha=1e-6)
+        by_name = {r.name: r for r in suite.reports}
+        assert by_name["stat_ok"].alpha == pytest.approx(1e-6)
+        assert by_name["det_ok"].alpha == 0.0
+
+    def test_same_seed_same_outcome(self):
+        a = run_suite(self._toy_relations(), master_seed=9)
+        b = run_suite(self._toy_relations(), master_seed=9)
+        assert [r.as_dict()["seed"] for r in a.reports] == [
+            r.as_dict()["seed"] for r in b.reports
+        ]
+        assert [r.details for r in a.reports] == [r.details for r in b.reports]
+
+    def test_duplicate_names_rejected(self):
+        dup = [
+            Relation("x", "metamorphic", "a", lambda ctx: None),
+            Relation("x", "metamorphic", "b", lambda ctx: None),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            run_suite(dup)
+
+    def test_ledger_records_and_meta(self, tmp_path):
+        ledger = RunLedger(tmp_path / "conf-run")
+        suite = run_suite(self._toy_relations(), master_seed=2, ledger=ledger)
+        records = ledger.read()
+        assert len(records) == 3
+        assert [r["name"] for r in records] == ["det_ok", "stat_ok", "det_fail"]
+        assert all("index" in r and "seed" in r for r in records)
+        meta = ledger.read_meta()
+        assert meta["kind"] == "conformance"
+        assert meta["num_violations"] == 1
+        assert meta["passed"] is False
+        assert meta["budget"]["checks"] == 1
+
+    def test_full_registry_smoke_tier_passes(self, tmp_path):
+        """The real suite, at smoke scale: must hold on a healthy tree."""
+        ledger = RunLedger(tmp_path / "smoke")
+        suite = run_suite(master_seed=1234, ledger=ledger, scale=0.1)
+        assert suite.passed, [v.error for v in suite.violations]
+        assert len(ledger.read()) == len(all_relations())
+
+
+class TestBudgetResume:
+    """The resume regression guard: re-registration never double-charges.
+
+    A resumed conformance run (same budget object surviving a retry, or
+    a run re-executed over an existing ledger) re-registers every
+    statistical relation.  The family-wise accounting must show each
+    name charged exactly once — the alpha ledger is keyed by name, not
+    by registration event.
+    """
+
+    def test_rerun_with_shared_budget_registers_once(self):
+        budget = ErrorBudget(total=1e-6)
+        first = run_suite(master_seed=5, budget=budget, scale=0.1)
+        spent_after_first = budget.spent()
+        second = run_suite(master_seed=5, budget=budget, scale=0.1)
+        assert budget.spent() == pytest.approx(spent_after_first)
+        # Every statistical relation now shows exactly two registration
+        # events collapsed onto one allocation.
+        for name, reg in budget.registrations.items():
+            assert reg.count == 2, name
+        assert first.num_statistical == second.num_statistical
+
+    def test_resumed_run_with_different_family_alpha_conflicts(self):
+        from repro.conformance import BudgetConflict
+
+        budget = ErrorBudget(total=1e-6)
+        run_suite(master_seed=5, budget=budget, scale=0.1)
+        with pytest.raises(BudgetConflict):
+            run_suite(master_seed=5, budget=budget, family_alpha=5e-7, scale=0.1)
+
+    def test_ledger_resume_appends_latest_records(self, tmp_path):
+        """Re-running over one ledger directory mirrors TrialRunner resume:
+        the reader must take the latest record per index, and the budget
+        must stay single-charged."""
+        ledger = RunLedger(tmp_path / "resumed")
+        budget = ErrorBudget(total=1e-6)
+        run_suite(master_seed=7, budget=budget, ledger=ledger, scale=0.1)
+        first_count = len(ledger.read())
+        run_suite(master_seed=7, budget=budget, ledger=ledger, scale=0.1)
+        assert len(ledger.read()) == 2 * first_count
+        latest = ledger.read_latest()
+        assert len(latest) == first_count  # one surviving record per index
+        assert budget.spent() <= budget.total
+        meta = ledger.read_meta()
+        # meta.json reflects the final run's accounting: every relation
+        # registered twice, charged once.
+        for entry in meta["budget"]["registrations"].values():
+            assert entry["count"] == 2

@@ -1,0 +1,9 @@
+"""Suite-wide pytest configuration.
+
+Loads the conformance plugin (see ``docs/TESTING.md``): the
+``@statistical_test(alpha=...)`` marker, the ``stat`` fixture, the
+session-wide family-wise :class:`~repro.conformance.oracles.ErrorBudget`,
+and seed-reproduction sections on statistical failures.
+"""
+
+pytest_plugins = ["repro.conformance.pytest_plugin", "pytester"]

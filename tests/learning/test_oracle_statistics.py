@@ -4,13 +4,16 @@ The PAC analysis treats the oracles' parameters as ground truth — an
 ``ExampleOracle`` with ``noise_rate=p`` *is* the p-noisy example oracle
 of the noise-tolerance theorems, and a ``MembershipOracle``'s counter
 *is* the query complexity being charged.  These tests verify both claims
-empirically: the realised flip rate lands inside a binomial confidence
-interval around p, and the counter matches the challenges actually asked.
+empirically through the :mod:`repro.conformance` oracles: the realised
+flip rate must conform to an exact Clopper-Pearson interval at the
+declared per-test alpha (family-wise accounting in docs/TESTING.md), and
+the counter matches the challenges actually asked.
 """
 
 import numpy as np
 import pytest
 
+from repro.conformance.pytest_plugin import statistical_test
 from repro.learning.oracles import ExampleOracle, MembershipOracle
 
 
@@ -19,20 +22,16 @@ def parity_target(x):
 
 
 class TestExampleOracleNoiseRate:
+    @statistical_test(alpha=2e-8)
     @pytest.mark.parametrize("p", [0.05, 0.15, 0.3, 0.45])
-    def test_empirical_flip_rate_in_binomial_ci(self, p):
+    def test_empirical_flip_rate_in_binomial_ci(self, p, stat):
         m = 40_000
         oracle = ExampleOracle(
-            8, parity_target, np.random.default_rng(123), noise_rate=p
+            8, parity_target, stat.rng("oracle", 123), noise_rate=p
         )
         x, y = oracle.draw(m)
         flips = int(np.sum(y != parity_target(x)))
-        # 4-sigma two-sided binomial band: false-failure odds ~ 1 in 15000
-        # per parameter point, and the seed is fixed anyway.
-        sigma = np.sqrt(m * p * (1 - p))
-        assert abs(flips - m * p) < 4 * sigma, (
-            f"flip count {flips} outside CI around {m * p:.0f}"
-        )
+        stat.check_bernoulli(flips, m, p, name=f"flip_rate[p={p}]")
 
     def test_zero_noise_never_flips(self):
         oracle = ExampleOracle(
@@ -41,17 +40,19 @@ class TestExampleOracleNoiseRate:
         x, y = oracle.draw(5000)
         np.testing.assert_array_equal(y, parity_target(x))
 
-    def test_flips_are_independent_of_position(self):
+    @statistical_test(alpha=2e-8)
+    def test_flips_are_independent_of_position(self, stat):
         """Early and late halves of a draw flip at the same rate (no drift)."""
         p = 0.2
         oracle = ExampleOracle(
-            6, parity_target, np.random.default_rng(11), noise_rate=p
+            6, parity_target, stat.rng("oracle", 11), noise_rate=p
         )
         x, y = oracle.draw(30_000)
         mism = y != parity_target(x)
-        first, second = mism[:15_000], mism[15_000:]
-        sigma = np.sqrt(p * (1 - p) / 15_000)
-        assert abs(float(np.mean(first)) - float(np.mean(second))) < 6 * sigma
+        first, second = int(np.sum(mism[:15_000])), int(np.sum(mism[15_000:]))
+        stat.check_two_sample_equal(
+            first, 15_000, second, 15_000, name="flip_rate_halves_equal"
+        )
 
 
 class TestMembershipOracleAccounting:

@@ -3,19 +3,33 @@ convention of :func:`repro.pufs.crp.biased_challenges`.
 
 The docstring promise is: each bit is ``-1`` (the +/-1 encoding of
 logical one) with probability ``p`` and ``+1`` otherwise.  These tests
-make that contract executable so neither side can drift again.
+make that contract executable so neither side can drift again.  The
+stochastic checks run through the :mod:`repro.conformance` oracles: each
+hypothesis test declares one alpha covering *all* of its examples
+(``TEST_ALPHA / MAX_EXAMPLES`` per draw), and every numpy seed is noted
+via :func:`repro.conformance.note_seed` so a falsifying example prints
+the exact generator to rebuild in a REPL.
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.conformance import check_bernoulli, note_seed
+from repro.conformance.pytest_plugin import statistical_test
 from repro.pufs.crp import (
     biased_challenges,
     low_weight_challenges,
     uniform_challenges,
 )
 
-SETTINGS = settings(max_examples=25, deadline=None)
+MAX_EXAMPLES = 25
+SETTINGS = settings(max_examples=MAX_EXAMPLES, deadline=None)
+
+#: Declared per-test false-failure probability, split across all the
+#: examples hypothesis draws (union bound), so the marker's registration
+#: covers the whole strategy sweep.
+TEST_ALPHA = 2e-8
+ALPHA_PER_EXAMPLE = TEST_ALPHA / MAX_EXAMPLES
 
 
 def test_biased_extreme_p_one_is_all_minus_one():
@@ -28,29 +42,41 @@ def test_biased_extreme_p_zero_is_all_plus_one():
     assert (sample == 1).all()
 
 
+@statistical_test(alpha=TEST_ALPHA)
 @SETTINGS
 @given(
     st.floats(min_value=0.05, max_value=0.95),
     st.integers(min_value=0, max_value=2**31),
 )
 def test_biased_minus_one_rate_matches_p(p, seed):
-    """Empirical fraction of -1 bits within a 4-sigma binomial band of p."""
+    """The count of -1 bits conforms to Binomial(mn, p) exactly."""
     m, n = 400, 32
+    note_seed("biased_challenges rng", seed)
     sample = biased_challenges(p)(m, n, np.random.default_rng(seed))
-    rate = float(np.mean(sample == -1))
-    sigma = np.sqrt(p * (1 - p) / (m * n))
-    assert abs(rate - p) < 4 * sigma + 1e-9
+    check_bernoulli(
+        int(np.sum(sample == -1)),
+        m * n,
+        p,
+        ALPHA_PER_EXAMPLE,
+        name=f"biased[p={p:g}]",
+    ).require()
 
 
+@statistical_test(alpha=TEST_ALPHA)
 @SETTINGS
 @given(st.integers(min_value=0, max_value=2**31))
 def test_uniform_is_pm1_and_balanced(seed):
+    note_seed("uniform_challenges rng", seed)
     sample = uniform_challenges(500, 16, np.random.default_rng(seed))
     assert sample.dtype == np.int8
     assert set(np.unique(sample)).issubset({-1, 1})
-    # 4-sigma band around 1/2 for 8000 fair bits.
-    rate = float(np.mean(sample == -1))
-    assert abs(rate - 0.5) < 4 * np.sqrt(0.25 / sample.size)
+    check_bernoulli(
+        int(np.sum(sample == -1)),
+        int(sample.size),
+        0.5,
+        ALPHA_PER_EXAMPLE,
+        name="uniform_fair",
+    ).require()
 
 
 @SETTINGS
@@ -59,6 +85,7 @@ def test_uniform_is_pm1_and_balanced(seed):
     st.integers(min_value=0, max_value=2**31),
 )
 def test_low_weight_respects_max_ones(max_ones, seed):
+    note_seed("low_weight_challenges rng", seed)
     sample = low_weight_challenges(max_ones)(80, 16, np.random.default_rng(seed))
     ones_per_row = np.sum(sample == -1, axis=1)
     assert (ones_per_row <= max_ones).all()

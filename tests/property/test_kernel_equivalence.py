@@ -18,10 +18,13 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kernels import CharacterBasis, fwht, low_degree_subsets
+from repro.conformance import note_seed
+from repro.kernels import CharacterBasis, fwht, low_degree_subsets, mobius_f2_inplace
 from repro.kernels.reference import (
     naive_estimate_coefficients,
     naive_expansion_values,
+    naive_mobius_f2,
+    naive_parity_transform,
     naive_sign_of_expansion,
     naive_walsh_hadamard,
 )
@@ -112,8 +115,106 @@ def test_arbitrary_subset_families_match_naive(n, seed, subset_count):
 )
 @settings(max_examples=40, deadline=None)
 def test_batched_fwht_matches_old_transform(n, batch, seed):
+    note_seed("fwht tables", seed)
     rng = np.random.default_rng(seed)
     tables = (1 - 2 * rng.integers(0, 2, size=(batch, 2**n))).astype(np.float64)
     batched = fwht(tables)
     for row_in, row_out in zip(tables, batched):
         assert np.array_equal(naive_walsh_hadamard(row_in), row_out)
+
+
+# ----------------------------------------------------------------------
+# Adversarial shapes: every degenerate corner the blocked kernel owns.
+# ----------------------------------------------------------------------
+@given(
+    degree=st.integers(0, 1),
+    block_size=st.sampled_from([1, 2, 3, 1000]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_single_variable_single_row(degree, block_size, seed):
+    """n=1 with a one-row sample: the smallest possible GEMM."""
+    note_seed("n=1 sample", seed)
+    rng = np.random.default_rng(seed)
+    x = (1 - 2 * rng.integers(0, 2, size=(1, 1))).astype(np.int8)
+    y = (1 - 2 * rng.integers(0, 2, size=1)).astype(np.int8)
+    basis = CharacterBasis.low_degree(1, degree)
+    kernel = basis.estimate_coefficients(x, y, block_size=block_size)
+    assert np.array_equal(kernel, naive_estimate_coefficients(x, y, list(basis.subsets)))
+    coeffs = kernel  # m=1 is dyadic, so evaluation is exact too
+    spectrum = dict(zip(basis.subsets, coeffs))
+    assert np.array_equal(
+        basis.predict_sign(x, coeffs, block_size=block_size),
+        naive_sign_of_expansion(x, spectrum),
+    )
+
+
+@given(
+    n=st.integers(1, 9),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_extreme_degrees_d0_and_dn(n, seed):
+    """Degree 0 (constant character only) and degree n (full basis)."""
+    note_seed("extreme-degree sample", seed)
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 60))
+    x = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+    y = (1 - 2 * rng.integers(0, 2, size=m)).astype(np.int8)
+    for degree in (0, n):
+        basis = CharacterBasis.low_degree(n, degree)
+        kernel = basis.estimate_coefficients(x, y, block_size=7)
+        naive = naive_estimate_coefficients(x, y, list(basis.subsets))
+        assert np.array_equal(kernel, naive)
+    assert len(CharacterBasis.low_degree(n, 0)) == 1
+    assert len(CharacterBasis.low_degree(n, n)) == 2**n
+
+
+@given(
+    m=st.sampled_from([1, 2, 3, 5, 97]),
+    block_size=st.sampled_from([1, 2, 3, 4, 96, 97, 98]),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_block_boundary_never_splits_results(m, block_size, seed):
+    """Non-power-of-two m against every boundary-straddling block size."""
+    note_seed("block-boundary sample", seed)
+    rng = np.random.default_rng(seed)
+    x = (1 - 2 * rng.integers(0, 2, size=(m, 6))).astype(np.int8)
+    y = (1 - 2 * rng.integers(0, 2, size=m)).astype(np.int8)
+    basis = CharacterBasis.low_degree(6, 3)
+    assert np.array_equal(
+        basis.estimate_coefficients(x, y, block_size=block_size),
+        naive_estimate_coefficients(x, y, list(basis.subsets)),
+    )
+
+
+@given(
+    n=st.integers(0, 7),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_mobius_butterfly_matches_submask_sums(n, seed):
+    """The in-place GF(2) butterfly equals the O(3^n) definition."""
+    note_seed("mobius values", seed)
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2, size=2**n).astype(np.uint8)
+    butterfly = mobius_f2_inplace(values.copy())
+    assert np.array_equal(butterfly, naive_mobius_f2(values))
+    assert np.array_equal(mobius_f2_inplace(butterfly.copy()), values)
+
+
+@given(
+    m=st.sampled_from([1, 2, 7, 64]),
+    n=st.integers(1, 24),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_parity_transform_matches_reference(m, n, seed):
+    """The cumprod parity transform equals the per-stage loops exactly."""
+    from repro.pufs.arbiter import parity_transform
+
+    note_seed("parity challenges", seed)
+    rng = np.random.default_rng(seed)
+    c = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+    assert np.array_equal(parity_transform(c), naive_parity_transform(c))

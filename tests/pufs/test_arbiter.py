@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.booleanfuncs.encoding import random_pm1
+from repro.conformance.pytest_plugin import statistical_test
 from repro.pufs.arbiter import ArbiterPUF, parity_transform
 
 
@@ -80,13 +81,15 @@ class TestArbiterPUF:
         phi = parity_transform(c)[:, :-1]
         assert np.array_equal(ltf(phi.astype(np.int8)), puf.eval(c))
 
-    def test_noise_flips_some_responses(self):
-        puf = ArbiterPUF(32, np.random.default_rng(9), noise_sigma=0.5)
-        c = random_pm1(32, 2000, np.random.default_rng(10))
+    @statistical_test(alpha=2e-8)
+    def test_noise_flips_some_responses(self, stat):
+        puf = ArbiterPUF(32, stat.rng("instance", 9), noise_sigma=0.5)
+        c = random_pm1(32, 2000, stat.rng("challenges", 10))
         ideal = puf.eval(c)
-        noisy = puf.eval_noisy(c, np.random.default_rng(11))
-        flip_rate = np.mean(ideal != noisy)
-        assert 0.0 < flip_rate < 0.2
+        noisy = puf.eval_noisy(c, stat.rng("noise", 11))
+        flips = int(np.sum(ideal != noisy))
+        assert flips > 0, "sigma=0.5 produced no flips at all"
+        stat.check_within(flips, 2000, 0.001, 0.19, name="flip_rate_band")
 
     def test_zero_noise_noisy_equals_ideal(self):
         puf = ArbiterPUF(16, np.random.default_rng(12))
@@ -115,8 +118,10 @@ class TestArbiterPUF:
         c = random_pm1(8, 1, np.random.default_rng(18))[0]
         assert puf.eval(c) in (-1, 1)
 
-    def test_different_seeds_different_instances(self):
-        a = ArbiterPUF(32, np.random.default_rng(19))
-        b = ArbiterPUF(32, np.random.default_rng(20))
-        c = random_pm1(32, 500, np.random.default_rng(21))
-        assert np.mean(a.eval(c) != b.eval(c)) > 0.2
+    @statistical_test(alpha=2e-8)
+    def test_different_seeds_different_instances(self, stat):
+        a = ArbiterPUF(32, stat.rng("instance a", 19))
+        b = ArbiterPUF(32, stat.rng("instance b", 20))
+        c = random_pm1(32, 500, stat.rng("challenges", 21))
+        disagreements = int(np.sum(a.eval(c) != b.eval(c)))
+        stat.check_at_least(disagreements, 500, 0.2, name="inter_chip_distance")

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.booleanfuncs.encoding import random_pm1
+from repro.conformance.pytest_plugin import statistical_test
 from repro.pufs.bistable_ring import BistableRingPUF
 from repro.pufs.feed_forward import FeedForwardArbiterPUF
 
@@ -23,21 +24,27 @@ class TestBistableRingPUF:
         expected = np.where(linear >= 0, 1, -1)
         assert np.array_equal(puf.eval(c), expected)
 
-    def test_interaction_changes_function(self):
-        rng_c = np.random.default_rng(4)
-        c = random_pm1(32, 3000, rng_c)
-        linear = BistableRingPUF(32, np.random.default_rng(5), interaction_scale=0.0)
-        nonlinear = BistableRingPUF(32, np.random.default_rng(5), interaction_scale=0.8)
+    @statistical_test(alpha=2e-8)
+    def test_interaction_changes_function(self, stat):
+        c = random_pm1(32, 3000, stat.rng("challenges", 4))
+        linear = BistableRingPUF(32, stat.rng("linear", 5), interaction_scale=0.0)
+        nonlinear = BistableRingPUF(32, stat.rng("nonlinear", 5), interaction_scale=0.8)
         # Same seed, so the linear parts coincide; responses must differ on
         # a non-trivial fraction of challenges.
-        disagreement = np.mean(linear.eval(c) != nonlinear.eval(c))
-        assert disagreement > 0.05
+        disagreements = int(np.sum(linear.eval(c) != nonlinear.eval(c)))
+        stat.check_at_least(disagreements, 3000, 0.05, name="interaction_distance")
 
-    def test_not_too_biased(self):
+    @statistical_test(alpha=2e-8)
+    def test_not_too_biased(self, stat):
+        # |mean| < 0.9 <=> the -1 rate sits in [0.05, 0.95].
+        alpha_each = stat.split_alpha(5)
         for seed in range(5):
-            puf = BistableRingPUF(64, np.random.default_rng(seed))
-            c = random_pm1(64, 4000, np.random.default_rng(100 + seed))
-            assert abs(np.mean(puf.eval(c))) < 0.9
+            puf = BistableRingPUF(64, stat.rng(f"instance {seed}", seed))
+            c = random_pm1(64, 4000, stat.rng(f"challenges {seed}", 100 + seed))
+            minus = int(np.sum(puf.eval(c) == -1))
+            stat.check_within(
+                minus, 4000, 0.05, 0.95, alpha=alpha_each, name=f"bias[{seed}]"
+            )
 
     def test_pair_indices_include_ring_neighbours(self):
         puf = BistableRingPUF(10, np.random.default_rng(6))
@@ -53,11 +60,13 @@ class TestBistableRingPUF:
         with pytest.raises(ValueError):
             BistableRingPUF(8, triple_density=-0.5)
 
-    def test_noise_model(self):
-        puf = BistableRingPUF(32, np.random.default_rng(7), noise_sigma=1.0)
-        c = random_pm1(32, 2000, np.random.default_rng(8))
-        flips = np.mean(puf.eval(c) != puf.eval_noisy(c, np.random.default_rng(9)))
-        assert 0.0 < flips < 0.3
+    @statistical_test(alpha=2e-8)
+    def test_noise_model(self, stat):
+        puf = BistableRingPUF(32, stat.rng("instance", 7), noise_sigma=1.0)
+        c = random_pm1(32, 2000, stat.rng("challenges", 8))
+        flips = int(np.sum(puf.eval(c) != puf.eval_noisy(c, stat.rng("noise", 9))))
+        assert flips > 0, "sigma=1.0 produced no flips at all"
+        stat.check_within(flips, 2000, 0.001, 0.29, name="br_flip_rate_band")
 
 
 class TestFeedForwardArbiterPUF:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.conformance.pytest_plugin import statistical_test
 from repro.pufs.arbiter import ArbiterPUF
 from repro.pufs.crp import (
     CRPSet,
@@ -19,15 +20,22 @@ class TestSamplers:
         assert c.shape == (100, 8)
         assert set(np.unique(c)) <= {-1, 1}
 
-    def test_uniform_balance(self):
-        c = uniform_challenges(20_000, 4, np.random.default_rng(1))
-        assert abs(np.mean(c)) < 0.02
+    @statistical_test(alpha=2e-8)
+    def test_uniform_balance(self, stat):
+        c = uniform_challenges(20_000, 4, stat.rng("sampler", 1))
+        stat.check_bernoulli(
+            int(np.sum(c == -1)), int(c.size), 0.5, name="uniform_fair_bits"
+        )
 
-    def test_biased_sampler(self):
+    @statistical_test(alpha=2e-8)
+    def test_biased_sampler(self, stat):
+        # p=0.9 chance of bit 1 -> value -1, so the -1 count is
+        # Binomial(mn, 0.9) exactly.
         sampler = biased_challenges(0.9)
-        c = sampler(10_000, 6, np.random.default_rng(2))
-        # p=0.9 chance of bit 1 -> value -1, so mean ~ 1 - 2*0.9 = -0.8.
-        assert abs(np.mean(c) + 0.8) < 0.02
+        c = sampler(10_000, 6, stat.rng("sampler", 2))
+        stat.check_bernoulli(
+            int(np.sum(c == -1)), int(c.size), 0.9, name="biased_bits"
+        )
 
     def test_biased_sampler_validates(self):
         with pytest.raises(ValueError):
@@ -106,12 +114,15 @@ class TestGenerateCRPs:
         crps = generate_crps(puf, 200, rng)
         assert np.array_equal(crps.responses, puf.eval(crps.challenges))
 
-    def test_noisy_generation_differs(self):
-        rng = np.random.default_rng(5)
+    @statistical_test(alpha=2e-8)
+    def test_noisy_generation_differs(self, stat):
+        rng = stat.rng("instance+draw", 5)
         puf = ArbiterPUF(32, rng, noise_sigma=0.8)
         crps = generate_crps(puf, 3000, rng, noisy=True)
         ideal = puf.eval(crps.challenges)
-        assert 0.0 < np.mean(crps.responses != ideal) < 0.3
+        flips = int(np.sum(crps.responses != ideal))
+        assert flips > 0, "noisy generation produced no flips"
+        stat.check_within(flips, 3000, 0.001, 0.29, name="noisy_crp_flip_band")
 
     def test_rejects_zero_count(self):
         puf = ArbiterPUF(8, np.random.default_rng(6))

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.booleanfuncs.encoding import random_pm1
+from repro.conformance.pytest_plugin import statistical_test
 from repro.pufs.arbiter import ArbiterPUF
 from repro.pufs.bistable_ring import BistableRingPUF
 from repro.pufs.metrics import (
@@ -34,13 +35,18 @@ class TestNoiseHelpers:
         with pytest.raises(ValueError):
             repeated_measurements(puf, c, 0)
 
-    def test_majority_vote_denoises(self):
-        puf = ArbiterPUF(32, np.random.default_rng(3), noise_sigma=0.4)
-        c = random_pm1(32, 1000, np.random.default_rng(4))
+    @statistical_test(alpha=2e-8)
+    def test_majority_vote_denoises(self, stat):
+        puf = ArbiterPUF(32, stat.rng("instance", 3), noise_sigma=0.4)
+        c = random_pm1(32, 1000, stat.rng("challenges", 4))
         ideal = puf.eval(c)
-        single = puf.eval_noisy(c, np.random.default_rng(5))
-        voted = majority_vote(puf, c, repetitions=21, rng=np.random.default_rng(6))
-        assert np.mean(voted != ideal) < np.mean(single != ideal)
+        single = int(np.sum(puf.eval_noisy(c, stat.rng("single", 5)) != ideal))
+        voted = int(
+            np.sum(majority_vote(puf, c, repetitions=21, rng=stat.rng("voted", 6)) != ideal)
+        )
+        stat.check_two_sample_less(
+            voted, 1000, single, 1000, name="majority_vote_denoises"
+        )
 
     def test_majority_vote_noise_free_exact(self):
         puf = ArbiterPUF(16, np.random.default_rng(7))
@@ -58,16 +64,18 @@ class TestNoiseHelpers:
         mask = stable_challenge_mask(puf, c, 11, np.random.default_rng(13))
         assert 0.0 < np.mean(mask) < 1.0
 
-    def test_collect_stable_crps(self):
-        puf = ArbiterPUF(32, np.random.default_rng(14), noise_sigma=0.3)
+    @statistical_test(alpha=2e-8)
+    def test_collect_stable_crps(self, stat):
+        puf = ArbiterPUF(32, stat.rng("instance", 14), noise_sigma=0.3)
         crps, frac = collect_stable_crps(
-            puf, 500, repetitions=7, rng=np.random.default_rng(15)
+            puf, 500, repetitions=7, rng=stat.rng("collection", 15)
         )
         assert len(crps) == 500
         assert 0.0 < frac <= 1.0
         # Stable responses agree with the ideal function almost everywhere:
         # surviving challenges have large margins.
-        assert np.mean(crps.responses == puf.eval(crps.challenges)) > 0.98
+        agreements = int(np.sum(crps.responses == puf.eval(crps.challenges)))
+        stat.check_at_least(agreements, 500, 0.98, name="stable_crp_agreement")
 
     def test_collect_stable_crps_raises_for_hopeless_device(self):
         puf = ArbiterPUF(16, np.random.default_rng(16), noise_sigma=500.0)

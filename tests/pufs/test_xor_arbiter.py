@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.booleanfuncs.encoding import random_pm1
+from repro.conformance.pytest_plugin import statistical_test
 from repro.pufs.xor_arbiter import XORArbiterPUF
 
 
@@ -26,38 +27,57 @@ class TestXORArbiterPUF:
         c = random_pm1(8, 17, np.random.default_rng(5))
         assert puf.chain_margins(c).shape == (17, 3)
 
-    def test_bias_small_for_uncorrelated(self):
-        puf = XORArbiterPUF(32, 4, np.random.default_rng(6))
-        c = random_pm1(32, 5000, np.random.default_rng(7))
-        assert abs(np.mean(puf.eval(c))) < 0.1
+    @statistical_test(alpha=2e-8)
+    def test_bias_small_for_uncorrelated(self, stat):
+        puf = XORArbiterPUF(32, 4, stat.rng("instance", 6))
+        c = random_pm1(32, 5000, stat.rng("challenges", 7))
+        # |mean| < 0.1 <=> the -1 rate sits in [0.45, 0.55].
+        minus = int(np.sum(puf.eval(c) == -1))
+        stat.check_within(minus, 5000, 0.45, 0.55, name="xor_response_balance")
 
-    def test_correlated_chains_share_structure(self):
-        rng = np.random.default_rng(8)
-        puf = XORArbiterPUF(32, 4, rng, correlation=0.95)
+    @statistical_test(alpha=2e-8)
+    def test_correlated_chains_share_structure(self, stat):
+        puf = XORArbiterPUF(32, 4, stat.rng("instance", 8), correlation=0.95)
         # With high correlation, pairs of chains agree far more than chance.
-        c = random_pm1(32, 2000, np.random.default_rng(9))
-        r0 = puf.chains[0].eval(c)
-        r1 = puf.chains[1].eval(c)
-        assert np.mean(r0 == r1) > 0.7
+        c = random_pm1(32, 2000, stat.rng("challenges", 9))
+        agreements = int(np.sum(puf.chains[0].eval(c) == puf.chains[1].eval(c)))
+        stat.check_at_least(agreements, 2000, 0.7, name="chain_agreement")
 
-    def test_uncorrelated_chains_independent(self):
-        puf = XORArbiterPUF(32, 2, np.random.default_rng(10), correlation=0.0)
-        c = random_pm1(32, 2000, np.random.default_rng(11))
-        r0 = puf.chains[0].eval(c)
-        r1 = puf.chains[1].eval(c)
-        assert abs(np.mean(r0 == r1) - 0.5) < 0.1
+    @statistical_test(alpha=2e-8)
+    def test_uncorrelated_chains_independent(self, stat):
+        puf = XORArbiterPUF(32, 2, stat.rng("instance", 10), correlation=0.0)
+        c = random_pm1(32, 2000, stat.rng("challenges", 11))
+        agreements = int(np.sum(puf.chains[0].eval(c) == puf.chains[1].eval(c)))
+        stat.check_within(
+            agreements, 2000, 0.45, 0.55, name="chain_independence"
+        )
 
-    def test_noise_compounds_with_k(self):
-        # Reliability of an XOR PUF degrades with chain count.
-        rng_c = np.random.default_rng(12)
-        c = random_pm1(64, 3000, rng_c)
-        rates = []
+    @statistical_test(alpha=2e-8)
+    def test_noise_compounds_with_k(self, stat):
+        # Reliability of an XOR PUF degrades with chain count: the flip
+        # rate must be (weakly) increasing in k, checked pairwise at a
+        # split of this test's alpha.
+        m = 3000
+        c = random_pm1(64, m, stat.rng("challenges", 12))
+        alpha_each = stat.split_alpha(2)
+        flips = []
         for k in (1, 4, 8):
-            puf = XORArbiterPUF(64, k, np.random.default_rng(13), noise_sigma=0.3)
+            puf = XORArbiterPUF(64, k, stat.rng(f"instance k={k}", 13), noise_sigma=0.3)
             ideal = puf.eval(c)
-            noisy = puf.eval_noisy(c, np.random.default_rng(14))
-            rates.append(np.mean(ideal != noisy))
-        assert rates[0] < rates[1] < rates[2]
+            noisy = puf.eval_noisy(c, stat.rng(f"noise k={k}", 14))
+            flips.append(int(np.sum(ideal != noisy)))
+        from repro.conformance import check_two_sample_less
+
+        stat.check(
+            check_two_sample_less(
+                flips[0], m, flips[1], m, alpha_each, name="flips k=1 <= k=4"
+            )
+        )
+        stat.check(
+            check_two_sample_less(
+                flips[1], m, flips[2], m, alpha_each, name="flips k=4 <= k=8"
+            )
+        )
 
     def test_invalid_args(self):
         with pytest.raises(ValueError):
