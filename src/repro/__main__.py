@@ -10,7 +10,8 @@ Subcommands:
   print the recovered key.
 
 * ``trials`` — the parallel experiment runtime: fan a workload
-  (``curve``/``lmn``/``km``/``sq``/``fault``) out over worker processes,
+  (``curve``/``lmn``/``km``/``sq``/``fault``/``fleet``) out over worker
+  processes,
   report per-trial timings, speedup over serial, and the bit-identity
   check; ``--ledger`` additionally writes a query-accounting run
   directory, ``--retries``/``--trial-timeout`` configure the retry
@@ -31,6 +32,12 @@ Subcommands:
   per-subset loops and regenerate the machine-readable baseline::
 
       python -m repro bench-kernels --out benchmarks/results/BENCH_kernels.json
+
+* ``bench-fleet`` — time the per-instance evaluation loop against the
+  stacked-GEMM fleet kernels over populations of PUF instances::
+
+      python -m repro bench-fleet --out benchmarks/results/BENCH_fleet.json
+      python -m repro bench-fleet --smoke
 
 * ``docs-bench`` — regenerate ``docs/BENCHMARKS.md`` from the committed
   ``benchmarks/results/BENCH_*.json`` baselines (``--check`` fails on
@@ -178,6 +185,22 @@ def _resolve_workload(args: argparse.Namespace):
             test_size=pick(args.test_size, 2000),
         )
         return w.sq_trial, spec, ["accuracy", "SQ queries"]
+    if name == "fleet":
+        spec = w.FleetEvalSpec(
+            family=args.family,
+            n=pick(args.n, 64),
+            size=args.size,
+            k=pick(args.k, 4),
+            noise_sigma=args.noise_sigma,
+            tier=args.tier,
+            m=args.fleet_m,
+            repetitions=args.repetitions,
+        )
+        return (
+            w.fleet_eval_trial,
+            spec,
+            ["uniqueness", "uniformity", "reliability"],
+        )
     if name == "fault":
         fail_at = tuple(int(i) for i in args.fail_at.split(",") if i.strip())
         spec = w.FaultInjectionSpec(
@@ -433,6 +456,40 @@ def cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench_fleet(args: argparse.Namespace) -> int:
+    from repro.kernels.fleet_bench import (
+        default_cases,
+        render_table,
+        run_fleet_bench,
+        smoke_cases,
+        write_results,
+    )
+
+    cases = smoke_cases() if args.smoke else default_cases()
+    payload = run_fleet_bench(cases)
+    print(render_table(payload))
+    if args.out is not None:
+        from pathlib import Path
+
+        write_results(payload, Path(args.out))
+        print(f"wrote {args.out}")
+
+    failures = []
+    for rec in payload["cases"]:
+        if not rec["equivalent"]:
+            failures.append(
+                f"{rec['name']}: fleet responses differ from the per-instance loop"
+            )
+        if args.smoke and rec["eval"]["speedup"] < 1.0:
+            failures.append(
+                f"{rec['name']}: stacked GEMM slower than the loop "
+                f"({rec['eval']['speedup']:.2f}x)"
+            )
+    for failure in failures:
+        print("FAIL:", failure)
+    return 1 if failures else 0
+
+
 def cmd_conformance(args: argparse.Namespace) -> int:
     from repro.analysis.tables import TableBuilder
     from repro.conformance import run_suite
@@ -532,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trials.add_argument(
         "--workload",
-        choices=("curve", "lmn", "km", "sq", "fault"),
+        choices=("curve", "lmn", "km", "sq", "fault", "fleet"),
         default="curve",
         help="which trial workload to fan out",
     )
@@ -581,6 +638,39 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("sampling", "adversarial"),
         default="sampling",
         help="SQ oracle mode (sq workload)",
+    )
+    trials.add_argument(
+        "--family",
+        choices=("arbiter", "xor", "br", "ltf"),
+        default="arbiter",
+        help="PUF family of the population (fleet workload)",
+    )
+    trials.add_argument(
+        "--size", type=int, default=256, help="instances per fleet (fleet workload)"
+    )
+    trials.add_argument(
+        "--tier",
+        choices=("float64", "float32", "int8"),
+        default="float64",
+        help="dtype tier for the stacked GEMM (fleet workload)",
+    )
+    trials.add_argument(
+        "--noise-sigma",
+        type=float,
+        default=0.05,
+        help="measurement noise on the margins (fleet workload)",
+    )
+    trials.add_argument(
+        "--repetitions",
+        type=int,
+        default=5,
+        help="majority-vote repetitions (fleet workload)",
+    )
+    trials.add_argument(
+        "--fleet-m",
+        type=int,
+        default=2000,
+        help="challenges per fleet trial (fleet workload)",
     )
     trials.add_argument(
         "--fail-at",
@@ -721,6 +811,24 @@ def build_parser() -> argparse.ArgumentParser:
         "equivalent and at least as fast as the naive path",
     )
     bench.set_defaults(func=cmd_bench_kernels)
+
+    bench_fleet = sub.add_parser(
+        "bench-fleet",
+        help="time the per-instance loop vs the stacked-GEMM fleet kernels",
+    )
+    bench_fleet.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the JSON payload here (e.g. benchmarks/results/BENCH_fleet.json)",
+    )
+    bench_fleet.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the seconds-fast CI subset and fail unless the fleet path is "
+        "equivalent and at least as fast as the per-instance loop",
+    )
+    bench_fleet.set_defaults(func=cmd_bench_fleet)
 
     conf = sub.add_parser(
         "conformance",

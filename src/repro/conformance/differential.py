@@ -277,6 +277,285 @@ def _diff_ltf_eval(ctx: RelationContext) -> Dict[str, object]:
     return _compare_margins("ltf", ltf.margin(x), reference, ltf(x), scale)
 
 
+# ----------------------------------------------------------------------
+# Fleet (stacked-GEMM) paths vs the per-instance loop
+# ----------------------------------------------------------------------
+def _fleet_seed(ctx: RelationContext) -> int:
+    """A replayable fleet root seed drawn from the relation's own stream."""
+    return int(ctx.rng().integers(0, 2**63))
+
+
+def _diff_fleet_arbiter(ctx: RelationContext) -> Dict[str, object]:
+    """An arbiter fleet's stacked-GEMM margins agree with the fsum
+    reference run per instance, and the stacked weight matrix is
+    bit-identical to the standalone constructors' weights."""
+    from repro.pufs.arbiter import parity_transform
+    from repro.pufs.fleet import Fleet, FleetSpec
+
+    spec = FleetSpec("arbiter", 32, 12)
+    fleet = Fleet.build(spec, _fleet_seed(ctx))
+    instances = fleet.instances()
+    stacked = np.column_stack([p.weights for p in instances])
+    if not np.array_equal(stacked, fleet.weights):
+        raise ConformanceViolation(
+            "fleet weight columns differ from the standalone constructors'"
+        )
+    c = _random_challenges(ctx.rng(), ctx.samples(1_000, minimum=256), spec.n)
+    margins = fleet.margins(c)
+    responses = fleet.eval(c)
+    reference = np.column_stack(
+        [ref.naive_arbiter_margin(p.weights, c) for p in instances]
+    )
+    scale = np.abs(parity_transform(c)).astype(np.float64) @ np.abs(fleet.weights)
+    details = _compare_margins(
+        "fleet_arbiter",
+        margins.ravel(),
+        reference.ravel(),
+        responses.ravel(),
+        scale.ravel(),
+    )
+    details["instances"] = spec.size
+    return details
+
+
+def _diff_fleet_xor(ctx: RelationContext) -> Dict[str, object]:
+    """A mixed-k XOR fleet's per-chain margins agree with the fsum
+    reference, and the ±1 integer combine path (reduceat over chain
+    slices) matches the per-instance loop bit-identically on every row
+    whose chains all clear the guard band."""
+    from repro.pufs.arbiter import parity_transform
+    from repro.pufs.fleet import Fleet, FleetSpec, eval_instance
+
+    spec = FleetSpec("xor", 24, 6, k=(1, 2, 3, 5, 2, 4))
+    fleet = Fleet.build(spec, _fleet_seed(ctx))
+    instances = fleet.instances()
+    c = _random_challenges(ctx.rng(), ctx.samples(800, minimum=256), spec.n)
+    chain_margins = fleet.margins(c)
+    chains = [chain for puf in instances for chain in puf.chains]
+    reference = np.column_stack(
+        [ref.naive_arbiter_margin(chain.weights, c) for chain in chains]
+    )
+    scale = np.abs(parity_transform(c)).astype(np.float64) @ np.abs(fleet.weights)
+    chain_signs = np.where(chain_margins >= 0, 1, -1).astype(np.int8)
+    details = _compare_margins(
+        "fleet_xor_chains",
+        chain_margins.ravel(),
+        reference.ravel(),
+        chain_signs.ravel(),
+        scale.ravel(),
+    )
+    guard_clear = np.all(np.abs(reference) > 1e-9 * np.maximum(scale, 1.0), axis=1)
+    loop = np.column_stack([eval_instance(p, c) for p in instances])
+    if not np.array_equal(fleet.eval(c)[guard_clear], loop[guard_clear]):
+        raise ConformanceViolation(
+            "mixed-k XOR fleet responses differ from the per-instance "
+            "loop outside the guard band"
+        )
+    details["chains"] = len(chains)
+    details["guard_band_challenge_rows"] = int(np.sum(~guard_clear))
+    return details
+
+
+def _diff_fleet_br_ltf(ctx: RelationContext) -> Dict[str, object]:
+    """BR and LTF fleet margins agree with their fsum references."""
+    from repro.pufs.fleet import Fleet, FleetSpec
+
+    details: Dict[str, object] = {}
+    br = Fleet.build(FleetSpec("br", 16, 5), _fleet_seed(ctx))
+    c = _random_challenges(ctx.rng(), ctx.samples(600, minimum=256), 16)
+    br_instances = br.instances()
+    reference = np.column_stack(
+        [
+            ref.naive_br_margin(
+                c,
+                p.bias_terms,
+                p.linear_weights,
+                p.global_offset,
+                p.pair_indices,
+                p.pair_weights,
+                p.triple_indices,
+                p.triple_weights,
+            )
+            for p in br_instances
+        ]
+    )
+    scale = np.broadcast_to(
+        np.array(
+            [
+                abs(p.global_offset)
+                + float(np.sum(np.abs(p.bias_terms)))
+                + float(np.sum(np.abs(p.linear_weights)))
+                + float(np.sum(np.abs(p.pair_weights)))
+                + float(np.sum(np.abs(p.triple_weights)))
+                for p in br_instances
+            ]
+        ),
+        reference.shape,
+    )
+    sub = _compare_margins(
+        "fleet_br",
+        br.margins(c).ravel(),
+        reference.ravel(),
+        br.eval(c).ravel(),
+        scale.ravel(),
+    )
+    details["br_max_margin_error"] = sub["max_margin_error"]
+    details["br_guard_band_rows"] = sub["guard_band_rows"]
+
+    ltf = Fleet.build(FleetSpec("ltf", 20, 8), _fleet_seed(ctx))
+    x = _random_challenges(ctx.rng(), ctx.samples(600, minimum=256), 20)
+    ltf_instances = ltf.instances()
+    reference = np.column_stack(
+        [ref.naive_ltf_margin(f.weights, f.threshold, x) for f in ltf_instances]
+    )
+    scale = np.broadcast_to(
+        np.array(
+            [
+                float(np.sum(np.abs(f.weights))) + abs(f.threshold)
+                for f in ltf_instances
+            ]
+        ),
+        reference.shape,
+    )
+    sub = _compare_margins(
+        "fleet_ltf",
+        ltf.margins(x).ravel(),
+        reference.ravel(),
+        ltf.eval(x).ravel(),
+        scale.ravel(),
+    )
+    details["ltf_max_margin_error"] = sub["max_margin_error"]
+    details["ltf_guard_band_rows"] = sub["guard_band_rows"]
+    return details
+
+
+def _diff_fleet_tier_identity(ctx: RelationContext) -> Dict[str, object]:
+    """Dtype tiers keep their exactness promises.
+
+    The int8 tier stores ±1 features in int8 but multiplies against the
+    same float64 weights, so its margins must be *bit-identical* to the
+    float64 tier's for every family.  With integer-valued weights all
+    three tiers (float32 included: products and sums stay far below
+    2^24) must agree bit-exactly with an integer-arithmetic reference.
+    """
+    from repro.pufs.arbiter import parity_transform
+    from repro.pufs.fleet import Fleet, FleetSpec
+
+    cases = 0
+    for family, n, size, k in (
+        ("arbiter", 24, 8, 1),
+        ("xor", 16, 5, (1, 2, 3, 2, 4)),
+        ("br", 12, 4, 1),
+        ("ltf", 20, 6, 1),
+    ):
+        seed = _fleet_seed(ctx)
+        f64 = Fleet.build(FleetSpec(family, n, size, k=k), seed)
+        i8 = Fleet.build(FleetSpec(family, n, size, k=k, tier="int8"), seed)
+        c = _random_challenges(ctx.rng(), 512, n)
+        if not np.array_equal(f64.margins(c), i8.margins(c)):
+            raise ConformanceViolation(
+                f"int8-tier margins differ from float64's for family {family!r}"
+            )
+        if not np.array_equal(f64.eval(c), i8.eval(c)):
+            raise ConformanceViolation(
+                f"int8-tier responses differ from float64's for family {family!r}"
+            )
+        cases += 1
+
+    n, size = 16, 6
+    int_weights = ctx.rng().integers(-8, 9, size=(n + 1, size)).astype(np.float64)
+    c = _random_challenges(ctx.rng(), 512, n)
+    root = np.random.SeedSequence(0)
+    exact = parity_transform(c).astype(np.int64) @ int_weights.astype(np.int64)
+    exact_signs = np.where(exact >= 0, 1, -1).astype(np.int8)
+    for tier in ("float64", "float32", "int8"):
+        fl = Fleet(FleetSpec("arbiter", n, size, tier=tier), root, int_weights)
+        if not np.array_equal(fl.margins(c).astype(np.float64), exact):
+            raise ConformanceViolation(
+                f"{tier}-tier margins differ from exact integer arithmetic "
+                "on integer-valued weights"
+            )
+        if not np.array_equal(fl.eval(c), exact_signs):
+            raise ConformanceViolation(
+                f"{tier}-tier responses differ from exact integer arithmetic"
+            )
+        cases += 1
+    return {"cases": cases}
+
+
+def _diff_fleet_majority_vote(ctx: RelationContext) -> Dict[str, object]:
+    """Batched noisy measurement and majority vote are bit-identical to
+    a per-instance reference fed the *same* noise stream.
+
+    The batched path and the reference consume identical ``(M, chains)``
+    normal slabs (same generator seed, same draw order), so the ±1
+    integer post-processing — sign, per-instance XOR combine, int16 vote
+    accumulation, the ties-to-+1 rule — must agree bit-for-bit.
+    """
+    from repro.kernels.fleet import batched_majority_vote, noisy_sign_responses
+    from repro.pufs.fleet import Fleet, FleetSpec
+
+    spec = FleetSpec("xor", 16, 5, k=(1, 2, 3, 2, 4), noise_sigma=0.6)
+    fleet = Fleet.build(spec, _fleet_seed(ctx))
+    c = _random_challenges(ctx.rng(), ctx.samples(400, minimum=128), spec.n)
+    margins = fleet.margins(c)
+    counts = spec.chain_counts
+    offsets = np.asarray(fleet.chain_offsets)
+    repetitions = 9
+    entropy = _fleet_seed(ctx)
+
+    def combine_loop(signs: np.ndarray) -> np.ndarray:
+        cols = []
+        for i in range(spec.size):
+            lo = int(offsets[i])
+            cols.append(np.prod(signs[:, lo : lo + counts[i]], axis=1))
+        return np.column_stack(cols).astype(np.int8)
+
+    noise = np.random.default_rng(entropy).normal(
+        0.0, spec.noise_sigma, size=margins.shape
+    )
+    single = noisy_sign_responses(margins, noise, offsets)
+    if not np.array_equal(
+        single, combine_loop(np.where(margins + noise >= 0, 1, -1))
+    ):
+        raise ConformanceViolation(
+            "batched noisy measurement differs from the per-instance "
+            "loop under the same noise tensor"
+        )
+
+    voted = batched_majority_vote(
+        margins,
+        spec.noise_sigma,
+        repetitions,
+        np.random.default_rng(entropy),
+        offsets,
+    )
+    replay = np.random.default_rng(entropy)
+    votes = np.zeros((c.shape[0], spec.size), dtype=np.int64)
+    for _ in range(repetitions):
+        slab = replay.normal(0.0, spec.noise_sigma, size=margins.shape)
+        votes += combine_loop(np.where(margins + slab >= 0, 1, -1))
+    if not np.array_equal(voted, np.where(votes >= 0, 1, -1).astype(np.int8)):
+        raise ConformanceViolation(
+            "batched majority vote differs from the per-instance reference "
+            "under the same noise stream"
+        )
+    if not np.array_equal(
+        batched_majority_vote(
+            margins, 0.0, 3, np.random.default_rng(entropy), offsets
+        ),
+        noisy_sign_responses(margins, None, offsets),
+    ):
+        raise ConformanceViolation(
+            "zero-noise majority vote differs from the ideal response"
+        )
+    return {
+        "rows": int(c.shape[0]),
+        "chains": int(sum(counts)),
+        "repetitions": repetitions,
+    }
+
+
 def differential_relations() -> List[Relation]:
     """The registry of differential relations, in stable order."""
     return [
@@ -335,5 +614,39 @@ def differential_relations() -> List[Relation]:
             "differential",
             "LTF margins and signs agree with the fsum reference evaluator",
             _diff_ltf_eval,
+        ),
+        Relation(
+            "diff_fleet_arbiter",
+            "differential",
+            "arbiter fleet stacked-GEMM margins agree with the per-instance "
+            "fsum reference and stack bit-identical weights",
+            _diff_fleet_arbiter,
+        ),
+        Relation(
+            "diff_fleet_xor",
+            "differential",
+            "mixed-k XOR fleet chain margins agree with the reference; the "
+            "reduceat combine matches the per-instance loop",
+            _diff_fleet_xor,
+        ),
+        Relation(
+            "diff_fleet_br_ltf",
+            "differential",
+            "BR and LTF fleet margins agree with their fsum references",
+            _diff_fleet_br_ltf,
+        ),
+        Relation(
+            "diff_fleet_tier_identity",
+            "differential",
+            "int8-tier fleet margins are bit-identical to float64's; all "
+            "tiers are exact on integer-valued weights",
+            _diff_fleet_tier_identity,
+        ),
+        Relation(
+            "diff_fleet_majority_vote",
+            "differential",
+            "batched noisy eval and majority vote are bit-identical to the "
+            "per-instance loop under the same noise stream",
+            _diff_fleet_majority_vote,
         ),
     ]

@@ -368,6 +368,33 @@ def _majority_vote_denoises(ctx: RelationContext) -> Dict[str, object]:
     return {"m": m, "single_flips": single, "voted_flips": voted}
 
 
+def _fleet_majority_vote_denoises(ctx: RelationContext) -> Dict[str, object]:
+    """Batched fleet majority voting errs no more than single shots.
+
+    The fleet analogue of :func:`_majority_vote_denoises`: over the whole
+    ``(m, N)`` response plane, majority-voted measurements disagree with
+    the ideal plane no more often than one noisy measurement does.
+    """
+    from repro.pufs.fleet import Fleet, FleetSpec
+
+    spec = FleetSpec("arbiter", 32, 8, noise_sigma=0.5)
+    fleet = Fleet.build(spec, int(ctx.rng().integers(0, 2**63)))
+    m = ctx.samples(2_000, minimum=500)
+    c = _random_challenges(ctx.rng(), m, spec.n)
+    ideal = fleet.eval(c)
+    cells = m * spec.size
+    single = int(np.sum(fleet.eval_noisy(c, ctx.rng()) != ideal))
+    voted = int(
+        np.sum(fleet.majority_vote(c, repetitions=15, rng=ctx.rng()) != ideal)
+    )
+    ctx.check(
+        orc.check_two_sample_less(
+            voted, cells, single, cells, ctx.alpha, name="fleet_majority_vote"
+        )
+    )
+    return {"cells": cells, "single_flips": single, "voted_flips": voted}
+
+
 def _challenge_sampler_conformance(ctx: RelationContext) -> Dict[str, object]:
     """Uniform challenges are fair; ``biased_challenges(p)`` hits rate p."""
     from repro.pufs.crp import biased_challenges, uniform_challenges
@@ -547,6 +574,13 @@ def metamorphic_relations() -> List[Relation]:
             "metamorphic",
             "majority-voted measurements err no more than single shots",
             _majority_vote_denoises,
+            statistical=True,
+        ),
+        Relation(
+            "fleet_majority_vote_denoises",
+            "metamorphic",
+            "batched fleet majority voting errs no more than single shots",
+            _fleet_majority_vote_denoises,
             statistical=True,
         ),
         Relation(

@@ -12,6 +12,24 @@ from repro.kernels.blocking import (
     DEFAULT_CHARACTER_BLOCK,
     iter_blocks,
 )
+from repro.kernels.backend import (
+    DTYPE_TIERS,
+    KernelBackend,
+    NumpyBackend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.kernels.fleet import (
+    batched_majority_vote,
+    br_features,
+    fleet_margins,
+    linear_features,
+    noisy_sign_responses,
+    parity_features,
+    sign_responses,
+    xor_combine,
+)
 from repro.kernels.fwht import fwht, fwht_inplace, mobius_f2_inplace
 from repro.kernels.character import (
     CharacterBasis,
@@ -22,6 +40,20 @@ from repro.kernels.character import (
 )
 
 __all__ = [
+    "DTYPE_TIERS",
+    "KernelBackend",
+    "NumpyBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "batched_majority_vote",
+    "br_features",
+    "fleet_margins",
+    "linear_features",
+    "noisy_sign_responses",
+    "parity_features",
+    "sign_responses",
+    "xor_combine",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_CHARACTER_BLOCK",
     "iter_blocks",

@@ -1,0 +1,212 @@
+"""Stacked-GEMM kernels for evaluating fleets of PUF instances at once.
+
+The per-instance hot paths in this repo all look like
+``[puf.eval(challenges) for puf in pufs]`` — one BLAS ``gemv`` (or worse,
+one Python-level feature build) per instance.  The sweeps the paper's
+Section IV argument needs run *populations*: thousands of instances per
+cell.  These kernels restructure that work as one GEMM:
+
+* build the ±1 feature matrix for the challenge batch **once** —
+  ``(M, d)`` instead of N times;
+* stack the N instances' weight vectors into a ``(d, N)`` matrix;
+* one ``(M, d) @ (d, N)`` multiply yields every margin of every
+  instance.
+
+Sign-domain post-processing (XOR combination across chains, majority
+voting over noisy repetitions) is exact ±1 integer arithmetic and is
+batched over the whole ``(M, N)`` plane.
+
+This module is part of the ``repro.kernels`` leaf package: it imports
+numpy and :mod:`repro.kernels.backend` and nothing else from ``repro``.
+Query metering and the ``Fleet`` object API live in
+:mod:`repro.pufs.fleet`, which builds on these kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.backend import KernelBackend, feature_dtype, get_backend
+
+__all__ = [
+    "parity_features",
+    "linear_features",
+    "br_features",
+    "fleet_margins",
+    "sign_responses",
+    "xor_combine",
+    "noisy_sign_responses",
+    "batched_majority_vote",
+]
+
+
+# ----------------------------------------------------------------------
+# Feature construction — done once per challenge batch, not per instance.
+# ----------------------------------------------------------------------
+def parity_features(challenges: np.ndarray, tier: str = "float64") -> np.ndarray:
+    """The arbiter parity transform as an ``(M, n+1)`` tier-dtype matrix.
+
+    Column ``i`` is ``prod_{j >= i} c_j``; the last column is the
+    constant 1 multiplying the bias weight.  All entries are ±1, so the
+    transform is exact in every tier (int8 cumprod of ±1 cannot
+    overflow; ±1 is exact in binary32/binary64) and the int8 tier's
+    features are value-identical to float64's.
+    """
+    dtype = feature_dtype(tier)
+    challenges = np.asarray(challenges)
+    if challenges.ndim == 1:
+        challenges = challenges[None, :]
+    m, n = challenges.shape
+    phi = np.ones((m, n + 1), dtype=dtype)
+    flipped = np.ascontiguousarray(challenges[:, ::-1]).astype(dtype, copy=False)
+    phi[:, :n] = np.cumprod(flipped, axis=1)[:, ::-1]
+    return phi
+
+
+def linear_features(challenges: np.ndarray, tier: str = "float64") -> np.ndarray:
+    """``(M, n+1)`` features for plain LTF fleets: the challenge plus a
+    constant column carrying each instance's (negated) threshold."""
+    dtype = feature_dtype(tier)
+    challenges = np.asarray(challenges)
+    if challenges.ndim == 1:
+        challenges = challenges[None, :]
+    m, n = challenges.shape
+    feats = np.ones((m, n + 1), dtype=dtype)
+    feats[:, :n] = np.ascontiguousarray(challenges).astype(dtype, copy=False)
+    return feats
+
+
+def br_features(
+    challenges: np.ndarray,
+    pair_indices: np.ndarray,
+    triple_indices: np.ndarray,
+    tier: str = "float64",
+) -> np.ndarray:
+    """``(M, 1 + n + P + T)`` monomial features for a BR fleet.
+
+    Layout: ``[1, c_0..c_{n-1}, c_i c_j for (i,j) in pairs,
+    c_i c_j c_l for (i,j,l) in triples]``.  Every entry is a ±1
+    monomial, exact in all tiers.  The pair/triple index sets are a
+    *fleet-level* (design) property shared by all instances so the
+    feature matrix can be built once — per-instance manufacturing
+    variation lives entirely in the weight columns.
+    """
+    dtype = feature_dtype(tier)
+    challenges = np.asarray(challenges)
+    if challenges.ndim == 1:
+        challenges = challenges[None, :]
+    c = np.ascontiguousarray(challenges).astype(dtype, copy=False)
+    m, n = c.shape
+    pair_indices = np.asarray(pair_indices, dtype=np.int64).reshape(-1, 2)
+    triple_indices = np.asarray(triple_indices, dtype=np.int64).reshape(-1, 3)
+    d = 1 + n + len(pair_indices) + len(triple_indices)
+    feats = np.ones((m, d), dtype=dtype)
+    feats[:, 1 : 1 + n] = c
+    lo = 1 + n
+    if len(pair_indices):
+        pi, pj = pair_indices[:, 0], pair_indices[:, 1]
+        feats[:, lo : lo + len(pair_indices)] = c[:, pi] * c[:, pj]
+    lo += len(pair_indices)
+    if len(triple_indices):
+        ti, tj, tl = triple_indices[:, 0], triple_indices[:, 1], triple_indices[:, 2]
+        feats[:, lo:] = c[:, ti] * c[:, tj] * c[:, tl]
+    return feats
+
+
+# ----------------------------------------------------------------------
+# The stacked GEMM and its sign-domain post-processing.
+# ----------------------------------------------------------------------
+def fleet_margins(
+    features: np.ndarray,
+    weights: np.ndarray,
+    backend: Optional[KernelBackend] = None,
+) -> np.ndarray:
+    """``(M, d) @ (d, N)`` margins for N stacked instances (or chains).
+
+    Routed through the installed :class:`KernelBackend` (or the one
+    passed explicitly), which owns dtype upcasting and thread tiling.
+    """
+    backend = get_backend() if backend is None else backend
+    return backend.gemm(np.asarray(features), np.asarray(weights))
+
+
+def sign_responses(margins: np.ndarray) -> np.ndarray:
+    """±1 ``int8`` responses with the repo-wide tie rule (0 maps to +1)."""
+    return np.where(np.asarray(margins) >= 0, 1, -1).astype(np.int8)
+
+
+def xor_combine(chain_signs: np.ndarray, chain_offsets: np.ndarray) -> np.ndarray:
+    """Combine per-chain signs into per-instance XOR responses.
+
+    ``chain_signs`` is ``(M, total_chains)`` ±1 int8 with instance i's
+    chains stored contiguously starting at ``chain_offsets[i]``;
+    ``reduceat`` multiplies each instance's slice, supporting a
+    *mixed-k* fleet (every instance may have a different chain count)
+    without Python loops.  Products of ±1 cannot overflow int8.
+    """
+    chain_signs = np.asarray(chain_signs)
+    chain_offsets = np.asarray(chain_offsets, dtype=np.intp)
+    if chain_signs.ndim != 2:
+        raise ValueError(f"chain_signs must be 2-D, got shape {chain_signs.shape}")
+    return np.multiply.reduceat(chain_signs, chain_offsets, axis=1).astype(np.int8)
+
+
+def noisy_sign_responses(
+    margins: np.ndarray,
+    noise: Optional[np.ndarray] = None,
+    chain_offsets: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One noisy measurement of the whole fleet from explicit noise.
+
+    ``margins`` is ``(M, K)`` — K instances, or K chains for XOR fleets
+    (then ``chain_offsets`` selects the per-instance slices).  ``noise``
+    must broadcast against it; passing the noise explicitly is what lets
+    the conformance relations feed the *same* tensor to this batched
+    path and to the per-instance reference loop and demand bit-identical
+    votes.
+    """
+    margins = np.asarray(margins)
+    if noise is not None:
+        margins = margins + noise
+    signs = sign_responses(margins)
+    if chain_offsets is not None:
+        signs = xor_combine(signs, chain_offsets)
+    return signs
+
+
+def batched_majority_vote(
+    margins: np.ndarray,
+    noise_sigma: float,
+    repetitions: int,
+    rng: np.random.Generator,
+    chain_offsets: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Majority vote over ``repetitions`` noisy fleet measurements.
+
+    Only the repetition axis is a Python loop; each iteration draws one
+    ``(M, K)`` noise slab and updates an int16 vote accumulator over the
+    ``(M, N)`` plane.  Vote counts are bounded by ``repetitions`` so
+    int16 is exact up to 32767 repetitions.  Ties (even counts) break
+    toward +1, matching :func:`repro.pufs.noise.majority_vote`.
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    margins = np.asarray(margins)
+    first = noisy_sign_responses(
+        margins,
+        rng.normal(0.0, noise_sigma, size=margins.shape) if noise_sigma > 0 else None,
+        chain_offsets,
+    )
+    votes = first.astype(np.int16)
+    for _ in range(repetitions - 1):
+        measurement = noisy_sign_responses(
+            margins,
+            rng.normal(0.0, noise_sigma, size=margins.shape)
+            if noise_sigma > 0
+            else None,
+            chain_offsets,
+        )
+        votes += measurement
+    return np.where(votes >= 0, 1, -1).astype(np.int8)

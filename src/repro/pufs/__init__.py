@@ -35,6 +35,13 @@ from repro.pufs.ring_oscillator import (
     sorting_attack,
 )
 from repro.pufs.crp import CRPSet, generate_crps, uniform_challenges, biased_challenges
+from repro.pufs.fleet import (
+    FLEET_FAMILIES,
+    Fleet,
+    FleetSpec,
+    eval_instance,
+    instance_margin,
+)
 from repro.pufs.noise import majority_vote, stable_challenge_mask, collect_stable_crps
 from repro.pufs.io import load_puf, save_puf
 from repro.pufs.metrics import (
@@ -44,6 +51,11 @@ from repro.pufs.metrics import (
     uniqueness,
     expected_bias,
     bit_aliasing,
+    fleet_bit_aliasing,
+    fleet_reliability,
+    fleet_uniformity,
+    fleet_uniqueness,
+    response_plane_uniqueness,
     xor_reliability_prediction,
 )
 
@@ -58,6 +70,11 @@ __all__ = [
     "predict_from_scores",
     "sorting_attack",
     "parity_transform",
+    "FLEET_FAMILIES",
+    "Fleet",
+    "FleetSpec",
+    "eval_instance",
+    "instance_margin",
     "CRPSet",
     "generate_crps",
     "uniform_challenges",
@@ -73,5 +90,10 @@ __all__ = [
     "uniqueness",
     "expected_bias",
     "bit_aliasing",
+    "fleet_bit_aliasing",
+    "fleet_reliability",
+    "fleet_uniformity",
+    "fleet_uniqueness",
+    "response_plane_uniqueness",
     "xor_reliability_prediction",
 ]

@@ -113,6 +113,47 @@ class BistableRingPUF(PUF):
         if tri_scale > 0:
             self.triple_weights *= interaction_scale * lin_scale / tri_scale
 
+    @classmethod
+    def from_parameters(
+        cls,
+        n: int,
+        bias_terms: np.ndarray,
+        linear_weights: np.ndarray,
+        global_offset: float,
+        pair_indices: np.ndarray,
+        pair_weights: np.ndarray,
+        triple_indices: np.ndarray,
+        triple_weights: np.ndarray,
+        interaction_scale: float = 0.55,
+        noise_sigma: float = 0.0,
+    ) -> "BistableRingPUF":
+        """Materialise an instance from explicit, already-normalised
+        parameters (no rng draws).
+
+        This is how :class:`repro.pufs.fleet.Fleet` produces standalone
+        BR comparators: a fleet shares one interaction topology (a
+        design/layout property) across its instances, so its members
+        cannot be rebuilt through the drawing constructor, whose
+        topology selection is interleaved with the weight draws.
+        """
+        self = cls.__new__(cls)
+        PUF.__init__(self, n, noise_sigma)
+        self.interaction_scale = float(interaction_scale)
+        self.bias_terms = np.asarray(bias_terms, dtype=np.float64)
+        self.linear_weights = np.asarray(linear_weights, dtype=np.float64)
+        self.global_offset = float(global_offset)
+        self.pair_indices = np.asarray(pair_indices, dtype=np.int64).reshape(-1, 2)
+        self.pair_weights = np.asarray(pair_weights, dtype=np.float64)
+        self.triple_indices = np.asarray(triple_indices, dtype=np.int64).reshape(-1, 3)
+        self.triple_weights = np.asarray(triple_weights, dtype=np.float64)
+        if self.bias_terms.shape != (n,) or self.linear_weights.shape != (n,):
+            raise ValueError("bias_terms and linear_weights must have shape (n,)")
+        if self.pair_weights.shape != (len(self.pair_indices),):
+            raise ValueError("pair_weights must match pair_indices")
+        if self.triple_weights.shape != (len(self.triple_indices),):
+            raise ValueError("triple_weights must match triple_indices")
+        return self
+
     def raw_margin(self, challenges: np.ndarray) -> np.ndarray:
         c = challenges.astype(np.float64)
         margin = (

@@ -12,9 +12,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.kernels.backend import get_backend
 from repro.pufs.base import PUF
 from repro.pufs.crp import uniform_challenges
+from repro.pufs.fleet import Fleet
 from repro.pufs.noise import repeated_measurements
+from repro.telemetry.meter import unmetered
 
 
 def uniformity(responses: np.ndarray) -> float:
@@ -93,6 +96,113 @@ def bit_aliasing(
     challenges = uniform_challenges(m, n, rng)
     responses = np.stack([p.eval(challenges) for p in pufs], axis=0)
     return np.mean(responses == -1, axis=0)
+
+
+def _fleet_challenges(
+    fleet: Fleet, m: int, rng: Optional[np.random.Generator]
+) -> np.ndarray:
+    if m <= 0:
+        raise ValueError("challenge count must be positive")
+    rng = np.random.default_rng() if rng is None else rng
+    return uniform_challenges(m, fleet.n, rng)
+
+
+def fleet_uniformity(
+    fleet: Fleet,
+    m: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-instance uniformity of a fleet — a length-N vector of the
+    fraction of -1 responses, from one stacked evaluation (ideal 0.5).
+
+    Quality metrics are not adversary queries, so the evaluation is
+    unmetered (matching the per-instance metric helpers, which never
+    recorded into the QueryMeter either).
+    """
+    challenges = _fleet_challenges(fleet, m, rng)
+    with unmetered():
+        responses = fleet.eval(challenges)
+    return np.mean(responses == -1, axis=0)
+
+
+def response_plane_uniqueness(responses: np.ndarray) -> float:
+    """Mean pairwise inter-chip Hamming distance of an ``(m, N)`` ±1
+    response plane.
+
+    Computed from the plane's Gram matrix:
+    ``disagreements_ij = (m - (R^T R)_ij) / 2`` — exact integers, since
+    ±1 dot products are integers and m < 2^53.  Pairs are averaged in
+    the same i < j order as :func:`uniqueness`, so for the same
+    challenge draw the result is bit-identical to the per-instance loop.
+    """
+    responses = np.asarray(responses)
+    if responses.ndim != 2 or responses.shape[1] < 2:
+        raise ValueError("uniqueness needs an (m, N >= 2) response plane")
+    m, size = responses.shape
+    r = responses.astype(np.float64)
+    gram = get_backend().gemm(np.ascontiguousarray(r.T), r)
+    diff = (m - gram) / 2.0  # exact pairwise disagreement counts
+    upper = diff[np.triu_indices(size, k=1)]
+    return float(np.mean(upper / m))
+
+
+def fleet_uniqueness(
+    fleet: Fleet,
+    m: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Mean pairwise inter-chip Hamming distance over the fleet; ideal 0.5.
+
+    One stacked evaluation, then :func:`response_plane_uniqueness`.
+    """
+    if len(fleet) < 2:
+        raise ValueError("uniqueness needs at least two PUF instances")
+    challenges = _fleet_challenges(fleet, m, rng)
+    with unmetered():
+        responses = fleet.eval(challenges)
+    return response_plane_uniqueness(responses)
+
+
+def fleet_bit_aliasing(
+    fleet: Fleet,
+    m: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-challenge aliasing across the fleet (fraction of chips answering
+    -1), from one stacked evaluation; ideal 0.5 everywhere."""
+    if len(fleet) < 2:
+        raise ValueError("bit aliasing needs at least two PUF instances")
+    challenges = _fleet_challenges(fleet, m, rng)
+    with unmetered():
+        responses = fleet.eval(challenges)
+    return np.mean(responses == -1, axis=1)
+
+
+def fleet_reliability(
+    fleet: Fleet,
+    m: int = 1000,
+    repetitions: int = 11,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Per-instance reliability of the whole fleet in one batched pass.
+
+    A length-N vector: instance i's mean agreement of its noisy
+    measurements with its per-challenge majority response, the same
+    statistic :func:`reliability` computes per PUF.  Only the repetition
+    axis is a Python loop.
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    challenges = _fleet_challenges(fleet, m, rng)
+    rng = np.random.default_rng() if rng is None else rng
+    with unmetered():
+        meas = np.stack(
+            [fleet.eval_noisy(challenges, rng) for _ in range(repetitions)],
+            axis=0,
+        )  # (repetitions, m, N)
+    sums = np.sum(meas.astype(np.int32), axis=0)
+    majority = np.where(sums >= 0, 1, -1)
+    return np.mean(meas == majority[None, :, :], axis=(0, 1))
 
 
 def xor_reliability_prediction(chain_flip_rate: float, k: int) -> float:

@@ -22,7 +22,9 @@ import os
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.pufs.crp import CRPSet
 from repro.telemetry.meter import incr as _incr
@@ -42,6 +44,30 @@ def cache_key(
     docstring — but is validated by :meth:`CRPCache.get_or_generate`.
     """
     material = f"{puf_spec}|seed={seed!r}|dist={distribution}|noisy={bool(noisy)}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+
+def fleet_cache_key(
+    fleet_spec: str,
+    seed: object,
+    distribution: str,
+    tier: str,
+    shape: Sequence[int],
+    noisy: bool = False,
+) -> str:
+    """Provenance digest for a cached *fleet* response plane.
+
+    Unlike :func:`cache_key`, the dtype ``tier`` and the fleet ``shape``
+    (challenge length, instance count) are explicit key material — even
+    when a caller's spec string omits them — so an int8-tier run can
+    never be served a float64-tier entry and a resized fleet can never
+    alias a stale plane.  The challenge count ``m`` stays out of the
+    digest for the same prefix-reuse reason as :func:`cache_key`.
+    """
+    material = (
+        f"{fleet_spec}|seed={seed!r}|dist={distribution}"
+        f"|tier={tier}|shape={tuple(int(v) for v in shape)!r}|noisy={bool(noisy)}"
+    )
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
 
 
@@ -166,17 +192,134 @@ class CRPCache:
         return crps.take(m)
 
     # ------------------------------------------------------------------
+    # Fleet response planes: (m, n) challenges against an (m, N) response
+    # matrix, keyed by fleet_cache_key (tier and shape in the digest).
+    # ------------------------------------------------------------------
+    def fleet_path_for(self, key: str) -> Path:
+        """The ``.npz`` file backing fleet cache entry ``key``."""
+        return self.cache_dir / f"fleet-{key}.npz"
+
+    def load_fleet(self, key: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The cached (challenges, responses) plane for ``key``, or None.
+
+        Same corrupt-entry policy as :meth:`load`: an unreadable or
+        malformed archive is warned about, unlinked, and reported as a
+        miss, so one killed writer cannot poison every later run.
+        """
+        path = self.fleet_path_for(key)
+        if not path.exists():
+            return None
+        try:
+            data = np.load(path)
+            challenges = np.asarray(data["challenges"], dtype=np.int8)
+            responses = np.asarray(data["responses"], dtype=np.int8)
+            if (
+                challenges.ndim != 2
+                or responses.ndim != 2
+                or challenges.shape[0] != responses.shape[0]
+            ):
+                raise ValueError(
+                    f"malformed fleet entry: challenges {challenges.shape} "
+                    f"vs responses {responses.shape}"
+                )
+            return challenges, responses
+        except Exception as exc:
+            warnings.warn(
+                f"discarding unreadable fleet cache entry {path.name} "
+                f"({type(exc).__name__}: {exc}); regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _incr("fleet_cache.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store_fleet(
+        self, key: str, challenges: np.ndarray, responses: np.ndarray
+    ) -> Path:
+        """Persist a fleet response plane under ``key`` (atomic replace)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.fleet_path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"fleet-{key}-", suffix=".tmp.npz", dir=self.cache_dir
+        )
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            np.savez_compressed(
+                tmp,
+                challenges=np.asarray(challenges, dtype=np.int8),
+                responses=np.asarray(responses, dtype=np.int8),
+            )
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # only on a failed save/replace
+                tmp.unlink()
+        return path
+
+    def get_or_generate_fleet(
+        self,
+        fleet_spec: str,
+        seed: object,
+        distribution: str,
+        tier: str,
+        shape: Sequence[int],
+        m: int,
+        generate: Callable[[], Tuple[np.ndarray, np.ndarray]],
+        noisy: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The first ``m`` rows of this fleet plane, generating on miss.
+
+        Prefix reuse works row-wise exactly as for CRP sets: challenge
+        draws are sequential, so the first ``m`` rows of a larger cached
+        plane equal an ``m``-row generation from the same seed.
+        """
+        if m <= 0:
+            raise ValueError("challenge count must be positive")
+        key = fleet_cache_key(fleet_spec, seed, distribution, tier, shape, noisy)
+        cached = self.load_fleet(key)
+        if cached is not None and cached[0].shape[0] >= m:
+            self.hits += 1
+            _incr("fleet_cache.hits")
+            challenges, responses = cached[0][:m], cached[1][:m]
+            # Replayed oracle answers are still adversary queries, per
+            # instance (mirrors the CRP hit path above).
+            _record(
+                "ex",
+                queries=m * responses.shape[1],
+                examples=m * responses.shape[1],
+                challenges=challenges,
+                response_bytes=responses.nbytes,
+            )
+            return challenges, responses
+        self.misses += 1
+        _incr("fleet_cache.misses")
+        challenges, responses = generate()
+        if challenges.shape[0] < m:
+            raise ValueError(
+                f"generator produced {challenges.shape[0]} rows, "
+                f"fewer than requested {m}"
+            )
+        self.store_fleet(key, challenges, responses)
+        return challenges[:m], responses[:m]
+
+    # ------------------------------------------------------------------
     def clear(self) -> int:
         """Delete all cached sets; returns how many files were removed.
 
-        Also sweeps ``*.tmp.npz`` staging orphans left by writers that
-        were killed between ``mkstemp`` and ``os.replace``.
+        Sweeps CRP entries, fleet entries, and ``*.tmp.npz`` staging
+        orphans left by writers killed between ``mkstemp`` and
+        ``os.replace``.
         """
         removed = 0
         if self.cache_dir.exists():
-            for path in self.cache_dir.glob("crps-*.npz"):
-                path.unlink()
-                removed += 1
+            for pattern in ("crps-*.npz", "fleet-*.npz"):
+                for path in self.cache_dir.glob(pattern):
+                    path.unlink()
+                    removed += 1
         return removed
 
     def __repr__(self) -> str:

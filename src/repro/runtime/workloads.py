@@ -22,6 +22,8 @@ from repro.learning.logistic import LogisticAttack
 from repro.pufs.arbiter import ArbiterPUF, parity_transform
 from repro.pufs.bistable_ring import BistableRingPUF
 from repro.pufs.crp import generate_crps, uniform_challenges
+from repro.pufs.fleet import Fleet, FleetSpec
+from repro.pufs.metrics import response_plane_uniqueness
 from repro.pufs.xor_arbiter import XORArbiterPUF
 from repro.runtime.cache import CRPCache
 from repro.runtime.chunking import DEFAULT_BLOCK_SIZE, generate_crps_blocked
@@ -212,6 +214,96 @@ def chow_brpuf_trial(
     return basis.estimate_coefficients(
         crps.challenges, crps.responses, block_size=spec.block_size
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetEvalSpec:
+    """One fleet-evaluation trial: build a population, evaluate it batched.
+
+    The trial is the runtime face of the stacked-GEMM fleet layer: it
+    constructs a :class:`~repro.pufs.fleet.Fleet` from the trial's seed
+    line, answers ``m`` challenges against all ``size`` instances in one
+    GEMM, and reports population statistics.  ``tier`` selects the dtype
+    tier; the cache key of the memoised response plane includes it, so
+    an int8 run can never be served a float64 entry (or vice versa).
+    """
+
+    family: str = "arbiter"
+    n: int = 64
+    size: int = 256
+    k: int = 4
+    correlation: float = 0.0
+    noise_sigma: float = 0.05
+    tier: str = "float64"
+    m: int = 2000
+    repetitions: int = 5
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ValueError("m must be positive")
+        if self.repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        self.fleet_spec()  # validates family/n/size/k/tier eagerly
+
+    def fleet_spec(self) -> FleetSpec:
+        """The validated FleetSpec this trial builds."""
+        return FleetSpec(
+            family=self.family,
+            n=self.n,
+            size=self.size,
+            k=self.k if self.family == "xor" else 1,
+            correlation=self.correlation,
+            noise_sigma=self.noise_sigma,
+            tier=self.tier,
+        )
+
+
+def fleet_eval_trial(
+    ctx: TrialContext,
+    spec: FleetEvalSpec,
+    cache_dir: Optional[str] = None,
+) -> np.ndarray:
+    """[uniqueness, mean uniformity, mean reliability] of one fresh fleet.
+
+    Seed layout: the trial seed's first spawn child builds the fleet
+    (its own fan-out gives every instance a private line), the second
+    drives challenge draws and measurement noise.  The ideal response
+    plane is memoised by (fleet spec, seed, tier, shape) when
+    ``cache_dir`` is set; reliability needs fresh noisy measurements and
+    is always computed live.
+    """
+    fleet_seed, crp_seed = ctx.seed.spawn(2)
+    fleet = Fleet.build(spec.fleet_spec(), fleet_seed)
+    rng = np.random.default_rng(crp_seed)
+    challenges = uniform_challenges(spec.m, spec.n, rng)
+
+    def generate():
+        return challenges, fleet.eval(challenges)
+
+    if cache_dir is not None:
+        challenges, plane = CRPCache(cache_dir).get_or_generate_fleet(
+            fleet_spec=fleet.spec.describe(),
+            seed=(ctx.seed.entropy, tuple(ctx.seed.spawn_key), ctx.index),
+            distribution="uniform",
+            tier=spec.tier,
+            shape=(spec.n, spec.size),
+            m=spec.m,
+            generate=generate,
+        )
+    else:
+        challenges, plane = generate()
+
+    uniqueness = (
+        response_plane_uniqueness(plane) if spec.size >= 2 else float("nan")
+    )
+    uniformity = float(np.mean(plane == -1))
+    if spec.noise_sigma > 0 and spec.repetitions > 1:
+        voted = fleet.majority_vote(challenges, spec.repetitions, rng)
+        meas = fleet.eval_noisy(challenges, rng)
+        reliability = float(np.mean(meas == voted))
+    else:
+        reliability = 1.0
+    return np.array([uniqueness, uniformity, reliability])
 
 
 @dataclasses.dataclass(frozen=True)

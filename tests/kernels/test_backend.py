@@ -1,0 +1,218 @@
+"""The kernel-backend seam: fakes prove the fleet layer never bypasses it.
+
+The seam only earns its keep if *every* stacked GEMM actually goes
+through :func:`repro.kernels.backend.get_backend` — a single hard-coded
+``np.matmul`` in the fleet layer would silently defeat backend swapping
+and the thread-tiling path.  Two fakes enforce that:
+
+* a **recording** backend (delegates to numpy, logs every call) shows
+  the Fleet API, the batched metrics, and the ``fleet_eval`` workload
+  each issue their multiplies through the seam;
+* a **sentinel** backend (returns a constant plane) shows the responses
+  callers see are *computed from* the backend's output, not from some
+  parallel non-seam path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.backend import (
+    DTYPE_TIERS,
+    KernelBackend,
+    NumpyBackend,
+    feature_dtype,
+    get_backend,
+    set_backend,
+    use_backend,
+    validate_tier,
+    weight_dtype,
+)
+from repro.pufs.fleet import Fleet, FleetSpec
+from repro.pufs.metrics import fleet_reliability, fleet_uniqueness
+from repro.runtime.runner import TrialContext
+from repro.runtime.workloads import FleetEvalSpec, fleet_eval_trial
+
+
+class RecordingBackend(KernelBackend):
+    """Delegates to numpy but logs every gemm's operand shapes/dtypes."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.calls = []
+        self._inner = NumpyBackend(threads=1)
+
+    def gemm(self, features, weights):
+        self.calls.append(
+            (features.shape, str(features.dtype), weights.shape, str(weights.dtype))
+        )
+        return self._inner.gemm(features, weights)
+
+
+class SentinelBackend(KernelBackend):
+    """Ignores its inputs and returns a constant margin plane."""
+
+    name = "sentinel"
+
+    def __init__(self, fill):
+        self.fill = fill
+
+    def gemm(self, features, weights):
+        return np.full(
+            (features.shape[0], weights.shape[1]), self.fill, dtype=np.float64
+        )
+
+
+def challenges(m, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+
+
+# ----------------------------------------------------------------------
+# Seam routing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", ["arbiter", "xor", "br", "ltf"])
+def test_fleet_eval_routes_through_seam(family):
+    fleet = Fleet.build(FleetSpec(family, 12, 4, k=3 if family == "xor" else 1), 5)
+    c = challenges(40, 12)
+    expected = fleet.eval(c)
+    recorder = RecordingBackend()
+    with use_backend(recorder):
+        plane = fleet.eval(c)
+    assert len(recorder.calls) == 1
+    shape, f_dtype, w_shape, _ = recorder.calls[0]
+    assert shape[0] == 40 and w_shape[0] == shape[1]
+    assert np.array_equal(plane, expected)
+
+
+def test_int8_tier_features_reach_the_backend_as_int8():
+    fleet = Fleet.build(FleetSpec("arbiter", 10, 3, tier="int8"), 1)
+    recorder = RecordingBackend()
+    with use_backend(recorder):
+        fleet.eval(challenges(16, 10))
+    assert recorder.calls[0][1] == "int8"
+    assert recorder.calls[0][3] == "float64"
+
+
+def test_fleet_metrics_route_through_seam():
+    fleet = Fleet.build(FleetSpec("arbiter", 12, 5, noise_sigma=0.2), 9)
+    recorder = RecordingBackend()
+    with use_backend(recorder):
+        fleet_uniqueness(fleet, m=64, rng=np.random.default_rng(0))
+        calls_after_uniqueness = len(recorder.calls)
+        fleet_reliability(fleet, m=32, repetitions=3, rng=np.random.default_rng(1))
+    # uniqueness = one margin GEMM + one Gram GEMM; reliability adds one
+    # margin GEMM per repeated measurement pass
+    assert calls_after_uniqueness == 2
+    assert len(recorder.calls) > calls_after_uniqueness
+
+
+def test_fleet_workload_routes_through_seam(tmp_path):
+    spec = FleetEvalSpec(family="xor", n=10, size=4, k=2, m=50, repetitions=3)
+    ctx = TrialContext(index=0, seed=np.random.SeedSequence(7))
+    recorder = RecordingBackend()
+    with use_backend(recorder):
+        result = fleet_eval_trial(ctx, spec)
+    assert recorder.calls, "workload evaluated a fleet without touching the seam"
+    assert result.shape == (3,)
+
+    # the cached path must route its generation GEMM through the seam too
+    recorder = RecordingBackend()
+    with use_backend(recorder):
+        cached = fleet_eval_trial(
+            TrialContext(index=0, seed=np.random.SeedSequence(7)),
+            spec,
+            cache_dir=str(tmp_path),
+        )
+    assert recorder.calls
+    assert np.allclose(result, cached, equal_nan=True)
+
+
+def test_sentinel_backend_controls_responses():
+    fleet = Fleet.build(FleetSpec("arbiter", 8, 3), 2)
+    c = challenges(10, 8)
+    with use_backend(SentinelBackend(-1.0)):
+        assert np.all(fleet.eval(c) == -1)
+    with use_backend(SentinelBackend(0.0)):  # tie rule: 0 maps to +1
+        assert np.all(fleet.eval(c) == 1)
+
+
+# ----------------------------------------------------------------------
+# Installation semantics
+# ----------------------------------------------------------------------
+def test_set_backend_rejects_non_backends():
+    with pytest.raises(TypeError):
+        set_backend(object())
+    with pytest.raises(TypeError):
+        with use_backend("numpy"):
+            pass
+
+
+def test_use_backend_restores_on_exit_and_error():
+    default = get_backend()
+    fake = SentinelBackend(1.0)
+    with use_backend(fake):
+        assert get_backend() is fake
+    assert get_backend() is default
+    with pytest.raises(RuntimeError):
+        with use_backend(fake):
+            raise RuntimeError("boom")
+    assert get_backend() is default
+
+
+def test_set_backend_none_restores_default():
+    fake = SentinelBackend(1.0)
+    set_backend(fake)
+    try:
+        assert get_backend() is fake
+    finally:
+        set_backend(None)
+    assert isinstance(get_backend(), NumpyBackend)
+
+
+# ----------------------------------------------------------------------
+# Dtype-tier contract
+# ----------------------------------------------------------------------
+def test_tier_validation():
+    for tier in DTYPE_TIERS:
+        assert validate_tier(tier) == tier
+    with pytest.raises(ValueError):
+        validate_tier("float16")
+    assert feature_dtype("int8") == np.int8
+    assert feature_dtype("float32") == np.float32
+    assert weight_dtype("int8") == np.float64  # int8 tier keeps f64 weights
+    assert weight_dtype("float32") == np.float32
+
+
+def test_gemm_validates_shapes():
+    backend = NumpyBackend(threads=1)
+    with pytest.raises(ValueError):
+        backend.gemm(np.ones(4), np.ones((4, 2)))
+    with pytest.raises(ValueError):
+        backend.gemm(np.ones((3, 4)), np.ones((5, 2)))
+
+
+# ----------------------------------------------------------------------
+# Thread tiling
+# ----------------------------------------------------------------------
+def test_threaded_gemm_is_bit_identical_on_integer_data():
+    rng = np.random.default_rng(3)
+    features = rng.integers(-1, 2, size=(2048, 33)).astype(np.float64)
+    weights = rng.integers(-8, 9, size=(33, 17)).astype(np.float64)
+    serial = NumpyBackend(threads=1).gemm(features, weights)
+    tiled = NumpyBackend(threads=4).gemm(features, weights)
+    assert np.array_equal(serial, tiled)
+
+
+def test_small_inputs_skip_tiling():
+    backend = NumpyBackend(threads=8)
+    out = backend.gemm(np.ones((4, 3)), np.ones((3, 2)))
+    assert np.array_equal(out, np.full((4, 2), 3.0))
+
+
+def test_threads_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+    assert NumpyBackend().threads == 3
+    assert NumpyBackend().name == "numpy[threads=3]"
+    with pytest.raises(ValueError):
+        NumpyBackend(threads=0)

@@ -1,0 +1,166 @@
+"""The Fleet API: spec validation, seeding, metering, and golden pins.
+
+The golden-snapshot test at the bottom pins the population statistics
+of one fixed fleet — ``FleetSpec("xor", n=64, size=256, k=4)`` built
+from seed 2026 — to the values the stacked-GEMM path produced when the
+fleet layer landed.  Any change to the seeding contract, the weight
+stacking, the parity features, the GEMM routing, or the metric math
+moves these numbers and fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pufs.crp import uniform_challenges
+from repro.pufs.fleet import Fleet, FleetSpec, eval_instance, instance_margin
+from repro.pufs.metrics import (
+    bit_aliasing,
+    fleet_bit_aliasing,
+    fleet_reliability,
+    fleet_uniformity,
+    fleet_uniqueness,
+    response_plane_uniqueness,
+    uniformity,
+    uniqueness,
+)
+from repro.telemetry.meter import QueryMeter, metered
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+def test_spec_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        FleetSpec("optical", 8, 4)
+    with pytest.raises(ValueError):
+        FleetSpec("arbiter", 0, 4)
+    with pytest.raises(ValueError):
+        FleetSpec("arbiter", 8, 0)
+    with pytest.raises(ValueError):
+        FleetSpec("arbiter", 8, 4, k=3)  # k != 1 outside the XOR family
+    with pytest.raises(ValueError):
+        FleetSpec("xor", 8, 4, k=(2, 3))  # wrong per-instance length
+    with pytest.raises(ValueError):
+        FleetSpec("xor", 8, 2, k=(2, 0))  # non-positive chain count
+    with pytest.raises(ValueError):
+        FleetSpec("arbiter", 8, 4, tier="float16")
+    with pytest.raises(ValueError):
+        FleetSpec("arbiter", 8, 4, noise_sigma=-0.1)
+
+
+def test_spec_chain_counts_and_describe():
+    scalar = FleetSpec("xor", 8, 3, k=4)
+    assert scalar.chain_counts == (4, 4, 4)
+    mixed = FleetSpec("xor", 8, 3, k=[1, 2, 3])
+    assert mixed.chain_counts == (1, 2, 3)
+    assert mixed.k == (1, 2, 3)  # sequences normalise to tuples (hashable)
+    assert "tier=float64" in scalar.describe()
+    assert FleetSpec("arbiter", 8, 3, tier="int8").describe() != FleetSpec(
+        "arbiter", 8, 3
+    ).describe()
+
+
+def test_seed_line_replays_the_fleet():
+    fleet = Fleet.build(FleetSpec("arbiter", 16, 4), 99)
+    line = fleet.seed_line()
+    assert "entropy=99" in line
+    replayed = Fleet.build(FleetSpec("arbiter", 16, 4), eval(f"np.random.{line}"))
+    assert np.array_equal(replayed.weights, fleet.weights)
+
+
+# ----------------------------------------------------------------------
+# Query accounting
+# ----------------------------------------------------------------------
+def test_fleet_eval_meters_per_instance_queries():
+    fleet = Fleet.build(FleetSpec("arbiter", 12, 7, noise_sigma=0.1), 4)
+    c = uniform_challenges(30, 12, np.random.default_rng(0))
+    meter = QueryMeter()
+    with metered(meter):
+        fleet.eval(c)
+    assert meter.total_queries == 30 * 7
+    with metered(meter):
+        fleet.majority_vote(c, repetitions=5, rng=np.random.default_rng(1))
+    assert meter.total_queries == 30 * 7 + 30 * 7 * 5
+
+
+def test_fleet_metrics_are_unmetered():
+    fleet = Fleet.build(FleetSpec("arbiter", 12, 4, noise_sigma=0.1), 4)
+    meter = QueryMeter()
+    with metered(meter):
+        fleet_uniqueness(fleet, m=50, rng=np.random.default_rng(0))
+        fleet_reliability(fleet, m=20, repetitions=3, rng=np.random.default_rng(1))
+    assert meter.total_queries == 0
+
+
+# ----------------------------------------------------------------------
+# Batched metrics vs the per-instance loop
+# ----------------------------------------------------------------------
+def test_fleet_uniqueness_matches_loop_metric():
+    fleet = Fleet.build(FleetSpec("arbiter", 24, 6), 11)
+    assert fleet_uniqueness(
+        fleet, m=400, rng=np.random.default_rng(5)
+    ) == uniqueness(fleet.instances(), m=400, rng=np.random.default_rng(5))
+
+
+def test_fleet_uniformity_and_aliasing_match_loop_metrics():
+    fleet = Fleet.build(FleetSpec("xor", 16, 5, k=3), 8)
+    m, seed = 300, 21
+    challenges = uniform_challenges(m, 16, np.random.default_rng(seed))
+    per_instance = [
+        uniformity(eval_instance(p, challenges)) for p in fleet.instances()
+    ]
+    assert np.array_equal(
+        fleet_uniformity(fleet, m=m, rng=np.random.default_rng(seed)),
+        np.array(per_instance),
+    )
+    assert np.array_equal(
+        fleet_bit_aliasing(fleet, m=m, rng=np.random.default_rng(seed)),
+        bit_aliasing(fleet.instances(), m=m, rng=np.random.default_rng(seed)),
+    )
+
+
+def test_response_plane_uniqueness_validates_input():
+    with pytest.raises(ValueError):
+        response_plane_uniqueness(np.ones((10, 1), dtype=np.int8))
+    with pytest.raises(ValueError):
+        fleet_uniqueness(Fleet.build(FleetSpec("arbiter", 8, 1), 0), m=10)
+
+
+def test_instance_margin_matches_fleet_margins():
+    fleet = Fleet.build(FleetSpec("ltf", 14, 3), 6)
+    c = uniform_challenges(64, 14, np.random.default_rng(2))
+    stacked = fleet.margins(c)
+    for i, inst in enumerate(fleet.instances()):
+        assert np.allclose(stacked[:, i], instance_margin(inst, c), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Golden snapshot: FleetSpec("xor", 64, 256, k=4), seed 2026
+# ----------------------------------------------------------------------
+GOLDEN_SPEC = FleetSpec("xor", 64, 256, k=4, noise_sigma=0.05)
+GOLDEN_SEED = 2026
+
+
+def test_golden_fleet_population_statistics():
+    fleet = Fleet.build(GOLDEN_SPEC, GOLDEN_SEED)
+    uq = fleet_uniqueness(fleet, m=2000, rng=np.random.default_rng(1))
+    rel = fleet_reliability(fleet, m=500, repetitions=11, rng=np.random.default_rng(2))
+    uf = fleet_uniformity(fleet, m=2000, rng=np.random.default_rng(3))
+    assert uq == pytest.approx(0.4999551623774509, abs=1e-9)
+    assert float(np.mean(rel)) == pytest.approx(0.9928693181818182, abs=1e-9)
+    assert float(np.min(rel)) == pytest.approx(0.9865454545454545, abs=1e-9)
+    assert float(np.mean(uf)) == pytest.approx(0.50006640625, abs=1e-9)
+
+
+def test_golden_fleet_weights_are_replayable():
+    """The first weight column equals the standalone XOR PUF built from
+    seed child (2026, spawn_key=(1,)) — the documented fan-out."""
+    fleet = Fleet.build(GOLDEN_SPEC, GOLDEN_SEED)
+    child = np.random.SeedSequence(GOLDEN_SEED, spawn_key=(1,))
+    from repro.pufs.xor_arbiter import XORArbiterPUF
+
+    standalone = XORArbiterPUF(64, 4, np.random.default_rng(child))
+    stacked_first = fleet.weights[:, :4]
+    assert np.array_equal(
+        stacked_first, np.column_stack([ch.weights for ch in standalone.chains])
+    )

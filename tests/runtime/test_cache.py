@@ -5,7 +5,7 @@ import pytest
 
 from repro.pufs.arbiter import ArbiterPUF
 from repro.pufs.crp import CRPSet, generate_crps
-from repro.runtime.cache import CRPCache, cache_key
+from repro.runtime.cache import CRPCache, cache_key, fleet_cache_key
 
 
 def make_crps(seed=0, m=100, n=12):
@@ -210,3 +210,129 @@ def test_roundtrip_preserves_dtypes(tmp_path):
     assert isinstance(reloaded, CRPSet)
     assert reloaded.challenges.dtype == np.int8
     assert reloaded.responses.dtype == np.int8
+
+
+# ----------------------------------------------------------------------
+# Fleet response-plane entries
+# ----------------------------------------------------------------------
+def make_fleet_plane(seed=0, m=40, n=10, size=6):
+    rng = np.random.default_rng(seed)
+    challenges = (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+    responses = (1 - 2 * rng.integers(0, 2, size=(m, size))).astype(np.int8)
+    return challenges, responses
+
+
+def test_fleet_key_includes_tier_and_shape():
+    """An int8-tier run can never be served a float64 hit, and a resized
+    fleet can never alias a stale plane — tier and shape are key material."""
+    base = fleet_cache_key("spec", 0, "uniform", "float64", (64, 256))
+    assert fleet_cache_key("spec", 0, "uniform", "int8", (64, 256)) != base
+    assert fleet_cache_key("spec", 0, "uniform", "float32", (64, 256)) != base
+    assert fleet_cache_key("spec", 0, "uniform", "float64", (64, 512)) != base
+    assert fleet_cache_key("spec", 0, "uniform", "float64", (32, 256)) != base
+    assert fleet_cache_key("spec", 1, "uniform", "float64", (64, 256)) != base
+    assert fleet_cache_key("spec", 0, "uniform", "float64", (64, 256), noisy=True) != base
+    # m stays out of the digest (prefix reuse), shapes accept numpy ints
+    assert fleet_cache_key("spec", 0, "uniform", "float64", np.array([64, 256])) == base
+
+
+def test_fleet_cross_tier_requests_never_share_an_entry(tmp_path):
+    cache = CRPCache(tmp_path)
+    f64_plane = make_fleet_plane(seed=1)
+    i8_plane = make_fleet_plane(seed=2)
+    served_f64 = cache.get_or_generate_fleet(
+        "s", 0, "uniform", "float64", (10, 6), 40, lambda: f64_plane
+    )
+    served_i8 = cache.get_or_generate_fleet(
+        "s", 0, "uniform", "int8", (10, 6), 40, lambda: i8_plane
+    )
+    assert cache.misses == 2 and cache.hits == 0
+    assert not np.array_equal(served_f64[1], served_i8[1])
+
+
+def test_fleet_hit_serves_row_prefix(tmp_path):
+    cache = CRPCache(tmp_path)
+    challenges, responses = make_fleet_plane(m=50)
+    cache.get_or_generate_fleet(
+        "s", 3, "uniform", "float64", (10, 6), 50, lambda: (challenges, responses)
+    )
+    got_c, got_r = cache.get_or_generate_fleet(
+        "s", 3, "uniform", "float64", (10, 6), 20,
+        lambda: pytest.fail("prefix request must hit"),
+    )
+    assert cache.hits == 1
+    assert np.array_equal(got_c, challenges[:20])
+    assert np.array_equal(got_r, responses[:20])
+    assert got_c.dtype == np.int8 and got_r.dtype == np.int8
+
+
+def test_corrupt_fleet_entry_is_a_miss_and_regenerates(tmp_path):
+    cache = CRPCache(tmp_path)
+    plane = make_fleet_plane(seed=7)
+    cache.get_or_generate_fleet(
+        "s", 7, "uniform", "float64", (10, 6), 40, lambda: plane
+    )
+    key = fleet_cache_key("s", 7, "uniform", "float64", (10, 6))
+    cache.fleet_path_for(key).write_bytes(b"truncated garbage")
+    with pytest.warns(RuntimeWarning, match="unreadable fleet cache entry"):
+        got_c, got_r = cache.get_or_generate_fleet(
+            "s", 7, "uniform", "float64", (10, 6), 40, lambda: plane
+        )
+    assert cache.misses == 2
+    assert np.array_equal(got_r, plane[1])
+    # the regenerated entry is whole again
+    assert cache.load_fleet(key) is not None
+
+
+def test_malformed_fleet_entry_is_discarded(tmp_path):
+    """A structurally wrong archive (mismatched row counts) degrades to a
+    miss too, not just an unreadable one."""
+    cache = CRPCache(tmp_path)
+    key = fleet_cache_key("s", 8, "uniform", "float64", (10, 6))
+    cache.cache_dir.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        cache.fleet_path_for(key),
+        challenges=np.ones((5, 10), dtype=np.int8),
+        responses=np.ones((7, 6), dtype=np.int8),
+    )
+    with pytest.warns(RuntimeWarning, match="unreadable fleet cache entry"):
+        assert cache.load_fleet(key) is None
+    assert not cache.fleet_path_for(key).exists()
+
+
+def test_fleet_short_generator_output_rejected(tmp_path):
+    cache = CRPCache(tmp_path)
+    with pytest.raises(ValueError, match="fewer than requested"):
+        cache.get_or_generate_fleet(
+            "s", 9, "uniform", "float64", (10, 6), 100,
+            lambda: make_fleet_plane(m=40),
+        )
+
+
+def test_clear_sweeps_fleet_entries_too(tmp_path):
+    cache = CRPCache(tmp_path)
+    cache.get_or_generate(
+        puf_spec="a", seed=1, distribution="uniform", m=10,
+        generate=lambda: make_crps(m=10),
+    )
+    cache.get_or_generate_fleet(
+        "s", 1, "uniform", "float64", (10, 6), 40, lambda: make_fleet_plane()
+    )
+    assert cache.clear() == 2
+    assert list(tmp_path.glob("*.npz")) == []
+
+
+def test_fleet_hit_meters_per_instance_queries(tmp_path):
+    from repro.telemetry.meter import QueryMeter, metered
+
+    cache = CRPCache(tmp_path)
+    cache.get_or_generate_fleet(
+        "s", 2, "uniform", "float64", (10, 6), 40, lambda: make_fleet_plane()
+    )
+    meter = QueryMeter()
+    with metered(meter):
+        cache.get_or_generate_fleet(
+            "s", 2, "uniform", "float64", (10, 6), 30,
+            lambda: pytest.fail("must hit"),
+        )
+    assert meter.total_queries == 30 * 6
