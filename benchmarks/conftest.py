@@ -15,14 +15,14 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture
 def crp_cache():
-    """A persistent CRP cache under ``benchmarks/results/crp_cache``.
+    """A persistent artifact store under ``benchmarks/results/crp_cache``.
 
     Surviving across runs is the point: the first benchmark invocation
     pays CRP generation, later ones replay the memoised pools.
     """
-    from repro.runtime import CRPCache
+    from repro.runtime import ArtifactStore
 
-    return CRPCache(RESULTS_DIR / "crp_cache")
+    return ArtifactStore(RESULTS_DIR / "crp_cache")
 
 
 @pytest.fixture

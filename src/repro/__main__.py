@@ -10,17 +10,23 @@ Subcommands:
   print the recovered key.
 
 * ``trials`` — the parallel experiment runtime: fan a workload
-  (``curve``/``lmn``/``km``/``sq``/``fault``/``fleet``) out over worker
-  processes,
+  (``curve``/``lmn``/``km``/``sq``/``fault``/``fleet``/``skew``) out
+  over worker processes,
   report per-trial timings, speedup over serial, and the bit-identity
   check; ``--ledger`` additionally writes a query-accounting run
   directory, ``--retries``/``--trial-timeout`` configure the retry
   policy for infrastructure failures, and ``--resume`` replays a killed
-  run's ledger so only missing trials re-execute::
+  run's ledger so only missing trials re-execute.  ``--shards N`` runs
+  N work-stealing process pools with per-shard mergeable ledgers;
+  ``--cache-dir`` memoises workload artifacts in an ``ArtifactStore``
+  (``--cache-max-bytes`` caps it, ``--cache-stats`` prints and records
+  hit/miss/bytes counters); ``--smoke`` shrinks the workload to a
+  seconds-fast CI tier::
 
       python -m repro trials --trials 32 --workers 4
       python -m repro trials --workload lmn --trials 4 --ledger
       python -m repro trials --ledger --run-id demo --resume
+      python -m repro trials --workload fleet --shards 2 --smoke
 
 * ``report`` — aggregate a run ledger into ``report.md``/``report.json``
   comparing the measured query counts against the ``pac.bounds``
@@ -38,6 +44,12 @@ Subcommands:
 
       python -m repro bench-fleet --out benchmarks/results/BENCH_fleet.json
       python -m repro bench-fleet --smoke
+
+* ``bench-store`` — time the artifact store's cold-vs-warm sweep replay
+  and the work-stealing shard scaling on a skewed trial mix::
+
+      python -m repro bench-store --out benchmarks/results/BENCH_store.json
+      python -m repro bench-store --smoke
 
 * ``docs-bench`` — regenerate ``docs/BENCHMARKS.md`` from the committed
   ``benchmarks/results/BENCH_*.json`` baselines (``--check`` fails on
@@ -186,21 +198,29 @@ def _resolve_workload(args: argparse.Namespace):
         )
         return w.sq_trial, spec, ["accuracy", "SQ queries"]
     if name == "fleet":
+        smoke = getattr(args, "smoke", False)
         spec = w.FleetEvalSpec(
             family=args.family,
-            n=pick(args.n, 64),
-            size=args.size,
+            n=pick(args.n, 32 if smoke else 64),
+            size=pick(args.size, 48 if smoke else 256),
             k=pick(args.k, 4),
             noise_sigma=args.noise_sigma,
             tier=args.tier,
-            m=args.fleet_m,
-            repetitions=args.repetitions,
+            m=pick(args.fleet_m, 400 if smoke else 2000),
+            repetitions=3 if smoke else args.repetitions,
         )
         return (
             w.fleet_eval_trial,
             spec,
             ["uniqueness", "uniformity", "reliability"],
         )
+    if name == "skew":
+        spec = w.SkewedSleepSpec(
+            slow_count=args.slow_count,
+            slow_seconds=args.slow_seconds,
+            fast_seconds=args.fast_seconds,
+        )
+        return w.skewed_sleep_trial, spec, [f"draw {i}" for i in range(spec.size)]
     if name == "fault":
         fail_at = tuple(int(i) for i in args.fail_at.split(",") if i.strip())
         spec = w.FaultInjectionSpec(
@@ -259,6 +279,37 @@ def _results_match(a, b) -> bool:
     return False
 
 
+def _aggregate_cache_stats(results) -> dict:
+    """Sum the artifact-store counters shipped back in trial telemetry.
+
+    Every trial ran against a per-process :class:`ArtifactStore` handle,
+    but each handle's hits/misses landed on that trial's ambient
+    :class:`QueryMeter` and travelled home in
+    ``TrialResult.telemetry["queries"]["counters"]`` — so the run-wide
+    totals are a plain sum over results, regardless of worker or shard
+    count.
+    """
+    totals = {
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "corrupt": 0,
+        "stores": 0,
+        "bytes_served": 0,
+        "bytes_stored": 0,
+    }
+    for result in results:
+        telemetry = result.telemetry or {}
+        counters = (telemetry.get("queries") or {}).get("counters") or {}
+        for key, value in counters.items():
+            if not key.startswith("artifact_store."):
+                continue
+            name = key[len("artifact_store."):]
+            if name in totals:
+                totals[name] += int(value)
+    return totals
+
+
 def cmd_trials(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -276,6 +327,12 @@ def cmd_trials(args: argparse.Namespace) -> int:
 
     trial_fn, spec, columns = _resolve_workload(args)
     kwargs = {"spec": spec}
+    if args.cache_dir is not None:
+        if args.workload not in ("fleet",):
+            print(f"--cache-dir is not supported by the {args.workload} workload")
+            return 2
+        kwargs["cache_dir"] = args.cache_dir
+        kwargs["cache_max_bytes"] = args.cache_max_bytes
     retry = _retry_policy(args.retries)
     print(
         f"workload: {args.trials} {args.workload} trials ({spec!r}), "
@@ -310,6 +367,7 @@ def cmd_trials(args: argparse.Namespace) -> int:
                     "spec": dataclasses.asdict(spec),
                     "trials": args.trials,
                     "workers": args.workers,
+                    "shards": args.shards,
                     "master_seed": args.seed,
                     "eps": args.eps,
                     "delta": args.delta,
@@ -322,7 +380,7 @@ def cmd_trials(args: argparse.Namespace) -> int:
             trial_fn, args.trials, args.seed, kwargs, retry=retry
         )
         print(f"serial:   {serial.summary()}")
-    parallel = TrialRunner(workers=args.workers).run(
+    parallel = TrialRunner(workers=args.workers, shards=args.shards).run(
         trial_fn,
         args.trials,
         args.seed,
@@ -349,6 +407,19 @@ def cmd_trials(args: argparse.Namespace) -> int:
     failures = parallel.failures()
     for failed in failures:
         print(f"FAILED {failed.error.summary()} (attempts={failed.attempts})")
+    if args.cache_stats:
+        stats = _aggregate_cache_stats(parallel.results)
+        print(
+            "cache stats: "
+            f"hits={stats['hits']} misses={stats['misses']} "
+            f"evictions={stats['evictions']} corrupt={stats['corrupt']} "
+            f"bytes_served={stats['bytes_served']} "
+            f"bytes_stored={stats['bytes_stored']}"
+        )
+        if ledger is not None:
+            meta = ledger.read_meta() or {}
+            meta["cache_stats"] = stats
+            ledger.write_meta(meta)
     if ledger is not None:
         print(f"ledger: {ledger.path}")
         print(f"next: python -m repro report {ledger.run_dir}")
@@ -490,6 +561,41 @@ def cmd_bench_fleet(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench_store(args: argparse.Namespace) -> int:
+    from repro.runtime.store_bench import (
+        default_cases,
+        render_table,
+        run_store_bench,
+        smoke_cases,
+        write_results,
+    )
+
+    cases = smoke_cases() if args.smoke else default_cases()
+    payload = run_store_bench(cases)
+    print(render_table(payload))
+    if args.out is not None:
+        from pathlib import Path
+
+        write_results(payload, Path(args.out))
+        print(f"wrote {args.out}")
+
+    failures = []
+    for rec in payload["cases"]:
+        if not rec["equivalent"]:
+            failures.append(
+                f"{rec['name']}: values not bit-identical across runs"
+            )
+        if args.smoke:
+            timing = rec.get("warm_start") or rec.get("sharding")
+            if timing["speedup"] < 1.0:
+                failures.append(
+                    f"{rec['name']}: no speedup ({timing['speedup']:.2f}x)"
+                )
+    for failure in failures:
+        print("FAIL:", failure)
+    return 1 if failures else 0
+
+
 def cmd_conformance(args: argparse.Namespace) -> int:
     from repro.analysis.tables import TableBuilder
     from repro.conformance import run_suite
@@ -589,13 +695,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trials.add_argument(
         "--workload",
-        choices=("curve", "lmn", "km", "sq", "fault", "fleet"),
+        choices=("curve", "lmn", "km", "sq", "fault", "fleet", "skew"),
         default="curve",
         help="which trial workload to fan out",
     )
     trials.add_argument("--trials", type=int, default=32, help="number of trials")
     trials.add_argument(
-        "--workers", type=int, default=4, help="worker processes for the parallel run"
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes for the parallel run (per shard with --shards)",
+    )
+    trials.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent work-stealing process pools; each writes its own "
+        "ledger-shardNN.jsonl, merged transparently on read/resume",
     )
     trials.add_argument(
         "--n", type=int, default=None, help="challenge length (workload default)"
@@ -646,7 +762,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="PUF family of the population (fleet workload)",
     )
     trials.add_argument(
-        "--size", type=int, default=256, help="instances per fleet (fleet workload)"
+        "--size",
+        type=int,
+        default=None,
+        help="instances per fleet (fleet workload; default 256, 48 smoke)",
     )
     trials.add_argument(
         "--tier",
@@ -669,8 +788,8 @@ def build_parser() -> argparse.ArgumentParser:
     trials.add_argument(
         "--fleet-m",
         type=int,
-        default=2000,
-        help="challenges per fleet trial (fleet workload)",
+        default=None,
+        help="challenges per fleet trial (fleet workload; default 2000, 400 smoke)",
     )
     trials.add_argument(
         "--fail-at",
@@ -683,6 +802,50 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.2,
         help="per-trial sleep, a window for kill tests (fault workload)",
+    )
+    trials.add_argument(
+        "--slow-count",
+        type=int,
+        default=4,
+        help="leading trial indices that sleep --slow-seconds (skew workload)",
+    )
+    trials.add_argument(
+        "--slow-seconds",
+        type=float,
+        default=0.4,
+        help="sleep for the slow trials (skew workload)",
+    )
+    trials.add_argument(
+        "--fast-seconds",
+        type=float,
+        default=0.01,
+        help="sleep for the fast trials (skew workload)",
+    )
+    trials.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="memoise workload artifacts in an ArtifactStore at this "
+        "directory (fleet workload); warm reruns replay instead of "
+        "regenerating",
+    )
+    trials.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="LRU size cap for --cache-dir (default: unbounded, or "
+        "$REPRO_CACHE_MAX_BYTES)",
+    )
+    trials.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print artifact-store hit/miss/eviction/bytes counters after "
+        "the run and record them in the ledger meta.json",
+    )
+    trials.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the workload to a seconds-fast CI tier (fleet workload)",
     )
     trials.add_argument("--seed", type=int, default=0, help="master seed")
     trials.add_argument(
@@ -829,6 +992,24 @@ def build_parser() -> argparse.ArgumentParser:
         "equivalent and at least as fast as the per-instance loop",
     )
     bench_fleet.set_defaults(func=cmd_bench_fleet)
+
+    bench_store = sub.add_parser(
+        "bench-store",
+        help="time warm-start sweep replay and work-stealing shard scaling",
+    )
+    bench_store.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the JSON payload here (e.g. benchmarks/results/BENCH_store.json)",
+    )
+    bench_store.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the seconds-fast CI subset and fail unless results are "
+        "bit-identical and at least as fast as the baseline",
+    )
+    bench_store.set_defaults(func=cmd_bench_store)
 
     conf = sub.add_parser(
         "conformance",

@@ -12,14 +12,19 @@ The three pieces compose into the standard experiment loop:
   and crash-safe resume from a run ledger;
 * :mod:`repro.runtime.chunking` — blocked CRP generation/evaluation that
   keeps the working set cache-resident;
-* :mod:`repro.runtime.cache` — :class:`CRPCache`, ``.npz`` memoisation of
-  generated CRP sets keyed by generation provenance.
+* :mod:`repro.runtime.store` — :class:`ArtifactStore`, content-addressed
+  ``.npz`` memoisation of generated artifacts (CRP sets, fleet response
+  planes) keyed by :func:`artifact_digest`, with LRU eviction and
+  hit/miss/bytes stats (:mod:`repro.runtime.cache` keeps the deprecated
+  :class:`CRPCache` facade);
+* :mod:`repro.runtime.sharding` — work-stealing multi-pool execution
+  behind ``TrialRunner(shards=N)``, with per-shard mergeable ledgers.
 
 Picklable standard workloads live in :mod:`repro.runtime.workloads`
 (imported explicitly, not re-exported, to keep this package import-light).
 """
 
-from repro.runtime.cache import CRPCache, cache_key
+from repro.runtime.cache import CRPCache, cache_key, fleet_cache_key
 from repro.runtime.chunking import (
     DEFAULT_BLOCK_SIZE,
     eval_blocked,
@@ -39,10 +44,23 @@ from repro.runtime.runner import (
     trial_record,
 )
 from repro.runtime.seeding import as_seed_sequence, fan_out, trial_rng, trial_seed
+from repro.runtime.sharding import (
+    WorkStealingScheduler,
+    partition_items,
+    run_sharded,
+)
+from repro.runtime.store import ArtifactStore, artifact_digest, hash_challenges
 
 __all__ = [
+    "ArtifactStore",
+    "artifact_digest",
+    "hash_challenges",
     "CRPCache",
     "cache_key",
+    "fleet_cache_key",
+    "WorkStealingScheduler",
+    "partition_items",
+    "run_sharded",
     "DEFAULT_BLOCK_SIZE",
     "eval_blocked",
     "eval_noisy_blocked",

@@ -1,34 +1,34 @@
-"""On-disk memoisation of generated CRP sets.
+"""Deprecated CRP-cache facade over the content-addressed ArtifactStore.
 
-Benchmark runs regenerate the same CRP pools over and over: the Table II
-sweep alone draws tens of thousands of BR PUF responses per ring size,
-every time it runs.  Since a CRP set is a pure function of
-``(PUF spec, instance seed, challenge distribution, count, noise flag)``,
-it can be generated once and memoised to a compressed ``.npz``.
+This module is the pre-:class:`~repro.runtime.store.ArtifactStore` cache
+API, kept as a compatibility shim: :class:`CRPCache` is now a thin
+subclass of :class:`ArtifactStore` that preserves the *legacy* digest
+schema (:func:`cache_key` / :func:`fleet_cache_key`) and the exact
+on-disk naming, hit/miss accounting, corrupt-entry-as-miss, and atomic
+winner-take-one store semantics existing callers rely on.  Constructing
+it emits a :class:`DeprecationWarning`; new code should construct
+:class:`repro.runtime.store.ArtifactStore` directly, which adds
+size-capped LRU eviction, ``stats()``, and the canonical
+:func:`~repro.runtime.store.artifact_digest` keying shared across
+workloads.
 
-Keys are explicit, not derived from live PUF objects: the caller states
-the spec string (e.g. ``"BistableRingPUF(n=64, sigma=0.4)"``) and the
-instance seed, which is exactly the information needed to regenerate the
-set.  A cached file stores however many CRPs were generated; a request
-for a *prefix* of that is served from the same file, because blocked and
-unblocked generators draw challenges sequentially — the first ``m`` rows
-of a larger draw equal an ``m``-row draw from the same state.
+Why a shim instead of a hard break: CRP sets are a pure function of
+``(PUF spec, instance seed, challenge distribution, count, noise
+flag)``, so existing caches on disk remain valid — the legacy digests
+keep resolving to the same files, and a request for a *prefix* of a
+cached draw is still served from the same entry (blocked and unblocked
+generators draw challenges sequentially, so the first ``m`` rows of a
+larger draw equal an ``m``-row draw from the same state).
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
-import tempfile
 import warnings
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
-import numpy as np
-
-from repro.pufs.crp import CRPSet
-from repro.telemetry.meter import incr as _incr
-from repro.telemetry.meter import record as _record
+from repro.runtime.store import ArtifactStore
 
 
 def cache_key(
@@ -42,6 +42,8 @@ def cache_key(
 
     ``m`` is *not* part of the digest — see prefix reuse in the module
     docstring — but is validated by :meth:`CRPCache.get_or_generate`.
+    This is the *legacy* digest schema; new code should key through
+    :func:`repro.runtime.store.artifact_digest`.
     """
     material = f"{puf_spec}|seed={seed!r}|dist={distribution}|noisy={bool(noisy)}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
@@ -55,7 +57,7 @@ def fleet_cache_key(
     shape: Sequence[int],
     noisy: bool = False,
 ) -> str:
-    """Provenance digest for a cached *fleet* response plane.
+    """Legacy provenance digest for a cached *fleet* response plane.
 
     Unlike :func:`cache_key`, the dtype ``tier`` and the fleet ``shape``
     (challenge length, instance count) are explicit key material — even
@@ -71,8 +73,16 @@ def fleet_cache_key(
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
 
 
-class CRPCache:
-    """A directory of memoised CRP sets keyed by generation provenance.
+class CRPCache(ArtifactStore):
+    """Deprecated: an :class:`ArtifactStore` speaking the legacy digests.
+
+    Behaviour is identical to the historical ``CRPCache`` — same file
+    names (``crps-<key>.npz`` / ``fleet-<key>.npz``), same legacy keys,
+    same hit/miss counters, prefix reuse, corrupt-entry-as-miss, atomic
+    winner-take-one stores, and orphan-sweeping :meth:`clear` — plus the
+    store's additions (``stats()``, optional LRU cap via
+    ``$REPRO_CACHE_MAX_BYTES``).  Construction warns; migrate to
+    :class:`repro.runtime.store.ArtifactStore`.
 
     Parameters
     ----------
@@ -83,247 +93,29 @@ class CRPCache:
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
-        if cache_dir is None:
-            cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-        self.cache_dir = Path(cache_dir)
-        self.hits = 0
-        self.misses = 0
-
-    # ------------------------------------------------------------------
-    def path_for(self, key: str) -> Path:
-        """The ``.npz`` file backing cache entry ``key``."""
-        return self.cache_dir / f"crps-{key}.npz"
-
-    def load(self, key: str) -> Optional[CRPSet]:
-        """The cached set for ``key``, or None.
-
-        An unreadable entry — a truncated or corrupt ``.npz`` left behind
-        by a killed writer — is treated as a miss: the file is warned
-        about, unlinked, and the caller regenerates.  Every *read* after
-        a crash would otherwise fail forever on the same poisoned file.
-        """
-        path = self.path_for(key)
-        if not path.exists():
-            return None
-        try:
-            return CRPSet.load(path)
-        except Exception as exc:
-            warnings.warn(
-                f"discarding unreadable CRP cache entry {path.name} "
-                f"({type(exc).__name__}: {exc}); regenerating",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            _incr("crp_cache.corrupt")
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-
-    def store(self, key: str, crps: CRPSet) -> Path:
-        """Persist ``crps`` under ``key`` (atomic replace).
-
-        The staging file comes from ``tempfile.mkstemp`` in ``cache_dir``,
-        so concurrent writers of the same key never interleave into one
-        tmp path — each publishes its own complete archive via
-        ``os.replace`` and the last one wins whole.  Orphaned staging
-        files from killed writers are swept by :meth:`clear`.
-        """
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f"crps-{key}-", suffix=".tmp.npz", dir=self.cache_dir
+        warnings.warn(
+            "CRPCache is deprecated; construct repro.runtime.store."
+            "ArtifactStore instead (same directory layout, canonical "
+            "artifact_digest keys, LRU eviction and stats())",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        os.close(fd)
-        tmp = Path(tmp_name)
-        try:
-            crps.save(tmp)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # only on a failed save/replace
-                tmp.unlink()
-        return path
+        super().__init__(store_dir=cache_dir)
 
-    # ------------------------------------------------------------------
-    def get_or_generate(
-        self,
-        puf_spec: str,
-        seed: object,
-        distribution: str,
-        m: int,
-        generate: Callable[[], CRPSet],
-        noisy: bool = False,
-    ) -> CRPSet:
-        """The first ``m`` CRPs for this provenance, generating on miss.
+    def _crp_key(
+        self, puf_spec: str, seed: object, distribution: str, noisy: bool
+    ) -> str:
+        """Key CRP entries with the legacy :func:`cache_key` digest."""
+        return cache_key(puf_spec, seed, distribution, 0, noisy)
 
-        On a hit with at least ``m`` cached CRPs the prefix is returned
-        without calling ``generate``.  On a miss (or a cached set that is
-        too short) ``generate()`` runs and its output replaces the cached
-        file, so the cache monotonically grows to the largest request.
-        """
-        if m <= 0:
-            raise ValueError("CRP count must be positive")
-        key = cache_key(puf_spec, seed, distribution, m, noisy)
-        cached = self.load(key)
-        if cached is not None and len(cached) >= m:
-            self.hits += 1
-            _incr("crp_cache.hits")
-            taken = cached.take(m)
-            # A cache hit replays CRPs the adversary is still accountable
-            # for; record them as EX queries just like fresh generation
-            # (the generator inside `generate` records the miss path).
-            _record(
-                "ex",
-                queries=m,
-                examples=m,
-                challenges=taken.challenges,
-                response_bytes=taken.responses.nbytes,
-            )
-            return taken
-        self.misses += 1
-        _incr("crp_cache.misses")
-        crps = generate()
-        if len(crps) < m:
-            raise ValueError(
-                f"generator produced {len(crps)} CRPs, fewer than requested {m}"
-            )
-        self.store(key, crps)
-        return crps.take(m)
-
-    # ------------------------------------------------------------------
-    # Fleet response planes: (m, n) challenges against an (m, N) response
-    # matrix, keyed by fleet_cache_key (tier and shape in the digest).
-    # ------------------------------------------------------------------
-    def fleet_path_for(self, key: str) -> Path:
-        """The ``.npz`` file backing fleet cache entry ``key``."""
-        return self.cache_dir / f"fleet-{key}.npz"
-
-    def load_fleet(self, key: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """The cached (challenges, responses) plane for ``key``, or None.
-
-        Same corrupt-entry policy as :meth:`load`: an unreadable or
-        malformed archive is warned about, unlinked, and reported as a
-        miss, so one killed writer cannot poison every later run.
-        """
-        path = self.fleet_path_for(key)
-        if not path.exists():
-            return None
-        try:
-            data = np.load(path)
-            challenges = np.asarray(data["challenges"], dtype=np.int8)
-            responses = np.asarray(data["responses"], dtype=np.int8)
-            if (
-                challenges.ndim != 2
-                or responses.ndim != 2
-                or challenges.shape[0] != responses.shape[0]
-            ):
-                raise ValueError(
-                    f"malformed fleet entry: challenges {challenges.shape} "
-                    f"vs responses {responses.shape}"
-                )
-            return challenges, responses
-        except Exception as exc:
-            warnings.warn(
-                f"discarding unreadable fleet cache entry {path.name} "
-                f"({type(exc).__name__}: {exc}); regenerating",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            _incr("fleet_cache.corrupt")
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-
-    def store_fleet(
-        self, key: str, challenges: np.ndarray, responses: np.ndarray
-    ) -> Path:
-        """Persist a fleet response plane under ``key`` (atomic replace)."""
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.fleet_path_for(key)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f"fleet-{key}-", suffix=".tmp.npz", dir=self.cache_dir
-        )
-        os.close(fd)
-        tmp = Path(tmp_name)
-        try:
-            np.savez_compressed(
-                tmp,
-                challenges=np.asarray(challenges, dtype=np.int8),
-                responses=np.asarray(responses, dtype=np.int8),
-            )
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # only on a failed save/replace
-                tmp.unlink()
-        return path
-
-    def get_or_generate_fleet(
+    def _fleet_key(
         self,
         fleet_spec: str,
         seed: object,
         distribution: str,
         tier: str,
         shape: Sequence[int],
-        m: int,
-        generate: Callable[[], Tuple[np.ndarray, np.ndarray]],
-        noisy: bool = False,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """The first ``m`` rows of this fleet plane, generating on miss.
-
-        Prefix reuse works row-wise exactly as for CRP sets: challenge
-        draws are sequential, so the first ``m`` rows of a larger cached
-        plane equal an ``m``-row generation from the same seed.
-        """
-        if m <= 0:
-            raise ValueError("challenge count must be positive")
-        key = fleet_cache_key(fleet_spec, seed, distribution, tier, shape, noisy)
-        cached = self.load_fleet(key)
-        if cached is not None and cached[0].shape[0] >= m:
-            self.hits += 1
-            _incr("fleet_cache.hits")
-            challenges, responses = cached[0][:m], cached[1][:m]
-            # Replayed oracle answers are still adversary queries, per
-            # instance (mirrors the CRP hit path above).
-            _record(
-                "ex",
-                queries=m * responses.shape[1],
-                examples=m * responses.shape[1],
-                challenges=challenges,
-                response_bytes=responses.nbytes,
-            )
-            return challenges, responses
-        self.misses += 1
-        _incr("fleet_cache.misses")
-        challenges, responses = generate()
-        if challenges.shape[0] < m:
-            raise ValueError(
-                f"generator produced {challenges.shape[0]} rows, "
-                f"fewer than requested {m}"
-            )
-        self.store_fleet(key, challenges, responses)
-        return challenges[:m], responses[:m]
-
-    # ------------------------------------------------------------------
-    def clear(self) -> int:
-        """Delete all cached sets; returns how many files were removed.
-
-        Sweeps CRP entries, fleet entries, and ``*.tmp.npz`` staging
-        orphans left by writers killed between ``mkstemp`` and
-        ``os.replace``.
-        """
-        removed = 0
-        if self.cache_dir.exists():
-            for pattern in ("crps-*.npz", "fleet-*.npz"):
-                for path in self.cache_dir.glob(pattern):
-                    path.unlink()
-                    removed += 1
-        return removed
-
-    def __repr__(self) -> str:
-        return (
-            f"CRPCache(dir={str(self.cache_dir)!r}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        noisy: bool,
+    ) -> str:
+        """Key fleet entries with the legacy :func:`fleet_cache_key` digest."""
+        return fleet_cache_key(fleet_spec, seed, distribution, tier, shape, noisy)

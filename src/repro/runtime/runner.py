@@ -518,8 +518,9 @@ class TrialRunner:
     Parameters
     ----------
     workers:
-        Number of worker processes.  ``1`` (the default) runs serially in
-        the current process — no pool, no pickling requirements.
+        Number of worker processes (per shard, when ``shards > 1``).
+        ``1`` (the default) with ``shards=1`` runs serially in the
+        current process — no pool, no pickling requirements.
     chunk_size:
         Trials submitted per pool task.  Defaults to
         ``ceil(num_trials / (4 * workers))``, which keeps every worker
@@ -529,15 +530,31 @@ class TrialRunner:
         chunks are in flight at once (the rest wait in a parent-side
         backlog), so a chunk's ``trial_timeout`` deadline starts when it
         starts executing, not when the run was launched.
+    shards:
+        Number of independent process pools.  ``1`` (the default) keeps
+        the single-pool path; more runs the work-stealing sharded
+        executor (:mod:`repro.runtime.sharding`): each shard drives its
+        own pool of ``workers`` processes, idle shards steal queued
+        trials from the tail of busy ones, and with a ledger attached
+        each shard appends to its own ``ledger-shardNN.jsonl``.  Results
+        stay bit-identical to the serial path for any shard count.
     """
 
-    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        shards: int = 1,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.shards = shards
 
     # ------------------------------------------------------------------
     def run(
@@ -595,6 +612,10 @@ class TrialRunner:
         serial: List[TrialResult] = []
         if not items:
             executor = "replay"
+        elif self.shards > 1:
+            pooled, executor = self._run_sharded(
+                trial_fn, items, kwargs, retry, trial_timeout, ledger
+            )
         elif self.workers == 1:
             serial = self._run_serial(trial_fn, items, kwargs, emit)
             executor = "serial"
@@ -622,6 +643,54 @@ class TrialRunner:
             wall_seconds=time.perf_counter() - start,
             executor=executor,
         )
+
+    # ------------------------------------------------------------------
+    def _run_sharded(
+        self,
+        trial_fn: TrialFn,
+        items: List[Tuple[int, np.random.SeedSequence]],
+        kwargs: Dict[str, Any],
+        retry: RetryPolicy,
+        trial_timeout: Optional[float],
+        ledger: Optional["RunLedger"],
+    ) -> "tuple[List[TrialResult], str]":
+        """The work-stealing multi-pool path (``shards > 1``).
+
+        Ledger writes go to per-shard files inside :func:`run_sharded`
+        (the main handle's ``read_latest`` merges them), so the
+        single-file ``emit`` used by the other paths is bypassed.  A
+        shard that loses its pool to a pickling failure drains serially
+        and is reported with a warning, mirroring the single-pool
+        fallback.
+        """
+        from repro.runtime.sharding import run_sharded
+
+        results, scheduler, fallbacks = run_sharded(
+            trial_fn,
+            items,
+            kwargs,
+            shards=self.shards,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            retry=retry,
+            trial_timeout=trial_timeout,
+            ledger=ledger,
+        )
+        broken = [f for f in fallbacks if f is not None]
+        if broken:
+            warnings.warn(
+                f"{len(broken)} of {self.shards} shard pool(s) unavailable "
+                f"({broken[0]}); affected shards drained serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        executor = f"sharded({self.shards}x{self.workers}"
+        if any(scheduler.steals):
+            executor += f", steals={sum(scheduler.steals)}"
+        executor += ")"
+        if broken:
+            executor += "-mixed"
+        return results, executor
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -25,8 +25,8 @@ from repro.pufs.crp import generate_crps, uniform_challenges
 from repro.pufs.fleet import Fleet, FleetSpec
 from repro.pufs.metrics import response_plane_uniqueness
 from repro.pufs.xor_arbiter import XORArbiterPUF
-from repro.runtime.cache import CRPCache
 from repro.runtime.chunking import DEFAULT_BLOCK_SIZE, generate_crps_blocked
+from repro.runtime.store import ArtifactStore
 from repro.runtime.runner import TrialContext
 from repro.telemetry import unmetered
 
@@ -163,6 +163,49 @@ def fault_injection_trial(ctx: TrialContext, spec: FaultInjectionSpec) -> np.nda
 
 
 @dataclasses.dataclass(frozen=True)
+class SkewedSleepSpec:
+    """A sleep-bound trial mix with all the slow trials clustered up front.
+
+    The adversarial case for static partitioning: contiguous sharding
+    hands every slow trial to shard 0, so without stealing the run's
+    wall clock is shard 0's serial grind while the other shards idle.
+    The work-stealing scheduler must rebalance it — this is the trial
+    mix behind the ``--shards`` scaling case of ``BENCH_store.json``.
+    Trials sleep (they do not spin), so shard scaling is observable even
+    on a single-CPU host.
+
+    ``slow_count`` leading trial indices sleep ``slow_seconds``; the
+    rest sleep ``fast_seconds``.  The returned draw is a pure function
+    of the trial's seed (sleeps consume no randomness), preserving
+    bit-identical replay across shard counts.
+    """
+
+    slow_count: int = 4
+    slow_seconds: float = 0.4
+    fast_seconds: float = 0.01
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.slow_count < 0:
+            raise ValueError("slow_count must be non-negative")
+        if self.slow_seconds < 0 or self.fast_seconds < 0:
+            raise ValueError("sleep durations must be non-negative")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+
+def skewed_sleep_trial(ctx: TrialContext, spec: SkewedSleepSpec) -> np.ndarray:
+    """Sleep slow/fast by index position, return a seed-pure draw."""
+    value = ctx.rng.random(spec.size)
+    duration = (
+        spec.slow_seconds if ctx.index < spec.slow_count else spec.fast_seconds
+    )
+    if duration > 0:
+        time.sleep(duration)
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
 class ChowTrialSpec:
     """One Chow-parameter trial on a fresh BR PUF — generation-heavy."""
 
@@ -176,12 +219,16 @@ def chow_brpuf_trial(
     ctx: TrialContext,
     spec: ChowTrialSpec,
     cache_dir: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> np.ndarray:
     """Chow parameters of a fresh BR PUF from ``m`` noiseless CRPs.
 
     The CRP pool dominates the cost; with ``cache_dir`` set it is
-    memoised by (spec, trial seed), so a warm re-run skips generation
-    entirely and only the O(n m) Chow estimate remains.
+    memoised in an :class:`~repro.runtime.store.ArtifactStore` keyed by
+    (spec, trial seed), so a warm re-run skips generation entirely and
+    only the O(n m) Chow estimate remains.  The hit path consumes no
+    randomness, so cold and warm runs are bit-identical.
+    ``cache_max_bytes`` caps the store with LRU eviction.
     """
     instance_rng, crp_rng = ctx.spawn_rngs(2)
     puf = BistableRingPUF(
@@ -197,7 +244,7 @@ def chow_brpuf_trial(
         )
 
     if cache_dir is not None:
-        crps = CRPCache(cache_dir).get_or_generate(
+        crps = ArtifactStore(cache_dir, max_bytes=cache_max_bytes).get_or_generate(
             puf_spec=puf_spec,
             seed=(ctx.seed.entropy, tuple(ctx.seed.spawn_key), ctx.index),
             distribution="uniform",
@@ -262,6 +309,7 @@ def fleet_eval_trial(
     ctx: TrialContext,
     spec: FleetEvalSpec,
     cache_dir: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> np.ndarray:
     """[uniqueness, mean uniformity, mean reliability] of one fresh fleet.
 
@@ -281,7 +329,8 @@ def fleet_eval_trial(
         return challenges, fleet.eval(challenges)
 
     if cache_dir is not None:
-        challenges, plane = CRPCache(cache_dir).get_or_generate_fleet(
+        store = ArtifactStore(cache_dir, max_bytes=cache_max_bytes)
+        challenges, plane = store.get_or_generate_fleet(
             fleet_spec=fleet.spec.describe(),
             seed=(ctx.seed.entropy, tuple(ctx.seed.spawn_key), ctx.index),
             distribution="uniform",

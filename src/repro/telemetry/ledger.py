@@ -35,6 +35,36 @@ import numpy as np
 LEDGER_NAME = "ledger.jsonl"
 META_NAME = "meta.json"
 
+#: Glob matching per-shard ledger files inside a run directory.
+SHARD_LEDGER_GLOB = "ledger-shard*.jsonl"
+
+
+def shard_ledger_name(shard_id: int) -> str:
+    """The ledger filename for shard ``shard_id`` (``ledger-shard03.jsonl``).
+
+    Two digits keep shard files lexicographically ordered by id for any
+    realistic shard count, which fixes the merge order used by
+    :meth:`RunLedger.read_latest`.
+    """
+    if shard_id < 0:
+        raise ValueError(f"shard id must be non-negative, got {shard_id}")
+    return f"ledger-shard{shard_id:02d}.jsonl"
+
+
+def _replayable(record: Dict[str, object]) -> bool:
+    """Whether a ledger record can be replayed bit-identically on resume.
+
+    Successful trials and deterministic *trial* errors are pure functions
+    of ``(master_seed, index)``; infrastructure failures and timeouts are
+    not.  The shard-merge in :meth:`RunLedger.read_latest` prefers
+    replayable records so a shard's infra hiccup can never shadow another
+    record of the same trial that actually finished.
+    """
+    if record.get("status") == "ok":
+        return True
+    error = record.get("error")
+    return isinstance(error, dict) and error.get("category") == "trial"
+
 
 def _json_default(obj: object) -> object:
     """Convert numpy scalars/arrays so ledger writes never fail."""
@@ -62,17 +92,25 @@ class RunLedger:
     run_dir:
         The run's directory (e.g. ``runs/curve-20260806-120000``).
         Created on construction.
+    filename:
+        The JSONL file this handle appends to — ``ledger.jsonl`` (the
+        main ledger) by default, or a per-shard file from
+        :meth:`shard`.  All handles share the run directory and
+        ``meta.json``.
     """
 
-    def __init__(self, run_dir: Union[str, Path]) -> None:
+    def __init__(
+        self, run_dir: Union[str, Path], filename: str = LEDGER_NAME
+    ) -> None:
         self.run_dir = Path(run_dir)
+        self.filename = filename
         self.run_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     @property
     def path(self) -> Path:
-        """The ``ledger.jsonl`` path."""
-        return self.run_dir / LEDGER_NAME
+        """The JSONL file this handle appends to (main or shard)."""
+        return self.run_dir / self.filename
 
     @property
     def meta_path(self) -> Path:
@@ -83,6 +121,21 @@ class RunLedger:
     def run_id(self) -> str:
         """The run id (the directory name)."""
         return self.run_dir.name
+
+    def shard(self, shard_id: int) -> "RunLedger":
+        """A ledger handle appending to this run's shard ``shard_id`` file.
+
+        Sharded execution gives each shard its own append-only file
+        (``ledger-shardNN.jsonl``) so shards never contend on one file
+        handle and a torn write can only tear its own shard.  The main
+        handle's :meth:`read_latest` merges every shard back by trial
+        index.
+        """
+        return RunLedger(self.run_dir, filename=shard_ledger_name(shard_id))
+
+    def shard_paths(self) -> List[Path]:
+        """All per-shard ledger files present, sorted by shard id."""
+        return sorted(self.run_dir.glob(SHARD_LEDGER_GLOB))
 
     # ------------------------------------------------------------------
     def append(self, record: Dict[str, object]) -> None:
@@ -114,10 +167,14 @@ class RunLedger:
         with a warning, so a crashed ledger stays readable and the trial
         behind the torn record simply re-executes on resume.
         """
-        if not self.path.exists():
+        return self._read_file(self.path)
+
+    def _read_file(self, path: Path) -> List[Dict[str, object]]:
+        """Parse one JSONL file with the torn-line tolerance of :meth:`read`."""
+        if not path.exists():
             return []
         records = []
-        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
             line = line.strip()
             if not line:
                 continue
@@ -125,7 +182,7 @@ class RunLedger:
                 records.append(json.loads(line))
             except ValueError:
                 warnings.warn(
-                    f"{self.path}:{lineno}: skipping unparseable ledger line "
+                    f"{path}:{lineno}: skipping unparseable ledger line "
                     "(torn write from a killed run?)",
                     RuntimeWarning,
                     stacklevel=2,
@@ -133,19 +190,39 @@ class RunLedger:
         return records
 
     def read_latest(self) -> Dict[int, Dict[str, object]]:
-        """The last record per trial index, keyed by index.
+        """The winning record per trial index, merged across shard files.
 
         A resumed run appends fresh records for re-executed trials after
         the originals (e.g. an infrastructure failure followed by a clean
         rerun), so readers — resume itself and ``repro report`` — must
-        take the *latest* record for each index, never double-count.
-        Records without an integer ``index`` are ignored.
+        take one record per index, never double-count.  On the main
+        handle this also folds in every ``ledger-shardNN.jsonl`` present,
+        making shard merge invisible to readers.
+
+        Merge rule, per index: a *replayable* record (status ``ok`` or a
+        deterministic trial error) beats a non-replayable one (infra
+        failure, timeout); at equal rank the later record wins, reading
+        the main file first and then shards in id order.  Replayable
+        records for one index are bit-identical by construction — they
+        are pure functions of ``(master_seed, index)`` — so which one
+        wins is unobservable; preferring them merely stops a shard's
+        infra hiccup from shadowing a completed trial.  Records without
+        an integer ``index`` are ignored.
         """
+        records = list(self.read())
+        if self.filename == LEDGER_NAME:
+            for path in self.shard_paths():
+                records.extend(self._read_file(path))
         latest: Dict[int, Dict[str, object]] = {}
-        for record in self.read():
+        rank: Dict[int, int] = {}
+        for record in records:
             index = record.get("index")
-            if isinstance(index, int):
+            if not isinstance(index, int):
+                continue
+            r = 1 if _replayable(record) else 0
+            if index not in latest or r >= rank[index]:
                 latest[index] = record
+                rank[index] = r
         return latest
 
     def read_meta(self) -> Optional[Dict[str, object]]:
@@ -156,11 +233,19 @@ class RunLedger:
 
     @classmethod
     def open_existing(cls, run_dir: Union[str, Path]) -> "RunLedger":
-        """Open a run directory that must already contain a ledger."""
+        """Open a run directory that must already contain ledger data.
+
+        Accepts a directory holding a main ``ledger.jsonl`` *or* only
+        per-shard files — a sharded run killed before any shard merge is
+        still a resumable run directory.
+        """
         run_dir = Path(run_dir)
-        if not (run_dir / LEDGER_NAME).exists():
+        if not (run_dir / LEDGER_NAME).exists() and not list(
+            run_dir.glob(SHARD_LEDGER_GLOB)
+        ):
             raise FileNotFoundError(
-                f"no {LEDGER_NAME} under {run_dir} — not a run directory"
+                f"no {LEDGER_NAME} (or shard ledgers) under {run_dir} "
+                "— not a run directory"
             )
         return cls(run_dir)
 

@@ -138,3 +138,100 @@ def test_resume_without_run_id_is_rejected(tmp_path):
     )
     assert result.returncode == 2
     assert "--resume needs --run-id" in result.stdout
+
+
+def sharded_trials_args(runs_dir, extra=()):
+    return [
+        "trials",
+        "--workload", "fault",
+        "--trials", str(TRIALS),
+        "--workers", "1",
+        "--shards", "2",
+        "--sleep-seconds", "0.3",
+        "--ledger",
+        "--run-id", "shardkill",
+        "--runs-dir", str(runs_dir),
+        *extra,
+    ]
+
+
+def test_sigkill_mid_sharded_run_then_resume_completes_bit_identical(tmp_path):
+    """SIGKILL a sharded CLI run once shard records exist; --resume must
+    merge the partial per-shard ledgers, re-execute only the missing
+    trials, and end bit-identical to the serial reference (the CLI's own
+    identity check runs over the full result set)."""
+    runs_dir = tmp_path / "runs"
+    run_dir = runs_dir / "shardkill"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"]
+        + sharded_trials_args(runs_dir, extra=("--skip-serial",)),
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            shard_files = list(run_dir.glob("ledger-shard*.jsonl"))
+            if any(p.stat().st_size > 0 for p in shard_files):
+                break
+            if proc.poll() is not None:
+                pytest.fail("run finished before it could be killed")
+            time.sleep(0.05)
+        else:
+            pytest.fail("no shard ledger records appeared within 60s")
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+
+    completed = []
+    for path in sorted(run_dir.glob("ledger-shard*.jsonl")):
+        completed.extend(
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        )
+    assert 0 < len({r["index"] for r in completed}) < TRIALS, (
+        "kill landed too early or too late"
+    )
+
+    resumed = run_cli(*sharded_trials_args(runs_dir, extra=("--resume",)))
+    assert resumed.returncode == 0, resumed.stdout
+    assert "bit-identical results across worker counts: True" in resumed.stdout
+
+    report = run_cli("report", str(run_dir), "--no-write")
+    assert report.returncode == 0, report.stdout
+    assert f"{TRIALS} of {TRIALS} trials completed clean" in report.stdout
+
+
+def test_cache_stats_flag_prints_and_records_store_counters(tmp_path):
+    """--cache-stats on a cached fleet run prints the aggregated store
+    counters and persists them into the run's meta.json; a warm rerun of
+    the same store serves hits."""
+    cache_dir = tmp_path / "store"
+    base = [
+        "trials", "--workload", "fleet", "--smoke",
+        "--trials", "3", "--workers", "1", "--skip-serial",
+        "--cache-dir", str(cache_dir), "--cache-stats",
+        "--ledger", "--runs-dir", str(tmp_path / "runs"),
+    ]
+    cold = run_cli(*base, "--run-id", "cold")
+    assert cold.returncode == 0, cold.stdout
+    assert "cache stats:" in cold.stdout
+    cold_meta = json.loads(
+        (tmp_path / "runs" / "cold" / "meta.json").read_text()
+    )
+    assert cold_meta["cache_stats"]["misses"] == 3
+    assert cold_meta["cache_stats"]["hits"] == 0
+
+    warm = run_cli(*base, "--run-id", "warm")
+    assert warm.returncode == 0, warm.stdout
+    warm_meta = json.loads(
+        (tmp_path / "runs" / "warm" / "meta.json").read_text()
+    )
+    assert warm_meta["cache_stats"]["hits"] == 3
+    assert warm_meta["cache_stats"]["bytes_served"] > 0
