@@ -10,8 +10,8 @@ Subcommands:
   print the recovered key.
 
 * ``trials`` — the parallel experiment runtime: fan a workload
-  (``curve``/``lmn``/``km``/``sq``/``fault``/``fleet``/``skew``) out
-  over worker processes,
+  (``curve``/``active``/``lmn``/``km``/``sq``/``fault``/``fleet``/
+  ``skew``) out over worker processes,
   report per-trial timings, speedup over serial, and the bit-identity
   check; ``--ledger`` additionally writes a query-accounting run
   directory, ``--retries``/``--trial-timeout`` configure the retry
@@ -50,6 +50,13 @@ Subcommands:
 
       python -m repro bench-store --out benchmarks/results/BENCH_store.json
       python -m repro bench-store --smoke
+
+* ``bench-active`` — the adaptive-vs-passive query atlas: every query
+  strategy attacks the same (n, k) cells under metered budgets and the
+  baseline records where chosen-challenge access beats i.i.d. sampling::
+
+      python -m repro bench-active --out benchmarks/results/BENCH_active.json
+      python -m repro bench-active --smoke
 
 * ``docs-bench`` — regenerate ``docs/BENCHMARKS.md`` from the committed
   ``benchmarks/results/BENCH_*.json`` baselines (``--check`` fails on
@@ -168,6 +175,25 @@ def _resolve_workload(args: argparse.Namespace):
         )
         return (
             w.learning_curve_trial,
+            spec,
+            [f"acc @ {b}" for b in spec.sorted_budgets],
+        )
+    if name == "active":
+        budgets = tuple(int(b) for b in args.budgets.split(","))
+        spec = w.ActiveTrialSpec(
+            n=pick(args.n, 32),
+            k=pick(args.k, 1),
+            strategy=args.strategy,
+            budgets=budgets,
+            batch=args.batch,
+            pool_size=pick(args.pool_size, max(1024, 2 * max(budgets))),
+            committee=args.committee,
+            fast_fraction=args.fast_fraction,
+            test_size=pick(args.test_size, 2000),
+            noise_rate=args.noise_rate,
+        )
+        return (
+            w.active_trial,
             spec,
             [f"acc @ {b}" for b in spec.sorted_budgets],
         )
@@ -328,7 +354,7 @@ def cmd_trials(args: argparse.Namespace) -> int:
     trial_fn, spec, columns = _resolve_workload(args)
     kwargs = {"spec": spec}
     if args.cache_dir is not None:
-        if args.workload not in ("fleet",):
+        if args.workload not in ("fleet", "active"):
             print(f"--cache-dir is not supported by the {args.workload} workload")
             return 2
         kwargs["cache_dir"] = args.cache_dir
@@ -596,6 +622,41 @@ def cmd_bench_store(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench_active(args: argparse.Namespace) -> int:
+    from repro.learning.active_bench import (
+        default_cases,
+        render_table,
+        run_active_bench,
+        smoke_cases,
+        write_results,
+    )
+
+    cases = smoke_cases() if args.smoke else default_cases()
+    payload = run_active_bench(cases)
+    print(render_table(payload))
+    if args.out is not None:
+        from pathlib import Path
+
+        write_results(payload, Path(args.out))
+        print(f"wrote {args.out}")
+
+    failures = []
+    for rec in payload["cases"]:
+        if not rec["equivalent"]:
+            failures.append(
+                f"{rec['name']}: metered query counts differ from the "
+                "nominal budget"
+            )
+    if not any(rec["atlas"]["adaptive_beats_passive"] for rec in payload["cases"]):
+        failures.append(
+            "no atlas cell shows an adaptive strategy reaching passive "
+            "accuracy with fewer metered queries"
+        )
+    for failure in failures:
+        print("FAIL:", failure)
+    return 1 if failures else 0
+
+
 def cmd_conformance(args: argparse.Namespace) -> int:
     from repro.analysis.tables import TableBuilder
     from repro.conformance import run_suite
@@ -695,7 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trials.add_argument(
         "--workload",
-        choices=("curve", "lmn", "km", "sq", "fault", "fleet", "skew"),
+        choices=("curve", "active", "lmn", "km", "sq", "fault", "fleet", "skew"),
         default="curve",
         help="which trial workload to fan out",
     )
@@ -730,6 +791,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trials.add_argument(
         "--test-size", type=int, default=None, help="held-out evaluation size"
+    )
+    trials.add_argument(
+        "--strategy",
+        choices=("passive", "uncertainty", "committee", "fastslow"),
+        default="uncertainty",
+        help="query-selection strategy (active workload)",
+    )
+    trials.add_argument(
+        "--batch",
+        type=int,
+        default=16,
+        help="queries per fit/select round (active workload)",
+    )
+    trials.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        help="candidate pool size (active workload; default covers the "
+        "largest budget twice over)",
+    )
+    trials.add_argument(
+        "--committee",
+        type=int,
+        default=3,
+        help="committee size for --strategy committee (active workload)",
+    )
+    trials.add_argument(
+        "--fast-fraction",
+        type=float,
+        default=0.5,
+        help="budget fraction spent in the random fast phase for "
+        "--strategy fastslow (active workload)",
+    )
+    trials.add_argument(
+        "--noise-rate",
+        type=float,
+        default=0.0,
+        help="per-answer flip probability on the oracle (active workload)",
     )
     trials.add_argument(
         "--degree", type=int, default=3, help="LMN spectrum degree (lmn workload)"
@@ -938,6 +1037,8 @@ def build_parser() -> argparse.ArgumentParser:
             "src/repro/kernels",
             "src/repro/runtime",
             "src/repro/conformance",
+            "src/repro/learning/active.py",
+            "src/repro/learning/active_bench.py",
         ],
         help="files or directories to measure",
     )
@@ -1010,6 +1111,24 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical and at least as fast as the baseline",
     )
     bench_store.set_defaults(func=cmd_bench_store)
+
+    bench_active = sub.add_parser(
+        "bench-active",
+        help="map the adaptive-vs-passive query atlas under metered budgets",
+    )
+    bench_active.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the JSON payload here (e.g. benchmarks/results/BENCH_active.json)",
+    )
+    bench_active.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the seconds-fast CI subset and fail unless query accounting "
+        "is exact and some adaptive strategy beats the passive baseline",
+    )
+    bench_active.set_defaults(func=cmd_bench_active)
 
     conf = sub.add_parser(
         "conformance",

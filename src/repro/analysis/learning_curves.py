@@ -106,13 +106,49 @@ def _replicated_curve_trial(
     puf_factory: Callable[[np.random.Generator], PUF],
     budgets: Sequence[int],
     test_size: int,
+    strategy: Optional[str] = None,
+    strategy_options: Optional[dict] = None,
 ) -> List[float]:
     """One trial of :func:`replicated_learning_curve` (module-level so the
-    process pool can pickle it when factory and fitter are picklable)."""
-    instance_rng, crp_rng = ctx.spawn_rngs(2)
-    puf = puf_factory(instance_rng)
-    curve = learning_curve("trial", fitter, puf, budgets, test_size, crp_rng)
-    return curve.accuracies
+    process pool can pickle it when factory and fitter are picklable).
+
+    With ``strategy=None`` this is the classic passive-prefix trial,
+    bit-identical to every earlier release.  A strategy name switches the
+    trial to adaptive challenge selection via
+    :func:`repro.learning.active.run_active_attack`: the attacker picks
+    each query with the named strategy and ``fitter`` is replaced by the
+    margin-producing logistic attack the strategies require.
+    """
+    if strategy is None:
+        instance_rng, crp_rng = ctx.spawn_rngs(2)
+        puf = puf_factory(instance_rng)
+        curve = learning_curve("trial", fitter, puf, budgets, test_size, crp_rng)
+        return curve.accuracies
+    from repro.learning.active import make_strategy, run_active_attack
+
+    options = dict(strategy_options or {})
+    make_kwargs = {
+        key: options[key]
+        for key in ("committee", "fast_fraction", "l2", "max_iter")
+        if key in options
+    }
+    run_kwargs = {
+        key: options[key]
+        for key in ("batch", "pool_size", "noise_rate")
+        if key in options
+    }
+    instance_seed, attack_seed = ctx.seed.spawn(2)
+    puf = puf_factory(np.random.default_rng(instance_seed))
+    result = run_active_attack(
+        puf.n,
+        puf.eval,
+        make_strategy(strategy, **make_kwargs),
+        budgets,
+        test_size=test_size,
+        seed=attack_seed,
+        **run_kwargs,
+    )
+    return result.accuracies
 
 
 def replicated_learning_curve(
@@ -125,6 +161,8 @@ def replicated_learning_curve(
     master_seed: int = 0,
     workers: int = 1,
     runner: Optional[TrialRunner] = None,
+    strategy: Optional[str] = None,
+    strategy_options: Optional[dict] = None,
 ) -> "tuple[AveragedLearningCurve, TrialReport]":
     """A learning curve averaged over ``trials`` fresh PUF instances.
 
@@ -134,21 +172,32 @@ def replicated_learning_curve(
     randomness derives only from ``(master_seed, trial_index)``.  Note
     that ``puf_factory`` and ``fitter`` must be module-level callables to
     actually reach the pool; closures fall back to serial execution.
+
+    ``strategy`` selects the query-selection strategy per trial: ``None``
+    keeps the passive prefix-pool behaviour (bit-identical to earlier
+    releases); a :data:`repro.learning.active.STRATEGY_NAMES` name makes
+    each trial an adaptive attack whose budgets are metered membership
+    queries (``strategy_options`` forwards knobs such as ``batch``,
+    ``pool_size``, ``committee``, ``fast_fraction``).
     """
     budgets = sorted(int(b) for b in budgets)
     if trials <= 0:
         raise ValueError("trials must be positive")
     runner = TrialRunner(workers=workers) if runner is None else runner
+    trial_kwargs = {
+        "fitter": fitter,
+        "puf_factory": puf_factory,
+        "budgets": budgets,
+        "test_size": test_size,
+    }
+    if strategy is not None:
+        trial_kwargs["strategy"] = strategy
+        trial_kwargs["strategy_options"] = dict(strategy_options or {})
     report = runner.run(
         _replicated_curve_trial,
         trials,
         master_seed=master_seed,
-        trial_kwargs={
-            "fitter": fitter,
-            "puf_factory": puf_factory,
-            "budgets": budgets,
-            "test_size": test_size,
-        },
+        trial_kwargs=trial_kwargs,
     )
     # A failed trial cannot be averaged away — surface it as an exception
     # (TrialFailure) instead of poisoning the mean with a missing row.

@@ -556,6 +556,67 @@ def _diff_fleet_majority_vote(ctx: RelationContext) -> Dict[str, object]:
     }
 
 
+def _diff_active_committee_of_one(ctx: RelationContext) -> Dict[str, object]:
+    """A committee of one is uncertainty sampling, bit for bit.
+
+    Query-by-committee with ``committee=1`` fits exactly one hypothesis
+    (the full labelled set) and scores candidates by ``|margin / 1|`` —
+    definitionally the uncertainty rule.  Both strategies are driven
+    from one seed against one arbiter instance; the selected challenge
+    sequence, the answered labels, and every checkpoint accuracy must
+    be bit-identical.  Any drift means the committee's scoring or its
+    generator consumption silently diverged from the uncertainty path.
+    """
+    from repro.learning.active import (
+        CommitteeStrategy,
+        UncertaintyStrategy,
+        run_active_attack,
+    )
+    from repro.pufs.arbiter import ArbiterPUF
+
+    n = 20
+    puf = ArbiterPUF(n, ctx.rng())
+    seed = int(ctx.rng().integers(0, 2**63))
+    budgets = (32, 96)
+    runs = {}
+    for label, strategy in (
+        ("uncertainty", UncertaintyStrategy()),
+        ("committee_of_one", CommitteeStrategy(committee=1)),
+    ):
+        runs[label] = run_active_attack(
+            n,
+            puf.eval,
+            strategy,
+            budgets,
+            batch=16,
+            pool_size=256,
+            test_size=500,
+            seed=seed,
+        )
+    unc, com = runs["uncertainty"], runs["committee_of_one"]
+    if not np.array_equal(
+        unc.trajectory.challenges, com.trajectory.challenges
+    ):
+        raise ConformanceViolation(
+            "committee-of-one selected a different challenge sequence "
+            "than uncertainty sampling"
+        )
+    if not np.array_equal(unc.trajectory.responses, com.trajectory.responses):
+        raise ConformanceViolation(
+            "committee-of-one collected different labels than uncertainty"
+        )
+    if unc.accuracies != com.accuracies:
+        raise ConformanceViolation(
+            f"checkpoint accuracies diverge: {unc.accuracies} "
+            f"vs {com.accuracies}"
+        )
+    return {
+        "n": n,
+        "budgets": list(budgets),
+        "accuracies": unc.accuracies,
+    }
+
+
 def differential_relations() -> List[Relation]:
     """The registry of differential relations, in stable order."""
     return [
@@ -648,5 +709,12 @@ def differential_relations() -> List[Relation]:
             "batched noisy eval and majority vote are bit-identical to the "
             "per-instance loop under the same noise stream",
             _diff_fleet_majority_vote,
+        ),
+        Relation(
+            "diff_active_committee_of_one",
+            "differential",
+            "a committee of one selects, labels, and scores bit-identically "
+            "to uncertainty sampling",
+            _diff_active_committee_of_one,
         ),
     ]

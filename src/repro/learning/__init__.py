@@ -24,6 +24,19 @@ from repro.learning.oracles import (
     SimulatedEquivalenceOracle,
     angluin_eq_sample_size,
 )
+from repro.learning.active import (
+    STRATEGY_NAMES,
+    ActiveRunResult,
+    CommitteeStrategy,
+    FastSlowStrategy,
+    PassiveStrategy,
+    Trajectory,
+    UncertaintyStrategy,
+    collect_trajectory,
+    evaluate_trajectory,
+    make_strategy,
+    run_active_attack,
+)
 from repro.learning.metrics import accuracy, error_rate, evaluate_hypothesis
 from repro.learning.perceptron import Perceptron, PerceptronResult
 from repro.learning.logistic import LogisticAttack, LogisticResult
@@ -48,6 +61,17 @@ from repro.learning.statistical_query import SQChowLearner, SQChowResult, SQOrac
 from repro.learning.xor_logistic import XorLogisticAttack, XorLogisticResult
 
 __all__ = [
+    "STRATEGY_NAMES",
+    "ActiveRunResult",
+    "CommitteeStrategy",
+    "FastSlowStrategy",
+    "PassiveStrategy",
+    "Trajectory",
+    "UncertaintyStrategy",
+    "collect_trajectory",
+    "evaluate_trajectory",
+    "make_strategy",
+    "run_active_attack",
     "ExampleOracle",
     "MembershipOracle",
     "QueryBudgetExceeded",

@@ -1,0 +1,257 @@
+"""The adaptive-vs-passive query atlas behind ``python -m repro bench-active``.
+
+Each case is one (n, k) cell of the atlas: every
+:data:`~repro.learning.active.STRATEGY_NAMES` strategy attacks the same
+population of fresh PUF instances with the same total query budget, all
+oracle calls metered.  The cell reports, per strategy, the mean
+held-out accuracy at each checkpoint, the smallest metered budget at
+which the strategy reaches the *passive* run's final accuracy, and the
+resulting query saving — the experimentally mapped gap between the
+Table I passive ceiling (``general_vc_bound``) and what chosen-challenge
+access actually costs.
+
+The k=2 cell is deliberately adversarial: the margin-guided strategies
+still drive a single-LTF logistic hypothesis, which cannot represent a
+2-XOR PUF — so adaptivity buys nothing there.  The atlas keeps the cell
+because the paper's pitfall is exactly that access-model upgrades do not
+rescue a wrong hypothesis class.
+
+Results serialise to ``benchmarks/results/BENCH_active.json`` and render
+into ``docs/BENCHMARKS.md`` via ``python -m repro docs-bench``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learning.active import make_strategy, run_active_attack
+from repro.pac import PACParameters
+from repro.pac.bounds import general_vc_bound_log10
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.xor_arbiter import XORArbiterPUF
+from repro.telemetry import QueryMeter, metered
+
+
+@dataclasses.dataclass(frozen=True)
+class ActiveBenchCase:
+    """One (n, k) atlas cell: all strategies, shared instances and budget."""
+
+    name: str
+    n: int = 32
+    k: int = 1
+    budgets: Tuple[int, ...] = (40, 80, 160, 320)
+    batch: int = 16
+    pool_size: int = 2048
+    trials: int = 5
+    test_size: int = 2000
+    committee: int = 3
+    fast_fraction: float = 0.5
+    strategies: Tuple[str, ...] = (
+        "passive",
+        "uncertainty",
+        "committee",
+        "fastslow",
+    )
+    seed: int = 20
+
+
+def default_cases() -> List[ActiveBenchCase]:
+    """The full atlas: two learnable arbiter cells plus the k=2 control."""
+    return [
+        ActiveBenchCase(name="atlas_n32_k1", n=32, k=1),
+        ActiveBenchCase(name="atlas_n48_k1", n=48, k=1),
+        ActiveBenchCase(
+            name="atlas_n24_k2_control",
+            n=24,
+            k=2,
+            budgets=(80, 160, 320),
+            trials=3,
+        ),
+    ]
+
+
+def smoke_cases() -> List[ActiveBenchCase]:
+    """Seconds-fast CI subset: one cell, enough to assert the gap exists."""
+    return [
+        ActiveBenchCase(
+            name="atlas_n24_k1_smoke",
+            n=24,
+            k=1,
+            budgets=(40, 80, 160),
+            pool_size=512,
+            trials=2,
+            test_size=1000,
+            strategies=("passive", "uncertainty", "fastslow"),
+        )
+    ]
+
+
+def _mean_accuracies(rows: List[List[float]]) -> List[float]:
+    """Column-wise mean over per-trial accuracy rows."""
+    return [float(v) for v in np.asarray(rows, dtype=np.float64).mean(axis=0)]
+
+
+def _queries_to_reach(
+    budgets: Sequence[int], accuracies: Sequence[float], target: float
+) -> Optional[int]:
+    """Smallest checkpoint budget whose mean accuracy meets ``target``."""
+    for budget, acc in zip(budgets, accuracies):
+        if acc >= target:
+            return int(budget)
+    return None
+
+
+def run_active_case(case: ActiveBenchCase) -> Dict[str, object]:
+    """Run every strategy of one atlas cell and assemble its record.
+
+    Each (strategy, trial) pair runs under its own
+    :class:`~repro.telemetry.QueryMeter`, and the accounting identity —
+    metered queries of the strategy's kind == the nominal total budget —
+    is part of the cell's ``equivalent`` flag: a strategy that slipped
+    an unmetered oracle call past the meter fails the bench.
+    """
+    budgets = tuple(sorted(case.budgets))
+    total = budgets[-1]
+    root = np.random.SeedSequence(case.seed)
+    instance_seeds = root.spawn(case.trials)
+    accounting_ok = True
+    per_strategy: Dict[str, Dict[str, object]] = {}
+    for name in case.strategies:
+        rows: List[List[float]] = []
+        metered_queries: List[int] = []
+        for trial, instance_seed in enumerate(instance_seeds):
+            instance_rng = np.random.default_rng(instance_seed)
+            if case.k == 1:
+                puf = ArbiterPUF(case.n, instance_rng)
+            else:
+                puf = XORArbiterPUF(case.n, case.k, instance_rng)
+            strategy = make_strategy(
+                name,
+                committee=case.committee,
+                fast_fraction=case.fast_fraction,
+            )
+            # Every trial shares its attack seed across strategies, so
+            # the atlas compares strategies on identical test draws.
+            attack_seed = np.random.SeedSequence(
+                case.seed, spawn_key=(1, trial)
+            )
+            with metered(QueryMeter(track_distinct=False)) as meter:
+                result = run_active_attack(
+                    case.n,
+                    puf.eval,
+                    strategy,
+                    budgets,
+                    batch=case.batch,
+                    pool_size=case.pool_size,
+                    test_size=case.test_size,
+                    seed=attack_seed,
+                )
+            counted = meter.kinds[strategy.kind].queries
+            metered_queries.append(int(counted))
+            if counted != total or meter.total_queries != total:
+                accounting_ok = False
+            rows.append(result.accuracies)
+        per_strategy[name] = {
+            "mean_accuracies": _mean_accuracies(rows),
+            "metered_queries": max(metered_queries),
+        }
+
+    passive_final = per_strategy["passive"]["mean_accuracies"][-1]
+    curves: Dict[str, object] = {"budgets": list(budgets)}
+    best_name, best_queries = None, None
+    for name in case.strategies:
+        stats = per_strategy[name]
+        reach = _queries_to_reach(
+            budgets, stats["mean_accuracies"], passive_final
+        )
+        stats["final_accuracy"] = stats["mean_accuracies"][-1]
+        stats["queries_to_passive_accuracy"] = reach
+        stats["query_savings"] = (
+            float(total) / reach if reach else None
+        )
+        # The summary record keeps scalars; the full checkpoint curve
+        # moves under "curves" so docs-bench tables stay one row per cell.
+        curves[name] = stats.pop("mean_accuracies")
+        if name != "passive" and reach is not None:
+            if best_queries is None or reach < best_queries:
+                best_name, best_queries = name, reach
+    params = PACParameters(eps=0.05, delta=0.05)
+    return {
+        "name": case.name,
+        "params": {
+            "n": case.n,
+            "k": case.k,
+            "budget": total,
+            "batch": case.batch,
+            "trials": case.trials,
+        },
+        "curves": curves,
+        **per_strategy,
+        "atlas": {
+            "passive_final_accuracy": passive_final,
+            "best_adaptive": best_name,
+            "best_adaptive_queries": best_queries,
+            "adaptive_beats_passive": bool(
+                best_queries is not None and best_queries < total
+            ),
+            "vc_bound_log10": general_vc_bound_log10(case.n, case.k, params),
+        },
+        "equivalent": accounting_ok,
+    }
+
+
+def run_active_bench(
+    cases: Optional[Sequence[ActiveBenchCase]] = None,
+) -> Dict[str, object]:
+    """Run a case list and assemble the serialisable payload."""
+    cases = default_cases() if cases is None else list(cases)
+    return {
+        "generated_by": "python -m repro bench-active",
+        "numpy": np.__version__,
+        "cases": [run_active_case(case) for case in cases],
+    }
+
+
+def render_table(payload: Dict[str, object]) -> str:
+    """Human-readable summary of an active-learning atlas payload."""
+    from repro.analysis.tables import TableBuilder
+
+    table = TableBuilder(
+        [
+            "cell",
+            "(n, k)",
+            "passive acc @ budget",
+            "best adaptive",
+            "queries to match",
+            "savings",
+            "metered",
+        ],
+        title="adaptive-vs-passive query atlas (equal metered budgets)",
+    )
+    for rec in payload["cases"]:
+        atlas = rec["atlas"]
+        total = rec["params"]["budget"]
+        best = atlas["best_adaptive"]
+        reach = atlas["best_adaptive_queries"]
+        table.add_row(
+            rec["name"],
+            f"({rec['params']['n']}, {rec['params']['k']})",
+            f"{atlas['passive_final_accuracy']:.3f} @ {total}",
+            best or "none",
+            str(reach) if reach else "never",
+            f"{total / reach:.1f}x" if reach else "-",
+            "ok" if rec["equivalent"] else "MISCOUNTED",
+        )
+    return table.render()
+
+
+def write_results(payload: Dict[str, object], path: Path) -> None:
+    """Write the benchmark payload as indented JSON, creating parents."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -347,6 +347,7 @@ class ArtifactStore:
         m: int,
         generate: Callable[[], CRPSet],
         noisy: bool = False,
+        record_kind: str = "ex",
     ) -> CRPSet:
         """The first ``m`` CRPs for this provenance, generating on miss.
 
@@ -354,6 +355,13 @@ class ArtifactStore:
         without calling ``generate``.  On a miss (or a cached set that is
         too short) ``generate()`` runs and its output replaces the cached
         file, so the store monotonically grows to the largest request.
+
+        ``record_kind`` names the query kind the hit path records the
+        replayed CRPs under: ``"ex"`` for distribution draws (the
+        default), ``"mq"`` for memoised adaptive trajectories whose rows
+        were originally attacker-chosen membership queries — replayed
+        answers are accountable under the access model that produced
+        them, not the one the cache happens to resemble.
         """
         if m <= 0:
             raise ValueError("CRP count must be positive")
@@ -368,12 +376,12 @@ class ArtifactStore:
             self.bytes_served += served
             _incr("artifact_store.bytes_served", served)
             # A cache hit replays CRPs the adversary is still accountable
-            # for; record them as EX queries just like fresh generation
-            # (the generator inside `generate` records the miss path).
+            # for; record them under the kind their original collection
+            # used (the generator inside `generate` records the miss path).
             _record(
-                "ex",
+                record_kind,
                 queries=m,
-                examples=m,
+                examples=m if record_kind == "ex" else 0,
                 challenges=taken.challenges,
                 response_bytes=taken.responses.nbytes,
             )

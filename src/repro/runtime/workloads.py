@@ -84,6 +84,150 @@ def learning_curve_trial(ctx: TrialContext, spec: LearningCurveSpec) -> np.ndarr
 
 
 @dataclasses.dataclass(frozen=True)
+class ActiveTrialSpec:
+    """One active-learning trial: adaptive challenge selection on a fresh PUF.
+
+    The trial collects a :class:`~repro.learning.active.Trajectory` with
+    the named strategy (``passive``/``uncertainty``/``committee``/
+    ``fastslow``), then fits a logistic hypothesis at every budget prefix
+    and reports held-out accuracy — the adaptive counterpart of
+    :class:`LearningCurveSpec`, with every oracle call metered under the
+    access model that produced it ("ex" passive, "mq" adaptive).
+    """
+
+    n: int = 32
+    k: int = 1  # 1 = plain arbiter chain; >1 = XOR arbiter
+    strategy: str = "uncertainty"
+    budgets: Tuple[int, ...] = (64, 128, 256)
+    batch: int = 16
+    pool_size: int = 1024
+    committee: int = 3
+    fast_fraction: float = 0.5
+    test_size: int = 2000
+    noise_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        from repro.learning.active import STRATEGY_NAMES
+
+        if self.n <= 0 or self.k <= 0:
+            raise ValueError("n and k must be positive")
+        if self.strategy not in STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected {STRATEGY_NAMES}"
+            )
+        if not self.budgets or min(self.budgets) < 1:
+            raise ValueError("budgets must be positive")
+        if self.batch < 1 or self.committee < 1:
+            raise ValueError("batch and committee must be positive")
+        if self.pool_size < max(self.budgets):
+            raise ValueError("pool_size must cover the largest budget")
+        if not 0.0 <= self.fast_fraction <= 1.0:
+            raise ValueError("fast_fraction must be in [0, 1]")
+        if self.test_size <= 0:
+            raise ValueError("test_size must be positive")
+        if not 0.0 <= self.noise_rate < 0.5:
+            raise ValueError("noise_rate must be in [0, 0.5)")
+
+    @property
+    def sorted_budgets(self) -> Tuple[int, ...]:
+        """The query budgets in ascending order (the checkpoint order)."""
+        return tuple(sorted(int(b) for b in self.budgets))
+
+
+def active_trial(
+    ctx: TrialContext,
+    spec: ActiveTrialSpec,
+    cache_dir: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
+) -> np.ndarray:
+    """Held-out accuracy at each budget checkpoint for one adaptive attack.
+
+    Seed layout (four independent streams off the trial seed): instance
+    weights, query selection, checkpoint fit initialisations, and the
+    held-out test draw.  With ``cache_dir`` set, the completed trajectory
+    is memoised in an :class:`~repro.runtime.store.ArtifactStore` keyed
+    by (PUF spec, trial seed, strategy parameters); a warm rerun skips
+    the entire selection loop — every near-hyperplane re-evaluation —
+    and replays the cached query sequence, with the hit recorded under
+    the strategy's own query kind (``"mq"`` for adaptive strategies) so
+    the ledger stays an honest account of the access model.  Because the
+    selection stream is independent of the fit and test streams, cold
+    and warm runs are bit-identical.
+    """
+    from repro.learning.active import (
+        collect_trajectory,
+        evaluate_trajectory,
+        make_strategy,
+    )
+    from repro.pufs.crp import CRPSet
+
+    instance_seed, select_seed, fit_seed, test_seed = ctx.seed.spawn(4)
+    instance_rng = np.random.default_rng(instance_seed)
+    if spec.k == 1:
+        puf = ArbiterPUF(spec.n, instance_rng)
+        puf_spec = f"ArbiterPUF(n={spec.n})"
+    else:
+        puf = XORArbiterPUF(spec.n, spec.k, instance_rng)
+        puf_spec = f"XORArbiterPUF(n={spec.n}, k={spec.k})"
+    strategy = make_strategy(
+        spec.strategy,
+        committee=spec.committee,
+        fast_fraction=spec.fast_fraction,
+    )
+    budgets = spec.sorted_budgets
+    total = budgets[-1]
+    # The challenge-set identity of an adaptive trajectory is its full
+    # generation recipe (strategy + loop shape), not a distribution name.
+    # The total budget is key material: unlike i.i.d. draws, a shorter
+    # adaptive trajectory is not in general a prefix of a longer one
+    # (the fast/slow phase boundary moves with the total), so the
+    # store's row-count-free prefix reuse must not cross budgets.
+    trajectory_id = (
+        f"active:{strategy.describe()}:batch={spec.batch}"
+        f":pool={spec.pool_size}:noise={spec.noise_rate}:total={total}"
+    )
+
+    def generate() -> CRPSet:
+        trajectory = collect_trajectory(
+            spec.n,
+            puf.eval,
+            strategy,
+            total,
+            batch=spec.batch,
+            pool_size=spec.pool_size,
+            rng=np.random.default_rng(select_seed),
+            noise_rate=spec.noise_rate,
+        )
+        return CRPSet(trajectory.challenges, trajectory.responses)
+
+    if cache_dir is not None:
+        crps = ArtifactStore(cache_dir, max_bytes=cache_max_bytes).get_or_generate(
+            puf_spec=puf_spec,
+            seed=(ctx.seed.entropy, tuple(ctx.seed.spawn_key), ctx.index),
+            distribution=trajectory_id,
+            m=total,
+            generate=generate,
+            noisy=spec.noise_rate > 0,
+            record_kind=strategy.kind,
+        )
+    else:
+        crps = generate()
+    with unmetered():
+        test_rng = np.random.default_rng(test_seed)
+        test_x = uniform_challenges(spec.test_size, spec.n, test_rng)
+        test_y = puf.eval(test_x)
+    accuracies = evaluate_trajectory(
+        crps.challenges,
+        crps.responses,
+        budgets,
+        test_x,
+        test_y,
+        rng=np.random.default_rng(fit_seed),
+    )
+    return np.asarray(accuracies, dtype=np.float64)
+
+
+@dataclasses.dataclass(frozen=True)
 class FaultInjectionSpec:
     """Deterministic fault injection for the runtime's failure semantics.
 

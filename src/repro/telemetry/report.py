@@ -39,7 +39,13 @@ import numpy as np
 from repro.telemetry.ledger import RunLedger
 
 #: workload -> the query kind its bound is stated in.
-WORKLOAD_KIND = {"curve": "ex", "lmn": "ex", "km": "mq", "sq": "sq"}
+WORKLOAD_KIND = {
+    "curve": "ex",
+    "lmn": "ex",
+    "km": "mq",
+    "sq": "sq",
+    "active": "mq",
+}
 
 
 @dataclasses.dataclass
@@ -118,6 +124,22 @@ def _bound_checks(meta: dict, records: List[dict]) -> List[BoundCheck]:
     if workload == "curve":
         bound = general_vc_bound(int(spec["n"]), int(spec["k"]), params)
         add("ex", "Table I row 2: general VC bound (uniform examples)", bound)
+    elif workload == "active":
+        # The passive sample-complexity ceiling is the bar an adaptive
+        # strategy must stay under to claim a query saving: both the
+        # metered membership queries (adaptive strategies) and any EX
+        # draws (the passive baseline strategy) are checked against it.
+        bound = general_vc_bound(int(spec["n"]), int(spec["k"]), params)
+        add(
+            "mq",
+            "Table I row 2 ceiling: adaptive MQ budget vs passive VC bound",
+            bound,
+        )
+        add(
+            "ex",
+            "Table I row 2: general VC bound (passive baseline strategy)",
+            bound,
+        )
     elif workload == "lmn":
         from repro.learning.lmn import lmn_sample_size
 
