@@ -314,6 +314,13 @@ def _aggregate_cache_stats(results) -> dict:
     ``TrialResult.telemetry["queries"]["counters"]`` — so the run-wide
     totals are a plain sum over results, regardless of worker or shard
     count.
+
+    Trials are heterogeneous: a cached trial carries the full
+    ``artifact_store.*`` counter set, an uncached one only some of it,
+    and a record replayed from a pre-store resume ledger may have no
+    counters (or no telemetry) at all.  Every lookup therefore defaults
+    to 0 — a missing key means "this trial did none of that", never an
+    error or a skewed total.
     """
     totals = {
         "hits": 0,
@@ -326,13 +333,12 @@ def _aggregate_cache_stats(results) -> dict:
     }
     for result in results:
         telemetry = result.telemetry or {}
-        counters = (telemetry.get("queries") or {}).get("counters") or {}
-        for key, value in counters.items():
-            if not key.startswith("artifact_store."):
-                continue
-            name = key[len("artifact_store."):]
-            if name in totals:
-                totals[name] += int(value)
+        queries = telemetry.get("queries") or {}
+        counters = queries.get("counters") if isinstance(queries, dict) else None
+        if not isinstance(counters, dict):
+            continue
+        for name in totals:
+            totals[name] += int(counters.get(f"artifact_store.{name}", 0) or 0)
     return totals
 
 
@@ -717,6 +723,31 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         return 1
     print("all relations hold")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the assessment job server (``docs/SERVICE.md``).
+
+    Long-running: serves until SIGINT/SIGTERM.  With ``--port 0`` the
+    chosen port is printed on stdout and written (with host and pid) to
+    ``<data-dir>/service.json`` so scripts can discover the server.
+    """
+    from repro.service import run_serve
+
+    if args.max_concurrent < 1:
+        print("--max-concurrent must be >= 1")
+        return 2
+    if args.default_quota is not None and args.default_quota < 0:
+        print("--default-quota must be non-negative")
+        return 2
+    return run_serve(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        default_quota=args.default_quota,
+        resume=args.resume,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1162,6 +1193,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit run id (default: conformance-<timestamp>)",
     )
     conf.set_defaults(func=cmd_conformance)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the assessment job server (HTTP + WebSocket over "
+        "TrialRunner; see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--data-dir",
+        type=str,
+        default="runs/service",
+        help="service state root: jobs/, quotas.json, service.json",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=1,
+        help="jobs running simultaneously; the rest wait in the priority queue",
+    )
+    serve.add_argument(
+        "--default-quota",
+        type=int,
+        default=None,
+        help="cumulative oracle-query limit per API key "
+        "(default: unlimited, usage still metered)",
+    )
+    serve.add_argument(
+        "--no-resume",
+        dest="resume",
+        action="store_false",
+        help="do not re-adopt incomplete persisted jobs on start",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -48,6 +48,7 @@ re-execute.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 import traceback as _traceback
 import warnings
@@ -262,12 +263,19 @@ class TrialResult:
 
 @dataclasses.dataclass
 class TrialReport:
-    """All trial results (ordered by index) plus timing aggregates."""
+    """All trial results (ordered by index) plus timing aggregates.
+
+    ``cancelled`` marks a run stopped early through the ``cancel`` event
+    of :meth:`TrialRunner.run`: the results list then holds only the
+    trials that completed (or replayed) before the stop was observed,
+    and a later ``resume_from`` run picks up exactly the missing ones.
+    """
 
     results: List[TrialResult]
     workers: int
     wall_seconds: float
     executor: str  # "serial", "process-pool", "mixed" or "replay"
+    cancelled: bool = False
 
     def values(self) -> List[Any]:
         """Trial values in index order (None for failed trials)."""
@@ -310,6 +318,12 @@ class TrialReport:
 
     def summary(self) -> str:
         """One-line digest: trial count, workers, wall clock, per-trial stats."""
+        if not self.results:
+            return (
+                f"0 trials on {self.workers} worker(s) [{self.executor}]: "
+                f"wall {self.wall_seconds:.2f}s"
+                + (", cancelled" if self.cancelled else "")
+            )
         secs = self.trial_seconds()
         base = (
             f"{len(self.results)} trials on {self.workers} worker(s) "
@@ -318,6 +332,8 @@ class TrialReport:
             f"(min {np.min(secs):.3f}s, max {np.max(secs):.3f}s)"
         )
         extras = []
+        if self.cancelled:
+            extras.append("cancelled")
         if self.failures():
             extras.append(f"{len(self.failures())} failed")
         if self.retried_count:
@@ -567,6 +583,8 @@ class TrialRunner:
         resume_from: Optional[Union[str, Path, "RunLedger"]] = None,
         retry: Optional[RetryPolicy] = None,
         trial_timeout: Optional[float] = None,
+        on_result: Optional[Callable[[TrialResult], None]] = None,
+        cancel: Optional[threading.Event] = None,
     ) -> TrialReport:
         """Run ``num_trials`` independent trials of ``trial_fn``.
 
@@ -587,6 +605,18 @@ class TrialRunner:
         :class:`RetryPolicy`) governs resubmission after worker death,
         and ``trial_timeout`` (seconds per trial; pool path only) kills
         and rebuilds the pool when a worker hangs.
+
+        ``on_result`` is called in the parent process as each trial
+        completes — replayed results first (in index order), then
+        executed ones in completion order — which is the progress hook
+        the assessment service streams WebSocket events from.  On the
+        sharded path it fires from shard driver threads, so the callback
+        must be thread-safe (the service marshals onto its event loop
+        with ``call_soon_threadsafe``).  ``cancel`` is a cooperative
+        stop: once the event is set no further trials start, in-flight
+        pool chunks finish and are recorded, and the report comes back
+        with ``cancelled=True`` holding only the completed results —
+        a later ``resume_from`` run finishes exactly the missing trials.
         """
         if trial_timeout is not None and trial_timeout <= 0:
             raise ValueError(f"trial_timeout must be positive, got {trial_timeout}")
@@ -603,25 +633,33 @@ class TrialRunner:
             for index, seed in enumerate(seeds)
             if index not in replayed
         ]
+        if on_result is not None:
+            for index in sorted(replayed):
+                on_result(replayed[index])
 
         def emit(result: TrialResult) -> None:
             if ledger is not None:
                 ledger.append(trial_record(result))
+            if on_result is not None:
+                on_result(result)
 
         pooled: List[TrialResult] = []
         serial: List[TrialResult] = []
         if not items:
             executor = "replay"
+        elif cancel is not None and cancel.is_set():
+            executor = "replay" if replayed else "serial"
         elif self.shards > 1:
             pooled, executor = self._run_sharded(
-                trial_fn, items, kwargs, retry, trial_timeout, ledger
+                trial_fn, items, kwargs, retry, trial_timeout, ledger,
+                on_result=on_result, cancel=cancel,
             )
         elif self.workers == 1:
-            serial = self._run_serial(trial_fn, items, kwargs, emit)
+            serial = self._run_serial(trial_fn, items, kwargs, emit, cancel)
             executor = "serial"
         else:
             pooled, leftover, fallback = self._run_pool(
-                trial_fn, items, kwargs, retry, trial_timeout, emit
+                trial_fn, items, kwargs, retry, trial_timeout, emit, cancel
             )
             if fallback is None:
                 executor = "process-pool"
@@ -632,7 +670,7 @@ class TrialRunner:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                serial = self._run_serial(trial_fn, leftover, kwargs, emit)
+                serial = self._run_serial(trial_fn, leftover, kwargs, emit, cancel)
                 executor = "mixed" if pooled else "serial"
 
         results = pooled + serial + list(replayed.values())
@@ -642,6 +680,11 @@ class TrialRunner:
             workers=self.workers,
             wall_seconds=time.perf_counter() - start,
             executor=executor,
+            cancelled=bool(
+                cancel is not None
+                and cancel.is_set()
+                and len(results) < num_trials
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -653,6 +696,8 @@ class TrialRunner:
         retry: RetryPolicy,
         trial_timeout: Optional[float],
         ledger: Optional["RunLedger"],
+        on_result: Optional[Callable[[TrialResult], None]] = None,
+        cancel: Optional[threading.Event] = None,
     ) -> "tuple[List[TrialResult], str]":
         """The work-stealing multi-pool path (``shards > 1``).
 
@@ -675,6 +720,8 @@ class TrialRunner:
             retry=retry,
             trial_timeout=trial_timeout,
             ledger=ledger,
+            on_result=on_result,
+            cancel=cancel,
         )
         broken = [f for f in fallbacks if f is not None]
         if broken:
@@ -752,9 +799,12 @@ class TrialRunner:
         items: List[Tuple[int, np.random.SeedSequence]],
         kwargs: Dict[str, Any],
         emit: Callable[[TrialResult], None],
+        cancel: Optional[threading.Event] = None,
     ) -> List[TrialResult]:
         results = []
         for index, seed in items:
+            if cancel is not None and cancel.is_set():
+                break
             result = _execute_trial(trial_fn, index, seed, kwargs)
             emit(result)
             results.append(result)
@@ -768,13 +818,16 @@ class TrialRunner:
         retry: RetryPolicy,
         trial_timeout: Optional[float],
         emit: Callable[[TrialResult], None],
+        cancel: Optional[threading.Event] = None,
     ) -> "tuple[List[TrialResult], List[Tuple[int, np.random.SeedSequence]], Optional[str]]":
         """The fault-tolerant pool path.
 
         Returns ``(results, leftover_items, fallback_reason)``; a non-None
         ``fallback_reason`` means the pool is unusable for the leftover
         items (unpicklable function, no OS semaphores, ...) and the caller
-        should finish them serially.
+        should finish them serially.  A set ``cancel`` event stops new
+        chunk submissions; chunks already in flight run to completion and
+        are recorded normally.
         """
         chunk = self.chunk_size or max(1, -(-len(items) // (4 * self.workers)))
         chunks = [items[i : i + chunk] for i in range(0, len(items), chunk)]
@@ -808,6 +861,9 @@ class TrialRunner:
             # timeout deadline (armed at submit) measures execution, not
             # time spent queued behind other chunks — queued chunks wait
             # here in the backlog with no deadline running.
+            if cancel is not None and cancel.is_set():
+                backlog.clear()
+                return
             while backlog and len(pending) < self.workers:
                 submit(backlog.popleft())
 

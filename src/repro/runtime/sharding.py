@@ -159,6 +159,7 @@ class _ShardDriver:
         retry: RetryPolicy,
         trial_timeout: Optional[float],
         emit: Callable[[TrialResult], None],
+        cancel: Optional[threading.Event] = None,
     ) -> None:
         self.shard_id = shard_id
         self.scheduler = scheduler
@@ -169,9 +170,14 @@ class _ShardDriver:
         self.retry = retry
         self.trial_timeout = trial_timeout
         self.emit = emit
+        self.cancel = cancel
         self.results: List[TrialResult] = []
         self.fallback: Optional[str] = None
         self.error: Optional[BaseException] = None
+
+    def _cancelled(self) -> bool:
+        """Whether the run's cooperative stop event has been set."""
+        return self.cancel is not None and self.cancel.is_set()
 
     # -- bookkeeping ----------------------------------------------------
     def _finish(self, chunk_results: List[TrialResult]) -> None:
@@ -193,7 +199,7 @@ class _ShardDriver:
         """
         for items in leftovers:
             self._run_items_serially(items)
-        while True:
+        while not self._cancelled():
             items = self.scheduler.acquire(self.shard_id, self.chunk)
             if not items:
                 return
@@ -240,8 +246,9 @@ class _ShardDriver:
         def pump() -> None:
             # Same in-flight cap as the single-pool path: deadlines armed
             # at submit measure execution because nothing queues behind
-            # other chunks inside the pool.
-            while len(pending) < self.workers:
+            # other chunks inside the pool.  A set cancel event stops the
+            # shard acquiring; in-flight chunks drain to completion.
+            while not self._cancelled() and len(pending) < self.workers:
                 items = self.scheduler.acquire(self.shard_id, self.chunk)
                 if not items:
                     return
@@ -399,6 +406,8 @@ def run_sharded(
     retry: Optional[RetryPolicy] = None,
     trial_timeout: Optional[float] = None,
     ledger: Optional["RunLedger"] = None,
+    on_result: Optional[Callable[[TrialResult], None]] = None,
+    cancel: Optional[threading.Event] = None,
 ) -> Tuple[List[TrialResult], WorkStealingScheduler, List[Optional[str]]]:
     """Execute ``items`` across ``shards`` work-stealing process pools.
 
@@ -410,6 +419,12 @@ def run_sharded(
     results (unordered; the caller sorts by index), the scheduler (for
     steal/executed accounting), and each shard's serial-fallback reason
     (None when its pool stayed healthy).
+
+    ``on_result`` fires once per completed trial *from the shard's
+    driver thread* (after its ledger append, so an observer never sees a
+    trial the ledger could lose); callbacks must be thread-safe.  A set
+    ``cancel`` event stops every shard acquiring new chunks; in-flight
+    chunks finish and are recorded, then the drivers exit.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -418,10 +433,15 @@ def run_sharded(
     scheduler = WorkStealingScheduler(partition_items(items, shards))
 
     def make_emit(shard_id: int) -> Callable[[TrialResult], None]:
-        if ledger is None:
-            return lambda result: None
-        shard_ledger = ledger.shard(shard_id)
-        return lambda result: shard_ledger.append(trial_record(result))
+        shard_ledger = None if ledger is None else ledger.shard(shard_id)
+
+        def emit(result: TrialResult) -> None:
+            if shard_ledger is not None:
+                shard_ledger.append(trial_record(result))
+            if on_result is not None:
+                on_result(result)
+
+        return emit
 
     drivers = [
         _ShardDriver(
@@ -434,6 +454,7 @@ def run_sharded(
             retry=retry,
             trial_timeout=trial_timeout,
             emit=make_emit(s),
+            cancel=cancel,
         )
         for s in range(shards)
     ]

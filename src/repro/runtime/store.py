@@ -68,6 +68,18 @@ STORE_DIR_ENV = "REPRO_CACHE_DIR"
 MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 
+def _entry_mtime(path: Path) -> float:
+    """An entry's LRU recency stamp (module-level so tests can fake clocks).
+
+    A vanished entry — concurrently evicted or replaced — sorts oldest,
+    which is harmless: unlinking it again is a no-op.
+    """
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return 0.0
+
+
 def _canonical_seed_material(seed: object) -> str:
     """A stable string identity for a seed-like object.
 
@@ -235,6 +247,11 @@ class ArtifactStore:
         finally:
             if tmp.exists():  # only on a failed write/replace
                 tmp.unlink()
+        # The published file inherits the staging file's mtime, which on a
+        # coarse-granularity (1s) filesystem can predate entries touched
+        # during the write — making the *newest* entry look LRU-oldest.
+        # Stamp it now, before any size accounting, so recency is honest.
+        self._touch(path)
         self.bytes_stored += size
         _incr("artifact_store.stores")
         _incr("artifact_store.bytes_stored", size)
@@ -268,7 +285,10 @@ class ArtifactStore:
 
         ``protect`` — the entry just published — is never evicted, even
         when it alone exceeds ``max_bytes`` (the caller is about to use
-        it; evicting it would just re-pay generation on the next run).
+        it; evicting it would just re-pay generation on the next run) and
+        even when filesystem mtime granularity makes it sort oldest (a 1s
+        filesystem can stamp a fresh entry with the same — or, via its
+        staging file, an earlier — mtime than entries already present).
         Returns how many entries were removed.
         """
         if self.max_bytes is None:
@@ -278,14 +298,8 @@ class ArtifactStore:
         if total <= self.max_bytes:
             return 0
 
-        def mtime(path: Path) -> float:
-            try:
-                return path.stat().st_mtime
-            except OSError:
-                return 0.0
-
         removed = 0
-        for path in sorted(sizes, key=mtime):
+        for path in sorted(sizes, key=_entry_mtime):
             if total <= self.max_bytes:
                 break
             if protect is not None and path == protect:

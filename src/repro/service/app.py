@@ -1,0 +1,709 @@
+"""The assessment service: an asyncio job server over ``TrialRunner``.
+
+``python -m repro serve`` starts one :class:`ReproService`.  Clients
+submit assessment jobs over plain HTTP (``POST /v1/jobs``), poll them
+(``GET /v1/jobs/{id}``), and stream per-trial progress over a WebSocket
+(``GET /v1/jobs/{id}/events``).  Everything is standard library: the
+HTTP layer is :mod:`repro.service.routes`, the WebSocket layer is
+:mod:`repro.service.wsproto`, and job execution is the existing
+fault-tolerant sharded :class:`~repro.runtime.runner.TrialRunner`
+running in a thread-pool executor.
+
+Design invariants
+-----------------
+* **All mutable service state lives on the event-loop thread.**  Worker
+  threads report progress only through ``loop.call_soon_threadsafe``;
+  handlers and the scheduler never run concurrently with each other.
+* **The job directory is the run directory.**  Each job's trials append
+  to a crash-safe :class:`~repro.telemetry.ledger.RunLedger` inside
+  ``<data_dir>/jobs/<job_id>/``, and every job runs with
+  ``resume_from`` pointing at its own ledger — so a SIGKILLed server
+  restarted with ``--resume`` re-adopts incomplete jobs and finishes
+  them bit-identically, replaying completed trials and executing only
+  the missing ones.
+* **Jobs run in a copied contextvars context.**  The launcher snapshots
+  ``contextvars.copy_context()`` per job and installs a fresh ambient
+  :class:`~repro.telemetry.meter.QueryMeter` inside it, so two jobs
+  running concurrently in the executor can never share (or clobber) an
+  ambient meter inherited from the loop thread.
+* **Quota enforcement is admission control.**  A job declares an
+  oracle-query budget; :class:`~repro.service.quotas.QuotaLedger`
+  rejects submissions that would overdraw the key (HTTP 429) and
+  settles actual metered spend — summed from the job's per-trial meter
+  snapshots and recorded into its ``meta.json`` — on completion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import dataclasses
+import functools
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.runtime.runner import TrialResult, TrialRunner, trial_record
+from repro.telemetry.ledger import RunLedger
+from repro.telemetry.meter import QueryMeter, metered
+
+from . import routes, wsproto
+from .jobs import (
+    ANONYMOUS_KEY,
+    Job,
+    JobSpec,
+    JobStore,
+    build_workload,
+    new_job_id,
+    values_digest,
+)
+from .queue import PriorityJobQueue
+from .quotas import QuotaExceeded, QuotaLedger
+
+SERVICE_INFO_NAME = "service.json"
+
+#: Terminal job states (never re-adopted, never re-queued).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+# ----------------------------------------------------------------------
+# The synchronous job body (runs in the executor, inside a copied
+# contextvars context — see ReproService._launch).
+# ----------------------------------------------------------------------
+def run_job_sync(
+    job: Job,
+    job_dir: Path,
+    emit: Callable[[TrialResult], None],
+    cancel: threading.Event,
+) -> Dict[str, Any]:
+    """Execute one job on ``TrialRunner`` and return its result payload.
+
+    Always resumes from the job's own ledger: on a fresh job the ledger
+    is empty and this is a no-op; on an adopted job it replays every
+    completed trial bit-identically (each replay still fires ``emit``,
+    so event subscribers see one event per trial regardless of how many
+    restarts the job survived).
+    """
+    spec = job.spec
+    trial_fn, workload_spec = build_workload(spec.workload, spec.spec)
+    ledger = RunLedger(job_dir)
+    if ledger.read_meta() is None:
+        ledger.write_meta(
+            {
+                "job_id": job.job_id,
+                "workload": spec.workload,
+                "spec": dataclasses.asdict(workload_spec),
+                "trials": spec.trials,
+                "workers": spec.workers,
+                "shards": spec.shards,
+                "master_seed": spec.seed,
+                "api_key": spec.api_key,
+                "declared_budget": spec.budget,
+            }
+        )
+    runner = TrialRunner(workers=spec.workers, shards=spec.shards)
+    with metered(QueryMeter()):
+        report = runner.run(
+            trial_fn,
+            spec.trials,
+            spec.seed,
+            {"spec": workload_spec},
+            ledger=ledger,
+            resume_from=ledger,
+            on_result=emit,
+            cancel=cancel,
+        )
+
+    meter = QueryMeter()
+    for result in report.results:
+        queries = (result.telemetry or {}).get("queries")
+        if isinstance(queries, dict):
+            meter.merge_snapshot(queries)
+    values = [trial_record(r)["value"] for r in report.results]
+    digest = values_digest(values)
+
+    meta = ledger.read_meta() or {}
+    meta["quota"] = {
+        "api_key": spec.api_key,
+        "declared_budget": spec.budget,
+        "metered_queries": meter.total_queries,
+        "crp_bytes": meter.crp_bytes,
+    }
+    ledger.write_meta(meta)
+
+    return {
+        "cancelled": report.cancelled,
+        "completed": len(report.results),
+        "failed": len(report.failures()),
+        "replayed": report.replayed_count,
+        "executor": report.executor,
+        "wall_seconds": report.wall_seconds,
+        "total_queries": meter.total_queries,
+        "digest": digest,
+        "values": values,
+    }
+
+
+class ReproService:
+    """The assessment-as-a-service server (see module docstring).
+
+    Parameters
+    ----------
+    data_dir:
+        Service state root: ``jobs/`` (one run directory per job),
+        ``quotas.json``, and ``service.json`` (written on start with the
+        bound host/port/pid so tools can discover a ``--port 0`` server).
+    host, port:
+        Bind address; port 0 picks a free port.
+    max_concurrent:
+        Jobs running simultaneously; further jobs wait in the priority
+        queue.
+    default_quota:
+        Cumulative oracle-query limit per API key (None disables
+        enforcement, usage is still metered and recorded).
+    resume:
+        Re-adopt incomplete (queued/running) persisted jobs on start.
+    """
+
+    def __init__(
+        self,
+        data_dir: Path,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        max_concurrent: int = 1,
+        default_quota: Optional[int] = None,
+        resume: bool = True,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.host = host
+        self.port = port
+        self.max_concurrent = max(1, int(max_concurrent))
+        self.resume = resume
+        self.store = JobStore(self.data_dir)
+        self.quotas = QuotaLedger(self.data_dir, default_limit=default_quota)
+        self._jobs: Dict[str, Job] = {}
+        self._queue = PriorityJobQueue()
+        self._cancels: Dict[str, threading.Event] = {}
+        self._events: Dict[str, List[Dict[str, Any]]] = {}
+        self._subscribers: Dict[str, Set["asyncio.Queue[Optional[dict]]"]] = {}
+        self._finish_tasks: Set["asyncio.Task[None]"] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrent, thread_name_prefix="repro-job"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._router = routes.Router()
+        self._router.add("GET", "/v1/healthz", self._handle_healthz)
+        self._router.add("GET", "/v1/quota", self._handle_quota)
+        self._router.add("POST", "/v1/jobs", self._handle_submit)
+        self._router.add("GET", "/v1/jobs", self._handle_list)
+        self._router.add("GET", "/v1/jobs/{job_id}", self._handle_get)
+        self._router.add("POST", "/v1/jobs/{job_id}/cancel", self._handle_cancel)
+        # /v1/jobs/{job_id}/events is WebSocket-only; handled in _dispatch.
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Adopt persisted jobs, bind the listener, write service.json."""
+        if self.resume:
+            self._adopt_jobs()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=2 * routes.MAX_BODY_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        info = {
+            "host": self.host,
+            "port": self.port,
+            "pid": os.getpid(),
+            "data_dir": str(self.data_dir),
+        }
+        (self.data_dir / SERVICE_INFO_NAME).write_text(
+            json.dumps(info, sort_keys=True, indent=2) + "\n"
+        )
+        self._pump()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``python -m repro serve`` sits here)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, cancel_running: bool = True) -> None:
+        """Stop accepting connections and wind down job execution."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if cancel_running:
+            for event in self._cancels.values():
+                event.set()
+        if self._finish_tasks:
+            await asyncio.gather(*tuple(self._finish_tasks), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    def _adopt_jobs(self) -> None:
+        """Re-register persisted jobs; re-queue the incomplete ones.
+
+        Queued and running jobs from a previous (possibly SIGKILLed)
+        server go back into the priority queue flagged ``adopted``;
+        their quota reservations are rebuilt from the declared budgets.
+        Terminal jobs are registered read-only so their records and
+        event streams stay servable.
+        """
+        for job_id, job in sorted(self.store.load_all().items()):
+            self._jobs[job_id] = job
+            self._events.setdefault(job_id, [])
+            if job.state in TERMINAL_STATES:
+                continue
+            job.adopted = True
+            job.state = "queued"
+            try:
+                self.quotas.reserve(job_id, job.spec.api_key, job.spec.budget or 0)
+            except QuotaExceeded as exc:
+                job.state = "failed"
+                job.error = f"quota exceeded at adoption: {exc}"
+                job.finished_at = time.time()
+                self.store.save(job)
+                continue
+            self.store.save(job)
+            self._queue.push(job_id, job.spec.effective_priority)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution.
+    # ------------------------------------------------------------------
+    def _running_count(self) -> int:
+        return len(self._cancels)
+
+    def _pump(self) -> None:
+        """Start queued jobs while concurrency slots are free."""
+        while self._running_count() < self.max_concurrent:
+            job_id = self._queue.pop()
+            if job_id is None:
+                return
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                continue
+            self._launch(job)
+
+    def _launch(self, job: Job) -> None:
+        """Start one job in the executor inside a copied context.
+
+        ``contextvars.copy_context()`` gives the job thread a private
+        snapshot of the loop thread's context, and ``run_job_sync``
+        installs a fresh ambient :class:`QueryMeter` inside it — the
+        satellite-4 fix: without the copy, concurrent jobs inherit the
+        *same* ambient meter object through the executor threads and
+        their query counts bleed into each other.
+        """
+        loop = asyncio.get_running_loop()
+        job.state = "running"
+        job.started_at = time.time()
+        self.store.save(job)
+        self._publish(job.job_id, {"event": "status", "state": "running"})
+        cancel = threading.Event()
+        self._cancels[job.job_id] = cancel
+
+        total = job.spec.trials
+
+        def emit(result: TrialResult) -> None:  # worker thread
+            loop.call_soon_threadsafe(self._on_trial, job.job_id, result, total)
+
+        ctx = contextvars.copy_context()
+        body = functools.partial(
+            ctx.run, run_job_sync, job, self.store.job_dir(job.job_id), emit, cancel
+        )
+        future = loop.run_in_executor(self._executor, body)
+        task = loop.create_task(self._finish(job, future))
+        self._finish_tasks.add(task)
+        task.add_done_callback(self._finish_tasks.discard)
+
+    def _on_trial(self, job_id: str, result: TrialResult, total: int) -> None:
+        """Record one completed/replayed trial (event-loop thread)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return
+        job.completed_trials += 1
+        self._publish(
+            job_id,
+            {
+                "event": "trial",
+                "index": result.index,
+                "ok": result.ok,
+                "replayed": result.replayed,
+                "seconds": result.seconds,
+                "completed": job.completed_trials,
+                "total": total,
+            },
+        )
+
+    async def _finish(self, job: Job, future: "asyncio.Future[Dict[str, Any]]") -> None:
+        """Settle a finished job: state, quota, persistence, events."""
+        spent = 0
+        try:
+            result = await future
+        except Exception as exc:  # config errors, executor teardown
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            job.result = result
+            job.completed_trials = result["completed"]
+            spent = int(result.get("total_queries") or 0)
+            if result["cancelled"]:
+                job.state = "cancelled"
+            elif result["failed"]:
+                job.state = "failed"
+                job.error = f"{result['failed']} of {job.spec.trials} trials failed"
+            else:
+                job.state = "done"
+        job.finished_at = time.time()
+        self.quotas.settle(job.job_id, job.spec.api_key, spent)
+        self._cancels.pop(job.job_id, None)
+        self.store.save(job)
+        self._publish(job.job_id, {"event": "done", "job": self._job_summary(job)})
+        for queue in self._subscribers.get(job.job_id, set()):
+            queue.put_nowait(None)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Events.
+    # ------------------------------------------------------------------
+    def _publish(self, job_id: str, event: Dict[str, Any]) -> None:
+        """Buffer an event and fan it out to live subscribers."""
+        self._events.setdefault(job_id, []).append(event)
+        for queue in self._subscribers.get(job_id, set()):
+            queue.put_nowait(event)
+
+    def _job_summary(self, job: Job) -> Dict[str, Any]:
+        """The job view used in event payloads and list responses.
+
+        Omits the (potentially large) per-trial ``values`` array; fetch
+        ``GET /v1/jobs/{id}`` for the full record.
+        """
+        payload = job.as_dict()
+        result = payload.get("result")
+        if isinstance(result, dict):
+            payload["result"] = {k: v for k, v in result.items() if k != "values"}
+        return payload
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_one(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30.0
+            )
+        except asyncio.TimeoutError:
+            return
+        if len(head) > routes.MAX_HEAD_BYTES:
+            writer.write(routes.error_response(413, "request head too large").encode())
+            await writer.drain()
+            return
+        try:
+            method, path, query, headers = routes.parse_request_head(head[:-4])
+            length = int(headers.get("content-length", "0") or 0)
+            if length > routes.MAX_BODY_BYTES:
+                writer.write(
+                    routes.error_response(413, "request body too large").encode()
+                )
+                await writer.drain()
+                return
+            body = await reader.readexactly(length) if length else b""
+            request = routes.Request(method, path, query, headers, body)
+        except routes.BadRequest as exc:
+            writer.write(routes.error_response(400, str(exc)).encode())
+            await writer.drain()
+            return
+        await self._dispatch(request, reader, writer)
+
+    async def _dispatch(
+        self,
+        request: routes.Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        # The event stream is its own protocol once upgraded.
+        events_match = None
+        if request.path.startswith("/v1/jobs/") and request.path.endswith("/events"):
+            events_match = request.path[len("/v1/jobs/") : -len("/events")]
+        if events_match is not None and request.method == "GET":
+            await self._handle_events(request, events_match, reader, writer)
+            return
+        handler, params, path_known = self._router.match(request.method, request.path)
+        if handler is None:
+            response = (
+                routes.error_response(405, f"method {request.method} not allowed")
+                if path_known
+                else routes.error_response(404, f"no route for {request.path}")
+            )
+        else:
+            try:
+                response = handler(request, **params)
+            except routes.BadRequest as exc:
+                response = routes.error_response(400, str(exc))
+            except QuotaExceeded as exc:
+                response = routes.json_response(
+                    429, {"error": {"message": str(exc), **exc.as_dict()}}
+                )
+            except ValueError as exc:
+                response = routes.error_response(400, str(exc))
+            except Exception as exc:  # never leak a traceback to the wire
+                response = routes.error_response(
+                    500, f"{type(exc).__name__}: {exc}"
+                )
+        writer.write(response.encode())
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Plain-HTTP handlers (synchronous: they only touch loop-thread state).
+    # ------------------------------------------------------------------
+    def _handle_healthz(self, request: routes.Request) -> routes.Response:
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return routes.json_response(
+            200,
+            {
+                "ok": True,
+                "jobs": states,
+                "queued": len(self._queue),
+                "running": self._running_count(),
+                "max_concurrent": self.max_concurrent,
+            },
+        )
+
+    def _handle_quota(self, request: routes.Request) -> routes.Response:
+        api_key = request.header("x-api-key") or ANONYMOUS_KEY
+        return routes.json_response(200, self.quotas.status(api_key))
+
+    def _handle_submit(self, request: routes.Request) -> routes.Response:
+        payload = request.json_body()
+        if not isinstance(payload, dict):
+            raise routes.BadRequest("job submission must be a JSON object")
+        api_key = request.header("x-api-key") or payload.get("api_key") or ANONYMOUS_KEY
+        payload["api_key"] = api_key
+        try:
+            spec = JobSpec.from_dict(payload)
+        except TypeError as exc:
+            raise routes.BadRequest(str(exc)) from exc
+        job = Job(job_id=new_job_id(), spec=spec)
+        self.quotas.reserve(job.job_id, api_key, spec.budget or 0)  # 429 on exceed
+        self._jobs[job.job_id] = job
+        self._events[job.job_id] = []
+        self.store.save(job)
+        self._queue.push(job.job_id, spec.effective_priority)
+        self._publish(job.job_id, {"event": "status", "state": "queued"})
+        self._pump()
+        return routes.json_response(201, self._job_summary(job))
+
+    def _handle_list(self, request: routes.Request) -> routes.Response:
+        state = request.query.get("state")
+        jobs = [
+            self._job_summary(job)
+            for job in sorted(self._jobs.values(), key=lambda j: j.created_at)
+            if state is None or job.state == state
+        ]
+        return routes.json_response(200, {"jobs": jobs, "count": len(jobs)})
+
+    def _handle_get(self, request: routes.Request, job_id: str) -> routes.Response:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return routes.error_response(404, f"no such job: {job_id}")
+        return routes.json_response(200, job.as_dict())
+
+    def _handle_cancel(self, request: routes.Request, job_id: str) -> routes.Response:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return routes.error_response(404, f"no such job: {job_id}")
+        if job.state in TERMINAL_STATES:
+            return routes.error_response(
+                409, f"job {job_id} is already {job.state}"
+            )
+        if job.state == "queued" and self._queue.remove(job_id):
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            self.quotas.release(job_id)
+            self.store.save(job)
+            self._publish(job_id, {"event": "done", "job": self._job_summary(job)})
+            for queue in self._subscribers.get(job_id, set()):
+                queue.put_nowait(None)
+        elif job_id in self._cancels:
+            self._cancels[job_id].set()  # _finish settles state + quota
+        return routes.json_response(200, self._job_summary(job))
+
+    # ------------------------------------------------------------------
+    # The WebSocket event stream.
+    # ------------------------------------------------------------------
+    async def _handle_events(
+        self,
+        request: routes.Request,
+        job_id: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            writer.write(routes.error_response(404, f"no such job: {job_id}").encode())
+            await writer.drain()
+            return
+        key = request.header("sec-websocket-key")
+        if request.header("upgrade").lower() != "websocket" or not key:
+            writer.write(
+                routes.error_response(
+                    426, "this endpoint requires a WebSocket upgrade"
+                ).encode()
+            )
+            await writer.drain()
+            return
+        accept = wsproto.accept_key(key)
+        writer.write(
+            (
+                "HTTP/1.1 101 Switching Protocols\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Accept: {accept}\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+
+        # Snapshot the buffer and subscribe atomically (loop thread, no
+        # await between the two) so no event is missed or duplicated.
+        backlog = list(self._events.get(job_id, ()))
+        queue: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        subscribed = job.state not in TERMINAL_STATES
+        if subscribed:
+            self._subscribers.setdefault(job_id, set()).add(queue)
+        closed = asyncio.Event()
+        reader_task = asyncio.ensure_future(
+            self._ws_reader(reader, writer, closed)
+        )
+        try:
+            await self._ws_send(
+                writer, {"event": "hello", "job": self._job_summary(job)}
+            )
+            for event in backlog:
+                await self._ws_send(writer, event)
+            if subscribed:
+                while not closed.is_set():
+                    getter = asyncio.ensure_future(queue.get())
+                    waiter = asyncio.ensure_future(closed.wait())
+                    done, _ = await asyncio.wait(
+                        {getter, waiter}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    for pending in (getter, waiter):
+                        if pending not in done:
+                            pending.cancel()
+                    if getter in done:
+                        event = getter.result()
+                        if event is None:
+                            break
+                        await self._ws_send(writer, event)
+            writer.write(wsproto.encode_close(1000, "stream complete"))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            reader_task.cancel()
+            self._subscribers.get(job_id, set()).discard(queue)
+
+    async def _ws_send(self, writer: asyncio.StreamWriter, event: Dict[str, Any]) -> None:
+        writer.write(wsproto.encode_text(json.dumps(event, sort_keys=True)))
+        await writer.drain()
+
+    async def _ws_reader(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        closed: asyncio.Event,
+    ) -> None:
+        """Drain client frames: answer pings, honour close, flag EOF."""
+        decoder = wsproto.FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    closed.set()
+                    return
+                decoder.feed(data)
+                for opcode, payload in decoder.frames():
+                    if opcode == wsproto.OP_PING:
+                        writer.write(wsproto.encode_frame(wsproto.OP_PONG, payload))
+                        await writer.drain()
+                    elif opcode == wsproto.OP_CLOSE:
+                        closed.set()
+                        return
+        except (wsproto.ProtocolError, ConnectionError, OSError):
+            closed.set()
+
+
+async def _serve_main(service: ReproService) -> None:
+    """Run the service until SIGINT/SIGTERM."""
+    import signal
+
+    await service.start()
+    print(f"repro service listening on http://{service.host}:{service.port}")
+    print(f"data dir: {service.data_dir}")
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            pass
+    serve = asyncio.ensure_future(service.serve_forever())
+    stopper = asyncio.ensure_future(stop.wait())
+    await asyncio.wait({serve, stopper}, return_when=asyncio.FIRST_COMPLETED)
+    serve.cancel()
+    stopper.cancel()
+    await service.stop(cancel_running=True)
+
+
+def run_serve(
+    data_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    max_concurrent: int = 1,
+    default_quota: Optional[int] = None,
+    resume: bool = True,
+) -> int:
+    """The ``python -m repro serve`` entry point."""
+    service = ReproService(
+        Path(data_dir),
+        host=host,
+        port=port,
+        max_concurrent=max_concurrent,
+        default_quota=default_quota,
+        resume=resume,
+    )
+    try:
+        asyncio.run(_serve_main(service))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0

@@ -1,0 +1,171 @@
+"""A blocking standard-library client for the assessment service.
+
+Used by the test suite and the CI smoke job (and handy from a REPL);
+plain HTTP goes through :mod:`http.client`, the event stream opens a
+raw socket and speaks :mod:`repro.service.wsproto` directly — the same
+sans-IO frame code the server uses, so a protocol bug cannot hide
+behind a second implementation.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from . import wsproto
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx API response."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+class ServiceClient:
+    """Talk to one running :class:`~repro.service.app.ReproService`."""
+
+    def __init__(
+        self, host: str, port: int, api_key: Optional[str] = None, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        """One JSON request/response; :class:`ServiceError` on non-2xx."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"}
+            if self.api_key:
+                headers["X-API-Key"] = self.api_key
+            body = None if payload is None else json.dumps(payload)
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            data = json.loads(raw.decode("utf-8")) if raw else None
+            if response.status >= 400:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/healthz")
+
+    def quota(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/quota")
+
+    def submit(self, **job_fields: Any) -> Dict[str, Any]:
+        """``POST /v1/jobs`` — e.g. ``submit(workload="fleet", trials=4)``."""
+        return self.request("POST", "/v1/jobs", job_fields)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/v1/jobs" + (f"?state={state}" if state else "")
+        return self.request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    def stream_events(
+        self, job_id: str, timeout: float = 120.0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events from the WebSocket until the server closes.
+
+        Performs the upgrade handshake (verifying ``Sec-WebSocket-Accept``),
+        then yields each JSON text frame; returns when the server sends a
+        close frame or the connection ends.
+        """
+        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        try:
+            key = wsproto.handshake_key()
+            lines = [
+                f"GET /v1/jobs/{job_id}/events HTTP/1.1",
+                f"Host: {self.host}:{self.port}",
+                "Upgrade: websocket",
+                "Connection: Upgrade",
+                f"Sec-WebSocket-Key: {key}",
+                "Sec-WebSocket-Version: 13",
+            ]
+            if self.api_key:
+                lines.append(f"X-API-Key: {self.api_key}")
+            sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+
+            head = b""
+            while b"\r\n\r\n" not in head:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    raise ServiceError(0, "connection closed during WS handshake")
+                head += chunk
+            head, _, rest = head.partition(b"\r\n\r\n")
+            status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in status_line + " ":
+                raise ServiceError(0, f"WS upgrade refused: {status_line}")
+            expected = wsproto.accept_key(key)
+            if f"sec-websocket-accept: {expected}".lower() not in head.decode(
+                "latin-1"
+            ).lower():
+                raise ServiceError(0, "bad Sec-WebSocket-Accept in WS handshake")
+
+            decoder = wsproto.FrameDecoder()
+            decoder.feed(rest)
+            while True:
+                for opcode, payload in decoder.frames():
+                    if opcode == wsproto.OP_CLOSE:
+                        return
+                    if opcode == wsproto.OP_PING:
+                        sock.sendall(
+                            wsproto.encode_frame(
+                                wsproto.OP_PONG, payload, mask=True
+                            )
+                        )
+                    elif opcode == wsproto.OP_TEXT:
+                        yield json.loads(payload.decode("utf-8"))
+                data = sock.recv(4096)
+                if not data:
+                    return
+                decoder.feed(data)
+        finally:
+            sock.close()
+
+
+def read_service_info(data_dir) -> Dict[str, Any]:
+    """Parse ``<data_dir>/service.json`` (host/port/pid of a live server)."""
+    from pathlib import Path
+
+    return json.loads((Path(data_dir) / "service.json").read_text())
+
+
+def client_from_data_dir(data_dir, **kwargs: Any) -> ServiceClient:
+    """A client bound to the server that wrote ``<data_dir>/service.json``."""
+    info = read_service_info(data_dir)
+    return ServiceClient(info["host"], info["port"], **kwargs)

@@ -1,0 +1,257 @@
+"""Assessment jobs: the unit of work the service queues, runs, persists.
+
+A *job* is one ``TrialRunner`` invocation described as data: a workload
+name from :data:`WORKLOADS`, a spec-override dict, a trial count, a
+master seed, and the client identity/budget the quota layer accounts
+under.  Each job owns a directory ``<data_dir>/jobs/<job_id>/`` holding
+
+* ``job.json`` — the job record (spec, state, progress, result), written
+  atomically on every transition so a killed server can re-adopt it;
+* ``ledger.jsonl`` / ``ledger-shardNN.jsonl`` + ``meta.json`` — the
+  standard crash-safe :class:`~repro.telemetry.ledger.RunLedger` run
+  directory the trials append to, which is exactly what makes restart
+  recovery free: re-adoption is just ``TrialRunner.run(...,
+  resume_from=<that ledger>)``.
+
+The job directory *is* the run directory — there is no second source of
+truth to reconcile after a crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import secrets
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.runtime import workloads as _workloads
+
+#: Workload name -> (trial function, spec dataclass).  The service-facing
+#: twin of the CLI's ``_resolve_workload``: every CLI workload is a
+#: servable scenario, constructed from a plain JSON spec dict.
+WORKLOADS: Dict[str, Tuple[Callable[..., Any], type]] = {
+    "curve": (_workloads.learning_curve_trial, _workloads.LearningCurveSpec),
+    "active": (_workloads.active_trial, _workloads.ActiveTrialSpec),
+    "lmn": (_workloads.lmn_trial, _workloads.LMNTrialSpec),
+    "km": (_workloads.km_trial, _workloads.KMTrialSpec),
+    "sq": (_workloads.sq_trial, _workloads.SQTrialSpec),
+    "fleet": (_workloads.fleet_eval_trial, _workloads.FleetEvalSpec),
+    "chow": (_workloads.chow_brpuf_trial, _workloads.ChowTrialSpec),
+    "skew": (_workloads.skewed_sleep_trial, _workloads.SkewedSleepSpec),
+    "fault": (_workloads.fault_injection_trial, _workloads.FaultInjectionSpec),
+}
+
+#: Jobs at or under this many trials default to the interactive priority
+#: tier (they preempt queued atlas-scale backlogs).
+SMALL_JOB_TRIALS = 16
+
+#: Priority values (lower runs first).
+PRIORITY_INTERACTIVE = 0
+PRIORITY_BATCH = 10
+
+#: The job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Default client identity when no ``X-API-Key`` header is sent.
+ANONYMOUS_KEY = "anonymous"
+
+
+class UnknownWorkload(ValueError):
+    """The requested workload name is not in :data:`WORKLOADS`."""
+
+
+def build_workload(name: str, spec: Optional[Dict[str, Any]] = None):
+    """``(trial_fn, spec_instance)`` for a workload name + JSON spec dict.
+
+    Spec values arrive as JSON types; lists are converted to tuples so
+    tuple-typed dataclass fields (``budgets``, ``fail_indices``)
+    round-trip.  Unknown workloads and unknown/invalid spec fields raise
+    ``ValueError`` — the route layer turns that into HTTP 400, so a bad
+    request can never reach the queue.
+    """
+    if name not in WORKLOADS:
+        raise UnknownWorkload(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        )
+    trial_fn, spec_cls = WORKLOADS[name]
+    overrides = dict(spec or {})
+    known = {f.name for f in dataclasses.fields(spec_cls)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown spec field(s) {unknown} for workload {name!r}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    coerced = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in overrides.items()
+    }
+    return trial_fn, spec_cls(**coerced)
+
+
+def new_job_id() -> str:
+    """A short unique job id (``job-<12 hex>``)."""
+    return f"job-{secrets.token_hex(6)}"
+
+
+def values_digest(values) -> str:
+    """A canonical sha256 over a job's per-trial values.
+
+    The restart-survival contract is *bit-identical final results*; this
+    digest is how two runs of one job — or a killed-and-resumed run and
+    a clean one — prove identity with a single string compare.
+    """
+    material = json.dumps(values, sort_keys=True)
+    return "sha256:" + hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class JobSpec:
+    """What a client submits: the assessment to run and who pays for it."""
+
+    workload: str
+    spec: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    trials: int = 4
+    seed: int = 0
+    workers: int = 1
+    shards: int = 1
+    priority: Optional[int] = None
+    budget: Optional[int] = None
+    api_key: str = ANONYMOUS_KEY
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.workers < 1 or self.shards < 1:
+            raise ValueError("workers and shards must be >= 1")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError(f"budget must be non-negative, got {self.budget}")
+        if not isinstance(self.spec, dict):
+            raise ValueError("spec must be a JSON object")
+        build_workload(self.workload, self.spec)  # validates eagerly
+
+    @property
+    def effective_priority(self) -> int:
+        """Explicit priority, or the small-job/backlog default split.
+
+        Small jobs (``trials <= SMALL_JOB_TRIALS``) default to the
+        interactive tier so a quick what-if assessment never waits
+        behind a thousand-trial atlas sweep already in the queue.
+        """
+        if self.priority is not None:
+            return int(self.priority)
+        return (
+            PRIORITY_INTERACTIVE
+            if self.trials <= SMALL_JOB_TRIALS
+            else PRIORITY_BATCH
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON-ready)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Build and validate a spec from a parsed JSON body."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown job field(s) {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        return cls(**payload)
+
+
+@dataclasses.dataclass
+class Job:
+    """One job's full record: spec, lifecycle state, progress, result."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    created_at: float = dataclasses.field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    completed_trials: int = 0
+    adopted: bool = False
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON view served by the API and persisted to ``job.json``."""
+        payload = dataclasses.asdict(self)
+        payload["spec"] = self.spec.as_dict()
+        payload["priority"] = self.spec.effective_priority
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Job":
+        """Reconstruct a job from a persisted ``job.json`` payload."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        data = {k: v for k, v in payload.items() if k in fields}
+        data["spec"] = JobSpec.from_dict(data["spec"])
+        return cls(**data)
+
+
+class JobStore:
+    """Directory-backed persistence for jobs (one subdir per job).
+
+    ``save`` writes ``job.json`` atomically (mkstemp + ``os.replace``)
+    so a SIGKILL between transitions leaves either the old record or the
+    new one, never a torn file; ``load_all`` is the restart-adoption
+    scan.
+    """
+
+    def __init__(self, data_dir: Path) -> None:
+        self.data_dir = Path(data_dir)
+        self.jobs_dir = self.data_dir / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+
+    def job_dir(self, job_id: str) -> Path:
+        """The directory owning ``job_id`` (also its run/ledger directory)."""
+        return self.jobs_dir / job_id
+
+    def save(self, job: Job) -> None:
+        """Persist ``job.json`` atomically inside the job's directory."""
+        job_dir = self.job_dir(job.job_id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(job.as_dict(), sort_keys=True, indent=2)
+        fd, tmp = None, None
+        try:
+            import tempfile
+
+            fd, tmp = tempfile.mkstemp(prefix="job-", suffix=".tmp", dir=job_dir)
+            os.write(fd, (payload + "\n").encode("utf-8"))
+            os.close(fd)
+            fd = None
+            os.replace(tmp, job_dir / "job.json")
+            tmp = None
+        finally:
+            if fd is not None:
+                os.close(fd)
+            if tmp is not None and os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def load(self, job_id: str) -> Optional[Job]:
+        """The persisted job record, or None when absent/unreadable."""
+        path = self.job_dir(job_id) / "job.json"
+        if not path.exists():
+            return None
+        try:
+            return Job.from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def load_all(self) -> Dict[str, Job]:
+        """Every readable persisted job, keyed by id (the adoption scan)."""
+        jobs: Dict[str, Job] = {}
+        for job_json in sorted(self.jobs_dir.glob("*/job.json")):
+            job = self.load(job_json.parent.name)
+            if job is not None:
+                jobs[job.job_id] = job
+        return jobs

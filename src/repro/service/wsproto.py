@@ -1,0 +1,173 @@
+"""A hand-rolled, sans-IO WebSocket protocol layer (RFC 6455 subset).
+
+The assessment service streams per-trial progress over WebSocket without
+taking on a server framework, so this module implements exactly the
+protocol surface that needs: the HTTP upgrade handshake accept key,
+frame encoding (server frames unmasked, client frames masked), and an
+incremental :class:`FrameDecoder` that is pure bytes-in/frames-out — no
+sockets, no asyncio — so the same code path serves the asyncio server,
+the blocking test client, and byte-level unit tests.
+
+Supported subset: single-frame (FIN) text/binary/close/ping/pong
+messages with 7/16/64-bit payload lengths and client masking.
+Fragmented messages (FIN=0 continuation frames) are rejected loudly —
+every message this service sends or accepts is one small JSON document,
+so silent reassembly bugs are worth less than a clear error.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from typing import List, Optional, Tuple
+
+#: The fixed GUID every WebSocket handshake concatenates (RFC 6455 §4.2.2).
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Frame opcodes (RFC 6455 §5.2).
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Largest payload a peer may send us (a JSON event is < 1 KiB; this is
+#: a hard denial-of-service guard, not a tuning knob).
+MAX_PAYLOAD = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported WebSocket frame."""
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((client_key.strip() + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_key() -> str:
+    """A fresh random ``Sec-WebSocket-Key`` for a client handshake."""
+    return base64.b64encode(os.urandom(16)).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One complete FIN frame: header, length, optional mask, payload.
+
+    Servers send unmasked frames; clients MUST mask (RFC 6455 §5.3), so
+    the test client passes ``mask=True`` and gets a random masking key.
+    """
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD")
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < (1 << 16):
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = _apply_mask(payload, key)
+    return bytes(header) + payload
+
+
+def encode_text(text: str, mask: bool = False) -> bytes:
+    """A single-frame text message."""
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def encode_close(code: int = 1000, reason: str = "", mask: bool = False) -> bytes:
+    """A close frame carrying ``code`` and an optional UTF-8 reason."""
+    return encode_frame(
+        OP_CLOSE, struct.pack(">H", code) + reason.encode("utf-8"), mask=mask
+    )
+
+
+def _apply_mask(payload: bytes, key: bytes) -> bytes:
+    """XOR ``payload`` with the 4-byte masking ``key`` (self-inverse)."""
+    repeated = (key * (len(payload) // 4 + 1))[: len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, repeated))
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed bytes, take complete frames.
+
+    Sans-IO on purpose — the asyncio server feeds it ``reader.read()``
+    chunks and the blocking client feeds it ``sock.recv()`` chunks, and
+    both get the same parsing, masking, and validation behaviour::
+
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        for opcode, payload in decoder.frames():
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append received bytes to the parse buffer."""
+        self._buffer.extend(data)
+        if len(self._buffer) > 2 * MAX_PAYLOAD:
+            raise ProtocolError("receive buffer exceeds MAX_PAYLOAD bounds")
+
+    def next_frame(self) -> Optional[Tuple[int, bytes]]:
+        """The next complete ``(opcode, payload)``, or None if incomplete.
+
+        Masked payloads (client frames) are unmasked before return.
+        Raises :class:`ProtocolError` on fragmented (FIN=0) frames or
+        oversized payloads.
+        """
+        buf = self._buffer
+        if len(buf) < 2:
+            return None
+        first, second = buf[0], buf[1]
+        if not first & 0x80:
+            raise ProtocolError("fragmented frames are not supported")
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buf) < offset + 2:
+                return None
+            (length,) = struct.unpack_from(">H", buf, offset)
+            offset += 2
+        elif length == 127:
+            if len(buf) < offset + 8:
+                return None
+            (length,) = struct.unpack_from(">Q", buf, offset)
+            offset += 8
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(f"frame payload of {length} bytes exceeds MAX_PAYLOAD")
+        key = b""
+        if masked:
+            if len(buf) < offset + 4:
+                return None
+            key = bytes(buf[offset : offset + 4])
+            offset += 4
+        if len(buf) < offset + length:
+            return None
+        payload = bytes(buf[offset : offset + length])
+        del buf[: offset + length]
+        if masked:
+            payload = _apply_mask(payload, key)
+        return opcode, payload
+
+    def frames(self) -> List[Tuple[int, bytes]]:
+        """Every complete frame currently buffered, in arrival order."""
+        out: List[Tuple[int, bytes]] = []
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return out
+            out.append(frame)

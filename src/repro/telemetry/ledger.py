@@ -66,6 +66,34 @@ def _replayable(record: Dict[str, object]) -> bool:
     return isinstance(error, dict) and error.get("category") == "trial"
 
 
+def _replay_digest(record: Dict[str, object]) -> str:
+    """A canonical digest of a record's *replayable* payload.
+
+    Covers exactly the fields a resumed run replays — status, value,
+    value_meta, and the deterministic error identity — and excludes the
+    legitimately-varying ones (timings, queue wait, telemetry, attempt
+    counts).  Two replayable records for one trial index must digest
+    equally: they are pure functions of ``(master_seed, index)``.  A
+    mismatch means two ledger files disagree about what a trial computed
+    — corruption or a mixed-provenance run directory — which
+    :meth:`RunLedger.read_latest` warns about instead of silently
+    letting the merge order pick a winner.
+    """
+    payload: Dict[str, object] = {
+        "status": record.get("status"),
+        "value": record.get("value"),
+        "value_meta": record.get("value_meta"),
+    }
+    error = record.get("error")
+    if isinstance(error, dict):
+        payload["error"] = {
+            "exc_type": error.get("exc_type"),
+            "category": error.get("category"),
+            "message": error.get("message"),
+        }
+    return json.dumps(payload, sort_keys=True, default=_json_default)
+
+
 def _json_default(obj: object) -> object:
     """Convert numpy scalars/arrays so ledger writes never fail."""
     if isinstance(obj, np.generic):
@@ -206,8 +234,14 @@ class RunLedger:
         records for one index are bit-identical by construction — they
         are pure functions of ``(master_seed, index)`` — so which one
         wins is unobservable; preferring them merely stops a shard's
-        infra hiccup from shadowing a completed trial.  Records without
-        an integer ``index`` are ignored.
+        infra hiccup from shadowing a completed trial.  Torn-line
+        tolerance applies to *every* file read (main and each shard):
+        each file drops only its own unparseable lines.  When two files
+        hold replayable records for one index whose replay payloads
+        *differ* — which the determinism contract forbids — the merge
+        warns (naming the index) instead of silently dropping one, and
+        the later record still wins.  Records without an integer
+        ``index`` are ignored.
         """
         records = list(self.read())
         if self.filename == LEDGER_NAME:
@@ -221,6 +255,21 @@ class RunLedger:
                 continue
             r = 1 if _replayable(record) else 0
             if index not in latest or r >= rank[index]:
+                if (
+                    index in latest
+                    and r == 1
+                    and rank[index] == 1
+                    and _replay_digest(record) != _replay_digest(latest[index])
+                ):
+                    warnings.warn(
+                        f"{self.run_dir}: ledger files hold conflicting "
+                        f"replayable records for trial {index} (replay "
+                        "payload digests differ); keeping the later record "
+                        "— this run directory mixes provenances or is "
+                        "corrupt",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                 latest[index] = record
                 rank[index] = r
         return latest

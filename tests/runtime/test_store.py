@@ -328,3 +328,75 @@ def test_direct_crpcache_construction_is_deprecated(tmp_path):
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         ArtifactStore(tmp_path)  # the replacement constructs silently
+
+
+# ----------------------------------------------------------------------
+# Coarse-mtime regression: a fresh publish must never be self-evicting.
+# ----------------------------------------------------------------------
+class TestCoarseMtimeEviction:
+    """On a 1s-granularity filesystem every entry can share one mtime —
+    or the fresh entry can even sort *oldest* (its staging file's stamp
+    predates entries touched during the write).  The publish path must
+    still guarantee the entry just stored survives its own admission
+    pass: ``_touch`` before size accounting and an unconditional
+    ``protect`` in ``_evict_over_cap``."""
+
+    def test_fresh_entry_survives_when_all_mtimes_are_equal(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.runtime import store as store_mod
+
+        # Simulate a coarse clock: every entry reports the same stamp, so
+        # sort order degenerates to filesystem enumeration order.
+        monkeypatch.setattr(store_mod, "_entry_mtime", lambda path: 1_000.0)
+        seed_store = ArtifactStore(tmp_path)
+        seed_store.store(artifact_digest("crps", "old-a", 0), make_crps(0, m=80))
+        seed_store.store(artifact_digest("crps", "old-b", 1), make_crps(1, m=80))
+        cap = seed_store.total_bytes()
+
+        capped = ArtifactStore(tmp_path, max_bytes=cap)
+        fresh = capped.store(
+            artifact_digest("crps", "fresh", 99), make_crps(99, m=80)
+        )
+        assert fresh.exists(), "the entry just published was evicted"
+        assert capped.evictions >= 1  # the cap was enforced on the others
+
+    def test_fresh_entry_survives_even_when_it_sorts_oldest(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.runtime import store as store_mod
+
+        seed_store = ArtifactStore(tmp_path)
+        seed_store.store(artifact_digest("crps", "old-a", 0), make_crps(0, m=80))
+        seed_store.store(artifact_digest("crps", "old-b", 1), make_crps(1, m=80))
+        cap = seed_store.total_bytes()
+
+        capped = ArtifactStore(tmp_path, max_bytes=cap)
+        fresh_key = artifact_digest("crps", "fresh", 99)
+        fresh_path = capped.path_for(fresh_key)
+        # Adversarial clock: the fresh entry reports an *earlier* stamp
+        # than everything already present (staging-file inheritance).
+        monkeypatch.setattr(
+            store_mod,
+            "_entry_mtime",
+            lambda path: 0.0 if path == fresh_path else 1_000.0,
+        )
+        capped.store(fresh_key, make_crps(99, m=80))
+        assert fresh_path.exists(), "protect must override LRU order"
+
+    def test_fresh_entry_larger_than_the_cap_is_kept(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=1)  # everything oversizes
+        path = store.store(artifact_digest("crps", "big", 0), make_crps(0, m=80))
+        assert path.exists()  # the caller is about to read it
+
+    def test_publish_stamps_mtime_fresh(self, tmp_path):
+        """The published file's mtime reflects publish time, not staging
+        time: after an old entry is backdated, a new store must sort
+        strictly newer than it."""
+        store = ArtifactStore(tmp_path)
+        old = store.store(artifact_digest("crps", "old", 0), make_crps(0, m=20))
+        os.utime(old, (1_000, 1_000))
+        new = store.store(artifact_digest("crps", "new", 1), make_crps(1, m=20))
+        from repro.runtime.store import _entry_mtime
+
+        assert _entry_mtime(new) > _entry_mtime(old)

@@ -1,0 +1,343 @@
+"""End-to-end service tests: submit, stream, cancel, adopt, enforce quota.
+
+Each test talks to a real :class:`~repro.service.app.ReproService`
+listening on a loopback port (the ``live_service`` fixture), through the
+same blocking client the CI smoke job uses — nothing is mocked between
+the HTTP bytes and the ``TrialRunner`` underneath.
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.runtime.runner import TrialRunner
+from repro.service.client import ServiceError
+from repro.service.jobs import Job, JobSpec, JobStore, build_workload, values_digest
+from repro.telemetry.ledger import RunLedger
+
+FLEET_SPEC = {"size": 4, "m": 64, "n": 16}
+#: A deliberately slow job used to occupy the single concurrency slot.
+SLOW_SPEC = {"slow_count": 50, "slow_seconds": 0.15, "fast_seconds": 0.0}
+
+
+class TestSubmitAndComplete:
+    def test_job_runs_to_done_with_digest_and_metering(self, live_service):
+        live = live_service()
+        client = live.client()
+        job = client.submit(workload="fleet", trials=3, seed=7, spec=FLEET_SPEC)
+        final = client.wait(job["job_id"], timeout=60)
+        assert final["state"] == "done"
+        assert final["completed_trials"] == 3
+        result = final["result"]
+        assert result["digest"].startswith("sha256:")
+        assert result["total_queries"] > 0
+        assert len(result["values"]) == 3
+        # actual metered spend was settled against the (anonymous) key
+        assert client.quota()["used"] == result["total_queries"]
+
+    def test_events_stream_one_event_per_trial_then_done(self, live_service):
+        live = live_service()
+        client = live.client()
+        job = client.submit(workload="fleet", trials=4, seed=1, spec=FLEET_SPEC)
+        events = list(client.stream_events(job["job_id"], timeout=60))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "hello"
+        assert kinds[-1] == "done"
+        trials = [e for e in events if e["event"] == "trial"]
+        assert sorted(e["index"] for e in trials) == [0, 1, 2, 3]
+        assert [e["completed"] for e in trials] == [1, 2, 3, 4]
+        assert all(e["total"] == 4 and e["ok"] for e in trials)
+
+    def test_stream_of_finished_job_replays_buffer_and_closes(self, live_service):
+        live = live_service()
+        client = live.client()
+        job = client.submit(workload="fleet", trials=2, seed=3, spec=FLEET_SPEC)
+        client.wait(job["job_id"], timeout=60)
+        events = list(client.stream_events(job["job_id"], timeout=30))
+        assert [e["event"] for e in events if e["event"] == "trial"] == [
+            "trial",
+            "trial",
+        ]
+        assert events[-1]["event"] == "done"
+
+    def test_job_json_persisted_with_result(self, live_service, tmp_path):
+        live = live_service()
+        client = live.client()
+        job = client.submit(workload="fleet", trials=2, seed=5, spec=FLEET_SPEC)
+        final = client.wait(job["job_id"], timeout=60)
+        on_disk = json.loads(
+            (live.service.data_dir / "jobs" / job["job_id"] / "job.json").read_text()
+        )
+        assert on_disk["state"] == "done"
+        assert on_disk["result"]["digest"] == final["result"]["digest"]
+
+    def test_meta_json_records_quota_accounting(self, live_service):
+        live = live_service()
+        client = live.client(api_key="alice")
+        job = client.submit(
+            workload="fleet", trials=2, seed=5, spec=FLEET_SPEC, budget=10**6
+        )
+        final = client.wait(job["job_id"], timeout=60)
+        meta = json.loads(
+            (live.service.data_dir / "jobs" / job["job_id"] / "meta.json").read_text()
+        )
+        assert meta["quota"]["api_key"] == "alice"
+        assert meta["quota"]["declared_budget"] == 10**6
+        assert meta["quota"]["metered_queries"] == final["result"]["total_queries"]
+
+
+class TestHttpErrors:
+    def test_unknown_workload_is_400(self, live_service):
+        client = live_service().client()
+        with pytest.raises(ServiceError) as exc:
+            client.submit(workload="nonsense", trials=1)
+        assert exc.value.status == 400
+
+    def test_bad_spec_field_is_400(self, live_service):
+        client = live_service().client()
+        with pytest.raises(ServiceError) as exc:
+            client.submit(workload="fleet", trials=1, spec={"bogus": 1})
+        assert exc.value.status == 400
+        assert "bogus" in str(exc.value)
+
+    def test_unknown_job_is_404(self, live_service):
+        client = live_service().client()
+        with pytest.raises(ServiceError) as exc:
+            client.job("job-doesnotexist")
+        assert exc.value.status == 404
+
+    def test_wrong_method_is_405(self, live_service):
+        client = live_service().client()
+        with pytest.raises(ServiceError) as exc:
+            client.request("DELETE", "/v1/jobs")
+        assert exc.value.status == 405
+
+    def test_unknown_path_is_404(self, live_service):
+        client = live_service().client()
+        with pytest.raises(ServiceError) as exc:
+            client.request("GET", "/v2/anything")
+        assert exc.value.status == 404
+
+    def test_malformed_json_body_is_400(self, live_service):
+        live = live_service()
+        conn = http.client.HTTPConnection(
+            live.service.host, live.service.port, timeout=10
+        )
+        try:
+            conn.request(
+                "POST",
+                "/v1/jobs",
+                body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_events_without_upgrade_is_426(self, live_service):
+        live = live_service()
+        client = live.client()
+        job = client.submit(workload="fleet", trials=1, spec=FLEET_SPEC)
+        with pytest.raises(ServiceError) as exc:
+            client.request("GET", f"/v1/jobs/{job['job_id']}/events")
+        assert exc.value.status == 426
+
+
+class TestQuotaEnforcement:
+    def test_over_budget_submission_is_429(self, live_service):
+        live = live_service(default_quota=100)
+        client = live.client(api_key="alice")
+        with pytest.raises(ServiceError) as exc:
+            client.submit(workload="fleet", trials=1, spec=FLEET_SPEC, budget=200)
+        assert exc.value.status == 429
+        error = exc.value.payload["error"]
+        assert error["limit"] == 100 and error["requested"] == 200
+
+    def test_settled_spend_blocks_later_submissions(self, live_service):
+        # fleet meters ~hundreds of queries per trial, far over limit=50
+        live = live_service(default_quota=50)
+        client = live.client(api_key="bob")
+        job = client.submit(workload="fleet", trials=1, spec=FLEET_SPEC, budget=50)
+        final = client.wait(job["job_id"], timeout=60)
+        assert final["result"]["total_queries"] > 50
+        with pytest.raises(ServiceError) as exc:
+            client.submit(workload="fleet", trials=1, spec=FLEET_SPEC, budget=0)
+        assert exc.value.status == 429
+
+    def test_keys_account_independently(self, live_service):
+        live = live_service(default_quota=100)
+        alice = live.client(api_key="alice")
+        bob = live.client(api_key="bob")
+        with pytest.raises(ServiceError):
+            alice.submit(workload="fleet", trials=1, spec=FLEET_SPEC, budget=200)
+        job = bob.submit(workload="fleet", trials=1, spec=FLEET_SPEC, budget=90)
+        assert job["state"] in ("queued", "running")
+
+    def test_quota_endpoint_reports_reservations(self, live_service):
+        live = live_service(default_quota=1000, max_concurrent=1)
+        client = live.client(api_key="carol")
+        client.submit(workload="skew", trials=20, spec=SLOW_SPEC, budget=300)
+        status = client.quota()
+        assert status["reserved"] == 300
+        assert status["remaining"] == 700
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, live_service):
+        live = live_service(max_concurrent=1)
+        client = live.client()
+        blocker = client.submit(workload="skew", trials=20, spec=SLOW_SPEC)
+        queued = client.submit(workload="fleet", trials=2, spec=FLEET_SPEC)
+        cancelled = client.cancel(queued["job_id"])
+        assert cancelled["state"] == "cancelled"
+        assert client.job(queued["job_id"])["state"] == "cancelled"
+        client.cancel(blocker["job_id"])
+
+    def test_cancel_running_job_stops_early(self, live_service):
+        live = live_service(max_concurrent=1)
+        client = live.client()
+        job = client.submit(workload="skew", trials=30, spec=SLOW_SPEC)
+        # wait until it is actually running, then cancel
+        deadline = time.monotonic() + 20
+        while client.job(job["job_id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        time.sleep(0.3)
+        client.cancel(job["job_id"])
+        final = client.wait(job["job_id"], timeout=30)
+        assert final["state"] == "cancelled"
+        assert final["result"]["cancelled"] is True
+        assert final["result"]["completed"] < 30
+
+    def test_cancel_terminal_job_is_409(self, live_service):
+        client = live_service().client()
+        job = client.submit(workload="fleet", trials=1, spec=FLEET_SPEC)
+        client.wait(job["job_id"], timeout=60)
+        with pytest.raises(ServiceError) as exc:
+            client.cancel(job["job_id"])
+        assert exc.value.status == 409
+
+
+class TestPriorityScheduling:
+    def test_small_job_jumps_queued_backlog(self, live_service):
+        live = live_service(max_concurrent=1)
+        client = live.client()
+        blocker = client.submit(workload="skew", trials=20, spec=SLOW_SPEC)
+        backlog = client.submit(workload="fleet", trials=17, spec=FLEET_SPEC)
+        small = client.submit(workload="fleet", trials=2, spec=FLEET_SPEC)
+        assert backlog["priority"] == 10 and small["priority"] == 0
+        pending = live.call(live.service._queue.pending)
+        assert pending == [small["job_id"], backlog["job_id"]]
+        client.cancel(blocker["job_id"])
+        # with the slot free, the interactive job finishes first
+        final_small = client.wait(small["job_id"], timeout=60)
+        assert final_small["state"] == "done"
+
+    def test_list_endpoint_filters_by_state(self, live_service):
+        live = live_service()
+        client = live.client()
+        job = client.submit(workload="fleet", trials=1, spec=FLEET_SPEC)
+        client.wait(job["job_id"], timeout=60)
+        done = client.jobs(state="done")
+        assert [j["job_id"] for j in done] == [job["job_id"]]
+        assert client.jobs(state="failed") == []
+
+
+class TestAdoption:
+    """Restart recovery: a killed server's incomplete jobs finish later.
+
+    The persisted state of a crashed server is hand-built here — a
+    ``job.json`` frozen in state ``running`` plus a partial trial ledger
+    — then a fresh service is pointed at the data dir and must adopt,
+    resume, and finish the job bit-identically.  (The subprocess
+    SIGKILL version of this lives in the CI smoke job.)
+    """
+
+    def _plant_crashed_job(self, data_dir, trials_done: int) -> str:
+        store = JobStore(data_dir)
+        spec = JobSpec(workload="fleet", trials=5, seed=42, spec=FLEET_SPEC)
+        job = Job(job_id="job-crashed0001", spec=spec, state="running")
+        job.started_at = time.time()
+        store.save(job)
+        trial_fn, workload_spec = build_workload(spec.workload, spec.spec)
+        ledger = RunLedger(store.job_dir(job.job_id))
+        TrialRunner(workers=1).run(
+            trial_fn, trials_done, spec.seed, {"spec": workload_spec}, ledger=ledger
+        )
+        return job.job_id
+
+    def test_incomplete_job_is_adopted_resumed_and_bit_identical(
+        self, live_service, tmp_path
+    ):
+        data_dir = tmp_path / "svc"
+        job_id = self._plant_crashed_job(data_dir, trials_done=2)
+        live = live_service()  # same tmp_path/svc data dir
+        client = live.client()
+        events = list(client.stream_events(job_id, timeout=60))
+        trials = [e for e in events if e["event"] == "trial"]
+        assert len(trials) == 5  # replayed trials still emit events
+        assert sum(1 for e in trials if e["replayed"]) == 2
+        final = client.wait(job_id, timeout=60)
+        assert final["state"] == "done"
+        assert final["adopted"] is True
+        # the resumed digest equals a clean single-process run's digest
+        fresh = client.submit(workload="fleet", trials=5, seed=42, spec=FLEET_SPEC)
+        reference = client.wait(fresh["job_id"], timeout=60)
+        assert final["result"]["digest"] == reference["result"]["digest"]
+
+    def test_no_resume_flag_skips_adoption(self, live_service, tmp_path):
+        data_dir = tmp_path / "svc"
+        job_id = self._plant_crashed_job(data_dir, trials_done=1)
+        live = live_service(resume=False)
+        client = live.client()
+        with pytest.raises(ServiceError) as exc:
+            client.job(job_id)
+        assert exc.value.status == 404
+
+    def test_terminal_jobs_are_registered_but_not_requeued(
+        self, live_service, tmp_path
+    ):
+        data_dir = tmp_path / "svc"
+        store = JobStore(data_dir)
+        job = Job(
+            job_id="job-olddone0000",
+            spec=JobSpec(workload="fleet", trials=1, spec=FLEET_SPEC),
+            state="done",
+        )
+        store.save(job)
+        live = live_service()
+        client = live.client()
+        assert client.job("job-olddone0000")["state"] == "done"
+        assert live.call(len, live.service._queue) == 0
+
+
+class TestServiceInfo:
+    def test_service_json_written_with_bound_port(self, live_service):
+        live = live_service()
+        info = json.loads((live.service.data_dir / "service.json").read_text())
+        assert info["port"] == live.service.port
+        assert info["host"] == live.service.host
+        import os
+
+        assert info["pid"] == os.getpid()
+
+    def test_healthz_counts_jobs(self, live_service):
+        live = live_service()
+        client = live.client()
+        job = client.submit(workload="fleet", trials=1, spec=FLEET_SPEC)
+        client.wait(job["job_id"], timeout=60)
+        health = client.health()
+        assert health["ok"] is True
+        assert health["jobs"].get("done") == 1
+
+
+def test_values_digest_matches_direct_runner_output(tmp_path):
+    """The service digest is computable offline from a plain runner report."""
+    from repro.runtime.runner import trial_record
+
+    trial_fn, spec = build_workload("fleet", FLEET_SPEC)
+    report = TrialRunner(workers=1).run(trial_fn, 3, 7, {"spec": spec})
+    offline = values_digest([trial_record(r)["value"] for r in report.results])
+    assert offline.startswith("sha256:")

@@ -1,0 +1,80 @@
+"""Satellite regression: concurrent jobs meter queries independently.
+
+The job launcher runs every job inside ``contextvars.copy_context()``
+and installs a fresh ambient :class:`~repro.telemetry.meter.QueryMeter`
+per job, so two jobs sharing the thread-pool executor can never bleed
+query counts into each other — and never pollute the event-loop
+thread's ambient meter either.  The regression asserted here: each
+concurrent job's metered total equals its solo-run total exactly.
+"""
+
+import contextvars
+import threading
+
+from repro.service.jobs import Job, JobSpec, JobStore
+from repro.service.app import run_job_sync
+from repro.telemetry.meter import QueryMeter, current_meter, metered
+
+#: Two fleet configurations with different query footprints by
+#: construction (different instance counts and challenge counts).
+SPEC_A = {"size": 4, "m": 64, "n": 16}
+SPEC_B = {"size": 2, "m": 32, "n": 16}
+
+
+def _solo_total(live_service, name, spec, seed):
+    live = live_service(subdir=f"solo-{name}")
+    client = live.client()
+    job = client.submit(workload="fleet", trials=2, seed=seed, spec=spec)
+    final = client.wait(job["job_id"], timeout=60)
+    assert final["state"] == "done"
+    return final["result"]["total_queries"]
+
+
+def test_concurrent_jobs_meter_exactly_their_solo_totals(live_service):
+    solo_a = _solo_total(live_service, "a", SPEC_A, seed=1)
+    solo_b = _solo_total(live_service, "b", SPEC_B, seed=2)
+    assert solo_a != solo_b  # distinguishable footprints, or the test is void
+
+    live = live_service(subdir="concurrent", max_concurrent=2)
+    client = live.client()
+    job_a = client.submit(workload="fleet", trials=2, seed=1, spec=SPEC_A)
+    job_b = client.submit(workload="fleet", trials=2, seed=2, spec=SPEC_B)
+    final_a = client.wait(job_a["job_id"], timeout=60)
+    final_b = client.wait(job_b["job_id"], timeout=60)
+    assert final_a["result"]["total_queries"] == solo_a
+    assert final_b["result"]["total_queries"] == solo_b
+
+
+def test_job_body_does_not_pollute_the_callers_ambient_meter(tmp_path):
+    """``run_job_sync`` under a copied context leaves the caller's meter alone.
+
+    This is the launcher contract in miniature: the caller (standing in
+    for the event-loop thread) has an ambient meter installed; the job
+    body runs in ``contextvars.copy_context()`` in another thread, as
+    ``ReproService._launch`` does, and the caller's meter must still
+    read zero afterwards.
+    """
+    store = JobStore(tmp_path)
+    spec = JobSpec(workload="fleet", trials=1, seed=3, spec=SPEC_B)
+    job = Job(job_id="job-isolated001", spec=spec)
+    store.save(job)
+
+    with metered(QueryMeter()) as outer:
+        ctx = contextvars.copy_context()
+        results = {}
+
+        def body():
+            results["result"] = ctx.run(
+                run_job_sync,
+                job,
+                store.job_dir(job.job_id),
+                lambda result: None,
+                threading.Event(),
+            )
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(60)
+        assert current_meter() is outer
+        assert outer.total_queries == 0
+    assert results["result"]["total_queries"] > 0

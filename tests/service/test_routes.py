@@ -1,0 +1,96 @@
+"""HTTP primitives: head parsing, response framing, route matching."""
+
+import json
+
+import pytest
+
+from repro.service import routes
+
+
+class TestParseRequestHead:
+    def test_request_line_and_headers(self):
+        head = (
+            b"POST /v1/jobs?state=queued HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Length: 12\r\n"
+            b"X-API-Key: alice\r\n"
+        )
+        method, path, query, headers = routes.parse_request_head(head)
+        assert method == "POST"
+        assert path == "/v1/jobs"
+        assert query == {"state": "queued"}
+        assert headers["content-length"] == "12"
+        assert headers["x-api-key"] == "alice"
+
+    def test_header_names_lowercased_values_stripped(self):
+        _, _, _, headers = routes.parse_request_head(
+            b"GET / HTTP/1.1\r\nUPGRADE:   websocket  \r\n"
+        )
+        assert headers == {"upgrade": "websocket"}
+
+    @pytest.mark.parametrize(
+        "head",
+        [b"GARBAGE", b"GET /\r\n", b"GET / SPDY/3\r\n", b"GET / HTTP/1.1\r\nnocolon\r\n"],
+    )
+    def test_malformed_heads_raise_bad_request(self, head):
+        with pytest.raises(routes.BadRequest):
+            routes.parse_request_head(head)
+
+
+class TestRequestResponse:
+    def test_json_body_parses(self):
+        request = routes.Request("POST", "/", {}, {}, b'{"a": 1}')
+        assert request.json_body() == {"a": 1}
+
+    def test_empty_body_is_empty_object(self):
+        assert routes.Request("GET", "/", {}, {}).json_body() == {}
+
+    def test_invalid_json_raises_bad_request(self):
+        request = routes.Request("POST", "/", {}, {}, b"{nope")
+        with pytest.raises(routes.BadRequest):
+            request.json_body()
+
+    def test_response_encoding_has_length_framing(self):
+        wire = routes.json_response(201, {"ok": True}).encode()
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 201 Created\r\n")
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: close" in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_error_response_shape(self):
+        wire = routes.error_response(429, "over quota", limit=10).encode()
+        body = json.loads(wire.partition(b"\r\n\r\n")[2])
+        assert body["error"]["message"] == "over quota"
+        assert body["error"]["limit"] == 10
+
+
+class TestRouter:
+    def _router(self):
+        router = routes.Router()
+        router.add("GET", "/v1/jobs", "list")
+        router.add("POST", "/v1/jobs", "submit")
+        router.add("GET", "/v1/jobs/{job_id}", "get")
+        return router
+
+    def test_static_and_param_routes(self):
+        router = self._router()
+        handler, params, known = router.match("GET", "/v1/jobs/job-123")
+        assert (handler, params, known) == ("get", {"job_id": "job-123"}, True)
+
+    def test_method_distinguishes_handlers(self):
+        router = self._router()
+        assert router.match("POST", "/v1/jobs")[0] == "submit"
+        assert router.match("GET", "/v1/jobs")[0] == "list"
+
+    def test_405_vs_404_discrimination(self):
+        router = self._router()
+        handler, _, known = router.match("DELETE", "/v1/jobs")
+        assert handler is None and known is True  # 405
+        handler, _, known = router.match("GET", "/v1/nope")
+        assert handler is None and known is False  # 404
+
+    def test_params_do_not_cross_slashes(self):
+        router = self._router()
+        handler, _, _ = router.match("GET", "/v1/jobs/a/b")
+        assert handler is None

@@ -1,0 +1,125 @@
+"""Byte-level tests for the hand-rolled WebSocket layer.
+
+The decoder is sans-IO, so every case here is pure bytes-in/frames-out:
+no sockets, no event loop, no timing.  The encode/decode pairing is the
+same code the server and the blocking client run against each other, so
+a round-trip failure here *is* a wire-compatibility failure.
+"""
+
+import pytest
+
+from repro.service import wsproto
+
+
+class TestHandshake:
+    def test_rfc6455_worked_example(self):
+        # The accept key from RFC 6455 section 1.3's worked example.
+        assert (
+            wsproto.accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_accept_key_strips_whitespace(self):
+        key = "dGhlIHNhbXBsZSBub25jZQ=="
+        assert wsproto.accept_key(f"  {key}  ") == wsproto.accept_key(key)
+
+    def test_handshake_keys_are_base64_and_unique(self):
+        import base64
+
+        keys = {wsproto.handshake_key() for _ in range(8)}
+        assert len(keys) == 8
+        for key in keys:
+            assert len(base64.b64decode(key)) == 16
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize(
+        "size",
+        [0, 1, 125, 126, 127, 65535, 65536, 70000],
+        ids=lambda s: f"{s}B",
+    )
+    def test_sizes_across_length_encodings(self, size, mask):
+        payload = bytes(i % 251 for i in range(size))
+        decoder = wsproto.FrameDecoder()
+        decoder.feed(wsproto.encode_frame(wsproto.OP_BINARY, payload, mask=mask))
+        assert decoder.next_frame() == (wsproto.OP_BINARY, payload)
+        assert decoder.next_frame() is None
+
+    def test_text_frame(self):
+        decoder = wsproto.FrameDecoder()
+        decoder.feed(wsproto.encode_text('{"event": "trial"}', mask=True))
+        opcode, payload = decoder.next_frame()
+        assert opcode == wsproto.OP_TEXT
+        assert payload == b'{"event": "trial"}'
+
+    def test_close_frame_carries_code_and_reason(self):
+        import struct
+
+        decoder = wsproto.FrameDecoder()
+        decoder.feed(wsproto.encode_close(1001, "going away"))
+        opcode, payload = decoder.next_frame()
+        assert opcode == wsproto.OP_CLOSE
+        assert struct.unpack(">H", payload[:2]) == (1001,)
+        assert payload[2:] == b"going away"
+
+    def test_masked_bytes_differ_from_payload(self):
+        # Masking must actually transform the wire bytes (RFC 6455 5.3).
+        payload = b"A" * 64
+        frame = wsproto.encode_frame(wsproto.OP_BINARY, payload, mask=True)
+        assert payload not in frame
+
+
+class TestIncrementalDecoding:
+    def test_byte_at_a_time_feed(self):
+        frame = wsproto.encode_text("progress", mask=True)
+        decoder = wsproto.FrameDecoder()
+        for i, byte in enumerate(frame):
+            decoder.feed(bytes([byte]))
+            if i < len(frame) - 1:
+                assert decoder.next_frame() is None
+        assert decoder.next_frame() == (wsproto.OP_TEXT, b"progress")
+
+    def test_multiple_frames_in_one_feed(self):
+        data = wsproto.encode_text("one") + wsproto.encode_text("two")
+        decoder = wsproto.FrameDecoder()
+        decoder.feed(data)
+        assert [p for _, p in decoder.frames()] == [b"one", b"two"]
+
+    def test_frames_drains_and_preserves_partial_tail(self):
+        whole = wsproto.encode_text("done")
+        partial = wsproto.encode_text("later")[:-2]
+        decoder = wsproto.FrameDecoder()
+        decoder.feed(whole + partial)
+        assert [p for _, p in decoder.frames()] == [b"done"]
+        decoder.feed(wsproto.encode_text("later")[-2:])
+        assert [p for _, p in decoder.frames()] == [b"later"]
+
+
+class TestProtocolErrors:
+    def test_fragmented_frames_rejected(self):
+        frame = bytearray(wsproto.encode_text("frag"))
+        frame[0] &= 0x7F  # clear FIN
+        decoder = wsproto.FrameDecoder()
+        decoder.feed(bytes(frame))
+        with pytest.raises(wsproto.ProtocolError, match="fragmented"):
+            decoder.next_frame()
+
+    def test_oversized_declared_payload_rejected(self):
+        import struct
+
+        header = bytes([0x82, 127]) + struct.pack(">Q", wsproto.MAX_PAYLOAD + 1)
+        decoder = wsproto.FrameDecoder()
+        decoder.feed(header)
+        with pytest.raises(wsproto.ProtocolError, match="MAX_PAYLOAD"):
+            decoder.next_frame()
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(wsproto.ProtocolError):
+            wsproto.encode_frame(wsproto.OP_BINARY, b"x" * (wsproto.MAX_PAYLOAD + 1))
+
+    def test_feed_bounds_the_buffer(self):
+        decoder = wsproto.FrameDecoder()
+        with pytest.raises(wsproto.ProtocolError):
+            for _ in range(5):
+                decoder.feed(b"\x00" * wsproto.MAX_PAYLOAD)

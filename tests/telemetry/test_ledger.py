@@ -1,6 +1,7 @@
 """RunLedger: JSONL round-trips, metadata, and runner integration."""
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -147,3 +148,94 @@ class TestShardLedgerMerge:
         assert sorted(reopened.read_latest()) == [0]
         with pytest.raises(FileNotFoundError, match="not a run directory"):
             RunLedger.open_existing(tmp_path / "empty")
+
+
+class TestShardMergeRobustness:
+    """Torn tails and conflicting provenances across shard files.
+
+    A SIGKILLed sharded run can tear the final line of *any* shard file;
+    each file must drop only its own torn line.  And when two files hold
+    replayable records for one index whose replay payloads differ — which
+    the determinism contract forbids — the merge must warn loudly, not
+    silently let read order pick a winner."""
+
+    def ok(self, index, value, meta=None):
+        record = {"index": index, "status": "ok", "value": value}
+        if meta is not None:
+            record["value_meta"] = meta
+        return record
+
+    def test_two_shards_with_torn_tails_keep_their_good_records(self, tmp_path):
+        ledger = RunLedger(tmp_path / "run")
+        ledger.shard(0).append(self.ok(0, [1.0]))
+        ledger.shard(1).append(self.ok(1, [2.0]))
+        # Tear both shard tails mid-record (killed mid-append).
+        for shard_id, torn in ((0, '{"index": 2, "status": "o'),
+                               (1, '{"index": 3, "val')):
+            with ledger.shard(shard_id).path.open("a") as fh:
+                fh.write(torn)
+        with pytest.warns(RuntimeWarning, match="torn write") as caught:
+            merged = ledger.read_latest()
+        assert sorted(merged) == [0, 1]
+        assert merged[0]["value"] == [1.0]
+        assert merged[1]["value"] == [2.0]
+        # one warning per torn file, each naming its own file
+        torn_warnings = [w for w in caught if "torn write" in str(w.message)]
+        assert len(torn_warnings) == 2
+        named = {str(w.message).split(":")[0] for w in torn_warnings}
+        assert {p.split("/")[-1] for p in named} == {
+            "ledger-shard00.jsonl",
+            "ledger-shard01.jsonl",
+        }
+
+    def test_conflicting_replayable_records_warn_and_keep_the_later(
+        self, tmp_path
+    ):
+        ledger = RunLedger(tmp_path / "run")
+        ledger.shard(0).append(self.ok(5, [1.0]))
+        ledger.shard(1).append(self.ok(5, [2.0]))  # forbidden: same index
+        with pytest.warns(RuntimeWarning, match="conflicting") as caught:
+            merged = ledger.read_latest()
+        assert merged[5]["value"] == [2.0]  # later (higher shard) wins
+        assert any("trial 5" in str(w.message) for w in caught)
+
+    def test_identical_replayable_records_do_not_warn(self, tmp_path):
+        # The normal resume case: the same trial recorded twice,
+        # bit-identically — replayable beats nothing, no conflict.
+        ledger = RunLedger(tmp_path / "run")
+        ledger.append(self.ok(5, [1.0], meta={"dtype": "float64", "shape": [1]}))
+        ledger.shard(0).append(
+            self.ok(5, [1.0], meta={"dtype": "float64", "shape": [1]})
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ledger.read_latest()[5]["value"] == [1.0]
+
+    def test_replayable_replacing_infra_does_not_warn(self, tmp_path):
+        # Different rank replacement is legitimate resume behaviour.
+        ledger = RunLedger(tmp_path / "run")
+        ledger.append(
+            {
+                "index": 3,
+                "status": "error",
+                "error": {"exc_type": "TimeoutError", "category": "infra"},
+            }
+        )
+        ledger.append(self.ok(3, [9.0]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ledger.read_latest()[3]["status"] == "ok"
+
+    def test_differing_timings_are_not_a_conflict(self, tmp_path):
+        # Only the replay payload matters; wall time and attempt counts
+        # legitimately differ between a record and its resume twin.
+        ledger = RunLedger(tmp_path / "run")
+        a = self.ok(7, [4.0])
+        a.update(seconds=0.5, attempts=1)
+        b = self.ok(7, [4.0])
+        b.update(seconds=9.9, attempts=3)
+        ledger.append(a)
+        ledger.shard(0).append(b)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ledger.read_latest()[7]["attempts"] == 3

@@ -1,0 +1,83 @@
+"""Satellite regression: ``_aggregate_cache_stats`` vs heterogeneous trials.
+
+A run's results mix provenances: cached trials carry the full
+``artifact_store.*`` counter set, uncached ones only part of it, and
+records replayed from a pre-store resume ledger can lack counters,
+queries, or the entire telemetry dict.  The aggregator must treat every
+missing key as 0 — never raise, never skew the totals.
+"""
+
+from repro.__main__ import _aggregate_cache_stats
+from repro.runtime.runner import TrialResult
+
+
+def result(telemetry):
+    return TrialResult(index=0, value=[1.0], seconds=0.0, telemetry=telemetry)
+
+
+def counters(**kwargs):
+    return {"queries": {"counters": {f"artifact_store.{k}": v for k, v in kwargs.items()}}}
+
+
+class TestHeterogeneousTelemetry:
+    def test_full_counter_sets_sum(self):
+        results = [
+            result(counters(hits=2, misses=1, evictions=0, corrupt=0,
+                            stores=1, bytes_served=100, bytes_stored=50)),
+            result(counters(hits=3, misses=0, evictions=1, corrupt=1,
+                            stores=0, bytes_served=10, bytes_stored=0)),
+        ]
+        totals = _aggregate_cache_stats(results)
+        assert totals == {
+            "hits": 5, "misses": 1, "evictions": 1, "corrupt": 1,
+            "stores": 1, "bytes_served": 110, "bytes_stored": 50,
+        }
+
+    def test_partial_counter_sets_default_missing_keys_to_zero(self):
+        results = [
+            result(counters(hits=4)),  # a hit-only trial
+            result(counters(misses=2, bytes_stored=64)),  # a miss-only trial
+        ]
+        totals = _aggregate_cache_stats(results)
+        assert totals["hits"] == 4
+        assert totals["misses"] == 2
+        assert totals["bytes_stored"] == 64
+        assert totals["evictions"] == 0
+
+    def test_trials_without_counters_or_telemetry_are_skipped(self):
+        results = [
+            result(None),  # replayed from a pre-telemetry ledger
+            result({}),  # telemetry without queries
+            result({"queries": None}),  # queries explicitly null
+            result({"queries": {}}),  # queries without counters
+            result({"queries": {"counters": None}}),  # counters null
+            result({"queries": "not-a-dict"}),  # malformed snapshot
+            result(counters(hits=1)),
+        ]
+        totals = _aggregate_cache_stats(results)
+        assert totals["hits"] == 1
+        assert sum(totals.values()) == 1
+
+    def test_unrelated_counters_are_ignored(self):
+        telemetry = {
+            "queries": {
+                "counters": {
+                    "crp_cache.hits": 7,  # legacy name, not artifact_store.*
+                    "artifact_store.hits": 2,
+                    "spans.totally_unrelated": 9,
+                }
+            }
+        }
+        assert _aggregate_cache_stats([result(telemetry)])["hits"] == 2
+
+    def test_empty_run_is_all_zero(self):
+        totals = _aggregate_cache_stats([])
+        assert set(totals) == {
+            "hits", "misses", "evictions", "corrupt",
+            "stores", "bytes_served", "bytes_stored",
+        }
+        assert all(v == 0 for v in totals.values())
+
+    def test_none_valued_counters_count_as_zero(self):
+        telemetry = {"queries": {"counters": {"artifact_store.hits": None}}}
+        assert _aggregate_cache_stats([result(telemetry)])["hits"] == 0
