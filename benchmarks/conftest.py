@@ -2,6 +2,10 @@
 
 Every benchmark prints its reproduced table and also writes it to
 ``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+
+The conformance plugin is loaded here too, so benchmark assertions on
+stochastic rates go through ``@statistical_test`` + ``stat`` calibrated
+checks (docs/TESTING.md) instead of bare point-estimate thresholds.
 """
 
 from __future__ import annotations
@@ -9,6 +13,8 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+
+pytest_plugins = ["repro.conformance.pytest_plugin"]
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.analysis.learning_curves import compare_learners, replicated_learning_curve
 from repro.analysis.tables import TableBuilder
+from repro.conformance.pytest_plugin import statistical_test
 from repro.learning.boosting import AdaBoost
 from repro.learning.logistic import LogisticAttack
 from repro.learning.perceptron import Perceptron
@@ -25,6 +26,12 @@ from repro.pufs.arbiter import ArbiterPUF, parity_transform
 from repro.pufs.xor_arbiter import XORArbiterPUF
 
 BUDGETS = (100, 400, 1600, 6400)
+TEST_SIZE = 5000  # compare_learners' held-out set; converts rates to counts
+
+
+def _hits(accuracy: float, m: int = TEST_SIZE) -> int:
+    """Recover the exact hit count behind a mean-of-±1-matches float."""
+    return int(round(accuracy * m))
 
 
 def arbiter_fitters():
@@ -67,7 +74,8 @@ def run_curves():
     return arbiter_curves, xor_curves
 
 
-def test_learning_curves(benchmark, report):
+@statistical_test(alpha=2e-8)
+def test_learning_curves(benchmark, report, stat):
     arbiter_curves, xor_curves = benchmark.pedantic(
         run_curves, rounds=1, iterations=1
     )
@@ -89,16 +97,42 @@ def test_learning_curves(benchmark, report):
     report("learning_curves", table.render())
 
     by_name = {c.learner: c for c in arbiter_curves}
-    # All arbiter learners converge to a strong model.
-    assert by_name["logistic"].final_accuracy() > 0.97
-    assert by_name["perceptron"].final_accuracy() > 0.95
-    assert by_name["adaboost"].final_accuracy() > 0.85
+    xor_by_name = {c.learner: c for c in xor_curves}
+    # All arbiter learners converge to a strong model, and the XOR
+    # representation effect holds — each as a calibrated band on the
+    # *true* rate at a split share of this test's alpha, not a bare
+    # point-estimate threshold.
+    alpha_each = stat.split_alpha(5)
+    for learner, bound in (
+        ("logistic", 0.95),
+        ("perceptron", 0.93),
+        ("adaboost", 0.82),
+    ):
+        stat.check_at_least(
+            _hits(by_name[learner].final_accuracy()),
+            TEST_SIZE,
+            bound,
+            alpha=alpha_each,
+            name=f"arbiter_final[{learner}]",
+        )
     # Roughly monotone curves.
     assert all(c.is_monotone(slack=0.05) for c in arbiter_curves)
-    # Representation effect on the XOR PUF.
-    xor_by_name = {c.learner: c for c in xor_curves}
-    assert xor_by_name["plain LTF"].final_accuracy() < 0.75
-    assert xor_by_name["product-of-margins"].final_accuracy() > 0.93
+    # Representation effect on the XOR PUF: the wrong hypothesis class
+    # stays near chance while the product model converges.
+    stat.check_at_most(
+        _hits(xor_by_name["plain LTF"].final_accuracy()),
+        TEST_SIZE,
+        0.78,
+        alpha=alpha_each,
+        name="xor_final[plain LTF]",
+    )
+    stat.check_at_least(
+        _hits(xor_by_name["product-of-margins"].final_accuracy()),
+        TEST_SIZE,
+        0.90,
+        alpha=alpha_each,
+        name="xor_final[product-of-margins]",
+    )
     # The knee: the product model needs more data than the single chain.
     arb_knee = by_name["logistic"].budget_to_reach(0.95)
     xor_knee = xor_by_name["product-of-margins"].budget_to_reach(0.95)
@@ -145,7 +179,8 @@ def run_replicated(workers):
     return serial_curve, serial_report, parallel_curve, parallel_report
 
 
-def test_replicated_learning_curve(benchmark, report):
+@statistical_test(alpha=2e-8)
+def test_replicated_learning_curve(benchmark, report, stat):
     workers = int(os.environ.get("REPRO_WORKERS", "2"))
     serial_curve, serial_report, parallel_curve, parallel_report = (
         benchmark.pedantic(run_replicated, args=(workers,), rounds=1, iterations=1)
@@ -170,6 +205,11 @@ def test_replicated_learning_curve(benchmark, report):
     # The determinism contract: worker count must not change the numbers.
     assert serial_curve.mean_accuracies == parallel_curve.mean_accuracies
     assert serial_curve.std_accuracies == parallel_curve.std_accuracies
-    # The averaged curve behaves like a learning curve should.
-    assert parallel_curve.mean_accuracies[-1] > 0.95
+    # The averaged curve behaves like a learning curve should: the
+    # pooled final rate over 8 instances x 1000 held-out challenges
+    # clears 0.93 as a calibrated band.
+    pooled = int(round(parallel_curve.mean_accuracies[-1] * 8 * 1000))
+    stat.check_at_least(
+        pooled, 8 * 1000, 0.93, name="replicated_final_accuracy"
+    )
     assert parallel_curve.as_curve().is_monotone(slack=0.05)

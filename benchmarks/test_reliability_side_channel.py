@@ -18,6 +18,7 @@ channel is empty and the attack refuses to run.
 import numpy as np
 
 from repro.analysis.tables import TableBuilder
+from repro.conformance.pytest_plugin import statistical_test
 from repro.learning.reliability_attack import ReliabilityAttack
 from repro.learning.xor_logistic import XorLogisticAttack
 from repro.pufs.arbiter import parity_transform
@@ -27,6 +28,7 @@ from repro.pufs.xor_arbiter import XORArbiterPUF
 N = 32
 CRPS = 6000
 REPS = 15
+TEST_SIZE = 4000
 
 
 def chain_alignment(result, puf) -> float:
@@ -45,7 +47,7 @@ def run_side_channel_study():
     for seed in (1, 2):
         rng = np.random.default_rng(seed)
         puf = XORArbiterPUF(N, 2, np.random.default_rng(50 + seed), noise_sigma=0.4)
-        test = generate_crps(puf, 4000, rng)
+        test = generate_crps(puf, TEST_SIZE, rng)
 
         # Response-only adversary with the same challenge budget (single
         # measurement per challenge, majority-of-1).
@@ -61,12 +63,13 @@ def run_side_channel_study():
         rel = ReliabilityAttack(
             crps=CRPS, repetitions=REPS, restarts=6, generations=120
         ).run(puf, rng)
-        rel_acc = float(np.mean(rel.predict(test.challenges) == test.responses))
+        rel_hits = int(np.sum(rel.predict(test.challenges) == test.responses))
         rows.append(
             {
                 "seed": seed,
                 "response_only": resp_acc,
-                "reliability": rel_acc,
+                "reliability": rel_hits / TEST_SIZE,
+                "reliability_hits": rel_hits,
                 "alignment": chain_alignment(rel, puf),
                 "correlation": rel.reliability_correlation,
             }
@@ -74,7 +77,8 @@ def run_side_channel_study():
     return rows
 
 
-def test_reliability_side_channel(benchmark, report):
+@statistical_test(alpha=2e-8)
+def test_reliability_side_channel(benchmark, report, stat):
     rows = benchmark.pedantic(run_side_channel_study, rounds=1, iterations=1)
 
     table = TableBuilder(
@@ -100,11 +104,22 @@ def test_reliability_side_channel(benchmark, report):
         )
     report("reliability_side_channel", table.render())
 
+    # Both adversaries succeed on k=2: the reliability attack's true
+    # accuracy clears 0.85 on each instance (calibrated one-sided band
+    # at this test's split alpha, not a point-estimate threshold).
+    alpha_each = stat.split_alpha(len(rows))
     for row in rows:
-        # Both adversaries succeed on k=2...
-        assert row["reliability"] > 0.9
-        # ...but the reliability attack provably decomposed the XOR: its
-        # ES phase aligned with ONE physical chain.
+        stat.check_at_least(
+            row["reliability_hits"],
+            TEST_SIZE,
+            0.85,
+            alpha=alpha_each,
+            name=f"reliability_acc[seed={row['seed']}]",
+        )
+        # ...and the attack provably decomposed the XOR: its ES phase
+        # aligned with ONE physical chain.  Alignment and correlation
+        # are geometric diagnostics, not Bernoulli rates, so they stay
+        # as structural floors far below their observed values.
         assert row["alignment"] > 0.85
         assert row["correlation"] > 0.15
 

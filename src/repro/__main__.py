@@ -474,6 +474,149 @@ def cmd_trials(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_atlas(args: argparse.Namespace) -> int:
+    """Run the security-boundary atlas sweep and write boundary maps."""
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from repro.analysis import atlas as atlas_mod
+
+    if args.resume and not args.run_id:
+        print("--resume needs --run-id (the run directory to pick up)")
+        return 2
+    if args.resume:
+        args.ledger = True
+    if args.retries < 0:
+        print("--retries must be >= 0 (0 disables retrying)")
+        return 2
+
+    spec = atlas_mod.smoke_spec() if args.smoke else atlas_mod.default_spec()
+    overrides = {}
+
+    def csv(raw, conv):
+        return tuple(conv(v.strip()) for v in raw.split(",") if v.strip())
+
+    if args.families is not None:
+        overrides["families"] = csv(args.families, str)
+    if args.learners is not None:
+        overrides["learners"] = csv(args.learners, str)
+    if args.representations is not None:
+        overrides["representations"] = csv(args.representations, str)
+    if args.ns is not None:
+        overrides["ns"] = csv(args.ns, int)
+    if args.ks is not None:
+        overrides["ks"] = csv(args.ks, int)
+    if args.noises is not None:
+        overrides["noise_sigmas"] = csv(args.noises, float)
+    if args.budgets is not None:
+        overrides["budgets"] = csv(args.budgets, int)
+    if args.replicates is not None:
+        overrides["replicates"] = args.replicates
+    if args.test_size is not None:
+        overrides["test_size"] = args.test_size
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+
+    cells = atlas_mod.expand_grid(spec)
+    trials = atlas_mod.num_trials(spec)
+    print(
+        f"atlas: {len(cells)} cells x {spec.replicates} replicate(s) = "
+        f"{trials} trials, master seed {args.seed}"
+    )
+
+    ledger = None
+    if args.ledger:
+        from repro.telemetry import RunLedger, new_run_id
+
+        run_id = args.run_id or new_run_id("atlas")
+        ledger = RunLedger(Path(args.runs_dir) / run_id)
+        meta = ledger.read_meta()
+        if args.resume and meta is not None:
+            mismatches = _resume_mismatches(meta, "atlas", spec, trials, args.seed)
+            if mismatches:
+                print(
+                    f"cannot --resume {ledger.run_dir}: its meta.json "
+                    "disagrees with this invocation"
+                )
+                for line in mismatches:
+                    print("  " + line)
+                return 2
+        if not (args.resume and meta is not None):
+            ledger.write_meta(
+                {
+                    "workload": "atlas",
+                    "spec": dataclasses.asdict(spec),
+                    "trials": trials,
+                    "workers": args.workers,
+                    "shards": args.shards,
+                    "master_seed": args.seed,
+                }
+            )
+
+    payload, report = atlas_mod.run_atlas(
+        spec,
+        master_seed=args.seed,
+        workers=args.workers,
+        shards=args.shards,
+        ledger=ledger,
+        resume=args.resume,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        frontier=args.frontier,
+        retry=_retry_policy(args.retries),
+    )
+    print(f"run: {report.summary()}")
+    for map_ in payload["maps"]:
+        frontier_bits = ", ".join(
+            f"k={k}: "
+            + (
+                f"broken at m={map_['frontier'][str(k)]}"
+                if map_["frontier"][str(k)] is not None
+                else "holds"
+            )
+            for k in map_["ks"]
+        )
+        print(
+            f"  {map_['family']}/{map_['learner']}/{map_['representation']} "
+            f"n={map_['n']} sigma={map_['noise_sigma']:g}: {frontier_bits}"
+        )
+    print(f"boundary-map digest: {payload['digest']}")
+
+    failures = report.failures()
+    for failed in failures:
+        print(f"FAILED {failed.error.summary()} (attempts={failed.attempts})")
+
+    out_dir = None
+    if args.out is not None:
+        out_dir = Path(args.out)
+    elif ledger is not None:
+        out_dir = ledger.run_dir
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        map_path = out_dir / "boundary_map.json"
+        map_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        (out_dir / "atlas.md").write_text(atlas_mod.render_markdown(payload))
+        print(f"boundary map: {map_path}")
+        print(f"heatmaps: {out_dir / 'atlas.md'}")
+    if args.bench_out is not None:
+        bench = {
+            "generated_by": "python -m repro atlas"
+            + (" --smoke" if args.smoke else ""),
+            "cases": atlas_mod.bench_cases(payload),
+        }
+        bench_path = Path(args.bench_out)
+        bench_path.parent.mkdir(parents=True, exist_ok=True)
+        bench_path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+        print(f"bench payload: {bench_path}")
+    if ledger is not None:
+        print(f"ledger: {ledger.path}")
+        print(f"next: python -m repro report {ledger.run_dir}")
+    return 1 if failures else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.telemetry.report import generate_report
 
@@ -1070,6 +1213,10 @@ def build_parser() -> argparse.ArgumentParser:
             "src/repro/conformance",
             "src/repro/learning/active.py",
             "src/repro/learning/active_bench.py",
+            "src/repro/learning/gradient_attack.py",
+            "src/repro/learning/reliability_attack.py",
+            "src/repro/pufs/cdc_xor.py",
+            "src/repro/analysis/atlas.py",
         ],
         help="files or directories to measure",
     )
@@ -1160,6 +1307,118 @@ def build_parser() -> argparse.ArgumentParser:
         "is exact and some adaptive strategy beats the passive baseline",
     )
     bench_active.set_defaults(func=cmd_bench_active)
+
+    atlas_p = sub.add_parser(
+        "atlas",
+        help="security-boundary atlas: sweep (family, learner, "
+        "representation, n, k, sigma, m) cells into boundary maps "
+        "(see docs/ATLAS.md)",
+    )
+    atlas_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI tier: the 108-cell smoke grid with tight learner schedules",
+    )
+    atlas_p.add_argument("--seed", type=int, default=0, help="master seed")
+    atlas_p.add_argument(
+        "--workers", type=int, default=1, help="worker processes per shard"
+    )
+    atlas_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent work-stealing pools (per-shard crash-safe ledgers)",
+    )
+    atlas_p.add_argument(
+        "--retries", type=int, default=0, help="retries per infra failure"
+    )
+    atlas_p.add_argument(
+        "--families",
+        type=str,
+        default=None,
+        help="comma-separated PUF families (xor, cdc_xor)",
+    )
+    atlas_p.add_argument(
+        "--learners",
+        type=str,
+        default=None,
+        help="comma-separated learners (lr, mlp, reliability)",
+    )
+    atlas_p.add_argument(
+        "--representations",
+        type=str,
+        default=None,
+        help="comma-separated challenge representations (parity, raw)",
+    )
+    atlas_p.add_argument(
+        "--ns", type=str, default=None, help="comma-separated challenge lengths"
+    )
+    atlas_p.add_argument(
+        "--ks", type=str, default=None, help="comma-separated chain counts"
+    )
+    atlas_p.add_argument(
+        "--noises",
+        type=str,
+        default=None,
+        help="comma-separated measurement-noise sigmas",
+    )
+    atlas_p.add_argument(
+        "--budgets",
+        type=str,
+        default=None,
+        help="comma-separated sample budgets m",
+    )
+    atlas_p.add_argument(
+        "--replicates", type=int, default=None, help="replicates per cell"
+    )
+    atlas_p.add_argument(
+        "--test-size", type=int, default=None, help="held-out evaluation size"
+    )
+    atlas_p.add_argument(
+        "--frontier",
+        type=float,
+        default=0.75,
+        help="accuracy at which a cell counts as broken",
+    )
+    atlas_p.add_argument(
+        "--ledger",
+        action="store_true",
+        help="write the crash-safe JSONL trial ledger under --runs-dir",
+    )
+    atlas_p.add_argument(
+        "--runs-dir", type=str, default="runs", help="parent directory for runs"
+    )
+    atlas_p.add_argument(
+        "--run-id", type=str, default=None, help="explicit run id"
+    )
+    atlas_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed trials from --run-id's ledger, run the rest",
+    )
+    atlas_p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="ArtifactStore directory for CRP-pool warm starts",
+    )
+    atlas_p.add_argument(
+        "--cache-max-bytes", type=int, default=None, help="cache size cap"
+    )
+    atlas_p.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="directory for boundary_map.json + atlas.md "
+        "(default: the run directory when --ledger is set)",
+    )
+    atlas_p.add_argument(
+        "--bench-out",
+        type=str,
+        default=None,
+        help="write the BENCH_atlas.json payload here",
+    )
+    atlas_p.set_defaults(func=cmd_atlas)
 
     conf = sub.add_parser(
         "conformance",

@@ -1,6 +1,18 @@
 """Reporting helpers: ASCII tables for the benchmark harness."""
 
 from repro.analysis.tables import format_table, format_float, TableBuilder
+from repro.analysis.atlas import (
+    AtlasCell,
+    AtlasTrialSpec,
+    atlas_trial,
+    cell_of_trial,
+    expand_grid,
+    num_trials,
+    reduce_atlas,
+    render_markdown,
+    run_atlas,
+    smoke_spec,
+)
 from repro.analysis.learning_curves import (
     AveragedLearningCurve,
     LearningCurve,
@@ -10,6 +22,16 @@ from repro.analysis.learning_curves import (
 )
 
 __all__ = [
+    "AtlasCell",
+    "AtlasTrialSpec",
+    "atlas_trial",
+    "cell_of_trial",
+    "expand_grid",
+    "num_trials",
+    "reduce_atlas",
+    "render_markdown",
+    "run_atlas",
+    "smoke_spec",
     "format_table",
     "format_float",
     "TableBuilder",

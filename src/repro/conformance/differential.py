@@ -232,6 +232,69 @@ def _diff_xor_response(ctx: RelationContext) -> Dict[str, object]:
     return details
 
 
+def _diff_cdc_xor_response(ctx: RelationContext) -> Dict[str, object]:
+    """CDC-XOR per-chain margins over *rotated* challenges agree with the
+    fsum reference; the combined response matches the pure-python
+    rotate-then-sign reference wherever every chain clears the band."""
+    from repro.pufs.arbiter import parity_transform
+    from repro.pufs.cdc_xor import CDCXORArbiterPUF, derive_component_challenges
+
+    n, k = 24, 3
+    puf = CDCXORArbiterPUF(n, k, ctx.rng())
+    c = _random_challenges(ctx.rng(), ctx.samples(1_200, minimum=256), n)
+    components = derive_component_challenges(c, k, puf.shifts)
+    margins = puf.chain_margins(c)
+    guard_clear = np.ones(c.shape[0], dtype=bool)
+    details: Dict[str, object] = {"chains": k, "shifts": list(puf.shifts)}
+    for idx, chain in enumerate(puf.chains):
+        reference = ref.naive_arbiter_margin(chain.weights, components[idx])
+        scale = np.abs(parity_transform(components[idx])) @ np.abs(chain.weights)
+        chain_signs = np.where(margins[:, idx] >= 0, 1, -1).astype(np.int8)
+        sub = _compare_margins(
+            f"cdc_chain[{idx}]", margins[:, idx], reference, chain_signs, scale
+        )
+        guard_clear &= np.abs(reference) > 1e-9 * np.maximum(scale, 1.0)
+        details[f"chain_{idx}_max_error"] = sub["max_margin_error"]
+    expected = ref.naive_cdc_xor_response(
+        [chain.weights for chain in puf.chains], puf.shifts, c
+    )
+    if not np.array_equal(puf.eval(c)[guard_clear], expected[guard_clear]):
+        raise ConformanceViolation(
+            "CDC-XOR responses differ outside the guard band"
+        )
+    details["guard_band_rows"] = int(np.sum(~guard_clear))
+    return details
+
+
+def _diff_cdc_xor_k1_eq_arbiter(ctx: RelationContext) -> Dict[str, object]:
+    """A k=1 CDC-XOR collapses to the plain arbiter chain bit for bit.
+
+    Component 0's rotation is zero by construction, so the single-chain
+    CDC instance must reproduce its own chain's ``ArbiterPUF`` margins
+    and responses *bit-identically* — same GEMV, same operand order, no
+    tolerance.  Any drift means the CDC margin path reassociated the
+    arithmetic and the k=1 anchor to the validated arbiter is lost.
+    """
+    from repro.pufs.arbiter import ArbiterPUF
+    from repro.pufs.cdc_xor import CDCXORArbiterPUF
+
+    cases = 0
+    for n in (8, 24, 48):
+        puf = CDCXORArbiterPUF(n, 1, ctx.rng())
+        plain = ArbiterPUF(n, weights=puf.chains[0].weights)
+        c = _random_challenges(ctx.rng(), 512, n)
+        if not np.array_equal(puf.raw_margin(c), plain.raw_margin(c)):
+            raise ConformanceViolation(
+                f"k=1 CDC-XOR margins differ from the plain arbiter at n={n}"
+            )
+        if not np.array_equal(puf.eval(c), plain.eval(c)):
+            raise ConformanceViolation(
+                f"k=1 CDC-XOR responses differ from the plain arbiter at n={n}"
+            )
+        cases += 1
+    return {"cases": cases}
+
+
 def _diff_br_margin(ctx: RelationContext) -> Dict[str, object]:
     """Bistable Ring margins agree with the per-term fsum reference."""
     from repro.pufs.bistable_ring import BistableRingPUF
@@ -663,6 +726,19 @@ def differential_relations() -> List[Relation]:
             "differential",
             "XOR arbiter chain margins and responses agree with the reference",
             _diff_xor_response,
+        ),
+        Relation(
+            "diff_cdc_xor_response",
+            "differential",
+            "CDC-XOR chain margins over rotated challenges and the combined "
+            "response agree with the pure-python reference",
+            _diff_cdc_xor_response,
+        ),
+        Relation(
+            "diff_cdc_xor_k1_eq_arbiter",
+            "differential",
+            "a k=1 CDC-XOR is bit-identical to its plain arbiter chain",
+            _diff_cdc_xor_k1_eq_arbiter,
         ),
         Relation(
             "diff_br_margin",

@@ -572,6 +572,57 @@ def _active_adaptive_beats_passive(ctx: RelationContext) -> Dict[str, object]:
     }
 
 
+def _reliability_attack_beats_chance(ctx: RelationContext) -> Dict[str, object]:
+    """The reliability side channel models noisy XOR PUFs above chance.
+
+    Over several fresh noisy 2-XOR arbiter instances, the CMA-ES
+    reliability attack trains from repeated measurements alone and
+    predicts a noise-free held-out set; the pooled accuracy must clear
+    0.6 — far above the 0.5 of a response-only attacker that ignored
+    the side channel, far below the attack's typical 0.9+, so the band
+    only fires when the covariance adaptation or the chain-peeling
+    recursion actually breaks.  One-sided ``check_at_least`` under the
+    relation's share of the family alpha.
+    """
+    from repro.learning.reliability_attack import CMAReliabilityAttack
+    from repro.pufs.xor_arbiter import XORArbiterPUF
+
+    n, k, rounds = 16, 2, 3
+    test_size = ctx.samples(1_200, minimum=400)
+    correct = 0
+    accuracies = []
+    for _ in range(rounds):
+        puf = XORArbiterPUF(n, k, ctx.rng(), noise_sigma=0.4)
+        attack = CMAReliabilityAttack(
+            crps=3_000,
+            repetitions=9,
+            generations=30,
+            restarts=3,
+            refinement_rounds=2,
+        )
+        result = attack.run(puf, ctx.rng())
+        c = _random_challenges(ctx.rng(), test_size, n)
+        hits = int(np.sum(result.predict(c) == puf.eval(c)))
+        correct += hits
+        accuracies.append(hits / test_size)
+    cells = rounds * test_size
+    ctx.check(
+        orc.check_at_least(
+            correct,
+            cells,
+            0.6,
+            ctx.alpha,
+            name="reliability_attack_beats_chance",
+        )
+    )
+    return {
+        "n": n,
+        "k": k,
+        "cells": cells,
+        "accuracies": [round(a, 4) for a in accuracies],
+    }
+
+
 def metamorphic_relations() -> List[Relation]:
     """The registry of metamorphic relations, in stable order."""
     return [
@@ -680,6 +731,14 @@ def metamorphic_relations() -> List[Relation]:
             "adaptive uncertainty sampling is no less accurate than the "
             "passive baseline at equal query budget",
             _active_adaptive_beats_passive,
+            statistical=True,
+        ),
+        Relation(
+            "reliability_attack_beats_chance",
+            "metamorphic",
+            "the CMA-ES reliability side channel models noisy XOR PUFs "
+            "well above chance from repeated measurements alone",
+            _reliability_attack_beats_chance,
             statistical=True,
         ),
     ]

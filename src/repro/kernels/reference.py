@@ -192,6 +192,35 @@ def naive_xor_arbiter_response(
     return responses.astype(np.int8)
 
 
+def naive_cdc_xor_response(
+    chain_weights: Sequence[np.ndarray],
+    shifts: Sequence[int],
+    challenges: np.ndarray,
+) -> np.ndarray:
+    """Reference CDC k-XOR response: rotate, then per-chain signs.
+
+    Challenge-Driven-Current XOR feeds chain ``i`` the master challenge
+    rotated left by ``shifts[i]`` positions (element ``j`` of the
+    component challenge is master element ``(j + shift) mod n``).  The
+    rotation is built per row with a transparent index loop, then each
+    chain's response comes from :func:`naive_arbiter_response`; the
+    final response is their product.
+    """
+    challenges = np.asarray(challenges)
+    if challenges.ndim == 1:
+        challenges = challenges[None, :]
+    m, n = challenges.shape
+    responses = np.ones(m, dtype=np.int64)
+    for weights, shift in zip(chain_weights, shifts):
+        shift = int(shift) % n
+        rotated = np.empty_like(challenges)
+        for row in range(m):
+            for j in range(n):
+                rotated[row, j] = challenges[row, (j + shift) % n]
+        responses = responses * naive_arbiter_response(weights, rotated)
+    return responses.astype(np.int8)
+
+
 def naive_br_margin(
     challenges: np.ndarray,
     bias_terms: np.ndarray,

@@ -53,7 +53,17 @@ from repro.learning.interpose_attack import (
 )
 from repro.learning.kushilevitz_mansour import KushilevitzMansour, KMResult
 from repro.learning.mlp import MLPAttack, MLPResult
+from repro.learning.gradient_attack import (
+    ATTACKER_NAMES,
+    REPRESENTATION_NAMES,
+    GradientAttack,
+    LRAttacker,
+    MLPAttacker,
+    make_attacker,
+)
 from repro.learning.reliability_attack import (
+    CMAReliabilityAttack,
+    MultiReliabilityResult,
     ReliabilityAttack,
     ReliabilityAttackResult,
 )
@@ -110,4 +120,12 @@ __all__ = [
     "SQChowResult",
     "ReliabilityAttack",
     "ReliabilityAttackResult",
+    "CMAReliabilityAttack",
+    "MultiReliabilityResult",
+    "ATTACKER_NAMES",
+    "REPRESENTATION_NAMES",
+    "GradientAttack",
+    "LRAttacker",
+    "MLPAttacker",
+    "make_attacker",
 ]

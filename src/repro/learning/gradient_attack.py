@@ -1,0 +1,205 @@
+"""A uniform gradient-attack protocol over the LR and MLP learners.
+
+The atlas sweeps learners as an axis, so every gradient-trained model
+must look the same from the outside: construct by name, ``train`` on
++/-1 CRPs, ``predict``/``accuracy`` on held-out challenges, with the
+challenge *representation* (parity features vs raw bits) a declared
+parameter instead of an ad-hoc ``feature_map`` kwarg scattered across
+call sites.  This wraps :class:`~repro.learning.logistic.LogisticAttack`
+(k = 1), :class:`~repro.learning.xor_logistic.XorLogisticAttack`
+(k >= 2, the product-of-margins attack of Rührmair et al.), and
+:class:`~repro.learning.mlp.MLPAttack` behind that one protocol.
+
+The representation axis is itself one of the paper's pitfalls: an
+arbiter chain is linear over the parity transform but *not* over the raw
+challenge bits, so ``representation="raw"`` gives a well-trained model
+of the wrong feature space — the atlas shows where that choice alone
+moves a cell across the security boundary.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.learning.logistic import LogisticAttack
+from repro.learning.mlp import MLPAttack
+from repro.learning.xor_logistic import XorLogisticAttack
+from repro.pufs.arbiter import parity_transform
+
+#: The challenge representations an attacker can train over.
+REPRESENTATION_NAMES: Tuple[str, ...] = ("parity", "raw")
+
+
+class GradientAttack(abc.ABC):
+    """The attack protocol: ``train`` / ``predict`` / ``accuracy``.
+
+    Subclasses own one underlying learner; this base class owns the
+    representation handling and the fitted-state bookkeeping.  ``train``
+    returns ``self`` so one-liners like
+    ``make_attacker("lr").train(x, y, rng).accuracy(tx, ty)`` read the
+    way the sweep loop uses them.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "gradient"
+
+    def __init__(self, representation: str = "parity") -> None:
+        if representation not in REPRESENTATION_NAMES:
+            raise ValueError(
+                f"unknown representation {representation!r}; "
+                f"expected one of {REPRESENTATION_NAMES}"
+            )
+        self.representation = representation
+        self._result = None
+
+    # ------------------------------------------------------------------
+    def feature_map(self, challenges: np.ndarray) -> np.ndarray:
+        """The declared representation applied to +/-1 challenges."""
+        challenges = np.asarray(challenges)
+        if self.representation == "parity":
+            return parity_transform(challenges)
+        return np.asarray(challenges, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _fit(
+        self, feats: np.ndarray, responses: np.ndarray, rng: np.random.Generator
+    ):
+        """Fit the underlying learner on pre-mapped features."""
+
+    @abc.abstractmethod
+    def _score(self, feats: np.ndarray) -> np.ndarray:
+        """Real-valued decision scores for pre-mapped features."""
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        challenges: np.ndarray,
+        responses: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "GradientAttack":
+        """Fit on +/-1 CRPs under the declared representation."""
+        rng = np.random.default_rng() if rng is None else rng
+        feats = self.feature_map(challenges)
+        self._result = self._fit(
+            feats, np.asarray(responses, dtype=np.float64), rng
+        )
+        return self
+
+    def predict(self, challenges: np.ndarray) -> np.ndarray:
+        """+/-1 predictions (int8) for a challenge matrix."""
+        if self._result is None:
+            raise RuntimeError("attacker is not trained; call train() first")
+        scores = self._score(self.feature_map(challenges))
+        return np.where(scores >= 0, 1, -1).astype(np.int8)
+
+    def accuracy(self, challenges: np.ndarray, responses: np.ndarray) -> float:
+        """Fraction of challenges predicted correctly."""
+        responses = np.asarray(responses)
+        return float(np.mean(self.predict(challenges) == responses))
+
+
+class LRAttacker(GradientAttack):
+    """Logistic-regression attack; proper product-of-margins for k >= 2.
+
+    ``k`` is the attacker's hypothesis-class guess: 1 fits a single LTF
+    (:class:`LogisticAttack`), >= 2 fits the Rührmair product of k
+    linear margins (:class:`XorLogisticAttack`).  A deliberately wrong
+    ``k`` is how the atlas realises the wrong-hypothesis-class pitfall.
+    """
+
+    name = "lr"
+
+    def __init__(
+        self,
+        representation: str = "parity",
+        k: int = 1,
+        restarts: int = 4,
+        max_iter: int = 200,
+        l2: float = 1e-5,
+    ) -> None:
+        super().__init__(representation)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        self.restarts = restarts
+        self.max_iter = max_iter
+        self.l2 = l2
+
+    def _fit(self, feats, responses, rng):
+        if self.k == 1:
+            return LogisticAttack(l2=self.l2, max_iter=self.max_iter).fit(
+                feats, responses, rng
+            )
+        return XorLogisticAttack(
+            self.k, restarts=self.restarts, max_iter=self.max_iter, l2=self.l2
+        ).fit(feats, responses, rng)
+
+    def _score(self, feats):
+        if self.k == 1:
+            weights = self._result.ltf.weights
+            return feats @ weights - self._result.ltf.threshold
+        return self._result.margin(feats)
+
+
+class MLPAttacker(GradientAttack):
+    """One-hidden-layer MLP attack (the DL modelling-attack stand-in)."""
+
+    name = "mlp"
+
+    def __init__(
+        self,
+        representation: str = "parity",
+        hidden: int = 24,
+        epochs: int = 40,
+        batch_size: int = 64,
+        learning_rate: float = 0.01,
+        l2: float = 1e-5,
+    ) -> None:
+        super().__init__(representation)
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+
+    def _fit(self, feats, responses, rng):
+        return MLPAttack(
+            hidden=self.hidden,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            l2=self.l2,
+        ).fit(feats, responses, rng)
+
+    def _score(self, feats):
+        return self._result.score(feats)
+
+
+#: Attacker name -> class; the registry ``make_attacker`` resolves.
+ATTACKERS: Dict[str, Type[GradientAttack]] = {
+    LRAttacker.name: LRAttacker,
+    MLPAttacker.name: MLPAttacker,
+}
+
+#: The gradient-attacker names, in registry order.
+ATTACKER_NAMES: Tuple[str, ...] = tuple(ATTACKERS)
+
+
+def make_attacker(
+    name: str, representation: str = "parity", **options
+) -> GradientAttack:
+    """Construct a registered attacker by name.
+
+    ``options`` are forwarded to the attacker's constructor, so the
+    sweep layer can tune learner budgets (epochs, restarts, ...) without
+    knowing which learner it is configuring.
+    """
+    if name not in ATTACKERS:
+        raise ValueError(
+            f"unknown attacker {name!r}; expected one of {ATTACKER_NAMES}"
+        )
+    return ATTACKERS[name](representation=representation, **options)

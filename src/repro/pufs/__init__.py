@@ -26,6 +26,11 @@ ideal evaluation and a noisy measurement model.
 from repro.pufs.base import PUF
 from repro.pufs.arbiter import ArbiterPUF, parity_transform
 from repro.pufs.xor_arbiter import XORArbiterPUF
+from repro.pufs.cdc_xor import (
+    CDCXORArbiterPUF,
+    default_shifts,
+    derive_component_challenges,
+)
 from repro.pufs.bistable_ring import BistableRingPUF
 from repro.pufs.feed_forward import FeedForwardArbiterPUF
 from repro.pufs.interpose import InterposePUF
@@ -63,6 +68,9 @@ __all__ = [
     "PUF",
     "ArbiterPUF",
     "XORArbiterPUF",
+    "CDCXORArbiterPUF",
+    "default_shifts",
+    "derive_component_challenges",
     "BistableRingPUF",
     "FeedForwardArbiterPUF",
     "InterposePUF",

@@ -1,0 +1,148 @@
+"""Component-differentially-challenged (CDC) XOR Arbiter PUFs.
+
+A CDC-XOR PUF [arXiv:2206.01314] is a k-XOR arbiter in which each
+component chain receives a *different* challenge derived from the master
+challenge, instead of all chains seeing the same bits.  The derivation
+modelled here is the circular-rotation layout: component ``i`` evaluates
+the master challenge rotated left by ``shifts[i]`` stages (component 0
+uses shift 0, so k = 1 collapses bit-exactly to a plain arbiter chain).
+
+Why this matters for the paper's pitfall taxonomy: the derivation breaks
+the shared-feature structure every gradient attack on XOR PUFs exploits.
+A logistic or MLP model over ``parity_transform(master challenge)`` is
+now the *wrong hypothesis class* — each chain is linear in its **own**
+rotated parity features — so response-only learners stall while the
+reliability side channel, which correlates per-chain |margin| against
+measured stability, keeps working chain by chain.  The atlas sweeps both
+families side by side to map exactly that boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pufs.arbiter import parity_transform
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+def default_shifts(k: int, n: int) -> Tuple[int, ...]:
+    """The canonical per-component rotation offsets for a (n, k) device.
+
+    Components are spread evenly around the challenge ring —
+    ``shift_i = round(i * n / k) mod n`` — so no two components share a
+    derivation for any k <= n, and component 0 always uses the identity
+    (the k = 1 collapse the conformance suite pins bit-exactly).
+    """
+    if k <= 0:
+        raise ValueError(f"chain count k must be positive, got {k}")
+    if n <= 0:
+        raise ValueError(f"challenge length must be positive, got {n}")
+    return tuple(int(round(i * n / k)) % n for i in range(k))
+
+
+def derive_component_challenges(
+    challenges: np.ndarray,
+    k: int,
+    shifts: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Per-component derived challenges, shape ``(k, m, n)``.
+
+    Row ``i`` of the output is the master challenge matrix circularly
+    rotated left by ``shifts[i]`` positions (default
+    :func:`default_shifts`).  Rotation is a pure permutation of each row,
+    so the output preserves the +/-1 alphabet and the dtype of the
+    input, and component ``i`` depends on ``shifts[i]`` only — permuting
+    the shift vector permutes the component axis identically (the
+    equivariance the property tests drive).
+    """
+    challenges = np.asarray(challenges)
+    if challenges.ndim == 1:
+        challenges = challenges[None, :]
+    if challenges.ndim != 2:
+        raise ValueError(
+            f"expected an (m, n) challenge matrix, got shape {challenges.shape}"
+        )
+    n = challenges.shape[1]
+    if shifts is None:
+        shifts = default_shifts(k, n)
+    shifts = tuple(int(s) for s in shifts)
+    if len(shifts) != k:
+        raise ValueError(f"need {k} shifts, got {len(shifts)}")
+    derived = np.empty((k,) + challenges.shape, dtype=challenges.dtype)
+    for i, shift in enumerate(shifts):
+        derived[i] = np.roll(challenges, -(shift % n), axis=1)
+    return derived
+
+
+class CDCXORArbiterPUF(XORArbiterPUF):
+    """k-chain XOR arbiter with per-component challenge derivation.
+
+    Identical manufacturing model to :class:`XORArbiterPUF` (the chain
+    weights are drawn by the same shared/own Gaussian mix, so fleet
+    stacking and correlation semantics carry over unchanged); only the
+    challenge each chain sees differs.  ``shifts`` selects the rotation
+    layout, defaulting to :func:`default_shifts`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        rng: Optional[np.random.Generator] = None,
+        correlation: float = 0.0,
+        weight_sigma: float = 1.0,
+        noise_sigma: float = 0.0,
+        shifts: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(
+            n,
+            k,
+            rng=rng,
+            correlation=correlation,
+            weight_sigma=weight_sigma,
+            noise_sigma=noise_sigma,
+        )
+        if shifts is None:
+            shifts = default_shifts(k, n)
+        shifts = tuple(int(s) % n for s in shifts)
+        if len(shifts) != k:
+            raise ValueError(f"need {k} shifts, got {len(shifts)}")
+        self.shifts: Tuple[int, ...] = shifts
+
+    # ------------------------------------------------------------------
+    def component_features(self, challenges: np.ndarray) -> np.ndarray:
+        """Per-component parity features, shape ``(k, m, n+1)``.
+
+        Chain ``i`` is linear over ``parity_transform`` of its *derived*
+        challenge; this is the feature layout the reliability attack
+        correlates against, and what makes the master-challenge parity
+        map the wrong hypothesis class for response-only learners.
+        """
+        challenges = self._check(challenges)
+        derived = derive_component_challenges(challenges, self.k, self.shifts)
+        m = challenges.shape[0]
+        flat = parity_transform(derived.reshape(self.k * m, self.n))
+        return flat.reshape(self.k, m, self.n + 1)
+
+    def chain_margins(self, challenges: np.ndarray) -> np.ndarray:
+        """(m, k) noise-free margins, each chain on its derived challenge.
+
+        Evaluated one GEMV per chain so the k = 1 device follows exactly
+        the ``parity_transform(c) @ weights`` path of
+        :class:`~repro.pufs.arbiter.ArbiterPUF` — the bit-identity the
+        ``diff_cdc_xor_k1_eq_arbiter`` conformance relation enforces.
+        """
+        challenges = self._check(challenges)
+        phi = self.component_features(challenges)
+        margins = np.empty((challenges.shape[0], self.k))
+        for i, chain in enumerate(self.chains):
+            margins[:, i] = phi[i] @ chain.weights
+        return margins
+
+    def __repr__(self) -> str:
+        return (
+            f"CDCXORArbiterPUF(n={self.n}, k={self.k}, shifts={self.shifts}, "
+            f"noise_sigma={self.noise_sigma:g})"
+        )

@@ -69,6 +69,20 @@ class XORArbiterPUF(PUF):
             self.chains.append(ArbiterPUF(n, weights=weights, noise_sigma=noise_sigma))
 
     # ------------------------------------------------------------------
+    def component_features(self, challenges: np.ndarray) -> np.ndarray:
+        """Per-component parity features, shape ``(k, m, n+1)``.
+
+        Every chain of a plain XOR arbiter sees the master challenge, so
+        this is one ``parity_transform`` broadcast k times (a view, no
+        copy).  Subclasses with per-component challenge derivation (the
+        CDC-XOR construction) override it; the reliability side-channel
+        attack correlates against these features chain by chain, which
+        is what lets one attack implementation cover both families.
+        """
+        challenges = self._check(challenges)
+        phi = parity_transform(challenges)
+        return np.broadcast_to(phi, (self.k,) + phi.shape)
+
     def chain_margins(self, challenges: np.ndarray) -> np.ndarray:
         """(m, k) matrix of per-chain noise-free margins."""
         challenges = self._check(challenges)

@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.analysis import atlas as _atlas
 from repro.runtime import workloads as _workloads
 
 #: Workload name -> (trial function, spec dataclass).  The service-facing
@@ -43,6 +44,7 @@ WORKLOADS: Dict[str, Tuple[Callable[..., Any], type]] = {
     "chow": (_workloads.chow_brpuf_trial, _workloads.ChowTrialSpec),
     "skew": (_workloads.skewed_sleep_trial, _workloads.SkewedSleepSpec),
     "fault": (_workloads.fault_injection_trial, _workloads.FaultInjectionSpec),
+    "atlas": (_atlas.atlas_trial, _atlas.AtlasTrialSpec),
 }
 
 #: Jobs at or under this many trials default to the interactive priority

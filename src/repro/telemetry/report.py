@@ -45,6 +45,7 @@ WORKLOAD_KIND = {
     "km": "mq",
     "sq": "sq",
     "active": "mq",
+    "atlas": "ex",
 }
 
 
@@ -155,6 +156,19 @@ def _bound_checks(meta: dict, records: List[dict]) -> List[BoundCheck]:
             int(spec["coefficient_samples"]),
         )
         add("mq", "KM membership-query budget, poly(n, 1/theta)", bound)
+    elif workload == "atlas":
+        # Every atlas cell spends at most its declared budget: m examples
+        # for gradient cells, m x repetitions noisy measurements for
+        # reliability cells.  The grid-wide ceiling is the largest budget
+        # times the repetition count — a trial above it means a learner
+        # queried outside its cell's declared spend.
+        budgets = [int(b) for b in (spec.get("budgets") or [0])]
+        ceiling = max(budgets) * int(spec.get("repetitions", 1) or 1)
+        add(
+            "ex",
+            "atlas grid ceiling: per-trial EX <= max budget x repetitions",
+            ceiling,
+        )
     elif workload == "sq":
         n = int(spec["n"])
         add("sq", "SQ Chow: n + 1 correlational queries (exact)", sq_chow_query_count(n))

@@ -1,0 +1,194 @@
+"""Property tests for atlas grid expansion and reduction (ISSUE 10).
+
+The atlas's crash-safe resume contract rests on three structural
+invariants: the cell count is a closed-form function of the axis sizes
+(feasibility filters included), every cell digest is unique (so ledger
+rows can never collide), and the reduced boundary-map digest is
+invariant both to how the caller ordered the spec's axes and to the
+order trial results arrive in.  These are exact combinatorial claims —
+no statistical budget is consumed; trial values are synthesised, not
+learned.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.atlas import (
+    AtlasTrialSpec,
+    cell_of_trial,
+    expand_grid,
+    num_trials,
+    reduce_atlas,
+)
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def subsets(values):
+    """Non-empty ordered subsets (permutation included) of ``values``."""
+    return st.lists(
+        st.sampled_from(values),
+        min_size=1,
+        max_size=len(values),
+        unique=True,
+    )
+
+
+spec_axes = st.fixed_dictionaries(
+    {
+        "families": subsets(("xor", "cdc_xor")),
+        "learners": subsets(("lr", "mlp", "reliability")),
+        "representations": subsets(("parity", "raw")),
+        "ns": subsets((8, 16, 24)),
+        "ks": subsets((1, 2, 3)),
+        "noise_sigmas": subsets((0.0, 0.2, 0.5)),
+        "budgets": subsets((50, 120, 300)),
+        "replicates": st.integers(min_value=1, max_value=3),
+    }
+)
+
+
+def _build(axes) -> AtlasTrialSpec:
+    return AtlasTrialSpec(**axes)
+
+
+def _expected_cells(spec: AtlasTrialSpec) -> int:
+    """The closed-form count: gradient cells + feasible reliability cells."""
+    base = len(spec.ns) * len(spec.ks) * len(spec.budgets)
+    gradient_learners = [l for l in spec.learners if l != "reliability"]
+    count = (
+        len(spec.families)
+        * len(gradient_learners)
+        * len(spec.representations)
+        * base
+        * len(spec.noise_sigmas)
+    )
+    if "reliability" in spec.learners:
+        noisy = len([s for s in spec.noise_sigmas if s > 0])
+        count += len(spec.families) * base * noisy  # parity-pinned
+    return count
+
+
+@SETTINGS
+@given(spec_axes)
+def test_cell_count_matches_closed_form(axes):
+    spec = _build(axes)
+    try:
+        cells = expand_grid(spec)
+    except ValueError:
+        # Reliability-only grid with sigma = 0 everywhere: legitimately
+        # empty, and expand_grid must say so rather than return nothing.
+        assert spec.learners == ("reliability",)
+        assert all(s <= 0 for s in spec.noise_sigmas)
+        return
+    assert len(cells) == _expected_cells(spec)
+    assert num_trials(spec) == len(cells) * spec.replicates
+
+
+@SETTINGS
+@given(spec_axes)
+def test_cell_digests_are_duplicate_free(axes):
+    spec = _build(axes)
+    try:
+        cells = expand_grid(spec)
+    except ValueError:
+        return
+    digests = [cell.digest() for cell in cells]
+    assert len(set(digests)) == len(digests)
+    assert len(set(cells)) == len(cells)
+
+
+@SETTINGS
+@given(spec_axes, st.randoms(use_true_random=False))
+def test_axis_order_invariance(axes, pyrandom):
+    """Shuffling every axis listing yields an *equal* spec: same cells,
+    same trial mapping, same reduced digest."""
+    spec = _build(axes)
+    shuffled = dict(axes)
+    for axis in (
+        "families",
+        "learners",
+        "representations",
+        "ns",
+        "ks",
+        "noise_sigmas",
+        "budgets",
+    ):
+        listing = list(shuffled[axis])
+        pyrandom.shuffle(listing)
+        shuffled[axis] = listing
+    other = _build(shuffled)
+    assert spec == other
+    try:
+        cells = expand_grid(spec)
+    except ValueError:
+        return
+    assert expand_grid(other) == cells
+    values = _synthetic_values(spec)
+    assert (
+        reduce_atlas(spec, values)["digest"]
+        == reduce_atlas(other, values)["digest"]
+    )
+
+
+def _synthetic_values(spec: AtlasTrialSpec):
+    """Deterministic fake [accuracy, queries] per trial index."""
+    return {
+        i: [0.5 + 0.5 * ((i * 2654435761) % 1000) / 1000.0, float(100 + i)]
+        for i in range(num_trials(spec))
+    }
+
+
+@SETTINGS
+@given(spec_axes, st.randoms(use_true_random=False))
+def test_reduction_ignores_arrival_order(axes, pyrandom):
+    """The boundary map is a function of the (index, value) *set*."""
+    spec = _build(axes)
+    try:
+        total = num_trials(spec)
+    except ValueError:
+        return
+    values = _synthetic_values(spec)
+    order = list(range(total))
+    pyrandom.shuffle(order)
+    shuffled = {i: values[i] for i in order}
+    assert (
+        reduce_atlas(spec, values)["digest"]
+        == reduce_atlas(spec, shuffled)["digest"]
+    )
+
+
+@SETTINGS
+@given(spec_axes, st.integers(min_value=0, max_value=10_000))
+def test_cell_of_trial_is_cell_major(axes, raw_index):
+    spec = _build(axes)
+    try:
+        cells = expand_grid(spec)
+    except ValueError:
+        return
+    total = len(cells) * spec.replicates
+    index = raw_index % total
+    cell, replicate = cell_of_trial(spec, index)
+    assert cell == cells[index // spec.replicates]
+    assert replicate == index % spec.replicates
+
+
+def test_replicate_count_only_changes_trial_total():
+    spec = AtlasTrialSpec(ns=(16,), ks=(1,), budgets=(50,))
+    doubled = dataclasses.replace(spec, replicates=2)
+    assert expand_grid(spec) == expand_grid(doubled)
+    assert num_trials(doubled) == 2 * num_trials(spec)
+
+
+def test_missing_values_are_counted_not_invented():
+    spec = AtlasTrialSpec(
+        families=("xor",), learners=("lr",), ns=(16,), ks=(1,),
+        noise_sigmas=(0.0,), budgets=(50, 100),
+    )
+    payload = reduce_atlas(spec, {0: [0.9, 50.0]})
+    assert payload["missing_trials"] == 1
+    rows = {row["m"]: row for row in payload["cells"]}
+    assert rows[50]["mean_accuracy"] == 0.9
+    assert rows[100]["mean_accuracy"] is None
+    assert rows[100]["broken"] is False

@@ -1,0 +1,125 @@
+"""Property tests for CDC-XOR challenge derivation (ISSUE 10).
+
+The component-challenge derivation is the whole point of the CDC-XOR
+construction — each chain sees the master challenge rotated by its own
+shift, which destroys the shared-parity-feature structure master-challenge
+models rely on.  These tests pin the derivation's algebra: shapes, the
++/-1 alphabet, the exact rotation semantics, equivariance under
+permuting the component shifts, and the k=1 collapse onto the plain
+arbiter chain (the anchor the differential conformance relation
+re-checks bit-exactly).
+
+All checks here are exact (integer rotations, bit-identical margins), so
+no test consumes statistical family budget.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pufs.arbiter import ArbiterPUF
+from repro.pufs.cdc_xor import (
+    CDCXORArbiterPUF,
+    default_shifts,
+    derive_component_challenges,
+)
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+dims = st.tuples(
+    st.integers(min_value=1, max_value=32),  # m
+    st.integers(min_value=4, max_value=24),  # n
+    st.integers(min_value=1, max_value=5),  # k
+    st.integers(min_value=0, max_value=2**31),  # seed
+)
+
+
+def _challenges(m: int, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (1 - 2 * rng.integers(0, 2, size=(m, n))).astype(np.int8)
+
+
+@SETTINGS
+@given(dims)
+def test_derivation_shape_alphabet_and_rotation(args):
+    """(k, m, n) output, +/-1 int8 preserved, exact roll semantics."""
+    m, n, k, seed = args
+    c = _challenges(m, n, seed)
+    shifts = default_shifts(k, n)
+    components = derive_component_challenges(c, k, shifts)
+    assert components.shape == (k, m, n)
+    assert components.dtype == c.dtype
+    assert np.all(np.abs(components) == 1)
+    # Component 0 carries shift 0: it IS the master challenge.
+    assert shifts[0] == 0
+    assert np.array_equal(components[0], c)
+    # Every component is the master rotated left by its shift: element j
+    # of the derived challenge is master element (j + shift) mod n.
+    for i, shift in enumerate(shifts):
+        assert np.array_equal(components[i], np.roll(c, -shift, axis=1))
+
+
+@SETTINGS
+@given(dims, st.randoms(use_true_random=False))
+def test_component_permutation_equivariance(args, pyrandom):
+    """Permuting the shift list permutes the derived components."""
+    m, n, k, seed = args
+    c = _challenges(m, n, seed)
+    shifts = list(default_shifts(k, n))
+    perm = list(range(k))
+    pyrandom.shuffle(perm)
+    base = derive_component_challenges(c, k, shifts)
+    permuted = derive_component_challenges(
+        c, k, [shifts[p] for p in perm]
+    )
+    for i, p in enumerate(perm):
+        assert np.array_equal(permuted[i], base[p])
+
+
+@SETTINGS
+@given(
+    st.integers(min_value=4, max_value=32),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_k1_collapses_to_plain_arbiter(n, seed):
+    """A 1-component CDC-XOR is its arbiter chain, bit for bit."""
+    puf = CDCXORArbiterPUF(n, 1, np.random.default_rng(seed))
+    plain = ArbiterPUF(n, weights=puf.chains[0].weights)
+    c = _challenges(64, n, seed + 1)
+    assert puf.shifts == (0,)
+    assert np.array_equal(puf.raw_margin(c), plain.raw_margin(c))
+    assert np.array_equal(puf.eval(c), plain.eval(c))
+
+
+@SETTINGS
+@given(dims)
+def test_response_is_product_of_component_chain_signs(args):
+    """The CDC response factors over per-component chain responses."""
+    m, n, k, seed = args
+    puf = CDCXORArbiterPUF(n, k, np.random.default_rng(seed))
+    c = _challenges(m, n, seed + 1)
+    components = derive_component_challenges(c, k, puf.shifts)
+    product = np.prod(
+        np.stack(
+            [chain.eval(components[i]) for i, chain in enumerate(puf.chains)]
+        ),
+        axis=0,
+    ).astype(np.int8)
+    responses = puf.eval(c)
+    assert responses.dtype == np.int8
+    assert np.all(np.abs(responses) == 1)
+    assert np.array_equal(responses, product)
+
+
+@SETTINGS
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=4, max_value=48),
+)
+def test_default_shifts_distinct_and_anchored(k, n):
+    """Default shifts start at 0 and stay distinct while k <= n."""
+    shifts = default_shifts(k, n)
+    assert len(shifts) == k
+    assert shifts[0] == 0
+    assert all(0 <= s < n for s in shifts)
+    if k <= n:
+        assert len(set(shifts)) == k

@@ -1,0 +1,83 @@
+"""Unit tests for the CDC-XOR arbiter PUF (ISSUE 10)."""
+
+import numpy as np
+import pytest
+
+from repro.pufs.arbiter import parity_transform
+from repro.pufs.cdc_xor import (
+    CDCXORArbiterPUF,
+    default_shifts,
+    derive_component_challenges,
+)
+from repro.pufs.crp import uniform_challenges
+from repro.pufs.xor_arbiter import XORArbiterPUF
+
+
+class TestDeriveComponentChallenges:
+    def test_default_shifts_spread_evenly(self):
+        assert default_shifts(1, 16) == (0,)
+        assert default_shifts(2, 16) == (0, 8)
+        assert default_shifts(4, 16) == (0, 4, 8, 12)
+
+    def test_rotation_semantics(self):
+        c = np.array([[1, -1, 1, 1]], dtype=np.int8)
+        components = derive_component_challenges(c, 2, shifts=(0, 1))
+        assert np.array_equal(components[0], c)
+        assert np.array_equal(
+            components[1], np.array([[-1, 1, 1, 1]], dtype=np.int8)
+        )
+
+    def test_shift_wraps_modulo_n(self):
+        c = uniform_challenges(8, 6, np.random.default_rng(0))
+        a = derive_component_challenges(c, 1, shifts=(2,))
+        b = derive_component_challenges(c, 1, shifts=(8,))
+        assert np.array_equal(a, b)
+
+    def test_rejects_mismatched_shift_count(self):
+        c = uniform_challenges(4, 8, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            derive_component_challenges(c, 3, shifts=(0, 4))
+
+
+class TestCDCXORArbiterPUF:
+    def test_component_features_are_rotated_parities(self):
+        puf = CDCXORArbiterPUF(12, 3, np.random.default_rng(1))
+        c = uniform_challenges(32, 12, np.random.default_rng(2))
+        features = puf.component_features(c)
+        components = derive_component_challenges(c, 3, puf.shifts)
+        assert features.shape == (3, 32, 13)
+        for i in range(3):
+            assert np.array_equal(features[i], parity_transform(components[i]))
+
+    def test_breaks_shared_feature_structure_for_k_ge_2(self):
+        """Unlike the plain XOR, CDC components see different features."""
+        rng = np.random.default_rng(3)
+        plain = XORArbiterPUF(16, 2, rng)
+        cdc = CDCXORArbiterPUF(16, 2, rng)
+        c = uniform_challenges(16, 16, np.random.default_rng(4))
+        plain_f = plain.component_features(c)
+        cdc_f = cdc.component_features(c)
+        assert np.array_equal(plain_f[0], plain_f[1])
+        assert not np.array_equal(cdc_f[0], cdc_f[1])
+
+    def test_noisy_eval_respects_sigma_zero(self):
+        puf = CDCXORArbiterPUF(16, 2, np.random.default_rng(5), noise_sigma=0.0)
+        c = uniform_challenges(64, 16, np.random.default_rng(6))
+        assert np.array_equal(puf.eval_noisy(c, np.random.default_rng(7)), puf.eval(c))
+
+    def test_custom_shifts_round_trip(self):
+        puf = CDCXORArbiterPUF(
+            10, 2, np.random.default_rng(8), shifts=(0, 3)
+        )
+        assert puf.shifts == (0, 3)
+        c = uniform_challenges(16, 10, np.random.default_rng(9))
+        margins = puf.chain_margins(c)
+        components = derive_component_challenges(c, 2, (0, 3))
+        for i, chain in enumerate(puf.chains):
+            assert np.allclose(
+                margins[:, i], parity_transform(components[i]) @ chain.weights
+            )
+
+    def test_rejects_bad_shift_count(self):
+        with pytest.raises(ValueError):
+            CDCXORArbiterPUF(8, 2, np.random.default_rng(0), shifts=(0,))
